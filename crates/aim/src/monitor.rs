@@ -1,0 +1,181 @@
+//! The reference monitor: mandatory-access decisions.
+//!
+//! Applies the two MITRE-model rules at every information-flow point:
+//!
+//! * **Simple security** — a subject may *read* an object only if the
+//!   subject's label dominates the object's ("no read up");
+//! * **⋆-property** — a subject may *write* an object only if the
+//!   object's label dominates the subject's ("no write down").
+//!
+//! Every decision is appended to the [`AuditLog`].
+
+use crate::audit::{AuditLog, Decision};
+use crate::label::Label;
+
+/// The direction of an attempted information flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Information flows object → subject.
+    Read,
+    /// Information flows subject → object.
+    Write,
+    /// Both directions at once (read-write open); requires label equality
+    /// in the strict model.
+    ReadWrite,
+}
+
+/// A denied flow, reported to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowViolation {
+    /// The acting subject's label.
+    pub subject: Label,
+    /// The object's label.
+    pub object: Label,
+    /// What was attempted.
+    pub access: AccessKind,
+    /// Which rule denied it.
+    pub decision: Decision,
+}
+
+impl core::fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let rule = match self.decision {
+            Decision::DenyReadUp => "simple security (no read up)",
+            Decision::DenyWriteDown => "*-property (no write down)",
+            Decision::Grant => "granted", // Unreachable in violations.
+        };
+        write!(
+            f,
+            "{:?} by subject {} on object {} denied by {}",
+            self.access, self.subject, self.object, rule
+        )
+    }
+}
+
+impl std::error::Error for FlowViolation {}
+
+/// The reference monitor: stateless decision function plus audit trail.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceMonitor {
+    audit: AuditLog,
+}
+
+impl ReferenceMonitor {
+    /// A monitor with an empty audit log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pure decision function, without auditing.
+    pub fn decide(subject: Label, object: Label, access: AccessKind) -> Decision {
+        match access {
+            AccessKind::Read => {
+                if subject.dominates(object) {
+                    Decision::Grant
+                } else {
+                    Decision::DenyReadUp
+                }
+            }
+            AccessKind::Write => {
+                if object.dominates(subject) {
+                    Decision::Grant
+                } else {
+                    Decision::DenyWriteDown
+                }
+            }
+            AccessKind::ReadWrite => {
+                if !subject.dominates(object) {
+                    Decision::DenyReadUp
+                } else if !object.dominates(subject) {
+                    Decision::DenyWriteDown
+                } else {
+                    Decision::Grant
+                }
+            }
+        }
+    }
+
+    /// Checks a flow, records the decision, and returns it as a result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowViolation`] describing the rule that denied the
+    /// flow.
+    pub fn check(
+        &mut self,
+        subject: Label,
+        object: Label,
+        access: AccessKind,
+    ) -> Result<(), FlowViolation> {
+        let decision = Self::decide(subject, object, access);
+        self.audit.append(subject, object, access, decision);
+        if decision.granted() {
+            Ok(())
+        } else {
+            Err(FlowViolation { subject, object, access, decision })
+        }
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{CompartmentSet, Level};
+
+    fn l(level: u8, bits: u64) -> Label {
+        Label::new(Level(level), CompartmentSet::from_bits(bits))
+    }
+
+    #[test]
+    fn simple_security_no_read_up() {
+        assert!(ReferenceMonitor::decide(l(2, 0), l(1, 0), AccessKind::Read).granted());
+        assert_eq!(
+            ReferenceMonitor::decide(l(1, 0), l(2, 0), AccessKind::Read),
+            Decision::DenyReadUp
+        );
+        // Compartments deny reads too.
+        assert_eq!(
+            ReferenceMonitor::decide(l(2, 0b01), l(2, 0b10), AccessKind::Read),
+            Decision::DenyReadUp
+        );
+    }
+
+    #[test]
+    fn star_property_no_write_down() {
+        assert!(ReferenceMonitor::decide(l(1, 0), l(2, 0), AccessKind::Write).granted());
+        assert_eq!(
+            ReferenceMonitor::decide(l(2, 0), l(1, 0), AccessKind::Write),
+            Decision::DenyWriteDown
+        );
+    }
+
+    #[test]
+    fn read_write_requires_label_equality() {
+        assert!(ReferenceMonitor::decide(l(1, 0b1), l(1, 0b1), AccessKind::ReadWrite).granted());
+        assert!(!ReferenceMonitor::decide(l(2, 0), l(1, 0), AccessKind::ReadWrite).granted());
+        assert!(!ReferenceMonitor::decide(l(1, 0), l(2, 0), AccessKind::ReadWrite).granted());
+    }
+
+    #[test]
+    fn check_records_every_decision() {
+        let mut m = ReferenceMonitor::new();
+        let _ = m.check(l(1, 0), l(0, 0), AccessKind::Read);
+        let _ = m.check(l(0, 0), l(1, 0), AccessKind::Read);
+        assert_eq!(m.audit().grants(), 1);
+        assert_eq!(m.audit().denials(), 1);
+    }
+
+    #[test]
+    fn violation_display_names_the_rule() {
+        let mut m = ReferenceMonitor::new();
+        let err = m.check(l(0, 0), l(1, 0), AccessKind::Read).unwrap_err();
+        assert!(format!("{err}").contains("no read up"));
+        let err = m.check(l(1, 0), l(0, 0), AccessKind::Write).unwrap_err();
+        assert!(format!("{err}").contains("no write down"));
+    }
+}

@@ -1,0 +1,63 @@
+//! P6 — wall-clock: the threaded Reed-Kanodia primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mx_sync::threaded::EventcountMutex;
+use mx_sync::{EventCount, Sequencer};
+use std::sync::Arc;
+use std::thread;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p6_eventcount");
+
+    g.bench_function("advance_read_uncontended", |b| {
+        let ec = EventCount::new();
+        b.iter(|| {
+            ec.advance();
+            std::hint::black_box(ec.read())
+        })
+    });
+
+    g.bench_function("sequencer_ticket", |b| {
+        let seq = Sequencer::new();
+        b.iter(|| std::hint::black_box(seq.ticket()))
+    });
+
+    g.bench_function("producer_consumer_handoff_1000", |b| {
+        b.iter(|| {
+            let ec = Arc::new(EventCount::new());
+            let consumer = {
+                let ec = Arc::clone(&ec);
+                thread::spawn(move || ec.await_value(1000))
+            };
+            for _ in 0..1000 {
+                ec.advance();
+            }
+            consumer.join().unwrap()
+        })
+    });
+
+    g.bench_function("eventcount_mutex_4x250", |b| {
+        b.iter(|| {
+            let m = Arc::new(EventcountMutex::new(0u64));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        for _ in 0..250 {
+                            m.with(|v| *v += 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            m.with(|v| *v)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! P8 — wall-clock: retranslation vs the descriptor lock bit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::p8_fault_path;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p8_fault_path");
+    g.sample_size(10);
+    g.bench_function("flush_refault_8_pages_x2", |b| {
+        b.iter(|| std::hint::black_box(p8_fault_path(8, 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! F2-F4 — dependency analysis cost (SCC + layering on the registries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("f3_actual_structure_loops", |b| {
+        b.iter(|| {
+            let g = mx_legacy::actual_structure();
+            std::hint::black_box(g.loops())
+        })
+    });
+    c.bench_function("f4_kernel_structure_layers", |b| {
+        b.iter(|| {
+            let g = mx_kernel::kernel_structure();
+            std::hint::black_box(g.layers().expect("loop-free"))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

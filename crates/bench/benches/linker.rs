@@ -1,0 +1,16 @@
+//! P1 — wall-clock: the in-kernel vs user-domain dynamic linker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::p1_linker;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p1_linker");
+    g.sample_size(10);
+    g.bench_function("both_systems_24_symbols", |b| {
+        b.iter(|| std::hint::black_box(p1_linker(24)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! P4 — wall-clock: the memory managers from ample to cramped core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::p4_memory;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p4_memory");
+    g.sample_size(10);
+    for pageable in [56usize, 36] {
+        g.bench_with_input(BenchmarkId::from_parameter(pageable), &pageable, |b, &p| {
+            b.iter(|| std::hint::black_box(p4_memory(&[p], 40, 600, 10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! P2 — wall-clock: buried pathname search vs user-domain expansion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::{p2_namespace, TreeSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2_namespace");
+    g.sample_size(10);
+    g.bench_function("small_tree_4_rounds", |b| {
+        b.iter(|| std::hint::black_box(p2_namespace(TreeSpec::small(), 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! P7 — wall-clock: dynamic quota walk vs static quota cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::p7_quota;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p7_quota");
+    g.sample_size(10);
+    for depth in [2u32, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| std::hint::black_box(p7_quota(&[d], 6)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

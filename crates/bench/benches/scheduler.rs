@@ -1,0 +1,18 @@
+//! P5 — wall-clock: one-level vs two-level processor multiplexing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::p5_scheduler;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p5_scheduler");
+    g.sample_size(10);
+    for procs in [2u32, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &p| {
+            b.iter(|| std::hint::black_box(p5_scheduler(&[p], 40)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

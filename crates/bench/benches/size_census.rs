@@ -1,0 +1,14 @@
+//! T1-T3 — the census engine itself (table regeneration cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mx_census::multics::{standard_transforms, start_of_project};
+use mx_census::size_table;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("t1_size_table", |b| {
+        b.iter(|| std::hint::black_box(size_table(&start_of_project(), &standard_transforms())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                # everything
+//! repro --only f2,t1   # selected experiments (ids per DESIGN.md)
+//! repro --list         # list experiment ids
+//! ```
+
+use mx_bench::{
+    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory,
+    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement,
+    s3_relocation, TreeSpec,
+};
+use mx_census::multics::{standard_transforms, start_of_project, PLI_EQUIVALENT_SHRINK_PERMILLE};
+use mx_census::plan::render_plan;
+use mx_census::report::specialization_estimate;
+use mx_census::{entry_point_stats, size_table, Region};
+use mx_deps::render::{render_audit_costs, render_dot};
+use mx_deps::render_ascii;
+
+const ALL: &[&str] = &[
+    "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8",
+    "s1", "s2", "s3", "a1", "a2",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let mut dot = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                i += 1;
+                if let Some(list) = args.get(i) {
+                    selected.extend(list.split(',').map(|s| s.trim().to_lowercase()));
+                }
+            }
+            "--dot" => dot = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!("================================================================");
+    println!(" The Multics Kernel Design Project — reproduction report");
+    println!(" (Schroeder, Clark, Saltzer; SOSP 1977)");
+    println!("================================================================\n");
+
+    if want("f1") {
+        header("F1", "Figure 1 — the project plan");
+        println!("{}", render_plan());
+    }
+    if want("f2") {
+        header("F2", "Figure 2 — superficial dependency structure (old Multics)");
+        let g = mx_legacy::superficial_structure();
+        println!("{}", render_ascii(&g));
+        if dot {
+            println!("{}", render_dot(&g));
+        }
+    }
+    if want("f3") {
+        header("F3", "Figure 3 — actual dependency structure (old Multics)");
+        let g = mx_legacy::actual_structure();
+        println!("{}", render_ascii(&g));
+        println!("{}", render_audit_costs(&g));
+        let plan = mx_deps::suggest_breaks(&g);
+        println!("{}", mx_deps::advisor::render_plan(&g, &plan));
+        if dot {
+            println!("{}", render_dot(&g));
+        }
+    }
+    if want("f4") {
+        header("F4", "Figure 4 — the new, loop-free Kernel/Multics design");
+        let g = mx_kernel::kernel_structure();
+        println!("{}", render_ascii(&g));
+        println!("{}", render_audit_costs(&g));
+        if dot {
+            println!("{}", render_dot(&g));
+        }
+    }
+    if want("t1") {
+        header("T1", "The kernel-size table");
+        let table = size_table(&start_of_project(), &standard_transforms());
+        println!("{table}");
+    }
+    if want("t2") {
+        header("T2", "Entry-point statistics");
+        let c = start_of_project();
+        let ring0_entries: u32 = c.in_region(Region::RingZero).map(|m| m.entry_points).sum();
+        let ring0_gates: u32 = c.in_region(Region::RingZero).map(|m| m.user_gates).sum();
+        println!("  supervisor entry points        : {ring0_entries} (paper: ~1,200)");
+        println!("  user-callable gates            : {ring0_gates} (paper: 157)");
+        let s = entry_point_stats(&c, "linker");
+        println!(
+            "  linker extraction removes      : {:.1}% of object code (paper: 5%)",
+            s.object_code_pct
+        );
+        println!(
+            "                                   {:.1}% of entry points (paper: 2.5%)",
+            s.entry_point_pct
+        );
+        println!(
+            "                                   {:.1}% of user gates (paper: 11%)",
+            s.user_gate_pct
+        );
+        println!(
+            "  Kernel/Multics user gates      : {} (this reproduction's whole interface)\n",
+            mx_kernel::Kernel::USER_GATES.len()
+        );
+    }
+    if want("t3") {
+        header("T3", "Growth history, recoding factors, specialization");
+        let added: u32 = mx_census::multics::growth_history().iter().map(|e| e.lines_added).sum();
+        println!("  ring zero at the 9/1973 census : 44K source lines");
+        for e in mx_census::multics::growth_history() {
+            println!("    {} +{}K  {}", e.period, e.lines_added / 1000, e.cause);
+        }
+        println!(
+            "  ring zero by 1977              : {}K  (x{:.2}; paper: 'almost doubled')",
+            (44_000 + added) / 1000,
+            (44_000 + added) as f64 / 44_000.0
+        );
+        let c = start_of_project();
+        let equiv: u32 = c
+            .in_region(Region::RingZero)
+            .map(|m| m.pli_equivalent_lines(PLI_EQUIVALENT_SHRINK_PERMILLE))
+            .sum();
+        println!(
+            "  ring zero in uniform PL/I      : {}K (paper: 36K; source 44K)",
+            equiv / 1000
+        );
+        let pct = specialization_estimate(&c, &standard_transforms());
+        println!(
+            "  file-store specialization      : another {pct:.0}% at most (paper: 15-25%)\n"
+        );
+    }
+    if want("p1") {
+        header("P1", "Performance — the dynamic linker");
+        println!("{}", p1_linker(24));
+        println!("  paper: \"the dynamic linker ran somewhat slower when removed\"\n");
+    }
+    if want("p2") {
+        header("P2", "Performance — the name space manager");
+        println!("{}", p2_namespace(TreeSpec::small(), 4));
+        println!("  paper: \"the name space manager ran somewhat faster\"\n");
+    }
+    if want("p3") {
+        header("P3", "Performance — the answering service");
+        let c = p3_answering(10);
+        println!("{c}");
+        println!(
+            "  paper: \"ran about 3% slower\"; measured: {:+.1}%\n",
+            c.kernel_vs_legacy_pct() - 100.0
+        );
+    }
+    if want("p4") {
+        header("P4", "Performance — the memory manager (ample -> cramped core)");
+        let rows = p4_memory(&[80, 56, 44, 36], 40, 1500, 10);
+        println!(
+            "  {:>7} {:>14} {:>9} {:>14} {:>14} {:>9}",
+            "pgable", "old cycles", "faults", "new total", "new user", "faults"
+        );
+        for r in &rows {
+            println!(
+                "  {:>7} {:>14} {:>9} {:>14} {:>14} {:>9}",
+                r.frames,
+                r.legacy_cycles,
+                r.legacy_faults,
+                r.kernel_total_cycles,
+                r.kernel_user_cycles,
+                r.kernel_faults
+            );
+        }
+        println!(
+            "  paper: \"the performance impact of the new design would be negative, but \
+             not\n  significant unless the system were cramped for memory and thrashing\"\n"
+        );
+    }
+    if want("p5") {
+        header("P5", "Performance — one-level vs two-level processor multiplexing");
+        let rows = p5_scheduler(&[1, 2, 3, 6, 10], 60);
+        println!(
+            "  {:>6} {:>16} {:>16} {:>12}",
+            "procs", "old cyc/disp", "new cyc/disp", "cheap VP %"
+        );
+        for r in &rows {
+            println!(
+                "  {:>6} {:>16} {:>16} {:>11.0}%",
+                r.processes, r.legacy_cycles, r.kernel_cycles, r.cheap_switch_pct
+            );
+        }
+        println!("  paper: \"a performance about the same as the current system\"\n");
+    }
+    if want("p6") {
+        header("P6", "The eventcount substrate (deterministic counters)");
+        let mut table = mx_sync::EventTable::new();
+        let ec = table.create();
+        for w in 0..4 {
+            table.await_value(ec, u64::from(w) / 2 + 1, mx_sync::WaiterId(w));
+        }
+        let woke1 = table.advance(ec).len();
+        let woke2 = table.advance(ec).len();
+        println!(
+            "  4 waiters on thresholds 1,1,2,2: advance #1 wakes {woke1}, advance #2 wakes {woke2}"
+        );
+        println!("  the advancer never names a waiter: broadcast, receiver-blind");
+        println!("  (wall-clock threaded measurements: `cargo bench --bench eventcount`)\n");
+    }
+    if want("p7") {
+        header("P7", "Performance — quota: dynamic walk vs static cell");
+        let rows = p7_quota(&[1, 2, 4, 6, 8], 6);
+        println!(
+            "  {:>6} {:>16} {:>12} {:>16}",
+            "depth", "old cyc/grow", "walk levels", "new cyc/grow"
+        );
+        for r in &rows {
+            println!(
+                "  {:>6} {:>16} {:>12.1} {:>16}",
+                r.depth, r.legacy_cycles, r.legacy_walk_levels, r.kernel_cycles
+            );
+        }
+        println!("  the new design's growth cost is depth-blind: the cell is named, not found\n");
+    }
+    if want("p8") {
+        header("P8", "Performance — missing-page service and the lock window");
+        println!("{}", p8_fault_path(8, 4));
+        println!();
+    }
+    if want("a1") {
+        header("A1", "Ablation — the name-space prefix cache");
+        println!("{}", a1_namespace_cache(TreeSpec::small(), 4));
+        println!();
+    }
+    if want("a2") {
+        header("A2", "Ablation — the purifier's idle-priority execution");
+        println!("{}", a2_purifier_idle(36, 40, 1200, 10));
+        println!();
+    }
+    if want("s1") {
+        header("S1", "Semantics — mythical identifiers");
+        println!("{}", s1_mythical_identifiers());
+    }
+    if want("s2") {
+        header("S2", "Semantics — zero-page accounting vs confinement");
+        println!("{}", s2_confinement());
+    }
+    if want("s3") {
+        header("S3", "Semantics — full packs and the upward signal");
+        println!("{}", s3_relocation());
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("----------------------------------------------------------------");
+    println!(" [{id}] {title}");
+    println!("----------------------------------------------------------------");
+}

@@ -1,0 +1,18 @@
+//! Workloads and experiment drivers for every table and figure.
+//!
+//! Each experiment in DESIGN.md's index has a driver here that builds
+//! both systems (the looped 1974 supervisor from `mx-legacy` and the
+//! loop-free Kernel/Multics from `mx-kernel` + `mx-user`), runs the same
+//! synthetic workload on each, and reports deterministic simulated-cycle
+//! results. The `repro` binary prints them all; the Criterion benches
+//! under `benches/` re-measure the same drivers in wall-clock time.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::{
+    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path,
+    s1_mythical_identifiers, s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow,
+    SchedulerRow,
+};
+pub use workload::{RefString, TreeSpec};

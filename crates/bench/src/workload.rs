@@ -1,0 +1,148 @@
+//! Synthetic workload generators.
+//!
+//! The paper's installation workloads (AFDSC time-sharing users) are
+//! gone; these generators produce the same *kinds* of load — directory
+//! trees, page reference strings with locality, login sessions, link
+//! traces — deterministically from a seed, so both systems see byte-
+//! identical work.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated directory tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeSpec {
+    /// Directory depth below the root.
+    pub depth: u32,
+    /// Subdirectories per directory on the spine.
+    pub fanout: u32,
+    /// Data segments in each leaf directory.
+    pub files_per_dir: u32,
+}
+
+impl TreeSpec {
+    /// A small default: depth 3, fanout 2, 3 files per directory.
+    pub fn small() -> Self {
+        Self { depth: 3, fanout: 2, files_per_dir: 3 }
+    }
+
+    /// Enumerates the full `>`-separated paths of every data segment
+    /// the spec implies (directories are `d<i>`, files `f<j>`).
+    pub fn file_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        fn walk(prefix: &str, level: u32, spec: &TreeSpec, out: &mut Vec<String>) {
+            if level == spec.depth {
+                for f in 0..spec.files_per_dir {
+                    out.push(format!("{prefix}>f{f}"));
+                }
+                return;
+            }
+            for d in 0..spec.fanout {
+                walk(&format!("{prefix}>d{d}"), level + 1, spec, out);
+            }
+        }
+        walk("", 0, self, &mut paths);
+        paths
+    }
+
+    /// Enumerates every directory path, shallowest first.
+    pub fn dir_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        fn walk(prefix: &str, level: u32, spec: &TreeSpec, out: &mut Vec<String>) {
+            if level == spec.depth {
+                return;
+            }
+            for d in 0..spec.fanout {
+                let p = format!("{prefix}>d{d}");
+                out.push(p.clone());
+                walk(&p, level + 1, spec, out);
+            }
+        }
+        walk("", 0, self, &mut paths);
+        paths
+    }
+}
+
+/// A page reference string with temporal locality.
+#[derive(Debug, Clone)]
+pub struct RefString {
+    /// `(page, is_write)` references.
+    pub refs: Vec<(u32, bool)>,
+}
+
+impl RefString {
+    /// Generates `len` references over `pages` pages: a moving working
+    /// set of `working_set` pages captures 90% of references, the rest
+    /// are uniform; one third of references are writes.
+    pub fn generate(seed: u64, pages: u32, len: usize, working_set: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ws = working_set.clamp(1, pages);
+        let mut base = 0u32;
+        let mut refs = Vec::with_capacity(len);
+        for i in 0..len {
+            // Drift the working set every 64 references.
+            if i % 64 == 63 {
+                base = (base + rng.gen_range(0..ws)) % pages;
+            }
+            let page = if rng.gen_range(0..10) < 9 {
+                (base + rng.gen_range(0..ws)) % pages
+            } else {
+                rng.gen_range(0..pages)
+            };
+            let write = rng.gen_range(0..3) == 0;
+            refs.push((page, write));
+        }
+        Self { refs }
+    }
+
+    /// Number of distinct pages touched.
+    pub fn distinct_pages(&self) -> usize {
+        let mut seen: Vec<u32> = self.refs.iter().map(|(p, _)| *p).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// Deterministic pseudo-user names for session workloads.
+pub fn user_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("user{i:03}")).collect()
+}
+
+/// A deterministic library symbol list.
+pub fn symbol_table(n: usize) -> Vec<(String, u32)> {
+    (0..n).map(|i| (format!("entry_{i:04}"), 100 + i as u32 * 8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_paths_match_spec_arithmetic() {
+        let spec = TreeSpec { depth: 2, fanout: 3, files_per_dir: 2 };
+        let files = spec.file_paths();
+        assert_eq!(files.len(), 9 * 2, "fanout^depth leaves × files");
+        assert!(files[0].starts_with(">d0>d0>f0"));
+        let dirs = spec.dir_paths();
+        assert_eq!(dirs.len(), 3 + 9, "3 at level 1, 9 at level 2");
+    }
+
+    #[test]
+    fn ref_string_is_deterministic_and_local() {
+        let a = RefString::generate(7, 64, 1000, 8);
+        let b = RefString::generate(7, 64, 1000, 8);
+        assert_eq!(a.refs, b.refs);
+        assert!(a.distinct_pages() <= 64);
+        // Locality: far fewer distinct pages than references.
+        assert!(a.distinct_pages() < 400);
+        let c = RefString::generate(8, 64, 1000, 8);
+        assert_ne!(a.refs, c.refs, "seeds differ");
+    }
+
+    #[test]
+    fn helpers_are_deterministic() {
+        assert_eq!(user_names(2), vec!["user000", "user001"]);
+        assert_eq!(symbol_table(1), vec![("entry_0000".to_string(), 100)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Kernel-size census engine and the Multics 1973/1977 catalogue.
+//!
+//! The paper's evaluation of kernel *size* is a census: count the source
+//! lines that must be believed for security (ring-zero programs plus the
+//! trusted processes such as the Answering Service), then measure how much
+//! each restructuring project removes. "The most useful and consistent
+//! measure of the kernel size seems to be the number of source lines that
+//! would exist had the system been coded uniformly in PL/I."
+//!
+//! This crate makes that census *runnable*: a [`Catalogue`] of module
+//! records (region, language, source lines, entry points, gates, object
+//! code), a set of [`Transform`]s that model the restructuring projects
+//! (extracting a subsystem to the user domain leaving a residue; recoding
+//! assembly in PL/I), and report builders that regenerate the paper's
+//! size table, entry-point statistics, growth history, and the
+//! file-store specialization estimate. The historical numbers live in
+//! [`multics`], encoded as data, so every figure the paper quotes is the
+//! *output* of the engine rather than a constant in a report.
+
+pub mod catalogue;
+pub mod multics;
+pub mod plan;
+pub mod report;
+pub mod transform;
+
+pub use catalogue::{Catalogue, Language, ModuleRecord, Region};
+pub use plan::{project_plan, PlanBox, PlanStatus};
+pub use report::{entry_point_stats, size_table, EntryPointStats, SizeTable};
+pub use transform::{Reduction, Transform};

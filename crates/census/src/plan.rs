@@ -1,0 +1,134 @@
+//! The project plan — Figure 1 as data.
+//!
+//! Six boxes from "Multics" to "Certified Kernel/Multics", with the
+//! status the paper reports (boxes 1–3 complete when the Air Force
+//! suspended work in October 1976; 4 in progress; 5–6 planned).
+
+/// Completion status of a plan box as of the paper's writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStatus {
+    /// Carried through to completion.
+    Completed,
+    /// Under way but unfinished.
+    InProgress,
+    /// Described but not begun.
+    Planned,
+}
+
+/// One box of Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanBox {
+    /// Box number in the figure.
+    pub number: u32,
+    /// What the box does.
+    pub title: &'static str,
+    /// What it produces.
+    pub output: &'static str,
+    /// Box numbers this one consumes.
+    pub inputs: Vec<u32>,
+    /// Status at the time of the paper.
+    pub status: PlanStatus,
+}
+
+/// The full plan of Figure 1.
+pub fn project_plan() -> Vec<PlanBox> {
+    vec![
+        PlanBox {
+            number: 1,
+            title: "Add Access Isolation Mechanism (AIM) to Multics",
+            output: "Multics with AIM",
+            inputs: vec![],
+            status: PlanStatus::Completed,
+        },
+        PlanBox {
+            number: 2,
+            title: "Install for practical experience with AIM functions",
+            output: "operational experience (AFDSC, then the standard product)",
+            inputs: vec![1],
+            status: PlanStatus::Completed,
+        },
+        PlanBox {
+            number: 3,
+            title: "Experiment with alternative internal structures",
+            output: "simplifying ideas proven by trial implementation",
+            inputs: vec![1],
+            status: PlanStatus::Completed,
+        },
+        PlanBox {
+            number: 4,
+            title: "Devise formal specifications for Multics supervisor",
+            output: "specifications for Kernel/Multics",
+            inputs: vec![1, 3],
+            status: PlanStatus::InProgress,
+        },
+        PlanBox {
+            number: 5,
+            title: "Reimplement the central supervisor (type extension, EUCLID)",
+            output: "implemented Kernel/Multics",
+            inputs: vec![3, 4],
+            status: PlanStatus::Planned,
+        },
+        PlanBox {
+            number: 6,
+            title: "Certify compliance with specifications",
+            output: "certified Kernel/Multics",
+            inputs: vec![4, 5],
+            status: PlanStatus::Planned,
+        },
+    ]
+}
+
+/// Renders the plan as an indented ASCII figure.
+pub fn render_plan() -> String {
+    let mut out = String::from("Figure 1 -- Plan for a certifiable security kernel for Multics\n");
+    for b in project_plan() {
+        let status = match b.status {
+            PlanStatus::Completed => "DONE",
+            PlanStatus::InProgress => "in progress",
+            PlanStatus::Planned => "planned",
+        };
+        let inputs = if b.inputs.is_empty() {
+            String::from("Multics")
+        } else {
+            b.inputs.iter().map(|i| format!("box {i}")).collect::<Vec<_>>().join(" + ")
+        };
+        out.push_str(&format!(
+            "  [{}] {} \n      from: {}  ->  {}   ({})\n",
+            b.number, b.title, inputs, b.output, status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_boxes_with_first_three_complete() {
+        let plan = project_plan();
+        assert_eq!(plan.len(), 6);
+        for b in &plan[..3] {
+            assert_eq!(b.status, PlanStatus::Completed, "box {} should be done", b.number);
+        }
+        assert_eq!(plan[3].status, PlanStatus::InProgress);
+    }
+
+    #[test]
+    fn inputs_reference_earlier_boxes_only() {
+        for b in project_plan() {
+            for i in &b.inputs {
+                assert!(*i < b.number, "box {} consumes later box {i}", b.number);
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_box() {
+        let s = render_plan();
+        for n in 1..=6 {
+            assert!(s.contains(&format!("[{n}]")));
+        }
+        assert!(s.contains("EUCLID"));
+    }
+}

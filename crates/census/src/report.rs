@@ -1,0 +1,188 @@
+//! Report builders: the size table, entry-point statistics, growth, and
+//! the specialization estimate.
+
+use crate::catalogue::{Catalogue, Region};
+use crate::transform::{Reduction, Transform};
+
+/// The paper's kernel-size table, regenerated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeTable {
+    /// Ring-zero source lines at the start.
+    pub start_ring_zero: u32,
+    /// Answering-Service (trusted process) lines at the start.
+    pub start_answering_service: u32,
+    /// Kernel total at the start.
+    pub start_total: u32,
+    /// One row per restructuring project.
+    pub reductions: Vec<Reduction>,
+    /// Sum of all reductions.
+    pub total_reduction: u32,
+    /// Kernel lines remaining after all projects.
+    pub final_total: u32,
+}
+
+impl core::fmt::Display for SizeTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Kernel Size, Start of Project")?;
+        writeln!(f, "  {:>6}K ring 0", self.start_ring_zero / 1000)?;
+        writeln!(f, "  {:>6}K Answering Service", self.start_answering_service / 1000)?;
+        writeln!(f, "  {:>6}K TOTAL", self.start_total / 1000)?;
+        writeln!(f)?;
+        writeln!(f, "Reductions")?;
+        for r in &self.reductions {
+            writeln!(f, "  {:<24}{}K", r.label, r.lines_removed / 1000)?;
+        }
+        writeln!(f, "  {:<24}{}K", "TOTAL", self.total_reduction / 1000)?;
+        writeln!(f)?;
+        writeln!(f, "Resulting kernel: {}K source lines", self.final_total / 1000)
+    }
+}
+
+/// Applies `transforms` to a copy of `catalogue` and builds the table.
+pub fn size_table(catalogue: &Catalogue, transforms: &[Transform]) -> SizeTable {
+    let mut working = catalogue.clone();
+    let start_ring_zero = working.source_lines_in(Region::RingZero);
+    let start_answering_service = working.source_lines_in(Region::TrustedProcess)
+        + working.source_lines_in(Region::OuterRing);
+    let start_total = working.kernel_source_lines();
+    let reductions: Vec<Reduction> = transforms.iter().map(|t| t.apply(&mut working)).collect();
+    let total_reduction = reductions.iter().map(|r| r.lines_removed).sum();
+    SizeTable {
+        start_ring_zero,
+        start_answering_service,
+        start_total,
+        reductions,
+        total_reduction,
+        final_total: working.kernel_source_lines(),
+    }
+}
+
+/// Entry-point statistics for one extraction project.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryPointStats {
+    /// Project tag examined.
+    pub tag: String,
+    /// Percent of kernel object code the tagged modules carry.
+    pub object_code_pct: f64,
+    /// Percent of kernel entry points removed by extracting them.
+    pub entry_point_pct: f64,
+    /// Percent of user-callable gates removed.
+    pub user_gate_pct: f64,
+}
+
+/// Computes, for the modules tagged `tag`, the share of ring-zero
+/// supervisor object code, entry points, and user gates they represent —
+/// the statistics the paper reports for the linker extraction
+/// (5% / 2.5% / 11%). The scope is ring zero because that is the
+/// population the paper's 1,200-entry / 157-gate counts describe.
+pub fn entry_point_stats(catalogue: &Catalogue, tag: &str) -> EntryPointStats {
+    let kernel = |f: &dyn Fn(&crate::catalogue::ModuleRecord) -> u32| -> (u32, u32) {
+        let total: u32 = catalogue.in_region(Region::RingZero).map(|m| f(m)).sum();
+        let tagged: u32 = catalogue
+            .in_region(Region::RingZero)
+            .filter(|m| m.has_tag(tag))
+            .map(f)
+            .sum();
+        (tagged, total)
+    };
+    let pct = |(tagged, total): (u32, u32)| {
+        if total == 0 { 0.0 } else { tagged as f64 / total as f64 * 100.0 }
+    };
+    EntryPointStats {
+        tag: tag.to_string(),
+        object_code_pct: pct(kernel(&|m| m.object_words)),
+        entry_point_pct: pct(kernel(&|m| m.entry_points)),
+        user_gate_pct: pct(kernel(&|m| m.user_gates)),
+    }
+}
+
+/// The file-store specialization estimate: how much more of the (already
+/// reduced) kernel could go if the system served only network file
+/// storage, with no general-purpose user programming. The paper: "at most
+/// another 15 to 25%".
+pub fn specialization_estimate(catalogue: &Catalogue, transforms: &[Transform]) -> f64 {
+    let mut working = catalogue.clone();
+    for t in transforms {
+        t.apply(&mut working);
+    }
+    let remaining = working.kernel_source_lines();
+    let removable = working.kernel_lines_tagged("general-purpose-only");
+    if remaining == 0 {
+        0.0
+    } else {
+        removable as f64 / remaining as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multics::{standard_transforms, start_of_project};
+
+    #[test]
+    fn the_papers_size_table_is_reproduced_exactly() {
+        let table = size_table(&start_of_project(), &standard_transforms());
+        assert_eq!(table.start_ring_zero, 44_000);
+        assert_eq!(table.start_answering_service, 10_000);
+        assert_eq!(table.start_total, 54_000);
+        let rows: Vec<(&str, u32)> =
+            table.reductions.iter().map(|r| (r.label.as_str(), r.lines_removed)).collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Linker", 2000),
+                ("Name Manager", 1000),
+                ("Answering Service", 9000),
+                ("Network I/O", 6000),
+                ("Initialization", 2000),
+                ("Exclusive use of PL/I", 8000),
+            ]
+        );
+        assert_eq!(table.total_reduction, 28_000);
+        assert_eq!(table.final_total, 26_000, "roughly half the starting kernel");
+    }
+
+    #[test]
+    fn table_display_matches_the_papers_shape() {
+        let table = size_table(&start_of_project(), &standard_transforms());
+        let s = format!("{table}");
+        assert!(s.contains("44K ring 0"));
+        assert!(s.contains("10K Answering Service"));
+        assert!(s.contains("54K TOTAL"));
+        assert!(s.contains("Exclusive use of PL/I   8K"));
+        assert!(s.contains("TOTAL                   28K"));
+    }
+
+    #[test]
+    fn linker_entry_point_statistics() {
+        let stats = entry_point_stats(&start_of_project(), "linker");
+        assert!(
+            (4.0..=6.0).contains(&stats.object_code_pct),
+            "linker object share {:.1}% (paper: 5%)",
+            stats.object_code_pct
+        );
+        assert!(
+            (2.0..=3.0).contains(&stats.entry_point_pct),
+            "linker entry share {:.2}% (paper: 2.5%)",
+            stats.entry_point_pct
+        );
+        assert!(
+            (10.0..=12.0).contains(&stats.user_gate_pct),
+            "linker gate share {:.1}% (paper: 11%)",
+            stats.user_gate_pct
+        );
+    }
+
+    #[test]
+    fn specialization_saves_15_to_25_percent_more() {
+        let pct = specialization_estimate(&start_of_project(), &standard_transforms());
+        assert!((15.0..=25.0).contains(&pct), "specialization estimate {pct:.1}%");
+    }
+
+    #[test]
+    fn transforms_do_not_mutate_the_input_catalogue() {
+        let c = start_of_project();
+        let _ = size_table(&c, &standard_transforms());
+        assert_eq!(c.kernel_source_lines(), 54_000);
+    }
+}

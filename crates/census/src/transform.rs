@@ -1,0 +1,195 @@
+//! Restructuring transformations over a catalogue.
+//!
+//! Each of the paper's engineering projects is modelled as a program over
+//! the module catalogue: *extraction* moves tagged modules out of the
+//! kernel into the user domain, optionally leaving a small residue module
+//! behind (the network demultiplexer, the sub-1000-line Answering Service
+//! core); *recoding* converts every remaining assembly module to PL/I,
+//! shrinking source by the measured factor while growing object code.
+
+use crate::catalogue::{Catalogue, Language, ModuleRecord, Region};
+
+/// One restructuring step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transform {
+    /// Move every kernel module tagged `tag` to the user domain; if
+    /// `residue_lines > 0`, leave behind a kernel module
+    /// `"<tag>-residue"` of that many PL/I lines (with
+    /// `residue_entry_points` entries, all of them gates).
+    Extract {
+        /// Human-readable project name for the reduction table row.
+        label: String,
+        /// Tag selecting the modules to move.
+        tag: String,
+        /// Kernel lines left behind as a protected residue.
+        residue_lines: u32,
+        /// Entry points of the residue module.
+        residue_entry_points: u32,
+    },
+    /// Recode every remaining kernel assembly module in PL/I: source
+    /// lines shrink by `source_shrink_permille`/1000, object words grow
+    /// by `object_growth_permille`/1000.
+    RecodePli {
+        /// Human-readable project name for the reduction table row.
+        label: String,
+        /// Source-line multiplier, permille (the paper: slightly more
+        /// than a factor of two shrink → 500 reproduces the table's
+        /// arithmetic).
+        source_shrink_permille: u32,
+        /// Object-code multiplier, permille (the paper: somewhat more
+        /// than a factor of two growth → 2200).
+        object_growth_permille: u32,
+    },
+}
+
+impl Transform {
+    /// The reduction-table row label.
+    pub fn label(&self) -> &str {
+        match self {
+            Transform::Extract { label, .. } | Transform::RecodePli { label, .. } => label,
+        }
+    }
+
+    /// Applies the transformation in place and reports the kernel-line
+    /// reduction it achieved.
+    pub fn apply(&self, catalogue: &mut Catalogue) -> Reduction {
+        let before = catalogue.kernel_source_lines();
+        match self {
+            Transform::Extract { tag, residue_lines, residue_entry_points, .. } => {
+                let mut moved_any = false;
+                for m in &mut catalogue.modules {
+                    if m.region.in_kernel() && m.has_tag(tag) {
+                        m.region = Region::UserDomain;
+                        moved_any = true;
+                    }
+                }
+                if moved_any && *residue_lines > 0 {
+                    catalogue.push(ModuleRecord {
+                        name: format!("{tag}-residue"),
+                        region: Region::RingZero,
+                        language: Language::Pli,
+                        source_lines: *residue_lines,
+                        object_words: residue_lines * 3,
+                        entry_points: *residue_entry_points,
+                        user_gates: *residue_entry_points,
+                        tags: vec![format!("{tag}-residue")],
+                    });
+                }
+            }
+            Transform::RecodePli { source_shrink_permille, object_growth_permille, .. } => {
+                for m in &mut catalogue.modules {
+                    if m.region.in_kernel() && m.language == Language::Assembly {
+                        m.source_lines = (u64::from(m.source_lines)
+                            * u64::from(*source_shrink_permille)
+                            / 1000) as u32;
+                        m.object_words = (u64::from(m.object_words)
+                            * u64::from(*object_growth_permille)
+                            / 1000) as u32;
+                        m.language = Language::Pli;
+                    }
+                }
+            }
+        }
+        let after = catalogue.kernel_source_lines();
+        Reduction { label: self.label().to_string(), lines_removed: before.saturating_sub(after) }
+    }
+}
+
+/// One row of the paper's reduction table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// Project name.
+    pub label: String,
+    /// Kernel source lines removed.
+    pub lines_removed: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Catalogue {
+        let mut c = Catalogue::new("t");
+        c.push(ModuleRecord {
+            name: "net".into(),
+            region: Region::RingZero,
+            language: Language::Pli,
+            source_lines: 7000,
+            object_words: 21_000,
+            entry_points: 80,
+            user_gates: 10,
+            tags: vec!["network".into()],
+        });
+        c.push(ModuleRecord {
+            name: "pagectl-asm".into(),
+            region: Region::RingZero,
+            language: Language::Assembly,
+            source_lines: 4000,
+            object_words: 4000,
+            entry_points: 20,
+            user_gates: 0,
+            tags: vec![],
+        });
+        c
+    }
+
+    #[test]
+    fn extract_moves_tagged_modules_and_leaves_residue() {
+        let mut c = base();
+        let t = Transform::Extract {
+            label: "Network I/O".into(),
+            tag: "network".into(),
+            residue_lines: 1000,
+            residue_entry_points: 6,
+        };
+        let r = t.apply(&mut c);
+        assert_eq!(r.lines_removed, 6000, "7000 out, 1000 residue back");
+        assert_eq!(c.find("net").unwrap().region, Region::UserDomain);
+        let residue = c.find("network-residue").unwrap();
+        assert_eq!(residue.source_lines, 1000);
+        assert!(residue.region.in_kernel());
+    }
+
+    #[test]
+    fn extract_of_absent_tag_changes_nothing() {
+        let mut c = base();
+        let t = Transform::Extract {
+            label: "x".into(),
+            tag: "no-such-tag".into(),
+            residue_lines: 1000,
+            residue_entry_points: 1,
+        };
+        let r = t.apply(&mut c);
+        assert_eq!(r.lines_removed, 0);
+        assert!(c.find("no-such-tag-residue").is_none(), "no residue without extraction");
+    }
+
+    #[test]
+    fn recode_shrinks_source_and_grows_object() {
+        let mut c = base();
+        let t = Transform::RecodePli {
+            label: "Exclusive use of PL/I".into(),
+            source_shrink_permille: 500,
+            object_growth_permille: 2200,
+        };
+        let r = t.apply(&mut c);
+        assert_eq!(r.lines_removed, 2000);
+        let m = c.find("pagectl-asm").unwrap();
+        assert_eq!(m.language, Language::Pli);
+        assert_eq!(m.source_lines, 2000);
+        assert_eq!(m.object_words, 8800);
+    }
+
+    #[test]
+    fn recode_leaves_pli_modules_alone() {
+        let mut c = base();
+        let before = c.find("net").unwrap().clone();
+        Transform::RecodePli {
+            label: "r".into(),
+            source_shrink_permille: 500,
+            object_growth_permille: 2200,
+        }
+        .apply(&mut c);
+        assert_eq!(c.find("net").unwrap(), &before);
+    }
+}

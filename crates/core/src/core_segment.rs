@@ -1,0 +1,165 @@
+//! The Core Segment Manager — the bottom of the lattice.
+//!
+//! "The core segments are allocated when the system is initialized and
+//! thereafter the only available operations on them are the processor
+//! read and write operations. A core segment can be used by any system
+//! module to contain maps or programs and their temporary storage without
+//! fear of creating a dependency loop. Use must be tempered, however, by
+//! the facts that the number of core segments is fixed, the size of a
+//! core segment cannot change, and core segments are permanently resident
+//! in primary memory."
+//!
+//! The manager is "implemented by system initialization code and by the
+//! processor hardware": after [`CoreSegmentManager::seal`] no further
+//! allocation is possible, and the remaining interface is word read /
+//! word write.
+
+use crate::error::KernelError;
+use mx_hw::{AbsAddr, FrameNo, MainMemory, Word, PAGE_WORDS};
+
+/// Names one core segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreSegId(pub u32);
+
+#[derive(Debug, Clone, Copy)]
+struct CoreSeg {
+    base: FrameNo,
+    frames: u32,
+}
+
+/// The fixed pool of permanently resident core segments.
+#[derive(Debug, Clone)]
+pub struct CoreSegmentManager {
+    segs: Vec<CoreSeg>,
+    next_frame: u32,
+    limit_frame: u32,
+    sealed: bool,
+}
+
+impl CoreSegmentManager {
+    /// Prepares to allocate core segments out of frames
+    /// `[first_frame, first_frame + frames)`.
+    pub fn new(first_frame: u32, frames: u32) -> Self {
+        Self {
+            segs: Vec::new(),
+            next_frame: first_frame,
+            limit_frame: first_frame + frames,
+            sealed: false,
+        }
+    }
+
+    /// Allocates a core segment of `frames` frames during initialization.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TableFull`] once the region is exhausted or the
+    /// manager is sealed.
+    pub fn allocate(&mut self, frames: u32) -> Result<CoreSegId, KernelError> {
+        if self.sealed || self.next_frame + frames > self.limit_frame {
+            return Err(KernelError::TableFull("core segment"));
+        }
+        let id = CoreSegId(self.segs.len() as u32);
+        self.segs.push(CoreSeg { base: FrameNo(self.next_frame), frames });
+        self.next_frame += frames;
+        Ok(id)
+    }
+
+    /// Ends initialization: no further core segments can ever exist.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Number of core segments.
+    pub fn count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Size of a core segment in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn size_words(&self, id: CoreSegId) -> u64 {
+        u64::from(self.segs[id.0 as usize].frames) * PAGE_WORDS as u64
+    }
+
+    /// First frame past the core-segment region (for carving the
+    /// pageable pool).
+    pub fn end_frame(&self) -> u32 {
+        self.next_frame
+    }
+
+    /// Absolute address of a word within a core segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordno` is outside the fixed size — core segments
+    /// cannot change size, so an out-of-range reference is a kernel bug,
+    /// not a fault.
+    pub fn addr(&self, id: CoreSegId, wordno: u64) -> AbsAddr {
+        let seg = self.segs[id.0 as usize];
+        assert!(
+            wordno < u64::from(seg.frames) * PAGE_WORDS as u64,
+            "core segment {} has no word {wordno}",
+            id.0
+        );
+        seg.base.base().add(wordno)
+    }
+
+    /// Reads a word of a core segment (the processor read operation).
+    pub fn read(&self, mem: &MainMemory, id: CoreSegId, wordno: u64) -> Word {
+        mem.read(self.addr(id, wordno))
+    }
+
+    /// Writes a word of a core segment (the processor write operation).
+    pub fn write(&self, mem: &mut MainMemory, id: CoreSegId, wordno: u64, value: Word) {
+        mem.write(self.addr(id, wordno), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_contiguous_and_bounded() {
+        let mut csm = CoreSegmentManager::new(2, 3);
+        let a = csm.allocate(1).unwrap();
+        let b = csm.allocate(2).unwrap();
+        assert_eq!(csm.addr(a, 0), FrameNo(2).base());
+        assert_eq!(csm.addr(b, 0), FrameNo(3).base());
+        assert_eq!(csm.size_words(b), 2 * PAGE_WORDS as u64);
+        assert_eq!(csm.allocate(1), Err(KernelError::TableFull("core segment")));
+        assert_eq!(csm.end_frame(), 5);
+    }
+
+    #[test]
+    fn sealing_forbids_further_allocation() {
+        let mut csm = CoreSegmentManager::new(0, 10);
+        csm.allocate(1).unwrap();
+        csm.seal();
+        assert!(csm.allocate(1).is_err());
+        assert_eq!(csm.count(), 1);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = MainMemory::new(4);
+        let mut csm = CoreSegmentManager::new(1, 2);
+        let seg = csm.allocate(2).unwrap();
+        csm.write(&mut mem, seg, 1500, Word::new(0o77));
+        assert_eq!(csm.read(&mem, seg, 1500), Word::new(0o77));
+        // Word 1500 of a segment based at frame 1 is abs 1024 + 1500.
+        assert_eq!(mem.read(AbsAddr(1024 + 1500)), Word::new(0o77));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no word")]
+    fn fixed_size_is_enforced() {
+        let mut mem = MainMemory::new(4);
+        let mut csm = CoreSegmentManager::new(0, 1);
+        let seg = csm.allocate(1).unwrap();
+        csm.read(&mem, seg, PAGE_WORDS as u64);
+        let _ = &mut mem;
+    }
+}

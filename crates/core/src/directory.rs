@@ -1,0 +1,873 @@
+//! The Directory Manager.
+//!
+//! Directories are segments holding fixed-size entry records; every
+//! operation here reads and writes them *through the segment manager*,
+//! so directory work really pages, really grows, and really charges
+//! quota cells.
+//!
+//! Three of the paper's designs live here:
+//!
+//! * **The single-directory search primitive with mythical
+//!   identifiers** (Bratt, 1975). The kernel does not follow tree names;
+//!   it searches one designated directory for one presented name. If the
+//!   caller can read the directory, the answer is honest. If not — or if
+//!   the "directory" never existed — the primitive *always returns a
+//!   matching identifier*, mythical if necessary, indistinguishable from
+//!   a real one; only an attempt to *use* the final identifier yields
+//!   the uniform "no access". Tree-name expansion itself lives outside
+//!   the kernel, in `mx-user`.
+//!
+//! * **Childless-only quota designation.** A directory may become (or
+//!   stop being) a quota directory only while it has no children, so
+//!   every object's controlling quota cell is fixed at creation — the
+//!   static binding the whole quota design rests on.
+//!
+//! * **The moved-segment signal consumer.** When the upward signal
+//!   arrives (via the gatekeeper), the manager rewrites the directory
+//!   entry of the moved segment with its new pack and TOC index.
+
+use crate::disk_record::DiskRecordManager;
+use crate::error::KernelError;
+use crate::known_segment::{KnownSegmentManager, KstEntry};
+use crate::page_frame::PageFrameManager;
+use crate::quota_cell::QuotaCellManager;
+use crate::segment::SegmentManager;
+use crate::types::{AccessRight, Acl, DiskHome, ObjToken, ProcessId, SegUid, UserId};
+use crate::vproc::VirtualProcessorManager;
+use mx_aim::{AccessKind, CompartmentSet, FlowTracker, Label, Level, ReferenceMonitor};
+use mx_hw::{Machine, PackId, TocIndex, Word};
+use std::collections::HashMap;
+
+/// Words per directory entry record.
+pub const ENTRY_WORDS: u32 = 20;
+
+/// The lower managers a directory operation runs against — everything
+/// below the directory manager in the lattice, bundled for signatures.
+pub struct FsCtx<'a> {
+    /// The machine.
+    pub machine: &'a mut Machine,
+    /// Disk-record manager.
+    pub drm: &'a mut DiskRecordManager,
+    /// Quota-cell manager.
+    pub qcm: &'a mut QuotaCellManager,
+    /// Page-frame manager.
+    pub pfm: &'a mut PageFrameManager,
+    /// Virtual-processor manager (eventcounts for page service).
+    pub vpm: &'a mut VirtualProcessorManager,
+    /// Segment manager.
+    pub segm: &'a mut SegmentManager,
+    /// Information-flow tracker.
+    pub flows: &'a mut FlowTracker,
+    /// The AIM reference monitor: every mandatory-access decision made
+    /// during directory operations is recorded in its audit log.
+    pub monitor: &'a mut ReferenceMonitor,
+}
+
+/// A decoded directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryRecord {
+    /// The named object's uid.
+    pub uid: SegUid,
+    /// Directory?
+    pub is_dir: bool,
+    /// Quota directory?
+    pub quota_dir: bool,
+    /// Disk home.
+    pub home: DiskHome,
+    /// Entry name.
+    pub name: String,
+    /// Discretionary ACL.
+    pub acl: Acl,
+    /// AIM label.
+    pub label: Label,
+    /// Quota limit (quota directories; informational — the live value
+    /// is the cell's).
+    pub quota_limit: u32,
+    /// Controlling quota cell of the object's own pages.
+    pub own_cell: SegUid,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BranchInfo {
+    parent: Option<SegUid>,
+    slot: u32,
+    is_dir: bool,
+    children: u32,
+    /// Cell charged for this object's own pages (fixed at creation).
+    own_cell: SegUid,
+    /// Cell new children will be bound to (own uid if quota directory).
+    child_cell: SegUid,
+    quota_dir: bool,
+    home: DiskHome,
+    label: Label,
+}
+
+/// Experiment counters for the search primitive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirStats {
+    /// Search-primitive invocations.
+    pub searches: u64,
+    /// Mythical identifiers issued.
+    pub mythical_issued: u64,
+    /// Moved-segment signals consumed.
+    pub moves_recorded: u64,
+}
+
+/// The directory object manager.
+#[derive(Debug)]
+pub struct DirectoryManager {
+    branch: HashMap<SegUid, BranchInfo>,
+    real_tokens: HashMap<u64, SegUid>,
+    token_of: HashMap<SegUid, u64>,
+    secret: u64,
+    root: SegUid,
+    next_uid: u64,
+    /// Counters.
+    pub stats: DirStats,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finalizer: deterministic, well distributed.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn pack_name(name: &str) -> [Word; 8] {
+    let mut words = [Word::ZERO; 8];
+    for (i, b) in name.bytes().take(32).enumerate() {
+        let w = i / 4;
+        let shift = (i % 4) as u32 * 9;
+        words[w] = Word::new(words[w].raw() | (u64::from(b) << shift));
+    }
+    words
+}
+
+fn unpack_name(words: &[Word; 8]) -> String {
+    let mut out = String::new();
+    for w in words {
+        for c in 0..4 {
+            let b = ((w.raw() >> (c * 9)) & 0x1FF) as u8;
+            if b == 0 {
+                return out;
+            }
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+fn pack_label(label: Label) -> u64 {
+    u64::from(label.level.0 & 0x7) | (label.compartments.bits() & 0xFF_FFFF) << 3
+}
+
+fn unpack_label(bits: u64) -> Label {
+    Label::new(Level((bits & 0x7) as u8), CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF))
+}
+
+impl DirectoryManager {
+    /// Creates the manager and the root directory (a quota directory
+    /// with `root_quota` pages, public access, system-low label).
+    ///
+    /// # Errors
+    ///
+    /// Disk or table errors from below.
+    pub fn new(ctx: &mut FsCtx<'_>, seed: u64, root_quota: u32) -> Result<Self, KernelError> {
+        let root = SegUid(1);
+        let toc = ctx.drm.create_entry(ctx.machine, PackId(0), root.0)?;
+        let home = DiskHome { pack: PackId(0), toc };
+        ctx.qcm.create_cell(ctx.machine, ctx.drm, root, home, root_quota, Label::BOTTOM)?;
+        let mut dm = Self {
+            branch: HashMap::new(),
+            real_tokens: HashMap::new(),
+            token_of: HashMap::new(),
+            secret: mix(seed ^ 0x6d75_6c74_6963_73),
+            root,
+            next_uid: 2,
+            stats: DirStats::default(),
+        };
+        dm.branch.insert(
+            root,
+            BranchInfo {
+                parent: None,
+                slot: 0,
+                is_dir: true,
+                children: 0,
+                own_cell: root,
+                child_cell: root,
+                quota_dir: true,
+                home,
+                label: Label::BOTTOM,
+            },
+        );
+        ctx.segm.activate(
+            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, root, home, root, true, Label::BOTTOM,
+        )?;
+        ctx.segm.write_word(
+            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, root, 0, Word::ZERO,
+            Label::BOTTOM,
+        )?;
+        Ok(dm)
+    }
+
+    /// The root directory's uid.
+    pub fn root(&self) -> SegUid {
+        self.root
+    }
+
+    /// The (real) token for the root directory.
+    pub fn root_token(&mut self) -> ObjToken {
+        self.real_token(self.root)
+    }
+
+    fn real_token(&mut self, uid: SegUid) -> ObjToken {
+        if let Some(t) = self.token_of.get(&uid) {
+            return ObjToken(*t);
+        }
+        let mut t = mix(uid.0 ^ self.secret);
+        while t == 0 || self.real_tokens.contains_key(&t) {
+            t = mix(t ^ 0x9e37_79b9);
+        }
+        self.real_tokens.insert(t, uid);
+        self.token_of.insert(uid, t);
+        ObjToken(t)
+    }
+
+    fn mythical_token(&mut self, dir_token: ObjToken, name: &str) -> ObjToken {
+        self.stats.mythical_issued += 1;
+        let mut t = mix(dir_token.0 ^ name_hash(name) ^ self.secret.rotate_left(17));
+        // A mythical token must never collide with a real one (that
+        // would grant access); perturb deterministically until clear.
+        while t == 0 || self.real_tokens.contains_key(&t) {
+            t = mix(t ^ 0x51_7c_c1_b7);
+        }
+        ObjToken(t)
+    }
+
+    /// Resolves a token to a uid — kernel internal; user code never sees
+    /// uids.
+    pub fn resolve_token(&self, token: ObjToken) -> Option<SegUid> {
+        self.real_tokens.get(&token.0).copied()
+    }
+
+    /// True if the object exists (kernel internal).
+    pub fn exists(&self, uid: SegUid) -> bool {
+        self.branch.contains_key(&uid)
+    }
+
+    /// The home the manager currently records for an object.
+    pub fn home_of(&self, uid: SegUid) -> Option<DiskHome> {
+        self.branch.get(&uid).map(|b| b.home)
+    }
+
+    /// Everything needed to activate an object: `(home, controlling
+    /// cell, is_dir, label)`. Kernel internal — the gatekeeper uses it
+    /// for process state segments.
+    pub fn activation_info(&self, uid: SegUid) -> Option<(DiskHome, SegUid, bool, Label)> {
+        self.branch.get(&uid).map(|b| (b.home, b.own_cell, b.is_dir, b.label))
+    }
+
+    // ---- entry records in segment storage --------------------------------
+
+    fn entry_base(slot: u32) -> u32 {
+        1 + slot * ENTRY_WORDS
+    }
+
+    pub(crate) fn ensure_active(&self, ctx: &mut FsCtx<'_>, uid: SegUid) -> Result<(), KernelError> {
+        let b = self.branch.get(&uid).ok_or(KernelError::NotActive)?;
+        ctx.segm
+            .activate(ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, uid, b.home, b.own_cell, b.is_dir, b.label)
+            .map(|_| ())
+    }
+
+    fn seg_read(&self, ctx: &mut FsCtx<'_>, uid: SegUid, wordno: u32) -> Result<Word, KernelError> {
+        ctx.segm.read_word(
+            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, uid, wordno,
+            Label::BOTTOM,
+        )
+    }
+
+    fn seg_write(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        uid: SegUid,
+        wordno: u32,
+        value: Word,
+    ) -> Result<(), KernelError> {
+        ctx.segm.write_word(
+            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, uid, wordno, value,
+            Label::BOTTOM,
+        )
+    }
+
+    pub(crate) fn entry_count(&self, ctx: &mut FsCtx<'_>, dir: SegUid) -> Result<u32, KernelError> {
+        Ok(self.seg_read(ctx, dir, 0)?.raw() as u32)
+    }
+
+    /// Reads entry `slot` of directory `dir`; `Ok(None)` for unused
+    /// slots.
+    pub(crate) fn read_entry(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        slot: u32,
+    ) -> Result<Option<EntryRecord>, KernelError> {
+        self.ensure_active(ctx, dir)?;
+        let base = Self::entry_base(slot);
+        let flags = self.seg_read(ctx, dir, base + 1)?.raw();
+        if flags & 1 == 0 {
+            return Ok(None);
+        }
+        let uid = SegUid(self.seg_read(ctx, dir, base)?.raw());
+        let pack = PackId(self.seg_read(ctx, dir, base + 2)?.raw() as u32);
+        let toc = TocIndex(self.seg_read(ctx, dir, base + 3)?.raw() as u32);
+        let mut name_words = [Word::ZERO; 8];
+        for (i, w) in name_words.iter_mut().enumerate() {
+            *w = self.seg_read(ctx, dir, base + 4 + i as u32)?;
+        }
+        let users = self.seg_read(ctx, dir, base + 12)?.raw();
+        let rights = self.seg_read(ctx, dir, base + 13)?.raw();
+        let quota_limit = self.seg_read(ctx, dir, base + 14)?.raw() as u32;
+        let own_cell = SegUid(self.seg_read(ctx, dir, base + 16)?.raw());
+        Ok(Some(EntryRecord {
+            uid,
+            is_dir: flags & 2 != 0,
+            quota_dir: flags & 4 != 0,
+            home: DiskHome { pack, toc },
+            name: unpack_name(&name_words),
+            acl: Acl::unpack(users, rights),
+            label: unpack_label(flags >> 3),
+            quota_limit,
+            own_cell,
+        }))
+    }
+
+    /// Writes a whole entry, setting the in-use flag **last** so a
+    /// retried operation (after an upward signal) never sees a partial
+    /// record.
+    fn write_entry(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        slot: u32,
+        e: &EntryRecord,
+    ) -> Result<(), KernelError> {
+        let base = Self::entry_base(slot);
+        self.seg_write(ctx, dir, base, Word::new(e.uid.0))?;
+        self.seg_write(ctx, dir, base + 2, Word::new(u64::from(e.home.pack.0)))?;
+        self.seg_write(ctx, dir, base + 3, Word::new(u64::from(e.home.toc.0)))?;
+        for (i, w) in pack_name(&e.name).iter().enumerate() {
+            self.seg_write(ctx, dir, base + 4 + i as u32, *w)?;
+        }
+        let (users, rights) = e.acl.pack();
+        self.seg_write(ctx, dir, base + 12, Word::new(users))?;
+        self.seg_write(ctx, dir, base + 13, Word::new(rights))?;
+        self.seg_write(ctx, dir, base + 14, Word::new(u64::from(e.quota_limit)))?;
+        self.seg_write(ctx, dir, base + 16, Word::new(e.own_cell.0))?;
+        let mut flags = 1u64;
+        if e.is_dir {
+            flags |= 2;
+        }
+        if e.quota_dir {
+            flags |= 4;
+        }
+        flags |= pack_label(e.label) << 3;
+        self.seg_write(ctx, dir, base + 1, Word::new(flags))
+    }
+
+    /// The metadata of an object, read from its entry in its superior
+    /// (synthesized for the root: public ACL, system-low label).
+    fn object_meta(&self, ctx: &mut FsCtx<'_>, uid: SegUid) -> Result<EntryRecord, KernelError> {
+        let b = *self.branch.get(&uid).ok_or(KernelError::NoAccess)?;
+        match b.parent {
+            None => Ok(EntryRecord {
+                uid,
+                is_dir: true,
+                quota_dir: b.quota_dir,
+                home: b.home,
+                name: String::new(),
+                acl: Acl::new(), // Root: checked specially (public).
+                label: Label::BOTTOM,
+                quota_limit: 0,
+                own_cell: b.own_cell,
+            }),
+            Some(parent) => self
+                .read_entry(ctx, parent, b.slot)?
+                .ok_or(KernelError::NoAccess),
+        }
+    }
+
+    /// True if (user, label) may search/read the directory.
+    fn can_read_dir(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        label: Label,
+        dir: SegUid,
+    ) -> Result<bool, KernelError> {
+        if dir == self.root {
+            return Ok(true); // The root listing is public.
+        }
+        let meta = self.object_meta(ctx, dir)?;
+        Ok(meta.acl.permits(user, AccessRight::Read)
+            && ctx.monitor.check(label, meta.label, AccessKind::Read).is_ok())
+    }
+
+    /// Scans one directory for `name`; kernel-internal, no access check.
+    fn scan(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        name: &str,
+    ) -> Result<Option<(u32, EntryRecord)>, KernelError> {
+        self.ensure_active(ctx, dir)?;
+        let count = self.entry_count(ctx, dir)?;
+        for slot in 0..count {
+            crate::charge_pli(ctx.machine, 14);
+            if let Some(e) = self.read_entry(ctx, dir, slot)? {
+                if e.name == name {
+                    return Ok(Some((slot, e)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- the kernel primitives -------------------------------------------
+
+    /// **The single-directory search primitive.**
+    ///
+    /// If the caller can read `dir_token`'s directory: an honest answer —
+    /// the entry's identifier, or [`KernelError::NoEntry`].
+    ///
+    /// Otherwise — inaccessible directory, a non-directory, a mythical
+    /// token, garbage — the primitive *always* returns an identifier:
+    /// the real one if the name really is there (so a path that leads to
+    /// an accessible file works), a deterministic mythical one if not.
+    /// The two are indistinguishable.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoEntry`] only in the honest (readable) case.
+    pub fn search(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        label: Label,
+        dir_token: ObjToken,
+        name: &str,
+    ) -> Result<ObjToken, KernelError> {
+        self.stats.searches += 1;
+        let resolved = self.resolve_token(dir_token).filter(|u| self.branch.contains_key(u));
+        let is_real_dir = resolved.is_some_and(|u| self.branch[&u].is_dir);
+        let readable = match resolved {
+            Some(uid) if is_real_dir => self.can_read_dir(ctx, user, label, uid)?,
+            _ => false,
+        };
+        if readable {
+            let dir = resolved.expect("readable implies resolved");
+            return match self.scan(ctx, dir, name)? {
+                Some((_, e)) => Ok(self.real_token(e.uid)),
+                None => Err(KernelError::NoEntry),
+            };
+        }
+        // Not readable: never an error, never information.
+        if is_real_dir {
+            let dir = resolved.expect("real dir");
+            if let Some((_, e)) = self.scan(ctx, dir, name)? {
+                // Real identifier: if the path ultimately reaches an
+                // accessible object, every intervening identifier works.
+                return Ok(self.real_token(e.uid));
+            }
+        }
+        Ok(self.mythical_token(dir_token, name))
+    }
+
+    /// Makes the object behind `token` known to a process, with
+    /// effective access = ACL ∩ AIM fixed at initiation.
+    ///
+    /// A mythical (or otherwise unusable) token yields exactly
+    /// [`KernelError::NoAccess`] — the same answer a real but forbidden
+    /// object yields, so the caller "will be unable to decide whether or
+    /// not the identifier … is real or mythical".
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`], uniformly.
+    pub fn initiate(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        ksm: &mut KnownSegmentManager,
+        pid: ProcessId,
+        user: UserId,
+        plabel: Label,
+        token: ObjToken,
+    ) -> Result<u32, KernelError> {
+        let uid = self.resolve_token(token).ok_or(KernelError::NoAccess)?;
+        let b = *self.branch.get(&uid).ok_or(KernelError::NoAccess)?;
+        let meta = self.object_meta(ctx, uid)?;
+        let aim_read = ctx.monitor.check(plabel, meta.label, AccessKind::Read).is_ok();
+        let aim_write = ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok();
+        let read = meta.acl.permits(user, AccessRight::Read) && aim_read;
+        let write = meta.acl.permits(user, AccessRight::Write) && aim_write;
+        let execute = meta.acl.permits(user, AccessRight::Execute) && aim_read;
+        if !(read || write || execute) {
+            return Err(KernelError::NoAccess);
+        }
+        ksm.bind(
+            pid,
+            KstEntry {
+                uid,
+                home: b.home,
+                cell: b.own_cell,
+                is_dir: b.is_dir,
+                label: meta.label,
+                read,
+                write,
+                execute,
+            },
+        )
+    }
+
+    /// Creates a segment or directory entry in the directory behind
+    /// `dir_token`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] (bad token / no modify permission),
+    /// [`KernelError::AimViolation`], [`KernelError::NameDuplicated`],
+    /// or storage errors — including a propagating upward signal if the
+    /// directory itself had to move while growing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        plabel: Label,
+        dir_token: ObjToken,
+        name: &str,
+        acl: Acl,
+        label: Label,
+        is_dir: bool,
+    ) -> Result<ObjToken, KernelError> {
+        let dir = self.resolve_token(dir_token).ok_or(KernelError::NoAccess)?;
+        let b = *self.branch.get(&dir).ok_or(KernelError::NoAccess)?;
+        if !b.is_dir {
+            return Err(KernelError::NotADirectory);
+        }
+        let meta = self.object_meta(ctx, dir)?;
+        let modify_ok = dir == self.root
+            || (meta.acl.permits(user, AccessRight::Write)
+                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok());
+        if !modify_ok {
+            return Err(KernelError::NoAccess);
+        }
+        if !label.dominates(meta.label) {
+            return Err(KernelError::AimViolation);
+        }
+        if self.scan(ctx, dir, name)?.is_some() {
+            return Err(KernelError::NameDuplicated);
+        }
+        crate::charge_pli(ctx.machine, 160);
+        // Claim a slot: first unused, else extend the count.
+        let count = self.entry_count(ctx, dir)?;
+        let mut slot = count;
+        for s in 0..count {
+            let flags = self.seg_read(ctx, dir, Self::entry_base(s) + 1)?.raw();
+            if flags & 1 == 0 {
+                slot = s;
+                break;
+            }
+        }
+        // Touch the slot's last word first: any growth (and its possible
+        // upward signal) happens before we allocate durable resources.
+        self.seg_write(ctx, dir, Self::entry_base(slot) + ENTRY_WORDS - 1, Word::ZERO)?;
+        if slot == count {
+            self.seg_write(ctx, dir, 0, Word::new(u64::from(count) + 1))?;
+        }
+
+        let uid = SegUid(self.next_uid);
+        self.next_uid += 1;
+        // Cluster children on the parent's pack, falling back to any
+        // pack with table-of-contents room.
+        let toc = ctx.drm.create_entry_anywhere(ctx.machine, b.home.pack, uid.0)?;
+        let own_cell = b.child_cell;
+        let entry = EntryRecord {
+            uid,
+            is_dir,
+            quota_dir: false,
+            home: toc,
+            name: name.to_string(),
+            acl,
+            label,
+            quota_limit: 0,
+            own_cell,
+        };
+        self.write_entry(ctx, dir, slot, &entry)?;
+        self.branch.insert(
+            uid,
+            BranchInfo {
+                parent: Some(dir),
+                slot,
+                is_dir,
+                children: 0,
+                own_cell,
+                child_cell: own_cell,
+                quota_dir: false,
+                home: toc,
+                label,
+            },
+        );
+        self.branch.get_mut(&dir).expect("parent").children += 1;
+        Ok(self.real_token(uid))
+    }
+
+    /// Designates a **childless** directory as a quota directory.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::QuotaDesignation`] if the directory has children
+    /// or already is one; [`KernelError::NoAccess`] for bad tokens or
+    /// missing modify permission.
+    pub fn set_quota_directory(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        plabel: Label,
+        dir_token: ObjToken,
+        limit: u32,
+    ) -> Result<(), KernelError> {
+        let dir = self.resolve_token(dir_token).ok_or(KernelError::NoAccess)?;
+        let b = *self.branch.get(&dir).ok_or(KernelError::NoAccess)?;
+        if !b.is_dir {
+            return Err(KernelError::NotADirectory);
+        }
+        let meta = self.object_meta(ctx, dir)?;
+        if dir != self.root
+            && !(meta.acl.permits(user, AccessRight::Write)
+                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+        {
+            return Err(KernelError::NoAccess);
+        }
+        if b.children > 0 {
+            return Err(KernelError::QuotaDesignation("directory has children"));
+        }
+        if b.quota_dir {
+            return Err(KernelError::QuotaDesignation("already a quota directory"));
+        }
+        ctx.qcm.create_cell(ctx.machine, ctx.drm, dir, b.home, limit, meta.label)?;
+        {
+            let bi = self.branch.get_mut(&dir).expect("branch");
+            bi.quota_dir = true;
+            bi.child_cell = dir;
+        }
+        if let Some(parent) = b.parent {
+            if let Some((slot, mut e)) = self.scan_slot(ctx, parent, b.slot)? {
+                e.quota_dir = true;
+                e.quota_limit = limit;
+                self.write_entry(ctx, parent, slot, &e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a quota designation from a **childless**, uncharged
+    /// quota directory (the inverse operation, restricted identically).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::QuotaDesignation`] if the rules are violated.
+    pub fn clear_quota_directory(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        plabel: Label,
+        dir_token: ObjToken,
+    ) -> Result<(), KernelError> {
+        let dir = self.resolve_token(dir_token).ok_or(KernelError::NoAccess)?;
+        let b = *self.branch.get(&dir).ok_or(KernelError::NoAccess)?;
+        let meta = self.object_meta(ctx, dir)?;
+        if dir != self.root
+            && !(meta.acl.permits(user, AccessRight::Write)
+                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+        {
+            return Err(KernelError::NoAccess);
+        }
+        if b.children > 0 {
+            return Err(KernelError::QuotaDesignation("directory has children"));
+        }
+        if !b.quota_dir {
+            return Err(KernelError::QuotaDesignation("not a quota directory"));
+        }
+        ctx.qcm.destroy_cell(ctx.machine, ctx.drm, dir)?;
+        {
+            let bi = self.branch.get_mut(&dir).expect("branch");
+            bi.quota_dir = false;
+            bi.child_cell = bi.own_cell;
+        }
+        if let Some(parent) = b.parent {
+            if let Some((slot, mut e)) = self.scan_slot(ctx, parent, b.slot)? {
+                e.quota_dir = false;
+                e.quota_limit = 0;
+                self.write_entry(ctx, parent, slot, &e)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn scan_slot(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        slot: u32,
+    ) -> Result<Option<(u32, EntryRecord)>, KernelError> {
+        Ok(self.read_entry(ctx, dir, slot)?.map(|e| (slot, e)))
+    }
+
+    /// Deletes a leaf object named `name` in the directory behind
+    /// `dir_token`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] (uniform), or
+    /// [`KernelError::QuotaDesignation`] when deleting a still-charged
+    /// quota directory.
+    pub fn delete(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        ksm: &mut KnownSegmentManager,
+        user: UserId,
+        plabel: Label,
+        dir_token: ObjToken,
+        name: &str,
+    ) -> Result<(), KernelError> {
+        let dir = self.resolve_token(dir_token).ok_or(KernelError::NoAccess)?;
+        let bdir = *self.branch.get(&dir).ok_or(KernelError::NoAccess)?;
+        let meta = self.object_meta(ctx, dir)?;
+        if dir != self.root
+            && !(meta.acl.permits(user, AccessRight::Write)
+                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+        {
+            return Err(KernelError::NoAccess);
+        }
+        let Some((slot, e)) = self.scan(ctx, dir, name)? else {
+            return Err(KernelError::NoAccess);
+        };
+        let b = *self.branch.get(&e.uid).ok_or(KernelError::NoAccess)?;
+        if b.children > 0 {
+            return Err(KernelError::NoAccess);
+        }
+        if b.quota_dir {
+            // The cell must go first (it must be unreferenced and empty).
+            ctx.qcm.destroy_cell(ctx.machine, ctx.drm, e.uid)?;
+        }
+        if ctx.segm.get(e.uid).is_some() {
+            ctx.segm.deactivate(ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, e.uid)?;
+        }
+        // Uncharge whatever records the object still holds, then free
+        // them with the TOC entry.
+        let records = ctx.drm.records_used(ctx.machine, b.home).unwrap_or(0);
+        if records > 0 {
+            ctx.qcm.uncharge(ctx.machine, b.own_cell, records)?;
+        }
+        ctx.drm.delete_entry(ctx.machine, b.home)?;
+        self.seg_write(ctx, dir, Self::entry_base(slot) + 1, Word::ZERO)?;
+        self.branch.remove(&e.uid);
+        self.branch.get_mut(&dir).expect("parent").children -= 1;
+        let _ = bdir;
+        if let Some(t) = self.token_of.remove(&e.uid) {
+            self.real_tokens.remove(&t);
+        }
+        ksm.refresh_home(e.uid, b.home); // Harmless refresh; KST entries go stale naturally.
+        Ok(())
+    }
+
+    /// Consumes a moved-segment signal: rewrites the directory entry of
+    /// `uid` with its new home and refreshes the branch cache. Invoked
+    /// by the gatekeeper trampoline.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors rewriting the entry.
+    pub fn record_move(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        uid: SegUid,
+        new_home: DiskHome,
+    ) -> Result<(), KernelError> {
+        self.stats.moves_recorded += 1;
+        let b = *self.branch.get(&uid).ok_or(KernelError::NotActive)?;
+        if let Some(parent) = b.parent {
+            let base = Self::entry_base(b.slot);
+            self.seg_write(ctx, parent, base + 2, Word::new(u64::from(new_home.pack.0)))?;
+            self.seg_write(ctx, parent, base + 3, Word::new(u64::from(new_home.toc.0)))?;
+        }
+        self.branch.get_mut(&uid).expect("branch").home = new_home;
+        Ok(())
+    }
+
+    /// Lists the entry names of a directory the caller can read.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] for unreadable or unreal directories.
+    pub fn list(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        user: UserId,
+        label: Label,
+        dir_token: ObjToken,
+    ) -> Result<Vec<String>, KernelError> {
+        let dir = self.resolve_token(dir_token).ok_or(KernelError::NoAccess)?;
+        if !self.branch.get(&dir).is_some_and(|b| b.is_dir) {
+            return Err(KernelError::NoAccess);
+        }
+        if !self.can_read_dir(ctx, user, label, dir)? {
+            return Err(KernelError::NoAccess);
+        }
+        let count = self.entry_count(ctx, dir)?;
+        let mut names = Vec::new();
+        for slot in 0..count {
+            if let Some(e) = self.read_entry(ctx, dir, slot)? {
+                names.push(e.name);
+            }
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_codec_round_trip() {
+        for name in ["x", "alpha.pl1", &"q".repeat(32)] {
+            assert_eq!(unpack_name(&pack_name(name)), name);
+        }
+    }
+
+    #[test]
+    fn label_codec_round_trip() {
+        let l = Label::new(Level(3), CompartmentSet::from_bits(0b1011));
+        assert_eq!(unpack_label(pack_label(l)), l);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+        assert_ne!(name_hash("a"), name_hash("b"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The Disk Record Manager.
+//!
+//! The manager of disk-record objects and table-of-contents entries: the
+//! component layer under both the page-frame manager (records hold
+//! pages) and the quota-cell manager (cells persist in TOC entries).
+//! It wraps the raw pack hardware with kernel error reporting and clock
+//! charges; it knows nothing about segments, directories, or quota.
+
+use crate::error::KernelError;
+use crate::types::DiskHome;
+use mx_hw::{DiskPack, Machine, PackId, RecordNo, TocIndex};
+
+/// The disk-record object manager.
+#[derive(Debug, Default, Clone)]
+pub struct DiskRecordManager {
+    /// Records allocated (experiment counter).
+    pub allocations: u64,
+    /// Full-pack conditions surfaced.
+    pub pack_full_events: u64,
+}
+
+impl DiskRecordManager {
+    /// A fresh manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a TOC entry for a new segment on `pack`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TableFull`] when the TOC is full.
+    pub fn create_entry(
+        &mut self,
+        machine: &mut Machine,
+        pack: PackId,
+        uid: u64,
+    ) -> Result<TocIndex, KernelError> {
+        machine
+            .disks
+            .pack_mut(pack)
+            .map_err(|_| KernelError::TableFull("pack"))?
+            .create_entry(uid)
+            .map_err(|_| KernelError::TableFull("table of contents"))
+    }
+
+    /// Creates a TOC entry on `preferred` if it has room, otherwise on
+    /// any pack with a free slot (fullest-free-records first).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TableFull`] when every TOC in the system is full.
+    pub fn create_entry_anywhere(
+        &mut self,
+        machine: &mut Machine,
+        preferred: PackId,
+        uid: u64,
+    ) -> Result<DiskHome, KernelError> {
+        if let Ok(toc) = self.create_entry(machine, preferred, uid) {
+            return Ok(DiskHome { pack: preferred, toc });
+        }
+        let mut candidates: Vec<(u32, PackId)> = machine
+            .disks
+            .packs()
+            .filter(|p| p.id != preferred)
+            .map(|p| (p.free_records(), p.id))
+            .collect();
+        candidates.sort_by(|a, b| b.cmp(a));
+        for (_, pack) in candidates {
+            if let Ok(toc) = self.create_entry(machine, pack, uid) {
+                return Ok(DiskHome { pack, toc });
+            }
+        }
+        Err(KernelError::TableFull("table of contents"))
+    }
+
+    /// Deletes a TOC entry, freeing its records.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn delete_entry(&mut self, machine: &mut Machine, home: DiskHome) -> Result<(), KernelError> {
+        machine
+            .disks
+            .pack_mut(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .delete_entry(home.toc)
+            .map_err(|_| KernelError::NotActive)
+    }
+
+    /// Allocates a record on `pack`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::AllPacksFull`] on the full-pack condition — the
+    /// caller (the segment manager) decides whether to relocate.
+    pub fn allocate(&mut self, machine: &mut Machine, pack: PackId) -> Result<RecordNo, KernelError> {
+        match machine
+            .disks
+            .pack_mut(pack)
+            .map_err(|_| KernelError::NotActive)?
+            .allocate_record()
+        {
+            Ok(r) => {
+                self.allocations += 1;
+                Ok(r)
+            }
+            Err(_) => {
+                self.pack_full_events += 1;
+                Err(KernelError::AllPacksFull)
+            }
+        }
+    }
+
+    /// Frees a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record was not allocated — only the kernel hands
+    /// out record names, so this is an invariant violation.
+    pub fn free(&self, machine: &mut Machine, pack: PackId, record: RecordNo) {
+        machine
+            .disks
+            .pack_mut(pack)
+            .expect("known pack")
+            .free_record(record)
+            .expect("record was allocated");
+    }
+
+    /// Shared access to a pack (read-only operations).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown pack.
+    pub fn pack<'m>(&self, machine: &'m Machine, pack: PackId) -> Result<&'m DiskPack, KernelError> {
+        machine.disks.pack(pack).map_err(|_| KernelError::NotActive)
+    }
+
+    /// The pack with the most free space, excluding `exclude` — the
+    /// relocation target chooser.
+    pub fn emptiest_other(&self, machine: &Machine, exclude: PackId) -> Option<PackId> {
+        machine.disks.emptiest_pack(exclude)
+    }
+
+    /// The file map entry for page `pageno` of the segment at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn record_of(
+        &self,
+        machine: &Machine,
+        home: DiskHome,
+        pageno: u32,
+    ) -> Result<Option<RecordNo>, KernelError> {
+        let entry = machine
+            .disks
+            .pack(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry(home.toc)
+            .map_err(|_| KernelError::NotActive)?;
+        Ok(entry.file_map.get(pageno as usize).copied().flatten())
+    }
+
+    /// Current length (pages) of the segment at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn len_pages(&self, machine: &Machine, home: DiskHome) -> Result<u32, KernelError> {
+        Ok(machine
+            .disks
+            .pack(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry(home.toc)
+            .map_err(|_| KernelError::NotActive)?
+            .len_pages())
+    }
+
+    /// Records currently charged to the segment at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn records_used(&self, machine: &Machine, home: DiskHome) -> Result<u32, KernelError> {
+        Ok(machine
+            .disks
+            .pack(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry(home.toc)
+            .map_err(|_| KernelError::NotActive)?
+            .records_used())
+    }
+
+    /// Points page `pageno` of the file map at `record` (growing the map
+    /// as needed).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn set_record(
+        &mut self,
+        machine: &mut Machine,
+        home: DiskHome,
+        pageno: u32,
+        record: Option<RecordNo>,
+    ) -> Result<(), KernelError> {
+        let entry = machine
+            .disks
+            .pack_mut(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry_mut(home.toc)
+            .map_err(|_| KernelError::NotActive)?;
+        if entry.file_map.len() <= pageno as usize {
+            entry.file_map.resize(pageno as usize + 1, None);
+        }
+        entry.file_map[pageno as usize] = record;
+        Ok(())
+    }
+
+    /// Reads the on-disk quota cell of the entry at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn read_quota_cell(
+        &self,
+        machine: &Machine,
+        home: DiskHome,
+    ) -> Result<Option<mx_hw::disk::QuotaCellRecord>, KernelError> {
+        Ok(machine
+            .disks
+            .pack(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry(home.toc)
+            .map_err(|_| KernelError::NotActive)?
+            .quota_cell)
+    }
+
+    /// Writes the on-disk quota cell of the entry at `home`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotActive`] for an unknown entry.
+    pub fn write_quota_cell(
+        &mut self,
+        machine: &mut Machine,
+        home: DiskHome,
+        cell: Option<mx_hw::disk::QuotaCellRecord>,
+    ) -> Result<(), KernelError> {
+        machine
+            .disks
+            .pack_mut(home.pack)
+            .map_err(|_| KernelError::NotActive)?
+            .entry_mut(home.toc)
+            .map_err(|_| KernelError::NotActive)?
+            .quota_cell = cell;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_hw::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            packs: 2,
+            records_per_pack: 4,
+            toc_slots_per_pack: 4,
+            ..MachineConfig::kernel_proposed()
+        })
+    }
+
+    #[test]
+    fn entry_and_record_lifecycle() {
+        let mut m = machine();
+        let mut drm = DiskRecordManager::new();
+        let toc = drm.create_entry(&mut m, PackId(0), 42).unwrap();
+        let home = DiskHome { pack: PackId(0), toc };
+        assert_eq!(drm.len_pages(&m, home).unwrap(), 0);
+        let rec = drm.allocate(&mut m, PackId(0)).unwrap();
+        drm.set_record(&mut m, home, 2, Some(rec)).unwrap();
+        assert_eq!(drm.len_pages(&m, home).unwrap(), 3);
+        assert_eq!(drm.records_used(&m, home).unwrap(), 1);
+        assert_eq!(drm.record_of(&m, home, 2).unwrap(), Some(rec));
+        assert_eq!(drm.record_of(&m, home, 0).unwrap(), None, "hole is a zero flag");
+        drm.delete_entry(&mut m, home).unwrap();
+        assert!(drm.len_pages(&m, home).is_err());
+    }
+
+    #[test]
+    fn pack_full_is_surfaced_and_counted() {
+        let mut m = machine();
+        let mut drm = DiskRecordManager::new();
+        for _ in 0..4 {
+            drm.allocate(&mut m, PackId(0)).unwrap();
+        }
+        assert_eq!(drm.allocate(&mut m, PackId(0)), Err(KernelError::AllPacksFull));
+        assert_eq!(drm.pack_full_events, 1);
+        assert_eq!(drm.emptiest_other(&m, PackId(0)), Some(PackId(1)));
+    }
+
+    #[test]
+    fn quota_cell_persists_in_toc() {
+        let mut m = machine();
+        let mut drm = DiskRecordManager::new();
+        let toc = drm.create_entry(&mut m, PackId(1), 7).unwrap();
+        let home = DiskHome { pack: PackId(1), toc };
+        assert_eq!(drm.read_quota_cell(&m, home).unwrap(), None);
+        drm.write_quota_cell(
+            &mut m,
+            home,
+            Some(mx_hw::disk::QuotaCellRecord { limit_pages: 9, used_pages: 2 }),
+        )
+        .unwrap();
+        assert_eq!(drm.read_quota_cell(&m, home).unwrap().unwrap().limit_pages, 9);
+    }
+}

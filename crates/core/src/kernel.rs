@@ -1,0 +1,1115 @@
+//! The gatekeeper: kernel assembly, the user-callable gates, fault
+//! dispatch, and the upward-signal trampoline.
+//!
+//! [`Kernel`] owns the machine and every object manager, and exposes the
+//! deliberately small set of user-callable **gates**
+//! ([`Kernel::USER_GATES`]) — the paper's point that extracting the
+//! linker, name space, answering service and network code "had a very
+//! strong effect in reducing the complexity of the interface that the
+//! user sees to the kernel". Pathname expansion, linking, login policy
+//! and network protocol all live in `mx-user`, composed from these
+//! gates.
+//!
+//! The gatekeeper also hosts the two fault paths the new hardware
+//! enables — the descriptor-lock missing-page path and the quota-trap
+//! path — and the trampoline that consumes [`Signal`]s: when a gate call
+//! or fault service returns `Err(Upward(sig))`, every kernel frame below
+//! has already finished its work; the trampoline invokes the directory
+//! manager to record the move, then re-executes the original request.
+
+use crate::core_segment::CoreSegmentManager;
+use crate::demux::{DemuxManager, FramingSpec, StreamId};
+use crate::directory::{DirectoryManager, FsCtx};
+use crate::disk_record::DiskRecordManager;
+use crate::error::{KernelError, Signal};
+use crate::known_segment::{KnownSegmentManager, MAX_SEGNO};
+use crate::page_frame::PageFrameManager;
+use crate::quota_cell::QuotaCellManager;
+use crate::segment::SegmentManager;
+use crate::types::{Acl, ObjToken, ProcessId, SegUid, UserId};
+use crate::user_process::{Dispatch, KernelEvent, UserProcessManager};
+use crate::vproc::{VirtualProcessorManager, VpId, VP_SWITCH_CYCLES};
+use mx_aim::{FlowTracker, Label, ReferenceMonitor};
+use mx_hw::cpu::{DescBase, Ptw, Sdw};
+use mx_hw::{Fault, HwFeatures, Machine, MachineConfig, ProcessorId, VirtAddr, Word};
+use std::collections::HashMap;
+
+/// Bootload configuration for Kernel/Multics.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Core frames.
+    pub frames: usize,
+    /// Disk packs.
+    pub packs: u32,
+    /// Records per pack.
+    pub records_per_pack: u32,
+    /// TOC slots per pack.
+    pub toc_slots_per_pack: u32,
+    /// Fixed virtual processor count (first three are kernel-bound).
+    pub vps: u32,
+    /// Page-table pool slots (max simultaneously active segments).
+    pub pt_slots: u32,
+    /// Process slots (wired descriptor-segment frames).
+    pub max_processes: u32,
+    /// Real-memory event queue capacity.
+    pub event_queue: usize,
+    /// Root quota cell limit, pages.
+    pub root_quota: u32,
+    /// Seed for the identifier secret (deterministic experiments).
+    pub seed: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            frames: 256,
+            packs: 2,
+            records_per_pack: 1024,
+            toc_slots_per_pack: 256,
+            vps: 6,
+            pt_slots: 64,
+            max_processes: 16,
+            event_queue: 64,
+            root_quota: 1500,
+            seed: 0x6b65_726e_656c,
+        }
+    }
+}
+
+/// Gatekeeper counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Missing-segment faults dispatched.
+    pub segment_faults: u64,
+    /// Missing-page faults dispatched (lock-bit protocol).
+    pub page_faults: u64,
+    /// Locked-descriptor exceptions (waited on the page eventcount).
+    pub locked_waits: u64,
+    /// Hardware quota exceptions dispatched.
+    pub quota_faults: u64,
+    /// Upward signals consumed by the trampoline.
+    pub trampolines: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    user: UserId,
+    password_hash: u64,
+    clearance: Label,
+    charge_units: u64,
+}
+
+/// How a program run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramOutcome {
+    /// The program executed HLT.
+    Halted,
+    /// An undecodable instruction word was fetched.
+    Illegal,
+    /// The step budget ran out.
+    StepLimit,
+}
+
+/// The result of [`Kernel::run_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramRun {
+    /// Instructions completed.
+    pub steps: u64,
+    /// Why execution stopped.
+    pub outcome: ProgramOutcome,
+    /// Final register file.
+    pub regs: mx_hw::interp::Registers,
+}
+
+/// Kernel/Multics, assembled.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The machine (with the paper's proposed hardware additions).
+    pub machine: Machine,
+    /// Core segment manager (sealed after boot).
+    pub csm: CoreSegmentManager,
+    /// Virtual processor manager.
+    pub vpm: VirtualProcessorManager,
+    /// Disk record manager.
+    pub drm: DiskRecordManager,
+    /// Quota cell manager.
+    pub qcm: QuotaCellManager,
+    /// Page frame manager.
+    pub pfm: PageFrameManager,
+    /// Segment manager.
+    pub segm: SegmentManager,
+    /// Known segment manager.
+    pub ksm: KnownSegmentManager,
+    /// Directory manager.
+    pub dirm: DirectoryManager,
+    /// User process manager.
+    pub upm: UserProcessManager,
+    /// Network-independent demultiplexer.
+    pub demux: DemuxManager,
+    /// AIM reference monitor.
+    pub monitor: ReferenceMonitor,
+    /// Observed information flows.
+    pub flows: FlowTracker,
+    /// Gatekeeper counters.
+    pub stats: KernelStats,
+    accounts: HashMap<String, Account>,
+    processes_dir: ObjToken,
+    state_counter: u64,
+}
+
+macro_rules! ctx {
+    ($k:expr) => {
+        FsCtx {
+            machine: &mut $k.machine,
+            drm: &mut $k.drm,
+            qcm: &mut $k.qcm,
+            pfm: &mut $k.pfm,
+            vpm: &mut $k.vpm,
+            segm: &mut $k.segm,
+            flows: &mut $k.flows,
+            monitor: &mut $k.monitor,
+        }
+    };
+}
+
+impl Kernel {
+    /// The user-callable gates — the whole protected interface.
+    ///
+    /// Eighteen names, against the old supervisor's 157 user gates: the
+    /// interface-shrinking effect the paper attributes to moving the
+    /// linker, name space, answering service and network code out.
+    pub const USER_GATES: &'static [&'static str] = &[
+        "login_residue",
+        "logout_residue",
+        "dir_search",
+        "initiate",
+        "terminate",
+        "create_entry",
+        "delete_entry",
+        "list_dir",
+        "set_quota",
+        "clear_quota",
+        "read_word",
+        "write_word",
+        "segment_meta",
+        "ec_create",
+        "ec_advance",
+        "ec_read",
+        "demux_claim",
+        "demux_read",
+    ];
+
+    /// Bootloads Kernel/Multics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves fewer than eight pageable
+    /// frames.
+    pub fn boot(config: KernelConfig) -> Self {
+        let mut machine = Machine::new(MachineConfig {
+            frames: config.frames,
+            cpus: 2,
+            packs: config.packs,
+            records_per_pack: config.records_per_pack,
+            toc_slots_per_pack: config.toc_slots_per_pack,
+            features: HwFeatures::KERNEL_PROPOSED,
+            cost: Default::default(),
+        });
+        // Core segments live just above frame 0 (scratch); cap the
+        // region at half of core so a pageable pool always remains.
+        let mut csm = CoreSegmentManager::new(1, (config.frames / 2) as u32);
+        let mut vpm =
+            VirtualProcessorManager::new(&mut csm, config.vps).expect("core for VP states");
+        vpm.bind_kernel(VpId(0), "user-scheduler");
+        vpm.bind_kernel(VpId(1), "page-purifier");
+        vpm.bind_kernel(VpId(2), "core-manager");
+        let mut qcm = QuotaCellManager::new(&mut csm).expect("core for the cell table");
+        qcm.bind_table_base(&csm);
+        let mut pfm = PageFrameManager::new(&mut csm, &mut vpm, config.pt_slots)
+            .expect("core for the page-table pool");
+
+        // The per-processor system address space (second descriptor base
+        // register): segment 0 of every processor maps the kernel
+        // communication core segment.
+        let sys_comm = csm.allocate(1).expect("core for the comm segment");
+        let sys_tables = csm.allocate(1).expect("core for the system tables");
+        let comm_frame = csm.addr(sys_comm, 0).frame();
+        let pt_addr = csm.addr(sys_tables, 0);
+        machine.mem.write(
+            pt_addr,
+            Ptw { frame: comm_frame, present: true, wired: true, used: true, ..Ptw::default() }
+                .encode(),
+        );
+        let dt_addr = csm.addr(sys_tables, 512);
+        machine.mem.write(
+            dt_addr,
+            Sdw {
+                page_table: pt_addr,
+                bound_pages: 1,
+                read: true,
+                write: true,
+                execute: true,
+                present: true,
+                software: false,
+            }
+            .encode(),
+        );
+        for cpu in &mut machine.cpus {
+            cpu.dbr_system = Some(DescBase { base: dt_addr, len: 1 });
+            cpu.system_segno_limit = 1;
+        }
+
+        csm.seal();
+        let dseg_base = csm.end_frame();
+        let wired_end = dseg_base + config.max_processes;
+        assert!(
+            (wired_end as usize) + 8 <= config.frames,
+            "configuration leaves fewer than 8 pageable frames"
+        );
+        pfm.set_pageable_region(wired_end, config.frames as u32);
+
+        let mut drm = DiskRecordManager::new();
+        let mut segm = SegmentManager::new();
+        let mut flows = FlowTracker::new();
+        let mut monitor = ReferenceMonitor::new();
+        let dirm = {
+            let mut fs = FsCtx {
+                machine: &mut machine,
+                drm: &mut drm,
+                qcm: &mut qcm,
+                pfm: &mut pfm,
+                vpm: &mut vpm,
+                segm: &mut segm,
+                flows: &mut flows,
+                monitor: &mut monitor,
+            };
+            DirectoryManager::new(&mut fs, config.seed, config.root_quota)
+                .expect("root directory")
+        };
+        let upm =
+            UserProcessManager::new(&mut vpm, dseg_base, config.max_processes, config.event_queue);
+
+        let mut kernel = Self {
+            machine,
+            csm,
+            vpm,
+            drm,
+            qcm,
+            pfm,
+            segm,
+            ksm: KnownSegmentManager::new(),
+            dirm,
+            upm,
+            demux: DemuxManager::new(),
+            monitor,
+            flows,
+            stats: KernelStats::default(),
+            accounts: HashMap::new(),
+            processes_dir: ObjToken(0),
+            state_counter: 0,
+        };
+        let root = kernel.dirm.root_token();
+        let processes_dir = kernel
+            .with_retries(|k| {
+                k.dirm.create(
+                    &mut ctx!(k),
+                    UserId(0),
+                    Label::BOTTOM,
+                    root,
+                    "processes",
+                    Acl::owner(UserId(0)),
+                    Label::BOTTOM,
+                    true,
+                )
+            })
+            .expect("processes directory");
+        kernel.processes_dir = processes_dir;
+        kernel
+    }
+
+    /// Bootloads with the default configuration.
+    pub fn boot_default() -> Self {
+        Self::boot(KernelConfig::default())
+    }
+
+    /// The root directory token (the starting point user name-space
+    /// code composes searches from).
+    pub fn root_token(&mut self) -> ObjToken {
+        self.dirm.root_token()
+    }
+
+    fn charge_gate(&mut self) {
+        let cost = self.machine.cost;
+        self.machine.clock.charge_gate(&cost);
+    }
+
+    // ---- the upward-signal trampoline ------------------------------------
+
+    /// Runs a kernel operation, consuming any upward signals it raises
+    /// and re-executing it — the gatekeeper trampoline.
+    pub(crate) fn with_retries<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, KernelError>,
+    ) -> Result<T, KernelError> {
+        for _ in 0..6 {
+            match f(self) {
+                Err(KernelError::Upward(sig)) => self.consume_signal(sig)?,
+                other => return other,
+            }
+        }
+        Err(KernelError::NotActive)
+    }
+
+    /// Consumes one upward signal: the directory manager records the
+    /// move; the KSTs refresh their cached homes.
+    fn consume_signal(&mut self, sig: Signal) -> Result<(), KernelError> {
+        self.stats.trampolines += 1;
+        match sig {
+            Signal::SegmentMoved { uid, new_home } => {
+                // Recording the move writes the parent directory, which
+                // can itself grow and move: consume nested signals.
+                for _ in 0..6 {
+                    match self.dirm.record_move(&mut ctx!(self), uid, new_home) {
+                        Ok(()) => {
+                            self.ksm.refresh_home(uid, new_home);
+                            return Ok(());
+                        }
+                        Err(KernelError::Upward(inner)) => self.consume_signal(inner)?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(KernelError::NotActive)
+            }
+        }
+    }
+
+    // ---- accounts and processes (the answering-service residue) ----------
+
+    /// Registers an account (system administration, not a user gate).
+    pub fn register_account(
+        &mut self,
+        name: &str,
+        user: UserId,
+        password_hash: u64,
+        clearance: Label,
+    ) {
+        self.accounts.insert(
+            name.to_string(),
+            Account { user, password_hash, clearance, charge_units: 0 },
+        );
+    }
+
+    /// The login residue gate: verifies the (already hashed) password
+    /// and the requested label against the clearance, then creates the
+    /// process. All policy, parsing, and accounting presentation live in
+    /// the user-domain answering service.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadCredentials`] or [`KernelError::AimViolation`].
+    pub fn login_residue(
+        &mut self,
+        name: &str,
+        password_hash: u64,
+        label: Label,
+    ) -> Result<ProcessId, KernelError> {
+        self.charge_gate();
+        // The sub-1000-line protected residue: authentication and the
+        // clearance check.
+        crate::charge_pli(&mut self.machine, 60);
+        let account = self.accounts.get(name).ok_or(KernelError::BadCredentials)?;
+        if account.password_hash != password_hash {
+            return Err(KernelError::BadCredentials);
+        }
+        if !account.clearance.dominates(label) {
+            return Err(KernelError::AimViolation);
+        }
+        let user = account.user;
+        self.create_process(user, label)
+    }
+
+    /// The logout residue gate: destroys the process and returns its
+    /// final charge, billing the account.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn logout_residue(&mut self, name: &str, pid: ProcessId) -> Result<u64, KernelError> {
+        self.charge_gate();
+        crate::charge_pli(&mut self.machine, 15);
+        let charge = self.destroy_process(pid)?;
+        if let Some(account) = self.accounts.get_mut(name) {
+            account.charge_units += charge;
+        }
+        Ok(charge)
+    }
+
+    /// Accumulated billing for an account.
+    pub fn account_charge(&self, name: &str) -> Option<u64> {
+        self.accounts.get(name).map(|a| a.charge_units)
+    }
+
+    /// Creates a process with a KST and a swappable state segment under
+    /// `>processes`.
+    ///
+    /// # Errors
+    ///
+    /// Table exhaustion from below.
+    pub fn create_process(&mut self, user: UserId, label: Label) -> Result<ProcessId, KernelError> {
+        crate::charge_pli(&mut self.machine, 240);
+        let pid = self.upm.create(&mut self.machine, user, label)?;
+        self.ksm.create_kst(pid);
+        self.state_counter += 1;
+        let name = format!("proc-{}", self.state_counter);
+        let processes_dir = self.processes_dir;
+        let token = self.with_retries(|k| {
+            k.dirm.create(
+                &mut ctx!(k),
+                UserId(0),
+                Label::BOTTOM,
+                processes_dir,
+                &name,
+                Acl::owner(user),
+                label,
+                false,
+            )
+        })?;
+        let uid = self.dirm.resolve_token(token).expect("fresh token");
+        self.upm.set_state_seg(pid, uid)?;
+        Ok(pid)
+    }
+
+    /// Destroys a process, returning its final accounting charge.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`].
+    pub fn destroy_process(&mut self, pid: ProcessId) -> Result<u64, KernelError> {
+        self.ksm.destroy_kst(pid);
+        self.upm.destroy(pid)
+    }
+
+    // ---- directory gates ---------------------------------------------------
+
+    /// The single-directory search gate.
+    ///
+    /// # Errors
+    ///
+    /// Per [`DirectoryManager::search`].
+    pub fn dir_search(
+        &mut self,
+        pid: ProcessId,
+        dir: ObjToken,
+        name: &str,
+    ) -> Result<ObjToken, KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let label = self.upm.label_of(pid)?;
+        self.with_retries(|k| k.dirm.search(&mut ctx!(k), user, label, dir, name))
+    }
+
+    /// The initiate gate: makes the object behind a token known.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`], uniformly, for mythical or forbidden
+    /// tokens.
+    pub fn initiate(&mut self, pid: ProcessId, token: ObjToken) -> Result<u32, KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let label = self.upm.label_of(pid)?;
+        self.with_retries(|k| {
+            let Kernel { machine, drm, qcm, pfm, vpm, segm, flows, monitor, dirm, ksm, .. } = k;
+            let mut fs = FsCtx { machine, drm, qcm, pfm, vpm, segm, flows, monitor };
+            dirm.initiate(&mut fs, ksm, pid, user, label, token)
+        })
+    }
+
+    /// The terminate gate: unbinds a segment number.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] if the segno is unknown.
+    pub fn terminate(&mut self, pid: ProcessId, segno: u32) -> Result<(), KernelError> {
+        self.charge_gate();
+        let entry = self.ksm.unbind(pid, segno)?;
+        // Cut this process's SDW.
+        if let Ok(frame) = self.upm.dseg_frame(pid) {
+            self.machine.mem.write(frame.base().add(u64::from(segno)), Sdw::default().encode());
+        }
+        let _ = entry;
+        Ok(())
+    }
+
+    /// The create gate.
+    ///
+    /// # Errors
+    ///
+    /// Per [`DirectoryManager::create`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_entry(
+        &mut self,
+        pid: ProcessId,
+        dir: ObjToken,
+        name: &str,
+        acl: Acl,
+        label: Label,
+        is_dir: bool,
+    ) -> Result<ObjToken, KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let plabel = self.upm.label_of(pid)?;
+        self.with_retries(|k| {
+            let acl = acl.clone();
+            k.dirm.create(&mut ctx!(k), user, plabel, dir, name, acl, label, is_dir)
+        })
+    }
+
+    /// The delete gate.
+    ///
+    /// # Errors
+    ///
+    /// Per [`DirectoryManager::delete`].
+    pub fn delete_entry(
+        &mut self,
+        pid: ProcessId,
+        dir: ObjToken,
+        name: &str,
+    ) -> Result<(), KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let plabel = self.upm.label_of(pid)?;
+        self.with_retries(|k| {
+            let Kernel { machine, drm, qcm, pfm, vpm, segm, flows, monitor, dirm, ksm, .. } = k;
+            let mut fs = FsCtx { machine, drm, qcm, pfm, vpm, segm, flows, monitor };
+            dirm.delete(&mut fs, ksm, user, plabel, dir, name)
+        })
+    }
+
+    /// The list gate.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] for unreadable directories.
+    pub fn list_dir(&mut self, pid: ProcessId, dir: ObjToken) -> Result<Vec<String>, KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let label = self.upm.label_of(pid)?;
+        self.with_retries(|k| k.dirm.list(&mut ctx!(k), user, label, dir))
+    }
+
+    /// The quota-designation gate (childless directories only).
+    ///
+    /// # Errors
+    ///
+    /// Per [`DirectoryManager::set_quota_directory`].
+    pub fn set_quota(
+        &mut self,
+        pid: ProcessId,
+        dir: ObjToken,
+        limit: u32,
+    ) -> Result<(), KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let plabel = self.upm.label_of(pid)?;
+        self.with_retries(|k| k.dirm.set_quota_directory(&mut ctx!(k), user, plabel, dir, limit))
+    }
+
+    /// The quota-removal gate (childless, uncharged only).
+    ///
+    /// # Errors
+    ///
+    /// Per [`DirectoryManager::clear_quota_directory`].
+    pub fn clear_quota(&mut self, pid: ProcessId, dir: ObjToken) -> Result<(), KernelError> {
+        self.charge_gate();
+        let user = self.upm.user_of(pid)?;
+        let plabel = self.upm.label_of(pid)?;
+        self.with_retries(|k| k.dirm.clear_quota_directory(&mut ctx!(k), user, plabel, dir))
+    }
+
+    // ---- memory reference gates (the ordinary data path) -------------------
+
+    /// Reads one word as a process, through real address translation,
+    /// with the gatekeeper servicing any faults.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] on protection violations; quota and
+    /// storage errors otherwise.
+    pub fn read_word(&mut self, pid: ProcessId, segno: u32, wordno: u32) -> Result<Word, KernelError> {
+        self.user_access(pid, segno, wordno, false, Word::ZERO).map(|w| w.expect("read value"))
+    }
+
+    /// Writes one word as a process.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::read_word`].
+    pub fn write_word(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+        value: Word,
+    ) -> Result<(), KernelError> {
+        self.user_access(pid, segno, wordno, true, value).map(|_| ())
+    }
+
+    fn user_access(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+        write: bool,
+        value: Word,
+    ) -> Result<Option<Word>, KernelError> {
+        let frame = self.upm.dseg_frame(pid)?;
+        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        let va = VirtAddr::new(segno, wordno);
+        for _ in 0..12 {
+            let attempt = if write {
+                self.machine.write(ProcessorId(0), va, value).map(|()| None)
+            } else {
+                self.machine.read(ProcessorId(0), va).map(Some)
+            };
+            match attempt {
+                Ok(w) => return Ok(w),
+                Err(fault) => match self.dispatch_fault(pid, fault) {
+                    Ok(()) => {}
+                    Err(KernelError::Upward(sig)) => self.consume_signal(sig)?,
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        Err(KernelError::UnhandledFault(Fault::BadDescriptor { va }))
+    }
+
+    /// The gatekeeper fault dispatcher.
+    fn dispatch_fault(&mut self, pid: ProcessId, fault: Fault) -> Result<(), KernelError> {
+        match fault {
+            Fault::MissingSegment { va } => {
+                self.stats.segment_faults += 1;
+                self.segment_fault(pid, va.segno)
+            }
+            Fault::MissingPage { descriptor, .. } => {
+                self.stats.page_faults += 1;
+                let (handle, pageno) = self
+                    .pfm
+                    .identify(descriptor)
+                    .ok_or(KernelError::UnhandledFault(fault))?;
+                self.pfm.service_missing(
+                    &mut self.machine,
+                    &mut self.drm,
+                    &mut self.qcm,
+                    &mut self.vpm,
+                    handle,
+                    pageno,
+                )?;
+                // The service completion flows upward through the
+                // real-memory queue; the faulting process gave up its
+                // virtual processor while the transfer ran — two cheap
+                // VP-level switches, not the old full process switches.
+                self.machine.clock.charge(2 * VP_SWITCH_CYCLES);
+                self.upm.deliver(&mut self.vpm, KernelEvent::PageServiced { pid });
+                self.upm.bill(pid);
+                Ok(())
+            }
+            Fault::LockedDescriptor { .. } => {
+                // Another processor's service is in flight. Consult the
+                // wakeup-waiting switch, then wait on the page
+                // eventcount (already advanced in this serial
+                // simulation, so the wait never blocks — but the cheap
+                // VP switch is charged).
+                self.stats.locked_waits += 1;
+                let woken = self.machine.cpus[0].take_wakeup_waiting();
+                if !woken {
+                    self.machine.clock.charge(VP_SWITCH_CYCLES);
+                }
+                Ok(())
+            }
+            Fault::QuotaTrap { va, .. } => {
+                self.stats.quota_faults += 1;
+                let subject = self.upm.label_of(pid)?;
+                self.ksm.quota_exception(
+                    &mut self.machine,
+                    &mut self.drm,
+                    &mut self.qcm,
+                    &mut self.pfm,
+                    &mut self.segm,
+                    &mut self.flows,
+                    pid,
+                    va.segno,
+                    va.pageno(),
+                    subject,
+                )
+            }
+            Fault::AccessViolation { .. } => Err(KernelError::NoAccess),
+            Fault::BoundsViolation { .. } => Err(KernelError::SegmentTooBig),
+            other => Err(KernelError::UnhandledFault(other)),
+        }
+    }
+
+    /// Missing segment: activate from the KST entry (no directory
+    /// involved) and connect the SDW.
+    fn segment_fault(&mut self, pid: ProcessId, segno: u32) -> Result<(), KernelError> {
+        crate::charge_pli(&mut self.machine, 30);
+        let entry = self.ksm.lookup(pid, segno)?.clone();
+        let handle = self.segm.activate(
+            &mut self.machine,
+            &mut self.drm,
+            &mut self.qcm,
+            &mut self.pfm,
+            entry.uid,
+            entry.home,
+            entry.cell,
+            entry.is_dir,
+            entry.label,
+        )?;
+        let sdw = Sdw {
+            page_table: self.pfm.pt_addr(handle),
+            bound_pages: crate::page_frame::PT_WORDS,
+            read: entry.read,
+            write: entry.write,
+            execute: entry.execute,
+            present: true,
+            software: entry.is_dir,
+        };
+        let frame = self.upm.dseg_frame(pid)?;
+        let sdw_addr = frame.base().add(u64::from(segno));
+        self.machine.mem.write(sdw_addr, sdw.encode());
+        self.segm.register_connection(entry.uid, sdw_addr)?;
+        Ok(())
+    }
+
+    /// Metadata gate: (length in pages, records charged) of an initiated
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] if the segno is unknown.
+    pub fn segment_meta(&mut self, pid: ProcessId, segno: u32) -> Result<(u32, u32), KernelError> {
+        self.charge_gate();
+        let entry = self.ksm.lookup(pid, segno)?.clone();
+        let home = self
+            .dirm
+            .home_of(entry.uid)
+            .unwrap_or(entry.home);
+        Ok((
+            self.drm.len_pages(&self.machine, home)?,
+            self.drm.records_used(&self.machine, home)?,
+        ))
+    }
+
+    // ---- scheduling and daemons ----------------------------------------------
+
+    /// One pass of the two-level scheduler: drain upward events, pick
+    /// the next process, dispatch its VP (cheap) or load it (touching
+    /// its state segment in the virtual memory).
+    ///
+    /// Returns the dispatch decision, if any process is ready.
+    pub fn schedule(&mut self) -> Option<Dispatch> {
+        let _events = self.upm.drain_events();
+        let d = self.upm.dispatch(&mut self.vpm)?;
+        // The VP-level switch is always charged (cheap, core-resident).
+        self.vpm.dispatch(&self.csm, &mut self.machine.mem, &mut self.machine.clock);
+        if !d.already_loaded {
+            // A true process switch: bring the state segment in.
+            if let Ok(Some(state_uid)) = self.upm.state_seg(d.pid) {
+                if let Some((home, cell, is_dir, label)) = self.dirm.activation_info(state_uid) {
+                    let _ = self.segm.activate(
+                        &mut self.machine,
+                        &mut self.drm,
+                        &mut self.qcm,
+                        &mut self.pfm,
+                        state_uid,
+                        home,
+                        cell,
+                        is_dir,
+                        label,
+                    );
+                    let _ = self.segm.read_word(
+                        &mut self.machine,
+                        &mut self.drm,
+                        &mut self.qcm,
+                        &mut self.pfm,
+                        &mut self.vpm,
+                        &mut self.flows,
+                        state_uid,
+                        0,
+                        label,
+                    );
+                }
+            }
+            let cost = self.machine.cost;
+            self.machine.clock.charge_process_switch(&cost);
+        }
+        Some(d)
+    }
+
+    /// Runs up to `steps` units of the page-purifier daemon (the
+    /// low-priority write-behind). Returns how many units did work.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors from the write-back path.
+    pub fn run_purifier(&mut self, steps: usize) -> Result<usize, KernelError> {
+        let mut done = 0;
+        for _ in 0..steps {
+            if !self.pfm.purifier_step(&mut self.machine, &mut self.drm, &mut self.qcm)? {
+                break;
+            }
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    // ---- eventcount gates -----------------------------------------------------
+
+    /// Creates a user-visible eventcount.
+    pub fn ec_create(&mut self) -> mx_sync::sim::EcId {
+        self.charge_gate();
+        self.vpm.create_eventcount()
+    }
+
+    /// Advances an eventcount (the broadcast, receiver-blind notify).
+    pub fn ec_advance(&mut self, ec: mx_sync::sim::EcId) -> usize {
+        self.charge_gate();
+        self.vpm.advance(ec)
+    }
+
+    /// Reads an eventcount.
+    pub fn ec_read(&mut self, ec: mx_sync::sim::EcId) -> u64 {
+        self.charge_gate();
+        self.vpm.read_eventcount(ec)
+    }
+
+    // ---- demultiplexer gates ----------------------------------------------------
+
+    /// Attaches a multiplexed stream (privileged, driver-level).
+    pub fn demux_attach(&mut self, spec: FramingSpec) -> StreamId {
+        self.demux.attach(spec)
+    }
+
+    /// Injects a raw frame from the wire (driver-level).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchChannel`].
+    pub fn demux_receive(&mut self, stream: StreamId, frame: &[u8]) -> Result<(), KernelError> {
+        self.demux.receive(&mut self.upm, &mut self.vpm, stream, frame)
+    }
+
+    /// Claims a channel for a process (user gate).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchChannel`].
+    pub fn demux_claim(
+        &mut self,
+        pid: ProcessId,
+        stream: StreamId,
+        channel: u16,
+    ) -> Result<(), KernelError> {
+        self.charge_gate();
+        self.demux.claim_channel(stream, channel, pid)
+    }
+
+    /// Reads a claimed channel's buffered input (user gate).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchChannel`].
+    pub fn demux_read(
+        &mut self,
+        _pid: ProcessId,
+        stream: StreamId,
+        channel: u16,
+    ) -> Result<Vec<u8>, KernelError> {
+        self.charge_gate();
+        self.demux.read_channel(stream, channel)
+    }
+
+    // ---- program execution ------------------------------------------------
+
+    /// Runs a user program: repeatedly steps the interpreter on the
+    /// process's address space, servicing every fault through the
+    /// gatekeeper (including quota exceptions raised by stores into
+    /// fresh pages and any upward signals they provoke).
+    ///
+    /// Returns when the program halts, hits an undecodable word, or
+    /// exhausts `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoAccess`] and storage errors exactly as data
+    /// references raise them.
+    pub fn run_program(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        start: u32,
+        max_steps: u64,
+    ) -> Result<ProgramRun, KernelError> {
+        use mx_hw::interp::{step, Registers, StepOutcome};
+        let frame = self.upm.dseg_frame(pid)?;
+        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        let mut regs = Registers::at(VirtAddr::new(segno, start));
+        let mut steps = 0;
+        while steps < max_steps {
+            let cost = self.machine.cost;
+            let r = {
+                let Machine { mem, clock, cpus, .. } = &mut self.machine;
+                step(&mut cpus[0], mem, clock, &cost, &mut regs)
+            };
+            match r {
+                Ok(StepOutcome::Ran) => steps += 1,
+                Ok(StepOutcome::Halted) => {
+                    return Ok(ProgramRun { steps, outcome: ProgramOutcome::Halted, regs });
+                }
+                Ok(StepOutcome::IllegalInstruction) => {
+                    return Ok(ProgramRun { steps, outcome: ProgramOutcome::Illegal, regs });
+                }
+                Err(fault) => match self.dispatch_fault(pid, fault) {
+                    Ok(()) => {}
+                    Err(KernelError::Upward(sig)) => self.consume_signal(sig)?,
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+        Ok(ProgramRun { steps, outcome: ProgramOutcome::StepLimit, regs })
+    }
+
+    /// Marker type used by the uid-bearing test helpers.
+    pub fn uid_of_token(&self, token: ObjToken) -> Option<SegUid> {
+        self.dirm.resolve_token(token)
+    }
+
+    /// Charges abstract instructions executed by *user-domain* code —
+    /// the simulation accounting hook `mx-user` components use so their
+    /// (unprivileged) work shows up on the same clock as the kernel's.
+    pub fn charge_user_instructions(&mut self, n: u64, lang: mx_hw::Language) {
+        let cost = self.machine.cost;
+        self.machine.clock.charge_instructions(&cost, n, lang);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccessRight;
+
+    fn boot_small() -> Kernel {
+        Kernel::boot(KernelConfig {
+            frames: 128,
+            records_per_pack: 256,
+            toc_slots_per_pack: 64,
+            pt_slots: 24,
+            max_processes: 6,
+            root_quota: 200,
+            ..KernelConfig::default()
+        })
+    }
+
+    fn login(k: &mut Kernel, name: &str, user: UserId) -> ProcessId {
+        k.register_account(name, user, 42, Label::BOTTOM);
+        k.login_residue(name, 42, Label::BOTTOM).unwrap()
+    }
+
+    #[test]
+    fn boot_and_login_and_touch_a_segment() {
+        let mut k = boot_small();
+        let pid = login(&mut k, "saltzer", UserId(1));
+        let root = k.root_token();
+        let token = k
+            .create_entry(pid, root, "data", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let segno = k.initiate(pid, token).unwrap();
+        k.write_word(pid, segno, 5, Word::new(0o123)).unwrap();
+        assert_eq!(k.read_word(pid, segno, 5).unwrap(), Word::new(0o123));
+        // The path exercised: segment fault, quota trap, page creation.
+        assert!(k.stats.segment_faults >= 1);
+        assert!(k.stats.quota_faults >= 1);
+    }
+
+    #[test]
+    fn gate_list_is_small() {
+        assert!(Kernel::USER_GATES.len() < 25, "the kernel interface stays small");
+    }
+
+    #[test]
+    fn data_survives_flush_through_real_page_faults() {
+        let mut k = boot_small();
+        let pid = login(&mut k, "clark", UserId(1));
+        let root = k.root_token();
+        let token = k
+            .create_entry(pid, root, "data", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let segno = k.initiate(pid, token).unwrap();
+        for p in 0..4u32 {
+            k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 1)).unwrap();
+        }
+        // Force everything out, then fault it back.
+        let uid = k.uid_of_token(token).unwrap();
+        let handle = k.segm.get(uid).unwrap().handle;
+        k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+        let faults_before = k.stats.page_faults;
+        for p in 0..4u32 {
+            assert_eq!(k.read_word(pid, segno, p * 1024).unwrap(), Word::new(u64::from(p) + 1));
+        }
+        assert!(k.stats.page_faults > faults_before, "reads took real page faults");
+    }
+
+    #[test]
+    fn acl_and_aim_enforced_through_the_gates() {
+        let mut k = boot_small();
+        let alice = login(&mut k, "alice", UserId(1));
+        let bob = login(&mut k, "bob", UserId(2));
+        let root = k.root_token();
+        let token = k
+            .create_entry(alice, root, "private", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        // Bob can search the (public) root and obtain the identifier…
+        let bob_token = k.dir_search(bob, root, "private").unwrap();
+        assert_eq!(bob_token, token, "root is readable: the identifier is real");
+        // …but initiation is uniformly refused.
+        assert_eq!(k.initiate(bob, bob_token).unwrap_err(), KernelError::NoAccess);
+        // A read-only grant lets Bob read but not write.
+        let mut acl = Acl::owner(UserId(1));
+        acl.grant(UserId(2), &[AccessRight::Read]);
+        let t2 = k
+            .create_entry(alice, root, "shared", acl, Label::BOTTOM, false)
+            .unwrap();
+        let alice_segno = k.initiate(alice, t2).unwrap();
+        k.write_word(alice, alice_segno, 0, Word::new(7)).unwrap();
+        let bob_segno = k.initiate(bob, t2).unwrap();
+        assert_eq!(k.read_word(bob, bob_segno, 0).unwrap(), Word::new(7));
+        assert_eq!(
+            k.write_word(bob, bob_segno, 0, Word::new(9)).unwrap_err(),
+            KernelError::NoAccess
+        );
+    }
+
+    #[test]
+    fn two_level_scheduler_runs() {
+        let mut k = boot_small();
+        let a = login(&mut k, "a", UserId(1));
+        let b = login(&mut k, "b", UserId(2));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let d = k.schedule().unwrap();
+            seen.insert(d.pid);
+        }
+        assert!(seen.contains(&a) && seen.contains(&b));
+        assert!(k.vpm.switches >= 6, "every pass made a cheap VP switch");
+    }
+
+    #[test]
+    fn logout_bills_the_account() {
+        let mut k = boot_small();
+        let pid = login(&mut k, "billable", UserId(3));
+        k.schedule();
+        let charge = k.logout_residue("billable", pid).unwrap();
+        assert_eq!(k.account_charge("billable"), Some(charge));
+        assert!(k.upm.user_of(pid).is_err());
+    }
+}

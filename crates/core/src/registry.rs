@@ -1,0 +1,161 @@
+//! The declared dependency structure of Kernel/Multics — Figure 4.
+//!
+//! Every edge corresponds to a parameter in a manager's function
+//! signatures in this crate (the lattice is not aspirational: a manager
+//! physically cannot reach a module it is not handed). The test at the
+//! bottom proves the declared structure loop-free, which is the paper's
+//! central claim about the new design.
+
+use mx_deps::{DepKind, ModuleGraph};
+
+/// The Figure 4 module graph, generated from this crate's structure.
+pub fn kernel_structure() -> ModuleGraph {
+    let mut g = ModuleGraph::new();
+    let hw = g.add_module("processor+memory", "the hardware (with the proposed additions)");
+    let csm = g.add_module("core-segment-manager", "fixed core segments, read/write only");
+    let vpm = g.add_module("virtual-processor-manager", "fixed VPs, eventcounts, cheap dispatch");
+    let drm = g.add_module("disk-record-manager", "records and tables of contents");
+    let qcm = g.add_module("quota-cell-manager", "quota cells as explicit objects");
+    let pfm = g.add_module("page-frame-manager", "frames, page tables, lock-bit service, purifier");
+    let segm = g.add_module("segment-manager", "activation, growth, relocation, upward signal");
+    let ksm = g.add_module("known-segment-manager", "segno maps, quota-exception service");
+    let dirm = g.add_module("directory-manager", "directories, ACLs, search primitive, quota rules");
+    let upm = g.add_module("user-process-manager", "unbounded processes over fixed VPs");
+    let dmx = g.add_module("demultiplexer", "network-independent stream routing");
+    let gate = g.add_module("gatekeeper", "gates, AIM checks, fault dispatch, signal trampoline");
+
+    // Core segment manager: implemented by initialization code and the
+    // processor hardware.
+    g.depend(csm, hw, DepKind::Component, "core segments are regions of primary memory");
+    // Virtual processors: states in core segments; interpreted by the
+    // real processors.
+    g.depend(vpm, csm, DepKind::Map, "VP states live in a core segment (VirtualProcessorManager::new)");
+    g.depend(vpm, hw, DepKind::Interpreter, "VPs are multiplexes of the real processors");
+    // Disk records.
+    g.depend(drm, hw, DepKind::Component, "records and TOCs are pack storage");
+    // Quota cells: cached in a core-segment table, persisted in TOCs.
+    g.depend(qcm, csm, DepKind::Map, "the cell table is a core segment (QuotaCellManager::new)");
+    g.depend(qcm, drm, DepKind::Component, "cells persist in TOC entries (read/write_quota_cell)");
+    // Page frames.
+    g.depend(pfm, csm, DepKind::Map, "the page-table pool is a core segment (PageFrameManager::new)");
+    g.depend(pfm, drm, DepKind::Component, "pages live on disk records (service/add_page)");
+    g.depend(pfm, qcm, DepKind::Call, "zero reversion uncharges the bound cell (evict/purify)");
+    g.depend(pfm, vpm, DepKind::Call, "service completion advances the page eventcount");
+    g.depend(pfm, hw, DepKind::Component, "frames are primary memory; the lock bit is hardware");
+    // Segments.
+    g.depend(segm, pfm, DepKind::Component, "segments are paged objects (activate/grow)");
+    g.depend(segm, qcm, DepKind::Call, "growth charges the statically bound cell");
+    g.depend(segm, drm, DepKind::Component, "relocation copies records and TOC entries");
+    // Known segments.
+    g.depend(ksm, segm, DepKind::Call, "quota exceptions activate and grow via the segment manager");
+    // Directories.
+    g.depend(dirm, segm, DepKind::Component, "directory representations are stored in segments");
+    g.depend(dirm, qcm, DepKind::Call, "childless designation creates/destroys cells");
+    g.depend(dirm, drm, DepKind::Component, "entries name pack + TOC index");
+    // User processes.
+    g.depend(upm, vpm, DepKind::Call, "event queue pairs with an eventcount; VPs are the carriers");
+    g.depend(upm, segm, DepKind::Component, "process states are stored in ordinary segments");
+    // Demultiplexer.
+    g.depend(dmx, upm, DepKind::Call, "channel input events are delivered upward via the queue");
+    // Gatekeeper.
+    for (m, why) in [
+        (dirm, "directory gates"),
+        (ksm, "initiation, quota-exception routing"),
+        (upm, "process gates, scheduling"),
+        (segm, "segment-fault connection"),
+        (pfm, "missing-page routing by descriptor identity"),
+        (dmx, "demultiplexer gates"),
+        (vpm, "eventcount gates"),
+    ] {
+        g.depend(gate, m, DepKind::Call, why);
+    }
+
+    // Program and address-space dependencies: every module's programs
+    // and maps are core segments; every module executes on a virtual
+    // processor — exactly the two blanket rules the paper states under
+    // Figure 4.
+    for m in [drm, qcm, pfm, segm, ksm, dirm, upm, dmx, gate] {
+        g.depend(m, csm, DepKind::Program, "programs and temporary storage are core segments");
+        g.depend(m, csm, DepKind::AddressSpace, "the system address space is built of core segments");
+    }
+    for m in [drm, qcm, pfm, segm, ksm, dirm, upm, dmx, gate] {
+        g.depend(m, vpm, DepKind::Interpreter, "executes on a virtual processor");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_is_loop_free() {
+        let g = kernel_structure();
+        assert!(g.is_loop_free(), "the new design must be a lattice: {:?}", g.loops());
+    }
+
+    #[test]
+    fn the_bottom_is_hardware_then_core_segments() {
+        let g = kernel_structure();
+        let layers = g.layers().expect("loop-free");
+        let names: Vec<&str> = layers[0].iter().map(|m| g.name(*m)).collect();
+        assert_eq!(names, vec!["processor+memory"]);
+        let names1: Vec<&str> = layers[1].iter().map(|m| g.name(*m)).collect();
+        assert!(names1.contains(&"core-segment-manager"));
+    }
+
+    #[test]
+    fn vpm_depends_only_on_core_and_hardware() {
+        let g = kernel_structure();
+        let vpm = g.find("virtual-processor-manager").unwrap();
+        let assumed = g.assumed_by(vpm);
+        let names: Vec<&str> = assumed.iter().map(|m| g.name(*m)).collect();
+        assert_eq!(names, vec!["processor+memory", "core-segment-manager"],
+            "the bottom level provides an interpreter that depends only on \
+             the primary memory and the hardware processors");
+    }
+
+    #[test]
+    fn every_module_has_program_addressspace_interpreter_edges() {
+        let g = kernel_structure();
+        for name in [
+            "disk-record-manager",
+            "quota-cell-manager",
+            "page-frame-manager",
+            "segment-manager",
+            "known-segment-manager",
+            "directory-manager",
+            "user-process-manager",
+            "demultiplexer",
+            "gatekeeper",
+        ] {
+            let m = g.find(name).unwrap();
+            for kind in [DepKind::Program, DepKind::AddressSpace, DepKind::Interpreter] {
+                assert!(
+                    g.edges().iter().any(|e| e.from == m && e.kind == kind),
+                    "{name} missing a {} edge",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_improper_shared_data_edges_remain() {
+        let g = kernel_structure();
+        assert_eq!(
+            g.edges().iter().filter(|e| e.kind == DepKind::SharedData).count(),
+            0,
+            "the new design eliminates direct sharing of writable data"
+        );
+    }
+
+    #[test]
+    fn audit_is_module_at_a_time() {
+        let g = kernel_structure();
+        // In a lattice, no module's audit set contains itself.
+        for m in g.module_ids() {
+            assert!(!g.assumed_by(m).contains(&m), "{} is in a loop", g.name(m));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The Virtual Processor Manager — level one of the two-level process
+//! implementation.
+//!
+//! "The bottom part implements a fixed number of virtual processors whose
+//! states are always in primary memory. Thus, this part does not need to
+//! use the virtual memory. … The remaining virtual processors are
+//! permanently bound to the interpretation of various kernel modules,
+//! including the virtual memory modules and the user process scheduler."
+//!
+//! Because the number is fixed, all of Brinch Hansen's simplifications
+//! apply; and because VP states live in a core segment, a VP switch never
+//! pages — it is the cheap switch of the two-level design. Coordination
+//! uses the Reed–Kanodia eventcount primitives ([`mx_sync::sim`]), whose
+//! `advance` needs no knowledge of the waiting processes' identities.
+
+use crate::core_segment::{CoreSegId, CoreSegmentManager};
+use crate::error::KernelError;
+use mx_hw::{Clock, MainMemory, Word};
+use mx_sync::sim::{EcId, EventTable, WaiterId};
+use std::collections::VecDeque;
+
+/// Identifies one virtual processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VpId(pub u32);
+
+/// What a virtual processor is permanently for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpBinding {
+    /// Permanently bound to a kernel module (named for diagnostics).
+    Kernel(&'static str),
+    /// Available for multiplexing among user processes.
+    User,
+}
+
+/// Scheduling state of a VP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpState {
+    /// Runnable / running.
+    Ready,
+    /// Parked on an eventcount.
+    Waiting,
+}
+
+/// Words of core-segment state per VP (registers, DBR image, flags).
+const VP_STATE_WORDS: u64 = 16;
+
+/// Cycles for a VP-to-VP switch: no paging, just a core-resident state
+/// exchange. Compare [`mx_hw::CostModel::process_switch`] (120) for the
+/// old single-level switch that may also page.
+pub const VP_SWITCH_CYCLES: u64 = 35;
+
+#[derive(Debug, Clone)]
+struct Vp {
+    binding: VpBinding,
+    state: VpState,
+}
+
+/// The fixed population of virtual processors plus the eventcount table.
+#[derive(Debug)]
+pub struct VirtualProcessorManager {
+    vps: Vec<Vp>,
+    events: EventTable,
+    state_seg: CoreSegId,
+    run_queue: VecDeque<VpId>,
+    running: Option<VpId>,
+    /// VP switches performed (experiment counter).
+    pub switches: u64,
+}
+
+impl VirtualProcessorManager {
+    /// Creates `count` virtual processors whose states live in a core
+    /// segment allocated from `csm`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TableFull`] if the core-segment region cannot hold
+    /// the state segment.
+    pub fn new(csm: &mut CoreSegmentManager, count: u32) -> Result<Self, KernelError> {
+        let words = u64::from(count) * VP_STATE_WORDS;
+        let frames = words.div_ceil(mx_hw::PAGE_WORDS as u64) as u32;
+        let state_seg = csm.allocate(frames.max(1))?;
+        Ok(Self {
+            vps: (0..count)
+                .map(|_| Vp { binding: VpBinding::User, state: VpState::Ready })
+                .collect(),
+            events: EventTable::new(),
+            state_seg,
+            run_queue: (0..count).map(VpId).collect(),
+            running: None,
+            switches: 0,
+        })
+    }
+
+    /// Permanently binds a VP to a kernel module.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign VP id.
+    pub fn bind_kernel(&mut self, vp: VpId, module: &'static str) {
+        self.vps[vp.0 as usize].binding = VpBinding::Kernel(module);
+    }
+
+    /// The binding of a VP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign VP id.
+    pub fn binding(&self, vp: VpId) -> VpBinding {
+        self.vps[vp.0 as usize].binding
+    }
+
+    /// Total virtual processors (fixed).
+    pub fn count(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// VPs available for user-process multiplexing.
+    pub fn user_vps(&self) -> Vec<VpId> {
+        (0..self.vps.len() as u32)
+            .map(VpId)
+            .filter(|v| self.vps[v.0 as usize].binding == VpBinding::User)
+            .collect()
+    }
+
+    /// Creates an eventcount.
+    pub fn create_eventcount(&mut self) -> EcId {
+        self.events.create()
+    }
+
+    /// Creates a sequencer.
+    pub fn create_sequencer(&mut self) -> EcId {
+        self.events.create_sequencer()
+    }
+
+    /// Reads an eventcount.
+    pub fn read_eventcount(&self, ec: EcId) -> u64 {
+        self.events.read(ec)
+    }
+
+    /// Takes a ticket.
+    pub fn ticket(&mut self, seq: EcId) -> u64 {
+        self.events.ticket(seq)
+    }
+
+    /// The wait primitive. Returns `true` if the condition already holds
+    /// (the wakeup-waiting case: the VP must not block); otherwise parks
+    /// the VP until an `advance` crosses the threshold.
+    pub fn await_value(&mut self, vp: VpId, ec: EcId, threshold: u64) -> bool {
+        if self.events.await_value(ec, threshold, WaiterId(vp.0)) {
+            return true;
+        }
+        self.vps[vp.0 as usize].state = VpState::Waiting;
+        self.run_queue.retain(|v| *v != vp);
+        if self.running == Some(vp) {
+            self.running = None;
+        }
+        false
+    }
+
+    /// The notify primitive: advances the eventcount and makes every VP
+    /// whose threshold is now met runnable. The caller learns only how
+    /// many woke — not who they are beyond the opaque scheduling effect.
+    pub fn advance(&mut self, ec: EcId) -> usize {
+        let woken = self.events.advance(ec);
+        let n = woken.len();
+        for w in woken {
+            let vp = VpId(w.0);
+            self.vps[vp.0 as usize].state = VpState::Ready;
+            self.run_queue.push_back(vp);
+        }
+        n
+    }
+
+    /// Dispatches the next runnable VP, exchanging core-resident state
+    /// (cheap — no paging possible) and charging [`VP_SWITCH_CYCLES`].
+    pub fn dispatch(
+        &mut self,
+        csm: &CoreSegmentManager,
+        mem: &mut MainMemory,
+        clock: &mut Clock,
+    ) -> Option<VpId> {
+        if let Some(prev) = self.running.take() {
+            if self.vps[prev.0 as usize].state == VpState::Ready {
+                self.run_queue.push_back(prev);
+            }
+        }
+        let next = self.run_queue.pop_front()?;
+        // Exchange the state words in the core segment: always resident.
+        let base = u64::from(next.0) * VP_STATE_WORDS;
+        let tick = csm.read(mem, self.state_seg, base).raw();
+        csm.write(mem, self.state_seg, base, Word::new(tick + 1));
+        clock.charge(VP_SWITCH_CYCLES);
+        self.switches += 1;
+        self.running = Some(next);
+        Some(next)
+    }
+
+    /// The VP currently holding a (simulated) real processor.
+    pub fn running(&self) -> Option<VpId> {
+        self.running
+    }
+
+    /// Number of runnable VPs.
+    pub fn runnable(&self) -> usize {
+        self.run_queue.len() + usize::from(self.running.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(count: u32) -> (CoreSegmentManager, MainMemory, Clock, VirtualProcessorManager) {
+        let mut csm = CoreSegmentManager::new(0, 4);
+        let mem = MainMemory::new(8);
+        let vpm = VirtualProcessorManager::new(&mut csm, count).unwrap();
+        (csm, mem, Clock::new(), vpm)
+    }
+
+    #[test]
+    fn fixed_population_with_kernel_bindings() {
+        let (_csm, _mem, _clk, mut vpm) = setup(6);
+        vpm.bind_kernel(VpId(0), "page-purifier");
+        vpm.bind_kernel(VpId(1), "core-manager");
+        vpm.bind_kernel(VpId(2), "user-scheduler");
+        assert_eq!(vpm.count(), 6);
+        assert_eq!(vpm.user_vps(), vec![VpId(3), VpId(4), VpId(5)]);
+        assert_eq!(vpm.binding(VpId(0)), VpBinding::Kernel("page-purifier"));
+    }
+
+    #[test]
+    fn await_parks_and_advance_wakes() {
+        let (csm, mut mem, mut clk, mut vpm) = setup(2);
+        let ec = vpm.create_eventcount();
+        assert!(!vpm.await_value(VpId(1), ec, 1), "not yet satisfied: parks");
+        assert_eq!(vpm.runnable(), 1);
+        assert_eq!(vpm.advance(ec), 1);
+        assert_eq!(vpm.runnable(), 2);
+        // Both dispatchable again.
+        assert!(vpm.dispatch(&csm, &mut mem, &mut clk).is_some());
+        assert!(vpm.dispatch(&csm, &mut mem, &mut clk).is_some());
+    }
+
+    #[test]
+    fn wakeup_waiting_returns_immediately() {
+        let (_csm, _mem, _clk, mut vpm) = setup(1);
+        let ec = vpm.create_eventcount();
+        vpm.advance(ec);
+        assert!(vpm.await_value(VpId(0), ec, 1), "already satisfied: no block");
+        assert_eq!(vpm.runnable(), 1);
+    }
+
+    #[test]
+    fn dispatch_is_cheap_and_round_robin() {
+        let (csm, mut mem, mut clk, mut vpm) = setup(3);
+        let order: Vec<u32> = (0..6).map(|_| vpm.dispatch(&csm, &mut mem, &mut clk).unwrap().0).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(clk.now(), 6 * VP_SWITCH_CYCLES, "only the cheap switch charge");
+        assert_eq!(vpm.switches, 6);
+    }
+
+    #[test]
+    fn waiting_vp_is_never_dispatched() {
+        let (csm, mut mem, mut clk, mut vpm) = setup(2);
+        let ec = vpm.create_eventcount();
+        vpm.await_value(VpId(0), ec, 5);
+        for _ in 0..4 {
+            assert_eq!(vpm.dispatch(&csm, &mut mem, &mut clk), Some(VpId(1)));
+        }
+    }
+
+    #[test]
+    fn sequencer_tickets_via_vpm() {
+        let (_csm, _mem, _clk, mut vpm) = setup(1);
+        let seq = vpm.create_sequencer();
+        assert_eq!(vpm.ticket(seq), 0);
+        assert_eq!(vpm.ticket(seq), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! The loop-breaking advisor.
+//!
+//! The paper's method: once the dependencies are classified, "the goal
+//! is their elimination and evolution to a design in which all
+//! dependencies fit naturally into this scheme." This module mechanizes
+//! the first step the designers took by hand — finding which edges,
+//! removed or re-engineered, open the loops — and ranks candidates the
+//! way the paper's experience suggests: improper edges (calls into
+//! higher modules, shared writable data) first, since those are the
+//! ones type extension says should not exist at all.
+
+use crate::graph::{DepEdge, DepKind, ModuleGraph};
+
+/// One suggestion: removing these edges makes the graph loop-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakPlan {
+    /// Indices into [`ModuleGraph::edges`] of the edges to eliminate.
+    pub edges: Vec<usize>,
+    /// How many of them are improper (cheaper to justify removing).
+    pub improper: usize,
+}
+
+/// Enumerates the simple cycles of the graph (bounded by `limit`), each
+/// as a module sequence `m0 -> m1 -> … -> m0`.
+///
+/// Uses a DFS restricted to one strongly connected component at a time;
+/// fine for module graphs (dozens of nodes), not for arbitrary input.
+pub fn simple_cycles(g: &ModuleGraph, limit: usize) -> Vec<Vec<crate::graph::ModuleId>> {
+    let mut out = Vec::new();
+    for comp in g.loops() {
+        let in_comp: std::collections::BTreeSet<_> = comp.iter().copied().collect();
+        for &start in &comp {
+            // DFS from `start`, only visiting ids >= start to avoid
+            // reporting each cycle once per member.
+            let mut stack = vec![(start, vec![start])];
+            while let Some((node, path)) = stack.pop() {
+                if out.len() >= limit {
+                    return out;
+                }
+                for next in g.successors(node) {
+                    if !in_comp.contains(&next) || next < start {
+                        continue;
+                    }
+                    if next == start {
+                        out.push(path.clone());
+                    } else if !path.contains(&next) && path.len() < 8 {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Proposes a set of edges whose removal makes the graph loop-free,
+/// preferring improper edges ([`DepKind::Call`] upward,
+/// [`DepKind::SharedData`]) — the ones the rationale says to eliminate.
+///
+/// Greedy: repeatedly remove the in-loop edge that participates in the
+/// most simple cycles, improper edges weighted double. Not minimal in
+/// general, but deterministic and small on module graphs.
+pub fn suggest_breaks(g: &ModuleGraph) -> BreakPlan {
+    let mut removed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for _ in 0..g.edges().len() {
+        let work = prune(g, &removed);
+        if work.is_loop_free() {
+            break;
+        }
+        let cycles = simple_cycles(&work, 256);
+        // Score the surviving original edges by cycle participation,
+        // improper edges weighted double.
+        let mut best: Option<(u64, usize)> = None;
+        for (i, e) in g.edges().iter().enumerate() {
+            if removed.contains(&i) {
+                continue;
+            }
+            let mut s = 0u64;
+            for cyc in &cycles {
+                for w in 0..cyc.len() {
+                    let from = cyc[w];
+                    let to = cyc[(w + 1) % cyc.len()];
+                    if e.from == from && e.to == to {
+                        s += 1;
+                    }
+                }
+            }
+            if s == 0 {
+                continue;
+            }
+            if !e.kind.is_proper() {
+                s *= 2;
+            }
+            if best.map(|(bs, bi)| (s, usize::MAX - i) > (bs, usize::MAX - bi)).unwrap_or(true) {
+                best = Some((s, i));
+            }
+        }
+        let Some((_, victim)) = best else { break };
+        removed.insert(victim);
+    }
+    let improper = removed.iter().filter(|i| !g.edges()[**i].kind.is_proper()).count();
+    BreakPlan { edges: removed.into_iter().collect(), improper }
+}
+
+/// A copy of `g` without the edges whose indices are in `removed`.
+fn prune(g: &ModuleGraph, removed: &std::collections::BTreeSet<usize>) -> ModuleGraph {
+    let mut out = ModuleGraph::new();
+    for m in g.module_ids() {
+        out.add_module(g.name(m), g.description(m));
+    }
+    for (i, e) in g.edges().iter().enumerate() {
+        if !removed.contains(&i) {
+            out.depend(e.from, e.to, e.kind, e.note.clone());
+        }
+    }
+    out
+}
+
+/// Renders a break plan as advice.
+pub fn render_plan(g: &ModuleGraph, plan: &BreakPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "to make the structure loop-free, eliminate {} dependencies ({} improper):\n",
+        plan.edges.len(),
+        plan.improper
+    ));
+    for &i in &plan.edges {
+        let e: &DepEdge = &g.edges()[i];
+        let how = match e.kind {
+            DepKind::SharedData => "give the data an owner and an interface",
+            DepKind::Call => "invert with hardware reporting or an upward signal",
+            DepKind::Map | DepKind::Program | DepKind::AddressSpace => {
+                "move the storage into core segments"
+            }
+            DepKind::Interpreter => "interpose a fixed lower level of virtual processors",
+            DepKind::Component => "re-layer the object types",
+        };
+        out.push_str(&format!(
+            "  {} -> {} [{}] ({})\n      fix: {}\n",
+            g.name(e.from),
+            g.name(e.to),
+            e.kind.label(),
+            e.note,
+            how
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepKind;
+
+    fn tangled() -> ModuleGraph {
+        let mut g = ModuleGraph::new();
+        let a = g.add_module("a", "");
+        let b = g.add_module("b", "");
+        let c = g.add_module("c", "");
+        g.depend(a, b, DepKind::Component, "clean");
+        g.depend(b, c, DepKind::Component, "clean");
+        g.depend(c, a, DepKind::SharedData, "the tangle");
+        g
+    }
+
+    #[test]
+    fn cycles_are_enumerated_once() {
+        let g = tangled();
+        let cycles = simple_cycles(&g, 16);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn the_improper_edge_is_the_suggested_break() {
+        let g = tangled();
+        let plan = suggest_breaks(&g);
+        assert_eq!(plan.edges.len(), 1);
+        assert_eq!(plan.improper, 1);
+        assert_eq!(g.edges()[plan.edges[0]].note, "the tangle");
+        let text = render_plan(&g, &plan);
+        assert!(text.contains("give the data an owner"));
+    }
+
+    #[test]
+    fn the_plan_actually_opens_the_loops() {
+        let g = tangled();
+        let plan = suggest_breaks(&g);
+        let mut pruned = ModuleGraph::new();
+        for m in g.module_ids() {
+            pruned.add_module(g.name(m), "");
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if !plan.edges.contains(&i) {
+                pruned.depend(e.from, e.to, e.kind, "");
+            }
+        }
+        assert!(pruned.is_loop_free());
+    }
+
+    #[test]
+    fn figure_3_advice_targets_the_papers_edges() {
+        let g = mx_legacy_like();
+        let plan = suggest_breaks(&g);
+        assert!(!plan.edges.is_empty());
+        // After applying the plan the tangle opens.
+        let mut pruned = ModuleGraph::new();
+        for m in g.module_ids() {
+            pruned.add_module(g.name(m), "");
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if !plan.edges.contains(&i) {
+                pruned.depend(e.from, e.to, e.kind, "");
+            }
+        }
+        assert!(pruned.is_loop_free());
+    }
+
+    /// A figure-3-shaped tangle without depending on mx-legacy.
+    fn mx_legacy_like() -> ModuleGraph {
+        let mut g = ModuleGraph::new();
+        let dc = g.add_module("directory", "");
+        let sc = g.add_module("segment", "");
+        let pc = g.add_module("page", "");
+        let prc = g.add_module("process", "");
+        g.depend(dc, sc, DepKind::Component, "");
+        g.depend(sc, pc, DepKind::Component, "");
+        g.depend(pc, prc, DepKind::Call, "yield");
+        g.depend(prc, sc, DepKind::Component, "states in segments");
+        g.depend(pc, sc, DepKind::SharedData, "AST");
+        g.depend(sc, dc, DepKind::SharedData, "hierarchy shape");
+        g
+    }
+}

@@ -1,0 +1,122 @@
+//! The processor fault model.
+//!
+//! Address translation either produces an absolute address or raises one of
+//! these faults. Which faults exist — in particular whether a reference to
+//! a never-before-used page raises a generic missing-page fault or a
+//! distinguished *quota* fault — depends on the [`HwFeatures`] in force;
+//! that distinction is one of the hardware changes the paper proposes.
+//!
+//! [`HwFeatures`]: crate::cpu::HwFeatures
+
+use crate::mem::AbsAddr;
+use crate::VirtAddr;
+
+/// A fault raised by the processor during address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The segment number is outside the bounds of the descriptor segment,
+    /// or its descriptor carries the *missing segment* (not connected)
+    /// flag. Software must activate/connect the segment.
+    MissingSegment { va: VirtAddr },
+    /// The page descriptor for the referenced page carries the *missing*
+    /// flag and the page has previously existed on disk: page control (or
+    /// the page-frame manager) must bring it into core.
+    ///
+    /// `descriptor` is the absolute address of the offending page-table
+    /// word; with the `descriptor_lock` feature the hardware has already
+    /// set the lock bit in that word before raising this fault.
+    MissingPage {
+        va: VirtAddr,
+        descriptor: AbsAddr,
+        /// True if the hardware atomically set the descriptor lock bit
+        /// while taking this fault (the paper's proposed addition).
+        locked_by_hw: bool,
+    },
+    /// The referenced page descriptor is locked by another processor's
+    /// in-progress fault service (only raised when the `descriptor_lock`
+    /// feature is on). The faulting process should wait for notification
+    /// and re-reference.
+    LockedDescriptor { va: VirtAddr, descriptor: AbsAddr },
+    /// A reference touched a never-before-used page of a segment — the
+    /// page must be *created*, which requires a quota check. Raised
+    /// instead of [`Fault::MissingPage`] only when the `quota_trap`
+    /// feature is on; it reports segment and page number so the
+    /// known-segment manager can be invoked directly, without page
+    /// control having to identify the page with a segment by itself.
+    QuotaTrap { va: VirtAddr, descriptor: AbsAddr },
+    /// The access mode of the reference is not permitted by the segment
+    /// descriptor (e.g. a store into a read-only segment).
+    AccessViolation { va: VirtAddr },
+    /// The word offset exceeds the segment's bound.
+    BoundsViolation { va: VirtAddr },
+    /// The reference would require walking a descriptor located outside
+    /// of physical core — a software wiring error surfaced as a fault so
+    /// tests can observe it.
+    BadDescriptor { va: VirtAddr },
+}
+
+impl Fault {
+    /// The virtual address whose translation raised the fault.
+    pub fn va(&self) -> VirtAddr {
+        match *self {
+            Fault::MissingSegment { va }
+            | Fault::MissingPage { va, .. }
+            | Fault::LockedDescriptor { va, .. }
+            | Fault::QuotaTrap { va, .. }
+            | Fault::AccessViolation { va }
+            | Fault::BoundsViolation { va }
+            | Fault::BadDescriptor { va } => va,
+        }
+    }
+
+    /// Short mnemonic used in traces and audit logs.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Fault::MissingSegment { .. } => "seg",
+            Fault::MissingPage { .. } => "page",
+            Fault::LockedDescriptor { .. } => "lock",
+            Fault::QuotaTrap { .. } => "quota",
+            Fault::AccessViolation { .. } => "access",
+            Fault::BoundsViolation { .. } => "bounds",
+            Fault::BadDescriptor { .. } => "baddsc",
+        }
+    }
+}
+
+impl core::fmt::Display for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} fault at {}", self.mnemonic(), self.va())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_reports_its_address() {
+        let va = VirtAddr::new(7, 99);
+        let f = Fault::AccessViolation { va };
+        assert_eq!(f.va(), va);
+        assert_eq!(format!("{f}"), "access fault at 7|99");
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let va = VirtAddr::new(0, 0);
+        let d = AbsAddr(0);
+        let faults = [
+            Fault::MissingSegment { va },
+            Fault::MissingPage { va, descriptor: d, locked_by_hw: false },
+            Fault::LockedDescriptor { va, descriptor: d },
+            Fault::QuotaTrap { va, descriptor: d },
+            Fault::AccessViolation { va },
+            Fault::BoundsViolation { va },
+            Fault::BadDescriptor { va },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for f in faults {
+            assert!(seen.insert(f.mnemonic()), "duplicate mnemonic {}", f.mnemonic());
+        }
+    }
+}

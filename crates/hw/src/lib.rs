@@ -1,0 +1,97 @@
+//! Simulated hardware substrate for the Multics kernel design project.
+//!
+//! This crate plays the role of the Honeywell 6180 in the paper: a 36-bit
+//! word machine with segmented, paged addressing driven by descriptor words
+//! that live *in* simulated main memory, a fault model, demountable disk
+//! packs with per-pack tables of contents, and a deterministic cycle clock
+//! used for cost accounting.
+//!
+//! The paper proposes several small hardware additions that its new kernel
+//! design depends on; all of them are implemented here behind the
+//! [`HwFeatures`] switches so the legacy supervisor can run without them:
+//!
+//! * a second descriptor base register giving every processor a private
+//!   *system* address space for low-numbered segments (`dual_dbr`);
+//! * a lock bit in page descriptors, set atomically when a missing-page
+//!   fault is taken, plus a *locked page descriptor* exception
+//!   (`descriptor_lock`);
+//! * an exception-causing bit in page descriptors that turns a fault on a
+//!   never-before-used page into a distinct *quota* exception
+//!   (`quota_trap`);
+//! * a wakeup-waiting switch and a locked-descriptor address register per
+//!   processor (`wakeup_waiting`).
+//!
+//! Nothing in this crate knows about kernels, processes, or files; it only
+//! stores words, walks descriptors, raises faults, and charges cycles.
+
+pub mod clock;
+pub mod cpu;
+pub mod disk;
+pub mod fault;
+pub mod interp;
+pub mod machine;
+pub mod mem;
+pub mod word;
+
+pub use clock::{Clock, CostModel, Language};
+pub use cpu::{AccessMode, HwFeatures, Processor, ProcessorId};
+pub use disk::{DiskPack, DiskSystem, PackId, RecordNo, TocEntry, TocIndex};
+pub use fault::Fault;
+pub use machine::{Machine, MachineConfig};
+pub use mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
+pub use word::{Word, WORD_MASK};
+
+/// A virtual address: segment number plus word offset within the segment.
+///
+/// This is the two-part address the 6180 hardware translates through a
+/// descriptor segment and a page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtAddr {
+    /// Segment number, an index into the executing address space.
+    pub segno: u32,
+    /// Word offset within the segment.
+    pub wordno: u32,
+}
+
+impl VirtAddr {
+    /// Builds a virtual address from a segment number and word offset.
+    pub const fn new(segno: u32, wordno: u32) -> Self {
+        Self { segno, wordno }
+    }
+
+    /// The page number within the segment that this address falls on.
+    pub const fn pageno(self) -> u32 {
+        self.wordno / PAGE_WORDS as u32
+    }
+
+    /// The word offset within the page.
+    pub const fn offset_in_page(self) -> u32 {
+        self.wordno % PAGE_WORDS as u32
+    }
+}
+
+impl core::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}|{}", self.segno, self.wordno)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_page_split() {
+        let va = VirtAddr::new(3, 2 * PAGE_WORDS as u32 + 17);
+        assert_eq!(va.pageno(), 2);
+        assert_eq!(va.offset_in_page(), 17);
+        assert_eq!(format!("{va}"), "3|2065");
+    }
+
+    #[test]
+    fn virt_addr_orders_by_segment_then_word() {
+        let a = VirtAddr::new(1, 500);
+        let b = VirtAddr::new(2, 0);
+        assert!(a < b);
+    }
+}

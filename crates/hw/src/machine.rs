@@ -1,0 +1,221 @@
+//! The assembled machine: memory + processors + disks + clock.
+//!
+//! [`Machine`] is the single mutable world the supervisor implementations
+//! operate on. Its methods split borrows across the component fields so a
+//! processor can walk descriptor tables held in main memory while the
+//! clock accumulates charges.
+
+use crate::clock::{Clock, CostModel};
+use crate::cpu::{HwFeatures, Processor, ProcessorId};
+use crate::disk::{DiskError, DiskSystem, PackId, RecordNo};
+use crate::fault::Fault;
+use crate::mem::{FrameNo, MainMemory, PAGE_WORDS};
+use crate::word::Word;
+use crate::VirtAddr;
+
+/// Configuration for building a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Page frames of primary memory.
+    pub frames: usize,
+    /// Number of real processors.
+    pub cpus: u32,
+    /// Number of disk packs to attach at bootload.
+    pub packs: u32,
+    /// Records (pages) per pack.
+    pub records_per_pack: u32,
+    /// Table-of-contents slots per pack.
+    pub toc_slots_per_pack: u32,
+    /// Hardware feature set.
+    pub features: HwFeatures,
+    /// Cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            frames: 256,
+            cpus: 2,
+            packs: 2,
+            records_per_pack: 1024,
+            toc_slots_per_pack: 256,
+            features: HwFeatures::BASE_1974,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A configuration with the paper's proposed hardware additions on.
+    pub fn kernel_proposed() -> Self {
+        Self { features: HwFeatures::KERNEL_PROPOSED, ..Self::default() }
+    }
+}
+
+/// The whole simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Primary memory.
+    pub mem: MainMemory,
+    /// The cycle clock.
+    pub clock: Clock,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Real processors.
+    pub cpus: Vec<Processor>,
+    /// Attached disk packs.
+    pub disks: DiskSystem,
+    /// Hardware feature set the machine was built with.
+    pub features: HwFeatures,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let mut disks = DiskSystem::new();
+        for _ in 0..config.packs {
+            disks.attach(config.records_per_pack, config.toc_slots_per_pack);
+        }
+        Self {
+            mem: MainMemory::new(config.frames),
+            clock: Clock::new(),
+            cost: config.cost,
+            cpus: (0..config.cpus)
+                .map(|i| Processor::new(ProcessorId(i), config.features))
+                .collect(),
+            disks,
+            features: config.features,
+        }
+    }
+
+    /// A default machine with the 1974 hardware base.
+    pub fn base_1974() -> Self {
+        Self::new(MachineConfig::default())
+    }
+
+    /// A default machine with the paper's proposed hardware additions.
+    pub fn kernel_proposed() -> Self {
+        Self::new(MachineConfig::kernel_proposed())
+    }
+
+    /// Reads one word through processor `cpu`'s address translation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any translation [`Fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` does not name a real processor.
+    pub fn read(&mut self, cpu: ProcessorId, va: VirtAddr) -> Result<Word, Fault> {
+        self.cpus[cpu.0 as usize].read(&mut self.mem, &mut self.clock, &self.cost, va)
+    }
+
+    /// Writes one word through processor `cpu`'s address translation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any translation [`Fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` does not name a real processor.
+    pub fn write(&mut self, cpu: ProcessorId, va: VirtAddr, value: Word) -> Result<(), Fault> {
+        self.cpus[cpu.0 as usize].write(&mut self.mem, &mut self.clock, &self.cost, va, value)
+    }
+
+    /// Transfers a disk record into a core frame, charging the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskError`] for a bad pack or record.
+    pub fn disk_read_into_frame(
+        &mut self,
+        pack: PackId,
+        record: RecordNo,
+        frame: FrameNo,
+    ) -> Result<(), DiskError> {
+        let data = self.disks.pack(pack)?.read_record(record)?.clone();
+        self.mem.write_frame(frame, &data);
+        self.clock.charge_disk_transfer(&self.cost);
+        Ok(())
+    }
+
+    /// Transfers a core frame onto a disk record, charging the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskError`] for a bad pack or record.
+    pub fn disk_write_from_frame(
+        &mut self,
+        pack: PackId,
+        record: RecordNo,
+        frame: FrameNo,
+    ) -> Result<(), DiskError> {
+        let mut buf = [Word::ZERO; PAGE_WORDS];
+        buf.copy_from_slice(&self.mem.read_frame(frame)[..]);
+        self.disks.pack_mut(pack)?.write_record(record, &buf)?;
+        self.clock.charge_disk_transfer(&self.cost);
+        Ok(())
+    }
+
+    /// Number of real processors.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{DescBase, Ptw, Sdw};
+    use crate::mem::AbsAddr;
+
+    #[test]
+    fn default_machine_shape() {
+        let m = Machine::base_1974();
+        assert_eq!(m.cpu_count(), 2);
+        assert_eq!(m.disks.pack_count(), 2);
+        assert_eq!(m.mem.frames(), 256);
+        assert!(!m.features.descriptor_lock);
+        let k = Machine::kernel_proposed();
+        assert!(k.features.descriptor_lock && k.features.dual_dbr);
+    }
+
+    #[test]
+    fn machine_read_write_through_translation() {
+        let mut m = Machine::base_1974();
+        // Descriptor table at frame 0, page table at frame 1, page at 2.
+        let pt = FrameNo(1).base();
+        m.mem.write(pt, Ptw { frame: FrameNo(2), present: true, ..Ptw::default() }.encode());
+        let sdw = Sdw {
+            page_table: pt,
+            bound_pages: 1,
+            read: true,
+            write: true,
+            execute: false,
+            present: true,
+            software: false,
+        };
+        m.mem.write(AbsAddr(0), sdw.encode());
+        m.cpus[0].dbr_user = Some(DescBase { base: AbsAddr(0), len: 1 });
+        let va = VirtAddr::new(0, 9);
+        m.write(ProcessorId(0), va, Word::new(3)).unwrap();
+        assert_eq!(m.read(ProcessorId(0), va).unwrap(), Word::new(3));
+        assert!(m.clock.now() > 0);
+    }
+
+    #[test]
+    fn disk_frame_round_trip_charges_clock() {
+        let mut m = Machine::base_1974();
+        let pack = PackId(0);
+        let rec = m.disks.pack_mut(pack).unwrap().allocate_record().unwrap();
+        m.mem.write(FrameNo(5).base().add(3), Word::new(0o777));
+        let before = m.clock.disk_transfers();
+        m.disk_write_from_frame(pack, rec, FrameNo(5)).unwrap();
+        m.disk_read_into_frame(pack, rec, FrameNo(6)).unwrap();
+        assert_eq!(m.mem.read(FrameNo(6).base().add(3)), Word::new(0o777));
+        assert_eq!(m.clock.disk_transfers(), before + 2);
+    }
+}

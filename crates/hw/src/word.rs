@@ -1,0 +1,126 @@
+//! The 36-bit machine word.
+//!
+//! Multics ran on 36-bit hardware; every quantity the simulated machine
+//! stores — data, descriptor words, page-table words — is a [`Word`].
+//! We carry words in a `u64` and mask to 36 bits on construction so that
+//! arithmetic overflow behaves like the real machine's truncation.
+
+use serde::{Deserialize, Serialize};
+
+/// Mask selecting the low 36 bits of a `u64`.
+pub const WORD_MASK: u64 = (1 << 36) - 1;
+
+/// A 36-bit machine word.
+///
+/// The inner value is always `<= WORD_MASK`; constructors truncate.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Word(u64);
+
+impl Word {
+    /// The all-zeros word.
+    pub const ZERO: Word = Word(0);
+
+    /// Builds a word, truncating the argument to 36 bits.
+    pub const fn new(raw: u64) -> Self {
+        Word(raw & WORD_MASK)
+    }
+
+    /// The raw 36-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if every bit of the word is zero.
+    ///
+    /// The Multics page-removal algorithm scans page contents for all-zero
+    /// words to reclaim storage charges; this is the per-word predicate.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Wrapping 36-bit addition.
+    pub const fn wrapping_add(self, other: Word) -> Word {
+        Word((self.0 + other.0) & WORD_MASK)
+    }
+
+    /// Returns the word with the given bit (0 = least significant) set.
+    pub const fn with_bit(self, bit: u32) -> Word {
+        Word((self.0 | (1 << bit)) & WORD_MASK)
+    }
+
+    /// True if the given bit is set.
+    pub const fn bit(self, bit: u32) -> bool {
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// Extracts a bit field: `width` bits starting at `lo`.
+    pub const fn field(self, lo: u32, width: u32) -> u64 {
+        (self.0 >> lo) & ((1 << width) - 1)
+    }
+
+    /// Returns a copy with `width` bits starting at `lo` replaced by `value`.
+    pub const fn with_field(self, lo: u32, width: u32, value: u64) -> Word {
+        let mask = ((1u64 << width) - 1) << lo;
+        Word(((self.0 & !mask) | ((value << lo) & mask)) & WORD_MASK)
+    }
+}
+
+impl From<u64> for Word {
+    fn from(raw: u64) -> Self {
+        Word::new(raw)
+    }
+}
+
+impl From<Word> for u64 {
+    fn from(w: Word) -> Self {
+        w.raw()
+    }
+}
+
+impl core::fmt::Display for Word {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Octal is the native display radix for 36-bit machines.
+        write!(f, "{:012o}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_truncates_to_36_bits() {
+        let w = Word::new(u64::MAX);
+        assert_eq!(w.raw(), WORD_MASK);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Word::ZERO.is_zero());
+        assert!(!Word::new(1).is_zero());
+    }
+
+    #[test]
+    fn wrapping_add_wraps_at_36_bits() {
+        let w = Word::new(WORD_MASK).wrapping_add(Word::new(1));
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    fn bit_and_field_accessors_round_trip() {
+        let w = Word::ZERO.with_field(10, 8, 0xAB).with_bit(35);
+        assert_eq!(w.field(10, 8), 0xAB);
+        assert!(w.bit(35));
+        assert!(!w.bit(34));
+        let cleared = w.with_field(10, 8, 0);
+        assert_eq!(cleared.field(10, 8), 0);
+        assert!(cleared.bit(35));
+    }
+
+    #[test]
+    fn display_is_twelve_octal_digits() {
+        assert_eq!(format!("{}", Word::new(0o777)), "000000000777");
+    }
+}

@@ -1,0 +1,161 @@
+//! The in-kernel answering service.
+//!
+//! "The Answering Service: the programs that regulate attempts to log in
+//! to the system, including authenticating passwords, and manage system
+//! accounting. These programs were the equivalent of 10,000 lines of PL/I
+//! code" — all of it trusted. Montgomery's study showed fewer than 1,000
+//! of those lines need protection; the restructured version lives in
+//! `mx-user` with only a small residue gate in the kernel.
+//!
+//! Here is the old shape: registration, password authentication, process
+//! creation, and accounting all execute as one privileged blob.
+
+use crate::supervisor::Supervisor;
+use crate::types::{LegacyError, ProcessId, UserId};
+use mx_aim::Label;
+use mx_hw::Language;
+
+/// Cost of the monolithic login path (10K lines of trusted PL/I do a lot
+/// of work per login).
+const LOGIN_INSTR: u64 = 900;
+const LOGOUT_INSTR: u64 = 250;
+
+/// A registered user account.
+#[derive(Debug, Clone)]
+pub struct UserAccount {
+    /// The user's id.
+    pub user: UserId,
+    /// Hash of the password (FNV-1a over the cleartext; the experiments
+    /// need determinism, not cryptography).
+    pub password_hash: u64,
+    /// The highest AIM label the user may log in at.
+    pub clearance: Label,
+    /// Accounting: accumulated charge units across sessions.
+    pub charge_units: u64,
+    /// Number of completed sessions.
+    pub sessions: u64,
+}
+
+/// Deterministic FNV-1a used for password comparison.
+pub fn password_hash(cleartext: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cleartext.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Supervisor {
+    /// Registers a user with a password and an AIM clearance.
+    pub fn register_user(&mut self, name: &str, user: UserId, password: &str, clearance: Label) {
+        self.users.insert(
+            name.to_string(),
+            UserAccount {
+                user,
+                password_hash: password_hash(password),
+                clearance,
+                charge_units: 0,
+                sessions: 0,
+            },
+        );
+    }
+
+    /// The monolithic login: authenticate, check the requested label
+    /// against the clearance, create the process, open the accounting
+    /// record — all inside the kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::UnknownUser`], [`LegacyError::BadPassword`],
+    /// [`LegacyError::AimViolation`] (label above clearance), or process
+    /// creation errors.
+    pub fn login(
+        &mut self,
+        name: &str,
+        password: &str,
+        label: Label,
+    ) -> Result<ProcessId, LegacyError> {
+        self.charge(LOGIN_INSTR, Language::Pli);
+        let account = self.users.get(name).ok_or(LegacyError::UnknownUser)?;
+        if account.password_hash != password_hash(password) {
+            return Err(LegacyError::BadPassword);
+        }
+        if !account.clearance.dominates(label) {
+            return Err(LegacyError::AimViolation);
+        }
+        let user = account.user;
+        self.create_process(user, label)
+    }
+
+    /// Logout: finalize accounting and destroy the process.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoSuchProcess`] / [`LegacyError::UnknownUser`].
+    pub fn logout(&mut self, name: &str, pid: ProcessId) -> Result<u64, LegacyError> {
+        self.charge(LOGOUT_INSTR, Language::Pli);
+        let used = self.cpu_charge(pid)?;
+        self.destroy_process(pid)?;
+        let account = self.users.get_mut(name).ok_or(LegacyError::UnknownUser)?;
+        account.charge_units += used;
+        account.sessions += 1;
+        Ok(used)
+    }
+
+    /// A user's accumulated charge units.
+    pub fn account_charge(&self, name: &str) -> Option<u64> {
+        self.users.get(name).map(|a| a.charge_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_aim::{CompartmentSet, Level};
+
+    fn secret() -> Label {
+        Label::new(Level(2), CompartmentSet::empty())
+    }
+
+    #[test]
+    fn login_logout_cycle_bills_the_account() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("saltzer", UserId(1), "cactus", secret());
+        let pid = sup.login("saltzer", "cactus", Label::BOTTOM).unwrap();
+        sup.dispatch();
+        let used = sup.logout("saltzer", pid).unwrap();
+        assert!(used > 0, "dispatching accrued charge");
+        assert_eq!(sup.account_charge("saltzer"), Some(used));
+        assert_eq!(sup.live_processes(), 0);
+    }
+
+    #[test]
+    fn bad_password_and_unknown_user_rejected() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("clark", UserId(2), "arpa", Label::BOTTOM);
+        assert_eq!(
+            sup.login("clark", "wrong", Label::BOTTOM).unwrap_err(),
+            LegacyError::BadPassword
+        );
+        assert_eq!(
+            sup.login("nobody", "x", Label::BOTTOM).unwrap_err(),
+            LegacyError::UnknownUser
+        );
+    }
+
+    #[test]
+    fn login_above_clearance_denied() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("low", UserId(3), "pw", Label::BOTTOM);
+        assert_eq!(sup.login("low", "pw", secret()).unwrap_err(), LegacyError::AimViolation);
+    }
+
+    #[test]
+    fn login_at_or_below_clearance_allowed() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("high", UserId(4), "pw", secret());
+        assert!(sup.login("high", "pw", Label::BOTTOM).is_ok());
+        assert!(sup.login("high", "pw", secret()).is_ok());
+    }
+}

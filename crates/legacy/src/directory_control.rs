@@ -1,0 +1,744 @@
+//! Directory control: the hierarchy, ACLs, pathname resolution, quota
+//! designation.
+//!
+//! Directory representations are stored in segments, so every operation
+//! here really pages: an entry is a 16-word record written through
+//! [`Supervisor::sup_write`], and a lookup is a scan of those records
+//! through [`Supervisor::sup_read`].
+//!
+//! Two of the paper's semantic case studies live here in their *old*
+//! form:
+//!
+//! * **Buried pathname search.** `resolve` follows a tree name through
+//!   directories the caller may not be able to read, checks only the
+//!   final target's ACL, and answers either "file found" or the
+//!   deliberately uninformative [`LegacyError::NoAccess`].
+//! * **Dynamic quota directories.** Any directory may be designated a
+//!   quota directory *at any time*, which forces an expensive
+//!   subtree-usage computation and charge migration — the complexity
+//!   that drove the new design's childless-only rule.
+
+use crate::supervisor::{Branch, KstEntry, Supervisor, MAX_SEGNO};
+use crate::types::{AccessRight, Acl, DiskHome, LegacyError, ProcessId, SegUid};
+use mx_aim::{AccessKind, CompartmentSet, Label, Level, ReferenceMonitor};
+use mx_hw::{Language, PackId, TocIndex, Word};
+
+/// Words per directory entry record.
+pub const ENTRY_WORDS: u32 = 16;
+/// Characters per name (8 words of four 9-bit characters).
+pub const NAME_CHARS: usize = 32;
+
+const LOOKUP_INSTR_PER_ENTRY: u64 = 12;
+const CREATE_INSTR: u64 = 150;
+const QUOTA_SWEEP_INSTR_PER_OBJECT: u64 = 60;
+
+/// A decoded directory entry record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryRecord {
+    /// The named object's uid.
+    pub uid: SegUid,
+    /// True if the entry names a directory.
+    pub is_dir: bool,
+    /// True if the directory is a quota directory.
+    pub quota_dir: bool,
+    /// Containing pack.
+    pub pack: PackId,
+    /// Index into the pack's table of contents.
+    pub toc: TocIndex,
+    /// Entry name (up to 32 characters).
+    pub name: String,
+    /// Discretionary access control list.
+    pub acl: Acl,
+    /// AIM label of the object.
+    pub label: Label,
+    /// Quota limit (quota directories only).
+    pub quota_limit: u32,
+    /// Persisted quota use count (quota directories only).
+    pub quota_used: u32,
+}
+
+fn pack_name(name: &str) -> [Word; 8] {
+    let mut words = [Word::ZERO; 8];
+    for (i, b) in name.bytes().take(NAME_CHARS).enumerate() {
+        let w = i / 4;
+        let shift = (i % 4) as u32 * 9;
+        words[w] = Word::new(words[w].raw() | (u64::from(b) << shift));
+    }
+    words
+}
+
+fn unpack_name(words: &[Word; 8]) -> String {
+    let mut out = String::new();
+    for w in words {
+        for c in 0..4 {
+            let b = ((w.raw() >> (c * 9)) & 0x1FF) as u8;
+            if b == 0 {
+                return out;
+            }
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+fn pack_label(label: Label) -> u64 {
+    u64::from(label.level.0 & 0x7) | (label.compartments.bits() & 0xFF_FFFF) << 3
+}
+
+fn unpack_label(bits: u64) -> Label {
+    Label::new(Level((bits & 0x7) as u8), CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF))
+}
+
+impl Supervisor {
+    // ----- entry record codec -------------------------------------------
+
+    /// Word offset of entry `slot` within a directory segment.
+    fn entry_base(slot: u32) -> u32 {
+        1 + slot * ENTRY_WORDS
+    }
+
+    /// Number of entry slots ever used in the directory at `astx`.
+    pub(crate) fn entry_count(&mut self, astx: usize) -> Result<u32, LegacyError> {
+        Ok(self.sup_read(astx, 0)?.raw() as u32)
+    }
+
+    /// Reads and decodes entry `slot` of the directory at `astx`.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] if the slot is unused; paging errors
+    /// otherwise.
+    pub fn read_entry(&mut self, astx: usize, slot: u32) -> Result<EntryRecord, LegacyError> {
+        let base = Self::entry_base(slot);
+        let flags = self.sup_read(astx, base + 1)?.raw();
+        if flags & 1 == 0 {
+            return Err(LegacyError::NoAccess);
+        }
+        let uid = SegUid(self.sup_read(astx, base)?.raw());
+        let pack = PackId(self.sup_read(astx, base + 2)?.raw() as u32);
+        let toc = TocIndex(self.sup_read(astx, base + 3)?.raw() as u32);
+        let mut name_words = [Word::ZERO; 8];
+        for (i, w) in name_words.iter_mut().enumerate() {
+            *w = self.sup_read(astx, base + 4 + i as u32)?;
+        }
+        let users = self.sup_read(astx, base + 12)?.raw();
+        let rights = self.sup_read(astx, base + 13)?.raw();
+        let quota_limit = self.sup_read(astx, base + 14)?.raw() as u32;
+        let quota_used = self.sup_read(astx, base + 15)?.raw() as u32;
+        Ok(EntryRecord {
+            uid,
+            is_dir: flags & 2 != 0,
+            quota_dir: flags & 4 != 0,
+            pack,
+            toc,
+            name: unpack_name(&name_words),
+            acl: Acl::unpack(users, rights),
+            label: unpack_label(flags >> 3),
+            quota_limit,
+            quota_used,
+        })
+    }
+
+    /// Encodes and writes a full entry record into `slot`.
+    pub(crate) fn write_entry(
+        &mut self,
+        astx: usize,
+        slot: u32,
+        entry: &EntryRecord,
+    ) -> Result<(), LegacyError> {
+        let base = Self::entry_base(slot);
+        let mut flags = 1u64;
+        if entry.is_dir {
+            flags |= 2;
+        }
+        if entry.quota_dir {
+            flags |= 4;
+        }
+        flags |= pack_label(entry.label) << 3;
+        self.sup_write(astx, base, Word::new(entry.uid.0))?;
+        self.sup_write(astx, base + 1, Word::new(flags))?;
+        self.sup_write(astx, base + 2, Word::new(u64::from(entry.pack.0)))?;
+        self.sup_write(astx, base + 3, Word::new(u64::from(entry.toc.0)))?;
+        for (i, w) in pack_name(&entry.name).iter().enumerate() {
+            self.sup_write(astx, base + 4 + i as u32, *w)?;
+        }
+        let (users, rights) = entry.acl.pack();
+        self.sup_write(astx, base + 12, Word::new(users))?;
+        self.sup_write(astx, base + 13, Word::new(rights))?;
+        self.sup_write(astx, base + 14, Word::new(u64::from(entry.quota_limit)))?;
+        self.sup_write(astx, base + 15, Word::new(u64::from(entry.quota_used)))?;
+        Ok(())
+    }
+
+    /// Rewrites only the disk home of an entry (relocation's direct
+    /// update).
+    pub(crate) fn write_entry_home(
+        &mut self,
+        astx: usize,
+        slot: u32,
+        home: DiskHome,
+    ) -> Result<(), LegacyError> {
+        let base = Self::entry_base(slot);
+        self.sup_write(astx, base + 2, Word::new(u64::from(home.pack.0)))?;
+        self.sup_write(astx, base + 3, Word::new(u64::from(home.toc.0)))?;
+        Ok(())
+    }
+
+    /// Rewrites only the quota words of an entry (deactivation persists
+    /// the cached cell).
+    pub(crate) fn write_entry_quota(
+        &mut self,
+        astx: usize,
+        slot: u32,
+        limit: u32,
+        used: u32,
+    ) -> Result<(), LegacyError> {
+        let base = Self::entry_base(slot);
+        self.sup_write(astx, base + 14, Word::new(u64::from(limit)))?;
+        self.sup_write(astx, base + 15, Word::new(u64::from(used)))?;
+        Ok(())
+    }
+
+    /// Scans the directory at `astx` for `name`; returns (slot, entry).
+    pub(crate) fn lookup(
+        &mut self,
+        astx: usize,
+        name: &str,
+    ) -> Result<Option<(u32, EntryRecord)>, LegacyError> {
+        let count = self.entry_count(astx)?;
+        for slot in 0..count {
+            self.charge(LOOKUP_INSTR_PER_ENTRY, Language::Pli);
+            match self.read_entry(astx, slot) {
+                Ok(e) if e.name == name => return Ok(Some((slot, e))),
+                Ok(_) | Err(LegacyError::NoAccess) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(None)
+    }
+
+    // ----- creation ------------------------------------------------------
+
+    /// Creates a directory named `name` inside the directory `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NameDuplicated`] on a name clash; paging and disk
+    /// errors otherwise.
+    pub fn create_directory_in(
+        &mut self,
+        parent: SegUid,
+        name: &str,
+        acl: Acl,
+        label: Label,
+    ) -> Result<SegUid, LegacyError> {
+        self.create_object(parent, name, acl, label, true)
+    }
+
+    /// Creates a data segment named `name` inside the directory `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NameDuplicated`] on a name clash; paging and disk
+    /// errors otherwise.
+    pub fn create_segment_in(
+        &mut self,
+        parent: SegUid,
+        name: &str,
+        acl: Acl,
+        label: Label,
+    ) -> Result<SegUid, LegacyError> {
+        self.create_object(parent, name, acl, label, false)
+    }
+
+    fn create_object(
+        &mut self,
+        parent: SegUid,
+        name: &str,
+        acl: Acl,
+        label: Label,
+        is_dir: bool,
+    ) -> Result<SegUid, LegacyError> {
+        self.charge(CREATE_INSTR, Language::Pli);
+        let parent_astx = self.activate(parent)?;
+        if !self.ast.get(parent_astx).expect("active parent").is_dir {
+            return Err(LegacyError::NotADirectory);
+        }
+        if self.lookup(parent_astx, name)?.is_some() {
+            return Err(LegacyError::NameDuplicated);
+        }
+        // Place the new object on its parent's pack when possible so
+        // subtrees cluster (and packs genuinely fill).
+        let parent_pack = self.ast.get(parent_astx).expect("active parent").home.pack;
+        let uid = self.allocate_uid();
+        let toc = match self.machine.disks.pack_mut(parent_pack).expect("pack").create_entry(uid.0)
+        {
+            Ok(t) => (parent_pack, t),
+            Err(_) => {
+                let alt = self
+                    .machine
+                    .disks
+                    .emptiest_pack(parent_pack)
+                    .ok_or(LegacyError::AllPacksFull)?;
+                let t = self
+                    .machine
+                    .disks
+                    .pack_mut(alt)
+                    .expect("alt pack")
+                    .create_entry(uid.0)
+                    .map_err(|_| LegacyError::AllPacksFull)?;
+                (alt, t)
+            }
+        };
+
+        // Claim an entry slot: first unused, else extend.
+        let count = self.entry_count(parent_astx)?;
+        let mut slot = count;
+        for s in 0..count {
+            let flags = self.sup_read(parent_astx, Self::entry_base(s) + 1)?.raw();
+            if flags & 1 == 0 {
+                slot = s;
+                break;
+            }
+        }
+        if slot == count {
+            self.sup_write(parent_astx, 0, Word::new(u64::from(count + 1)))?;
+        }
+        let entry = EntryRecord {
+            uid,
+            is_dir,
+            quota_dir: false,
+            pack: toc.0,
+            toc: toc.1,
+            name: name.to_string(),
+            acl,
+            label,
+            quota_limit: 0,
+            quota_used: 0,
+        };
+        self.write_entry(parent_astx, slot, &entry)?;
+        self.branch_table.insert(uid, Branch { parent: Some(parent), slot, is_dir });
+        Ok(uid)
+    }
+
+    // ----- pathname resolution (buried in the kernel) ---------------------
+
+    /// Resolves a `>`-separated tree name, entirely inside the kernel.
+    ///
+    /// Intermediate directories are traversed *without* access checks;
+    /// only the final target's ACL (and AIM label) is consulted, and the
+    /// only failure answer is [`LegacyError::NoAccess`] — which by design
+    /// does not reveal whether the name exists.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] uniformly for nonexistent or forbidden
+    /// targets.
+    pub fn resolve(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+        right: AccessRight,
+    ) -> Result<(SegUid, EntryRecord), LegacyError> {
+        let (user, plabel) = {
+            let p = self.process(pid)?;
+            (p.user, p.label)
+        };
+        let mut dir_astx = self.activate(self.root_uid)?;
+        let mut components = path.split('>').filter(|c| !c.is_empty()).peekable();
+        if components.peek().is_none() {
+            return Err(LegacyError::NoAccess);
+        }
+        loop {
+            let comp = components.next().expect("peeked nonempty");
+            let found = self.lookup(dir_astx, comp)?;
+            let Some((_slot, entry)) = found else {
+                return Err(LegacyError::NoAccess);
+            };
+            if components.peek().is_none() {
+                // Final component: the one place access is checked.
+                if !entry.acl.permits(user, right) {
+                    return Err(LegacyError::NoAccess);
+                }
+                let kind = match right {
+                    AccessRight::Write => AccessKind::Write,
+                    _ => AccessKind::Read,
+                };
+                if !ReferenceMonitor::decide(plabel, entry.label, kind).granted() {
+                    return Err(LegacyError::NoAccess);
+                }
+                return Ok((entry.uid, entry));
+            }
+            if !entry.is_dir {
+                // Not a directory mid-path: still just "no access".
+                return Err(LegacyError::NoAccess);
+            }
+            dir_astx = self.activate(entry.uid)?;
+        }
+    }
+
+    /// Makes a segment known to a process: resolves the path, picks a
+    /// free segment number, and records the effective access in the KST.
+    /// The SDW is left faulted; first reference activates and connects.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] per the resolution rules;
+    /// [`LegacyError::KstFull`] when no segment number is free.
+    pub fn initiate(&mut self, pid: ProcessId, path: &str) -> Result<u32, LegacyError> {
+        // Resolution for initiation needs *some* access to the target.
+        let (user, plabel) = {
+            let p = self.process(pid)?;
+            (p.user, p.label)
+        };
+        let (uid, entry) = self
+            .resolve(pid, path, AccessRight::Read)
+            .or_else(|_| self.resolve(pid, path, AccessRight::Write))
+            .or_else(|_| self.resolve(pid, path, AccessRight::Execute))?;
+        // Effective access: ACL ∩ AIM.
+        let aim_read = ReferenceMonitor::decide(plabel, entry.label, AccessKind::Read).granted();
+        let aim_write = ReferenceMonitor::decide(plabel, entry.label, AccessKind::Write).granted();
+        let kst_entry = KstEntry {
+            uid,
+            read: entry.acl.permits(user, AccessRight::Read) && aim_read,
+            write: entry.acl.permits(user, AccessRight::Write) && aim_write,
+            execute: entry.acl.permits(user, AccessRight::Execute) && aim_read,
+        };
+        let proc = self.process_mut(pid)?;
+        let segno = proc
+            .kst
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, e)| e.is_none())
+            .map(|(i, _)| i as u32)
+            .ok_or(LegacyError::KstFull)?;
+        if segno >= MAX_SEGNO {
+            return Err(LegacyError::KstFull);
+        }
+        proc.kst[segno as usize] = Some(kst_entry);
+        Ok(segno)
+    }
+
+    // ----- dynamic quota designation --------------------------------------
+
+    /// Designates `path` as a quota directory with the given limit — at
+    /// any time, children or not (the old semantics). Requires modify
+    /// access to the directory. The current subtree usage is computed by
+    /// sweeping the hierarchy and migrated from the superior quota cell.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::QuotaCellBusy`] if already a quota directory;
+    /// [`LegacyError::NoAccess`] / paging errors otherwise.
+    pub fn set_quota_directory(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+        limit: u32,
+    ) -> Result<(), LegacyError> {
+        let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
+        if !entry.is_dir {
+            return Err(LegacyError::NotADirectory);
+        }
+        if entry.quota_dir {
+            return Err(LegacyError::QuotaCellBusy);
+        }
+        let astx = self.activate(uid)?;
+        // The expensive part the paper's semantics change removes: sweep
+        // the subtree for current usage.
+        let used = self.subtree_usage(uid)?;
+        if used > limit {
+            return Err(LegacyError::QuotaExceeded { limit, used });
+        }
+        // Migrate the charge out of the superior cell.
+        if let Some(parent) = self.ast.get(astx).expect("active").parent {
+            let (qdir, _) = self.ast.nearest_quota_dir(parent).expect("root cell");
+            let cell = self.ast.get_mut(qdir).expect("qdir").quota.as_mut().expect("cell");
+            cell.used = cell.used.saturating_sub(used);
+        }
+        self.ast.get_mut(astx).expect("active").quota =
+            Some(crate::ast::QuotaCell { limit, used });
+        // Persist the designation in the directory's own entry.
+        let branch = self.branch_table[&uid];
+        if let Some(parent_uid) = branch.parent {
+            let parent_astx = self.activate(parent_uid)?;
+            let mut e = self.read_entry(parent_astx, branch.slot)?;
+            e.quota_dir = true;
+            e.quota_limit = limit;
+            e.quota_used = used;
+            self.write_entry(parent_astx, branch.slot, &e)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a quota designation, migrating the charge back to the
+    /// superior cell (old semantics: allowed any time).
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::QuotaCellBusy`] if the directory is not a quota
+    /// directory.
+    pub fn clear_quota_directory(&mut self, pid: ProcessId, path: &str) -> Result<(), LegacyError> {
+        let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
+        if !entry.is_dir || !entry.quota_dir {
+            return Err(LegacyError::QuotaCellBusy);
+        }
+        let astx = self.activate(uid)?;
+        let cell = self.ast.get(astx).expect("active").quota.ok_or(LegacyError::QuotaCellBusy)?;
+        self.ast.get_mut(astx).expect("active").quota = None;
+        if let Some(parent) = self.ast.get(astx).expect("active").parent {
+            let (qdir, _) = self.ast.nearest_quota_dir(parent).expect("root cell");
+            let sup_cell = self.ast.get_mut(qdir).expect("qdir").quota.as_mut().expect("cell");
+            sup_cell.used += cell.used;
+        }
+        let branch = self.branch_table[&uid];
+        if let Some(parent_uid) = branch.parent {
+            let parent_astx = self.activate(parent_uid)?;
+            let mut e = self.read_entry(parent_astx, branch.slot)?;
+            e.quota_dir = false;
+            e.quota_limit = 0;
+            e.quota_used = 0;
+            self.write_entry(parent_astx, branch.slot, &e)?;
+        }
+        Ok(())
+    }
+
+    /// Pages occupied by the subtree rooted at `uid`, excluding regions
+    /// below inferior quota directories. Sweeps the branch table and
+    /// reads directory entries (with real paging) — the cost the new
+    /// design's childless-only rule avoids.
+    pub(crate) fn subtree_usage(&mut self, root: SegUid) -> Result<u32, LegacyError> {
+        // The subtree root's own directory pages stay charged to the
+        // superior cell ("the nearest *superior* quota directory"), so
+        // only strictly inferior objects are counted.
+        let mut total = 0u32;
+        let children: Vec<SegUid> = self
+            .branch_table
+            .iter()
+            .filter(|(_, b)| b.parent == Some(root))
+            .map(|(u, _)| *u)
+            .collect();
+        for child in children {
+            self.charge(QUOTA_SWEEP_INSTR_PER_OBJECT, Language::Pli);
+            let branch = self.branch_table[&child];
+            let parent_astx = self.activate(root)?;
+            let entry = self.read_entry(parent_astx, branch.slot)?;
+            if entry.is_dir {
+                if entry.quota_dir {
+                    // Below an inferior quota directory — but the
+                    // inferior quota directory's own pages charge here.
+                    total += self.object_records(child)?;
+                    continue;
+                }
+                total += self.object_records(child)?;
+                total += self.subtree_usage(child)?;
+            } else {
+                total += self.object_records(child)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Records currently occupied by one object (its chargeable pages).
+    fn object_records(&mut self, uid: SegUid) -> Result<u32, LegacyError> {
+        let home = if uid == self.root_uid {
+            self.root_home
+        } else {
+            let branch = self.branch_table.get(&uid).copied().ok_or(LegacyError::NoAccess)?;
+            let parent_astx = self.activate(branch.parent.expect("non-root"))?;
+            let e = self.read_entry(parent_astx, branch.slot)?;
+            DiskHome { pack: e.pack, toc: e.toc }
+        };
+        Ok(self
+            .machine
+            .disks
+            .pack(home.pack)
+            .ok()
+            .and_then(|p| p.entry(home.toc).ok())
+            .map(|e| e.records_used())
+            .unwrap_or(0))
+    }
+
+    /// Deletes a leaf object (an empty directory or a segment): frees
+    /// its records and charges, removes its entry, deactivates it.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] if the path does not resolve with write
+    /// access, or the directory is not empty.
+    pub fn delete(&mut self, pid: ProcessId, path: &str) -> Result<(), LegacyError> {
+        let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
+        if entry.is_dir {
+            let has_children = self.branch_table.values().any(|b| b.parent == Some(uid));
+            if has_children {
+                return Err(LegacyError::NoAccess);
+            }
+        }
+        // Deactivate (flushing pages is unnecessary: we drop them).
+        if let Some(astx) = self.ast.find(uid) {
+            if self.ast.get(astx).expect("found").inferiors > 0 {
+                return Err(LegacyError::NoAccess);
+            }
+            let records = self.object_records(uid)?;
+            if records > 0 {
+                self.quota_uncharge(astx, records);
+            }
+            for (frame, pageno) in self.frames.frames_of(astx) {
+                self.set_ptw(astx, pageno, Default::default());
+                self.frames.release(frame);
+            }
+            let aste = self.ast.get(astx).expect("found").clone();
+            for (cpid, segno) in aste.connections {
+                if self.processes.get(cpid.0 as usize).and_then(|p| p.as_ref()).is_some() {
+                    self.set_sdw(cpid, segno, Default::default());
+                }
+            }
+            self.ast.deactivate(astx);
+        } else {
+            // Not active: charge against nearest active superior cell.
+            let records = self.object_records(uid)?;
+            if records > 0 {
+                let branch = self.branch_table[&uid];
+                let parent_astx = self.activate(branch.parent.expect("non-root"))?;
+                self.quota_uncharge(parent_astx, records);
+            }
+        }
+        let branch = self.branch_table.remove(&uid).expect("resolved object");
+        let parent_astx = self.activate(branch.parent.expect("non-root"))?;
+        let e = self.read_entry(parent_astx, branch.slot)?;
+        self.machine
+            .disks
+            .pack_mut(e.pack)
+            .expect("entry pack")
+            .delete_entry(e.toc)
+            .expect("entry exists");
+        // Clear the in-use flag.
+        self.sup_write(parent_astx, Self::entry_base(branch.slot) + 1, Word::ZERO)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::UserId;
+
+    fn boot_with_user() -> (Supervisor, ProcessId, UserId) {
+        let mut sup = Supervisor::boot_default();
+        let user = UserId(1);
+        let pid = sup.create_process(user, Label::BOTTOM).unwrap();
+        (sup, pid, user)
+    }
+
+    #[test]
+    fn name_codec_round_trip() {
+        for name in ["a", "alpha.beta", "x".repeat(32).as_str()] {
+            assert_eq!(unpack_name(&pack_name(name)), name);
+        }
+    }
+
+    #[test]
+    fn create_and_resolve_nested_path() {
+        let (mut sup, pid, user) = boot_with_user();
+        let a = sup.create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM).unwrap();
+        let b = sup.create_directory_in(a, "b", Acl::owner(user), Label::BOTTOM).unwrap();
+        let leaf = sup.create_segment_in(b, "leaf", Acl::owner(user), Label::BOTTOM).unwrap();
+        let (uid, entry) = sup.resolve(pid, "a>b>leaf", AccessRight::Read).unwrap();
+        assert_eq!(uid, leaf);
+        assert!(!entry.is_dir);
+        assert_eq!(entry.name, "leaf");
+    }
+
+    #[test]
+    fn nonexistent_and_forbidden_answers_are_identical() {
+        let (mut sup, pid, user) = boot_with_user();
+        let a = sup.create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM).unwrap();
+        // A file owned (and readable) only by user 9.
+        sup.create_segment_in(a, "private", Acl::owner(UserId(9)), Label::BOTTOM).unwrap();
+        let forbidden = sup.resolve(pid, "a>private", AccessRight::Read).unwrap_err();
+        let missing = sup.resolve(pid, "a>ghost", AccessRight::Read).unwrap_err();
+        assert_eq!(forbidden, missing, "the caller cannot tell the cases apart");
+        assert_eq!(forbidden, LegacyError::NoAccess);
+    }
+
+    #[test]
+    fn resolution_traverses_inaccessible_intermediate_directories() {
+        let (mut sup, pid, user) = boot_with_user();
+        // The intermediate dir is readable only by user 9, but the final
+        // target grants our user: old Multics grants the access.
+        let locked =
+            sup.create_directory_in(sup.root(), "locked", Acl::owner(UserId(9)), Label::BOTTOM)
+                .unwrap();
+        sup.create_segment_in(locked, "mine", Acl::owner(user), Label::BOTTOM).unwrap();
+        assert!(sup.resolve(pid, "locked>mine", AccessRight::Read).is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut sup, _pid, user) = boot_with_user();
+        sup.create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM).unwrap();
+        let err =
+            sup.create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM).unwrap_err();
+        assert_eq!(err, LegacyError::NameDuplicated);
+    }
+
+    #[test]
+    fn aim_label_denies_read_up_through_resolution() {
+        let (mut sup, pid, user) = boot_with_user();
+        let secret = Label::new(Level(2), CompartmentSet::empty());
+        sup.create_segment_in(sup.root(), "secret", Acl::owner(user), secret).unwrap();
+        // ACL would allow, AIM forbids: still just "no access".
+        let err = sup.resolve(pid, "secret", AccessRight::Read).unwrap_err();
+        assert_eq!(err, LegacyError::NoAccess);
+    }
+
+    #[test]
+    fn dynamic_quota_designation_migrates_charges() {
+        let (mut sup, pid, user) = boot_with_user();
+        let dir = sup.create_directory_in(sup.root(), "q", Acl::owner(user), Label::BOTTOM).unwrap();
+        let astx = sup.activate(dir).unwrap();
+        // Put two nonzero pages into a child segment.
+        let seg = sup.create_segment_in(dir, "data", Acl::owner(user), Label::BOTTOM).unwrap();
+        let seg_astx = sup.activate(seg).unwrap();
+        sup.sup_write(seg_astx, 0, Word::new(1)).unwrap();
+        sup.sup_write(seg_astx, mx_hw::PAGE_WORDS as u32, Word::new(2)).unwrap();
+        let root_astx = sup.ast.find(sup.root()).unwrap();
+        let root_used_before = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
+
+        sup.set_quota_directory(pid, "q", 50).unwrap();
+        let cell = sup.ast.get(astx).unwrap().quota.unwrap();
+        // q's own directory page stays charged above; the two data
+        // pages migrate into the new cell.
+        assert_eq!(cell.used, 2, "2 data pages migrated, got {}", cell.used);
+        let root_used_after = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
+        assert_eq!(root_used_before - root_used_after, cell.used, "charge moved, not copied");
+
+        // New growth under q charges q's cell, not the root's.
+        sup.sup_write(seg_astx, 2 * mx_hw::PAGE_WORDS as u32, Word::new(3)).unwrap();
+        assert_eq!(sup.ast.get(astx).unwrap().quota.unwrap().used, cell.used + 1);
+        assert_eq!(sup.ast.get(root_astx).unwrap().quota.unwrap().used, root_used_after);
+
+        // And the inverse operation migrates the charge back.
+        sup.clear_quota_directory(pid, "q").unwrap();
+        assert_eq!(
+            sup.ast.get(root_astx).unwrap().quota.unwrap().used,
+            root_used_before + 1
+        );
+    }
+
+    #[test]
+    fn delete_frees_records_and_uncharges() {
+        let (mut sup, pid, user) = boot_with_user();
+        let seg = sup.create_segment_in(sup.root(), "tmp", Acl::owner(user), Label::BOTTOM).unwrap();
+        let astx = sup.activate(seg).unwrap();
+        sup.sup_write(astx, 0, Word::new(5)).unwrap();
+        sup.flush_segment(astx).unwrap();
+        let root_astx = sup.ast.find(sup.root()).unwrap();
+        let before = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
+        sup.delete(pid, "tmp").unwrap();
+        let after = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
+        assert_eq!(before - after, 1);
+        assert_eq!(sup.resolve(pid, "tmp", AccessRight::Read).unwrap_err(), LegacyError::NoAccess);
+    }
+}

@@ -1,0 +1,183 @@
+//! In-kernel network handlers — one per attached network.
+//!
+//! "Two multiplexed communication streams are attached to the Multics
+//! system: the ARPANET, and the local front end processor with all its
+//! attached terminals. … If a third network were to be connected to
+//! Multics, the original strategy would require that yet a third handler
+//! be added … the bulk of the network control code would grow linearly
+//! with the number of networks attached."
+//!
+//! Accordingly, each [`NetworkHandler`] here carries its *own* framing
+//! logic (the ARPANET handler speaks a leader format, the front-end
+//! handler a channel-prefix format), all of it inside the kernel: kernel
+//! code grows by a whole handler per network. The restructured
+//! user-domain multiplexing — with a small network-independent
+//! demultiplexer residue — lives in `mx-user`.
+
+use crate::supervisor::Supervisor;
+use crate::types::LegacyError;
+use mx_hw::Language;
+use std::collections::HashMap;
+
+const ARPANET_PARSE_INSTR: u64 = 70;
+const FRONTEND_PARSE_INSTR: u64 = 55;
+
+/// Which wire protocol a handler speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// ARPANET: 3-byte leader (link, channel-high, channel-low), then
+    /// payload.
+    Arpanet,
+    /// Local front-end processor: 1-byte channel, 1-byte length, then
+    /// payload.
+    FrontEnd,
+}
+
+/// One in-kernel network handler with its private channel buffers.
+#[derive(Debug, Clone)]
+pub struct NetworkHandler {
+    /// Protocol this handler speaks.
+    pub kind: NetworkKind,
+    /// Kernel-resident per-channel input buffers.
+    channels: HashMap<u16, Vec<u8>>,
+    /// Frames accepted.
+    pub frames_in: u64,
+    /// Frames dropped as malformed.
+    pub frames_bad: u64,
+}
+
+impl NetworkHandler {
+    fn new(kind: NetworkKind) -> Self {
+        Self { kind, channels: HashMap::new(), frames_in: 0, frames_bad: 0 }
+    }
+}
+
+/// Handle to an attached network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkId(pub usize);
+
+impl Supervisor {
+    /// Attaches a network, adding a whole handler to the kernel.
+    pub fn attach_network(&mut self, kind: NetworkKind) -> NetworkId {
+        self.networks.push(NetworkHandler::new(kind));
+        NetworkId(self.networks.len() - 1)
+    }
+
+    /// Number of attached networks (each one a kernel handler).
+    pub fn network_count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Delivers one raw frame from the wire into the kernel handler,
+    /// which parses it with its network-specific logic and appends the
+    /// payload to the addressed channel's kernel buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoSuchChannel`] for an unknown network id.
+    pub fn network_receive(&mut self, net: NetworkId, frame: &[u8]) -> Result<(), LegacyError> {
+        let kind = self
+            .networks
+            .get(net.0)
+            .map(|h| h.kind)
+            .ok_or(LegacyError::NoSuchChannel)?;
+        // Each network's parsing is separate kernel code.
+        let parsed = match kind {
+            NetworkKind::Arpanet => {
+                self.charge(ARPANET_PARSE_INSTR, Language::Pli);
+                if frame.len() < 3 {
+                    None
+                } else {
+                    let channel = u16::from_be_bytes([frame[1], frame[2]]);
+                    Some((channel, frame[3..].to_vec()))
+                }
+            }
+            NetworkKind::FrontEnd => {
+                self.charge(FRONTEND_PARSE_INSTR, Language::Pli);
+                if frame.len() < 2 || frame.len() < 2 + frame[1] as usize {
+                    None
+                } else {
+                    let channel = u16::from(frame[0]);
+                    let len = frame[1] as usize;
+                    Some((channel, frame[2..2 + len].to_vec()))
+                }
+            }
+        };
+        let handler = &mut self.networks[net.0];
+        match parsed {
+            Some((channel, payload)) => {
+                handler.frames_in += 1;
+                handler.channels.entry(channel).or_default().extend_from_slice(&payload);
+                Ok(())
+            }
+            None => {
+                handler.frames_bad += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// A user-domain read of a channel's buffered input (through a gate).
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoSuchChannel`] if the network or channel is
+    /// unknown.
+    pub fn network_read_channel(
+        &mut self,
+        net: NetworkId,
+        channel: u16,
+    ) -> Result<Vec<u8>, LegacyError> {
+        let cost = self.machine.cost;
+        self.machine.clock.charge_gate(&cost);
+        let handler = self.networks.get_mut(net.0).ok_or(LegacyError::NoSuchChannel)?;
+        handler
+            .channels
+            .get_mut(&channel)
+            .map(std::mem::take)
+            .ok_or(LegacyError::NoSuchChannel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arpanet_frames_demultiplex_by_leader() {
+        let mut sup = Supervisor::boot_default();
+        let net = sup.attach_network(NetworkKind::Arpanet);
+        sup.network_receive(net, &[0, 0, 7, b'h', b'i']).unwrap();
+        sup.network_receive(net, &[0, 0, 7, b'!']).unwrap();
+        sup.network_receive(net, &[0, 0, 9, b'x']).unwrap();
+        assert_eq!(sup.network_read_channel(net, 7).unwrap(), b"hi!");
+        assert_eq!(sup.network_read_channel(net, 9).unwrap(), b"x");
+    }
+
+    #[test]
+    fn frontend_frames_use_length_prefix() {
+        let mut sup = Supervisor::boot_default();
+        let net = sup.attach_network(NetworkKind::FrontEnd);
+        sup.network_receive(net, &[3, 2, b'o', b'k', b'X']).unwrap();
+        assert_eq!(sup.network_read_channel(net, 3).unwrap(), b"ok", "trailing garbage ignored");
+    }
+
+    #[test]
+    fn malformed_frames_counted_not_fatal() {
+        let mut sup = Supervisor::boot_default();
+        let net = sup.attach_network(NetworkKind::Arpanet);
+        sup.network_receive(net, &[1]).unwrap();
+        let fe = sup.attach_network(NetworkKind::FrontEnd);
+        sup.network_receive(fe, &[9, 200, 1, 2]).unwrap();
+        assert_eq!(sup.networks[net.0].frames_bad, 1);
+        assert_eq!(sup.networks[fe.0].frames_bad, 1);
+        assert_eq!(sup.network_count(), 2, "two handlers now live in the kernel");
+    }
+
+    #[test]
+    fn reading_an_unknown_channel_fails() {
+        let mut sup = Supervisor::boot_default();
+        let net = sup.attach_network(NetworkKind::Arpanet);
+        assert_eq!(sup.network_read_channel(net, 99).unwrap_err(), LegacyError::NoSuchChannel);
+    }
+}

@@ -1,0 +1,152 @@
+//! The declared dependency structure of the old supervisor — the data
+//! behind Figures 2 and 3.
+//!
+//! [`superficial_structure`] is the system as it "appears to be organized
+//! … in six large modules" from far enough away: nearly linear, with the
+//! one obvious circular dependency between the processor multiplexing
+//! facilities and the virtual memory mechanism.
+//!
+//! [`actual_structure`] adds the dependencies closer inspection reveals —
+//! every one of which corresponds to running code in this crate, noted on
+//! the edge.
+
+use mx_deps::{DepKind, ModuleGraph};
+
+/// The six coarse modules of Figures 2 and 3, with the near-linear edge
+/// set of Figure 2.
+pub fn superficial_structure() -> ModuleGraph {
+    let mut g = ModuleGraph::new();
+    let dvc = g.add_module("disk-volume-control", "packs, records, tables of contents");
+    let dc = g.add_module("directory-control", "hierarchy, ACLs, pathname resolution");
+    let asc = g.add_module("address-space-control", "descriptor segments, KSTs, branch table");
+    let sc = g.add_module("segment-control", "activation, AST, relocation");
+    let pc = g.add_module("page-control", "page faults, frames, replacement, quota charges");
+    let prc = g.add_module("process-control", "processes, scheduler");
+
+    g.depend(dc, sc, DepKind::Component, "directory representations are stored in segments");
+    g.depend(dc, dvc, DepKind::Component, "entries name segments by pack id + TOC index");
+    g.depend(asc, sc, DepKind::Call, "connecting a segment consults segment control");
+    g.depend(sc, pc, DepKind::Component, "segments are made of pages");
+    g.depend(sc, dvc, DepKind::Component, "TOC entries and file maps live on packs");
+    g.depend(pc, dvc, DepKind::Component, "pages are stored on disk records");
+    // The one obvious exception to linearity:
+    g.depend(pc, prc, DepKind::Call, "missing page: give the processor to another process");
+    g.depend(prc, sc, DepKind::Component, "states of inactive processes are stored in segments");
+    g
+}
+
+/// Figure 3: the dependencies actually present once exception handling,
+/// resource control, and the map/program/address-space/interpreter
+/// relations are traced.
+pub fn actual_structure() -> ModuleGraph {
+    let mut g = superficial_structure();
+    let dvc = g.find("disk-volume-control").expect("module");
+    let dc = g.find("directory-control").expect("module");
+    let asc = g.find("address-space-control").expect("module");
+    let sc = g.find("segment-control").expect("module");
+    let pc = g.find("page-control").expect("module");
+    let prc = g.find("process-control").expect("module");
+
+    // Missing pages: interpretive retranslation under the global lock
+    // reads the translation tables other modules maintain
+    // (Supervisor::page_fault).
+    g.depend(
+        pc,
+        sc,
+        DepKind::SharedData,
+        "retranslation reads page tables segment control maintains",
+    );
+    g.depend(
+        pc,
+        asc,
+        DepKind::SharedData,
+        "retranslation reads descriptor segments address space control maintains",
+    );
+    // Quota: page control identifies the page with a segment by direct
+    // reference to the AST and walks its hierarchy links
+    // (Supervisor::service_page / quota_charge).
+    g.depend(pc, sc, DepKind::SharedData, "quota walk reads the AST's superior links");
+    g.depend(
+        sc,
+        dc,
+        DepKind::SharedData,
+        "AST management constrained to the shape of the directory hierarchy",
+    );
+    // Full packs: segment control finds the directory entry through the
+    // branch table and rewrites it directly
+    // (Supervisor::relocate_segment).
+    g.depend(sc, asc, DepKind::SharedData, "relocation reads the branch table to find the entry");
+    g.depend(sc, dc, DepKind::SharedData, "relocation rewrites the directory entry in place");
+    // Map, program and address-space dependencies on higher modules:
+    // supervisor programs and their maps live in ordinary segments.
+    g.depend(pc, sc, DepKind::Program, "page control code is stored in segments");
+    g.depend(pc, asc, DepKind::AddressSpace, "page control executes in an ASC-provided space");
+    g.depend(sc, asc, DepKind::AddressSpace, "segment control executes in an ASC-provided space");
+    g.depend(dvc, sc, DepKind::Program, "disk volume control code is stored in segments");
+    // Interpreter dependencies: every module needs a processor, which
+    // process control multiplexes.
+    for m in [dvc, dc, asc, sc] {
+        g.depend(m, prc, DepKind::Interpreter, "executes on a processor process control multiplexes");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superficial_structure_has_exactly_the_vm_process_loop() {
+        let g = superficial_structure();
+        let loops = g.loops();
+        assert_eq!(loops.len(), 1, "one obvious exception to linearity");
+        let names: Vec<&str> = loops[0].iter().map(|m| g.name(*m)).collect();
+        assert!(names.contains(&"page-control"));
+        assert!(names.contains(&"process-control"));
+        assert!(names.contains(&"segment-control"));
+        assert!(!names.contains(&"directory-control"));
+        assert!(!names.contains(&"disk-volume-control"));
+    }
+
+    #[test]
+    fn actual_structure_entangles_nearly_everything() {
+        let g = actual_structure();
+        let loops = g.loops();
+        assert_eq!(loops.len(), 1, "one giant strongly connected component");
+        assert!(loops[0].len() >= 5, "at least five of six modules mutually dependent");
+        let names: Vec<&str> = loops[0].iter().map(|m| g.name(*m)).collect();
+        for m in [
+            "page-control",
+            "segment-control",
+            "address-space-control",
+            "directory-control",
+            "process-control",
+        ] {
+            assert!(names.contains(&m), "{m} must be in the big loop");
+        }
+    }
+
+    #[test]
+    fn actual_structure_records_the_papers_three_case_studies() {
+        let g = actual_structure();
+        let notes: Vec<&str> = g.edges().iter().map(|e| e.note.as_str()).collect();
+        assert!(notes.iter().any(|n| n.contains("retranslation")), "missing-page case");
+        assert!(notes.iter().any(|n| n.contains("quota walk")), "quota case");
+        assert!(notes.iter().any(|n| n.contains("rewrites the directory entry")), "full-pack case");
+    }
+
+    #[test]
+    fn improper_dependencies_dominate_the_added_edges() {
+        let g = actual_structure();
+        assert!(g.improper_edge_count() >= 6, "shared-data and call edges abound in the old design");
+    }
+
+    #[test]
+    fn audit_cost_in_the_actual_structure_is_whole_component() {
+        let g = actual_structure();
+        let pc = g.find("page-control").unwrap();
+        // Believing page control requires believing nearly the whole
+        // supervisor (including itself — it is in a loop).
+        assert!(g.assumed_by(pc).len() >= 5);
+    }
+}

@@ -1,0 +1,536 @@
+//! The monolithic supervisor: shared state, bootload, and fault dispatch.
+//!
+//! [`Supervisor`] owns the whole machine plus every supervisor data base.
+//! The per-module source files (`page_control`, `segment_control`,
+//! `directory_control`, …) add `impl Supervisor` blocks; because they
+//! all operate on the same struct with direct field access, the
+//! implementation *is* the tangle of shared writable data bases the
+//! paper's Figure 3 documents. The declared dependency registry in
+//! [`crate::registry`] mirrors what the code in these impl blocks
+//! actually touches.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ast::{ActiveSegmentTable, Aste, FrameTable, QuotaCell, PT_WORDS};
+use crate::types::{DiskHome, LegacyError, ProcessId, SegUid, UserId};
+use mx_aim::{FlowTracker, Label, ReferenceMonitor};
+use mx_hw::cpu::{AccessMode, DescBase, Ptw, Sdw};
+use mx_hw::{
+    AbsAddr, Fault, FrameNo, HwFeatures, Language, Machine, MachineConfig, VirtAddr, Word,
+    PAGE_WORDS,
+};
+
+/// Configuration for bootloading the old supervisor.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Core frames.
+    pub frames: usize,
+    /// Disk packs attached at bootload.
+    pub packs: u32,
+    /// Records per pack.
+    pub records_per_pack: u32,
+    /// TOC slots per pack.
+    pub toc_slots_per_pack: u32,
+    /// Active-segment-table slots (also page-table pool slots).
+    pub ast_slots: usize,
+    /// Maximum simultaneous processes (each owns one wired dseg frame).
+    pub max_processes: u32,
+    /// Page quota placed on the root directory at bootload.
+    pub root_quota_pages: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            frames: 256,
+            packs: 2,
+            records_per_pack: 1024,
+            toc_slots_per_pack: 256,
+            ast_slots: 64,
+            max_processes: 16,
+            root_quota_pages: 1500,
+        }
+    }
+}
+
+/// Counters the experiments read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Page faults serviced.
+    pub page_faults: u64,
+    /// Segment faults serviced.
+    pub segment_faults: u64,
+    /// Interpretive retranslations performed under the global lock.
+    pub retranslations: u64,
+    /// Retranslations that found the fault already serviced by another
+    /// processor (the race the lock window admits).
+    pub retranslations_resolved: u64,
+    /// Global-lock acquisitions that found the lock held.
+    pub lock_contentions: u64,
+    /// Total levels walked by the dynamic quota search.
+    pub quota_walk_levels: u64,
+    /// Individual quota searches.
+    pub quota_walks: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Evicted pages found all-zero and reverted to file-map flags.
+    pub zero_reversions: u64,
+    /// Whole-segment relocations forced by full packs.
+    pub relocations: u64,
+    /// Pages materialized (frame + record assigned).
+    pub materializations: u64,
+}
+
+/// The branch table: the naming layers' record of where every file-system
+/// object hangs — uid to (parent uid, entry slot, directory?). Segment
+/// control reads this "data base maintained by address space control"
+/// directly when it must find and rewrite a directory entry during
+/// relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Branch {
+    /// The superior directory's uid (`None` for the root).
+    pub parent: Option<SegUid>,
+    /// Entry slot within the superior directory segment.
+    pub slot: u32,
+    /// True if the object is a directory.
+    pub is_dir: bool,
+}
+
+/// Per-process known-segment-table entry.
+#[derive(Debug, Clone)]
+pub(crate) struct KstEntry {
+    pub uid: SegUid,
+    /// Access the connecting SDW should grant (derived from the ACL at
+    /// initiation).
+    pub read: bool,
+    pub write: bool,
+    pub execute: bool,
+}
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    Ready,
+    Running,
+    /// Waiting for a page or segment fault service.
+    Blocked,
+    /// Logged out / destroyed.
+    Dead,
+}
+
+/// A process: its address space and identity.
+#[derive(Debug, Clone)]
+pub(crate) struct Process {
+    pub id: ProcessId,
+    pub user: UserId,
+    pub label: Label,
+    /// Wired frame holding this process's descriptor segment.
+    pub dseg_frame: FrameNo,
+    /// Known segment table: segment number → entry.
+    pub kst: Vec<Option<KstEntry>>,
+    pub state: ProcState,
+    /// The segment holding the process's swappable state — making
+    /// process implementation depend on the virtual memory, which is the
+    /// central loop of Figure 3.
+    pub state_uid: Option<SegUid>,
+    /// Accumulated accounting units (the answering service bills these).
+    pub cpu_charge: u64,
+}
+
+/// The global page-control lock of the old design.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct GlobalLock {
+    pub held: bool,
+}
+
+/// The old Multics supervisor.
+#[derive(Debug)]
+pub struct Supervisor {
+    /// The machine everything runs on (1974 feature level).
+    pub machine: Machine,
+    /// Frame ownership and the replacement clock hand.
+    pub frames: FrameTable,
+    /// The active segment table.
+    pub ast: ActiveSegmentTable,
+    /// The AIM reference monitor (box 1 of the plan was already done).
+    pub monitor: ReferenceMonitor,
+    /// Observed information flows (for the confinement experiment).
+    pub flows: FlowTracker,
+    /// Experiment counters.
+    pub stats: Stats,
+    pub(crate) processes: Vec<Option<Process>>,
+    pub(crate) branch_table: HashMap<SegUid, Branch>,
+    pub(crate) next_uid: u64,
+    pub(crate) root_uid: SegUid,
+    pub(crate) root_home: DiskHome,
+    pub(crate) lock: GlobalLock,
+    pub(crate) ready: VecDeque<ProcessId>,
+    pub(crate) current: Option<ProcessId>,
+    /// In-kernel linker data: per-segment definition lists (as if read
+    /// from object-segment headers).
+    pub(crate) definitions: HashMap<SegUid, Vec<(String, u32)>>,
+    /// Per-process snapped links: (target uid, symbol) → (segno, offset).
+    pub(crate) linkage: HashMap<(ProcessId, SegUid, String), (u32, u32)>,
+    /// Answering-service user registry.
+    pub(crate) users: HashMap<String, crate::answering::UserAccount>,
+    /// In-kernel network handlers, one per attached network.
+    pub(crate) networks: Vec<crate::network::NetworkHandler>,
+    max_processes: u32,
+    dseg_frame_base: u32,
+}
+
+/// Maximum segment numbers per process (SDWs in one dseg frame).
+pub const MAX_SEGNO: u32 = PAGE_WORDS as u32;
+
+impl Supervisor {
+    /// Bootloads the old supervisor on 1974-feature-level hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not leave at least eight
+    /// pageable frames.
+    pub fn boot(config: SupervisorConfig) -> Self {
+        let machine = Machine::new(MachineConfig {
+            frames: config.frames,
+            cpus: 2,
+            packs: config.packs,
+            records_per_pack: config.records_per_pack,
+            toc_slots_per_pack: config.toc_slots_per_pack,
+            features: HwFeatures::BASE_1974,
+            cost: Default::default(),
+        });
+        // Low-core layout: frame 0 scratch, then the page-table pool,
+        // then one dseg frame per process slot.
+        let pt_frames = (ActiveSegmentTable::pt_pool_words(config.ast_slots) as usize)
+            .div_ceil(PAGE_WORDS) as u32;
+        let dseg_frame_base = 1 + pt_frames;
+        let wired = dseg_frame_base + config.max_processes;
+        assert!(
+            (wired as usize) + 8 <= config.frames,
+            "configuration leaves fewer than 8 pageable frames"
+        );
+        let frames = FrameTable::new(config.frames, wired, "supervisor tables");
+        let ast = ActiveSegmentTable::new(config.ast_slots, FrameNo(1).base());
+
+        let mut sup = Self {
+            machine,
+            frames,
+            ast,
+            monitor: ReferenceMonitor::new(),
+            flows: FlowTracker::new(),
+            stats: Stats::default(),
+            processes: (0..config.max_processes).map(|_| None).collect(),
+            branch_table: HashMap::new(),
+            next_uid: 1,
+            root_uid: SegUid(0),
+            root_home: DiskHome { pack: mx_hw::PackId(0), toc: mx_hw::TocIndex(0) },
+            lock: GlobalLock::default(),
+            ready: VecDeque::new(),
+            current: None,
+            definitions: HashMap::new(),
+            linkage: HashMap::new(),
+            users: HashMap::new(),
+            networks: Vec::new(),
+            max_processes: config.max_processes,
+            dseg_frame_base,
+        };
+        sup.create_root(config.root_quota_pages);
+        sup
+    }
+
+    /// Bootloads with the default configuration.
+    pub fn boot_default() -> Self {
+        Self::boot(SupervisorConfig::default())
+    }
+
+    fn create_root(&mut self, root_quota: u32) {
+        let uid = self.allocate_uid();
+        let pack = mx_hw::PackId(0);
+        let toc = self
+            .machine
+            .disks
+            .pack_mut(pack)
+            .expect("pack 0 exists")
+            .create_entry(uid.0)
+            .expect("empty TOC");
+        let aste = Aste {
+            uid,
+            home: DiskHome { pack, toc },
+            pt_slot: 0,
+            len_pages: 0,
+            is_dir: true,
+            parent: None,
+            inferiors: 0,
+            quota: Some(QuotaCell { limit: root_quota, used: 0 }),
+            dir_home: None,
+            connections: Vec::new(),
+            label: Label::BOTTOM,
+        };
+        let astx = self.ast.activate(aste).expect("empty AST");
+        self.root_uid = uid;
+        self.root_home = DiskHome { pack, toc };
+        self.branch_table.insert(uid, Branch { parent: None, slot: 0, is_dir: true });
+        // Touch the header word so the directory has a first page.
+        self.sup_write(astx, 0, Word::ZERO).expect("root header");
+    }
+
+    /// The uid of the root directory.
+    pub fn root(&self) -> SegUid {
+        self.root_uid
+    }
+
+    pub(crate) fn allocate_uid(&mut self) -> SegUid {
+        let uid = SegUid(self.next_uid);
+        self.next_uid += 1;
+        uid
+    }
+
+    /// Absolute address of the dseg frame for a process slot.
+    pub(crate) fn dseg_frame_for_slot(&self, slot: u32) -> FrameNo {
+        FrameNo(self.dseg_frame_base + slot)
+    }
+
+    /// Number of process slots.
+    pub(crate) fn process_slots(&self) -> u32 {
+        self.max_processes
+    }
+
+    pub(crate) fn process(&self, pid: ProcessId) -> Result<&Process, LegacyError> {
+        let p = self
+            .processes
+            .get(pid.0 as usize)
+            .and_then(|p| p.as_ref())
+            .filter(|p| p.state != ProcState::Dead)
+            .ok_or(LegacyError::NoSuchProcess)?;
+        debug_assert_eq!(p.id, pid, "process table slot consistent");
+        Ok(p)
+    }
+
+    pub(crate) fn process_mut(&mut self, pid: ProcessId) -> Result<&mut Process, LegacyError> {
+        self.processes
+            .get_mut(pid.0 as usize)
+            .and_then(|p| p.as_mut())
+            .filter(|p| p.state != ProcState::Dead)
+            .ok_or(LegacyError::NoSuchProcess)
+    }
+
+    // ----- page-table word access helpers -------------------------------
+
+    /// Absolute address of the PTW for (astx, pageno).
+    pub(crate) fn ptw_addr(&self, astx: usize, pageno: u32) -> AbsAddr {
+        let aste = self.ast.get(astx).expect("live astx");
+        debug_assert!(pageno < PT_WORDS);
+        self.ast.pt_addr(aste.pt_slot).add(u64::from(pageno))
+    }
+
+    /// Reads and decodes a PTW.
+    pub(crate) fn ptw(&self, astx: usize, pageno: u32) -> Ptw {
+        Ptw::decode(self.machine.mem.read(self.ptw_addr(astx, pageno)))
+    }
+
+    /// Encodes and writes a PTW.
+    pub(crate) fn set_ptw(&mut self, astx: usize, pageno: u32, ptw: Ptw) {
+        let addr = self.ptw_addr(astx, pageno);
+        self.machine.mem.write(addr, ptw.encode());
+    }
+
+    // ----- supervisor access to segment contents ------------------------
+
+    /// Reads one word of an active segment from supervisor state,
+    /// faulting the page in if necessary.
+    ///
+    /// This is the path directory control uses to read directory
+    /// contents: directory representations are stored in segments, so
+    /// file-system operations really do page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging errors (quota, full packs, pool exhaustion).
+    pub fn sup_read(&mut self, astx: usize, wordno: u32) -> Result<Word, LegacyError> {
+        let pageno = wordno / PAGE_WORDS as u32;
+        loop {
+            let ptw = self.ptw(astx, pageno);
+            if ptw.present {
+                let mut p = ptw;
+                p.used = true;
+                self.set_ptw(astx, pageno, p);
+                let addr = p.frame.base().add(u64::from(wordno % PAGE_WORDS as u32));
+                let cost = self.machine.cost;
+                self.machine.clock.charge_core_access(&cost);
+                return Ok(self.machine.mem.read(addr));
+            }
+            self.service_page(astx, pageno, Label::BOTTOM)?;
+        }
+    }
+
+    /// Writes one word of an active segment from supervisor state,
+    /// faulting/growing as necessary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging errors (quota, full packs, pool exhaustion).
+    pub fn sup_write(&mut self, astx: usize, wordno: u32, value: Word) -> Result<(), LegacyError> {
+        let pageno = wordno / PAGE_WORDS as u32;
+        loop {
+            let ptw = self.ptw(astx, pageno);
+            if ptw.present {
+                let mut p = ptw;
+                p.used = true;
+                p.modified = true;
+                self.set_ptw(astx, pageno, p);
+                let addr = p.frame.base().add(u64::from(wordno % PAGE_WORDS as u32));
+                let cost = self.machine.cost;
+                self.machine.clock.charge_core_access(&cost);
+                self.machine.mem.write(addr, value);
+                return Ok(());
+            }
+            self.service_page(astx, pageno, Label::BOTTOM)?;
+        }
+    }
+
+    // ----- user access path ---------------------------------------------
+
+    /// Points processor 0 at a process's address space.
+    pub(crate) fn load_dbr(&mut self, pid: ProcessId) -> Result<(), LegacyError> {
+        let frame = self.process(pid)?.dseg_frame;
+        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        Ok(())
+    }
+
+    /// Reads one word as a process, servicing faults like the real
+    /// supervisor (missing segment → activate + connect; missing page →
+    /// global lock, retranslate, page in).
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] on protection violations; paging errors
+    /// otherwise.
+    pub fn user_read(&mut self, pid: ProcessId, segno: u32, wordno: u32) -> Result<Word, LegacyError> {
+        self.user_access(pid, segno, wordno, AccessMode::Read, None)
+            .map(|w| w.expect("read returns a word"))
+    }
+
+    /// Writes one word as a process.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] on protection violations; paging errors
+    /// otherwise.
+    pub fn user_write(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+        value: Word,
+    ) -> Result<(), LegacyError> {
+        self.user_access(pid, segno, wordno, AccessMode::Write, Some(value)).map(|_| ())
+    }
+
+    fn user_access(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+        mode: AccessMode,
+        value: Option<Word>,
+    ) -> Result<Option<Word>, LegacyError> {
+        self.load_dbr(pid)?;
+        let va = VirtAddr::new(segno, wordno);
+        // A real reference retries after each serviced fault; bound the
+        // retries so a supervisor bug cannot hang the simulation.
+        for _ in 0..8 {
+            let attempt = match mode {
+                AccessMode::Write => self
+                    .machine
+                    .write(mx_hw::ProcessorId(0), va, value.expect("write value"))
+                    .map(|()| None),
+                _ => self.machine.read(mx_hw::ProcessorId(0), va).map(Some),
+            };
+            match attempt {
+                Ok(w) => return Ok(w),
+                Err(fault) => self.handle_fault(pid, fault)?,
+            }
+        }
+        Err(LegacyError::UnhandledFault(Fault::BadDescriptor { va }))
+    }
+
+    /// The supervisor fault dispatcher.
+    pub(crate) fn handle_fault(&mut self, pid: ProcessId, fault: Fault) -> Result<(), LegacyError> {
+        match fault {
+            Fault::MissingSegment { va } => {
+                self.stats.segment_faults += 1;
+                self.segment_fault(pid, va.segno)
+            }
+            Fault::MissingPage { va, descriptor, .. } => {
+                self.stats.page_faults += 1;
+                self.page_fault(pid, va, descriptor)
+            }
+            Fault::AccessViolation { .. } => Err(LegacyError::NoAccess),
+            Fault::BoundsViolation { .. } => Err(LegacyError::SegmentTooBig),
+            other => Err(LegacyError::UnhandledFault(other)),
+        }
+    }
+
+    /// Reads the SDW for (process, segno) from the process's dseg.
+    pub(crate) fn sdw(&self, pid: ProcessId, segno: u32) -> Sdw {
+        let frame = self.processes[pid.0 as usize].as_ref().expect("live process").dseg_frame;
+        Sdw::decode(self.machine.mem.read(frame.base().add(u64::from(segno))))
+    }
+
+    /// Writes the SDW for (process, segno).
+    pub(crate) fn set_sdw(&mut self, pid: ProcessId, segno: u32, sdw: Sdw) {
+        let frame = self.processes[pid.0 as usize].as_ref().expect("live process").dseg_frame;
+        self.machine.mem.write(frame.base().add(u64::from(segno)), sdw.encode());
+    }
+
+    /// Charges `n` abstract instructions of supervisor code written in
+    /// `lang` — the mechanism behind the PL/I-vs-assembly performance
+    /// comparisons.
+    pub(crate) fn charge(&mut self, n: u64, lang: Language) {
+        let cost = self.machine.cost;
+        self.machine.clock.charge_instructions(&cost, n, lang);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_builds_root_directory() {
+        let sup = Supervisor::boot_default();
+        let root_astx = sup.ast.find(sup.root()).expect("root active");
+        let aste = sup.ast.get(root_astx).unwrap();
+        assert!(aste.is_dir);
+        assert!(aste.quota.is_some(), "root is a quota directory");
+        assert_eq!(aste.len_pages, 1, "header page materialized");
+        assert_eq!(sup.stats.materializations, 1);
+    }
+
+    #[test]
+    fn sup_read_write_round_trip_pages_in() {
+        let mut sup = Supervisor::boot_default();
+        let root = sup.ast.find(sup.root()).unwrap();
+        sup.sup_write(root, 100, Word::new(0o42)).unwrap();
+        assert_eq!(sup.sup_read(root, 100).unwrap(), Word::new(0o42));
+    }
+
+    #[test]
+    fn sup_write_grows_the_segment_across_pages() {
+        let mut sup = Supervisor::boot_default();
+        let root = sup.ast.find(sup.root()).unwrap();
+        let far = 3 * PAGE_WORDS as u32 + 5;
+        sup.sup_write(root, far, Word::new(7)).unwrap();
+        assert_eq!(sup.ast.get(root).unwrap().len_pages, 4);
+        assert_eq!(sup.sup_read(root, far).unwrap(), Word::new(7));
+        // Quota charged for the materialized pages.
+        let used = sup.ast.get(root).unwrap().quota.unwrap().used;
+        assert!(used >= 2, "root charged for materialized pages, got {used}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 8 pageable frames")]
+    fn boot_rejects_cramped_configurations() {
+        let _ = Supervisor::boot(SupervisorConfig { frames: 20, ..Default::default() });
+    }
+}

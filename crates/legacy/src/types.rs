@@ -1,0 +1,273 @@
+//! Common identifiers, access control, and the supervisor error type.
+
+use mx_hw::{Fault, PackId, TocIndex};
+
+/// A segment's system-wide unique identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegUid(pub u64);
+
+/// A user known to the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// A process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// A discretionary access right on a file or directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessRight {
+    /// Read (for a directory: list / search).
+    Read,
+    /// Write (for a directory: add and remove entries).
+    Write,
+    /// Execute.
+    Execute,
+}
+
+/// An access control list: `(user, rights)` terms. "Every file and
+/// directory has its own access control list … access to a file is
+/// determined entirely by the access control list for that file."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    terms: Vec<(UserId, [bool; 3])>,
+}
+
+impl Acl {
+    /// An empty ACL (nobody has access).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An ACL granting one user full access.
+    pub fn owner(user: UserId) -> Self {
+        let mut acl = Self::new();
+        acl.grant(user, &[AccessRight::Read, AccessRight::Write, AccessRight::Execute]);
+        acl
+    }
+
+    /// Grants rights to a user (adds to any existing term).
+    pub fn grant(&mut self, user: UserId, rights: &[AccessRight]) {
+        let idx = rights_index_set(rights);
+        if let Some(term) = self.terms.iter_mut().find(|(u, _)| *u == user) {
+            for i in 0..3 {
+                term.1[i] |= idx[i];
+            }
+        } else {
+            self.terms.push((user, idx));
+        }
+    }
+
+    /// Revokes all rights from a user.
+    pub fn revoke(&mut self, user: UserId) {
+        self.terms.retain(|(u, _)| *u != user);
+    }
+
+    /// True if the user holds the right.
+    pub fn permits(&self, user: UserId, right: AccessRight) -> bool {
+        self.terms
+            .iter()
+            .find(|(u, _)| *u == user)
+            .map(|(_, r)| r[right_slot(right)])
+            .unwrap_or(false)
+    }
+
+    /// Packs the ACL into two 36-bit words for the directory-entry
+    /// record: word 0 holds up to four user ids (9 bits each), word 1
+    /// the corresponding right triples (3 bits each). A real system
+    /// stores ACLs of arbitrary length; four terms suffice for the
+    /// experiments and keep the record fixed-size.
+    pub fn pack(&self) -> (u64, u64) {
+        let mut users = 0u64;
+        let mut rights = 0u64;
+        for (i, (u, r)) in self.terms.iter().take(4).enumerate() {
+            users |= (u.0 as u64 & 0xFF) << (i * 9);
+            let bits = (r[0] as u64) | (r[1] as u64) << 1 | (r[2] as u64) << 2 | 0b1000;
+            rights |= bits << (i * 4);
+        }
+        (users & ((1 << 36) - 1), rights & ((1 << 36) - 1))
+    }
+
+    /// Unpacks an ACL packed by [`Acl::pack`].
+    pub fn unpack(users: u64, rights: u64) -> Self {
+        let mut acl = Self::new();
+        for i in 0..4 {
+            let bits = (rights >> (i * 4)) & 0xF;
+            if bits & 0b1000 == 0 {
+                continue;
+            }
+            let user = UserId(((users >> (i * 9)) & 0xFF) as u32);
+            let mut list = Vec::new();
+            if bits & 0b001 != 0 {
+                list.push(AccessRight::Read);
+            }
+            if bits & 0b010 != 0 {
+                list.push(AccessRight::Write);
+            }
+            if bits & 0b100 != 0 {
+                list.push(AccessRight::Execute);
+            }
+            acl.grant(user, &list);
+        }
+        acl
+    }
+}
+
+fn right_slot(r: AccessRight) -> usize {
+    match r {
+        AccessRight::Read => 0,
+        AccessRight::Write => 1,
+        AccessRight::Execute => 2,
+    }
+}
+
+fn rights_index_set(rights: &[AccessRight]) -> [bool; 3] {
+    let mut out = [false; 3];
+    for r in rights {
+        out[right_slot(*r)] = true;
+    }
+    out
+}
+
+/// Where a segment lives on disk: the naming a directory entry uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskHome {
+    /// The containing pack.
+    pub pack: PackId,
+    /// Index into that pack's table of contents.
+    pub toc: TocIndex,
+}
+
+/// Everything the old supervisor can report as going wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegacyError {
+    /// The uniform no-information answer: the object does not exist *or*
+    /// the caller lacks access — deliberately indistinguishable.
+    NoAccess,
+    /// A pathname component was not a directory.
+    NotADirectory,
+    /// The referenced name already exists in the directory.
+    NameDuplicated,
+    /// Growing the segment would exceed the controlling quota.
+    QuotaExceeded { limit: u32, used: u32 },
+    /// No pack in the system has room for the segment.
+    AllPacksFull,
+    /// The active segment table is full.
+    AstFull,
+    /// The page-table pool is exhausted.
+    PageTablePoolFull,
+    /// No such process.
+    NoSuchProcess,
+    /// The per-process known-segment table is full.
+    KstFull,
+    /// A quota directory cannot be un-designated while charged, or
+    /// designated twice.
+    QuotaCellBusy,
+    /// Authentication failed (answering service).
+    BadPassword,
+    /// The named user is unknown (answering service).
+    UnknownUser,
+    /// Mandatory access (AIM) forbade the flow.
+    AimViolation,
+    /// An unexpected hardware fault escaped the fault handlers.
+    UnhandledFault(Fault),
+    /// Segment offset beyond the maximum segment size.
+    SegmentTooBig,
+    /// An undefined symbol was presented to the linker.
+    UndefinedSymbol,
+    /// A network handler was given a channel it does not know.
+    NoSuchChannel,
+    /// An operation needed the segment active but activation failed.
+    NotActive,
+}
+
+impl core::fmt::Display for LegacyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LegacyError::NoAccess => write!(f, "no access"),
+            LegacyError::NotADirectory => write!(f, "not a directory"),
+            LegacyError::NameDuplicated => write!(f, "name duplicated"),
+            LegacyError::QuotaExceeded { limit, used } => {
+                write!(f, "quota exceeded ({used}/{limit} pages)")
+            }
+            LegacyError::AllPacksFull => write!(f, "all packs full"),
+            LegacyError::AstFull => write!(f, "active segment table full"),
+            LegacyError::PageTablePoolFull => write!(f, "page table pool full"),
+            LegacyError::NoSuchProcess => write!(f, "no such process"),
+            LegacyError::KstFull => write!(f, "known segment table full"),
+            LegacyError::QuotaCellBusy => write!(f, "quota cell busy"),
+            LegacyError::BadPassword => write!(f, "bad password"),
+            LegacyError::UnknownUser => write!(f, "unknown user"),
+            LegacyError::AimViolation => write!(f, "AIM flow violation"),
+            LegacyError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
+            LegacyError::SegmentTooBig => write!(f, "segment too big"),
+            LegacyError::UndefinedSymbol => write!(f, "undefined symbol"),
+            LegacyError::NoSuchChannel => write!(f, "no such channel"),
+            LegacyError::NotActive => write!(f, "segment not active"),
+        }
+    }
+}
+
+impl std::error::Error for LegacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acl_grant_permit_revoke() {
+        let mut acl = Acl::new();
+        let u = UserId(3);
+        assert!(!acl.permits(u, AccessRight::Read));
+        acl.grant(u, &[AccessRight::Read, AccessRight::Execute]);
+        assert!(acl.permits(u, AccessRight::Read));
+        assert!(!acl.permits(u, AccessRight::Write));
+        acl.grant(u, &[AccessRight::Write]);
+        assert!(acl.permits(u, AccessRight::Write), "grants accumulate");
+        acl.revoke(u);
+        assert!(!acl.permits(u, AccessRight::Read));
+    }
+
+    #[test]
+    fn owner_acl_has_full_access() {
+        let acl = Acl::owner(UserId(1));
+        for r in [AccessRight::Read, AccessRight::Write, AccessRight::Execute] {
+            assert!(acl.permits(UserId(1), r));
+            assert!(!acl.permits(UserId(2), r));
+        }
+    }
+
+    #[test]
+    fn acl_pack_unpack_round_trip() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(0), &[AccessRight::Read]);
+        acl.grant(UserId(7), &[AccessRight::Read, AccessRight::Write]);
+        acl.grant(UserId(200), &[AccessRight::Execute]);
+        let (u, r) = acl.pack();
+        let back = Acl::unpack(u, r);
+        assert!(back.permits(UserId(0), AccessRight::Read));
+        assert!(!back.permits(UserId(0), AccessRight::Write));
+        assert!(back.permits(UserId(7), AccessRight::Write));
+        assert!(back.permits(UserId(200), AccessRight::Execute));
+        assert!(!back.permits(UserId(5), AccessRight::Read));
+    }
+
+    #[test]
+    fn user_zero_with_rights_survives_packing() {
+        // UserId(0) must be distinguishable from an empty slot.
+        let mut acl = Acl::new();
+        acl.grant(UserId(0), &[AccessRight::Write]);
+        let (u, r) = acl.pack();
+        let back = Acl::unpack(u, r);
+        assert!(back.permits(UserId(0), AccessRight::Write));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(format!("{}", LegacyError::NoAccess), "no access");
+        assert_eq!(
+            format!("{}", LegacyError::QuotaExceeded { limit: 10, used: 10 }),
+            "quota exceeded (10/10 pages)"
+        );
+    }
+}

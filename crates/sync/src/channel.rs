@@ -1,0 +1,236 @@
+//! The canonical Reed–Kanodia construction: a bounded producer/consumer
+//! channel built from two eventcounts and two sequencers.
+//!
+//! Reed and Kanodia's paper presents the N-slot ring buffer as the
+//! showcase for eventcount synchronization: producers take tickets from
+//! an `in` sequencer and await room (`out_count >= ticket − N + 1`);
+//! consumers take tickets from an `out` sequencer and await data
+//! (`in_count >= ticket + 1`). No semaphore, no mutual exclusion around
+//! the data (each ticket owns its slot exclusively), and neither side
+//! ever learns the other's identity.
+
+use crate::threaded::{EventCount, Sequencer};
+use parking_lot::Mutex;
+
+/// A bounded multi-producer multi-consumer channel synchronized purely
+/// by eventcounts and sequencers.
+///
+/// # Examples
+///
+/// ```
+/// use mx_sync::channel::EcChannel;
+/// use std::sync::Arc;
+///
+/// let ch = Arc::new(EcChannel::new(4));
+/// let tx = Arc::clone(&ch);
+/// let producer = std::thread::spawn(move || {
+///     for i in 0..100 {
+///         tx.send(i);
+///     }
+/// });
+/// let sum: u64 = (0..100).map(|_| ch.recv()).sum();
+/// producer.join().unwrap();
+/// assert_eq!(sum, (0..100).sum());
+/// ```
+#[derive(Debug)]
+pub struct EcChannel<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    in_seq: Sequencer,
+    out_seq: Sequencer,
+    in_count: EventCount,
+    out_count: EventCount,
+}
+
+impl<T> EcChannel<T> {
+    /// A channel with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-slot channel cannot carry anything");
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            in_seq: Sequencer::new(),
+            out_seq: Sequencer::new(),
+            in_count: EventCount::new(),
+            out_count: EventCount::new(),
+        }
+    }
+
+    /// Capacity fixed at creation.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sends a value, blocking while the ring is full.
+    pub fn send(&self, value: T) {
+        let ticket = self.in_seq.ticket();
+        // Wait until the slot this ticket owns has been drained: the
+        // consumer `ticket - capacity` must have finished.
+        if ticket >= self.slots.len() as u64 {
+            self.out_count.await_value(ticket - self.slots.len() as u64 + 1);
+        }
+        let slot = &self.slots[(ticket as usize) % self.slots.len()];
+        *slot.lock() = Some(value);
+        // Reed-Kanodia ordering step: advances happen in ticket order,
+        // so `in_count = k` certifies slots 0..k are all filled.
+        self.in_count.await_value(ticket);
+        self.in_count.advance();
+    }
+
+    /// Receives the next value, blocking while the ring is empty.
+    pub fn recv(&self) -> T {
+        let ticket = self.out_seq.ticket();
+        self.in_count.await_value(ticket + 1);
+        let slot = &self.slots[(ticket as usize) % self.slots.len()];
+        let value = slot.lock().take().expect("producer filled this slot");
+        // Ordering step, as on the producer side.
+        self.out_count.await_value(ticket);
+        self.out_count.advance();
+        value
+    }
+
+    /// Messages sent so far (the `in` eventcount, monotone).
+    pub fn sent(&self) -> u64 {
+        self.in_count.read()
+    }
+
+    /// Messages received so far (the `out` eventcount, monotone).
+    pub fn received(&self) -> u64 {
+        self.out_count.read()
+    }
+}
+
+/// A reusable N-party barrier built on one eventcount and a sequencer:
+/// each arrival takes a ticket and awaits the count reaching the next
+/// multiple of N.
+#[derive(Debug)]
+pub struct EcBarrier {
+    parties: u64,
+    arrivals: Sequencer,
+    released: EventCount,
+}
+
+impl EcBarrier {
+    /// A barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: u64) -> Self {
+        assert!(parties > 0);
+        Self { parties, arrivals: Sequencer::new(), released: EventCount::new() }
+    }
+
+    /// Arrives at the barrier; returns once all parties of this round
+    /// have arrived. Returns `true` for the last arrival of the round
+    /// (the one that released the others).
+    pub fn wait(&self) -> bool {
+        let ticket = self.arrivals.ticket();
+        let round_end = (ticket / self.parties + 1) * self.parties;
+        let last = ticket + 1 == round_end;
+        if last {
+            // Release the whole round: advance by the full party count
+            // so every waiter's threshold is crossed.
+            for _ in 0..self.parties {
+                self.released.advance();
+            }
+        } else {
+            self.released.await_value(round_end);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_send_recv() {
+        let ch = EcChannel::new(2);
+        ch.send(1);
+        ch.send(2);
+        assert_eq!(ch.recv(), 1);
+        assert_eq!(ch.recv(), 2);
+        assert_eq!(ch.sent(), 2);
+        assert_eq!(ch.received(), 2);
+    }
+
+    #[test]
+    fn producer_blocks_until_consumer_drains() {
+        let ch = Arc::new(EcChannel::new(2));
+        let tx = Arc::clone(&ch);
+        let producer = thread::spawn(move || {
+            for i in 0..50u64 {
+                tx.send(i);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got.push(ch.recv());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "order preserved through a 2-slot ring");
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let ch = Arc::new(EcChannel::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let ch = Arc::clone(&ch);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    ch.send(p * 1000 + i);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let ch = Arc::clone(&ch);
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    total.fetch_add(ch.recv(), Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect: u64 = (0..4).map(|p| (0..100).map(|i| p * 1000 + i).sum::<u64>()).sum();
+        assert_eq!(total.load(Ordering::SeqCst), expect);
+    }
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        let parties = 4;
+        let barrier = Arc::new(EcBarrier::new(parties));
+        let phase = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = Arc::clone(&barrier);
+            let phase = Arc::clone(&phase);
+            handles.push(thread::spawn(move || {
+                let mut lasts = 0;
+                for round in 0..10u64 {
+                    // Everyone must observe the same round's phase value.
+                    assert_eq!(phase.load(Ordering::SeqCst) / parties, round);
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    if barrier.wait() {
+                        lasts += 1;
+                    }
+                }
+                lasts
+            }));
+        }
+        let lasts: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(lasts, 10, "exactly one releaser per round");
+        assert_eq!(phase.load(Ordering::SeqCst), parties * 10);
+    }
+}

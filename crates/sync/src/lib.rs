@@ -1,0 +1,35 @@
+//! Eventcount/sequencer synchronization (Reed and Kanodia, 1977).
+//!
+//! The paper's two-level process implementation depends on a new
+//! synchronizing protocol, "based on eventcounts, that controls
+//! information flow between processes and does not require that the
+//! discoverer of an event have knowledge of the identity of the processes
+//! awaiting that event." This crate provides that protocol in two forms:
+//!
+//! * [`sim`] — a deterministic, single-threaded form used inside the
+//!   machine simulator by the virtual-processor manager;
+//! * [`threaded`] — a real multi-thread form built on `parking_lot`,
+//!   demonstrating that the protocol stands alone as a library;
+//! * [`queue`] — the *real-memory message queue* Reed placed between the
+//!   lower-level and higher-level processor multiplexers, through which
+//!   events discovered by low-level virtual processors are signalled to
+//!   user-level processes whose states may not be in real memory.
+//!
+//! An *eventcount* is a monotone counter: `advance` increments it,
+//! `read` observes it, and `await` blocks until it reaches a value. A
+//! *sequencer* issues unique, totally ordered tickets. Together they
+//! replace semaphores without requiring the signaller to know the
+//! waiters — which is exactly the property the kernel's dependency
+//! discipline needs (no dependency from the discoverer of an event on
+//! the managers of the processes awaiting it), and which also limits
+//! information flow: `advance` carries one bit, upward only.
+
+pub mod channel;
+pub mod queue;
+pub mod sim;
+pub mod threaded;
+
+pub use channel::{EcBarrier, EcChannel};
+pub use queue::{MessageQueue, QueueError};
+pub use sim::{EcId, EventTable, WaiterId};
+pub use threaded::{EventCount, Sequencer};

@@ -1,0 +1,191 @@
+//! The real-memory message queue between processor-multiplexing levels.
+//!
+//! The paper: two-level process proposals elsewhere "omitted a key
+//! complicating factor: events discovered by low-level virtual processors
+//! must be signalled to user level processes, and communicating such
+//! signals requires access to the state of the user-level receiving
+//! process, which state by design is not guaranteed to be in the real
+//! memory accessible to the low-level virtual processor. … The design
+//! involves placing a special, real memory message queue between the
+//! lower-level and higher-level processor multiplexers" (Reed, 1976).
+//!
+//! [`MessageQueue`] models that queue: a *bounded* buffer whose storage
+//! is permanently resident (fixed capacity chosen at system
+//! initialization), a **non-blocking** `put` — the low level can never
+//! afford to wait on the high level, so a full queue is an error the
+//! sender handles — and a `take` used by the user-process manager, which
+//! *is* allowed to wait (via an eventcount advanced on every put).
+
+/// Errors from the bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue's fixed real-memory buffer is full; the low-level sender
+    /// must retry or drop — it must never block on the upper level.
+    Full,
+    /// Nothing queued.
+    Empty,
+}
+
+impl core::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "real-memory message queue full"),
+            QueueError::Empty => write!(f, "real-memory message queue empty"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A bounded FIFO whose capacity is fixed at creation — the real-memory
+/// message queue between the virtual-processor level and the user-process
+/// level.
+///
+/// The queue never allocates after construction, mirroring its
+/// permanently resident storage in the design.
+#[derive(Debug, Clone)]
+pub struct MessageQueue<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+    /// Messages ever enqueued; pairs with an eventcount in the kernel so
+    /// the user-process manager can await "queue count > what I've seen".
+    puts: u64,
+    /// Messages dropped because the queue was full (observability for
+    /// the failure-injection tests).
+    rejected: u64,
+}
+
+impl<T> MessageQueue<T> {
+    /// A queue holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue can signal nothing");
+        Self {
+            buf: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            puts: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Capacity fixed at creation.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if a `put` would fail.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Total successful puts over the queue's lifetime (the value the
+    /// paired eventcount mirrors).
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Messages rejected because the buffer was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Enqueues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Full`] if the fixed buffer has no room; the message
+    /// is returned untouched inside the error path convention (the caller
+    /// still owns nothing — the value is dropped and counted, matching a
+    /// low-level sender that cannot retain state).
+    pub fn put(&mut self, msg: T) -> Result<(), QueueError> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(QueueError::Full);
+        }
+        let tail = (self.head + self.len) % self.buf.len();
+        self.buf[tail] = Some(msg);
+        self.len += 1;
+        self.puts += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest message.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::Empty`] if nothing is queued.
+    pub fn take(&mut self) -> Result<T, QueueError> {
+        if self.len == 0 {
+            return Err(QueueError::Empty);
+        }
+        let msg = self.buf[self.head].take().expect("occupied slot");
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = MessageQueue::new(4);
+        for i in 0..4 {
+            q.put(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.take().unwrap(), i);
+        }
+        assert_eq!(q.take(), Err(QueueError::Empty));
+    }
+
+    #[test]
+    fn put_to_full_queue_is_nonblocking_error() {
+        let mut q = MessageQueue::new(2);
+        q.put('a').unwrap();
+        q.put('b').unwrap();
+        assert_eq!(q.put('c'), Err(QueueError::Full));
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.puts(), 2);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let mut q = MessageQueue::new(2);
+        for round in 0..10 {
+            q.put(round).unwrap();
+            assert_eq!(q.take().unwrap(), round);
+        }
+        assert_eq!(q.puts(), 10);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_fixed() {
+        let q: MessageQueue<u8> = MessageQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = MessageQueue::<u8>::new(0);
+    }
+}

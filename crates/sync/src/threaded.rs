@@ -1,0 +1,245 @@
+//! Threaded eventcounts and sequencers.
+//!
+//! A faithful multi-thread implementation of the Reed–Kanodia primitives,
+//! demonstrating that the protocol the kernel design depends on also
+//! stands alone as a general synchronization library. Broadcast wakeup is
+//! inherent: `advance` notifies *all* waiters whose thresholds are met
+//! without knowing who they are, and each re-checks its own condition.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotone event counter usable from many threads.
+///
+/// # Examples
+///
+/// ```
+/// use mx_sync::EventCount;
+/// use std::sync::Arc;
+///
+/// let ec = Arc::new(EventCount::new());
+/// let ec2 = Arc::clone(&ec);
+/// let waiter = std::thread::spawn(move || ec2.await_value(1));
+/// ec.advance();
+/// waiter.join().unwrap();
+/// assert_eq!(ec.read(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventCount {
+    value: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl EventCount {
+    /// A new eventcount at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the current value.
+    ///
+    /// The value is monotone, so a reader may only ever under-estimate —
+    /// the property that makes eventcounts safe to read without mutual
+    /// exclusion in the original design.
+    pub fn read(&self) -> u64 {
+        *self.value.lock()
+    }
+
+    /// Increments the count and wakes every thread whose awaited
+    /// threshold is now met. Returns the new value.
+    pub fn advance(&self) -> u64 {
+        let mut v = self.value.lock();
+        *v += 1;
+        let now = *v;
+        drop(v);
+        self.cond.notify_all();
+        now
+    }
+
+    /// Blocks until the count reaches `threshold`. Returns the value
+    /// observed when the wait completed (>= `threshold`).
+    pub fn await_value(&self, threshold: u64) -> u64 {
+        let mut v = self.value.lock();
+        while *v < threshold {
+            self.cond.wait(&mut v);
+        }
+        *v
+    }
+
+    /// Like [`EventCount::await_value`] but gives up after `timeout`.
+    ///
+    /// Returns `Some(value)` on success, `None` on timeout.
+    pub fn await_value_timeout(&self, threshold: u64, timeout: Duration) -> Option<u64> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut v = self.value.lock();
+        while *v < threshold {
+            if self.cond.wait_until(&mut v, deadline).timed_out() {
+                return if *v >= threshold { Some(*v) } else { None };
+            }
+        }
+        Some(*v)
+    }
+}
+
+/// A ticket dispenser: totally ordered, duplicate-free values.
+///
+/// Paired with an [`EventCount`], a sequencer builds a fair mutual
+/// exclusion (take a ticket, await the count reaching it) — the pattern
+/// Reed and Kanodia proposed as the structured replacement for
+/// semaphore-based supervisors.
+#[derive(Debug, Default)]
+pub struct Sequencer {
+    next: AtomicU64,
+}
+
+impl Sequencer {
+    /// A new sequencer whose first ticket is 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the next ticket.
+    pub fn ticket(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// A fair mutual-exclusion region built from a sequencer and an
+/// eventcount, as in the Reed–Kanodia paper.
+///
+/// # Examples
+///
+/// ```
+/// use mx_sync::threaded::EventcountMutex;
+/// let m = EventcountMutex::new(0u64);
+/// m.with(|v| *v += 1);
+/// assert_eq!(m.with(|v| *v), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventcountMutex<T> {
+    seq: Sequencer,
+    done: EventCount,
+    data: Mutex<T>,
+}
+
+impl<T> EventcountMutex<T> {
+    /// Wraps `data` in a ticket-ordered critical region.
+    pub fn new(data: T) -> Self {
+        Self { seq: Sequencer::new(), done: EventCount::new(), data: Mutex::new(data) }
+    }
+
+    /// Runs `f` inside the critical region, in strict ticket order.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let my_turn = self.seq.ticket();
+        self.done.await_value(my_turn);
+        let result = {
+            let mut guard = self.data.lock();
+            f(&mut guard)
+        };
+        self.done.advance();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn advance_and_read() {
+        let ec = EventCount::new();
+        assert_eq!(ec.read(), 0);
+        assert_eq!(ec.advance(), 1);
+        assert_eq!(ec.advance(), 2);
+        assert_eq!(ec.read(), 2);
+    }
+
+    #[test]
+    fn await_returns_immediately_when_satisfied() {
+        let ec = EventCount::new();
+        ec.advance();
+        assert_eq!(ec.await_value(1), 1);
+        assert_eq!(ec.await_value(0), 1);
+    }
+
+    #[test]
+    fn waiters_are_woken_across_threads() {
+        let ec = Arc::new(EventCount::new());
+        let mut handles = Vec::new();
+        for i in 1..=4 {
+            let ec = Arc::clone(&ec);
+            handles.push(thread::spawn(move || ec.await_value(i)));
+        }
+        for _ in 0..4 {
+            ec.advance();
+        }
+        for h in handles {
+            assert!(h.join().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn timeout_elapses_without_advance() {
+        let ec = EventCount::new();
+        assert_eq!(ec.await_value_timeout(1, Duration::from_millis(20)), None);
+        ec.advance();
+        assert_eq!(ec.await_value_timeout(1, Duration::from_millis(20)), Some(1));
+    }
+
+    #[test]
+    fn sequencer_is_duplicate_free_under_contention() {
+        let seq = Arc::new(Sequencer::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let seq = Arc::clone(&seq);
+            handles.push(thread::spawn(move || {
+                (0..100).map(|_| seq.ticket()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..800).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn eventcount_mutex_counts_exactly() {
+        let m = Arc::new(EventcountMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..250 {
+                    m.with(|v| *v += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.with(|v| *v), 2000);
+    }
+
+    #[test]
+    fn discoverer_needs_no_waiter_identities() {
+        // The producer only advances; it holds no handle to any consumer.
+        let ec = Arc::new(EventCount::new());
+        let producer = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || {
+                for _ in 0..10 {
+                    ec.advance();
+                }
+            })
+        };
+        let consumer = {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || ec.await_value(10))
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), 10);
+    }
+}

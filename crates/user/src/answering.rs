@@ -1,0 +1,237 @@
+//! The user-domain answering service (Montgomery, 1976).
+//!
+//! Of the old Answering Service's 10,000 trusted lines, "fewer than
+//! 1,000 of them need be included in the kernel": the password check,
+//! clearance check and process creation (the `login_residue` gate). The
+//! other nine-tenths — greeting parsing, login policy (attempt limits),
+//! session bookkeeping, billing aggregation, reports — run here with no
+//! privilege at all. The restructured service "in its preliminary
+//! implementation, ran about 3% slower" — the cost of the extra gate
+//! crossing on each login, which benchmark P3 reproduces.
+
+use mx_aim::Label;
+use mx_kernel::{Kernel, KernelError, ProcessId, UserId};
+use std::collections::HashMap;
+
+/// Deterministic FNV-1a password hashing, done in user space so the
+/// cleartext never crosses the gate.
+pub fn password_hash(cleartext: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cleartext.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One live session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The account name.
+    pub name: String,
+    /// The process serving the session.
+    pub pid: ProcessId,
+    /// Label the session logged in at.
+    pub label: Label,
+}
+
+/// Per-account user-domain bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct AccountRecord {
+    /// Completed sessions.
+    pub sessions: u64,
+    /// Total charge units billed.
+    pub charge_units: u64,
+    /// Consecutive failed login attempts (policy state).
+    pub failed_attempts: u32,
+}
+
+/// The user-domain answering service.
+#[derive(Debug, Default)]
+pub struct AnsweringService {
+    records: HashMap<String, AccountRecord>,
+    sessions: Vec<Session>,
+    /// Lockout threshold (a policy the kernel never needs to know).
+    pub max_attempts: u32,
+}
+
+impl AnsweringService {
+    /// A service with the default three-strikes policy.
+    pub fn new() -> Self {
+        Self { records: HashMap::new(), sessions: Vec::new(), max_attempts: 3 }
+    }
+
+    /// Registers an account: user-domain record plus the kernel residue
+    /// credential (hash only).
+    pub fn register(
+        &mut self,
+        kernel: &mut Kernel,
+        name: &str,
+        user: UserId,
+        password: &str,
+        clearance: Label,
+    ) {
+        kernel.register_account(name, user, password_hash(password), clearance);
+        self.records.entry(name.to_string()).or_default();
+    }
+
+    /// The full login flow: policy checks here, authentication at the
+    /// residue gate.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadCredentials`] (wrong password, unknown account,
+    /// or locked out), [`KernelError::AimViolation`] (label above
+    /// clearance).
+    pub fn login(
+        &mut self,
+        kernel: &mut Kernel,
+        name: &str,
+        password: &str,
+        label: Label,
+    ) -> Result<ProcessId, KernelError> {
+        let record = self.records.entry(name.to_string()).or_default();
+        if record.failed_attempts >= self.max_attempts {
+            return Err(KernelError::BadCredentials);
+        }
+        // Nine-tenths of the old 10K-line service runs here,
+        // unprivileged: greeting parsing, policy, session setup.
+        kernel.charge_user_instructions(880, mx_hw::Language::Pli);
+        match kernel.login_residue(name, password_hash(password), label) {
+            Ok(pid) => {
+                record.failed_attempts = 0;
+                self.sessions.push(Session { name: name.to_string(), pid, label });
+                Ok(pid)
+            }
+            Err(e) => {
+                if e == KernelError::BadCredentials {
+                    record.failed_attempts += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Logout: residue gate destroys the process and reports the charge;
+    /// the billing record is user-domain.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchProcess`] if the session is unknown.
+    pub fn logout(&mut self, kernel: &mut Kernel, pid: ProcessId) -> Result<u64, KernelError> {
+        let idx = self
+            .sessions
+            .iter()
+            .position(|s| s.pid == pid)
+            .ok_or(KernelError::NoSuchProcess)?;
+        let session = self.sessions.remove(idx);
+        kernel.charge_user_instructions(240, mx_hw::Language::Pli);
+        let charge = kernel.logout_residue(&session.name, pid)?;
+        let record = self.records.entry(session.name).or_default();
+        record.sessions += 1;
+        record.charge_units += charge;
+        Ok(charge)
+    }
+
+    /// Live session count.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// An account's user-domain record.
+    pub fn record(&self, name: &str) -> Option<&AccountRecord> {
+        self.records.get(name)
+    }
+
+    /// The billing report: (account, sessions, charge units), sorted by
+    /// account name.
+    pub fn billing_report(&self) -> Vec<(String, u64, u64)> {
+        let mut rows: Vec<_> = self
+            .records
+            .iter()
+            .map(|(n, r)| (n.clone(), r.sessions, r.charge_units))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_aim::{CompartmentSet, Level};
+    use mx_kernel::KernelConfig;
+
+    fn boot() -> Kernel {
+        Kernel::boot(KernelConfig {
+            frames: 128,
+            records_per_pack: 256,
+            toc_slots_per_pack: 64,
+            pt_slots: 24,
+            max_processes: 8,
+            root_quota: 200,
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn login_session_logout_and_billing() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "saltzer", UserId(1), "cactus", Label::BOTTOM);
+        let pid = svc.login(&mut k, "saltzer", "cactus", Label::BOTTOM).unwrap();
+        assert_eq!(svc.active_sessions(), 1);
+        k.schedule();
+        let charge = svc.logout(&mut k, pid).unwrap();
+        assert!(charge > 0);
+        let rec = svc.record("saltzer").unwrap();
+        assert_eq!(rec.sessions, 1);
+        assert_eq!(rec.charge_units, charge);
+        assert_eq!(svc.active_sessions(), 0);
+        assert_eq!(svc.billing_report(), vec![("saltzer".into(), 1, charge)]);
+    }
+
+    #[test]
+    fn three_strikes_lockout_is_pure_user_domain_policy() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "clark", UserId(2), "arpa", Label::BOTTOM);
+        for _ in 0..3 {
+            assert_eq!(
+                svc.login(&mut k, "clark", "wrong", Label::BOTTOM).unwrap_err(),
+                KernelError::BadCredentials
+            );
+        }
+        // Even the right password is refused now — by the user-domain
+        // policy, before the gate is ever crossed.
+        let gates = k.machine.clock.gate_crossings();
+        assert_eq!(
+            svc.login(&mut k, "clark", "arpa", Label::BOTTOM).unwrap_err(),
+            KernelError::BadCredentials
+        );
+        assert_eq!(k.machine.clock.gate_crossings(), gates, "no gate crossing for lockout");
+    }
+
+    #[test]
+    fn clearance_enforced_by_the_residue() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        let secret = Label::new(Level(2), CompartmentSet::empty());
+        svc.register(&mut k, "low", UserId(3), "pw", Label::BOTTOM);
+        assert_eq!(
+            svc.login(&mut k, "low", "pw", secret).unwrap_err(),
+            KernelError::AimViolation
+        );
+        svc.register(&mut k, "high", UserId(4), "pw", secret);
+        assert!(svc.login(&mut k, "high", "pw", secret).is_ok());
+        assert!(svc.login(&mut k, "high", "pw", Label::BOTTOM).is_ok());
+    }
+
+    #[test]
+    fn cleartext_never_crosses_the_gate() {
+        // The gate takes a hash; this test just pins the user-space
+        // hashing behaviour.
+        assert_ne!(password_hash("a"), password_hash("b"));
+        assert_eq!(password_hash("cactus"), password_hash("cactus"));
+    }
+}

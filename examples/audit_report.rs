@@ -1,0 +1,65 @@
+//! The integrity auditor's view: dependency lattices and kernel size.
+//!
+//! The project's goal was "to make integrity auditing feasible". This
+//! example plays the auditor: it takes the two supervisor designs'
+//! declared structures, shows why the old one cannot be audited a module
+//! at a time and the new one can, and reprints the size ledger the paper
+//! uses to argue the kernel can be halved.
+//!
+//! ```text
+//! cargo run --example audit_report
+//! ```
+
+use multics::census::multics::{standard_transforms, start_of_project};
+use multics::census::{entry_point_stats, size_table};
+use multics::deps::render::render_audit_costs;
+use multics::deps::ModuleGraph;
+
+fn audit(name: &str, g: &ModuleGraph) {
+    println!("== auditing: {name} ==");
+    match g.layers() {
+        Ok(layers) => {
+            println!("verdict: LOOP-FREE — correctness can be established iteratively,");
+            println!("one module at a time, bottom-up:");
+            for (i, layer) in layers.iter().enumerate() {
+                let names: Vec<&str> = layer.iter().map(|m| g.name(*m)).collect();
+                println!("  pass {i}: certify {}", names.join(", "));
+            }
+        }
+        Err(loops) => {
+            println!("verdict: {} DEPENDENCY LOOP(S) — module-at-a-time auditing fails.", loops.len());
+            for comp in &loops {
+                let names: Vec<&str> = comp.iter().map(|m| g.name(*m)).collect();
+                println!("  these must be believed *together*: {}", names.join(", "));
+                for e in g.loop_edges(comp).iter().take(6) {
+                    println!("    because {} -> {} [{}]", g.name(e.from), g.name(e.to), e.kind.label());
+                }
+            }
+        }
+    }
+    println!("\naudit cost (modules whose correctness each one assumes):");
+    print!("{}", render_audit_costs(g));
+    println!();
+}
+
+fn main() {
+    audit("the 1974 supervisor (Figure 3)", &multics::legacy::actual_structure());
+    audit("Kernel/Multics (Figure 4)", &multics::kernel::kernel_structure());
+
+    println!("== what the auditor must read ==");
+    let catalogue = start_of_project();
+    let table = size_table(&catalogue, &standard_transforms());
+    println!("{table}");
+    let stats = entry_point_stats(&catalogue, "linker");
+    println!(
+        "the linker alone was {:.0}% of the gates a user could call;\n\
+         extracting it (and the name space, answering service, networks)\n\
+         shrank the audited interface from 157 gates to the {} this\n\
+         reproduction's kernel exposes:",
+        stats.user_gate_pct,
+        multics::kernel::Kernel::USER_GATES.len(),
+    );
+    for gate in multics::kernel::Kernel::USER_GATES {
+        println!("  {gate}");
+    }
+}

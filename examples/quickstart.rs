@@ -1,0 +1,83 @@
+//! Quickstart: boot Kernel/Multics, log in, make a file, watch it page.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use multics::aim::Label;
+use multics::hw::Word;
+use multics::kernel::{Acl, Kernel, KernelConfig, UserId};
+use multics::user::{AnsweringService, NameSpace};
+
+fn main() {
+    // Boot the kernel on the simulated machine (with the paper's
+    // proposed hardware additions: lock bit, quota trap, dual DBR).
+    let mut kernel = Kernel::boot(KernelConfig::default());
+    println!("Kernel/Multics booted:");
+    println!("  {} fixed virtual processors", kernel.vpm.count());
+    println!("  {} pageable frames", kernel.pfm.pageable());
+    println!("  {} user gates: {:?}\n", Kernel::USER_GATES.len(), Kernel::USER_GATES);
+
+    // The answering service (user domain) registers an account and logs
+    // in through the kernel residue gate.
+    let mut answering = AnsweringService::new();
+    answering.register(&mut kernel, "grace", UserId(1), "hopper", Label::BOTTOM);
+    let pid = answering.login(&mut kernel, "grace", "hopper", Label::BOTTOM).expect("login");
+    println!("logged in as 'grace' -> process {pid:?}");
+
+    // Build a small tree with the user-domain name space manager.
+    let root = kernel.root_token();
+    let home = kernel
+        .create_entry(pid, root, "home", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .expect("mkdir >home");
+    kernel
+        .create_entry(pid, home, "notes", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .expect("create >home>notes");
+    let mut ns = NameSpace::new(&mut kernel, pid);
+    let segno = ns.initiate(&mut kernel, ">home>notes").expect("initiate");
+    println!("initiated >home>notes as segment number {segno}");
+
+    // Writing a never-before-used page raises the hardware quota
+    // exception; the kernel checks the statically bound quota cell and
+    // creates the page.
+    // Four 9-bit characters fit one 36-bit word.
+    for (i, word) in ["MULT", "KERN", "DSGN"].iter().enumerate() {
+        let packed = word.bytes().fold(0u64, |acc, b| (acc << 9) | u64::from(b));
+        kernel
+            .write_word(pid, segno, i as u32 * 1024, Word::new(packed))
+            .expect("write");
+    }
+    println!("wrote 3 words on 3 pages (3 quota exceptions serviced)");
+
+    // Force the pages out, then read them back through real missing-page
+    // faults serviced under the descriptor lock protocol.
+    let notes_token = kernel.dir_search(pid, home, "notes").unwrap();
+    let uid = kernel.uid_of_token(notes_token).unwrap();
+    let handle = kernel.segm.get(uid).unwrap().handle;
+    kernel
+        .pfm
+        .flush(&mut kernel.machine, &mut kernel.drm, &mut kernel.qcm, handle)
+        .expect("flush");
+    for i in 0..3u32 {
+        let w = kernel.read_word(pid, segno, i * 1024).expect("read");
+        print!("  page {i}: ");
+        let mut bytes = Vec::new();
+        let mut v = w.raw();
+        while v != 0 {
+            bytes.push((v & 0x1FF) as u8);
+            v >>= 9;
+        }
+        bytes.reverse();
+        println!("{}", String::from_utf8_lossy(&bytes));
+    }
+
+    // Session accounting.
+    kernel.schedule();
+    let charge = answering.logout(&mut kernel, pid).expect("logout");
+    println!("\nlogged out; session billed {charge} units");
+    println!(
+        "kernel counters: {} segment faults, {} page faults, {} quota exceptions",
+        kernel.stats.segment_faults, kernel.stats.page_faults, kernel.stats.quota_faults
+    );
+    println!("machine clock: {} simulated cycles", kernel.machine.clock.now());
+}

@@ -1,0 +1,56 @@
+//! The Multics Kernel Design Project, reproduced in Rust — facade crate.
+//!
+//! This crate re-exports the whole workspace under one roof for the
+//! examples and integration tests:
+//!
+//! * [`hw`] — the simulated 36-bit segmented-paged machine;
+//! * [`sync`] — Reed–Kanodia eventcounts, sequencers, the real-memory
+//!   message queue;
+//! * [`aim`] — the Access Isolation Mechanism (Bell–LaPadula);
+//! * [`deps`] — dependency-structure analysis (the five kinds, loops,
+//!   lattices);
+//! * [`legacy`] — the 1974 supervisor with its dependency loops
+//!   (Figures 2/3);
+//! * [`kernel`] — the loop-free, type-extended Kernel/Multics
+//!   (Figure 4), the paper's primary contribution;
+//! * [`user`] — the extracted user-domain subsystems (linker, name
+//!   space, answering service, network protocols);
+//! * [`census`] — the kernel-size census engine and the 1973/1977
+//!   catalogue;
+//! * [`bench_harness`] — workload generators and the experiment drivers behind
+//!   `repro` and `cargo bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use multics::kernel::{Kernel, KernelConfig};
+//! use multics::aim::Label;
+//!
+//! let mut k = Kernel::boot(KernelConfig::default());
+//! k.register_account("demo", multics::kernel::UserId(1), 42, Label::BOTTOM);
+//! let pid = k.login_residue("demo", 42, Label::BOTTOM).unwrap();
+//! let root = k.root_token();
+//! let tok = k
+//!     .create_entry(
+//!         pid,
+//!         root,
+//!         "hello",
+//!         multics::kernel::Acl::owner(multics::kernel::UserId(1)),
+//!         Label::BOTTOM,
+//!         false,
+//!     )
+//!     .unwrap();
+//! let segno = k.initiate(pid, tok).unwrap();
+//! k.write_word(pid, segno, 0, multics::hw::Word::new(0o1776)).unwrap();
+//! assert_eq!(k.read_word(pid, segno, 0).unwrap(), multics::hw::Word::new(0o1776));
+//! ```
+
+pub use mx_aim as aim;
+pub use mx_bench as bench_harness;
+pub use mx_census as census;
+pub use mx_deps as deps;
+pub use mx_hw as hw;
+pub use mx_kernel as kernel;
+pub use mx_legacy as legacy;
+pub use mx_sync as sync;
+pub use mx_user as user;

@@ -1,0 +1,178 @@
+//! The missing-page race window, on both hardware bases.
+//!
+//! "The hardware imposes a short time window between a missing page
+//! exception and the setting of the lock by page control and some other
+//! process may alter the address translation tables between the
+//! exception and capturing the lock."
+//!
+//! These tests drive the window explicitly with the machine's two
+//! processors: CPU 0 takes the fault; before its handler runs, CPU 1
+//! interferes. On the 1974 base the handler must *interpretively
+//! retranslate* and discover the page already present; on the proposed
+//! base the hardware lock bit closes the window — the second processor
+//! takes a locked-descriptor exception and waits on the page eventcount.
+
+use multics::aim::Label;
+use multics::hw::cpu::Ptw;
+use multics::hw::{AccessMode, Fault, VirtAddr, Word};
+use multics::kernel::{Acl, Kernel, KernelConfig, UserId};
+use multics::legacy::{Acl as LAcl, Supervisor, SupervisorConfig, UserId as LUserId};
+
+#[test]
+fn legacy_retranslation_detects_a_raced_service() {
+    let mut sup = Supervisor::boot(SupervisorConfig::default());
+    let pid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "hot", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
+    let segno = sup.initiate(pid, "hot").unwrap();
+    sup.user_write(pid, segno, 0, Word::new(9)).unwrap();
+    // Page out.
+    let uid = sup.resolve(pid, "hot", multics::legacy::AccessRight::Read).unwrap().0;
+    let astx = sup.ast.find(uid).unwrap();
+    sup.flush_segment(astx).unwrap();
+
+    // CPU 0 takes the missing-page fault (the reference traps)...
+    let va = VirtAddr::new(segno, 0);
+    let fault = {
+        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut sup.machine;
+        let cost = *cost;
+        cpus[0].read(mem, clock, &cost, va).unwrap_err()
+    };
+    let Fault::MissingPage { descriptor, locked_by_hw, .. } = fault else {
+        panic!("expected a missing page, got {fault}");
+    };
+    assert!(!locked_by_hw, "1974 hardware has no lock bit");
+
+    // ...and inside the window, "another processor" services the page
+    // (the supervisor path, standing in for CPU 1's handler).
+    sup.service_page(astx, 0, Label::BOTTOM).unwrap();
+
+    // Now CPU 0's handler runs: the interpretive retranslation finds the
+    // descriptor present and backs out.
+    let resolved_before = sup.stats.retranslations_resolved;
+    sup.handle_page_fault_for_test(pid, va, descriptor).unwrap();
+    assert_eq!(
+        sup.stats.retranslations_resolved,
+        resolved_before + 1,
+        "the retranslation discovered the race"
+    );
+    // The reference now completes normally.
+    assert_eq!(sup.user_read(pid, segno, 0).unwrap(), Word::new(9));
+}
+
+#[test]
+fn kernel_lock_bit_closes_the_window() {
+    let mut k = Kernel::boot(KernelConfig::default());
+    k.register_account("u", UserId(1), 1, Label::BOTTOM);
+    let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
+    let root = k.root_token();
+    let tok = k.create_entry(pid, root, "hot", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    let segno = k.initiate(pid, tok).unwrap();
+    k.write_word(pid, segno, 0, Word::new(9)).unwrap();
+    let uid = k.uid_of_token(tok).unwrap();
+    let handle = k.segm.get(uid).unwrap().handle;
+    k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+
+    // Both processors share the process's address space for the test.
+    let frame = k.upm.dseg_frame(pid).unwrap();
+    for cpu in &mut k.machine.cpus {
+        cpu.dbr_user = Some(multics::hw::cpu::DescBase {
+            base: frame.base(),
+            len: multics::kernel::known_segment::MAX_SEGNO,
+        });
+    }
+    let va = VirtAddr::new(segno, 0);
+
+    // CPU 0 faults; the hardware sets the lock bit atomically.
+    let fault = {
+        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let cost = *cost;
+        cpus[0].read(mem, clock, &cost, va).unwrap_err()
+    };
+    let Fault::MissingPage { descriptor, locked_by_hw, .. } = fault else {
+        panic!("expected a missing page, got {fault}");
+    };
+    assert!(locked_by_hw, "the proposed hardware locked the descriptor in the fault");
+    assert!(Ptw::decode(k.machine.mem.read(descriptor)).locked);
+
+    // CPU 1 touches the same page inside the window: no duplicate fault,
+    // no retranslation — a locked-descriptor exception, and the locked
+    // descriptor's address lands in the per-processor register.
+    let fault2 = {
+        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let cost = *cost;
+        cpus[1].read(mem, clock, &cost, va).unwrap_err()
+    };
+    assert!(matches!(fault2, Fault::LockedDescriptor { .. }));
+    assert_eq!(k.machine.cpus[1].locked_descriptor_reg, Some(descriptor));
+
+    // CPU 0's handler services the page, unlocks, and notifies the page
+    // eventcount (waking anyone parked on it).
+    let ec_before = k.vpm.read_eventcount(k.pfm.page_event);
+    let (h, p) = k.pfm.identify(descriptor).unwrap();
+    k.pfm
+        .service_missing(&mut k.machine, &mut k.drm, &mut k.qcm, &mut k.vpm, h, p)
+        .unwrap();
+    assert!(!Ptw::decode(k.machine.mem.read(descriptor)).locked, "unlocked after service");
+    assert_eq!(k.vpm.read_eventcount(k.pfm.page_event), ec_before + 1, "waiters notified");
+
+    // Both processors' re-references now succeed — CPU 1 without ever
+    // having entered the page-service path.
+    for cpuno in [0u32, 1] {
+        let got = {
+            let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+            let cost = *cost;
+            cpus[cpuno as usize].read(mem, clock, &cost, va).unwrap()
+        };
+        assert_eq!(got, Word::new(9));
+    }
+}
+
+#[test]
+fn wakeup_waiting_switch_prevents_a_lost_notification() {
+    // The third piece of the proposed hardware: a notification arriving
+    // between the locked-descriptor exception and the wait primitive
+    // sets the switch, and the wait must then not block.
+    let mut k = Kernel::boot(KernelConfig::default());
+    // Simulate: CPU 0 takes the locked-descriptor exception...
+    k.machine.cpus[0].locked_descriptor_reg = Some(multics::hw::AbsAddr(12345));
+    // ...the notification arrives *now*, before the wait...
+    k.machine.cpus[0].wakeup_waiting = true;
+    // ...so the wait primitive consumes the switch and does not park.
+    assert!(k.machine.cpus[0].take_wakeup_waiting());
+    assert!(!k.machine.cpus[0].take_wakeup_waiting(), "the switch is take-once");
+}
+
+#[test]
+fn dual_dbr_isolates_system_translation_from_user_spaces() {
+    // System segment numbers translate through the per-processor system
+    // space regardless of which user address space is loaded — so kernel
+    // modules using them cannot depend on user address-space machinery.
+    let mut k = Kernel::boot(KernelConfig::default());
+    k.register_account("a", UserId(1), 1, Label::BOTTOM);
+    k.register_account("b", UserId(2), 2, Label::BOTTOM);
+    let pa = k.login_residue("a", 1, Label::BOTTOM).unwrap();
+    let pb = k.login_residue("b", 2, Label::BOTTOM).unwrap();
+
+    // Write a word into the kernel communication segment (system segno 0)
+    // through CPU 0 while process A's space is loaded.
+    let fa = k.upm.dseg_frame(pa).unwrap();
+    k.machine.cpus[0].dbr_user =
+        Some(multics::hw::cpu::DescBase { base: fa.base(), len: 1024 });
+    let sys_va = VirtAddr::new(0, 7);
+    {
+        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let cost = *cost;
+        cpus[0].write(mem, clock, &cost, sys_va, Word::new(0o31415)).unwrap();
+    }
+    // Switch to process B's space: the system word is still there at the
+    // same system segment number.
+    let fb = k.upm.dseg_frame(pb).unwrap();
+    k.machine.cpus[0].dbr_user =
+        Some(multics::hw::cpu::DescBase { base: fb.base(), len: 1024 });
+    let got = {
+        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let cost = *cost;
+        cpus[0].translate(mem, clock, &cost, sys_va, AccessMode::Read).map(|abs| mem.read(abs))
+    };
+    assert_eq!(got.unwrap(), Word::new(0o31415));
+}
