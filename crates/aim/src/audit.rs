@@ -62,7 +62,13 @@ impl AuditLog {
         decision: Decision,
     ) -> &AuditRecord {
         let seq = self.records.len() as u64;
-        self.records.push(AuditRecord { seq, subject, object, access, decision });
+        self.records.push(AuditRecord {
+            seq,
+            subject,
+            object,
+            access,
+            decision,
+        });
         self.records.last().expect("just pushed")
     }
 
@@ -73,7 +79,10 @@ impl AuditLog {
 
     /// Number of denials recorded.
     pub fn denials(&self) -> usize {
-        self.records.iter().filter(|r| !r.decision.granted()).count()
+        self.records
+            .iter()
+            .filter(|r| !r.decision.granted())
+            .count()
     }
 
     /// Number of grants recorded.

@@ -52,7 +52,11 @@ impl FlowTracker {
 
     /// Records an observed flow.
     pub fn observe(&mut self, from: Label, to: Label, cause: impl Into<String>) {
-        self.events.push(FlowEvent { from, to, cause: cause.into() });
+        self.events.push(FlowEvent {
+            from,
+            to,
+            cause: cause.into(),
+        });
     }
 
     /// All observed flows.
@@ -82,7 +86,11 @@ mod tests {
 
     #[test]
     fn upward_flow_is_lawful() {
-        let e = FlowEvent { from: l(0), to: l(2), cause: "read up-level copy".into() };
+        let e = FlowEvent {
+            from: l(0),
+            to: l(2),
+            cause: "read up-level copy".into(),
+        };
         assert!(e.is_lawful());
     }
 
@@ -101,7 +109,11 @@ mod tests {
     fn incomparable_flow_is_also_a_violation() {
         let a = Label::new(Level(1), CompartmentSet::from_bits(0b01));
         let b = Label::new(Level(1), CompartmentSet::from_bits(0b10));
-        let e = FlowEvent { from: a, to: b, cause: "cross-compartment".into() };
+        let e = FlowEvent {
+            from: a,
+            to: b,
+            cause: "cross-compartment".into(),
+        };
         assert!(!e.is_lawful());
     }
 }

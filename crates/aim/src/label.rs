@@ -1,16 +1,12 @@
 //! Sensitivity labels: levels, compartments, and the dominance lattice.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum number of distinct compartments (bit positions in a
 /// [`CompartmentSet`]).
 pub const MAX_COMPARTMENTS: u32 = 64;
 
 /// A linearly ordered sensitivity level (e.g. 0 = Unclassified,
 /// 1 = Confidential, 2 = Secret, 3 = Top Secret).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Level(pub u8);
 
 impl Level {
@@ -19,9 +15,7 @@ impl Level {
 }
 
 /// A set of need-to-know compartments, one bit per compartment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CompartmentSet(u64);
 
 impl CompartmentSet {
@@ -87,9 +81,7 @@ impl CompartmentSet {
 /// when `a.level >= b.level` **and** `a.compartments ⊇ b.compartments`.
 /// Two labels can be incomparable (neither dominates), which is exactly
 /// what makes compartments useful.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Label {
     /// Sensitivity level.
     pub level: Level,
@@ -99,11 +91,17 @@ pub struct Label {
 
 impl Label {
     /// The lattice bottom: lowest level, no compartments. System-low.
-    pub const BOTTOM: Label = Label { level: Level::BOTTOM, compartments: CompartmentSet::empty() };
+    pub const BOTTOM: Label = Label {
+        level: Level::BOTTOM,
+        compartments: CompartmentSet::empty(),
+    };
 
     /// Builds a label.
     pub const fn new(level: Level, compartments: CompartmentSet) -> Self {
-        Label { level, compartments }
+        Label {
+            level,
+            compartments,
+        }
     }
 
     /// True if `self` dominates `other` (may observe it, under simple

@@ -112,7 +112,12 @@ impl ReferenceMonitor {
         if decision.granted() {
             Ok(())
         } else {
-            Err(FlowViolation { subject, object, access, decision })
+            Err(FlowViolation {
+                subject,
+                object,
+                access,
+                decision,
+            })
         }
     }
 

@@ -1,12 +1,14 @@
 //! P3 — wall-clock: monolithic vs residue+user answering service.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_bench::p3_answering;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("p3_answering");
     g.sample_size(10);
-    g.bench_function("ten_sessions", |b| b.iter(|| std::hint::black_box(p3_answering(10))));
+    g.bench_function("ten_sessions", |b| {
+        b.iter(|| std::hint::black_box(p3_answering(10)))
+    });
     g.finish();
 }
 

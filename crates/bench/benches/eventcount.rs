@@ -1,6 +1,6 @@
 //! P6 — wall-clock: the threaded Reed-Kanodia primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_sync::threaded::EventcountMutex;
 use mx_sync::{EventCount, Sequencer};
 use std::sync::Arc;

@@ -1,6 +1,6 @@
 //! P8 — wall-clock: retranslation vs the descriptor lock bit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_bench::p8_fault_path;
 
 fn bench(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! F2-F4 — dependency analysis cost (SCC + layering on the registries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("f3_actual_structure_loops", |b| {

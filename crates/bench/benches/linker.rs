@@ -1,6 +1,6 @@
 //! P1 — wall-clock: the in-kernel vs user-domain dynamic linker.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_bench::p1_linker;
 
 fn bench(c: &mut Criterion) {

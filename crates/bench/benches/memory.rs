@@ -1,6 +1,6 @@
 //! P4 — wall-clock: the memory managers from ample to cramped core.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_bench::p4_memory;
 
 fn bench(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! P2 — wall-clock: buried pathname search vs user-domain expansion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_bench::{p2_namespace, TreeSpec};
 
 fn bench(c: &mut Criterion) {

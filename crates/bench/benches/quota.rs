@@ -1,6 +1,6 @@
 //! P7 — wall-clock: dynamic quota walk vs static quota cell.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_bench::p7_quota;
 
 fn bench(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! P5 — wall-clock: one-level vs two-level processor multiplexing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_bench::p5_scheduler;
 
 fn bench(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! T1-T3 — the census engine itself (table regeneration cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mx_bench::harness::{criterion_group, criterion_main, Criterion};
 use mx_census::multics::{standard_transforms, start_of_project};
 use mx_census::size_table;
 

@@ -3,15 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! repro                # everything
-//! repro --only f2,t1   # selected experiments (ids per DESIGN.md)
-//! repro --list         # list experiment ids
+//! repro                       # everything
+//! repro --only f2,t1          # selected experiments (ids per DESIGN.md)
+//! repro --list                # list experiment ids
+//! repro --trace report.json   # also write per-subsystem cycle attribution
 //! ```
 
 use mx_bench::{
     a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory,
-    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement,
-    s3_relocation, TreeSpec,
+    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement, s3_relocation,
+    TreeSpec,
 };
 use mx_census::multics::{standard_transforms, start_of_project, PLI_EQUIVALENT_SHRINK_PERMILLE};
 use mx_census::plan::render_plan;
@@ -21,8 +22,8 @@ use mx_deps::render::{render_audit_costs, render_dot};
 use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
-    "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8",
-    "s1", "s2", "s3", "a1", "a2",
+    "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
+    "s2", "s3", "a1", "a2",
 ];
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
         return;
     }
     let mut dot = false;
+    let mut trace_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +44,16 @@ fn main() {
                 i += 1;
                 if let Some(list) = args.get(i) {
                     selected.extend(list.split(',').map(|s| s.trim().to_lowercase()));
+                }
+            }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace requires a file path");
+                        std::process::exit(2);
+                    }
                 }
             }
             "--dot" => dot = true,
@@ -64,7 +76,10 @@ fn main() {
         println!("{}", render_plan());
     }
     if want("f2") {
-        header("F2", "Figure 2 — superficial dependency structure (old Multics)");
+        header(
+            "F2",
+            "Figure 2 — superficial dependency structure (old Multics)",
+        );
         let g = mx_legacy::superficial_structure();
         println!("{}", render_ascii(&g));
         if dot {
@@ -123,7 +138,10 @@ fn main() {
     }
     if want("t3") {
         header("T3", "Growth history, recoding factors, specialization");
-        let added: u32 = mx_census::multics::growth_history().iter().map(|e| e.lines_added).sum();
+        let added: u32 = mx_census::multics::growth_history()
+            .iter()
+            .map(|e| e.lines_added)
+            .sum();
         println!("  ring zero at the 9/1973 census : 44K source lines");
         for e in mx_census::multics::growth_history() {
             println!("    {} +{}K  {}", e.period, e.lines_added / 1000, e.cause);
@@ -143,9 +161,7 @@ fn main() {
             equiv / 1000
         );
         let pct = specialization_estimate(&c, &standard_transforms());
-        println!(
-            "  file-store specialization      : another {pct:.0}% at most (paper: 15-25%)\n"
-        );
+        println!("  file-store specialization      : another {pct:.0}% at most (paper: 15-25%)\n");
     }
     if want("p1") {
         header("P1", "Performance — the dynamic linker");
@@ -167,7 +183,10 @@ fn main() {
         );
     }
     if want("p4") {
-        header("P4", "Performance — the memory manager (ample -> cramped core)");
+        header(
+            "P4",
+            "Performance — the memory manager (ample -> cramped core)",
+        );
         let rows = p4_memory(&[80, 56, 44, 36], 40, 1500, 10);
         println!(
             "  {:>7} {:>14} {:>9} {:>14} {:>14} {:>9}",
@@ -190,7 +209,10 @@ fn main() {
         );
     }
     if want("p5") {
-        header("P5", "Performance — one-level vs two-level processor multiplexing");
+        header(
+            "P5",
+            "Performance — one-level vs two-level processor multiplexing",
+        );
         let rows = p5_scheduler(&[1, 2, 3, 6, 10], 60);
         println!(
             "  {:>6} {:>16} {:>16} {:>12}",
@@ -235,7 +257,10 @@ fn main() {
         println!("  the new design's growth cost is depth-blind: the cell is named, not found\n");
     }
     if want("p8") {
-        header("P8", "Performance — missing-page service and the lock window");
+        header(
+            "P8",
+            "Performance — missing-page service and the lock window",
+        );
         println!("{}", p8_fault_path(8, 4));
         println!();
     }
@@ -260,6 +285,19 @@ fn main() {
     if want("s3") {
         header("S3", "Semantics — full packs and the upward signal");
         println!("{}", s3_relocation());
+    }
+
+    if let Some(path) = trace_path {
+        let runs = mx_bench::trace::drain();
+        let json = mx_bench::trace::render_json(&runs);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "cycle-attribution trace: {} runs written to {path}",
+            runs.len()
+        );
     }
 }
 

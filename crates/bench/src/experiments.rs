@@ -46,7 +46,11 @@ impl core::fmt::Display for Comparison {
         writeln!(f, "{}", self.name)?;
         writeln!(f, "  old supervisor : {:>12} {}", self.legacy, self.unit)?;
         writeln!(f, "  Kernel/Multics : {:>12} {}", self.kernel, self.unit)?;
-        writeln!(f, "  new vs old     : {:>11.1}%", self.kernel_vs_legacy_pct())?;
+        writeln!(
+            f,
+            "  new vs old     : {:>11.1}%",
+            self.kernel_vs_legacy_pct()
+        )?;
         for n in &self.notes {
             writeln!(f, "  note: {n}")?;
         }
@@ -58,7 +62,9 @@ impl core::fmt::Display for Comparison {
 
 fn boot_legacy() -> (Supervisor, mx_legacy::ProcessId) {
     let mut sup = Supervisor::boot_default();
-    let pid = sup.create_process(LUserId(1), Label::BOTTOM).expect("process");
+    let pid = sup
+        .create_process(LUserId(1), Label::BOTTOM)
+        .expect("process");
     (sup, pid)
 }
 
@@ -70,10 +76,7 @@ fn boot_kernel() -> (Kernel, mx_kernel::ProcessId) {
 }
 
 /// Builds the tree on the old supervisor; returns path → uid.
-fn build_legacy_tree(
-    sup: &mut Supervisor,
-    spec: &TreeSpec,
-) -> HashMap<String, mx_legacy::SegUid> {
+fn build_legacy_tree(sup: &mut Supervisor, spec: &TreeSpec) -> HashMap<String, mx_legacy::SegUid> {
     let acl = LAcl::owner(LUserId(1));
     let mut map: HashMap<String, mx_legacy::SegUid> = HashMap::new();
     for dir in spec.dir_paths() {
@@ -122,7 +125,14 @@ fn build_kernel_tree(
         let i = file.rfind('>').expect("file under a dir");
         let parent = if i == 0 { root } else { map[&file[..i]] };
         let tok = k
-            .create_entry(pid, parent, &file[i + 1..], acl.clone(), Label::BOTTOM, false)
+            .create_entry(
+                pid,
+                parent,
+                &file[i + 1..],
+                acl.clone(),
+                Label::BOTTOM,
+                false,
+            )
             .expect("tree file");
         map.insert(file.clone(), tok);
     }
@@ -139,7 +149,12 @@ pub fn p1_linker(n_symbols: usize) -> Comparison {
     // Old: the in-kernel linker.
     let (mut sup, lpid) = boot_legacy();
     let lib = sup
-        .create_segment_in(sup.root(), "libbench", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .create_segment_in(
+            sup.root(),
+            "libbench",
+            LAcl::owner(LUserId(1)),
+            Label::BOTTOM,
+        )
         .expect("lib");
     sup.publish_definitions(lib, &defs);
     let before = sup.machine.clock.now();
@@ -167,11 +182,15 @@ pub fn p1_linker(n_symbols: usize) -> Comparison {
     let mut linker = UserLinker::new(kpid);
     let before = k.machine.clock.now();
     for (sym, off) in &defs {
-        let l = linker.link(&mut k, &mut ns, ">libbench", sym).expect("user link");
+        let l = linker
+            .link(&mut k, &mut ns, ">libbench", sym)
+            .expect("user link");
         assert_eq!(l.offset, *off);
     }
     let kernel = (k.machine.clock.now() - before) / n_symbols as u64;
 
+    crate::trace::publish("p1.legacy", &sup.machine.clock, sup.stats.counters());
+    crate::trace::publish("p1.kernel", &k.machine.clock, k.stats.counters());
     Comparison {
         name: "P1  dynamic linker (cold links)",
         unit: "cycles/link",
@@ -197,7 +216,8 @@ pub fn p2_namespace(spec: TreeSpec, rounds: usize) -> Comparison {
     let before = sup.machine.clock.now();
     for _ in 0..rounds {
         for p in &paths {
-            sup.resolve(lpid, p, mx_legacy::AccessRight::Read).expect("legacy resolve");
+            sup.resolve(lpid, p, mx_legacy::AccessRight::Read)
+                .expect("legacy resolve");
         }
     }
     let n = (rounds * paths.len()) as u64;
@@ -214,6 +234,8 @@ pub fn p2_namespace(spec: TreeSpec, rounds: usize) -> Comparison {
     }
     let kernel = (k.machine.clock.now() - before) / n;
 
+    crate::trace::publish("p2.legacy", &sup.machine.clock, sup.stats.counters());
+    crate::trace::publish("p2.kernel", &k.machine.clock, k.stats.counters());
     Comparison {
         name: "P2  name-space manager (repeated resolutions)",
         unit: "cycles/resolution",
@@ -221,9 +243,7 @@ pub fn p2_namespace(spec: TreeSpec, rounds: usize) -> Comparison {
         kernel,
         notes: vec![format!(
             "prefix cache: {} searches for {} resolutions ({} hits)",
-            ns.searches,
-            n,
-            ns.cache_hits
+            ns.searches, n, ns.cache_hits
         )],
     }
 }
@@ -236,7 +256,9 @@ pub fn p3_answering(sessions: usize) -> Comparison {
     sup.register_user("bench", LUserId(1), "pw", Label::BOTTOM);
     let before = sup.machine.clock.now();
     for _ in 0..sessions {
-        let pid = sup.login("bench", "pw", Label::BOTTOM).expect("legacy login");
+        let pid = sup
+            .login("bench", "pw", Label::BOTTOM)
+            .expect("legacy login");
         sup.dispatch();
         sup.logout("bench", pid).expect("legacy logout");
     }
@@ -247,22 +269,24 @@ pub fn p3_answering(sessions: usize) -> Comparison {
     svc.register(&mut k, "bench", mx_kernel::UserId(1), "pw", Label::BOTTOM);
     let before = k.machine.clock.now();
     for _ in 0..sessions {
-        let pid = svc.login(&mut k, "bench", "pw", Label::BOTTOM).expect("kernel login");
+        let pid = svc
+            .login(&mut k, "bench", "pw", Label::BOTTOM)
+            .expect("kernel login");
         k.schedule();
         svc.logout(&mut k, pid).expect("kernel logout");
     }
     let kernel = (k.machine.clock.now() - before) / sessions as u64;
 
+    crate::trace::publish("p3.legacy", &sup.machine.clock, sup.stats.counters());
+    crate::trace::publish("p3.kernel", &k.machine.clock, k.stats.counters());
     Comparison {
         name: "P3  answering service (login+logout sessions)",
         unit: "cycles/session",
         legacy,
         kernel,
-        notes: vec![
-            "policy, parsing and billing run unprivileged; only the \
+        notes: vec!["policy, parsing and billing run unprivileged; only the \
              authentication residue crosses the gate"
-                .to_string(),
-        ],
+            .to_string()],
     }
 }
 
@@ -291,7 +315,12 @@ pub struct MemoryRow {
 /// memory to cramped. The sweep is over *pageable* frames: each system
 /// is given whatever total core makes its pageable pool exactly that
 /// size (their wired layouts differ).
-pub fn p4_memory(pageable_sweep: &[usize], pages: u32, refs: usize, working_set: u32) -> Vec<MemoryRow> {
+pub fn p4_memory(
+    pageable_sweep: &[usize],
+    pages: u32,
+    refs: usize,
+    working_set: u32,
+) -> Vec<MemoryRow> {
     let string = RefString::generate(41, pages, refs, working_set);
     let mut rows = Vec::new();
     for &pageable in pageable_sweep {
@@ -307,7 +336,9 @@ pub fn p4_memory(pageable_sweep: &[usize], pages: u32, refs: usize, working_set:
             root_quota_pages: 1200,
             ..SupervisorConfig::default()
         });
-        let lpid = sup.create_process(LUserId(1), Label::BOTTOM).expect("process");
+        let lpid = sup
+            .create_process(LUserId(1), Label::BOTTOM)
+            .expect("process");
         sup.create_segment_in(sup.root(), "data", LAcl::owner(LUserId(1)), Label::BOTTOM)
             .expect("segment");
         let segno = sup.initiate(lpid, "data").expect("initiate");
@@ -369,6 +400,16 @@ pub fn p4_memory(pageable_sweep: &[usize], pages: u32, refs: usize, working_set:
         }
         let kdelta = before.delta(&k.machine.clock.snapshot());
 
+        crate::trace::publish(
+            &format!("p4.legacy.{pageable}"),
+            &sup.machine.clock,
+            sup.stats.counters(),
+        );
+        crate::trace::publish(
+            &format!("p4.kernel.{pageable}"),
+            &k.machine.clock,
+            k.stats.counters(),
+        );
         debug_assert_eq!(sup.frames.pageable() as usize, pageable);
         debug_assert_eq!(k.pfm.pageable() as usize, pageable);
         rows.push(MemoryRow {
@@ -407,7 +448,8 @@ pub fn p5_scheduler(process_counts: &[u32], passes: usize) -> Vec<SchedulerRow> 
             ..SupervisorConfig::default()
         });
         for i in 0..n {
-            sup.create_process(LUserId(i), Label::BOTTOM).expect("legacy process");
+            sup.create_process(LUserId(i), Label::BOTTOM)
+                .expect("legacy process");
         }
         let before = sup.machine.clock.now();
         for _ in 0..passes {
@@ -422,7 +464,8 @@ pub fn p5_scheduler(process_counts: &[u32], passes: usize) -> Vec<SchedulerRow> 
         for i in 0..n {
             let name = format!("u{i}");
             k.register_account(&name, mx_kernel::UserId(i), 1, Label::BOTTOM);
-            k.login_residue(&name, 1, Label::BOTTOM).expect("kernel process");
+            k.login_residue(&name, 1, Label::BOTTOM)
+                .expect("kernel process");
         }
         let loads_before = k.upm.loads;
         let before = k.machine.clock.now();
@@ -431,6 +474,16 @@ pub fn p5_scheduler(process_counts: &[u32], passes: usize) -> Vec<SchedulerRow> 
         }
         let kernel = (k.machine.clock.now() - before) / passes as u64;
         let loads = k.upm.loads - loads_before;
+        crate::trace::publish(
+            &format!("p5.legacy.{n}"),
+            &sup.machine.clock,
+            sup.stats.counters(),
+        );
+        crate::trace::publish(
+            &format!("p5.kernel.{n}"),
+            &k.machine.clock,
+            k.stats.counters(),
+        );
         rows.push(SchedulerRow {
             processes: n,
             legacy_cycles: legacy,
@@ -466,7 +519,12 @@ pub fn p7_quota(depths: &[u32], pages: u32) -> Vec<QuotaRow> {
         let mut path = String::new();
         for lvl in 0..depth {
             parent = sup
-                .create_directory_in(parent, &format!("c{lvl}"), LAcl::owner(LUserId(1)), Label::BOTTOM)
+                .create_directory_in(
+                    parent,
+                    &format!("c{lvl}"),
+                    LAcl::owner(LUserId(1)),
+                    Label::BOTTOM,
+                )
                 .expect("chain dir");
             path.push_str(&format!(">c{lvl}"));
         }
@@ -517,10 +575,24 @@ pub fn p7_quota(depths: &[u32], pages: u32) -> Vec<QuotaRow> {
         }
         let kernel = (k.machine.clock.now() - before) / u64::from(pages);
 
+        crate::trace::publish(
+            &format!("p7.legacy.{depth}"),
+            &sup.machine.clock,
+            sup.stats.counters(),
+        );
+        crate::trace::publish(
+            &format!("p7.kernel.{depth}"),
+            &k.machine.clock,
+            k.stats.counters(),
+        );
         rows.push(QuotaRow {
             depth,
             legacy_cycles: legacy,
-            legacy_walk_levels: if walks == 0 { 0.0 } else { levels as f64 / walks as f64 },
+            legacy_walk_levels: if walks == 0 {
+                0.0
+            } else {
+                levels as f64 / walks as f64
+            },
             kernel_cycles: kernel,
         });
     }
@@ -538,17 +610,26 @@ pub fn p8_fault_path(pages: u32, rounds: usize) -> Comparison {
         .expect("segment");
     let segno = sup.initiate(lpid, "hot").expect("initiate");
     for p in 0..pages {
-        sup.user_write(lpid, segno, p * mx_hw::PAGE_WORDS as u32, Word::new(u64::from(p) + 1))
-            .expect("seed");
+        sup.user_write(
+            lpid,
+            segno,
+            p * mx_hw::PAGE_WORDS as u32,
+            Word::new(u64::from(p) + 1),
+        )
+        .expect("seed");
     }
-    let hot_uid = sup.resolve(lpid, "hot", mx_legacy::AccessRight::Read).expect("resolve").0;
+    let hot_uid = sup
+        .resolve(lpid, "hot", mx_legacy::AccessRight::Read)
+        .expect("resolve")
+        .0;
     let astx = sup.ast.find(hot_uid).expect("active");
     let mut legacy_faults = 0u64;
     let before = sup.machine.clock.now();
     for _ in 0..rounds {
         sup.flush_segment(astx).expect("flush");
         for p in 0..pages {
-            sup.user_read(lpid, segno, p * mx_hw::PAGE_WORDS as u32).expect("fault back");
+            sup.user_read(lpid, segno, p * mx_hw::PAGE_WORDS as u32)
+                .expect("fault back");
             legacy_faults += 1;
         }
     }
@@ -570,22 +651,32 @@ pub fn p8_fault_path(pages: u32, rounds: usize) -> Comparison {
         .expect("segment");
     let ksegno = k.initiate(kpid, tok).expect("initiate");
     for p in 0..pages {
-        k.write_word(kpid, ksegno, p * mx_hw::PAGE_WORDS as u32, Word::new(u64::from(p) + 1))
-            .expect("seed");
+        k.write_word(
+            kpid,
+            ksegno,
+            p * mx_hw::PAGE_WORDS as u32,
+            Word::new(u64::from(p) + 1),
+        )
+        .expect("seed");
     }
     let uid = k.uid_of_token(tok).expect("uid");
     let mut kernel_faults = 0u64;
     let before = k.machine.clock.now();
     for _ in 0..rounds {
         let handle = k.segm.get(uid).expect("active").handle;
-        k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).expect("flush");
+        k.pfm
+            .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+            .expect("flush");
         for p in 0..pages {
-            k.read_word(kpid, ksegno, p * mx_hw::PAGE_WORDS as u32).expect("fault back");
+            k.read_word(kpid, ksegno, p * mx_hw::PAGE_WORDS as u32)
+                .expect("fault back");
             kernel_faults += 1;
         }
     }
     let kernel = (k.machine.clock.now() - before) / kernel_faults;
 
+    crate::trace::publish("p8.legacy", &sup.machine.clock, sup.stats.counters());
+    crate::trace::publish("p8.kernel", &k.machine.clock, k.stats.counters());
     Comparison {
         name: "P8  missing-page service (flush + refault)",
         unit: "cycles/fault",
@@ -677,24 +768,31 @@ pub fn s2_confinement() -> String {
     let root = k.root_token();
     let mut acl = mx_kernel::Acl::owner(mx_kernel::UserId(1));
     acl.grant(mx_kernel::UserId(2), &[mx_kernel::AccessRight::Read]);
-    let tok = k.create_entry(owner, root, "sparse", acl, Label::BOTTOM, false).unwrap();
+    let tok = k
+        .create_entry(owner, root, "sparse", acl, Label::BOTTOM, false)
+        .unwrap();
     // The owner writes page 0 and page 9: pages 1..9 stay zero flags.
     let oseg = k.initiate(owner, tok).unwrap();
     k.write_word(owner, oseg, 0, Word::new(1)).unwrap();
-    k.write_word(owner, oseg, 9 * mx_hw::PAGE_WORDS as u32, Word::new(2)).unwrap();
+    k.write_word(owner, oseg, 9 * mx_hw::PAGE_WORDS as u32, Word::new(2))
+        .unwrap();
 
     let violations_before = k.flows.violation_count();
     let (_, records_before) = k.segment_meta(owner, oseg).unwrap();
 
     // The high process merely READS a hole.
     let hseg = k.initiate(high, tok).unwrap();
-    let value = k.read_word(high, hseg, 4 * mx_hw::PAGE_WORDS as u32).unwrap();
+    let value = k
+        .read_word(high, hseg, 4 * mx_hw::PAGE_WORDS as u32)
+        .unwrap();
 
     let (_, records_after) = k.segment_meta(owner, oseg).unwrap();
     let violations_after = k.flows.violation_count();
 
     let mut out = String::from("S2  zero-page accounting: a read that writes\n");
-    out.push_str(&format!("  high-labelled read of a hole returned   : {value}\n"));
+    out.push_str(&format!(
+        "  high-labelled read of a hole returned   : {value}\n"
+    ));
     out.push_str(&format!(
         "  records charged before/after the read   : {records_before} -> {records_after}\n"
     ));
@@ -709,7 +807,9 @@ pub fn s2_confinement() -> String {
     // The charge reverts when the page is reclaimed still-zero.
     let uid = k.uid_of_token(tok).unwrap();
     let handle = k.segm.get(uid).unwrap().handle;
-    k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+    k.pfm
+        .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+        .unwrap();
     let (_, records_final) = k.segment_meta(owner, oseg).unwrap();
     out.push_str(&format!(
         "  after page removal's zero scan           : {records_final} records charged\n"
@@ -745,15 +845,32 @@ pub fn s3_relocation() -> String {
     let segno = k.initiate(pid, tok).unwrap();
     let mut out = String::from("S3  full pack -> relocation -> upward signal\n");
     for p in 0..12u32 {
-        k.write_word(pid, segno, p * mx_hw::PAGE_WORDS as u32, Word::new(u64::from(p) + 1))
-            .expect("growth never fails visibly: the signal is consumed inside");
+        k.write_word(
+            pid,
+            segno,
+            p * mx_hw::PAGE_WORDS as u32,
+            Word::new(u64::from(p) + 1),
+        )
+        .expect("growth never fails visibly: the signal is consumed inside");
     }
     let uid = k.uid_of_token(tok).unwrap();
     let home = k.dirm.home_of(uid).unwrap();
-    out.push_str(&format!("  relocations performed        : {}\n", k.segm.stats.relocations));
-    out.push_str(&format!("  upward signals raised        : {}\n", k.segm.stats.upward_signals));
-    out.push_str(&format!("  signals consumed (trampoline): {}\n", k.stats.trampolines));
-    out.push_str(&format!("  directory-entry moves written: {}\n", k.dirm.stats.moves_recorded));
+    out.push_str(&format!(
+        "  relocations performed        : {}\n",
+        k.segm.stats.relocations
+    ));
+    out.push_str(&format!(
+        "  upward signals raised        : {}\n",
+        k.segm.stats.upward_signals
+    ));
+    out.push_str(&format!(
+        "  signals consumed (trampoline): {}\n",
+        k.stats.trampolines
+    ));
+    out.push_str(&format!(
+        "  directory-entry moves written: {}\n",
+        k.dirm.stats.moves_recorded
+    ));
     out.push_str(&format!(
         "  segment now lives on pack {} (big pack = {})\n",
         home.pack.0, big.0
@@ -845,7 +962,8 @@ pub fn a2_purifier_idle(pageable: usize, pages: u32, refs: usize, ws: u32) -> Co
         for (i, (page, write)) in string.refs.iter().enumerate() {
             let wordno = page * mx_hw::PAGE_WORDS as u32;
             if *write {
-                k.write_word(pid, segno, wordno, Word::new(u64::from(*page) + 1)).expect("w");
+                k.write_word(pid, segno, wordno, Word::new(u64::from(*page) + 1))
+                    .expect("w");
             } else {
                 k.read_word(pid, segno, wordno).expect("r");
             }
@@ -872,9 +990,7 @@ pub fn a2_purifier_idle(pageable: usize, pages: u32, refs: usize, ws: u32) -> Co
 /// Convenience: run a kernel growth to quota exhaustion (used by tests).
 pub fn grow_to_quota_error(k: &mut Kernel, pid: mx_kernel::ProcessId, segno: u32) -> KernelError {
     for p in 0..mx_kernel::page_frame::PT_WORDS {
-        if let Err(e) =
-            k.write_word(pid, segno, p * mx_hw::PAGE_WORDS as u32, Word::new(1))
-        {
+        if let Err(e) = k.write_word(pid, segno, p * mx_hw::PAGE_WORDS as u32, Word::new(1)) {
             return e;
         }
     }
@@ -951,14 +1067,19 @@ mod tests {
             r.legacy_cycles,
             r.kernel_cycles
         );
-        assert!(r.cheap_switch_pct > 50.0, "most switches stay at the VP level");
+        assert!(
+            r.cheap_switch_pct > 50.0,
+            "most switches stay at the VP level"
+        );
     }
 
     #[test]
     fn p7_the_static_cell_beats_the_walk_and_depth_insensitivity() {
         let rows = p7_quota(&[1, 6], 6);
-        assert!(rows[1].legacy_walk_levels > rows[0].legacy_walk_levels,
-            "the old walk lengthens with depth");
+        assert!(
+            rows[1].legacy_walk_levels > rows[0].legacy_walk_levels,
+            "the old walk lengthens with depth"
+        );
         // The new design's growth cost must not grow with depth the way
         // the old walk does.
         let old_growth = rows[1].legacy_cycles as i64 - rows[0].legacy_cycles as i64;

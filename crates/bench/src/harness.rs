@@ -1,0 +1,251 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The build environment carries no external crates, so the Criterion
+//! dependency is replaced by this drop-in subset: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups
+//! with `sample_size`, and parameterised `bench_with_input`. Timings are
+//! reported as min/median/mean nanoseconds per iteration.
+//!
+//! After every benchmark the harness drains the cycle-attribution
+//! collector (see [`crate::trace`]) and prints the same per-subsystem
+//! breakdown the `repro --trace` report contains, so wall-clock numbers
+//! and simulated-cycle attribution appear side by side.
+
+use crate::trace;
+use std::time::{Duration, Instant};
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Target measuring time per benchmark (split across samples).
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// A harness with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, 20, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for Criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier built from a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter, e.g. `group/32`.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with a function name and a parameter, e.g. `group/f/32`.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for stable samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = TARGET_MEASURE.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns
+                .push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Attribution from earlier benchmarks must not leak into this one.
+    trace::drain();
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<48} min {:>12}  median {:>12}  mean {:>12}",
+        format_ns(min),
+        format_ns(median),
+        format_ns(mean)
+    );
+    // Profiling hook: show where the simulated cycles of the benched
+    // workload went, per subsystem. Sampling publishes one snapshot per
+    // iteration; keep only the last per label so the breakdown prints
+    // once, not once per sample.
+    let mut last_by_label: Vec<trace::TraceRun> = Vec::new();
+    for run in trace::drain() {
+        if let Some(slot) = last_by_label.iter_mut().find(|r| r.label == run.label) {
+            *slot = run;
+        } else {
+            last_by_label.push(run);
+        }
+    }
+    for run in last_by_label {
+        let breakdown = run.meter.render_text();
+        if !breakdown.is_empty() {
+            println!("  cycles[{}]:", run.label);
+            for line in breakdown.lines() {
+                println!("  {line}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function that runs the listed bench functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_requested_samples() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: 3,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(32).0, "32");
+        assert_eq!(BenchmarkId::new("walk", 4).0, "walk/4");
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.300 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -4,15 +4,18 @@
 //! both systems (the looped 1974 supervisor from `mx-legacy` and the
 //! loop-free Kernel/Multics from `mx-kernel` + `mx-user`), runs the same
 //! synthetic workload on each, and reports deterministic simulated-cycle
-//! results. The `repro` binary prints them all; the Criterion benches
-//! under `benches/` re-measure the same drivers in wall-clock time.
+//! results. The `repro` binary prints them all; the benches under
+//! `benches/` re-measure the same drivers in wall-clock time through the
+//! local [`harness`].
 
 pub mod experiments;
+pub mod harness;
+pub mod trace;
 pub mod workload;
 
 pub use experiments::{
-    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path,
-    s1_mythical_identifiers, s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow,
-    SchedulerRow,
+    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory,
+    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement, s3_relocation,
+    Comparison, MemoryRow, QuotaRow, SchedulerRow,
 };
 pub use workload::{RefString, TreeSpec};

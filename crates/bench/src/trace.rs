@@ -1,0 +1,119 @@
+//! The cycle-attribution trace collector behind `repro --trace`.
+//!
+//! Experiment drivers publish each measured run here — a label like
+//! `"p4.kernel"`, the clock's per-subsystem [`MeterSnapshot`], and the
+//! system's statistics rendered as a [`CounterSet`]. The `repro` binary
+//! drains the collector into a JSON report; the benchmark harness drains
+//! it after every benchmark to print the same breakdown next to the
+//! wall-clock numbers.
+//!
+//! The collector is thread-local: experiments and their metering run on
+//! one thread, and keeping it local means no locking and no cross-test
+//! interference under the parallel test runner.
+
+use mx_hw::meter::{CounterSet, MeterSnapshot};
+use mx_hw::Clock;
+use std::cell::RefCell;
+
+/// One published run: a labelled attribution snapshot plus counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRun {
+    /// Which experiment and which system, e.g. `"p4.kernel"`.
+    pub label: String,
+    /// Clock reading at publication; equals `meter.total()` by the
+    /// conservation property.
+    pub clock_cycles: u64,
+    /// Per-subsystem attribution at publication.
+    pub meter: MeterSnapshot,
+    /// Named statistics of the system that ran (fault counts, etc.).
+    pub counters: CounterSet,
+}
+
+thread_local! {
+    static RUNS: RefCell<Vec<TraceRun>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Publishes a measured run into the thread's collector.
+pub fn publish(label: &str, clock: &Clock, counters: CounterSet) {
+    RUNS.with(|runs| {
+        runs.borrow_mut().push(TraceRun {
+            label: label.to_string(),
+            clock_cycles: clock.now(),
+            meter: clock.meter_snapshot(),
+            counters,
+        });
+    });
+}
+
+/// Takes every published run, leaving the collector empty.
+pub fn drain() -> Vec<TraceRun> {
+    RUNS.with(|runs| runs.borrow_mut().split_off(0))
+}
+
+/// Renders drained runs as the `repro --trace` JSON document.
+///
+/// Hand-rolled JSON: labels and counter names are fixed identifiers and
+/// every value is an integer, so no escaping is needed.
+pub fn render_json(runs: &[TraceRun]) -> String {
+    let mut out = String::from("{\"runs\":{");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"clock_cycles\":{},\"meter\":{},\"counters\":{}}}",
+            run.label,
+            run.clock_cycles,
+            run.meter.to_json(),
+            run.counters.to_json()
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_hw::meter::Subsystem;
+    use mx_hw::CostModel;
+
+    #[test]
+    fn published_runs_conserve_cycles() {
+        drain();
+        let cost = CostModel::default();
+        let mut clk = Clock::new();
+        let g = clk.enter(Subsystem::PageControl);
+        clk.charge_disk_transfer(&cost);
+        clk.exit(g);
+        clk.charge(17);
+        let mut counters = CounterSet::new();
+        counters.set("page_faults", 1);
+        publish("unit.kernel", &clk, counters);
+        let runs = drain();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "unit.kernel");
+        assert_eq!(runs[0].clock_cycles, clk.now());
+        assert_eq!(runs[0].meter.total(), runs[0].clock_cycles);
+        assert!(drain().is_empty(), "drain empties the collector");
+    }
+
+    #[test]
+    fn json_report_contains_every_section() {
+        drain();
+        let cost = CostModel::default();
+        let mut clk = Clock::new();
+        let g = clk.enter(Subsystem::Purifier);
+        clk.charge_disk_transfer(&cost);
+        clk.exit(g);
+        let mut counters = CounterSet::new();
+        counters.set("evictions", 2);
+        publish("unit.legacy", &clk, counters);
+        let json = render_json(&drain());
+        assert!(json.starts_with("{\"runs\":{\"unit.legacy\":{"));
+        assert!(json.contains("\"clock_cycles\":"));
+        assert!(json.contains("\"purifier\":{\"cycles\":"));
+        assert!(json.contains("\"counters\":{\"evictions\":2}"));
+        assert!(json.ends_with("}}"));
+    }
+}

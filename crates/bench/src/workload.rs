@@ -6,8 +6,7 @@
 //! traces — deterministically from a seed, so both systems see byte-
 //! identical work.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mx_hw::rng::SplitMix64;
 
 /// Shape of a generated directory tree.
 #[derive(Debug, Clone, Copy)]
@@ -23,7 +22,11 @@ pub struct TreeSpec {
 impl TreeSpec {
     /// A small default: depth 3, fanout 2, 3 files per directory.
     pub fn small() -> Self {
-        Self { depth: 3, fanout: 2, files_per_dir: 3 }
+        Self {
+            depth: 3,
+            fanout: 2,
+            files_per_dir: 3,
+        }
     }
 
     /// Enumerates the full `>`-separated paths of every data segment
@@ -75,21 +78,21 @@ impl RefString {
     /// set of `working_set` pages captures 90% of references, the rest
     /// are uniform; one third of references are writes.
     pub fn generate(seed: u64, pages: u32, len: usize, working_set: u32) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let ws = working_set.clamp(1, pages);
         let mut base = 0u32;
         let mut refs = Vec::with_capacity(len);
         for i in 0..len {
             // Drift the working set every 64 references.
             if i % 64 == 63 {
-                base = (base + rng.gen_range(0..ws)) % pages;
+                base = (base + rng.range_u32(0, ws)) % pages;
             }
-            let page = if rng.gen_range(0..10) < 9 {
-                (base + rng.gen_range(0..ws)) % pages
+            let page = if rng.below(10) < 9 {
+                (base + rng.range_u32(0, ws)) % pages
             } else {
-                rng.gen_range(0..pages)
+                rng.range_u32(0, pages)
             };
-            let write = rng.gen_range(0..3) == 0;
+            let write = rng.below(3) == 0;
             refs.push((page, write));
         }
         Self { refs }
@@ -111,7 +114,9 @@ pub fn user_names(n: usize) -> Vec<String> {
 
 /// A deterministic library symbol list.
 pub fn symbol_table(n: usize) -> Vec<(String, u32)> {
-    (0..n).map(|i| (format!("entry_{i:04}"), 100 + i as u32 * 8)).collect()
+    (0..n)
+        .map(|i| (format!("entry_{i:04}"), 100 + i as u32 * 8))
+        .collect()
 }
 
 #[cfg(test)]
@@ -120,7 +125,11 @@ mod tests {
 
     #[test]
     fn tree_paths_match_spec_arithmetic() {
-        let spec = TreeSpec { depth: 2, fanout: 3, files_per_dir: 2 };
+        let spec = TreeSpec {
+            depth: 2,
+            fanout: 3,
+            files_per_dir: 2,
+        };
         let files = spec.file_paths();
         assert_eq!(files.len(), 9 * 2, "fanout^depth leaves × files");
         assert!(files[0].starts_with(">d0>d0>f0"));

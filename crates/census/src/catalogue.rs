@@ -1,10 +1,8 @@
 //! The census subject: a catalogue of supervisor modules.
 
-use serde::{Deserialize, Serialize};
-
 /// Where a module's code lives, which determines whether an auditor must
 /// read it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Inside the innermost protection boundary ("ring zero programs").
     RingZero,
@@ -28,7 +26,7 @@ impl Region {
 /// Source language of a module, with the paper's measured conversion
 /// behaviour: recoding assembly in PL/I shrinks source lines by slightly
 /// more than a factor of two (while roughly doubling object code).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Language {
     /// PL/I — the census's uniform measure.
     Pli,
@@ -37,7 +35,7 @@ pub enum Language {
 }
 
 /// One module of the supervisor, as the census sees it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleRecord {
     /// Module name.
     pub name: String,
@@ -79,7 +77,7 @@ impl ModuleRecord {
 }
 
 /// A complete census subject at a point in time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Catalogue {
     /// Label, e.g. "Multics, start of project (1974)".
     pub label: String,
@@ -90,7 +88,10 @@ pub struct Catalogue {
 impl Catalogue {
     /// An empty catalogue with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), modules: Vec::new() }
+        Self {
+            label: label.into(),
+            modules: Vec::new(),
+        }
     }
 
     /// Adds a module record.
@@ -111,7 +112,11 @@ impl Catalogue {
     /// Total source lines that an auditor must read — everything in the
     /// kernel regions.
     pub fn kernel_source_lines(&self) -> u32 {
-        self.modules.iter().filter(|m| m.region.in_kernel()).map(|m| m.source_lines).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.region.in_kernel())
+            .map(|m| m.source_lines)
+            .sum()
     }
 
     /// Kernel size in the uniform PL/I-equivalent measure.
@@ -125,17 +130,29 @@ impl Catalogue {
 
     /// Total kernel entry points.
     pub fn kernel_entry_points(&self) -> u32 {
-        self.modules.iter().filter(|m| m.region.in_kernel()).map(|m| m.entry_points).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.region.in_kernel())
+            .map(|m| m.entry_points)
+            .sum()
     }
 
     /// Kernel entry points callable by the user (gates).
     pub fn kernel_user_gates(&self) -> u32 {
-        self.modules.iter().filter(|m| m.region.in_kernel()).map(|m| m.user_gates).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.region.in_kernel())
+            .map(|m| m.user_gates)
+            .sum()
     }
 
     /// Total kernel object-code words.
     pub fn kernel_object_words(&self) -> u32 {
-        self.modules.iter().filter(|m| m.region.in_kernel()).map(|m| m.object_words).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.region.in_kernel())
+            .map(|m| m.object_words)
+            .sum()
     }
 
     /// Kernel source lines carrying a tag.

@@ -52,11 +52,51 @@ pub fn start_of_project() -> Catalogue {
     use Region::{RingZero, TrustedProcess};
     let mut c = Catalogue::new("Multics, start of kernel project");
     // Ring zero: 28,000 PL/I + 16,000 assembly = 44,000 source lines.
-    c.push(module("page-control (PL/I)", RingZero, Pli, 500, 25, 2, &["memory-mgmt"]));
-    c.push(module("page-control (ALM)", RingZero, Assembly, 3500, 15, 0, &["memory-mgmt"]));
-    c.push(module("segment-control (PL/I)", RingZero, Pli, 2000, 60, 10, &["memory-mgmt"]));
-    c.push(module("segment-control (ALM)", RingZero, Assembly, 2500, 10, 0, &["memory-mgmt"]));
-    c.push(module("directory-control", RingZero, Pli, 6000, 180, 35, &["file-system"]));
+    c.push(module(
+        "page-control (PL/I)",
+        RingZero,
+        Pli,
+        500,
+        25,
+        2,
+        &["memory-mgmt"],
+    ));
+    c.push(module(
+        "page-control (ALM)",
+        RingZero,
+        Assembly,
+        3500,
+        15,
+        0,
+        &["memory-mgmt"],
+    ));
+    c.push(module(
+        "segment-control (PL/I)",
+        RingZero,
+        Pli,
+        2000,
+        60,
+        10,
+        &["memory-mgmt"],
+    ));
+    c.push(module(
+        "segment-control (ALM)",
+        RingZero,
+        Assembly,
+        2500,
+        10,
+        0,
+        &["memory-mgmt"],
+    ));
+    c.push(module(
+        "directory-control",
+        RingZero,
+        Pli,
+        6000,
+        180,
+        35,
+        &["file-system"],
+    ));
     c.push(module(
         "address-space-control",
         RingZero,
@@ -66,17 +106,105 @@ pub fn start_of_project() -> Catalogue {
         12,
         &["file-system", "general-purpose-only"],
     ));
-    c.push(module("name-manager", RingZero, Pli, 1100, 40, 8, &["name-manager"]));
-    c.push(module("process-control (PL/I)", RingZero, Pli, 1500, 50, 6, &["traffic"]));
-    c.push(module("process-control (ALM)", RingZero, Assembly, 3000, 20, 0, &["traffic"]));
-    c.push(module("interrupt-and-fault (ALM)", RingZero, Assembly, 2500, 30, 0, &[]));
-    c.push(module("disk-volume-control (PL/I)", RingZero, Pli, 1000, 40, 4, &[]));
-    c.push(module("disk-volume-control (ALM)", RingZero, Assembly, 2000, 15, 0, &[]));
-    c.push(module("io-and-misc (ALM)", RingZero, Assembly, 2500, 25, 0, &[]));
-    c.push(module("dynamic-linker", RingZero, Pli, 2000, 30, 17, &["linker"]));
-    c.push(module("network-arpanet", RingZero, Pli, 3500, 90, 20, &["network"]));
-    c.push(module("network-front-end", RingZero, Pli, 3500, 90, 20, &["network"]));
-    c.push(module("system-initialization", RingZero, Pli, 2000, 35, 0, &["init"]));
+    c.push(module(
+        "name-manager",
+        RingZero,
+        Pli,
+        1100,
+        40,
+        8,
+        &["name-manager"],
+    ));
+    c.push(module(
+        "process-control (PL/I)",
+        RingZero,
+        Pli,
+        1500,
+        50,
+        6,
+        &["traffic"],
+    ));
+    c.push(module(
+        "process-control (ALM)",
+        RingZero,
+        Assembly,
+        3000,
+        20,
+        0,
+        &["traffic"],
+    ));
+    c.push(module(
+        "interrupt-and-fault (ALM)",
+        RingZero,
+        Assembly,
+        2500,
+        30,
+        0,
+        &[],
+    ));
+    c.push(module(
+        "disk-volume-control (PL/I)",
+        RingZero,
+        Pli,
+        1000,
+        40,
+        4,
+        &[],
+    ));
+    c.push(module(
+        "disk-volume-control (ALM)",
+        RingZero,
+        Assembly,
+        2000,
+        15,
+        0,
+        &[],
+    ));
+    c.push(module(
+        "io-and-misc (ALM)",
+        RingZero,
+        Assembly,
+        2500,
+        25,
+        0,
+        &[],
+    ));
+    c.push(module(
+        "dynamic-linker",
+        RingZero,
+        Pli,
+        2000,
+        30,
+        17,
+        &["linker"],
+    ));
+    c.push(module(
+        "network-arpanet",
+        RingZero,
+        Pli,
+        3500,
+        90,
+        20,
+        &["network"],
+    ));
+    c.push(module(
+        "network-front-end",
+        RingZero,
+        Pli,
+        3500,
+        90,
+        20,
+        &["network"],
+    ));
+    c.push(module(
+        "system-initialization",
+        RingZero,
+        Pli,
+        2000,
+        35,
+        0,
+        &["init"],
+    ));
     c.push(module(
         "misc-supervisor-services",
         RingZero,
@@ -227,7 +355,10 @@ mod tests {
             .map(|m| m.object_words)
             .sum();
         let pct = asm_object as f64 / ring0_object as f64 * 100.0;
-        assert!((15.0..=25.0).contains(&pct), "assembly object share {pct:.1}%");
+        assert!(
+            (15.0..=25.0).contains(&pct),
+            "assembly object share {pct:.1}%"
+        );
         // The paper's "approximately 10%" counts modules, not words:
         // 6 assembly source modules of a much larger module population.
     }
@@ -250,6 +381,9 @@ mod tests {
         let added: u32 = growth_history().iter().map(|e| e.lines_added).sum();
         let start = 44_000u32;
         let factor = (start + added) as f64 / start as f64;
-        assert!((1.7..2.0).contains(&factor), "growth factor {factor:.2} should be almost 2");
+        assert!(
+            (1.7..2.0).contains(&factor),
+            "growth factor {factor:.2} should be almost 2"
+        );
     }
 }

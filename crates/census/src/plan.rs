@@ -90,7 +90,11 @@ pub fn render_plan() -> String {
         let inputs = if b.inputs.is_empty() {
             String::from("Multics")
         } else {
-            b.inputs.iter().map(|i| format!("box {i}")).collect::<Vec<_>>().join(" + ")
+            b.inputs
+                .iter()
+                .map(|i| format!("box {i}"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         };
         out.push_str(&format!(
             "  [{}] {} \n      from: {}  ->  {}   ({})\n",
@@ -109,7 +113,12 @@ mod tests {
         let plan = project_plan();
         assert_eq!(plan.len(), 6);
         for b in &plan[..3] {
-            assert_eq!(b.status, PlanStatus::Completed, "box {} should be done", b.number);
+            assert_eq!(
+                b.status,
+                PlanStatus::Completed,
+                "box {} should be done",
+                b.number
+            );
         }
         assert_eq!(plan[3].status, PlanStatus::InProgress);
     }

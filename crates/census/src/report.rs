@@ -25,7 +25,11 @@ impl core::fmt::Display for SizeTable {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(f, "Kernel Size, Start of Project")?;
         writeln!(f, "  {:>6}K ring 0", self.start_ring_zero / 1000)?;
-        writeln!(f, "  {:>6}K Answering Service", self.start_answering_service / 1000)?;
+        writeln!(
+            f,
+            "  {:>6}K Answering Service",
+            self.start_answering_service / 1000
+        )?;
         writeln!(f, "  {:>6}K TOTAL", self.start_total / 1000)?;
         writeln!(f)?;
         writeln!(f, "Reductions")?;
@@ -34,7 +38,11 @@ impl core::fmt::Display for SizeTable {
         }
         writeln!(f, "  {:<24}{}K", "TOTAL", self.total_reduction / 1000)?;
         writeln!(f)?;
-        writeln!(f, "Resulting kernel: {}K source lines", self.final_total / 1000)
+        writeln!(
+            f,
+            "Resulting kernel: {}K source lines",
+            self.final_total / 1000
+        )
     }
 }
 
@@ -77,7 +85,7 @@ pub struct EntryPointStats {
 /// population the paper's 1,200-entry / 157-gate counts describe.
 pub fn entry_point_stats(catalogue: &Catalogue, tag: &str) -> EntryPointStats {
     let kernel = |f: &dyn Fn(&crate::catalogue::ModuleRecord) -> u32| -> (u32, u32) {
-        let total: u32 = catalogue.in_region(Region::RingZero).map(|m| f(m)).sum();
+        let total: u32 = catalogue.in_region(Region::RingZero).map(f).sum();
         let tagged: u32 = catalogue
             .in_region(Region::RingZero)
             .filter(|m| m.has_tag(tag))
@@ -86,7 +94,11 @@ pub fn entry_point_stats(catalogue: &Catalogue, tag: &str) -> EntryPointStats {
         (tagged, total)
     };
     let pct = |(tagged, total): (u32, u32)| {
-        if total == 0 { 0.0 } else { tagged as f64 / total as f64 * 100.0 }
+        if total == 0 {
+            0.0
+        } else {
+            tagged as f64 / total as f64 * 100.0
+        }
     };
     EntryPointStats {
         tag: tag.to_string(),
@@ -125,8 +137,11 @@ mod tests {
         assert_eq!(table.start_ring_zero, 44_000);
         assert_eq!(table.start_answering_service, 10_000);
         assert_eq!(table.start_total, 54_000);
-        let rows: Vec<(&str, u32)> =
-            table.reductions.iter().map(|r| (r.label.as_str(), r.lines_removed)).collect();
+        let rows: Vec<(&str, u32)> = table
+            .reductions
+            .iter()
+            .map(|r| (r.label.as_str(), r.lines_removed))
+            .collect();
         assert_eq!(
             rows,
             vec![
@@ -139,7 +154,10 @@ mod tests {
             ]
         );
         assert_eq!(table.total_reduction, 28_000);
-        assert_eq!(table.final_total, 26_000, "roughly half the starting kernel");
+        assert_eq!(
+            table.final_total, 26_000,
+            "roughly half the starting kernel"
+        );
     }
 
     #[test]
@@ -176,7 +194,10 @@ mod tests {
     #[test]
     fn specialization_saves_15_to_25_percent_more() {
         let pct = specialization_estimate(&start_of_project(), &standard_transforms());
-        assert!((15.0..=25.0).contains(&pct), "specialization estimate {pct:.1}%");
+        assert!(
+            (15.0..=25.0).contains(&pct),
+            "specialization estimate {pct:.1}%"
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl Transform {
     pub fn apply(&self, catalogue: &mut Catalogue) -> Reduction {
         let before = catalogue.kernel_source_lines();
         match self {
-            Transform::Extract { tag, residue_lines, residue_entry_points, .. } => {
+            Transform::Extract {
+                tag,
+                residue_lines,
+                residue_entry_points,
+                ..
+            } => {
                 let mut moved_any = false;
                 for m in &mut catalogue.modules {
                     if m.region.in_kernel() && m.has_tag(tag) {
@@ -76,7 +81,11 @@ impl Transform {
                     });
                 }
             }
-            Transform::RecodePli { source_shrink_permille, object_growth_permille, .. } => {
+            Transform::RecodePli {
+                source_shrink_permille,
+                object_growth_permille,
+                ..
+            } => {
                 for m in &mut catalogue.modules {
                     if m.region.in_kernel() && m.language == Language::Assembly {
                         m.source_lines = (u64::from(m.source_lines)
@@ -91,7 +100,10 @@ impl Transform {
             }
         }
         let after = catalogue.kernel_source_lines();
-        Reduction { label: self.label().to_string(), lines_removed: before.saturating_sub(after) }
+        Reduction {
+            label: self.label().to_string(),
+            lines_removed: before.saturating_sub(after),
+        }
     }
 }
 
@@ -161,7 +173,10 @@ mod tests {
         };
         let r = t.apply(&mut c);
         assert_eq!(r.lines_removed, 0);
-        assert!(c.find("no-such-tag-residue").is_none(), "no residue without extraction");
+        assert!(
+            c.find("no-such-tag-residue").is_none(),
+            "no residue without extraction"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl CoreSegmentManager {
             return Err(KernelError::TableFull("core segment"));
         }
         let id = CoreSegId(self.segs.len() as u32);
-        self.segs.push(CoreSeg { base: FrameNo(self.next_frame), frames });
+        self.segs.push(CoreSeg {
+            base: FrameNo(self.next_frame),
+            frames,
+        });
         self.next_frame += frames;
         Ok(id)
     }

@@ -80,7 +80,10 @@ impl DemuxManager {
     /// Attaches a multiplexed stream described by `spec`. This is the
     /// whole cost of a new network inside the kernel.
     pub fn attach(&mut self, spec: FramingSpec) -> StreamId {
-        self.streams.push(Stream { spec: Some(spec), ..Stream::default() });
+        self.streams.push(Stream {
+            spec: Some(spec),
+            ..Stream::default()
+        });
         StreamId(self.streams.len() as u32 - 1)
     }
 
@@ -101,7 +104,10 @@ impl DemuxManager {
         channel: u16,
         pid: ProcessId,
     ) -> Result<(), KernelError> {
-        let s = self.streams.get_mut(stream.0 as usize).ok_or(KernelError::NoSuchChannel)?;
+        let s = self
+            .streams
+            .get_mut(stream.0 as usize)
+            .ok_or(KernelError::NoSuchChannel)?;
         s.owners.insert(channel, pid);
         s.channels.entry(channel).or_default();
         Ok(())
@@ -123,15 +129,27 @@ impl DemuxManager {
         stream: StreamId,
         frame: &[u8],
     ) -> Result<(), KernelError> {
-        let s = self.streams.get_mut(stream.0 as usize).ok_or(KernelError::NoSuchChannel)?;
+        let s = self
+            .streams
+            .get_mut(stream.0 as usize)
+            .ok_or(KernelError::NoSuchChannel)?;
         let spec = s.spec.expect("attached stream has a spec");
         let parsed = Self::parse(&spec, frame);
         match parsed {
             Some((channel, payload)) => {
                 s.frames_in += 1;
-                s.channels.entry(channel).or_default().extend_from_slice(payload);
+                s.channels
+                    .entry(channel)
+                    .or_default()
+                    .extend_from_slice(payload);
                 if s.owners.contains_key(&channel) {
-                    upm.deliver(vpm, KernelEvent::ChannelInput { stream: stream.0, channel });
+                    upm.deliver(
+                        vpm,
+                        KernelEvent::ChannelInput {
+                            stream: stream.0,
+                            channel,
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -192,7 +210,10 @@ impl DemuxManager {
     ///
     /// [`KernelError::NoSuchChannel`] for an unknown stream.
     pub fn frame_counts(&self, stream: StreamId) -> Result<(u64, u64), KernelError> {
-        let s = self.streams.get(stream.0 as usize).ok_or(KernelError::NoSuchChannel)?;
+        let s = self
+            .streams
+            .get(stream.0 as usize)
+            .ok_or(KernelError::NoSuchChannel)?;
         Ok((s.frames_in, s.frames_bad))
     }
 }
@@ -205,7 +226,12 @@ mod tests {
     use mx_aim::Label;
     use mx_hw::Machine;
 
-    fn rig() -> (Machine, VirtualProcessorManager, UserProcessManager, DemuxManager) {
+    fn rig() -> (
+        Machine,
+        VirtualProcessorManager,
+        UserProcessManager,
+        DemuxManager,
+    ) {
         let machine = Machine::kernel_proposed();
         let mut csm = CoreSegmentManager::new(0, 4);
         let mut vpm = VirtualProcessorManager::new(&mut csm, 2).unwrap();
@@ -219,12 +245,19 @@ mod tests {
         let _ = &mut m;
         let arpa = dx.attach(FramingSpec::ARPANET);
         let fe = dx.attach(FramingSpec::FRONT_END);
-        dx.receive(&mut upm, &mut vpm, arpa, &[0, 0, 7, b'h', b'i']).unwrap();
-        dx.receive(&mut upm, &mut vpm, fe, &[3, 2, b'o', b'k', b'X']).unwrap();
-        dx.claim_channel(arpa, 7, crate::types::ProcessId(0)).unwrap();
+        dx.receive(&mut upm, &mut vpm, arpa, &[0, 0, 7, b'h', b'i'])
+            .unwrap();
+        dx.receive(&mut upm, &mut vpm, fe, &[3, 2, b'o', b'k', b'X'])
+            .unwrap();
+        dx.claim_channel(arpa, 7, crate::types::ProcessId(0))
+            .unwrap();
         assert_eq!(dx.read_channel(arpa, 7).unwrap(), b"hi");
         dx.claim_channel(fe, 3, crate::types::ProcessId(0)).unwrap();
-        assert_eq!(dx.read_channel(fe, 3).unwrap(), b"ok", "length field honoured");
+        assert_eq!(
+            dx.read_channel(fe, 3).unwrap(),
+            b"ok",
+            "length field honoured"
+        );
         assert_eq!(dx.stream_count(), 2);
     }
 
@@ -234,9 +267,16 @@ mod tests {
         let pid = upm.create(&mut m, UserId(1), Label::BOTTOM).unwrap();
         let arpa = dx.attach(FramingSpec::ARPANET);
         dx.claim_channel(arpa, 9, pid).unwrap();
-        dx.receive(&mut upm, &mut vpm, arpa, &[0, 0, 9, b'x']).unwrap();
+        dx.receive(&mut upm, &mut vpm, arpa, &[0, 0, 9, b'x'])
+            .unwrap();
         let events = upm.drain_events();
-        assert_eq!(events, vec![KernelEvent::ChannelInput { stream: arpa.0, channel: 9 }]);
+        assert_eq!(
+            events,
+            vec![KernelEvent::ChannelInput {
+                stream: arpa.0,
+                channel: 9
+            }]
+        );
     }
 
     #[test]
@@ -257,6 +297,9 @@ mod tests {
             KernelError::NoSuchChannel
         );
         let s = dx.attach(FramingSpec::ARPANET);
-        assert_eq!(dx.read_channel(s, 1).unwrap_err(), KernelError::NoSuchChannel);
+        assert_eq!(
+            dx.read_channel(s, 1).unwrap_err(),
+            KernelError::NoSuchChannel
+        );
     }
 }

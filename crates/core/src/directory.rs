@@ -173,7 +173,10 @@ fn pack_label(label: Label) -> u64 {
 }
 
 fn unpack_label(bits: u64) -> Label {
-    Label::new(Level((bits & 0x7) as u8), CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF))
+    Label::new(
+        Level((bits & 0x7) as u8),
+        CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF),
+    )
 }
 
 impl DirectoryManager {
@@ -186,13 +189,17 @@ impl DirectoryManager {
     pub fn new(ctx: &mut FsCtx<'_>, seed: u64, root_quota: u32) -> Result<Self, KernelError> {
         let root = SegUid(1);
         let toc = ctx.drm.create_entry(ctx.machine, PackId(0), root.0)?;
-        let home = DiskHome { pack: PackId(0), toc };
-        ctx.qcm.create_cell(ctx.machine, ctx.drm, root, home, root_quota, Label::BOTTOM)?;
+        let home = DiskHome {
+            pack: PackId(0),
+            toc,
+        };
+        ctx.qcm
+            .create_cell(ctx.machine, ctx.drm, root, home, root_quota, Label::BOTTOM)?;
         let mut dm = Self {
             branch: HashMap::new(),
             real_tokens: HashMap::new(),
             token_of: HashMap::new(),
-            secret: mix(seed ^ 0x6d75_6c74_6963_73),
+            secret: mix(seed ^ 0x006d_756c_7469_6373),
             root,
             next_uid: 2,
             stats: DirStats::default(),
@@ -212,10 +219,26 @@ impl DirectoryManager {
             },
         );
         ctx.segm.activate(
-            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, root, home, root, true, Label::BOTTOM,
+            ctx.machine,
+            ctx.drm,
+            ctx.qcm,
+            ctx.pfm,
+            root,
+            home,
+            root,
+            true,
+            Label::BOTTOM,
         )?;
         ctx.segm.write_word(
-            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, root, 0, Word::ZERO,
+            ctx.machine,
+            ctx.drm,
+            ctx.qcm,
+            ctx.pfm,
+            ctx.vpm,
+            ctx.flows,
+            root,
+            0,
+            Word::ZERO,
             Label::BOTTOM,
         )?;
         Ok(dm)
@@ -275,7 +298,9 @@ impl DirectoryManager {
     /// cell, is_dir, label)`. Kernel internal — the gatekeeper uses it
     /// for process state segments.
     pub fn activation_info(&self, uid: SegUid) -> Option<(DiskHome, SegUid, bool, Label)> {
-        self.branch.get(&uid).map(|b| (b.home, b.own_cell, b.is_dir, b.label))
+        self.branch
+            .get(&uid)
+            .map(|b| (b.home, b.own_cell, b.is_dir, b.label))
     }
 
     // ---- entry records in segment storage --------------------------------
@@ -284,16 +309,37 @@ impl DirectoryManager {
         1 + slot * ENTRY_WORDS
     }
 
-    pub(crate) fn ensure_active(&self, ctx: &mut FsCtx<'_>, uid: SegUid) -> Result<(), KernelError> {
+    pub(crate) fn ensure_active(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        uid: SegUid,
+    ) -> Result<(), KernelError> {
         let b = self.branch.get(&uid).ok_or(KernelError::NotActive)?;
         ctx.segm
-            .activate(ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, uid, b.home, b.own_cell, b.is_dir, b.label)
+            .activate(
+                ctx.machine,
+                ctx.drm,
+                ctx.qcm,
+                ctx.pfm,
+                uid,
+                b.home,
+                b.own_cell,
+                b.is_dir,
+                b.label,
+            )
             .map(|_| ())
     }
 
     fn seg_read(&self, ctx: &mut FsCtx<'_>, uid: SegUid, wordno: u32) -> Result<Word, KernelError> {
         ctx.segm.read_word(
-            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, uid, wordno,
+            ctx.machine,
+            ctx.drm,
+            ctx.qcm,
+            ctx.pfm,
+            ctx.vpm,
+            ctx.flows,
+            uid,
+            wordno,
             Label::BOTTOM,
         )
     }
@@ -306,7 +352,15 @@ impl DirectoryManager {
         value: Word,
     ) -> Result<(), KernelError> {
         ctx.segm.write_word(
-            ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, ctx.vpm, ctx.flows, uid, wordno, value,
+            ctx.machine,
+            ctx.drm,
+            ctx.qcm,
+            ctx.pfm,
+            ctx.vpm,
+            ctx.flows,
+            uid,
+            wordno,
+            value,
             Label::BOTTOM,
         )
     }
@@ -421,7 +475,10 @@ impl DirectoryManager {
         }
         let meta = self.object_meta(ctx, dir)?;
         Ok(meta.acl.permits(user, AccessRight::Read)
-            && ctx.monitor.check(label, meta.label, AccessKind::Read).is_ok())
+            && ctx
+                .monitor
+                .check(label, meta.label, AccessKind::Read)
+                .is_ok())
     }
 
     /// Scans one directory for `name`; kernel-internal, no access check.
@@ -469,7 +526,9 @@ impl DirectoryManager {
         name: &str,
     ) -> Result<ObjToken, KernelError> {
         self.stats.searches += 1;
-        let resolved = self.resolve_token(dir_token).filter(|u| self.branch.contains_key(u));
+        let resolved = self
+            .resolve_token(dir_token)
+            .filter(|u| self.branch.contains_key(u));
         let is_real_dir = resolved.is_some_and(|u| self.branch[&u].is_dir);
         let readable = match resolved {
             Some(uid) if is_real_dir => self.can_read_dir(ctx, user, label, uid)?,
@@ -517,8 +576,14 @@ impl DirectoryManager {
         let uid = self.resolve_token(token).ok_or(KernelError::NoAccess)?;
         let b = *self.branch.get(&uid).ok_or(KernelError::NoAccess)?;
         let meta = self.object_meta(ctx, uid)?;
-        let aim_read = ctx.monitor.check(plabel, meta.label, AccessKind::Read).is_ok();
-        let aim_write = ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok();
+        let aim_read = ctx
+            .monitor
+            .check(plabel, meta.label, AccessKind::Read)
+            .is_ok();
+        let aim_write = ctx
+            .monitor
+            .check(plabel, meta.label, AccessKind::Write)
+            .is_ok();
         let read = meta.acl.permits(user, AccessRight::Read) && aim_read;
         let write = meta.acl.permits(user, AccessRight::Write) && aim_write;
         let execute = meta.acl.permits(user, AccessRight::Execute) && aim_read;
@@ -569,7 +634,10 @@ impl DirectoryManager {
         let meta = self.object_meta(ctx, dir)?;
         let modify_ok = dir == self.root
             || (meta.acl.permits(user, AccessRight::Write)
-                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok());
+                && ctx
+                    .monitor
+                    .check(plabel, meta.label, AccessKind::Write)
+                    .is_ok());
         if !modify_ok {
             return Err(KernelError::NoAccess);
         }
@@ -592,7 +660,12 @@ impl DirectoryManager {
         }
         // Touch the slot's last word first: any growth (and its possible
         // upward signal) happens before we allocate durable resources.
-        self.seg_write(ctx, dir, Self::entry_base(slot) + ENTRY_WORDS - 1, Word::ZERO)?;
+        self.seg_write(
+            ctx,
+            dir,
+            Self::entry_base(slot) + ENTRY_WORDS - 1,
+            Word::ZERO,
+        )?;
         if slot == count {
             self.seg_write(ctx, dir, 0, Word::new(u64::from(count) + 1))?;
         }
@@ -601,7 +674,9 @@ impl DirectoryManager {
         self.next_uid += 1;
         // Cluster children on the parent's pack, falling back to any
         // pack with table-of-contents room.
-        let toc = ctx.drm.create_entry_anywhere(ctx.machine, b.home.pack, uid.0)?;
+        let toc = ctx
+            .drm
+            .create_entry_anywhere(ctx.machine, b.home.pack, uid.0)?;
         let own_cell = b.child_cell;
         let entry = EntryRecord {
             uid,
@@ -656,7 +731,10 @@ impl DirectoryManager {
         let meta = self.object_meta(ctx, dir)?;
         if dir != self.root
             && !(meta.acl.permits(user, AccessRight::Write)
-                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+                && ctx
+                    .monitor
+                    .check(plabel, meta.label, AccessKind::Write)
+                    .is_ok())
         {
             return Err(KernelError::NoAccess);
         }
@@ -666,7 +744,8 @@ impl DirectoryManager {
         if b.quota_dir {
             return Err(KernelError::QuotaDesignation("already a quota directory"));
         }
-        ctx.qcm.create_cell(ctx.machine, ctx.drm, dir, b.home, limit, meta.label)?;
+        ctx.qcm
+            .create_cell(ctx.machine, ctx.drm, dir, b.home, limit, meta.label)?;
         {
             let bi = self.branch.get_mut(&dir).expect("branch");
             bi.quota_dir = true;
@@ -700,7 +779,10 @@ impl DirectoryManager {
         let meta = self.object_meta(ctx, dir)?;
         if dir != self.root
             && !(meta.acl.permits(user, AccessRight::Write)
-                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+                && ctx
+                    .monitor
+                    .check(plabel, meta.label, AccessKind::Write)
+                    .is_ok())
         {
             return Err(KernelError::NoAccess);
         }
@@ -757,7 +839,10 @@ impl DirectoryManager {
         let meta = self.object_meta(ctx, dir)?;
         if dir != self.root
             && !(meta.acl.permits(user, AccessRight::Write)
-                && ctx.monitor.check(plabel, meta.label, AccessKind::Write).is_ok())
+                && ctx
+                    .monitor
+                    .check(plabel, meta.label, AccessKind::Write)
+                    .is_ok())
         {
             return Err(KernelError::NoAccess);
         }
@@ -773,7 +858,8 @@ impl DirectoryManager {
             ctx.qcm.destroy_cell(ctx.machine, ctx.drm, e.uid)?;
         }
         if ctx.segm.get(e.uid).is_some() {
-            ctx.segm.deactivate(ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, e.uid)?;
+            ctx.segm
+                .deactivate(ctx.machine, ctx.drm, ctx.qcm, ctx.pfm, e.uid)?;
         }
         // Uncharge whatever records the object still holds, then free
         // them with the TOC entry.

@@ -57,7 +57,10 @@ impl DiskRecordManager {
         uid: u64,
     ) -> Result<DiskHome, KernelError> {
         if let Ok(toc) = self.create_entry(machine, preferred, uid) {
-            return Ok(DiskHome { pack: preferred, toc });
+            return Ok(DiskHome {
+                pack: preferred,
+                toc,
+            });
         }
         let mut candidates: Vec<(u32, PackId)> = machine
             .disks
@@ -79,7 +82,11 @@ impl DiskRecordManager {
     /// # Errors
     ///
     /// [`KernelError::NotActive`] for an unknown entry.
-    pub fn delete_entry(&mut self, machine: &mut Machine, home: DiskHome) -> Result<(), KernelError> {
+    pub fn delete_entry(
+        &mut self,
+        machine: &mut Machine,
+        home: DiskHome,
+    ) -> Result<(), KernelError> {
         machine
             .disks
             .pack_mut(home.pack)
@@ -94,7 +101,11 @@ impl DiskRecordManager {
     ///
     /// [`KernelError::AllPacksFull`] on the full-pack condition — the
     /// caller (the segment manager) decides whether to relocate.
-    pub fn allocate(&mut self, machine: &mut Machine, pack: PackId) -> Result<RecordNo, KernelError> {
+    pub fn allocate(
+        &mut self,
+        machine: &mut Machine,
+        pack: PackId,
+    ) -> Result<RecordNo, KernelError> {
         match machine
             .disks
             .pack_mut(pack)
@@ -132,7 +143,11 @@ impl DiskRecordManager {
     /// # Errors
     ///
     /// [`KernelError::NotActive`] for an unknown pack.
-    pub fn pack<'m>(&self, machine: &'m Machine, pack: PackId) -> Result<&'m DiskPack, KernelError> {
+    pub fn pack<'m>(
+        &self,
+        machine: &'m Machine,
+        pack: PackId,
+    ) -> Result<&'m DiskPack, KernelError> {
         machine.disks.pack(pack).map_err(|_| KernelError::NotActive)
     }
 
@@ -278,14 +293,21 @@ mod tests {
         let mut m = machine();
         let mut drm = DiskRecordManager::new();
         let toc = drm.create_entry(&mut m, PackId(0), 42).unwrap();
-        let home = DiskHome { pack: PackId(0), toc };
+        let home = DiskHome {
+            pack: PackId(0),
+            toc,
+        };
         assert_eq!(drm.len_pages(&m, home).unwrap(), 0);
         let rec = drm.allocate(&mut m, PackId(0)).unwrap();
         drm.set_record(&mut m, home, 2, Some(rec)).unwrap();
         assert_eq!(drm.len_pages(&m, home).unwrap(), 3);
         assert_eq!(drm.records_used(&m, home).unwrap(), 1);
         assert_eq!(drm.record_of(&m, home, 2).unwrap(), Some(rec));
-        assert_eq!(drm.record_of(&m, home, 0).unwrap(), None, "hole is a zero flag");
+        assert_eq!(
+            drm.record_of(&m, home, 0).unwrap(),
+            None,
+            "hole is a zero flag"
+        );
         drm.delete_entry(&mut m, home).unwrap();
         assert!(drm.len_pages(&m, home).is_err());
     }
@@ -297,7 +319,10 @@ mod tests {
         for _ in 0..4 {
             drm.allocate(&mut m, PackId(0)).unwrap();
         }
-        assert_eq!(drm.allocate(&mut m, PackId(0)), Err(KernelError::AllPacksFull));
+        assert_eq!(
+            drm.allocate(&mut m, PackId(0)),
+            Err(KernelError::AllPacksFull)
+        );
         assert_eq!(drm.pack_full_events, 1);
         assert_eq!(drm.emptiest_other(&m, PackId(0)), Some(PackId(1)));
     }
@@ -307,14 +332,23 @@ mod tests {
         let mut m = machine();
         let mut drm = DiskRecordManager::new();
         let toc = drm.create_entry(&mut m, PackId(1), 7).unwrap();
-        let home = DiskHome { pack: PackId(1), toc };
+        let home = DiskHome {
+            pack: PackId(1),
+            toc,
+        };
         assert_eq!(drm.read_quota_cell(&m, home).unwrap(), None);
         drm.write_quota_cell(
             &mut m,
             home,
-            Some(mx_hw::disk::QuotaCellRecord { limit_pages: 9, used_pages: 2 }),
+            Some(mx_hw::disk::QuotaCellRecord {
+                limit_pages: 9,
+                used_pages: 2,
+            }),
         )
         .unwrap();
-        assert_eq!(drm.read_quota_cell(&m, home).unwrap().unwrap().limit_pages, 9);
+        assert_eq!(
+            drm.read_quota_cell(&m, home).unwrap().unwrap().limit_pages,
+            9
+        );
     }
 }

@@ -123,7 +123,10 @@ mod tests {
             "{}",
             KernelError::Upward(Signal::SegmentMoved {
                 uid: SegUid(1),
-                new_home: DiskHome { pack: mx_hw::PackId(1), toc: mx_hw::TocIndex(0) },
+                new_home: DiskHome {
+                    pack: mx_hw::PackId(1),
+                    toc: mx_hw::TocIndex(0)
+                },
             })
         )
         .contains("SegmentMoved"));

@@ -31,6 +31,7 @@ use crate::user_process::{Dispatch, KernelEvent, UserProcessManager};
 use crate::vproc::{VirtualProcessorManager, VpId, VP_SWITCH_CYCLES};
 use mx_aim::{FlowTracker, Label, ReferenceMonitor};
 use mx_hw::cpu::{DescBase, Ptw, Sdw};
+use mx_hw::meter::{CounterSet, Subsystem};
 use mx_hw::{Fault, HwFeatures, Machine, MachineConfig, ProcessorId, VirtAddr, Word};
 use std::collections::HashMap;
 
@@ -89,6 +90,20 @@ pub struct KernelStats {
     pub quota_faults: u64,
     /// Upward signals consumed by the trampoline.
     pub trampolines: u64,
+}
+
+impl KernelStats {
+    /// Renders the counters into the shared registry form, so kernel and
+    /// legacy statistics report through one interface.
+    pub fn counters(&self) -> CounterSet {
+        let mut cs = CounterSet::new();
+        cs.set("segment_faults", self.segment_faults);
+        cs.set("page_faults", self.page_faults);
+        cs.set("locked_waits", self.locked_waits);
+        cs.set("quota_faults", self.quota_faults);
+        cs.set("trampolines", self.trampolines);
+        cs
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -237,8 +252,14 @@ impl Kernel {
         let pt_addr = csm.addr(sys_tables, 0);
         machine.mem.write(
             pt_addr,
-            Ptw { frame: comm_frame, present: true, wired: true, used: true, ..Ptw::default() }
-                .encode(),
+            Ptw {
+                frame: comm_frame,
+                present: true,
+                wired: true,
+                used: true,
+                ..Ptw::default()
+            }
+            .encode(),
         );
         let dt_addr = csm.addr(sys_tables, 512);
         machine.mem.write(
@@ -255,7 +276,10 @@ impl Kernel {
             .encode(),
         );
         for cpu in &mut machine.cpus {
-            cpu.dbr_system = Some(DescBase { base: dt_addr, len: 1 });
+            cpu.dbr_system = Some(DescBase {
+                base: dt_addr,
+                len: 1,
+            });
             cpu.system_segno_limit = 1;
         }
 
@@ -283,11 +307,14 @@ impl Kernel {
                 flows: &mut flows,
                 monitor: &mut monitor,
             };
-            DirectoryManager::new(&mut fs, config.seed, config.root_quota)
-                .expect("root directory")
+            DirectoryManager::new(&mut fs, config.seed, config.root_quota).expect("root directory")
         };
-        let upm =
-            UserProcessManager::new(&mut vpm, dseg_base, config.max_processes, config.event_queue);
+        let upm = UserProcessManager::new(
+            &mut vpm,
+            dseg_base,
+            config.max_processes,
+            config.event_queue,
+        );
 
         let mut kernel = Self {
             machine,
@@ -340,7 +367,18 @@ impl Kernel {
 
     fn charge_gate(&mut self) {
         let cost = self.machine.cost;
+        let g = self.machine.clock.enter(Subsystem::Gatekeeper);
         self.machine.clock.charge_gate(&cost);
+        self.machine.clock.exit(g);
+    }
+
+    /// Runs `f` with all its cycle charges attributed to `subsystem` —
+    /// the metering discipline every gate body and fault path follows.
+    fn scoped<T>(&mut self, subsystem: Subsystem, f: impl FnOnce(&mut Self) -> T) -> T {
+        let g = self.machine.clock.enter(subsystem);
+        let result = f(self);
+        self.machine.clock.exit(g);
+        result
     }
 
     // ---- the upward-signal trampoline ------------------------------------
@@ -363,24 +401,26 @@ impl Kernel {
     /// Consumes one upward signal: the directory manager records the
     /// move; the KSTs refresh their cached homes.
     fn consume_signal(&mut self, sig: Signal) -> Result<(), KernelError> {
-        self.stats.trampolines += 1;
-        match sig {
-            Signal::SegmentMoved { uid, new_home } => {
-                // Recording the move writes the parent directory, which
-                // can itself grow and move: consume nested signals.
-                for _ in 0..6 {
-                    match self.dirm.record_move(&mut ctx!(self), uid, new_home) {
-                        Ok(()) => {
-                            self.ksm.refresh_home(uid, new_home);
-                            return Ok(());
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            k.stats.trampolines += 1;
+            match sig {
+                Signal::SegmentMoved { uid, new_home } => {
+                    // Recording the move writes the parent directory, which
+                    // can itself grow and move: consume nested signals.
+                    for _ in 0..6 {
+                        match k.dirm.record_move(&mut ctx!(k), uid, new_home) {
+                            Ok(()) => {
+                                k.ksm.refresh_home(uid, new_home);
+                                return Ok(());
+                            }
+                            Err(KernelError::Upward(inner)) => k.consume_signal(inner)?,
+                            Err(e) => return Err(e),
                         }
-                        Err(KernelError::Upward(inner)) => self.consume_signal(inner)?,
-                        Err(e) => return Err(e),
                     }
+                    Err(KernelError::NotActive)
                 }
-                Err(KernelError::NotActive)
             }
-        }
+        })
     }
 
     // ---- accounts and processes (the answering-service residue) ----------
@@ -395,7 +435,12 @@ impl Kernel {
     ) {
         self.accounts.insert(
             name.to_string(),
-            Account { user, password_hash, clearance, charge_units: 0 },
+            Account {
+                user,
+                password_hash,
+                clearance,
+                charge_units: 0,
+            },
         );
     }
 
@@ -414,18 +459,20 @@ impl Kernel {
         label: Label,
     ) -> Result<ProcessId, KernelError> {
         self.charge_gate();
-        // The sub-1000-line protected residue: authentication and the
-        // clearance check.
-        crate::charge_pli(&mut self.machine, 60);
-        let account = self.accounts.get(name).ok_or(KernelError::BadCredentials)?;
-        if account.password_hash != password_hash {
-            return Err(KernelError::BadCredentials);
-        }
-        if !account.clearance.dominates(label) {
-            return Err(KernelError::AimViolation);
-        }
-        let user = account.user;
-        self.create_process(user, label)
+        self.scoped(Subsystem::AnsweringService, |k| {
+            // The sub-1000-line protected residue: authentication and the
+            // clearance check.
+            crate::charge_pli(&mut k.machine, 60);
+            let account = k.accounts.get(name).ok_or(KernelError::BadCredentials)?;
+            if account.password_hash != password_hash {
+                return Err(KernelError::BadCredentials);
+            }
+            if !account.clearance.dominates(label) {
+                return Err(KernelError::AimViolation);
+            }
+            let user = account.user;
+            k.create_process(user, label)
+        })
     }
 
     /// The logout residue gate: destroys the process and returns its
@@ -436,12 +483,14 @@ impl Kernel {
     /// [`KernelError::NoSuchProcess`].
     pub fn logout_residue(&mut self, name: &str, pid: ProcessId) -> Result<u64, KernelError> {
         self.charge_gate();
-        crate::charge_pli(&mut self.machine, 15);
-        let charge = self.destroy_process(pid)?;
-        if let Some(account) = self.accounts.get_mut(name) {
-            account.charge_units += charge;
-        }
-        Ok(charge)
+        self.scoped(Subsystem::AnsweringService, |k| {
+            crate::charge_pli(&mut k.machine, 15);
+            let charge = k.destroy_process(pid)?;
+            if let Some(account) = k.accounts.get_mut(name) {
+                account.charge_units += charge;
+            }
+            Ok(charge)
+        })
     }
 
     /// Accumulated billing for an account.
@@ -456,27 +505,29 @@ impl Kernel {
     ///
     /// Table exhaustion from below.
     pub fn create_process(&mut self, user: UserId, label: Label) -> Result<ProcessId, KernelError> {
-        crate::charge_pli(&mut self.machine, 240);
-        let pid = self.upm.create(&mut self.machine, user, label)?;
-        self.ksm.create_kst(pid);
-        self.state_counter += 1;
-        let name = format!("proc-{}", self.state_counter);
-        let processes_dir = self.processes_dir;
-        let token = self.with_retries(|k| {
-            k.dirm.create(
-                &mut ctx!(k),
-                UserId(0),
-                Label::BOTTOM,
-                processes_dir,
-                &name,
-                Acl::owner(user),
-                label,
-                false,
-            )
-        })?;
-        let uid = self.dirm.resolve_token(token).expect("fresh token");
-        self.upm.set_state_seg(pid, uid)?;
-        Ok(pid)
+        self.scoped(Subsystem::ProcessControl, |k| {
+            crate::charge_pli(&mut k.machine, 240);
+            let pid = k.upm.create(&mut k.machine, user, label)?;
+            k.ksm.create_kst(pid);
+            k.state_counter += 1;
+            let name = format!("proc-{}", k.state_counter);
+            let processes_dir = k.processes_dir;
+            let token = k.with_retries(|k| {
+                k.dirm.create(
+                    &mut ctx!(k),
+                    UserId(0),
+                    Label::BOTTOM,
+                    processes_dir,
+                    &name,
+                    Acl::owner(user),
+                    label,
+                    false,
+                )
+            })?;
+            let uid = k.dirm.resolve_token(token).expect("fresh token");
+            k.upm.set_state_seg(pid, uid)?;
+            Ok(pid)
+        })
     }
 
     /// Destroys a process, returning its final accounting charge.
@@ -485,8 +536,10 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchProcess`].
     pub fn destroy_process(&mut self, pid: ProcessId) -> Result<u64, KernelError> {
-        self.ksm.destroy_kst(pid);
-        self.upm.destroy(pid)
+        self.scoped(Subsystem::ProcessControl, |k| {
+            k.ksm.destroy_kst(pid);
+            k.upm.destroy(pid)
+        })
     }
 
     // ---- directory gates ---------------------------------------------------
@@ -503,9 +556,11 @@ impl Kernel {
         name: &str,
     ) -> Result<ObjToken, KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let label = self.upm.label_of(pid)?;
-        self.with_retries(|k| k.dirm.search(&mut ctx!(k), user, label, dir, name))
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let label = k.upm.label_of(pid)?;
+            k.with_retries(|k| k.dirm.search(&mut ctx!(k), user, label, dir, name))
+        })
     }
 
     /// The initiate gate: makes the object behind a token known.
@@ -516,12 +571,35 @@ impl Kernel {
     /// tokens.
     pub fn initiate(&mut self, pid: ProcessId, token: ObjToken) -> Result<u32, KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let label = self.upm.label_of(pid)?;
-        self.with_retries(|k| {
-            let Kernel { machine, drm, qcm, pfm, vpm, segm, flows, monitor, dirm, ksm, .. } = k;
-            let mut fs = FsCtx { machine, drm, qcm, pfm, vpm, segm, flows, monitor };
-            dirm.initiate(&mut fs, ksm, pid, user, label, token)
+        self.scoped(Subsystem::SegmentControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let label = k.upm.label_of(pid)?;
+            k.with_retries(|k| {
+                let Kernel {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                    dirm,
+                    ksm,
+                    ..
+                } = k;
+                let mut fs = FsCtx {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                };
+                dirm.initiate(&mut fs, ksm, pid, user, label, token)
+            })
         })
     }
 
@@ -532,13 +610,17 @@ impl Kernel {
     /// [`KernelError::NoAccess`] if the segno is unknown.
     pub fn terminate(&mut self, pid: ProcessId, segno: u32) -> Result<(), KernelError> {
         self.charge_gate();
-        let entry = self.ksm.unbind(pid, segno)?;
-        // Cut this process's SDW.
-        if let Ok(frame) = self.upm.dseg_frame(pid) {
-            self.machine.mem.write(frame.base().add(u64::from(segno)), Sdw::default().encode());
-        }
-        let _ = entry;
-        Ok(())
+        self.scoped(Subsystem::SegmentControl, |k| {
+            let entry = k.ksm.unbind(pid, segno)?;
+            // Cut this process's SDW.
+            if let Ok(frame) = k.upm.dseg_frame(pid) {
+                k.machine
+                    .mem
+                    .write(frame.base().add(u64::from(segno)), Sdw::default().encode());
+            }
+            let _ = entry;
+            Ok(())
+        })
     }
 
     /// The create gate.
@@ -557,11 +639,14 @@ impl Kernel {
         is_dir: bool,
     ) -> Result<ObjToken, KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let plabel = self.upm.label_of(pid)?;
-        self.with_retries(|k| {
-            let acl = acl.clone();
-            k.dirm.create(&mut ctx!(k), user, plabel, dir, name, acl, label, is_dir)
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let plabel = k.upm.label_of(pid)?;
+            k.with_retries(|k| {
+                let acl = acl.clone();
+                k.dirm
+                    .create(&mut ctx!(k), user, plabel, dir, name, acl, label, is_dir)
+            })
         })
     }
 
@@ -577,12 +662,35 @@ impl Kernel {
         name: &str,
     ) -> Result<(), KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let plabel = self.upm.label_of(pid)?;
-        self.with_retries(|k| {
-            let Kernel { machine, drm, qcm, pfm, vpm, segm, flows, monitor, dirm, ksm, .. } = k;
-            let mut fs = FsCtx { machine, drm, qcm, pfm, vpm, segm, flows, monitor };
-            dirm.delete(&mut fs, ksm, user, plabel, dir, name)
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let plabel = k.upm.label_of(pid)?;
+            k.with_retries(|k| {
+                let Kernel {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                    dirm,
+                    ksm,
+                    ..
+                } = k;
+                let mut fs = FsCtx {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                };
+                dirm.delete(&mut fs, ksm, user, plabel, dir, name)
+            })
         })
     }
 
@@ -593,9 +701,11 @@ impl Kernel {
     /// [`KernelError::NoAccess`] for unreadable directories.
     pub fn list_dir(&mut self, pid: ProcessId, dir: ObjToken) -> Result<Vec<String>, KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let label = self.upm.label_of(pid)?;
-        self.with_retries(|k| k.dirm.list(&mut ctx!(k), user, label, dir))
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let label = k.upm.label_of(pid)?;
+            k.with_retries(|k| k.dirm.list(&mut ctx!(k), user, label, dir))
+        })
     }
 
     /// The quota-designation gate (childless directories only).
@@ -610,9 +720,14 @@ impl Kernel {
         limit: u32,
     ) -> Result<(), KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let plabel = self.upm.label_of(pid)?;
-        self.with_retries(|k| k.dirm.set_quota_directory(&mut ctx!(k), user, plabel, dir, limit))
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let plabel = k.upm.label_of(pid)?;
+            k.with_retries(|k| {
+                k.dirm
+                    .set_quota_directory(&mut ctx!(k), user, plabel, dir, limit)
+            })
+        })
     }
 
     /// The quota-removal gate (childless, uncharged only).
@@ -622,9 +737,14 @@ impl Kernel {
     /// Per [`DirectoryManager::clear_quota_directory`].
     pub fn clear_quota(&mut self, pid: ProcessId, dir: ObjToken) -> Result<(), KernelError> {
         self.charge_gate();
-        let user = self.upm.user_of(pid)?;
-        let plabel = self.upm.label_of(pid)?;
-        self.with_retries(|k| k.dirm.clear_quota_directory(&mut ctx!(k), user, plabel, dir))
+        self.scoped(Subsystem::DirectoryControl, |k| {
+            let user = k.upm.user_of(pid)?;
+            let plabel = k.upm.label_of(pid)?;
+            k.with_retries(|k| {
+                k.dirm
+                    .clear_quota_directory(&mut ctx!(k), user, plabel, dir)
+            })
+        })
     }
 
     // ---- memory reference gates (the ordinary data path) -------------------
@@ -636,8 +756,14 @@ impl Kernel {
     ///
     /// [`KernelError::NoAccess`] on protection violations; quota and
     /// storage errors otherwise.
-    pub fn read_word(&mut self, pid: ProcessId, segno: u32, wordno: u32) -> Result<Word, KernelError> {
-        self.user_access(pid, segno, wordno, false, Word::ZERO).map(|w| w.expect("read value"))
+    pub fn read_word(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+    ) -> Result<Word, KernelError> {
+        self.user_access(pid, segno, wordno, false, Word::ZERO)
+            .map(|w| w.expect("read value"))
     }
 
     /// Writes one word as a process.
@@ -652,7 +778,8 @@ impl Kernel {
         wordno: u32,
         value: Word,
     ) -> Result<(), KernelError> {
-        self.user_access(pid, segno, wordno, true, value).map(|_| ())
+        self.user_access(pid, segno, wordno, true, value)
+            .map(|_| ())
     }
 
     fn user_access(
@@ -664,7 +791,10 @@ impl Kernel {
         value: Word,
     ) -> Result<Option<Word>, KernelError> {
         let frame = self.upm.dseg_frame(pid)?;
-        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        self.machine.cpus[0].dbr_user = Some(DescBase {
+            base: frame.base(),
+            len: MAX_SEGNO,
+        });
         let va = VirtAddr::new(segno, wordno);
         for _ in 0..12 {
             let attempt = if write {
@@ -687,21 +817,21 @@ impl Kernel {
     /// The gatekeeper fault dispatcher.
     fn dispatch_fault(&mut self, pid: ProcessId, fault: Fault) -> Result<(), KernelError> {
         match fault {
-            Fault::MissingSegment { va } => {
-                self.stats.segment_faults += 1;
-                self.segment_fault(pid, va.segno)
-            }
-            Fault::MissingPage { descriptor, .. } => {
-                self.stats.page_faults += 1;
-                let (handle, pageno) = self
+            Fault::MissingSegment { va } => self.scoped(Subsystem::SegmentControl, |k| {
+                k.stats.segment_faults += 1;
+                k.segment_fault(pid, va.segno)
+            }),
+            Fault::MissingPage { descriptor, .. } => self.scoped(Subsystem::PageControl, |k| {
+                k.stats.page_faults += 1;
+                let (handle, pageno) = k
                     .pfm
                     .identify(descriptor)
                     .ok_or(KernelError::UnhandledFault(fault))?;
-                self.pfm.service_missing(
-                    &mut self.machine,
-                    &mut self.drm,
-                    &mut self.qcm,
-                    &mut self.vpm,
+                k.pfm.service_missing(
+                    &mut k.machine,
+                    &mut k.drm,
+                    &mut k.qcm,
+                    &mut k.vpm,
                     handle,
                     pageno,
                 )?;
@@ -709,40 +839,40 @@ impl Kernel {
                 // real-memory queue; the faulting process gave up its
                 // virtual processor while the transfer ran — two cheap
                 // VP-level switches, not the old full process switches.
-                self.machine.clock.charge(2 * VP_SWITCH_CYCLES);
-                self.upm.deliver(&mut self.vpm, KernelEvent::PageServiced { pid });
-                self.upm.bill(pid);
+                k.machine.clock.charge(2 * VP_SWITCH_CYCLES);
+                k.upm.deliver(&mut k.vpm, KernelEvent::PageServiced { pid });
+                k.upm.bill(pid);
                 Ok(())
-            }
-            Fault::LockedDescriptor { .. } => {
+            }),
+            Fault::LockedDescriptor { .. } => self.scoped(Subsystem::PageControl, |k| {
                 // Another processor's service is in flight. Consult the
                 // wakeup-waiting switch, then wait on the page
                 // eventcount (already advanced in this serial
                 // simulation, so the wait never blocks — but the cheap
                 // VP switch is charged).
-                self.stats.locked_waits += 1;
-                let woken = self.machine.cpus[0].take_wakeup_waiting();
+                k.stats.locked_waits += 1;
+                let woken = k.machine.cpus[0].take_wakeup_waiting();
                 if !woken {
-                    self.machine.clock.charge(VP_SWITCH_CYCLES);
+                    k.machine.clock.charge(VP_SWITCH_CYCLES);
                 }
                 Ok(())
-            }
-            Fault::QuotaTrap { va, .. } => {
-                self.stats.quota_faults += 1;
-                let subject = self.upm.label_of(pid)?;
-                self.ksm.quota_exception(
-                    &mut self.machine,
-                    &mut self.drm,
-                    &mut self.qcm,
-                    &mut self.pfm,
-                    &mut self.segm,
-                    &mut self.flows,
+            }),
+            Fault::QuotaTrap { va, .. } => self.scoped(Subsystem::PageControl, |k| {
+                k.stats.quota_faults += 1;
+                let subject = k.upm.label_of(pid)?;
+                k.ksm.quota_exception(
+                    &mut k.machine,
+                    &mut k.drm,
+                    &mut k.qcm,
+                    &mut k.pfm,
+                    &mut k.segm,
+                    &mut k.flows,
                     pid,
                     va.segno,
                     va.pageno(),
                     subject,
                 )
-            }
+            }),
             Fault::AccessViolation { .. } => Err(KernelError::NoAccess),
             Fault::BoundsViolation { .. } => Err(KernelError::SegmentTooBig),
             other => Err(KernelError::UnhandledFault(other)),
@@ -789,15 +919,14 @@ impl Kernel {
     /// [`KernelError::NoAccess`] if the segno is unknown.
     pub fn segment_meta(&mut self, pid: ProcessId, segno: u32) -> Result<(u32, u32), KernelError> {
         self.charge_gate();
-        let entry = self.ksm.lookup(pid, segno)?.clone();
-        let home = self
-            .dirm
-            .home_of(entry.uid)
-            .unwrap_or(entry.home);
-        Ok((
-            self.drm.len_pages(&self.machine, home)?,
-            self.drm.records_used(&self.machine, home)?,
-        ))
+        self.scoped(Subsystem::SegmentControl, |k| {
+            let entry = k.ksm.lookup(pid, segno)?.clone();
+            let home = k.dirm.home_of(entry.uid).unwrap_or(entry.home);
+            Ok((
+                k.drm.len_pages(&k.machine, home)?,
+                k.drm.records_used(&k.machine, home)?,
+            ))
+        })
     }
 
     // ---- scheduling and daemons ----------------------------------------------
@@ -808,42 +937,45 @@ impl Kernel {
     ///
     /// Returns the dispatch decision, if any process is ready.
     pub fn schedule(&mut self) -> Option<Dispatch> {
-        let _events = self.upm.drain_events();
-        let d = self.upm.dispatch(&mut self.vpm)?;
-        // The VP-level switch is always charged (cheap, core-resident).
-        self.vpm.dispatch(&self.csm, &mut self.machine.mem, &mut self.machine.clock);
-        if !d.already_loaded {
-            // A true process switch: bring the state segment in.
-            if let Ok(Some(state_uid)) = self.upm.state_seg(d.pid) {
-                if let Some((home, cell, is_dir, label)) = self.dirm.activation_info(state_uid) {
-                    let _ = self.segm.activate(
-                        &mut self.machine,
-                        &mut self.drm,
-                        &mut self.qcm,
-                        &mut self.pfm,
-                        state_uid,
-                        home,
-                        cell,
-                        is_dir,
-                        label,
-                    );
-                    let _ = self.segm.read_word(
-                        &mut self.machine,
-                        &mut self.drm,
-                        &mut self.qcm,
-                        &mut self.pfm,
-                        &mut self.vpm,
-                        &mut self.flows,
-                        state_uid,
-                        0,
-                        label,
-                    );
+        self.scoped(Subsystem::Scheduler, |k| {
+            let _events = k.upm.drain_events();
+            let d = k.upm.dispatch(&mut k.vpm)?;
+            // The VP-level switch is always charged (cheap, core-resident).
+            k.vpm
+                .dispatch(&k.csm, &mut k.machine.mem, &mut k.machine.clock);
+            if !d.already_loaded {
+                // A true process switch: bring the state segment in.
+                if let Ok(Some(state_uid)) = k.upm.state_seg(d.pid) {
+                    if let Some((home, cell, is_dir, label)) = k.dirm.activation_info(state_uid) {
+                        let _ = k.segm.activate(
+                            &mut k.machine,
+                            &mut k.drm,
+                            &mut k.qcm,
+                            &mut k.pfm,
+                            state_uid,
+                            home,
+                            cell,
+                            is_dir,
+                            label,
+                        );
+                        let _ = k.segm.read_word(
+                            &mut k.machine,
+                            &mut k.drm,
+                            &mut k.qcm,
+                            &mut k.pfm,
+                            &mut k.vpm,
+                            &mut k.flows,
+                            state_uid,
+                            0,
+                            label,
+                        );
+                    }
                 }
+                let cost = k.machine.cost;
+                k.machine.clock.charge_process_switch(&cost);
             }
-            let cost = self.machine.cost;
-            self.machine.clock.charge_process_switch(&cost);
-        }
-        Some(d)
+            Some(d)
+        })
     }
 
     /// Runs up to `steps` units of the page-purifier daemon (the
@@ -853,14 +985,19 @@ impl Kernel {
     ///
     /// Disk errors from the write-back path.
     pub fn run_purifier(&mut self, steps: usize) -> Result<usize, KernelError> {
-        let mut done = 0;
-        for _ in 0..steps {
-            if !self.pfm.purifier_step(&mut self.machine, &mut self.drm, &mut self.qcm)? {
-                break;
+        self.scoped(Subsystem::Purifier, |k| {
+            let mut done = 0;
+            for _ in 0..steps {
+                if !k
+                    .pfm
+                    .purifier_step(&mut k.machine, &mut k.drm, &mut k.qcm)?
+                {
+                    break;
+                }
+                done += 1;
             }
-            done += 1;
-        }
-        Ok(done)
+            Ok(done)
+        })
     }
 
     // ---- eventcount gates -----------------------------------------------------
@@ -868,26 +1005,26 @@ impl Kernel {
     /// Creates a user-visible eventcount.
     pub fn ec_create(&mut self) -> mx_sync::sim::EcId {
         self.charge_gate();
-        self.vpm.create_eventcount()
+        self.scoped(Subsystem::Scheduler, |k| k.vpm.create_eventcount())
     }
 
     /// Advances an eventcount (the broadcast, receiver-blind notify).
     pub fn ec_advance(&mut self, ec: mx_sync::sim::EcId) -> usize {
         self.charge_gate();
-        self.vpm.advance(ec)
+        self.scoped(Subsystem::Scheduler, |k| k.vpm.advance(ec))
     }
 
     /// Reads an eventcount.
     pub fn ec_read(&mut self, ec: mx_sync::sim::EcId) -> u64 {
         self.charge_gate();
-        self.vpm.read_eventcount(ec)
+        self.scoped(Subsystem::Scheduler, |k| k.vpm.read_eventcount(ec))
     }
 
     // ---- demultiplexer gates ----------------------------------------------------
 
     /// Attaches a multiplexed stream (privileged, driver-level).
     pub fn demux_attach(&mut self, spec: FramingSpec) -> StreamId {
-        self.demux.attach(spec)
+        self.scoped(Subsystem::Network, |k| k.demux.attach(spec))
     }
 
     /// Injects a raw frame from the wire (driver-level).
@@ -896,7 +1033,9 @@ impl Kernel {
     ///
     /// [`KernelError::NoSuchChannel`].
     pub fn demux_receive(&mut self, stream: StreamId, frame: &[u8]) -> Result<(), KernelError> {
-        self.demux.receive(&mut self.upm, &mut self.vpm, stream, frame)
+        self.scoped(Subsystem::Network, |k| {
+            k.demux.receive(&mut k.upm, &mut k.vpm, stream, frame)
+        })
     }
 
     /// Claims a channel for a process (user gate).
@@ -911,7 +1050,9 @@ impl Kernel {
         channel: u16,
     ) -> Result<(), KernelError> {
         self.charge_gate();
-        self.demux.claim_channel(stream, channel, pid)
+        self.scoped(Subsystem::Network, |k| {
+            k.demux.claim_channel(stream, channel, pid)
+        })
     }
 
     /// Reads a claimed channel's buffered input (user gate).
@@ -926,7 +1067,9 @@ impl Kernel {
         channel: u16,
     ) -> Result<Vec<u8>, KernelError> {
         self.charge_gate();
-        self.demux.read_channel(stream, channel)
+        self.scoped(Subsystem::Network, |k| {
+            k.demux.read_channel(stream, channel)
+        })
     }
 
     // ---- program execution ------------------------------------------------
@@ -952,22 +1095,35 @@ impl Kernel {
     ) -> Result<ProgramRun, KernelError> {
         use mx_hw::interp::{step, Registers, StepOutcome};
         let frame = self.upm.dseg_frame(pid)?;
-        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        self.machine.cpus[0].dbr_user = Some(DescBase {
+            base: frame.base(),
+            len: MAX_SEGNO,
+        });
         let mut regs = Registers::at(VirtAddr::new(segno, start));
         let mut steps = 0;
         while steps < max_steps {
             let cost = self.machine.cost;
             let r = {
-                let Machine { mem, clock, cpus, .. } = &mut self.machine;
+                let Machine {
+                    mem, clock, cpus, ..
+                } = &mut self.machine;
                 step(&mut cpus[0], mem, clock, &cost, &mut regs)
             };
             match r {
                 Ok(StepOutcome::Ran) => steps += 1,
                 Ok(StepOutcome::Halted) => {
-                    return Ok(ProgramRun { steps, outcome: ProgramOutcome::Halted, regs });
+                    return Ok(ProgramRun {
+                        steps,
+                        outcome: ProgramOutcome::Halted,
+                        regs,
+                    });
                 }
                 Ok(StepOutcome::IllegalInstruction) => {
-                    return Ok(ProgramRun { steps, outcome: ProgramOutcome::Illegal, regs });
+                    return Ok(ProgramRun {
+                        steps,
+                        outcome: ProgramOutcome::Illegal,
+                        regs,
+                    });
                 }
                 Err(fault) => match self.dispatch_fault(pid, fault) {
                     Ok(()) => {}
@@ -976,7 +1132,11 @@ impl Kernel {
                 },
             }
         }
-        Ok(ProgramRun { steps, outcome: ProgramOutcome::StepLimit, regs })
+        Ok(ProgramRun {
+            steps,
+            outcome: ProgramOutcome::StepLimit,
+            regs,
+        })
     }
 
     /// Marker type used by the uid-bearing test helpers.
@@ -1021,7 +1181,14 @@ mod tests {
         let pid = login(&mut k, "saltzer", UserId(1));
         let root = k.root_token();
         let token = k
-            .create_entry(pid, root, "data", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .create_entry(
+                pid,
+                root,
+                "data",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
             .unwrap();
         let segno = k.initiate(pid, token).unwrap();
         k.write_word(pid, segno, 5, Word::new(0o123)).unwrap();
@@ -1033,7 +1200,10 @@ mod tests {
 
     #[test]
     fn gate_list_is_small() {
-        assert!(Kernel::USER_GATES.len() < 25, "the kernel interface stays small");
+        assert!(
+            Kernel::USER_GATES.len() < 25,
+            "the kernel interface stays small"
+        );
     }
 
     #[test]
@@ -1042,21 +1212,37 @@ mod tests {
         let pid = login(&mut k, "clark", UserId(1));
         let root = k.root_token();
         let token = k
-            .create_entry(pid, root, "data", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .create_entry(
+                pid,
+                root,
+                "data",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
             .unwrap();
         let segno = k.initiate(pid, token).unwrap();
         for p in 0..4u32 {
-            k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 1)).unwrap();
+            k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 1))
+                .unwrap();
         }
         // Force everything out, then fault it back.
         let uid = k.uid_of_token(token).unwrap();
         let handle = k.segm.get(uid).unwrap().handle;
-        k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+        k.pfm
+            .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+            .unwrap();
         let faults_before = k.stats.page_faults;
         for p in 0..4u32 {
-            assert_eq!(k.read_word(pid, segno, p * 1024).unwrap(), Word::new(u64::from(p) + 1));
+            assert_eq!(
+                k.read_word(pid, segno, p * 1024).unwrap(),
+                Word::new(u64::from(p) + 1)
+            );
         }
-        assert!(k.stats.page_faults > faults_before, "reads took real page faults");
+        assert!(
+            k.stats.page_faults > faults_before,
+            "reads took real page faults"
+        );
     }
 
     #[test]
@@ -1066,13 +1252,23 @@ mod tests {
         let bob = login(&mut k, "bob", UserId(2));
         let root = k.root_token();
         let token = k
-            .create_entry(alice, root, "private", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .create_entry(
+                alice,
+                root,
+                "private",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
             .unwrap();
         // Bob can search the (public) root and obtain the identifier…
         let bob_token = k.dir_search(bob, root, "private").unwrap();
         assert_eq!(bob_token, token, "root is readable: the identifier is real");
         // …but initiation is uniformly refused.
-        assert_eq!(k.initiate(bob, bob_token).unwrap_err(), KernelError::NoAccess);
+        assert_eq!(
+            k.initiate(bob, bob_token).unwrap_err(),
+            KernelError::NoAccess
+        );
         // A read-only grant lets Bob read but not write.
         let mut acl = Acl::owner(UserId(1));
         acl.grant(UserId(2), &[AccessRight::Read]);

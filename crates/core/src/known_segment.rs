@@ -77,7 +77,10 @@ impl KnownSegmentManager {
     pub fn bind(&mut self, pid: ProcessId, entry: KstEntry) -> Result<u32, KernelError> {
         let kst = self.ksts.get_mut(&pid).ok_or(KernelError::NoSuchProcess)?;
         // Reuse an existing segno for an already-known uid.
-        if let Some(i) = kst.iter().position(|e| e.as_ref().is_some_and(|k| k.uid == entry.uid)) {
+        if let Some(i) = kst
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|k| k.uid == entry.uid))
+        {
             return Ok(i as u32);
         }
         let segno = kst
@@ -167,7 +170,15 @@ impl KnownSegmentManager {
         crate::charge_pli(machine, 25);
         let entry = self.lookup(pid, segno)?.clone();
         segm.activate(
-            machine, drm, qcm, pfm, entry.uid, entry.home, entry.cell, entry.is_dir, entry.label,
+            machine,
+            drm,
+            qcm,
+            pfm,
+            entry.uid,
+            entry.home,
+            entry.cell,
+            entry.is_dir,
+            entry.label,
         )?;
         segm.grow(machine, drm, qcm, pfm, flows, entry.uid, pageno, subject)
     }
@@ -181,7 +192,10 @@ mod tests {
     fn entry(uid: u64) -> KstEntry {
         KstEntry {
             uid: SegUid(uid),
-            home: DiskHome { pack: PackId(0), toc: TocIndex(0) },
+            home: DiskHome {
+                pack: PackId(0),
+                toc: TocIndex(0),
+            },
             cell: SegUid(1),
             is_dir: false,
             label: Label::BOTTOM,
@@ -222,7 +236,10 @@ mod tests {
             ksm.create_kst(pid);
             ksm.bind(pid, entry(9)).unwrap();
         }
-        let new_home = DiskHome { pack: PackId(1), toc: TocIndex(5) };
+        let new_home = DiskHome {
+            pack: PackId(1),
+            toc: TocIndex(5),
+        };
         ksm.refresh_home(SegUid(9), new_home);
         for p in 0..2 {
             let pid = ProcessId(p);
@@ -234,7 +251,10 @@ mod tests {
     #[test]
     fn unknown_process_and_segno_are_errors() {
         let mut ksm = KnownSegmentManager::new();
-        assert_eq!(ksm.bind(ProcessId(3), entry(1)), Err(KernelError::NoSuchProcess));
+        assert_eq!(
+            ksm.bind(ProcessId(3), entry(1)),
+            Err(KernelError::NoSuchProcess)
+        );
         ksm.create_kst(ProcessId(3));
         assert_eq!(
             ksm.lookup(ProcessId(3), 7).unwrap_err(),

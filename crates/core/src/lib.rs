@@ -70,7 +70,9 @@ pub use types::*;
 /// that recoding costs.
 pub(crate) fn charge_pli(machine: &mut mx_hw::Machine, n: u64) {
     let cost = machine.cost;
-    machine.clock.charge_instructions(&cost, n, mx_hw::Language::Pli);
+    machine
+        .clock
+        .charge_instructions(&cost, n, mx_hw::Language::Pli);
 }
 
 /// Common identifier types shared by the managers.
@@ -128,7 +130,10 @@ pub mod types {
         /// An ACL granting one user everything.
         pub fn owner(user: UserId) -> Self {
             let mut a = Self::new();
-            a.grant(user, &[AccessRight::Read, AccessRight::Write, AccessRight::Execute]);
+            a.grant(
+                user,
+                &[AccessRight::Read, AccessRight::Write, AccessRight::Execute],
+            );
             a
         }
 
@@ -164,7 +169,11 @@ pub mod types {
                 AccessRight::Write => 1,
                 AccessRight::Execute => 2,
             };
-            self.terms.iter().find(|(u, _)| *u == user).map(|(_, b)| b[i]).unwrap_or(false)
+            self.terms
+                .iter()
+                .find(|(u, _)| *u == user)
+                .map(|(_, b)| b[i])
+                .unwrap_or(false)
         }
 
         /// Packs up to four terms into two 36-bit words.

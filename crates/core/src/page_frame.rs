@@ -132,9 +132,7 @@ impl PageFrameManager {
     pub fn set_pageable_region(&mut self, first: u32, total: u32) {
         self.first_pageable = first;
         self.clock_hand = first;
-        self.frames = (0..total)
-            .map(|_| FrameUse::Free)
-            .collect();
+        self.frames = (0..total).map(|_| FrameUse::Free).collect();
     }
 
     /// Number of pageable frames.
@@ -148,8 +146,12 @@ impl PageFrameManager {
     ///
     /// Panics on a foreign or unbound handle.
     pub fn pt_addr(&self, handle: PtHandle) -> AbsAddr {
-        assert!(self.slots[handle.0 as usize].is_some(), "unbound page table handle");
-        self.pool_base.add(u64::from(handle.0) * u64::from(PT_WORDS))
+        assert!(
+            self.slots[handle.0 as usize].is_some(),
+            "unbound page table handle"
+        );
+        self.pool_base
+            .add(u64::from(handle.0) * u64::from(PT_WORDS))
     }
 
     /// The disk home a handle is bound to.
@@ -184,8 +186,13 @@ impl PageFrameManager {
         let handle = PtHandle(slot);
         for pageno in 0..PT_WORDS {
             let allocated = drm.record_of(machine, home, pageno)?.is_some();
-            let ptw = Ptw { quota_trap: !allocated, ..Ptw::default() };
-            machine.mem.write(self.ptw_addr(handle, pageno), ptw.encode());
+            let ptw = Ptw {
+                quota_trap: !allocated,
+                ..Ptw::default()
+            };
+            machine
+                .mem
+                .write(self.ptw_addr(handle, pageno), ptw.encode());
         }
         Ok(handle)
     }
@@ -226,9 +233,7 @@ impl PageFrameManager {
             .iter()
             .enumerate()
             .filter_map(|(f, u)| match u {
-                FrameUse::Page { slot, pageno } if *slot == handle.0 => {
-                    Some((f as u32, *pageno))
-                }
+                FrameUse::Page { slot, pageno } if *slot == handle.0 => Some((f as u32, *pageno)),
                 _ => None,
             })
             .collect();
@@ -240,7 +245,8 @@ impl PageFrameManager {
 
     /// Absolute address of a PTW.
     fn ptw_addr(&self, handle: PtHandle, pageno: u32) -> AbsAddr {
-        self.pool_base.add(u64::from(handle.0) * u64::from(PT_WORDS) + u64::from(pageno))
+        self.pool_base
+            .add(u64::from(handle.0) * u64::from(PT_WORDS) + u64::from(pageno))
     }
 
     /// Reads a PTW.
@@ -249,7 +255,9 @@ impl PageFrameManager {
     }
 
     fn set_ptw(&self, machine: &mut Machine, handle: PtHandle, pageno: u32, ptw: Ptw) {
-        machine.mem.write(self.ptw_addr(handle, pageno), ptw.encode());
+        machine
+            .mem
+            .write(self.ptw_addr(handle, pageno), ptw.encode());
     }
 
     /// Maps a faulting descriptor address back to (handle, pageno) using
@@ -304,7 +312,12 @@ impl PageFrameManager {
             machine,
             handle,
             pageno,
-            Ptw { frame, present: true, used: true, ..Ptw::default() },
+            Ptw {
+                frame,
+                present: true,
+                used: true,
+                ..Ptw::default()
+            },
         );
         self.stats.services += 1;
         // Unlock (the write above cleared the lock bit) and notify.
@@ -347,7 +360,13 @@ impl PageFrameManager {
             machine,
             handle,
             pageno,
-            Ptw { frame, present: true, used: true, modified: true, ..Ptw::default() },
+            Ptw {
+                frame,
+                present: true,
+                used: true,
+                modified: true,
+                ..Ptw::default()
+            },
         );
         self.stats.creations += 1;
         Ok(())
@@ -383,7 +402,9 @@ impl PageFrameManager {
 
     fn take_free(&mut self, slot: u32, pageno: u32) -> Option<FrameNo> {
         let start = self.first_pageable as usize;
-        let i = self.frames[start..].iter().position(|f| *f == FrameUse::Free)?;
+        let i = self.frames[start..]
+            .iter()
+            .position(|f| *f == FrameUse::Free)?;
         let frame = FrameNo((start + i) as u32);
         self.frames[frame.0 as usize] = FrameUse::Page { slot, pageno };
         Some(frame)
@@ -400,7 +421,9 @@ impl PageFrameManager {
             if self.clock_hand >= n {
                 self.clock_hand = self.first_pageable;
             }
-            let FrameUse::Page { slot, pageno } = self.frames[f as usize] else { continue };
+            let FrameUse::Page { slot, pageno } = self.frames[f as usize] else {
+                continue;
+            };
             let handle = PtHandle(slot);
             let mut ptw = self.ptw(machine, handle, pageno);
             if ptw.wired || ptw.locked {
@@ -451,7 +474,15 @@ impl PageFrameManager {
                     qcm.uncharge(machine, cell, 1)?;
                 }
             }
-            self.set_ptw(machine, handle, pageno, Ptw { quota_trap: true, ..Ptw::default() });
+            self.set_ptw(
+                machine,
+                handle,
+                pageno,
+                Ptw {
+                    quota_trap: true,
+                    ..Ptw::default()
+                },
+            );
             self.stats.zero_reversions += 1;
         } else {
             if ptw.modified {
@@ -507,7 +538,15 @@ impl PageFrameManager {
                     qcm.uncharge(machine, cell, 1)?;
                 }
             }
-            self.set_ptw(machine, handle, pageno, Ptw { quota_trap: true, ..Ptw::default() });
+            self.set_ptw(
+                machine,
+                handle,
+                pageno,
+                Ptw {
+                    quota_trap: true,
+                    ..Ptw::default()
+                },
+            );
             self.frames[frame.0 as usize] = FrameUse::Free;
             self.stats.zero_reversions += 1;
         } else {
@@ -555,12 +594,19 @@ impl PageFrameManager {
                 .any(|f| matches!(f, FrameUse::Page { slot, .. } if *slot == handle.0)),
             "rebinding a paged object with resident pages"
         );
-        let binding = self.slots[handle.0 as usize].as_mut().expect("bound handle");
+        let binding = self.slots[handle.0 as usize]
+            .as_mut()
+            .expect("bound handle");
         binding.home = new_home;
         for pageno in 0..PT_WORDS {
             let allocated = drm.record_of(machine, new_home, pageno)?.is_some();
-            let ptw = Ptw { quota_trap: !allocated, ..Ptw::default() };
-            machine.mem.write(self.ptw_addr(handle, pageno), ptw.encode());
+            let ptw = Ptw {
+                quota_trap: !allocated,
+                ..Ptw::default()
+            };
+            machine
+                .mem
+                .write(self.ptw_addr(handle, pageno), ptw.encode());
         }
         Ok(())
     }
@@ -600,13 +646,36 @@ mod tests {
         pfm.set_pageable_region(csm.end_frame(), frames as u32);
         // A segment plus a quota cell to bill.
         let cell_toc = drm.create_entry(&mut machine, PackId(0), 100).unwrap();
-        let cell_home = DiskHome { pack: PackId(0), toc: cell_toc };
-        qcm.create_cell(&mut machine, &mut drm, SegUid(100), cell_home, 50, Label::BOTTOM)
-            .unwrap();
+        let cell_home = DiskHome {
+            pack: PackId(0),
+            toc: cell_toc,
+        };
+        qcm.create_cell(
+            &mut machine,
+            &mut drm,
+            SegUid(100),
+            cell_home,
+            50,
+            Label::BOTTOM,
+        )
+        .unwrap();
         let toc = drm.create_entry(&mut machine, PackId(0), 1).unwrap();
-        let home = DiskHome { pack: PackId(0), toc };
-        let handle = pfm.bind(&mut machine, &drm, home, Some(SegUid(100))).unwrap();
-        Rig { machine, drm, qcm, vpm, pfm, home, handle }
+        let home = DiskHome {
+            pack: PackId(0),
+            toc,
+        };
+        let handle = pfm
+            .bind(&mut machine, &drm, home, Some(SegUid(100)))
+            .unwrap();
+        Rig {
+            machine,
+            drm,
+            qcm,
+            vpm,
+            pfm,
+            home,
+            handle,
+        }
     }
 
     #[test]
@@ -615,21 +684,33 @@ mod tests {
         let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
         assert!(ptw.quota_trap && !ptw.present);
         // Allocate page 0, rebind another handle: trap only on holes.
-        r.pfm.add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0).unwrap();
-        let h2 = r.pfm.bind(&mut r.machine, &r.drm, r.home, Some(SegUid(100))).unwrap();
-        assert!(!r.pfm.ptw(&r.machine, h2, 0).quota_trap, "page 0 has a record now");
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0)
+            .unwrap();
+        let h2 = r
+            .pfm
+            .bind(&mut r.machine, &r.drm, r.home, Some(SegUid(100)))
+            .unwrap();
+        assert!(
+            !r.pfm.ptw(&r.machine, h2, 0).quota_trap,
+            "page 0 has a record now"
+        );
         assert!(r.pfm.ptw(&r.machine, h2, 1).quota_trap);
     }
 
     #[test]
     fn add_page_then_flush_then_service_round_trip() {
         let mut r = rig(64, 64);
-        r.pfm.add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0).unwrap();
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0)
+            .unwrap();
         let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
         assert!(ptw.present && ptw.modified);
         // Put a word in so it is not reverted to zeros.
         r.machine.mem.write(ptw.frame.base(), Word::new(0o777));
-        r.pfm.flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle).unwrap();
+        r.pfm
+            .flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
         assert!(!r.pfm.ptw(&r.machine, r.handle, 0).present);
         // Service brings it back with the stored contents.
         let (h, p) = (r.handle, 0);
@@ -647,37 +728,54 @@ mod tests {
     fn flush_of_zero_page_reverts_and_uncharges() {
         let mut r = rig(64, 64);
         let mut flows = FlowTracker::new();
-        r.qcm.charge(&mut r.machine, SegUid(100), 1, Label::BOTTOM, &mut flows).unwrap();
-        r.pfm.add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 3).unwrap();
+        r.qcm
+            .charge(&mut r.machine, SegUid(100), 1, Label::BOTTOM, &mut flows)
+            .unwrap();
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 3)
+            .unwrap();
         assert_eq!(r.qcm.cell_state(SegUid(100)), Some((50, 1)));
         // Never written: all zeros. Flush reverts and uncharges.
-        r.pfm.flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle).unwrap();
+        r.pfm
+            .flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
         assert_eq!(r.qcm.cell_state(SegUid(100)), Some((50, 0)));
-        assert!(r.pfm.ptw(&r.machine, r.handle, 3).quota_trap, "trap re-armed");
+        assert!(
+            r.pfm.ptw(&r.machine, r.handle, 3).quota_trap,
+            "trap re-armed"
+        );
         assert_eq!(r.drm.records_used(&r.machine, r.home).unwrap(), 0);
         assert_eq!(r.pfm.stats.zero_reversions, 1);
     }
-
 
     #[test]
     fn pressure_prefers_clean_victims_and_queues_dirty_for_purifier() {
         let mut r = rig(24, 128); // small pageable pool
         let pageable = r.pfm.pageable();
-        assert!(pageable >= 4, "rig leaves a few pageable frames, got {pageable}");
+        assert!(
+            pageable >= 4,
+            "rig leaves a few pageable frames, got {pageable}"
+        );
         // Fill all pageable frames with dirty pages, then write a marker
         // so they are nonzero.
-        let mut pageno = 0;
-        for _ in 0..pageable + 4 {
-            r.pfm.add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, pageno).unwrap();
+        for pageno in 0..pageable + 4 {
+            r.pfm
+                .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, pageno)
+                .unwrap();
             let ptw = r.pfm.ptw(&r.machine, r.handle, pageno);
             if ptw.present {
-                r.machine.mem.write(ptw.frame.base(), Word::new(u64::from(pageno) + 1));
+                r.machine
+                    .mem
+                    .write(ptw.frame.base(), Word::new(u64::from(pageno) + 1));
             }
-            pageno += 1;
         }
         assert!(r.pfm.stats.evictions > 0 || r.pfm.stats.purifier_writes > 0);
         // Drain the purifier queue like the daemon VP would.
-        while r.pfm.purifier_step(&mut r.machine, &mut r.drm, &mut r.qcm).unwrap() {}
+        while r
+            .pfm
+            .purifier_step(&mut r.machine, &mut r.drm, &mut r.qcm)
+            .unwrap()
+        {}
         assert_eq!(r.pfm.pending_purifier_work(), 0);
     }
 
@@ -692,7 +790,9 @@ mod tests {
     #[test]
     fn unbind_releases_the_slot() {
         let mut r = rig(64, 64);
-        r.pfm.unbind(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle).unwrap();
+        r.pfm
+            .unbind(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
         // The slot is reusable.
         let h2 = r.pfm.bind(&mut r.machine, &r.drm, r.home, None).unwrap();
         assert_eq!(h2, r.handle);

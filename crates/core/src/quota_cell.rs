@@ -110,9 +110,20 @@ impl QuotaCellManager {
         drm.write_quota_cell(
             machine,
             home,
-            Some(QuotaCellRecord { limit_pages: limit, used_pages: 0 }),
+            Some(QuotaCellRecord {
+                limit_pages: limit,
+                used_pages: 0,
+            }),
         )?;
-        self.loaded.insert(uid, LoadedCell { limit, used: 0, refs: 0, label });
+        self.loaded.insert(
+            uid,
+            LoadedCell {
+                limit,
+                used: 0,
+                refs: 0,
+                label,
+            },
+        );
         self.sync_core_table(machine, uid);
         Ok(())
     }
@@ -130,8 +141,10 @@ impl QuotaCellManager {
         drm: &mut DiskRecordManager,
         uid: SegUid,
     ) -> Result<(), KernelError> {
-        let entry =
-            *self.cell_dir.get(&uid).ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        let entry = *self
+            .cell_dir
+            .get(&uid)
+            .ok_or(KernelError::QuotaDesignation("no such cell"))?;
         if let Some(cell) = self.loaded.get(&uid) {
             if cell.refs > 0 {
                 return Err(KernelError::QuotaDesignation("cell still referenced"));
@@ -159,8 +172,10 @@ impl QuotaCellManager {
         uid: SegUid,
         label: Label,
     ) -> Result<(), KernelError> {
-        let entry =
-            *self.cell_dir.get(&uid).ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        let entry = *self
+            .cell_dir
+            .get(&uid)
+            .ok_or(KernelError::QuotaDesignation("no such cell"))?;
         if let Some(cell) = self.loaded.get_mut(&uid) {
             cell.refs += 1;
             return Ok(());
@@ -170,7 +185,12 @@ impl QuotaCellManager {
             .ok_or(KernelError::QuotaDesignation("cell missing from TOC"))?;
         self.loaded.insert(
             uid,
-            LoadedCell { limit: rec.limit_pages, used: rec.used_pages, refs: 1, label },
+            LoadedCell {
+                limit: rec.limit_pages,
+                used: rec.used_pages,
+                refs: 1,
+                label,
+            },
         );
         self.sync_core_table(machine, uid);
         Ok(())
@@ -188,13 +208,20 @@ impl QuotaCellManager {
         drm: &mut DiskRecordManager,
         uid: SegUid,
     ) -> Result<(), KernelError> {
-        let entry =
-            *self.cell_dir.get(&uid).ok_or(KernelError::QuotaDesignation("no such cell"))?;
-        let cell =
-            self.loaded.get_mut(&uid).ok_or(KernelError::QuotaDesignation("cell not loaded"))?;
+        let entry = *self
+            .cell_dir
+            .get(&uid)
+            .ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        let cell = self
+            .loaded
+            .get_mut(&uid)
+            .ok_or(KernelError::QuotaDesignation("cell not loaded"))?;
         cell.refs = cell.refs.saturating_sub(1);
         if cell.refs == 0 {
-            let rec = QuotaCellRecord { limit_pages: cell.limit, used_pages: cell.used };
+            let rec = QuotaCellRecord {
+                limit_pages: cell.limit,
+                used_pages: cell.used,
+            };
             self.loaded.remove(&uid);
             drm.write_quota_cell(machine, entry.home, Some(rec))?;
         }
@@ -219,14 +246,23 @@ impl QuotaCellManager {
     ) -> Result<(), KernelError> {
         self.charges += 1;
         crate::charge_pli(machine, 18);
-        let cell =
-            self.loaded.get_mut(&uid).ok_or(KernelError::QuotaDesignation("cell not loaded"))?;
+        let cell = self
+            .loaded
+            .get_mut(&uid)
+            .ok_or(KernelError::QuotaDesignation("cell not loaded"))?;
         if cell.used + pages > cell.limit {
-            return Err(KernelError::QuotaExceeded { limit: cell.limit, used: cell.used });
+            return Err(KernelError::QuotaExceeded {
+                limit: cell.limit,
+                used: cell.used,
+            });
         }
         cell.used += pages;
         let cell_label = cell.label;
-        flows.observe(subject, cell_label, "quota cell used-count update on page creation");
+        flows.observe(
+            subject,
+            cell_label,
+            "quota cell used-count update on page creation",
+        );
         self.sync_core_table(machine, uid);
         Ok(())
     }
@@ -241,7 +277,12 @@ impl QuotaCellManager {
     ///
     /// [`KernelError::QuotaDesignation`] for a cell that does not exist
     /// at all.
-    pub fn uncharge(&mut self, machine: &mut Machine, uid: SegUid, pages: u32) -> Result<(), KernelError> {
+    pub fn uncharge(
+        &mut self,
+        machine: &mut Machine,
+        uid: SegUid,
+        pages: u32,
+    ) -> Result<(), KernelError> {
         crate::charge_pli(machine, 12);
         if let Some(cell) = self.loaded.get_mut(&uid) {
             cell.used = cell.used.saturating_sub(pages);
@@ -249,8 +290,10 @@ impl QuotaCellManager {
             return Ok(());
         }
         // Not resident: update the on-disk cell in place.
-        let entry =
-            *self.cell_dir.get(&uid).ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        let entry = *self
+            .cell_dir
+            .get(&uid)
+            .ok_or(KernelError::QuotaDesignation("no such cell"))?;
         let mut drm = DiskRecordManager::new();
         let mut rec = drm
             .read_quota_cell(machine, entry.home)?
@@ -286,8 +329,12 @@ impl QuotaCellManager {
         if self.table_base == mx_hw::AbsAddr(0) {
             return;
         }
-        let Some(entry) = self.cell_dir.get(&uid) else { return };
-        let Some(cell) = self.loaded.get(&uid) else { return };
+        let Some(entry) = self.cell_dir.get(&uid) else {
+            return;
+        };
+        let Some(cell) = self.loaded.get(&uid) else {
+            return;
+        };
         let base = u64::from(entry.slot) * CELL_WORDS;
         let words = [
             Word::new(uid.0),
@@ -312,7 +359,13 @@ mod tests {
     use super::*;
     use mx_hw::MachineConfig;
 
-    fn setup() -> (Machine, CoreSegmentManager, DiskRecordManager, QuotaCellManager, DiskHome) {
+    fn setup() -> (
+        Machine,
+        CoreSegmentManager,
+        DiskRecordManager,
+        QuotaCellManager,
+        DiskHome,
+    ) {
         let mut machine = Machine::new(MachineConfig {
             packs: 1,
             records_per_pack: 16,
@@ -324,7 +377,10 @@ mod tests {
         let mut qcm = QuotaCellManager::new(&mut csm).unwrap();
         qcm.bind_table_base(&csm);
         let toc = drm.create_entry(&mut machine, mx_hw::PackId(0), 1).unwrap();
-        let home = DiskHome { pack: mx_hw::PackId(0), toc };
+        let home = DiskHome {
+            pack: mx_hw::PackId(0),
+            toc,
+        };
         (machine, csm, drm, qcm, home)
     }
 
@@ -333,10 +389,14 @@ mod tests {
         let (mut m, _csm, mut drm, mut qcm, home) = setup();
         let uid = SegUid(1);
         let mut flows = FlowTracker::new();
-        qcm.create_cell(&mut m, &mut drm, uid, home, 5, Label::BOTTOM).unwrap();
-        qcm.charge(&mut m, uid, 3, Label::BOTTOM, &mut flows).unwrap();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 5, Label::BOTTOM)
+            .unwrap();
+        qcm.charge(&mut m, uid, 3, Label::BOTTOM, &mut flows)
+            .unwrap();
         assert_eq!(qcm.cell_state(uid), Some((5, 3)));
-        let err = qcm.charge(&mut m, uid, 3, Label::BOTTOM, &mut flows).unwrap_err();
+        let err = qcm
+            .charge(&mut m, uid, 3, Label::BOTTOM, &mut flows)
+            .unwrap_err();
         assert_eq!(err, KernelError::QuotaExceeded { limit: 5, used: 3 });
         qcm.uncharge(&mut m, uid, 2).unwrap();
         assert_eq!(qcm.cell_state(uid), Some((5, 1)));
@@ -348,9 +408,11 @@ mod tests {
         let (mut m, _csm, mut drm, mut qcm, home) = setup();
         let uid = SegUid(2);
         let mut flows = FlowTracker::new();
-        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM).unwrap();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM)
+            .unwrap();
         qcm.load(&mut m, &drm, uid, Label::BOTTOM).unwrap();
-        qcm.charge(&mut m, uid, 4, Label::BOTTOM, &mut flows).unwrap();
+        qcm.charge(&mut m, uid, 4, Label::BOTTOM, &mut flows)
+            .unwrap();
         qcm.unload(&mut m, &mut drm, uid).unwrap();
         assert_eq!(qcm.cell_state(uid), None, "evicted from the core table");
         let rec = drm.read_quota_cell(&m, home).unwrap().unwrap();
@@ -363,7 +425,8 @@ mod tests {
     fn refcounting_keeps_cell_loaded() {
         let (mut m, _csm, mut drm, mut qcm, home) = setup();
         let uid = SegUid(3);
-        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM).unwrap();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM)
+            .unwrap();
         qcm.load(&mut m, &drm, uid, Label::BOTTOM).unwrap();
         qcm.load(&mut m, &drm, uid, Label::BOTTOM).unwrap();
         qcm.unload(&mut m, &mut drm, uid).unwrap();
@@ -377,8 +440,10 @@ mod tests {
         let (mut m, _csm, mut drm, mut qcm, home) = setup();
         let uid = SegUid(4);
         let mut flows = FlowTracker::new();
-        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM).unwrap();
-        qcm.charge(&mut m, uid, 1, Label::BOTTOM, &mut flows).unwrap();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM)
+            .unwrap();
+        qcm.charge(&mut m, uid, 1, Label::BOTTOM, &mut flows)
+            .unwrap();
         assert!(qcm.destroy_cell(&mut m, &mut drm, uid).is_err());
         qcm.uncharge(&mut m, uid, 1).unwrap();
         qcm.destroy_cell(&mut m, &mut drm, uid).unwrap();
@@ -391,7 +456,8 @@ mod tests {
         let (mut m, _csm, mut drm, mut qcm, home) = setup();
         let uid = SegUid(5);
         let mut flows = FlowTracker::new();
-        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM).unwrap();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM)
+            .unwrap();
         let secret = Label::new(mx_aim::Level(2), mx_aim::CompartmentSet::empty());
         qcm.charge(&mut m, uid, 1, secret, &mut flows).unwrap();
         assert_eq!(flows.violation_count(), 1, "high subject wrote a low cell");

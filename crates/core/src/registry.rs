@@ -11,52 +11,181 @@ use mx_deps::{DepKind, ModuleGraph};
 /// The Figure 4 module graph, generated from this crate's structure.
 pub fn kernel_structure() -> ModuleGraph {
     let mut g = ModuleGraph::new();
-    let hw = g.add_module("processor+memory", "the hardware (with the proposed additions)");
-    let csm = g.add_module("core-segment-manager", "fixed core segments, read/write only");
-    let vpm = g.add_module("virtual-processor-manager", "fixed VPs, eventcounts, cheap dispatch");
+    let hw = g.add_module(
+        "processor+memory",
+        "the hardware (with the proposed additions)",
+    );
+    let csm = g.add_module(
+        "core-segment-manager",
+        "fixed core segments, read/write only",
+    );
+    let vpm = g.add_module(
+        "virtual-processor-manager",
+        "fixed VPs, eventcounts, cheap dispatch",
+    );
     let drm = g.add_module("disk-record-manager", "records and tables of contents");
     let qcm = g.add_module("quota-cell-manager", "quota cells as explicit objects");
-    let pfm = g.add_module("page-frame-manager", "frames, page tables, lock-bit service, purifier");
-    let segm = g.add_module("segment-manager", "activation, growth, relocation, upward signal");
-    let ksm = g.add_module("known-segment-manager", "segno maps, quota-exception service");
-    let dirm = g.add_module("directory-manager", "directories, ACLs, search primitive, quota rules");
+    let pfm = g.add_module(
+        "page-frame-manager",
+        "frames, page tables, lock-bit service, purifier",
+    );
+    let segm = g.add_module(
+        "segment-manager",
+        "activation, growth, relocation, upward signal",
+    );
+    let ksm = g.add_module(
+        "known-segment-manager",
+        "segno maps, quota-exception service",
+    );
+    let dirm = g.add_module(
+        "directory-manager",
+        "directories, ACLs, search primitive, quota rules",
+    );
     let upm = g.add_module("user-process-manager", "unbounded processes over fixed VPs");
     let dmx = g.add_module("demultiplexer", "network-independent stream routing");
-    let gate = g.add_module("gatekeeper", "gates, AIM checks, fault dispatch, signal trampoline");
+    let gate = g.add_module(
+        "gatekeeper",
+        "gates, AIM checks, fault dispatch, signal trampoline",
+    );
 
     // Core segment manager: implemented by initialization code and the
     // processor hardware.
-    g.depend(csm, hw, DepKind::Component, "core segments are regions of primary memory");
+    g.depend(
+        csm,
+        hw,
+        DepKind::Component,
+        "core segments are regions of primary memory",
+    );
     // Virtual processors: states in core segments; interpreted by the
     // real processors.
-    g.depend(vpm, csm, DepKind::Map, "VP states live in a core segment (VirtualProcessorManager::new)");
-    g.depend(vpm, hw, DepKind::Interpreter, "VPs are multiplexes of the real processors");
+    g.depend(
+        vpm,
+        csm,
+        DepKind::Map,
+        "VP states live in a core segment (VirtualProcessorManager::new)",
+    );
+    g.depend(
+        vpm,
+        hw,
+        DepKind::Interpreter,
+        "VPs are multiplexes of the real processors",
+    );
     // Disk records.
-    g.depend(drm, hw, DepKind::Component, "records and TOCs are pack storage");
+    g.depend(
+        drm,
+        hw,
+        DepKind::Component,
+        "records and TOCs are pack storage",
+    );
     // Quota cells: cached in a core-segment table, persisted in TOCs.
-    g.depend(qcm, csm, DepKind::Map, "the cell table is a core segment (QuotaCellManager::new)");
-    g.depend(qcm, drm, DepKind::Component, "cells persist in TOC entries (read/write_quota_cell)");
+    g.depend(
+        qcm,
+        csm,
+        DepKind::Map,
+        "the cell table is a core segment (QuotaCellManager::new)",
+    );
+    g.depend(
+        qcm,
+        drm,
+        DepKind::Component,
+        "cells persist in TOC entries (read/write_quota_cell)",
+    );
     // Page frames.
-    g.depend(pfm, csm, DepKind::Map, "the page-table pool is a core segment (PageFrameManager::new)");
-    g.depend(pfm, drm, DepKind::Component, "pages live on disk records (service/add_page)");
-    g.depend(pfm, qcm, DepKind::Call, "zero reversion uncharges the bound cell (evict/purify)");
-    g.depend(pfm, vpm, DepKind::Call, "service completion advances the page eventcount");
-    g.depend(pfm, hw, DepKind::Component, "frames are primary memory; the lock bit is hardware");
+    g.depend(
+        pfm,
+        csm,
+        DepKind::Map,
+        "the page-table pool is a core segment (PageFrameManager::new)",
+    );
+    g.depend(
+        pfm,
+        drm,
+        DepKind::Component,
+        "pages live on disk records (service/add_page)",
+    );
+    g.depend(
+        pfm,
+        qcm,
+        DepKind::Call,
+        "zero reversion uncharges the bound cell (evict/purify)",
+    );
+    g.depend(
+        pfm,
+        vpm,
+        DepKind::Call,
+        "service completion advances the page eventcount",
+    );
+    g.depend(
+        pfm,
+        hw,
+        DepKind::Component,
+        "frames are primary memory; the lock bit is hardware",
+    );
     // Segments.
-    g.depend(segm, pfm, DepKind::Component, "segments are paged objects (activate/grow)");
-    g.depend(segm, qcm, DepKind::Call, "growth charges the statically bound cell");
-    g.depend(segm, drm, DepKind::Component, "relocation copies records and TOC entries");
+    g.depend(
+        segm,
+        pfm,
+        DepKind::Component,
+        "segments are paged objects (activate/grow)",
+    );
+    g.depend(
+        segm,
+        qcm,
+        DepKind::Call,
+        "growth charges the statically bound cell",
+    );
+    g.depend(
+        segm,
+        drm,
+        DepKind::Component,
+        "relocation copies records and TOC entries",
+    );
     // Known segments.
-    g.depend(ksm, segm, DepKind::Call, "quota exceptions activate and grow via the segment manager");
+    g.depend(
+        ksm,
+        segm,
+        DepKind::Call,
+        "quota exceptions activate and grow via the segment manager",
+    );
     // Directories.
-    g.depend(dirm, segm, DepKind::Component, "directory representations are stored in segments");
-    g.depend(dirm, qcm, DepKind::Call, "childless designation creates/destroys cells");
-    g.depend(dirm, drm, DepKind::Component, "entries name pack + TOC index");
+    g.depend(
+        dirm,
+        segm,
+        DepKind::Component,
+        "directory representations are stored in segments",
+    );
+    g.depend(
+        dirm,
+        qcm,
+        DepKind::Call,
+        "childless designation creates/destroys cells",
+    );
+    g.depend(
+        dirm,
+        drm,
+        DepKind::Component,
+        "entries name pack + TOC index",
+    );
     // User processes.
-    g.depend(upm, vpm, DepKind::Call, "event queue pairs with an eventcount; VPs are the carriers");
-    g.depend(upm, segm, DepKind::Component, "process states are stored in ordinary segments");
+    g.depend(
+        upm,
+        vpm,
+        DepKind::Call,
+        "event queue pairs with an eventcount; VPs are the carriers",
+    );
+    g.depend(
+        upm,
+        segm,
+        DepKind::Component,
+        "process states are stored in ordinary segments",
+    );
     // Demultiplexer.
-    g.depend(dmx, upm, DepKind::Call, "channel input events are delivered upward via the queue");
+    g.depend(
+        dmx,
+        upm,
+        DepKind::Call,
+        "channel input events are delivered upward via the queue",
+    );
     // Gatekeeper.
     for (m, why) in [
         (dirm, "directory gates"),
@@ -75,11 +204,26 @@ pub fn kernel_structure() -> ModuleGraph {
     // processor — exactly the two blanket rules the paper states under
     // Figure 4.
     for m in [drm, qcm, pfm, segm, ksm, dirm, upm, dmx, gate] {
-        g.depend(m, csm, DepKind::Program, "programs and temporary storage are core segments");
-        g.depend(m, csm, DepKind::AddressSpace, "the system address space is built of core segments");
+        g.depend(
+            m,
+            csm,
+            DepKind::Program,
+            "programs and temporary storage are core segments",
+        );
+        g.depend(
+            m,
+            csm,
+            DepKind::AddressSpace,
+            "the system address space is built of core segments",
+        );
     }
     for m in [drm, qcm, pfm, segm, ksm, dirm, upm, dmx, gate] {
-        g.depend(m, vpm, DepKind::Interpreter, "executes on a virtual processor");
+        g.depend(
+            m,
+            vpm,
+            DepKind::Interpreter,
+            "executes on a virtual processor",
+        );
     }
     g
 }
@@ -91,7 +235,11 @@ mod tests {
     #[test]
     fn figure_4_is_loop_free() {
         let g = kernel_structure();
-        assert!(g.is_loop_free(), "the new design must be a lattice: {:?}", g.loops());
+        assert!(
+            g.is_loop_free(),
+            "the new design must be a lattice: {:?}",
+            g.loops()
+        );
     }
 
     #[test]
@@ -110,9 +258,12 @@ mod tests {
         let vpm = g.find("virtual-processor-manager").unwrap();
         let assumed = g.assumed_by(vpm);
         let names: Vec<&str> = assumed.iter().map(|m| g.name(*m)).collect();
-        assert_eq!(names, vec!["processor+memory", "core-segment-manager"],
+        assert_eq!(
+            names,
+            vec!["processor+memory", "core-segment-manager"],
             "the bottom level provides an interpreter that depends only on \
-             the primary memory and the hardware processors");
+             the primary memory and the hardware processors"
+        );
     }
 
     #[test]
@@ -130,7 +281,11 @@ mod tests {
             "gatekeeper",
         ] {
             let m = g.find(name).unwrap();
-            for kind in [DepKind::Program, DepKind::AddressSpace, DepKind::Interpreter] {
+            for kind in [
+                DepKind::Program,
+                DepKind::AddressSpace,
+                DepKind::Interpreter,
+            ] {
                 assert!(
                     g.edges().iter().any(|e| e.from == m && e.kind == kind),
                     "{name} missing a {} edge",
@@ -144,7 +299,10 @@ mod tests {
     fn no_improper_shared_data_edges_remain() {
         let g = kernel_structure();
         assert_eq!(
-            g.edges().iter().filter(|e| e.kind == DepKind::SharedData).count(),
+            g.edges()
+                .iter()
+                .filter(|e| e.kind == DepKind::SharedData)
+                .count(),
             0,
             "the new design eliminates direct sharing of writable data"
         );

@@ -97,6 +97,13 @@ impl Kernel {
     ///
     /// Storage errors reading directories.
     pub fn salvage(&mut self, repair: bool) -> Result<SalvageReport, KernelError> {
+        let meter = self.machine.clock.enter(mx_hw::meter::Subsystem::Salvager);
+        let result = self.salvage_walk(repair);
+        self.machine.clock.exit(meter);
+        result
+    }
+
+    fn salvage_walk(&mut self, repair: bool) -> Result<SalvageReport, KernelError> {
         let mut report = SalvageReport::default();
 
         // Walk the hierarchy from the root, collecting every catalogued
@@ -111,8 +118,28 @@ impl Kernel {
         let mut dangling = Vec::new();
         while let Some(dir) = stack.pop() {
             let entries = {
-                let Kernel { machine, drm, qcm, pfm, vpm, segm, flows, monitor, dirm, .. } = self;
-                let mut fs = FsCtx { machine, drm, qcm, pfm, vpm, segm, flows, monitor };
+                let Kernel {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                    dirm,
+                    ..
+                } = self;
+                let mut fs = FsCtx {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                };
                 dirm.salvage_entries(&mut fs, dir)?
             };
             for (name, uid, home, own_cell, is_dir) in entries {
@@ -163,8 +190,10 @@ impl Kernel {
         }
 
         // Invariant 2: orphan TOC entries.
-        let known_homes: HashSet<(u32, u32)> =
-            catalogued.values().map(|(h, _)| (h.pack.0, h.toc.0)).collect();
+        let known_homes: HashSet<(u32, u32)> = catalogued
+            .values()
+            .map(|(h, _)| (h.pack.0, h.toc.0))
+            .collect();
         let mut orphans = Vec::new();
         for pack in self.machine.disks.packs() {
             for (toc, entry) in pack.entries() {
@@ -183,9 +212,10 @@ impl Kernel {
                     // nothing has active.
                     if self.segm.get(*uid).is_none() && !self.qcm.exists(*uid) {
                         self.drm.delete_entry(&mut self.machine, *home)?;
-                        report
-                            .repairs
-                            .push(format!("reclaimed orphan TOC entry {:?} (uid {})", home, uid.0));
+                        report.repairs.push(format!(
+                            "reclaimed orphan TOC entry {:?} (uid {})",
+                            home, uid.0
+                        ));
                     }
                 }
             }
@@ -217,7 +247,11 @@ impl Kernel {
                 }
             };
             if recorded != actual {
-                report.problems.push(Problem::CellDrift { cell, recorded, actual });
+                report.problems.push(Problem::CellDrift {
+                    cell,
+                    recorded,
+                    actual,
+                });
                 if repair {
                     self.repair_cell(cell, recorded, actual)?;
                     report.repairs.push(format!(
@@ -232,7 +266,8 @@ impl Kernel {
 
     fn repair_cell(&mut self, cell: SegUid, recorded: u32, actual: u32) -> Result<(), KernelError> {
         if recorded > actual {
-            self.qcm.uncharge(&mut self.machine, cell, recorded - actual)?;
+            self.qcm
+                .uncharge(&mut self.machine, cell, recorded - actual)?;
         } else {
             // Charge without limit enforcement: the pages already exist.
             // Use repeated uncharge of a negative delta via the direct
@@ -245,7 +280,13 @@ impl Kernel {
                 // recorded count via the persistent copy.
                 if self
                     .qcm
-                    .charge(&mut self.machine, cell, 1, mx_aim::Label::BOTTOM, &mut flows)
+                    .charge(
+                        &mut self.machine,
+                        cell,
+                        1,
+                        mx_aim::Label::BOTTOM,
+                        &mut flows,
+                    )
                     .is_err()
                 {
                     break;
@@ -256,14 +297,18 @@ impl Kernel {
     }
 }
 
+/// One live directory entry as the salvager sees it:
+/// `(name, uid, home, own_cell, is_dir)`.
+type SalvageEntry = (String, SegUid, DiskHome, SegUid, bool);
+
 impl DirectoryManager {
-    /// Salvager access: every live entry of `dir` as
-    /// `(name, uid, home, own_cell, is_dir)`, read from segment storage.
+    /// Salvager access: every live entry of `dir`, read from segment
+    /// storage.
     pub(crate) fn salvage_entries(
         &mut self,
         ctx: &mut FsCtx<'_>,
         dir: SegUid,
-    ) -> Result<Vec<(String, SegUid, DiskHome, SegUid, bool)>, KernelError> {
+    ) -> Result<Vec<SalvageEntry>, KernelError> {
         self.ensure_active(ctx, dir)?;
         let count = self.entry_count(ctx, dir)?;
         let mut out = Vec::new();
@@ -303,8 +348,12 @@ mod tests {
     fn a_healthy_system_salvages_clean() {
         let (mut k, pid) = boot();
         let root = k.root_token();
-        let dir = k.create_entry(pid, root, "d", Acl::owner(UserId(1)), Label::BOTTOM, true).unwrap();
-        let f = k.create_entry(pid, dir, "f", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+        let dir = k
+            .create_entry(pid, root, "d", Acl::owner(UserId(1)), Label::BOTTOM, true)
+            .unwrap();
+        let f = k
+            .create_entry(pid, dir, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
         let segno = k.initiate(pid, f).unwrap();
         k.write_word(pid, segno, 0, Word::new(5)).unwrap();
         let report = k.salvage(false).unwrap();
@@ -332,7 +381,13 @@ mod tests {
         // Repair reclaims it.
         let report = k.salvage(true).unwrap();
         assert!(!report.repairs.is_empty());
-        assert!(k.machine.disks.pack(mx_hw::PackId(1)).unwrap().entry(orphan_toc).is_err());
+        assert!(k
+            .machine
+            .disks
+            .pack(mx_hw::PackId(1))
+            .unwrap()
+            .entry(orphan_toc)
+            .is_err());
         // And the system is clean afterwards.
         let report = k.salvage(false).unwrap();
         assert!(report.clean(), "problems: {:?}", report.problems);
@@ -342,36 +397,61 @@ mod tests {
     fn cell_drift_is_detected_and_repaired() {
         let (mut k, pid) = boot();
         let root = k.root_token();
-        let f = k.create_entry(pid, root, "f", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+        let f = k
+            .create_entry(pid, root, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
         let segno = k.initiate(pid, f).unwrap();
         k.write_word(pid, segno, 0, Word::new(5)).unwrap();
         // Inject drift: over-charge the root cell behind the system's back.
         let mut flows = mx_aim::FlowTracker::new();
-        k.qcm.charge(&mut k.machine, SegUid(1), 3, Label::BOTTOM, &mut flows).unwrap();
+        k.qcm
+            .charge(&mut k.machine, SegUid(1), 3, Label::BOTTOM, &mut flows)
+            .unwrap();
         let report = k.salvage(false).unwrap();
         assert!(report.problems.iter().any(|p| matches!(
             p,
-            Problem::CellDrift { cell: SegUid(1), .. }
+            Problem::CellDrift {
+                cell: SegUid(1),
+                ..
+            }
         )));
         let report = k.salvage(true).unwrap();
         assert!(report.repairs.iter().any(|r| r.contains("reset cell 1")));
         let report = k.salvage(false).unwrap();
-        assert!(report.clean(), "problems after repair: {:?}", report.problems);
+        assert!(
+            report.clean(),
+            "problems after repair: {:?}",
+            report.problems
+        );
     }
 
     #[test]
     fn dangling_entries_are_reported() {
         let (mut k, pid) = boot();
         let root = k.root_token();
-        let f = k.create_entry(pid, root, "victim", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        let f = k
+            .create_entry(
+                pid,
+                root,
+                "victim",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
             .unwrap();
         // Inject: delete the TOC entry out from under the catalogue.
         let uid = k.uid_of_token(f).unwrap();
         let home = k.dirm.home_of(uid).unwrap();
-        k.machine.disks.pack_mut(home.pack).unwrap().delete_entry(home.toc).unwrap();
+        k.machine
+            .disks
+            .pack_mut(home.pack)
+            .unwrap()
+            .delete_entry(home.toc)
+            .unwrap();
         let report = k.salvage(false).unwrap();
-        assert!(report.problems.iter().any(
-            |p| matches!(p, Problem::DanglingEntry { name, .. } if name == "victim")
-        ));
+        assert!(report
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::DanglingEntry { name, .. } if name == "victim")));
     }
 }

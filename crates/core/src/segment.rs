@@ -85,7 +85,10 @@ impl SegmentManager {
 
     /// Finds the uid bound to a page-table handle (fault routing).
     pub fn uid_of_handle(&self, handle: PtHandle) -> Option<SegUid> {
-        self.active.iter().find(|(_, s)| s.handle == handle).map(|(u, _)| *u)
+        self.active
+            .iter()
+            .find(|(_, s)| s.handle == handle)
+            .map(|(u, _)| *u)
     }
 
     /// Activates a segment: loads its quota cell and binds a paged
@@ -94,6 +97,7 @@ impl SegmentManager {
     /// # Errors
     ///
     /// Table exhaustion or unknown-cell errors from below.
+    #[allow(clippy::too_many_arguments)]
     pub fn activate(
         &mut self,
         machine: &mut Machine,
@@ -120,7 +124,14 @@ impl SegmentManager {
         };
         self.active.insert(
             uid,
-            ActiveSeg { handle, home, cell, is_dir, label, connected_sdws: Vec::new() },
+            ActiveSeg {
+                handle,
+                home,
+                cell,
+                is_dir,
+                label,
+                connected_sdws: Vec::new(),
+            },
         );
         self.stats.activations += 1;
         Ok(handle)
@@ -159,7 +170,11 @@ impl SegmentManager {
     /// # Errors
     ///
     /// [`KernelError::NotActive`] if the segment is not active.
-    pub fn register_connection(&mut self, uid: SegUid, sdw_addr: AbsAddr) -> Result<(), KernelError> {
+    pub fn register_connection(
+        &mut self,
+        uid: SegUid,
+        sdw_addr: AbsAddr,
+    ) -> Result<(), KernelError> {
         let seg = self.active.get_mut(&uid).ok_or(KernelError::NotActive)?;
         if !seg.connected_sdws.contains(&sdw_addr) {
             seg.connected_sdws.push(sdw_addr);
@@ -177,6 +192,7 @@ impl SegmentManager {
     /// [`KernelError::AllPacksFull`] (no pack can take the segment), or
     /// [`KernelError::Upward`] carrying [`Signal::SegmentMoved`] — the
     /// page **was** created; only the directory entry update remains.
+    #[allow(clippy::too_many_arguments)]
     pub fn grow(
         &mut self,
         machine: &mut Machine,
@@ -239,9 +255,14 @@ impl SegmentManager {
         };
         crate::charge_pli(machine, 380);
         pfm.flush(machine, drm, qcm, handle)?;
-        let target = drm.emptiest_other(machine, old.pack).ok_or(KernelError::AllPacksFull)?;
+        let target = drm
+            .emptiest_other(machine, old.pack)
+            .ok_or(KernelError::AllPacksFull)?;
         let new_toc = drm.create_entry(machine, target, uid.0)?;
-        let new_home = DiskHome { pack: target, toc: new_toc };
+        let new_home = DiskHome {
+            pack: target,
+            toc: new_toc,
+        };
 
         // Copy the file map record by record.
         let len = drm.len_pages(machine, old)?;
@@ -250,7 +271,11 @@ impl SegmentManager {
                 drm.set_record(machine, new_home, pageno, None)?;
                 continue;
             };
-            let buf = drm.pack(machine, old.pack)?.read_record(old_rec).expect("mapped").clone();
+            let buf = drm
+                .pack(machine, old.pack)?
+                .read_record(old_rec)
+                .map_err(|_| KernelError::NotActive)?
+                .clone();
             let cost = machine.cost;
             machine.clock.charge_disk_transfer(&cost);
             machine.clock.charge_disk_transfer(&cost);
@@ -258,9 +283,9 @@ impl SegmentManager {
             machine
                 .disks
                 .pack_mut(target)
-                .expect("target pack")
+                .map_err(|_| KernelError::NotActive)?
                 .write_record(new_rec, &buf)
-                .expect("fresh record");
+                .map_err(|_| KernelError::NotActive)?;
             drm.set_record(machine, new_home, pageno, Some(new_rec))?;
         }
         // Move the on-disk quota cell, if this segment is a quota
@@ -272,7 +297,10 @@ impl SegmentManager {
         qcm.update_home(uid, new_home);
         drm.delete_entry(machine, old)?;
         pfm.rebind_home(machine, drm, handle, new_home)?;
-        self.active.get_mut(&uid).expect("active").home = new_home;
+        self.active
+            .get_mut(&uid)
+            .ok_or(KernelError::NotActive)?
+            .home = new_home;
         self.stats.relocations += 1;
         Ok(new_home)
     }
@@ -298,7 +326,9 @@ impl SegmentManager {
         wordno: u32,
         subject: Label,
     ) -> Result<mx_hw::Word, KernelError> {
-        let abs = self.touch_word(machine, drm, qcm, pfm, vpm, flows, uid, wordno, subject, false)?;
+        let abs = self.touch_word(
+            machine, drm, qcm, pfm, vpm, flows, uid, wordno, subject, false,
+        )?;
         let cost = machine.cost;
         machine.clock.charge_core_access(&cost);
         Ok(machine.mem.read(abs))
@@ -323,7 +353,9 @@ impl SegmentManager {
         value: mx_hw::Word,
         subject: Label,
     ) -> Result<(), KernelError> {
-        let abs = self.touch_word(machine, drm, qcm, pfm, vpm, flows, uid, wordno, subject, true)?;
+        let abs = self.touch_word(
+            machine, drm, qcm, pfm, vpm, flows, uid, wordno, subject, true,
+        )?;
         let cost = machine.cost;
         machine.clock.charge_core_access(&cost);
         machine.mem.write(abs, value);
@@ -357,8 +389,13 @@ impl SegmentManager {
                 let mut p = ptw;
                 p.used = true;
                 p.modified |= dirty;
-                machine.mem.write(pfm.pt_addr(handle).add(u64::from(pageno)), p.encode());
-                return Ok(p.frame.base().add(u64::from(wordno % mx_hw::PAGE_WORDS as u32)));
+                machine
+                    .mem
+                    .write(pfm.pt_addr(handle).add(u64::from(pageno)), p.encode());
+                return Ok(p
+                    .frame
+                    .base()
+                    .add(u64::from(wordno % mx_hw::PAGE_WORDS as u32)));
             }
             if ptw.quota_trap {
                 self.grow(machine, drm, qcm, pfm, flows, uid, pageno, subject)?;
@@ -405,9 +442,9 @@ impl SegmentManager {
         machine
             .disks
             .pack_mut(home.pack)
-            .expect("pack")
+            .map_err(|_| KernelError::NotActive)?
             .entry_mut(home.toc)
-            .expect("toc")
+            .map_err(|_| KernelError::NotActive)?
             .file_map
             .clear();
         pfm.rebind_home(machine, drm, handle, home)?;
@@ -458,14 +495,20 @@ mod tests {
             &mut machine,
             &mut drm,
             cell,
-            DiskHome { pack: PackId(0), toc: cell_toc },
+            DiskHome {
+                pack: PackId(0),
+                toc: cell_toc,
+            },
             quota,
             Label::BOTTOM,
         )
         .unwrap();
         let uid = SegUid(2);
         let toc = drm.create_entry(&mut machine, PackId(0), uid.0).unwrap();
-        let home = DiskHome { pack: PackId(0), toc };
+        let home = DiskHome {
+            pack: PackId(0),
+            toc,
+        };
         Rig {
             machine,
             drm,
@@ -545,8 +588,12 @@ mod tests {
             match grow(&mut r, pageno) {
                 Ok(()) => {
                     // Make the page nonzero so flushes keep the records.
-                    let ptw = r.pfm.ptw(&r.machine, r.segm.get(r.uid).unwrap().handle, pageno);
-                    r.machine.mem.write(ptw.frame.base(), Word::new(u64::from(pageno) + 1));
+                    let ptw = r
+                        .pfm
+                        .ptw(&r.machine, r.segm.get(r.uid).unwrap().handle, pageno);
+                    r.machine
+                        .mem
+                        .write(ptw.frame.base(), Word::new(u64::from(pageno) + 1));
                 }
                 Err(KernelError::Upward(Signal::SegmentMoved { uid, new_home })) => {
                     moved = Some((uid, new_home, pageno));
@@ -591,8 +638,13 @@ mod tests {
         };
         r.machine.mem.write(sdw_addr, sdw.encode());
         r.segm.register_connection(r.uid, sdw_addr).unwrap();
-        r.segm.deactivate(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.pfm, r.uid).unwrap();
-        assert!(!Sdw::decode(r.machine.mem.read(sdw_addr)).present, "SDW cut");
+        r.segm
+            .deactivate(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.pfm, r.uid)
+            .unwrap();
+        assert!(
+            !Sdw::decode(r.machine.mem.read(sdw_addr)).present,
+            "SDW cut"
+        );
         assert_eq!(r.qcm.cell_state(r.cell), None, "cell reference released");
         assert_eq!(r.segm.active_count(), 0);
     }
@@ -607,8 +659,15 @@ mod tests {
             r.machine.mem.write(ptw.frame.base(), Word::new(9));
         }
         assert_eq!(r.qcm.cell_state(r.cell), Some((20, 3)));
-        r.segm.truncate(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.pfm, r.uid).unwrap();
+        r.segm
+            .truncate(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.pfm, r.uid)
+            .unwrap();
         assert_eq!(r.qcm.cell_state(r.cell), Some((20, 0)));
-        assert_eq!(r.drm.len_pages(&r.machine, r.segm.get(r.uid).unwrap().home).unwrap(), 0);
+        assert_eq!(
+            r.drm
+                .len_pages(&r.machine, r.segm.get(r.uid).unwrap().home)
+                .unwrap(),
+            0
+        );
     }
 }

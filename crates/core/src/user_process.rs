@@ -151,7 +151,11 @@ impl UserProcessManager {
     /// accounting charge.
     pub fn destroy(&mut self, pid: ProcessId) -> Result<u64, KernelError> {
         let slot = pid.0 as usize;
-        let proc = self.procs.get_mut(slot).and_then(Option::take).ok_or(KernelError::NoSuchProcess)?;
+        let proc = self
+            .procs
+            .get_mut(slot)
+            .and_then(Option::take)
+            .ok_or(KernelError::NoSuchProcess)?;
         self.ready.retain(|p| *p != pid);
         self.bound.retain(|_, p| *p != pid);
         Ok(proc.charge)
@@ -288,7 +292,11 @@ impl UserProcessManager {
                 p.state = UpState::Bound(vp);
                 p.charge += 1;
             }
-            return Some(Dispatch { pid, vp, already_loaded: true });
+            return Some(Dispatch {
+                pid,
+                vp,
+                already_loaded: true,
+            });
         }
         // Bind to the next user VP in rotation (unloading its tenant).
         let vp = self.vp_rotation.pop_front()?;
@@ -306,7 +314,11 @@ impl UserProcessManager {
         }
         self.loads += 1;
         let _ = vpm;
-        Some(Dispatch { pid, vp, already_loaded: false })
+        Some(Dispatch {
+            pid,
+            vp,
+            already_loaded: false,
+        })
     }
 }
 
@@ -328,8 +340,9 @@ mod tests {
     #[test]
     fn unbounded_feel_processes_over_few_vps() {
         let (mut m, mut vpm, mut upm) = rig(8, 3); // 2 user VPs
-        let pids: Vec<_> =
-            (0..6).map(|i| upm.create(&mut m, UserId(i), Label::BOTTOM).unwrap()).collect();
+        let pids: Vec<_> = (0..6)
+            .map(|i| upm.create(&mut m, UserId(i), Label::BOTTOM).unwrap())
+            .collect();
         assert_eq!(upm.live(), 6);
         // Dispatch around: with 6 processes on 2 VPs, loads dominate.
         for _ in 0..12 {
@@ -368,8 +381,14 @@ mod tests {
         assert_eq!(upm.dropped_events(), 1);
         let drained = upm.drain_events();
         assert_eq!(drained.len(), 16);
-        assert!(drained.iter().all(|e| *e == KernelEvent::PageServiced { pid }));
-        assert_eq!(vpm.read_eventcount(upm.queue_event), 17, "every put advanced the count");
+        assert!(drained
+            .iter()
+            .all(|e| *e == KernelEvent::PageServiced { pid }));
+        assert_eq!(
+            vpm.read_eventcount(upm.queue_event),
+            17,
+            "every put advanced the count"
+        );
     }
 
     #[test]

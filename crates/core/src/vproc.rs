@@ -81,7 +81,10 @@ impl VirtualProcessorManager {
         let state_seg = csm.allocate(frames.max(1))?;
         Ok(Self {
             vps: (0..count)
-                .map(|_| Vp { binding: VpBinding::User, state: VpState::Ready })
+                .map(|_| Vp {
+                    binding: VpBinding::User,
+                    state: VpState::Ready,
+                })
                 .collect(),
             events: EventTable::new(),
             state_seg,
@@ -210,7 +213,14 @@ impl VirtualProcessorManager {
 mod tests {
     use super::*;
 
-    fn setup(count: u32) -> (CoreSegmentManager, MainMemory, Clock, VirtualProcessorManager) {
+    fn setup(
+        count: u32,
+    ) -> (
+        CoreSegmentManager,
+        MainMemory,
+        Clock,
+        VirtualProcessorManager,
+    ) {
         let mut csm = CoreSegmentManager::new(0, 4);
         let mem = MainMemory::new(8);
         let vpm = VirtualProcessorManager::new(&mut csm, count).unwrap();
@@ -246,16 +256,25 @@ mod tests {
         let (_csm, _mem, _clk, mut vpm) = setup(1);
         let ec = vpm.create_eventcount();
         vpm.advance(ec);
-        assert!(vpm.await_value(VpId(0), ec, 1), "already satisfied: no block");
+        assert!(
+            vpm.await_value(VpId(0), ec, 1),
+            "already satisfied: no block"
+        );
         assert_eq!(vpm.runnable(), 1);
     }
 
     #[test]
     fn dispatch_is_cheap_and_round_robin() {
         let (csm, mut mem, mut clk, mut vpm) = setup(3);
-        let order: Vec<u32> = (0..6).map(|_| vpm.dispatch(&csm, &mut mem, &mut clk).unwrap().0).collect();
+        let order: Vec<u32> = (0..6)
+            .map(|_| vpm.dispatch(&csm, &mut mem, &mut clk).unwrap().0)
+            .collect();
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
-        assert_eq!(clk.now(), 6 * VP_SWITCH_CYCLES, "only the cheap switch charge");
+        assert_eq!(
+            clk.now(),
+            6 * VP_SWITCH_CYCLES,
+            "only the cheap switch charge"
+        );
         assert_eq!(vpm.switches, 6);
     }
 

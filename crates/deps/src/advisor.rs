@@ -93,15 +93,24 @@ pub fn suggest_breaks(g: &ModuleGraph) -> BreakPlan {
             if !e.kind.is_proper() {
                 s *= 2;
             }
-            if best.map(|(bs, bi)| (s, usize::MAX - i) > (bs, usize::MAX - bi)).unwrap_or(true) {
+            if best
+                .map(|(bs, bi)| (s, usize::MAX - i) > (bs, usize::MAX - bi))
+                .unwrap_or(true)
+            {
                 best = Some((s, i));
             }
         }
         let Some((_, victim)) = best else { break };
         removed.insert(victim);
     }
-    let improper = removed.iter().filter(|i| !g.edges()[**i].kind.is_proper()).count();
-    BreakPlan { edges: removed.into_iter().collect(), improper }
+    let improper = removed
+        .iter()
+        .filter(|i| !g.edges()[**i].kind.is_proper())
+        .count();
+    BreakPlan {
+        edges: removed.into_iter().collect(),
+        improper,
+    }
 }
 
 /// A copy of `g` without the edges whose indices are in `removed`.

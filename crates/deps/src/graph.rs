@@ -1,6 +1,5 @@
 //! The module dependency graph and its analyses.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The paper's five kinds of inter-module dependency, plus the two
@@ -9,9 +8,7 @@ use std::collections::BTreeSet;
 /// or awaited replies, and implicit dependencies due to direct sharing
 /// of writable data, "do not fit naturally into this classification …
 /// the goal is their elimination").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DepKind {
     /// M depends on the managers of the objects that are the components
     /// of the objects M defines.
@@ -66,13 +63,11 @@ impl DepKind {
 }
 
 /// Index of a module within a [`ModuleGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModuleId(pub usize);
 
 /// One labelled dependency edge.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DepEdge {
     /// The depending module.
     pub from: ModuleId,
@@ -84,14 +79,14 @@ pub struct DepEdge {
     pub note: String,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Module {
     name: String,
     description: String,
 }
 
 /// A directed multigraph of modules and kind-labelled dependencies.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ModuleGraph {
     modules: Vec<Module>,
     edges: Vec<DepEdge>,
@@ -104,8 +99,15 @@ impl ModuleGraph {
     }
 
     /// Adds a module (an object manager) and returns its id.
-    pub fn add_module(&mut self, name: impl Into<String>, description: impl Into<String>) -> ModuleId {
-        self.modules.push(Module { name: name.into(), description: description.into() });
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+    ) -> ModuleId {
+        self.modules.push(Module {
+            name: name.into(),
+            description: description.into(),
+        });
         ModuleId(self.modules.len() - 1)
     }
 
@@ -116,7 +118,12 @@ impl ModuleGraph {
     /// the pathology the paper hunts), and show up as singleton loops.
     pub fn depend(&mut self, from: ModuleId, to: ModuleId, kind: DepKind, note: impl Into<String>) {
         assert!(from.0 < self.modules.len() && to.0 < self.modules.len());
-        self.edges.push(DepEdge { from, to, kind, note: note.into() });
+        self.edges.push(DepEdge {
+            from,
+            to,
+            kind,
+            note: note.into(),
+        });
     }
 
     /// Number of modules.
@@ -149,7 +156,10 @@ impl ModuleGraph {
 
     /// Looks a module up by name.
     pub fn find(&self, name: &str) -> Option<ModuleId> {
-        self.modules.iter().position(|m| m.name == name).map(ModuleId)
+        self.modules
+            .iter()
+            .position(|m| m.name == name)
+            .map(ModuleId)
     }
 
     /// Iterates module ids in insertion order.
@@ -184,8 +194,14 @@ impl ModuleGraph {
             Enter(usize),
             Resume(usize, usize),
         }
-        let succ: Vec<Vec<usize>> =
-            (0..n).map(|v| self.successors(ModuleId(v)).into_iter().map(|m| m.0).collect()).collect();
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                self.successors(ModuleId(v))
+                    .into_iter()
+                    .map(|m| m.0)
+                    .collect()
+            })
+            .collect();
 
         for start in 0..n {
             if index[start] != usize::MAX {
@@ -249,13 +265,7 @@ impl ModuleGraph {
     pub fn loops(&self) -> Vec<Vec<ModuleId>> {
         self.sccs()
             .into_iter()
-            .filter(|c| {
-                c.len() > 1
-                    || self
-                        .edges
-                        .iter()
-                        .any(|e| e.from == c[0] && e.to == c[0])
-            })
+            .filter(|c| c.len() > 1 || self.edges.iter().any(|e| e.from == c[0] && e.to == c[0]))
             .collect()
     }
 
@@ -334,7 +344,9 @@ impl ModuleGraph {
     /// permit module-at-a-time auditing; loops force whole components to
     /// be audited together.
     pub fn audit_costs(&self) -> Vec<(ModuleId, usize)> {
-        self.module_ids().map(|m| (m, self.assumed_by(m).len())).collect()
+        self.module_ids()
+            .map(|m| (m, self.assumed_by(m).len()))
+            .collect()
     }
 
     /// Count of improper edges ([`DepKind::Call`]/[`DepKind::SharedData`]).
@@ -409,7 +421,12 @@ mod tests {
         let pc = g.add_module("page-control", "");
         let proc = g.add_module("process-control", "");
         g.depend(pc, proc, DepKind::Call, "give processor away on page fault");
-        g.depend(proc, pc, DepKind::Component, "process states live in segments/pages");
+        g.depend(
+            proc,
+            pc,
+            DepKind::Component,
+            "process states live in segments/pages",
+        );
         let loops = g.loops();
         let edges = g.loop_edges(&loops[0]);
         assert_eq!(edges.len(), 2);
@@ -430,7 +447,10 @@ mod tests {
         let b = g.add_module("b", "");
         g.depend(a, b, DepKind::Call, "");
         g.depend(b, a, DepKind::Call, "");
-        assert!(g.assumed_by(a).contains(&a), "a's correctness rests on a itself");
+        assert!(
+            g.assumed_by(a).contains(&a),
+            "a's correctness rests on a itself"
+        );
         assert_eq!(g.assumed_by(a).len(), 2);
     }
 

@@ -51,14 +51,14 @@ pub fn render_ascii(g: &ModuleGraph) -> String {
 pub fn render_dot(g: &ModuleGraph) -> String {
     let mut out = String::from("digraph deps {\n  rankdir=BT;\n");
     for m in g.module_ids() {
-        out.push_str(&format!(
-            "  \"{}\" [label=\"{}\"];\n",
-            g.name(m),
-            g.name(m)
-        ));
+        out.push_str(&format!("  \"{}\" [label=\"{}\"];\n", g.name(m), g.name(m)));
     }
     for e in g.edges() {
-        let style = if e.kind.is_proper() { "solid" } else { "dashed" };
+        let style = if e.kind.is_proper() {
+            "solid"
+        } else {
+            "dashed"
+        };
         out.push_str(&format!(
             "  \"{}\" -> \"{}\" [label=\"{}\", style={}];\n",
             g.name(e.from),
@@ -82,7 +82,10 @@ pub fn render_audit_costs(g: &ModuleGraph) -> String {
 
 /// Convenience: the names of a component, joined.
 pub fn component_names(g: &ModuleGraph, comp: &[ModuleId]) -> String {
-    comp.iter().map(|m| g.name(*m)).collect::<Vec<_>>().join(", ")
+    comp.iter()
+        .map(|m| g.name(*m))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

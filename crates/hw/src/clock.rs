@@ -14,14 +14,19 @@
 //! instructions (Huber, 1976): software modules charge their algorithmic
 //! work through [`Clock::charge_instructions`] tagged with the language
 //! they are "written in".
+//!
+//! Every charge is additionally attributed to a kernel subsystem via the
+//! embedded [`Meter`] (see [`crate::meter`]): supervisor code opens a
+//! scope with [`Clock::enter`], and all cycles charged until the matching
+//! [`Clock::exit`] are attributed to that subsystem.
 
-use serde::{Deserialize, Serialize};
+use crate::meter::{Meter, MeterGuard, MeterSnapshot, Subsystem, TraceEvent, TraceEventKind};
 
 /// The implementation language of a (simulated) supervisor module.
 ///
 /// Carries the paper's measured code-expansion factor: PL/I generates a
 /// bit more than twice the machine instructions of hand assembly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Language {
     /// Hand-written 6180 assembly (ALM). Baseline cost.
     Assembly,
@@ -35,7 +40,7 @@ pub enum Language {
 /// The defaults are chosen for plausibility of *ratios* (a disk record
 /// transfer is tens of thousands of times a core reference), which is all
 /// the reproduced comparisons depend on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// One core read or write.
     pub core_access: u64,
@@ -94,7 +99,10 @@ impl CostModel {
 /// The deterministic cycle clock.
 ///
 /// A single monotone counter plus per-category tallies so experiments can
-/// report where time went (compute vs. paging vs. gate crossings).
+/// report where time went (compute vs. paging vs. gate crossings). The
+/// embedded [`Meter`] additionally attributes every cycle to the kernel
+/// subsystem that charged it; all charge paths route through one internal
+/// add, so the attribution always sums exactly to [`Clock::now`].
 #[derive(Debug, Clone, Default)]
 pub struct Clock {
     cycles: u64,
@@ -105,6 +113,7 @@ pub struct Clock {
     process_switches: u64,
     disk_transfers: u64,
     instructions: u64,
+    meter: Meter,
 }
 
 impl Clock {
@@ -118,51 +127,96 @@ impl Clock {
         self.cycles
     }
 
+    /// The single path by which cycles accrue: advances the clock and
+    /// attributes the cycles to the current metering scope.
+    fn add(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.meter.attribute(cycles);
+    }
+
+    /// Records a notable event in the bounded trace ring.
+    fn event(&mut self, kind: TraceEventKind) {
+        self.meter.record(TraceEvent {
+            at: self.cycles,
+            kind,
+            subsystem: self.meter.current(),
+        });
+    }
+
+    /// Opens a cycle-attribution scope: every cycle charged until the
+    /// matching [`Clock::exit`] is attributed to `subsystem`. Scopes nest;
+    /// the innermost open scope is charged.
+    pub fn enter(&mut self, subsystem: Subsystem) -> MeterGuard {
+        let at = self.cycles;
+        self.meter.enter(subsystem, at)
+    }
+
+    /// Closes the scope `guard` came from (unwinding any scopes left open
+    /// inside it).
+    pub fn exit(&mut self, guard: MeterGuard) {
+        let at = self.cycles;
+        self.meter.exit(guard, at);
+    }
+
+    /// The attribution ledger.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// An immutable copy of the attribution ledger.
+    pub fn meter_snapshot(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
     /// Charges raw cycles without categorising them.
     pub fn charge(&mut self, cycles: u64) {
-        self.cycles += cycles;
+        self.add(cycles);
     }
 
     /// Charges one core access.
     pub fn charge_core_access(&mut self, cost: &CostModel) {
         self.core_accesses += 1;
-        self.cycles += cost.core_access;
+        self.add(cost.core_access);
     }
 
     /// Charges one descriptor fetch.
     pub fn charge_descriptor_fetch(&mut self, cost: &CostModel) {
         self.descriptor_fetches += 1;
-        self.cycles += cost.descriptor_fetch;
+        self.add(cost.descriptor_fetch);
     }
 
     /// Charges the fixed overhead of a fault.
     pub fn charge_fault(&mut self, cost: &CostModel) {
         self.faults += 1;
-        self.cycles += cost.fault_overhead;
+        self.add(cost.fault_overhead);
+        self.event(TraceEventKind::Fault);
     }
 
     /// Charges a kernel gate crossing.
     pub fn charge_gate(&mut self, cost: &CostModel) {
         self.gate_crossings += 1;
-        self.cycles += cost.gate_crossing;
+        self.add(cost.gate_crossing);
+        self.event(TraceEventKind::GateCrossing);
     }
 
     /// Charges a virtual-processor switch.
     pub fn charge_process_switch(&mut self, cost: &CostModel) {
         self.process_switches += 1;
-        self.cycles += cost.process_switch;
+        self.add(cost.process_switch);
+        self.event(TraceEventKind::ProcessSwitch);
     }
 
     /// Charges one disk record transfer.
     pub fn charge_disk_transfer(&mut self, cost: &CostModel) {
         self.disk_transfers += 1;
-        self.cycles += cost.record_transfer();
+        self.add(cost.record_transfer());
+        self.event(TraceEventKind::DiskTransfer);
     }
 
     /// Charges `n` abstract instructions of software written in `lang`.
     pub fn charge_instructions(&mut self, cost: &CostModel, n: u64, lang: Language) {
         self.instructions += n;
-        self.cycles += cost.instructions(n, lang);
+        self.add(cost.instructions(n, lang));
     }
 
     /// Number of faults taken so far.

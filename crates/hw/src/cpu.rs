@@ -352,11 +352,23 @@ impl Processor {
 
         if self.features.descriptor_lock && ptw.locked {
             self.locked_descriptor_reg = Some(ptw_addr);
-            return fault(clock, Fault::LockedDescriptor { va, descriptor: ptw_addr });
+            return fault(
+                clock,
+                Fault::LockedDescriptor {
+                    va,
+                    descriptor: ptw_addr,
+                },
+            );
         }
         if !ptw.present {
             if self.features.quota_trap && ptw.quota_trap {
-                return fault(clock, Fault::QuotaTrap { va, descriptor: ptw_addr });
+                return fault(
+                    clock,
+                    Fault::QuotaTrap {
+                        va,
+                        descriptor: ptw_addr,
+                    },
+                );
             }
             let locked_by_hw = if self.features.descriptor_lock {
                 ptw.locked = true;
@@ -367,7 +379,11 @@ impl Processor {
             };
             return fault(
                 clock,
-                Fault::MissingPage { va, descriptor: ptw_addr, locked_by_hw },
+                Fault::MissingPage {
+                    va,
+                    descriptor: ptw_addr,
+                    locked_by_hw,
+                },
             );
         }
 
@@ -461,7 +477,11 @@ mod tests {
     fn build_space(mem: &mut MainMemory, pages: u32, present: bool) -> DescBase {
         let pt_base = FrameNo(1).base();
         for p in 0..pages {
-            let ptw = Ptw { frame: FrameNo(2 + p), present, ..Ptw::default() };
+            let ptw = Ptw {
+                frame: FrameNo(2 + p),
+                present,
+                ..Ptw::default()
+            };
             mem.write(pt_base.add(p as u64), ptw.encode());
         }
         let sdw = Sdw {
@@ -509,8 +529,12 @@ mod tests {
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
         cpu.dbr_user = Some(dbr);
         let va = VirtAddr::new(0, PAGE_WORDS as u32 + 7);
-        cpu.write(&mut mem, &mut clock, &cost, va, Word::new(0o55)).unwrap();
-        assert_eq!(cpu.read(&mut mem, &mut clock, &cost, va).unwrap(), Word::new(0o55));
+        cpu.write(&mut mem, &mut clock, &cost, va, Word::new(0o55))
+            .unwrap();
+        assert_eq!(
+            cpu.read(&mut mem, &mut clock, &cost, va).unwrap(),
+            Word::new(0o55)
+        );
         // The word landed in frame 3 (second page) at offset 7.
         assert_eq!(mem.read(FrameNo(3).base().add(7)), Word::new(0o55));
     }
@@ -521,7 +545,14 @@ mod tests {
         let dbr = build_space(&mut mem, 1, true);
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
         cpu.dbr_user = Some(dbr);
-        cpu.write(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0), Word::new(1)).unwrap();
+        cpu.write(
+            &mut mem,
+            &mut clock,
+            &cost,
+            VirtAddr::new(0, 0),
+            Word::new(1),
+        )
+        .unwrap();
         let ptw = Ptw::decode(mem.read(FrameNo(1).base()));
         assert!(ptw.used && ptw.modified);
     }
@@ -532,7 +563,8 @@ mod tests {
         let dbr = build_space(&mut mem, 1, true);
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
         cpu.dbr_user = Some(dbr);
-        cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 3)).unwrap();
+        cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 3))
+            .unwrap();
         let ptw = Ptw::decode(mem.read(FrameNo(1).base()));
         assert!(ptw.used && !ptw.modified);
     }
@@ -543,7 +575,9 @@ mod tests {
         let dbr = build_space(&mut mem, 1, false);
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
         cpu.dbr_user = Some(dbr);
-        let err = cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap_err();
+        let err = cpu
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
         match err {
             Fault::MissingPage { locked_by_hw, .. } => assert!(!locked_by_hw),
             other => panic!("expected missing page, got {other}"),
@@ -559,9 +593,15 @@ mod tests {
         let dbr = build_space(&mut mem, 1, false);
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
         cpu.dbr_user = Some(dbr);
-        let err = cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap_err();
+        let err = cpu
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
         match err {
-            Fault::MissingPage { locked_by_hw, descriptor, .. } => {
+            Fault::MissingPage {
+                locked_by_hw,
+                descriptor,
+                ..
+            } => {
                 assert!(locked_by_hw);
                 assert!(Ptw::decode(mem.read(descriptor)).locked);
             }
@@ -571,7 +611,9 @@ mod tests {
         // locked-descriptor exception instead of a duplicate page fault.
         let mut cpu2 = Processor::new(ProcessorId(1), HwFeatures::KERNEL_PROPOSED);
         cpu2.dbr_user = Some(dbr);
-        let err2 = cpu2.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap_err();
+        let err2 = cpu2
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
         assert!(matches!(err2, Fault::LockedDescriptor { .. }));
         assert!(cpu2.locked_descriptor_reg.is_some());
     }
@@ -588,13 +630,23 @@ mod tests {
 
         let mut old = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
         old.dbr_user = Some(dbr);
-        let f = old.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap_err();
-        assert!(matches!(f, Fault::MissingPage { .. }), "old hardware sees a page fault");
+        let f = old
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
+        assert!(
+            matches!(f, Fault::MissingPage { .. }),
+            "old hardware sees a page fault"
+        );
 
         let mut new = Processor::new(ProcessorId(1), HwFeatures::KERNEL_PROPOSED);
         new.dbr_user = Some(dbr);
-        let f = new.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap_err();
-        assert!(matches!(f, Fault::QuotaTrap { .. }), "new hardware distinguishes quota");
+        let f = new
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
+        assert!(
+            matches!(f, Fault::QuotaTrap { .. }),
+            "new hardware distinguishes quota"
+        );
     }
 
     #[test]
@@ -603,7 +655,15 @@ mod tests {
         // System space: segment 0 maps frame 2. User space: segment 0
         // would map frame 3, but segno 0 < limit must hit the system one.
         let sys_pt = FrameNo(1).base();
-        mem.write(sys_pt, Ptw { frame: FrameNo(2), present: true, ..Ptw::default() }.encode());
+        mem.write(
+            sys_pt,
+            Ptw {
+                frame: FrameNo(2),
+                present: true,
+                ..Ptw::default()
+            }
+            .encode(),
+        );
         let sys_sdw = Sdw {
             page_table: sys_pt,
             bound_pages: 1,
@@ -616,19 +676,42 @@ mod tests {
         mem.write(FrameNo(0).base(), sys_sdw.encode());
 
         let user_pt = FrameNo(4).base();
-        mem.write(user_pt, Ptw { frame: FrameNo(3), present: true, ..Ptw::default() }.encode());
-        let user_sdw = Sdw { page_table: user_pt, ..sys_sdw };
+        mem.write(
+            user_pt,
+            Ptw {
+                frame: FrameNo(3),
+                present: true,
+                ..Ptw::default()
+            }
+            .encode(),
+        );
+        let user_sdw = Sdw {
+            page_table: user_pt,
+            ..sys_sdw
+        };
         mem.write(FrameNo(5).base(), user_sdw.encode());
 
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
-        cpu.dbr_system = Some(DescBase { base: FrameNo(0).base(), len: 1 });
-        cpu.dbr_user = Some(DescBase { base: FrameNo(5).base(), len: 1 });
+        cpu.dbr_system = Some(DescBase {
+            base: FrameNo(0).base(),
+            len: 1,
+        });
+        cpu.dbr_user = Some(DescBase {
+            base: FrameNo(5).base(),
+            len: 1,
+        });
         cpu.system_segno_limit = 1;
 
         mem.write(FrameNo(2).base(), Word::new(0o111));
         mem.write(FrameNo(3).base(), Word::new(0o222));
-        let got = cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0)).unwrap();
-        assert_eq!(got, Word::new(0o111), "segno 0 translated via the system space");
+        let got = cpu
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap();
+        assert_eq!(
+            got,
+            Word::new(0o111),
+            "segno 0 translated via the system space"
+        );
     }
 
     #[test]
@@ -645,7 +728,12 @@ mod tests {
             AccessMode::Execute,
         );
         assert!(matches!(exec, Err(Fault::AccessViolation { .. })));
-        let oob = cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, PAGE_WORDS as u32));
+        let oob = cpu.read(
+            &mut mem,
+            &mut clock,
+            &cost,
+            VirtAddr::new(0, PAGE_WORDS as u32),
+        );
         assert!(matches!(oob, Err(Fault::BoundsViolation { .. })));
         let noseg = cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(9, 0));
         assert!(matches!(noseg, Err(Fault::MissingSegment { .. })));

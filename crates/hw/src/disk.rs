@@ -16,24 +16,16 @@
 
 use crate::mem::PAGE_WORDS;
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
-
 /// Identifies a disk pack.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PackId(pub u32);
 
 /// A record number within one pack; a record holds exactly one page.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordNo(pub u32);
 
 /// An index into a pack's table of contents.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TocIndex(pub u32);
 
 /// Errors raised by the disk subsystem.
@@ -71,7 +63,7 @@ impl std::error::Error for DiskError {}
 
 /// The on-disk representation of a quota cell, stored in the TOC entry of
 /// the directory segment it is associated with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QuotaCellRecord {
     /// Maximum pages the controlled region may occupy.
     pub limit_pages: u32,
@@ -175,7 +167,10 @@ impl DiskPack {
                 *slot = None;
                 Ok(())
             }
-            _ => Err(DiskError::BadRecord { pack: self.id, record }),
+            _ => Err(DiskError::BadRecord {
+                pack: self.id,
+                record,
+            }),
         }
     }
 
@@ -188,7 +183,10 @@ impl DiskPack {
         self.records
             .get(record.0 as usize)
             .and_then(|r| r.as_ref())
-            .ok_or(DiskError::BadRecord { pack: self.id, record })
+            .ok_or(DiskError::BadRecord {
+                pack: self.id,
+                record,
+            })
     }
 
     /// Overwrites an allocated record.
@@ -206,7 +204,10 @@ impl DiskPack {
                 buf.copy_from_slice(data);
                 Ok(())
             }
-            _ => Err(DiskError::BadRecord { pack: self.id, record }),
+            _ => Err(DiskError::BadRecord {
+                pack: self.id,
+                record,
+            }),
         }
     }
 
@@ -218,7 +219,11 @@ impl DiskPack {
     pub fn create_entry(&mut self, uid: u64) -> Result<TocIndex, DiskError> {
         for (i, slot) in self.toc.iter_mut().enumerate() {
             if slot.is_none() {
-                *slot = Some(TocEntry { uid, file_map: Vec::new(), quota_cell: None });
+                *slot = Some(TocEntry {
+                    uid,
+                    file_map: Vec::new(),
+                    quota_cell: None,
+                });
                 return Ok(TocIndex(i as u32));
             }
         }
@@ -234,7 +239,10 @@ impl DiskPack {
         self.toc
             .get(index.0 as usize)
             .and_then(|e| e.as_ref())
-            .ok_or(DiskError::NoSuchEntry { pack: self.id, index })
+            .ok_or(DiskError::NoSuchEntry {
+                pack: self.id,
+                index,
+            })
     }
 
     /// Mutable TOC entry lookup.
@@ -260,7 +268,10 @@ impl DiskPack {
             .toc
             .get_mut(index.0 as usize)
             .and_then(Option::take)
-            .ok_or(DiskError::NoSuchEntry { pack: self.id, index })?;
+            .ok_or(DiskError::NoSuchEntry {
+                pack: self.id,
+                index,
+            })?;
         for rec in entry.file_map.into_iter().flatten() {
             // The file map only names records this pack allocated.
             self.free_record(rec).expect("file map named a free record");
@@ -307,7 +318,9 @@ impl DiskSystem {
     ///
     /// [`DiskError::NoSuchPack`] for an unknown id.
     pub fn pack(&self, id: PackId) -> Result<&DiskPack, DiskError> {
-        self.packs.get(id.0 as usize).ok_or(DiskError::NoSuchPack { pack: id })
+        self.packs
+            .get(id.0 as usize)
+            .ok_or(DiskError::NoSuchPack { pack: id })
     }
 
     /// Mutable access to a pack.
@@ -316,7 +329,9 @@ impl DiskSystem {
     ///
     /// [`DiskError::NoSuchPack`] for an unknown id.
     pub fn pack_mut(&mut self, id: PackId) -> Result<&mut DiskPack, DiskError> {
-        self.packs.get_mut(id.0 as usize).ok_or(DiskError::NoSuchPack { pack: id })
+        self.packs
+            .get_mut(id.0 as usize)
+            .ok_or(DiskError::NoSuchPack { pack: id })
     }
 
     /// The pack with the most free records, excluding `exclude` — the
@@ -346,7 +361,10 @@ mod tests {
         let b = p.allocate_record().unwrap();
         assert_ne!(a, b);
         assert!(p.is_full());
-        assert_eq!(p.allocate_record(), Err(DiskError::PackFull { pack: PackId(0) }));
+        assert_eq!(
+            p.allocate_record(),
+            Err(DiskError::PackFull { pack: PackId(0) })
+        );
         p.free_record(a).unwrap();
         assert!(!p.is_full());
         assert_eq!(p.allocate_record().unwrap(), a);
@@ -396,7 +414,10 @@ mod tests {
     fn toc_fills_up() {
         let mut p = DiskPack::new(PackId(0), 1, 1);
         p.create_entry(1).unwrap();
-        assert_eq!(p.create_entry(2), Err(DiskError::TocFull { pack: PackId(0) }));
+        assert_eq!(
+            p.create_entry(2),
+            Err(DiskError::TocFull { pack: PackId(0) })
+        );
     }
 
     #[test]
@@ -406,7 +427,11 @@ mod tests {
         let e = p.entry_mut(idx).unwrap();
         e.file_map = vec![None; 100];
         assert_eq!(e.len_pages(), 100);
-        assert_eq!(e.records_used(), 0, "a 100-page file of zeros stores nothing");
+        assert_eq!(
+            e.records_used(),
+            0,
+            "a 100-page file of zeros stores nothing"
+        );
     }
 
     #[test]
@@ -420,7 +445,11 @@ mod tests {
             d.pack_mut(b).unwrap().allocate_record().unwrap();
         }
         d.pack_mut(c).unwrap().allocate_record().unwrap();
-        assert_eq!(d.emptiest_pack(a), Some(c), "b is full, c beats nothing else");
+        assert_eq!(
+            d.emptiest_pack(a),
+            Some(c),
+            "b is full, c beats nothing else"
+        );
         assert_eq!(d.emptiest_pack(c), Some(a));
         // Exclude the only non-full pack: nothing remains.
         for _ in 0..4 {
@@ -436,8 +465,10 @@ mod tests {
     fn quota_cell_record_stored_in_toc() {
         let mut p = DiskPack::new(PackId(0), 1, 1);
         let idx = p.create_entry(5).unwrap();
-        p.entry_mut(idx).unwrap().quota_cell =
-            Some(QuotaCellRecord { limit_pages: 100, used_pages: 3 });
+        p.entry_mut(idx).unwrap().quota_cell = Some(QuotaCellRecord {
+            limit_pages: 100,
+            used_pages: 3,
+        });
         let e = p.entry(idx).unwrap();
         assert_eq!(e.quota_cell.unwrap().limit_pages, 100);
     }

@@ -107,7 +107,11 @@ mod tests {
         let d = AbsAddr(0);
         let faults = [
             Fault::MissingSegment { va },
-            Fault::MissingPage { va, descriptor: d, locked_by_hw: false },
+            Fault::MissingPage {
+                va,
+                descriptor: d,
+                locked_by_hw: false,
+            },
             Fault::LockedDescriptor { va, descriptor: d },
             Fault::QuotaTrap { va, descriptor: d },
             Fault::AccessViolation { va },
@@ -116,7 +120,11 @@ mod tests {
         ];
         let mut seen = std::collections::HashSet::new();
         for f in faults {
-            assert!(seen.insert(f.mnemonic()), "duplicate mnemonic {}", f.mnemonic());
+            assert!(
+                seen.insert(f.mnemonic()),
+                "duplicate mnemonic {}",
+                f.mnemonic()
+            );
         }
     }
 }

@@ -122,7 +122,11 @@ pub struct Instr {
 impl Instr {
     /// An instruction with no operand.
     pub fn bare(op: Op) -> Self {
-        Self { op, segno: 0, offset: 0 }
+        Self {
+            op,
+            segno: 0,
+            offset: 0,
+        }
     }
 
     /// An instruction with a memory operand.
@@ -132,7 +136,11 @@ impl Instr {
 
     /// An instruction with an immediate operand.
     pub fn imm(op: Op, value: u32) -> Self {
-        Self { op, segno: 0, offset: value }
+        Self {
+            op,
+            segno: 0,
+            offset: value,
+        }
     }
 
     /// Encodes to the 36-bit word representation.
@@ -178,7 +186,14 @@ pub struct Registers {
 impl Registers {
     /// A register file starting execution at `pc`.
     pub fn at(pc: VirtAddr) -> Self {
-        Self { a: Word::ZERO, x: 0, pc, eq: false, lt: false, halted: false }
+        Self {
+            a: Word::ZERO,
+            x: 0,
+            pc,
+            eq: false,
+            lt: false,
+            halted: false,
+        }
     }
 }
 
@@ -192,6 +207,54 @@ pub enum StepOutcome {
     /// The fetched word does not decode: an illegal-instruction
     /// condition for the supervisor to handle.
     IllegalInstruction,
+}
+
+/// Why [`run`] stopped without reaching a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// A translation fault surfaced with no supervisor to service it.
+    Fault(Fault),
+    /// The program executed `max` steps without halting.
+    StepLimit {
+        /// The exhausted step budget.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Fault(fault) => write!(f, "unserviced fault: {fault}"),
+            Self::StepLimit { max } => write!(f, "program did not halt in {max} steps"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Steps a program until it halts, hits an undecodable word, faults, or
+/// exhausts `max` steps. Drivers with a fault handler should loop over
+/// [`step`] instead; this is for programs expected to run fault-free.
+///
+/// # Errors
+///
+/// [`InterpError::Fault`] on any translation fault,
+/// [`InterpError::StepLimit`] if the budget runs out first.
+pub fn run(
+    cpu: &mut Processor,
+    mem: &mut MainMemory,
+    clock: &mut Clock,
+    cost: &CostModel,
+    regs: &mut Registers,
+    max: usize,
+) -> Result<StepOutcome, InterpError> {
+    for _ in 0..max {
+        match step(cpu, mem, clock, cost, regs).map_err(InterpError::Fault)? {
+            StepOutcome::Ran => {}
+            other => return Ok(other),
+        }
+    }
+    Err(InterpError::StepLimit { max })
 }
 
 /// Executes one instruction through the processor's address translation.
@@ -272,9 +335,27 @@ pub fn step(
             regs.pc = next;
         }
         Jmp => regs.pc = VirtAddr::new(instr.segno, instr.offset),
-        Jeq => regs.pc = if regs.eq { VirtAddr::new(instr.segno, instr.offset) } else { next },
-        Jne => regs.pc = if !regs.eq { VirtAddr::new(instr.segno, instr.offset) } else { next },
-        Jlt => regs.pc = if regs.lt { VirtAddr::new(instr.segno, instr.offset) } else { next },
+        Jeq => {
+            regs.pc = if regs.eq {
+                VirtAddr::new(instr.segno, instr.offset)
+            } else {
+                next
+            }
+        }
+        Jne => {
+            regs.pc = if !regs.eq {
+                VirtAddr::new(instr.segno, instr.offset)
+            } else {
+                next
+            }
+        }
+        Jlt => {
+            regs.pc = if regs.lt {
+                VirtAddr::new(instr.segno, instr.offset)
+            } else {
+                next
+            }
+        }
         Ldx => {
             regs.x = instr.offset;
             regs.pc = next;
@@ -335,7 +416,12 @@ mod tests {
         for p in 0..4u32 {
             mem.write(
                 pt.add(u64::from(p)),
-                Ptw { frame: FrameNo(2 + p), present: true, ..Ptw::default() }.encode(),
+                Ptw {
+                    frame: FrameNo(2 + p),
+                    present: true,
+                    ..Ptw::default()
+                }
+                .encode(),
             );
         }
         let sdw = Sdw {
@@ -349,7 +435,10 @@ mod tests {
         };
         mem.write(FrameNo(0).base(), sdw.encode());
         let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
-        cpu.dbr_user = Some(DescBase { base: FrameNo(0).base(), len: 1 });
+        cpu.dbr_user = Some(DescBase {
+            base: FrameNo(0).base(),
+            len: 1,
+        });
         (mem, Clock::new(), CostModel::default(), cpu)
     }
 
@@ -364,23 +453,6 @@ mod tests {
         }
     }
 
-    fn run(
-        cpu: &mut Processor,
-        mem: &mut MainMemory,
-        clock: &mut Clock,
-        cost: &CostModel,
-        regs: &mut Registers,
-        max: usize,
-    ) -> StepOutcome {
-        for _ in 0..max {
-            match step(cpu, mem, clock, cost, regs).expect("no faults in this rig") {
-                StepOutcome::Ran => {}
-                other => return other,
-            }
-        }
-        panic!("program did not halt in {max} steps");
-    }
-
     #[test]
     fn instr_codec_round_trips() {
         for i in [
@@ -391,7 +463,11 @@ mod tests {
         ] {
             assert_eq!(Instr::decode(i.encode()), Some(i));
         }
-        assert_eq!(Instr::decode(Word::new(63 << 30)), None, "opcode 63 undefined");
+        assert_eq!(
+            Instr::decode(Word::new(63 << 30)),
+            None,
+            "opcode 63 undefined"
+        );
     }
 
     #[test]
@@ -408,7 +484,7 @@ mod tests {
         ]);
         load(&mut mem, 0, &prog);
         let mut regs = Registers::at(VirtAddr::new(0, 0));
-        let out = run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 10);
+        let out = run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 10).expect("runs clean");
         assert_eq!(out, StepOutcome::Halted);
         assert_eq!(regs.a, Word::new(7));
         // The stored sum landed in segment word 102 (frame 2, offset 102).
@@ -424,9 +500,9 @@ mod tests {
         // sum += arr[X], kept in a memory cell at word 900:
         // A = arr[X]; A += sum; sum = A.
         let prog = assemble(&[
-            Instr::imm(Op::Ldi, 0),        // 0: A = 0
-            Instr::mem(Op::Sta, 0, 900),   // 1: sum = 0
-            Instr::imm(Op::Ldx, 0),        // 2: X = 0
+            Instr::imm(Op::Ldi, 0),      // 0: A = 0
+            Instr::mem(Op::Sta, 0, 900), // 1: sum = 0
+            Instr::imm(Op::Ldx, 0),      // 2: X = 0
             // loop @3:
             Instr::mem(Op::Ldax, 0, 1000), // 3: A = arr[X]
             Instr::mem(Op::Add, 0, 900),   // 4: A += sum
@@ -439,7 +515,8 @@ mod tests {
         ]);
         load(&mut mem, 0, &prog);
         let mut regs = Registers::at(VirtAddr::new(0, 0));
-        let out = run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 20_000);
+        let out =
+            run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 20_000).expect("runs clean");
         assert_eq!(out, StepOutcome::Halted);
         assert_eq!(regs.a, Word::new(1500));
         assert!(clock.instructions_executed() > 9000, "the loop really ran");
@@ -459,9 +536,18 @@ mod tests {
         ]);
         load(&mut mem, 0, &prog);
         let mut regs = Registers::at(VirtAddr::new(0, 0));
-        run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 10);
+        run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 10).expect("runs clean");
         assert_eq!(regs.a, Word::new(77));
         assert!(regs.lt && !regs.eq);
+    }
+
+    #[test]
+    fn nonterminating_program_reports_step_limit() {
+        let (mut mem, mut clock, cost, mut cpu) = setup();
+        load(&mut mem, 0, &assemble(&[Instr::mem(Op::Jmp, 0, 0)]));
+        let mut regs = Registers::at(VirtAddr::new(0, 0));
+        let err = run(&mut cpu, &mut mem, &mut clock, &cost, &mut regs, 25).unwrap_err();
+        assert_eq!(err, InterpError::StepLimit { max: 25 });
     }
 
     #[test]
@@ -470,15 +556,29 @@ mod tests {
         // Mark page 3 missing.
         let pt = FrameNo(1).base();
         mem.write(pt.add(3), Ptw::default().encode());
-        let prog = assemble(&[Instr::mem(Op::Lda, 0, 3 * PAGE_WORDS as u32), Instr::bare(Op::Hlt)]);
+        let prog = assemble(&[
+            Instr::mem(Op::Lda, 0, 3 * PAGE_WORDS as u32),
+            Instr::bare(Op::Hlt),
+        ]);
         load(&mut mem, 0, &prog);
         let mut regs = Registers::at(VirtAddr::new(0, 0));
         let err = step(&mut cpu, &mut mem, &mut clock, &cost, &mut regs).unwrap_err();
         assert!(matches!(err, Fault::MissingPage { .. }));
         assert_eq!(regs.pc, VirtAddr::new(0, 0), "re-executes after service");
         // Service it (hand-install the page) and re-step.
-        mem.write(pt.add(3), Ptw { frame: FrameNo(5), present: true, ..Ptw::default() }.encode());
-        assert_eq!(step(&mut cpu, &mut mem, &mut clock, &cost, &mut regs).unwrap(), StepOutcome::Ran);
+        mem.write(
+            pt.add(3),
+            Ptw {
+                frame: FrameNo(5),
+                present: true,
+                ..Ptw::default()
+            }
+            .encode(),
+        );
+        assert_eq!(
+            step(&mut cpu, &mut mem, &mut clock, &cost, &mut regs).unwrap(),
+            StepOutcome::Ran
+        );
         assert_eq!(regs.pc, VirtAddr::new(0, 1));
     }
 

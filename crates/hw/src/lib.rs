@@ -31,14 +31,19 @@ pub mod fault;
 pub mod interp;
 pub mod machine;
 pub mod mem;
+pub mod meter;
+pub mod rng;
 pub mod word;
 
 pub use clock::{Clock, CostModel, Language};
 pub use cpu::{AccessMode, HwFeatures, Processor, ProcessorId};
 pub use disk::{DiskPack, DiskSystem, PackId, RecordNo, TocEntry, TocIndex};
 pub use fault::Fault;
+pub use interp::{InterpError, StepOutcome};
 pub use machine::{Machine, MachineConfig};
 pub use mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
+pub use meter::{CounterSet, MeterGuard, MeterSnapshot, Subsystem, TraceEvent, TraceEventKind};
+pub use rng::SplitMix64;
 pub use word::{Word, WORD_MASK};
 
 /// A virtual address: segment number plus word offset within the segment.

@@ -49,7 +49,10 @@ impl Default for MachineConfig {
 impl MachineConfig {
     /// A configuration with the paper's proposed hardware additions on.
     pub fn kernel_proposed() -> Self {
-        Self { features: HwFeatures::KERNEL_PROPOSED, ..Self::default() }
+        Self {
+            features: HwFeatures::KERNEL_PROPOSED,
+            ..Self::default()
+        }
     }
 }
 
@@ -188,7 +191,15 @@ mod tests {
         let mut m = Machine::base_1974();
         // Descriptor table at frame 0, page table at frame 1, page at 2.
         let pt = FrameNo(1).base();
-        m.mem.write(pt, Ptw { frame: FrameNo(2), present: true, ..Ptw::default() }.encode());
+        m.mem.write(
+            pt,
+            Ptw {
+                frame: FrameNo(2),
+                present: true,
+                ..Ptw::default()
+            }
+            .encode(),
+        );
         let sdw = Sdw {
             page_table: pt,
             bound_pages: 1,
@@ -199,7 +210,10 @@ mod tests {
             software: false,
         };
         m.mem.write(AbsAddr(0), sdw.encode());
-        m.cpus[0].dbr_user = Some(DescBase { base: AbsAddr(0), len: 1 });
+        m.cpus[0].dbr_user = Some(DescBase {
+            base: AbsAddr(0),
+            len: 1,
+        });
         let va = VirtAddr::new(0, 9);
         m.write(ProcessorId(0), va, Word::new(3)).unwrap();
         assert_eq!(m.read(ProcessorId(0), va).unwrap(), Word::new(3));

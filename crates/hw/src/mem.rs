@@ -139,7 +139,9 @@ impl MainMemory {
     /// flag in the file map (and stop being charged for).
     pub fn frame_is_zero(&self, frame: FrameNo) -> bool {
         let base = frame.base().0 as usize;
-        self.words[base..base + PAGE_WORDS].iter().all(|w| w.is_zero())
+        self.words[base..base + PAGE_WORDS]
+            .iter()
+            .all(|w| w.is_zero())
     }
 
     fn index(&self, addr: AbsAddr) -> usize {

@@ -1,0 +1,569 @@
+//! mx-meter: kernel-wide cycle attribution and event tracing.
+//!
+//! The paper argues about *where time goes* — how many cycles the kernel
+//! spends in page control versus the gatekeeper versus user computation —
+//! so the simulator needs attribution, not just a total. This module hangs
+//! a subsystem ledger off the [`Clock`](crate::Clock): software announces
+//! which subsystem is executing with [`Clock::enter`], every cycle charged
+//! while that scope is open is attributed to it, and scopes nest across
+//! gate crossings the way rings nest on the real machine.
+//!
+//! Two invariants hold by construction:
+//!
+//! * **Conservation** — every charge path in the clock routes through one
+//!   internal add, so the per-subsystem tallies always sum exactly to
+//!   [`Clock::now`](crate::Clock::now). There is no "unattributed"
+//!   residue; cycles charged outside any scope belong to
+//!   [`Subsystem::UserDomain`].
+//! * **Bounded trace** — notable events (faults, gate crossings, process
+//!   switches, disk transfers, scope changes) land in a fixed-size ring,
+//!   so metering never grows memory with the length of a run.
+
+use std::fmt;
+
+/// The subsystems cycles can be attributed to.
+///
+/// These follow the type-extension layers the paper carves the supervisor
+/// into, plus a few service processes the experiments exercise. Cycles
+/// charged while no scope is open belong to [`Subsystem::UserDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// User-ring computation (the default when no kernel scope is open).
+    UserDomain,
+    /// Ring-crossing validation at kernel gates.
+    Gatekeeper,
+    /// Missing-page service, frame allocation, quota cell checks.
+    PageControl,
+    /// Segment activation, deactivation, and descriptor management.
+    SegmentControl,
+    /// Directory hierarchy walks, ACL checks, naming.
+    DirectoryControl,
+    /// Process creation, destruction, and address-space setup.
+    ProcessControl,
+    /// Virtual-processor multiplexing and dispatch.
+    Scheduler,
+    /// The write-behind purifier daemon.
+    Purifier,
+    /// Dynamic linking (snapping links on linkage faults).
+    Linker,
+    /// Login, logout, and the answering service.
+    AnsweringService,
+    /// Network/message demultiplexing.
+    Network,
+    /// Disk driver time: record transfers not inside any kernel scope.
+    Disk,
+    /// Consistency sweeps after crashes.
+    Salvager,
+}
+
+impl Subsystem {
+    /// Number of subsystems (size of the attribution ledger).
+    pub const COUNT: usize = 13;
+
+    /// Every subsystem, in ledger order.
+    pub const ALL: [Subsystem; Subsystem::COUNT] = [
+        Subsystem::UserDomain,
+        Subsystem::Gatekeeper,
+        Subsystem::PageControl,
+        Subsystem::SegmentControl,
+        Subsystem::DirectoryControl,
+        Subsystem::ProcessControl,
+        Subsystem::Scheduler,
+        Subsystem::Purifier,
+        Subsystem::Linker,
+        Subsystem::AnsweringService,
+        Subsystem::Network,
+        Subsystem::Disk,
+        Subsystem::Salvager,
+    ];
+
+    /// Ledger index of this subsystem.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, used as the JSON key in trace reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Subsystem::UserDomain => "user_domain",
+            Subsystem::Gatekeeper => "gatekeeper",
+            Subsystem::PageControl => "page_control",
+            Subsystem::SegmentControl => "segment_control",
+            Subsystem::DirectoryControl => "directory_control",
+            Subsystem::ProcessControl => "process_control",
+            Subsystem::Scheduler => "scheduler",
+            Subsystem::Purifier => "purifier",
+            Subsystem::Linker => "linker",
+            Subsystem::AnsweringService => "answering_service",
+            Subsystem::Network => "network",
+            Subsystem::Disk => "disk",
+            Subsystem::Salvager => "salvager",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened, for ring-buffer trace entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A metering scope opened.
+    Enter,
+    /// A metering scope closed.
+    Exit,
+    /// A hardware fault was charged.
+    Fault,
+    /// A kernel gate crossing was charged.
+    GateCrossing,
+    /// A virtual-processor switch was charged.
+    ProcessSwitch,
+    /// A disk record transfer was charged.
+    DiskTransfer,
+}
+
+impl TraceEventKind {
+    /// Stable snake_case name, used as the JSON value in trace reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Enter => "enter",
+            TraceEventKind::Exit => "exit",
+            TraceEventKind::Fault => "fault",
+            TraceEventKind::GateCrossing => "gate_crossing",
+            TraceEventKind::ProcessSwitch => "process_switch",
+            TraceEventKind::DiskTransfer => "disk_transfer",
+        }
+    }
+}
+
+/// One entry in the bounded event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock reading when the event was recorded.
+    pub at: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// The subsystem on top of the scope stack at the time.
+    pub subsystem: Subsystem,
+}
+
+/// Scope token returned by [`Clock::enter`](crate::Clock::enter).
+///
+/// Holding the guard does not borrow the clock (the supervisor code needs
+/// `&mut` access to the machine while a scope is open), so closing the
+/// scope is an explicit [`Clock::exit`](crate::Clock::exit) call. The
+/// token records the stack depth to restore, which makes exits robust:
+/// an exit unwinds *to* its depth, so a scope abandoned by an early
+/// return inside is cleaned up by the enclosing exit.
+#[derive(Debug)]
+#[must_use = "pass this token to Clock::exit or the scope never closes"]
+pub struct MeterGuard {
+    pub(crate) depth: usize,
+}
+
+/// Default number of events the trace ring retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// The attribution ledger and event ring embedded in the clock.
+#[derive(Debug, Clone)]
+pub struct Meter {
+    attributed: [u64; Subsystem::COUNT],
+    entries: [u64; Subsystem::COUNT],
+    stack: Vec<Subsystem>,
+    ring: Vec<TraceEvent>,
+    ring_next: usize,
+    recorded: u64,
+    capacity: usize,
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Meter {
+    /// A meter whose trace ring retains `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            attributed: [0; Subsystem::COUNT],
+            entries: [0; Subsystem::COUNT],
+            stack: Vec::new(),
+            ring: Vec::new(),
+            ring_next: 0,
+            recorded: 0,
+            capacity,
+        }
+    }
+
+    /// The subsystem currently being charged.
+    pub fn current(&self) -> Subsystem {
+        self.stack.last().copied().unwrap_or(Subsystem::UserDomain)
+    }
+
+    /// Attributes `cycles` to the current subsystem.
+    pub(crate) fn attribute(&mut self, cycles: u64) {
+        self.attributed[self.current().index()] += cycles;
+    }
+
+    /// Opens a scope; cycles charged until the matching exit are
+    /// attributed to `subsystem`.
+    pub(crate) fn enter(&mut self, subsystem: Subsystem, at: u64) -> MeterGuard {
+        let depth = self.stack.len();
+        self.stack.push(subsystem);
+        self.entries[subsystem.index()] += 1;
+        self.record(TraceEvent {
+            at,
+            kind: TraceEventKind::Enter,
+            subsystem,
+        });
+        MeterGuard { depth }
+    }
+
+    /// Closes the scope `guard` came from, unwinding any scopes left
+    /// open inside it.
+    pub(crate) fn exit(&mut self, guard: MeterGuard, at: u64) {
+        while self.stack.len() > guard.depth {
+            let subsystem = self.stack.pop().expect("stack deeper than guard depth");
+            self.record(TraceEvent {
+                at,
+                kind: TraceEventKind::Exit,
+                subsystem,
+            });
+        }
+    }
+
+    /// Appends an event to the ring, overwriting the oldest when full.
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.recorded += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.ring_next] = event;
+            self.ring_next = (self.ring_next + 1) % self.capacity;
+        }
+    }
+
+    /// Retained trace events, oldest first.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.ring_next..]);
+        out.extend_from_slice(&self.ring[..self.ring_next]);
+        out
+    }
+
+    /// Events recorded over the meter's lifetime (including any that the
+    /// bounded ring has since discarded).
+    pub fn events_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Cycles attributed to `subsystem` so far.
+    pub fn attributed_to(&self, subsystem: Subsystem) -> u64 {
+        self.attributed[subsystem.index()]
+    }
+
+    /// Sum of all attributed cycles. Equals `Clock::now()` always —
+    /// the conservation property the tests pin.
+    pub fn attributed_total(&self) -> u64 {
+        self.attributed.iter().sum()
+    }
+
+    /// An immutable copy of the ledger.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            attributed: self.attributed,
+            entries: self.entries,
+            events_recorded: self.recorded,
+        }
+    }
+}
+
+/// An immutable copy of the attribution ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeterSnapshot {
+    attributed: [u64; Subsystem::COUNT],
+    entries: [u64; Subsystem::COUNT],
+    events_recorded: u64,
+}
+
+impl MeterSnapshot {
+    /// Cycles attributed to `subsystem`.
+    pub fn attributed_to(&self, subsystem: Subsystem) -> u64 {
+        self.attributed[subsystem.index()]
+    }
+
+    /// Scope entries recorded for `subsystem`.
+    pub fn entries_for(&self, subsystem: Subsystem) -> u64 {
+        self.entries[subsystem.index()]
+    }
+
+    /// Sum of attributed cycles across all subsystems.
+    pub fn total(&self) -> u64 {
+        self.attributed.iter().sum()
+    }
+
+    /// Events recorded over the meter's lifetime.
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded
+    }
+
+    /// Per-subsystem rows with non-zero activity, largest share first.
+    pub fn breakdown(&self) -> Vec<(Subsystem, u64, u64)> {
+        let mut rows: Vec<(Subsystem, u64, u64)> = Subsystem::ALL
+            .iter()
+            .map(|&s| (s, self.attributed_to(s), self.entries_for(s)))
+            .filter(|&(_, cycles, entries)| cycles > 0 || entries > 0)
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Component-wise difference `later - self`.
+    pub fn delta(&self, later: &MeterSnapshot) -> MeterSnapshot {
+        let mut attributed = [0u64; Subsystem::COUNT];
+        let mut entries = [0u64; Subsystem::COUNT];
+        for i in 0..Subsystem::COUNT {
+            attributed[i] = later.attributed[i] - self.attributed[i];
+            entries[i] = later.entries[i] - self.entries[i];
+        }
+        MeterSnapshot {
+            attributed,
+            entries,
+            events_recorded: later.events_recorded - self.events_recorded,
+        }
+    }
+
+    /// Renders the ledger as a JSON object (no external dependencies, so
+    /// this is hand-rolled; all values are integers and names are fixed
+    /// snake_case identifiers, so no escaping is required).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"total_cycles\":{},", self.total()));
+        out.push_str(&format!("\"events_recorded\":{},", self.events_recorded));
+        out.push_str("\"subsystems\":{");
+        let mut first = true;
+        for (subsystem, cycles, entries) in self.breakdown() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"cycles\":{cycles},\"entries\":{entries}}}",
+                subsystem.name()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the ledger as aligned text lines for terminal output.
+    pub fn render_text(&self) -> String {
+        let total = self.total().max(1);
+        let mut out = String::new();
+        for (subsystem, cycles, entries) in self.breakdown() {
+            out.push_str(&format!(
+                "  {:<18} {:>14} cycles  {:>5.1}%  ({} entries)\n",
+                subsystem.name(),
+                cycles,
+                cycles as f64 * 100.0 / total as f64,
+                entries,
+            ));
+        }
+        out
+    }
+}
+
+/// An ordered name→value counter registry.
+///
+/// The kernel and the legacy supervisor keep different statistics
+/// structs; both render into a `CounterSet` so reports and the trace
+/// JSON treat them uniformly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl CounterSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, replacing any existing entry.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = value;
+        } else {
+            self.counters.push((name, value));
+        }
+    }
+
+    /// The value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// All counters in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Renders the registry as a JSON object. Counter names are fixed
+    /// identifiers, so no escaping is required.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, CostModel, Language};
+
+    #[test]
+    fn unscoped_charges_belong_to_the_user_domain() {
+        let cost = CostModel::default();
+        let mut clk = Clock::new();
+        clk.charge_core_access(&cost);
+        clk.charge_instructions(&cost, 10, Language::Assembly);
+        assert_eq!(clk.meter().attributed_to(Subsystem::UserDomain), clk.now());
+        assert_eq!(clk.meter().attributed_total(), clk.now());
+    }
+
+    #[test]
+    fn scopes_nest_and_conserve() {
+        let cost = CostModel::default();
+        let mut clk = Clock::new();
+        clk.charge(7); // user domain
+        let outer = clk.enter(Subsystem::PageControl);
+        clk.charge(100);
+        let inner = clk.enter(Subsystem::Disk);
+        clk.charge(1000);
+        clk.exit(inner);
+        clk.charge(50);
+        clk.exit(outer);
+        clk.charge_instructions(&cost, 3, Language::Assembly);
+        let m = clk.meter();
+        assert_eq!(m.attributed_to(Subsystem::UserDomain), 7 + 3);
+        assert_eq!(m.attributed_to(Subsystem::PageControl), 150);
+        assert_eq!(m.attributed_to(Subsystem::Disk), 1000);
+        assert_eq!(m.attributed_total(), clk.now());
+    }
+
+    #[test]
+    fn exit_unwinds_scopes_abandoned_inside() {
+        let mut clk = Clock::new();
+        let outer = clk.enter(Subsystem::SegmentControl);
+        let _abandoned = clk.enter(Subsystem::PageControl);
+        clk.charge(5);
+        // `_abandoned` is never passed to exit; the outer exit unwinds it.
+        clk.exit(outer);
+        clk.charge(9);
+        let m = clk.meter();
+        assert_eq!(m.attributed_to(Subsystem::PageControl), 5);
+        assert_eq!(m.attributed_to(Subsystem::UserDomain), 9);
+        assert_eq!(m.current(), Subsystem::UserDomain);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_keeps_newest() {
+        let mut m = Meter::with_capacity(4);
+        for i in 0..10u64 {
+            m.record(TraceEvent {
+                at: i,
+                kind: TraceEventKind::Fault,
+                subsystem: Subsystem::UserDomain,
+            });
+        }
+        let trace = m.trace();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].at, 6, "oldest retained event");
+        assert_eq!(trace[3].at, 9, "newest event");
+        assert_eq!(m.events_recorded(), 10);
+    }
+
+    #[test]
+    fn notable_charges_land_in_the_trace() {
+        let cost = CostModel::default();
+        let mut clk = Clock::new();
+        let g = clk.enter(Subsystem::Gatekeeper);
+        clk.charge_gate(&cost);
+        clk.charge_fault(&cost);
+        clk.charge_disk_transfer(&cost);
+        clk.charge_process_switch(&cost);
+        clk.exit(g);
+        let kinds: Vec<TraceEventKind> = clk.meter().trace().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::Enter,
+                TraceEventKind::GateCrossing,
+                TraceEventKind::Fault,
+                TraceEventKind::DiskTransfer,
+                TraceEventKind::ProcessSwitch,
+                TraceEventKind::Exit,
+            ]
+        );
+        assert!(clk
+            .meter()
+            .trace()
+            .iter()
+            .all(|e| e.subsystem == Subsystem::Gatekeeper));
+    }
+
+    #[test]
+    fn snapshot_delta_and_json_render() {
+        let mut clk = Clock::new();
+        let before = clk.meter_snapshot();
+        let g = clk.enter(Subsystem::Purifier);
+        clk.charge(40);
+        clk.exit(g);
+        clk.charge(2);
+        let d = before.delta(&clk.meter_snapshot());
+        assert_eq!(d.attributed_to(Subsystem::Purifier), 40);
+        assert_eq!(d.entries_for(Subsystem::Purifier), 1);
+        assert_eq!(d.total(), 42);
+        let json = d.to_json();
+        assert!(json.contains("\"total_cycles\":42"));
+        assert!(json.contains("\"purifier\":{\"cycles\":40,\"entries\":1}"));
+    }
+
+    #[test]
+    fn counter_set_replaces_and_renders() {
+        let mut cs = CounterSet::new();
+        cs.set("page_faults", 3);
+        cs.set("segment_faults", 1);
+        cs.set("page_faults", 5);
+        assert_eq!(cs.get("page_faults"), Some(5));
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.to_json(), "{\"page_faults\":5,\"segment_faults\":1}");
+    }
+}

@@ -1,0 +1,116 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workload generators and property tests need reproducible random
+//! streams; the build environment carries no external crates, so this is
+//! a self-contained SplitMix64 (Steele, Lea & Flood, 2014) — the same
+//! generator Java's `SplittableRandom` and many simulators use for
+//! seeding. It is *not* cryptographic; it exists so that every workload
+//! and shrunk test case is byte-identical across runs and machines.
+
+/// A SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use mx_hw::rng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be non-zero).
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is at most
+    /// `bound / 2^64`, which is irrelevant at the bounds the workloads use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value in `lo..hi` (half-open; `hi` must exceed `lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform `u32` in `lo..hi` (half-open).
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A uniform `usize` in `lo..hi` (half-open).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A bernoulli draw: true with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SplitMix64::new(1);
+        let _ = rng.range_u64(5, 5);
+    }
+}

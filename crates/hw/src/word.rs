@@ -5,17 +5,13 @@
 //! We carry words in a `u64` and mask to 36 bits on construction so that
 //! arithmetic overflow behaves like the real machine's truncation.
 
-use serde::{Deserialize, Serialize};
-
 /// Mask selecting the low 36 bits of a `u64`.
 pub const WORD_MASK: u64 = (1 << 36) - 1;
 
 /// A 36-bit machine word.
 ///
 /// The inner value is always `<= WORD_MASK`; constructors truncate.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Word(u64);
 
 impl Word {

@@ -13,6 +13,7 @@
 use crate::supervisor::Supervisor;
 use crate::types::{LegacyError, ProcessId, UserId};
 use mx_aim::Label;
+use mx_hw::meter::Subsystem;
 use mx_hw::Language;
 
 /// Cost of the monolithic login path (10K lines of trusted PL/I do a lot
@@ -76,16 +77,18 @@ impl Supervisor {
         password: &str,
         label: Label,
     ) -> Result<ProcessId, LegacyError> {
-        self.charge(LOGIN_INSTR, Language::Pli);
-        let account = self.users.get(name).ok_or(LegacyError::UnknownUser)?;
-        if account.password_hash != password_hash(password) {
-            return Err(LegacyError::BadPassword);
-        }
-        if !account.clearance.dominates(label) {
-            return Err(LegacyError::AimViolation);
-        }
-        let user = account.user;
-        self.create_process(user, label)
+        self.scoped(Subsystem::AnsweringService, |s| {
+            s.charge(LOGIN_INSTR, Language::Pli);
+            let account = s.users.get(name).ok_or(LegacyError::UnknownUser)?;
+            if account.password_hash != password_hash(password) {
+                return Err(LegacyError::BadPassword);
+            }
+            if !account.clearance.dominates(label) {
+                return Err(LegacyError::AimViolation);
+            }
+            let user = account.user;
+            s.create_process(user, label)
+        })
     }
 
     /// Logout: finalize accounting and destroy the process.
@@ -94,13 +97,15 @@ impl Supervisor {
     ///
     /// [`LegacyError::NoSuchProcess`] / [`LegacyError::UnknownUser`].
     pub fn logout(&mut self, name: &str, pid: ProcessId) -> Result<u64, LegacyError> {
-        self.charge(LOGOUT_INSTR, Language::Pli);
-        let used = self.cpu_charge(pid)?;
-        self.destroy_process(pid)?;
-        let account = self.users.get_mut(name).ok_or(LegacyError::UnknownUser)?;
-        account.charge_units += used;
-        account.sessions += 1;
-        Ok(used)
+        self.scoped(Subsystem::AnsweringService, |s| {
+            s.charge(LOGOUT_INSTR, Language::Pli);
+            let used = s.cpu_charge(pid)?;
+            s.destroy_process(pid)?;
+            let account = s.users.get_mut(name).ok_or(LegacyError::UnknownUser)?;
+            account.charge_units += used;
+            account.sessions += 1;
+            Ok(used)
+        })
     }
 
     /// A user's accumulated charge units.
@@ -148,7 +153,10 @@ mod tests {
     fn login_above_clearance_denied() {
         let mut sup = Supervisor::boot_default();
         sup.register_user("low", UserId(3), "pw", Label::BOTTOM);
-        assert_eq!(sup.login("low", "pw", secret()).unwrap_err(), LegacyError::AimViolation);
+        assert_eq!(
+            sup.login("low", "pw", secret()).unwrap_err(),
+            LegacyError::AimViolation
+        );
     }
 
     #[test]

@@ -127,8 +127,13 @@ impl ActiveSegmentTable {
     /// Panics if the entry still has active inferiors (the hierarchy
     /// constraint) or does not exist.
     pub fn deactivate(&mut self, astx: usize) -> Aste {
-        let aste = self.entries[astx].take().expect("deactivating a free AST slot");
-        assert_eq!(aste.inferiors, 0, "deactivating a directory with active inferiors");
+        let aste = self.entries[astx]
+            .take()
+            .expect("deactivating a free AST slot");
+        assert_eq!(
+            aste.inferiors, 0,
+            "deactivating a directory with active inferiors"
+        );
         self.pt_free[aste.pt_slot] = true;
         if let Some(p) = aste.parent {
             if let Some(parent) = self.entries[p].as_mut() {
@@ -175,7 +180,10 @@ impl ActiveSegmentTable {
 
     /// Iterates over `(astx, entry)` pairs for active segments.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Aste)> {
-        self.entries.iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|a| (i, a)))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|a| (i, a)))
     }
 }
 
@@ -210,9 +218,19 @@ impl FrameTable {
     /// are permanently reserved.
     pub fn new(frames: usize, wired: u32, purpose: &'static str) -> Self {
         let states = (0..frames)
-            .map(|i| if (i as u32) < wired { FrameState::Wired(purpose) } else { FrameState::Free })
+            .map(|i| {
+                if (i as u32) < wired {
+                    FrameState::Wired(purpose)
+                } else {
+                    FrameState::Free
+                }
+            })
             .collect();
-        Self { states, first_pageable: wired, clock_hand: wired }
+        Self {
+            states,
+            first_pageable: wired,
+            clock_hand: wired,
+        }
     }
 
     /// Number of pageable frames.
@@ -228,7 +246,9 @@ impl FrameTable {
     /// Claims a free pageable frame, if any.
     pub fn take_free(&mut self, astx: usize, pageno: u32) -> Option<FrameNo> {
         let start = self.first_pageable as usize;
-        let pos = self.states[start..].iter().position(|s| *s == FrameState::Free)?;
+        let pos = self.states[start..]
+            .iter()
+            .position(|s| *s == FrameState::Free)?;
         let frame = FrameNo((start + pos) as u32);
         self.states[frame.0 as usize] = FrameState::Page { astx, pageno };
         Some(frame)
@@ -293,7 +313,10 @@ mod tests {
     fn aste(uid: u64, parent: Option<usize>) -> Aste {
         Aste {
             uid: SegUid(uid),
-            home: DiskHome { pack: PackId(0), toc: TocIndex(0) },
+            home: DiskHome {
+                pack: PackId(0),
+                toc: TocIndex(0),
+            },
             pt_slot: 0,
             len_pages: 0,
             is_dir: true,
@@ -329,7 +352,10 @@ mod tests {
     fn quota_walk_finds_nearest_superior() {
         let mut ast = ActiveSegmentTable::new(8, AbsAddr(1024));
         let mut root = aste(1, None);
-        root.quota = Some(QuotaCell { limit: 100, used: 0 });
+        root.quota = Some(QuotaCell {
+            limit: 100,
+            used: 0,
+        });
         let root = ast.activate(root).unwrap();
         let mid = ast.activate(aste(2, Some(root))).unwrap();
         let mut qdir = aste(3, Some(mid));

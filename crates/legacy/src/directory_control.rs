@@ -21,6 +21,7 @@
 use crate::supervisor::{Branch, KstEntry, Supervisor, MAX_SEGNO};
 use crate::types::{AccessRight, Acl, DiskHome, LegacyError, ProcessId, SegUid};
 use mx_aim::{AccessKind, CompartmentSet, Label, Level, ReferenceMonitor};
+use mx_hw::meter::Subsystem;
 use mx_hw::{Language, PackId, TocIndex, Word};
 
 /// Words per directory entry record.
@@ -86,7 +87,10 @@ fn pack_label(label: Label) -> u64 {
 }
 
 fn unpack_label(bits: u64) -> Label {
-    Label::new(Level((bits & 0x7) as u8), CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF))
+    Label::new(
+        Level((bits & 0x7) as u8),
+        CompartmentSet::from_bits((bits >> 3) & 0xFF_FFFF),
+    )
 }
 
 impl Supervisor {
@@ -232,7 +236,9 @@ impl Supervisor {
         acl: Acl,
         label: Label,
     ) -> Result<SegUid, LegacyError> {
-        self.create_object(parent, name, acl, label, true)
+        self.scoped(Subsystem::DirectoryControl, |s| {
+            s.create_object(parent, name, acl, label, true)
+        })
     }
 
     /// Creates a data segment named `name` inside the directory `parent`.
@@ -248,7 +254,9 @@ impl Supervisor {
         acl: Acl,
         label: Label,
     ) -> Result<SegUid, LegacyError> {
-        self.create_object(parent, name, acl, label, false)
+        self.scoped(Subsystem::DirectoryControl, |s| {
+            s.create_object(parent, name, acl, label, false)
+        })
     }
 
     fn create_object(
@@ -271,7 +279,12 @@ impl Supervisor {
         // subtrees cluster (and packs genuinely fill).
         let parent_pack = self.ast.get(parent_astx).expect("active parent").home.pack;
         let uid = self.allocate_uid();
-        let toc = match self.machine.disks.pack_mut(parent_pack).expect("pack").create_entry(uid.0)
+        let toc = match self
+            .machine
+            .disks
+            .pack_mut(parent_pack)
+            .expect("pack")
+            .create_entry(uid.0)
         {
             Ok(t) => (parent_pack, t),
             Err(_) => {
@@ -317,7 +330,14 @@ impl Supervisor {
             quota_used: 0,
         };
         self.write_entry(parent_astx, slot, &entry)?;
-        self.branch_table.insert(uid, Branch { parent: Some(parent), slot, is_dir });
+        self.branch_table.insert(
+            uid,
+            Branch {
+                parent: Some(parent),
+                slot,
+                is_dir,
+            },
+        );
         Ok(uid)
     }
 
@@ -335,6 +355,17 @@ impl Supervisor {
     /// [`LegacyError::NoAccess`] uniformly for nonexistent or forbidden
     /// targets.
     pub fn resolve(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+        right: AccessRight,
+    ) -> Result<(SegUid, EntryRecord), LegacyError> {
+        self.scoped(Subsystem::DirectoryControl, |s| {
+            s.resolve_body(pid, path, right)
+        })
+    }
+
+    fn resolve_body(
         &mut self,
         pid: ProcessId,
         path: &str,
@@ -386,6 +417,10 @@ impl Supervisor {
     /// [`LegacyError::NoAccess`] per the resolution rules;
     /// [`LegacyError::KstFull`] when no segment number is free.
     pub fn initiate(&mut self, pid: ProcessId, path: &str) -> Result<u32, LegacyError> {
+        self.scoped(Subsystem::DirectoryControl, |s| s.initiate_body(pid, path))
+    }
+
+    fn initiate_body(&mut self, pid: ProcessId, path: &str) -> Result<u32, LegacyError> {
         // Resolution for initiation needs *some* access to the target.
         let (user, plabel) = {
             let p = self.process(pid)?;
@@ -437,6 +472,17 @@ impl Supervisor {
         path: &str,
         limit: u32,
     ) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::DirectoryControl, |s| {
+            s.set_quota_directory_body(pid, path, limit)
+        })
+    }
+
+    fn set_quota_directory_body(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+        limit: u32,
+    ) -> Result<(), LegacyError> {
         let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
         if !entry.is_dir {
             return Err(LegacyError::NotADirectory);
@@ -454,11 +500,16 @@ impl Supervisor {
         // Migrate the charge out of the superior cell.
         if let Some(parent) = self.ast.get(astx).expect("active").parent {
             let (qdir, _) = self.ast.nearest_quota_dir(parent).expect("root cell");
-            let cell = self.ast.get_mut(qdir).expect("qdir").quota.as_mut().expect("cell");
+            let cell = self
+                .ast
+                .get_mut(qdir)
+                .expect("qdir")
+                .quota
+                .as_mut()
+                .expect("cell");
             cell.used = cell.used.saturating_sub(used);
         }
-        self.ast.get_mut(astx).expect("active").quota =
-            Some(crate::ast::QuotaCell { limit, used });
+        self.ast.get_mut(astx).expect("active").quota = Some(crate::ast::QuotaCell { limit, used });
         // Persist the designation in the directory's own entry.
         let branch = self.branch_table[&uid];
         if let Some(parent_uid) = branch.parent {
@@ -480,16 +531,37 @@ impl Supervisor {
     /// [`LegacyError::QuotaCellBusy`] if the directory is not a quota
     /// directory.
     pub fn clear_quota_directory(&mut self, pid: ProcessId, path: &str) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::DirectoryControl, |s| {
+            s.clear_quota_directory_body(pid, path)
+        })
+    }
+
+    fn clear_quota_directory_body(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+    ) -> Result<(), LegacyError> {
         let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
         if !entry.is_dir || !entry.quota_dir {
             return Err(LegacyError::QuotaCellBusy);
         }
         let astx = self.activate(uid)?;
-        let cell = self.ast.get(astx).expect("active").quota.ok_or(LegacyError::QuotaCellBusy)?;
+        let cell = self
+            .ast
+            .get(astx)
+            .expect("active")
+            .quota
+            .ok_or(LegacyError::QuotaCellBusy)?;
         self.ast.get_mut(astx).expect("active").quota = None;
         if let Some(parent) = self.ast.get(astx).expect("active").parent {
             let (qdir, _) = self.ast.nearest_quota_dir(parent).expect("root cell");
-            let sup_cell = self.ast.get_mut(qdir).expect("qdir").quota.as_mut().expect("cell");
+            let sup_cell = self
+                .ast
+                .get_mut(qdir)
+                .expect("qdir")
+                .quota
+                .as_mut()
+                .expect("cell");
             sup_cell.used += cell.used;
         }
         let branch = self.branch_table[&uid];
@@ -545,10 +617,17 @@ impl Supervisor {
         let home = if uid == self.root_uid {
             self.root_home
         } else {
-            let branch = self.branch_table.get(&uid).copied().ok_or(LegacyError::NoAccess)?;
+            let branch = self
+                .branch_table
+                .get(&uid)
+                .copied()
+                .ok_or(LegacyError::NoAccess)?;
             let parent_astx = self.activate(branch.parent.expect("non-root"))?;
             let e = self.read_entry(parent_astx, branch.slot)?;
-            DiskHome { pack: e.pack, toc: e.toc }
+            DiskHome {
+                pack: e.pack,
+                toc: e.toc,
+            }
         };
         Ok(self
             .machine
@@ -568,6 +647,10 @@ impl Supervisor {
     /// [`LegacyError::NoAccess`] if the path does not resolve with write
     /// access, or the directory is not empty.
     pub fn delete(&mut self, pid: ProcessId, path: &str) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::DirectoryControl, |s| s.delete_body(pid, path))
+    }
+
+    fn delete_body(&mut self, pid: ProcessId, path: &str) -> Result<(), LegacyError> {
         let (uid, entry) = self.resolve(pid, path, AccessRight::Write)?;
         if entry.is_dir {
             let has_children = self.branch_table.values().any(|b| b.parent == Some(uid));
@@ -590,7 +673,12 @@ impl Supervisor {
             }
             let aste = self.ast.get(astx).expect("found").clone();
             for (cpid, segno) in aste.connections {
-                if self.processes.get(cpid.0 as usize).and_then(|p| p.as_ref()).is_some() {
+                if self
+                    .processes
+                    .get(cpid.0 as usize)
+                    .and_then(|p| p.as_ref())
+                    .is_some()
+                {
                     self.set_sdw(cpid, segno, Default::default());
                 }
             }
@@ -641,9 +729,15 @@ mod tests {
     #[test]
     fn create_and_resolve_nested_path() {
         let (mut sup, pid, user) = boot_with_user();
-        let a = sup.create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM).unwrap();
-        let b = sup.create_directory_in(a, "b", Acl::owner(user), Label::BOTTOM).unwrap();
-        let leaf = sup.create_segment_in(b, "leaf", Acl::owner(user), Label::BOTTOM).unwrap();
+        let a = sup
+            .create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let b = sup
+            .create_directory_in(a, "b", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let leaf = sup
+            .create_segment_in(b, "leaf", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         let (uid, entry) = sup.resolve(pid, "a>b>leaf", AccessRight::Read).unwrap();
         assert_eq!(uid, leaf);
         assert!(!entry.is_dir);
@@ -653,10 +747,15 @@ mod tests {
     #[test]
     fn nonexistent_and_forbidden_answers_are_identical() {
         let (mut sup, pid, user) = boot_with_user();
-        let a = sup.create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM).unwrap();
+        let a = sup
+            .create_directory_in(sup.root(), "a", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         // A file owned (and readable) only by user 9.
-        sup.create_segment_in(a, "private", Acl::owner(UserId(9)), Label::BOTTOM).unwrap();
-        let forbidden = sup.resolve(pid, "a>private", AccessRight::Read).unwrap_err();
+        sup.create_segment_in(a, "private", Acl::owner(UserId(9)), Label::BOTTOM)
+            .unwrap();
+        let forbidden = sup
+            .resolve(pid, "a>private", AccessRight::Read)
+            .unwrap_err();
         let missing = sup.resolve(pid, "a>ghost", AccessRight::Read).unwrap_err();
         assert_eq!(forbidden, missing, "the caller cannot tell the cases apart");
         assert_eq!(forbidden, LegacyError::NoAccess);
@@ -667,19 +766,22 @@ mod tests {
         let (mut sup, pid, user) = boot_with_user();
         // The intermediate dir is readable only by user 9, but the final
         // target grants our user: old Multics grants the access.
-        let locked =
-            sup.create_directory_in(sup.root(), "locked", Acl::owner(UserId(9)), Label::BOTTOM)
-                .unwrap();
-        sup.create_segment_in(locked, "mine", Acl::owner(user), Label::BOTTOM).unwrap();
+        let locked = sup
+            .create_directory_in(sup.root(), "locked", Acl::owner(UserId(9)), Label::BOTTOM)
+            .unwrap();
+        sup.create_segment_in(locked, "mine", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         assert!(sup.resolve(pid, "locked>mine", AccessRight::Read).is_ok());
     }
 
     #[test]
     fn duplicate_names_rejected() {
         let (mut sup, _pid, user) = boot_with_user();
-        sup.create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM).unwrap();
-        let err =
-            sup.create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM).unwrap_err();
+        sup.create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let err = sup
+            .create_segment_in(sup.root(), "x", Acl::owner(user), Label::BOTTOM)
+            .unwrap_err();
         assert_eq!(err, LegacyError::NameDuplicated);
     }
 
@@ -687,7 +789,8 @@ mod tests {
     fn aim_label_denies_read_up_through_resolution() {
         let (mut sup, pid, user) = boot_with_user();
         let secret = Label::new(Level(2), CompartmentSet::empty());
-        sup.create_segment_in(sup.root(), "secret", Acl::owner(user), secret).unwrap();
+        sup.create_segment_in(sup.root(), "secret", Acl::owner(user), secret)
+            .unwrap();
         // ACL would allow, AIM forbids: still just "no access".
         let err = sup.resolve(pid, "secret", AccessRight::Read).unwrap_err();
         assert_eq!(err, LegacyError::NoAccess);
@@ -696,13 +799,18 @@ mod tests {
     #[test]
     fn dynamic_quota_designation_migrates_charges() {
         let (mut sup, pid, user) = boot_with_user();
-        let dir = sup.create_directory_in(sup.root(), "q", Acl::owner(user), Label::BOTTOM).unwrap();
+        let dir = sup
+            .create_directory_in(sup.root(), "q", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         let astx = sup.activate(dir).unwrap();
         // Put two nonzero pages into a child segment.
-        let seg = sup.create_segment_in(dir, "data", Acl::owner(user), Label::BOTTOM).unwrap();
+        let seg = sup
+            .create_segment_in(dir, "data", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         let seg_astx = sup.activate(seg).unwrap();
         sup.sup_write(seg_astx, 0, Word::new(1)).unwrap();
-        sup.sup_write(seg_astx, mx_hw::PAGE_WORDS as u32, Word::new(2)).unwrap();
+        sup.sup_write(seg_astx, mx_hw::PAGE_WORDS as u32, Word::new(2))
+            .unwrap();
         let root_astx = sup.ast.find(sup.root()).unwrap();
         let root_used_before = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
 
@@ -712,12 +820,23 @@ mod tests {
         // pages migrate into the new cell.
         assert_eq!(cell.used, 2, "2 data pages migrated, got {}", cell.used);
         let root_used_after = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
-        assert_eq!(root_used_before - root_used_after, cell.used, "charge moved, not copied");
+        assert_eq!(
+            root_used_before - root_used_after,
+            cell.used,
+            "charge moved, not copied"
+        );
 
         // New growth under q charges q's cell, not the root's.
-        sup.sup_write(seg_astx, 2 * mx_hw::PAGE_WORDS as u32, Word::new(3)).unwrap();
-        assert_eq!(sup.ast.get(astx).unwrap().quota.unwrap().used, cell.used + 1);
-        assert_eq!(sup.ast.get(root_astx).unwrap().quota.unwrap().used, root_used_after);
+        sup.sup_write(seg_astx, 2 * mx_hw::PAGE_WORDS as u32, Word::new(3))
+            .unwrap();
+        assert_eq!(
+            sup.ast.get(astx).unwrap().quota.unwrap().used,
+            cell.used + 1
+        );
+        assert_eq!(
+            sup.ast.get(root_astx).unwrap().quota.unwrap().used,
+            root_used_after
+        );
 
         // And the inverse operation migrates the charge back.
         sup.clear_quota_directory(pid, "q").unwrap();
@@ -730,7 +849,9 @@ mod tests {
     #[test]
     fn delete_frees_records_and_uncharges() {
         let (mut sup, pid, user) = boot_with_user();
-        let seg = sup.create_segment_in(sup.root(), "tmp", Acl::owner(user), Label::BOTTOM).unwrap();
+        let seg = sup
+            .create_segment_in(sup.root(), "tmp", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
         let astx = sup.activate(seg).unwrap();
         sup.sup_write(astx, 0, Word::new(5)).unwrap();
         sup.flush_segment(astx).unwrap();
@@ -739,6 +860,9 @@ mod tests {
         sup.delete(pid, "tmp").unwrap();
         let after = sup.ast.get(root_astx).unwrap().quota.unwrap().used;
         assert_eq!(before - after, 1);
-        assert_eq!(sup.resolve(pid, "tmp", AccessRight::Read).unwrap_err(), LegacyError::NoAccess);
+        assert_eq!(
+            sup.resolve(pid, "tmp", AccessRight::Read).unwrap_err(),
+            LegacyError::NoAccess
+        );
     }
 }

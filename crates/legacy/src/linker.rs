@@ -13,6 +13,7 @@
 
 use crate::supervisor::Supervisor;
 use crate::types::{LegacyError, ProcessId, SegUid};
+use mx_hw::meter::Subsystem;
 use mx_hw::Language;
 
 const DEFSEARCH_INSTR_PER_DEF: u64 = 8;
@@ -49,6 +50,15 @@ impl Supervisor {
         path: &str,
         symbol: &str,
     ) -> Result<SnappedLink, LegacyError> {
+        self.scoped(Subsystem::Linker, |s| s.link_body(pid, path, symbol))
+    }
+
+    fn link_body(
+        &mut self,
+        pid: ProcessId,
+        path: &str,
+        symbol: &str,
+    ) -> Result<SnappedLink, LegacyError> {
         let cost = self.machine.cost;
         self.machine.clock.charge_gate(&cost);
         // One fast path: the link may already be snapped.
@@ -62,7 +72,10 @@ impl Supervisor {
             Some(s) => s,
             None => self.initiate(pid, path)?,
         };
-        let defs = self.definitions.get(&uid).ok_or(LegacyError::UndefinedSymbol)?;
+        let defs = self
+            .definitions
+            .get(&uid)
+            .ok_or(LegacyError::UndefinedSymbol)?;
         let mut found = None;
         let mut scanned = 0u64;
         for (name, offset) in defs {
@@ -74,7 +87,8 @@ impl Supervisor {
         }
         self.charge(DEFSEARCH_INSTR_PER_DEF * scanned, Language::Pli);
         let offset = found.ok_or(LegacyError::UndefinedSymbol)?;
-        self.linkage.insert((pid, uid, symbol.to_string()), (segno, offset));
+        self.linkage
+            .insert((pid, uid, symbol.to_string()), (segno, offset));
         Ok(SnappedLink { segno, offset })
     }
 
@@ -115,19 +129,29 @@ mod tests {
         let gates_before = sup.machine.clock.gate_crossings();
         let again = sup.link(pid, "libmath", "cos").unwrap();
         assert_eq!(again, l);
-        assert_eq!(sup.machine.clock.gate_crossings(), gates_before + 1, "one gate, no re-snap");
+        assert_eq!(
+            sup.machine.clock.gate_crossings(),
+            gates_before + 1,
+            "one gate, no re-snap"
+        );
     }
 
     #[test]
     fn undefined_symbol_reported() {
         let (mut sup, pid, _lib) = setup();
-        assert_eq!(sup.link(pid, "libmath", "tan").unwrap_err(), LegacyError::UndefinedSymbol);
+        assert_eq!(
+            sup.link(pid, "libmath", "tan").unwrap_err(),
+            LegacyError::UndefinedSymbol
+        );
     }
 
     #[test]
     fn linking_an_inaccessible_target_is_no_access() {
         let (mut sup, _pid, _lib) = setup();
         let other = sup.create_process(UserId(2), Label::BOTTOM).unwrap();
-        assert_eq!(sup.link(other, "libmath", "sin").unwrap_err(), LegacyError::NoAccess);
+        assert_eq!(
+            sup.link(other, "libmath", "sin").unwrap_err(),
+            LegacyError::NoAccess
+        );
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::supervisor::Supervisor;
 use crate::types::LegacyError;
+use mx_hw::meter::Subsystem;
 use mx_hw::Language;
 use std::collections::HashMap;
 
@@ -48,7 +49,12 @@ pub struct NetworkHandler {
 
 impl NetworkHandler {
     fn new(kind: NetworkKind) -> Self {
-        Self { kind, channels: HashMap::new(), frames_in: 0, frames_bad: 0 }
+        Self {
+            kind,
+            channels: HashMap::new(),
+            frames_in: 0,
+            frames_bad: 0,
+        }
     }
 }
 
@@ -76,6 +82,10 @@ impl Supervisor {
     ///
     /// [`LegacyError::NoSuchChannel`] for an unknown network id.
     pub fn network_receive(&mut self, net: NetworkId, frame: &[u8]) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::Network, |s| s.network_receive_body(net, frame))
+    }
+
+    fn network_receive_body(&mut self, net: NetworkId, frame: &[u8]) -> Result<(), LegacyError> {
         let kind = self
             .networks
             .get(net.0)
@@ -107,7 +117,11 @@ impl Supervisor {
         match parsed {
             Some((channel, payload)) => {
                 handler.frames_in += 1;
-                handler.channels.entry(channel).or_default().extend_from_slice(&payload);
+                handler
+                    .channels
+                    .entry(channel)
+                    .or_default()
+                    .extend_from_slice(&payload);
                 Ok(())
             }
             None => {
@@ -128,14 +142,19 @@ impl Supervisor {
         net: NetworkId,
         channel: u16,
     ) -> Result<Vec<u8>, LegacyError> {
-        let cost = self.machine.cost;
-        self.machine.clock.charge_gate(&cost);
-        let handler = self.networks.get_mut(net.0).ok_or(LegacyError::NoSuchChannel)?;
-        handler
-            .channels
-            .get_mut(&channel)
-            .map(std::mem::take)
-            .ok_or(LegacyError::NoSuchChannel)
+        self.scoped(Subsystem::Network, |s| {
+            let cost = s.machine.cost;
+            s.machine.clock.charge_gate(&cost);
+            let handler = s
+                .networks
+                .get_mut(net.0)
+                .ok_or(LegacyError::NoSuchChannel)?;
+            handler
+                .channels
+                .get_mut(&channel)
+                .map(std::mem::take)
+                .ok_or(LegacyError::NoSuchChannel)
+        })
     }
 }
 
@@ -159,7 +178,11 @@ mod tests {
         let mut sup = Supervisor::boot_default();
         let net = sup.attach_network(NetworkKind::FrontEnd);
         sup.network_receive(net, &[3, 2, b'o', b'k', b'X']).unwrap();
-        assert_eq!(sup.network_read_channel(net, 3).unwrap(), b"ok", "trailing garbage ignored");
+        assert_eq!(
+            sup.network_read_channel(net, 3).unwrap(),
+            b"ok",
+            "trailing garbage ignored"
+        );
     }
 
     #[test]
@@ -171,13 +194,20 @@ mod tests {
         sup.network_receive(fe, &[9, 200, 1, 2]).unwrap();
         assert_eq!(sup.networks[net.0].frames_bad, 1);
         assert_eq!(sup.networks[fe.0].frames_bad, 1);
-        assert_eq!(sup.network_count(), 2, "two handlers now live in the kernel");
+        assert_eq!(
+            sup.network_count(),
+            2,
+            "two handlers now live in the kernel"
+        );
     }
 
     #[test]
     fn reading_an_unknown_channel_fails() {
         let mut sup = Supervisor::boot_default();
         let net = sup.attach_network(NetworkKind::Arpanet);
-        assert_eq!(sup.network_read_channel(net, 99).unwrap_err(), LegacyError::NoSuchChannel);
+        assert_eq!(
+            sup.network_read_channel(net, 99).unwrap_err(),
+            LegacyError::NoSuchChannel
+        );
     }
 }

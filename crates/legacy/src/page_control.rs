@@ -32,6 +32,7 @@ use crate::supervisor::Supervisor;
 use crate::types::{LegacyError, ProcessId};
 use mx_aim::Label;
 use mx_hw::cpu::{Ptw, Sdw};
+use mx_hw::meter::Subsystem;
 use mx_hw::{AbsAddr, FrameNo, Language, VirtAddr};
 
 /// Cost constants (abstract instructions) for the PL/I paths of page
@@ -86,7 +87,9 @@ impl Supervisor {
         // AST (pt pool geometry) — segment control's data base.
         let (astx, pageno) = self
             .astx_of_ptw(ptw_addr)
-            .ok_or(LegacyError::UnhandledFault(mx_hw::Fault::BadDescriptor { va }))?;
+            .ok_or(LegacyError::UnhandledFault(mx_hw::Fault::BadDescriptor {
+                va,
+            }))?;
         let label = self.process(pid)?.label;
         let io_before = self.machine.clock.disk_transfers();
         let service = self.service_page(astx, pageno, label);
@@ -124,6 +127,17 @@ impl Supervisor {
     /// [`LegacyError::QuotaExceeded`], [`LegacyError::AllPacksFull`],
     /// [`LegacyError::SegmentTooBig`], or frame-pool exhaustion.
     pub fn service_page(
+        &mut self,
+        astx: usize,
+        pageno: u32,
+        subject: Label,
+    ) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::PageControl, |s| {
+            s.service_page_body(astx, pageno, subject)
+        })
+    }
+
+    fn service_page_body(
         &mut self,
         astx: usize,
         pageno: u32,
@@ -202,7 +216,12 @@ impl Supervisor {
         self.set_ptw(
             astx,
             pageno,
-            Ptw { frame, present: true, used: true, ..Ptw::default() },
+            Ptw {
+                frame,
+                present: true,
+                used: true,
+                ..Ptw::default()
+            },
         );
     }
 
@@ -211,7 +230,13 @@ impl Supervisor {
     /// new home — the upward call of the full-pack loop.
     fn allocate_record_for(&mut self, astx: usize) -> Result<mx_hw::RecordNo, LegacyError> {
         let home = self.ast.get(astx).expect("live astx").home;
-        match self.machine.disks.pack_mut(home.pack).expect("home pack").allocate_record() {
+        match self
+            .machine
+            .disks
+            .pack_mut(home.pack)
+            .expect("home pack")
+            .allocate_record()
+        {
             Ok(r) => Ok(r),
             Err(_) => {
                 // Full disk pack: page control invokes segment control.
@@ -326,9 +351,18 @@ impl Supervisor {
             .expect("root always carries a quota cell");
         self.stats.quota_walks += 1;
         self.stats.quota_walk_levels += u64::from(levels);
-        self.charge(QUOTA_WALK_INSTR_PER_LEVEL * (u64::from(levels) + 1), Language::Assembly);
+        self.charge(
+            QUOTA_WALK_INSTR_PER_LEVEL * (u64::from(levels) + 1),
+            Language::Assembly,
+        );
         let qlabel = self.ast.get(qdir).expect("quota dir").label;
-        let cell = self.ast.get_mut(qdir).expect("quota dir").quota.as_mut().expect("cell");
+        let cell = self
+            .ast
+            .get_mut(qdir)
+            .expect("quota dir")
+            .quota
+            .as_mut()
+            .expect("cell");
         if cell.used + pages > cell.limit {
             let (limit, used) = (cell.limit, cell.used);
             return Err(LegacyError::QuotaExceeded { limit, used });
@@ -336,7 +370,11 @@ impl Supervisor {
         cell.used += pages;
         // The accounting update is an information flow from the acting
         // subject into the quota directory's cell.
-        self.flows.observe(subject, qlabel, "quota used-count update on page materialization");
+        self.flows.observe(
+            subject,
+            qlabel,
+            "quota used-count update on page materialization",
+        );
         Ok(())
     }
 
@@ -350,8 +388,17 @@ impl Supervisor {
             .expect("root always carries a quota cell");
         self.stats.quota_walks += 1;
         self.stats.quota_walk_levels += u64::from(levels);
-        self.charge(QUOTA_WALK_INSTR_PER_LEVEL * (u64::from(levels) + 1), Language::Assembly);
-        let cell = self.ast.get_mut(qdir).expect("quota dir").quota.as_mut().expect("cell");
+        self.charge(
+            QUOTA_WALK_INSTR_PER_LEVEL * (u64::from(levels) + 1),
+            Language::Assembly,
+        );
+        let cell = self
+            .ast
+            .get_mut(qdir)
+            .expect("quota dir")
+            .quota
+            .as_mut()
+            .expect("cell");
         cell.used = cell.used.saturating_sub(pages);
     }
 
@@ -359,10 +406,12 @@ impl Supervisor {
     /// deactivation and relocation, and by experiments that want cold
     /// rereads).
     pub fn flush_segment(&mut self, astx: usize) -> Result<(), LegacyError> {
-        for (frame, _pageno) in self.frames.frames_of(astx) {
-            self.evict(frame)?;
-        }
-        Ok(())
+        self.scoped(Subsystem::PageControl, |s| {
+            for (frame, _pageno) in s.frames.frames_of(astx) {
+                s.evict(frame)?;
+            }
+            Ok(())
+        })
     }
 
     pub(crate) fn lock_global(&mut self) {
@@ -388,7 +437,9 @@ impl Supervisor {
         va: VirtAddr,
         descriptor: AbsAddr,
     ) -> Result<(), LegacyError> {
-        self.page_fault(pid, va, descriptor)
+        self.scoped(Subsystem::PageControl, |s| {
+            s.page_fault(pid, va, descriptor)
+        })
     }
 
     /// Reads the SDW helper used by retranslation (re-exported for the
@@ -446,7 +497,11 @@ mod tests {
         sup.flush_segment(root).unwrap();
         let used = sup.ast.get(root).unwrap().quota.unwrap().used;
         assert_eq!(used, 1, "page 0 holds data, stays charged");
-        assert_eq!(sup.sup_read(root, 5).unwrap(), Word::new(0o123), "data pages back in");
+        assert_eq!(
+            sup.sup_read(root, 5).unwrap(),
+            Word::new(0o123),
+            "data pages back in"
+        );
     }
 
     #[test]
@@ -458,8 +513,15 @@ mod tests {
         let root = sup.ast.find(sup.root()).unwrap();
         sup.service_page(root, 1, Label::BOTTOM).unwrap();
         let err = sup.service_page(root, 2, Label::BOTTOM).unwrap_err();
-        assert!(matches!(err, LegacyError::QuotaExceeded { limit: 2, used: 2 }));
-        assert_eq!(sup.ast.get(root).unwrap().quota.unwrap().used, 2, "failed charge rolled back");
+        assert!(matches!(
+            err,
+            LegacyError::QuotaExceeded { limit: 2, used: 2 }
+        ));
+        assert_eq!(
+            sup.ast.get(root).unwrap().quota.unwrap().used,
+            2,
+            "failed charge rolled back"
+        );
     }
 
     #[test]
@@ -477,7 +539,8 @@ mod tests {
         // Touch more pages than there are pageable frames.
         let pages = sup.frames.pageable() + 8;
         for p in 0..pages {
-            sup.sup_write(root, p * PAGE_WORDS as u32, Word::new(u64::from(p) + 1)).unwrap();
+            sup.sup_write(root, p * PAGE_WORDS as u32, Word::new(u64::from(p) + 1))
+                .unwrap();
         }
         assert!(sup.stats.evictions > 0, "pressure forced evictions");
         // Every page still readable (paged back in on demand).

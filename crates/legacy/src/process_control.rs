@@ -11,6 +11,7 @@
 use crate::supervisor::{ProcState, Process, Supervisor, MAX_SEGNO};
 use crate::types::{Acl, LegacyError, ProcessId, SegUid, UserId};
 use mx_aim::Label;
+use mx_hw::meter::Subsystem;
 use mx_hw::{Language, Word};
 
 const DISPATCH_INSTR: u64 = 45;
@@ -26,6 +27,16 @@ impl Supervisor {
     ///
     /// [`LegacyError::NoSuchProcess`] when every process slot is taken.
     pub fn create_process(&mut self, user: UserId, label: Label) -> Result<ProcessId, LegacyError> {
+        self.scoped(Subsystem::ProcessControl, |s| {
+            s.create_process_body(user, label)
+        })
+    }
+
+    fn create_process_body(
+        &mut self,
+        user: UserId,
+        label: Label,
+    ) -> Result<ProcessId, LegacyError> {
         self.charge(CREATE_PROCESS_INSTR, Language::Pli);
         let slot = (0..self.process_slots())
             .find(|s| self.processes[*s as usize].is_none())
@@ -73,6 +84,10 @@ impl Supervisor {
     ///
     /// [`LegacyError::NoSuchProcess`] if the process is unknown.
     pub fn destroy_process(&mut self, pid: ProcessId) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::ProcessControl, |s| s.destroy_process_body(pid))
+    }
+
+    fn destroy_process_body(&mut self, pid: ProcessId) -> Result<(), LegacyError> {
         // Disconnect from every active segment.
         let connected: Vec<usize> = self
             .ast
@@ -100,6 +115,10 @@ impl Supervisor {
     ///
     /// Returns the process now running, if any.
     pub fn dispatch(&mut self) -> Option<ProcessId> {
+        self.scoped(Subsystem::Scheduler, |s| s.dispatch_body())
+    }
+
+    fn dispatch_body(&mut self) -> Option<ProcessId> {
         self.charge(DISPATCH_INSTR, Language::Assembly);
         // Requeue the running process first so a lone process keeps
         // getting the processor.
@@ -169,7 +188,9 @@ impl Supervisor {
         while steps < max_steps {
             let cost = self.machine.cost;
             let r = {
-                let mx_hw::Machine { mem, clock, cpus, .. } = &mut self.machine;
+                let mx_hw::Machine {
+                    mem, clock, cpus, ..
+                } = &mut self.machine;
                 step(&mut cpus[0], mem, clock, &cost, &mut regs)
             };
             match r {

@@ -18,20 +18,61 @@ pub fn superficial_structure() -> ModuleGraph {
     let mut g = ModuleGraph::new();
     let dvc = g.add_module("disk-volume-control", "packs, records, tables of contents");
     let dc = g.add_module("directory-control", "hierarchy, ACLs, pathname resolution");
-    let asc = g.add_module("address-space-control", "descriptor segments, KSTs, branch table");
+    let asc = g.add_module(
+        "address-space-control",
+        "descriptor segments, KSTs, branch table",
+    );
     let sc = g.add_module("segment-control", "activation, AST, relocation");
-    let pc = g.add_module("page-control", "page faults, frames, replacement, quota charges");
+    let pc = g.add_module(
+        "page-control",
+        "page faults, frames, replacement, quota charges",
+    );
     let prc = g.add_module("process-control", "processes, scheduler");
 
-    g.depend(dc, sc, DepKind::Component, "directory representations are stored in segments");
-    g.depend(dc, dvc, DepKind::Component, "entries name segments by pack id + TOC index");
-    g.depend(asc, sc, DepKind::Call, "connecting a segment consults segment control");
+    g.depend(
+        dc,
+        sc,
+        DepKind::Component,
+        "directory representations are stored in segments",
+    );
+    g.depend(
+        dc,
+        dvc,
+        DepKind::Component,
+        "entries name segments by pack id + TOC index",
+    );
+    g.depend(
+        asc,
+        sc,
+        DepKind::Call,
+        "connecting a segment consults segment control",
+    );
     g.depend(sc, pc, DepKind::Component, "segments are made of pages");
-    g.depend(sc, dvc, DepKind::Component, "TOC entries and file maps live on packs");
-    g.depend(pc, dvc, DepKind::Component, "pages are stored on disk records");
+    g.depend(
+        sc,
+        dvc,
+        DepKind::Component,
+        "TOC entries and file maps live on packs",
+    );
+    g.depend(
+        pc,
+        dvc,
+        DepKind::Component,
+        "pages are stored on disk records",
+    );
     // The one obvious exception to linearity:
-    g.depend(pc, prc, DepKind::Call, "missing page: give the processor to another process");
-    g.depend(prc, sc, DepKind::Component, "states of inactive processes are stored in segments");
+    g.depend(
+        pc,
+        prc,
+        DepKind::Call,
+        "missing page: give the processor to another process",
+    );
+    g.depend(
+        prc,
+        sc,
+        DepKind::Component,
+        "states of inactive processes are stored in segments",
+    );
     g
 }
 
@@ -65,7 +106,12 @@ pub fn actual_structure() -> ModuleGraph {
     // Quota: page control identifies the page with a segment by direct
     // reference to the AST and walks its hierarchy links
     // (Supervisor::service_page / quota_charge).
-    g.depend(pc, sc, DepKind::SharedData, "quota walk reads the AST's superior links");
+    g.depend(
+        pc,
+        sc,
+        DepKind::SharedData,
+        "quota walk reads the AST's superior links",
+    );
     g.depend(
         sc,
         dc,
@@ -75,18 +121,53 @@ pub fn actual_structure() -> ModuleGraph {
     // Full packs: segment control finds the directory entry through the
     // branch table and rewrites it directly
     // (Supervisor::relocate_segment).
-    g.depend(sc, asc, DepKind::SharedData, "relocation reads the branch table to find the entry");
-    g.depend(sc, dc, DepKind::SharedData, "relocation rewrites the directory entry in place");
+    g.depend(
+        sc,
+        asc,
+        DepKind::SharedData,
+        "relocation reads the branch table to find the entry",
+    );
+    g.depend(
+        sc,
+        dc,
+        DepKind::SharedData,
+        "relocation rewrites the directory entry in place",
+    );
     // Map, program and address-space dependencies on higher modules:
     // supervisor programs and their maps live in ordinary segments.
-    g.depend(pc, sc, DepKind::Program, "page control code is stored in segments");
-    g.depend(pc, asc, DepKind::AddressSpace, "page control executes in an ASC-provided space");
-    g.depend(sc, asc, DepKind::AddressSpace, "segment control executes in an ASC-provided space");
-    g.depend(dvc, sc, DepKind::Program, "disk volume control code is stored in segments");
+    g.depend(
+        pc,
+        sc,
+        DepKind::Program,
+        "page control code is stored in segments",
+    );
+    g.depend(
+        pc,
+        asc,
+        DepKind::AddressSpace,
+        "page control executes in an ASC-provided space",
+    );
+    g.depend(
+        sc,
+        asc,
+        DepKind::AddressSpace,
+        "segment control executes in an ASC-provided space",
+    );
+    g.depend(
+        dvc,
+        sc,
+        DepKind::Program,
+        "disk volume control code is stored in segments",
+    );
     // Interpreter dependencies: every module needs a processor, which
     // process control multiplexes.
     for m in [dvc, dc, asc, sc] {
-        g.depend(m, prc, DepKind::Interpreter, "executes on a processor process control multiplexes");
+        g.depend(
+            m,
+            prc,
+            DepKind::Interpreter,
+            "executes on a processor process control multiplexes",
+        );
     }
     g
 }
@@ -113,7 +194,10 @@ mod tests {
         let g = actual_structure();
         let loops = g.loops();
         assert_eq!(loops.len(), 1, "one giant strongly connected component");
-        assert!(loops[0].len() >= 5, "at least five of six modules mutually dependent");
+        assert!(
+            loops[0].len() >= 5,
+            "at least five of six modules mutually dependent"
+        );
         let names: Vec<&str> = loops[0].iter().map(|m| g.name(*m)).collect();
         for m in [
             "page-control",
@@ -130,15 +214,26 @@ mod tests {
     fn actual_structure_records_the_papers_three_case_studies() {
         let g = actual_structure();
         let notes: Vec<&str> = g.edges().iter().map(|e| e.note.as_str()).collect();
-        assert!(notes.iter().any(|n| n.contains("retranslation")), "missing-page case");
+        assert!(
+            notes.iter().any(|n| n.contains("retranslation")),
+            "missing-page case"
+        );
         assert!(notes.iter().any(|n| n.contains("quota walk")), "quota case");
-        assert!(notes.iter().any(|n| n.contains("rewrites the directory entry")), "full-pack case");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("rewrites the directory entry")),
+            "full-pack case"
+        );
     }
 
     #[test]
     fn improper_dependencies_dominate_the_added_edges() {
         let g = actual_structure();
-        assert!(g.improper_edge_count() >= 6, "shared-data and call edges abound in the old design");
+        assert!(
+            g.improper_edge_count() >= 6,
+            "shared-data and call edges abound in the old design"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::ast::{Aste, QuotaCell};
 use crate::supervisor::Supervisor;
 use crate::types::{DiskHome, LegacyError, ProcessId, SegUid};
 use mx_hw::cpu::Sdw;
+use mx_hw::meter::Subsystem;
 use mx_hw::Language;
 
 /// Abstract-instruction costs of segment control's PL/I paths.
@@ -32,6 +33,10 @@ impl Supervisor {
         if let Some(astx) = self.ast.find(uid) {
             return Ok(astx);
         }
+        self.scoped(Subsystem::SegmentControl, |s| s.activate_body(uid))
+    }
+
+    fn activate_body(&mut self, uid: SegUid) -> Result<usize, LegacyError> {
         self.charge(ACTIVATE_INSTR, Language::Pli);
         let branch = *self.branch_table.get(&uid).ok_or(LegacyError::NoAccess)?;
         let parent_uid = branch.parent.ok_or(LegacyError::NoAccess)?;
@@ -39,14 +44,18 @@ impl Supervisor {
 
         // Read the entry record out of the superior directory segment.
         let entry = self.read_entry(parent_astx, branch.slot)?;
-        let home = DiskHome { pack: entry.pack, toc: entry.toc };
+        let home = DiskHome {
+            pack: entry.pack,
+            toc: entry.toc,
+        };
         let len_pages = {
             let pack = self.machine.disks.pack(home.pack).expect("entry pack");
             pack.entry(home.toc).map(|e| e.len_pages()).unwrap_or(0)
         };
-        let quota = entry
-            .quota_dir
-            .then_some(QuotaCell { limit: entry.quota_limit, used: entry.quota_used });
+        let quota = entry.quota_dir.then_some(QuotaCell {
+            limit: entry.quota_limit,
+            used: entry.quota_used,
+        });
         let aste = Aste {
             uid,
             home,
@@ -71,6 +80,12 @@ impl Supervisor {
     /// [`LegacyError::NotActive`] if the segment is not active or — the
     /// hierarchy constraint — still has active inferiors.
     pub fn deactivate_segment(&mut self, uid: SegUid) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::SegmentControl, |s| {
+            s.deactivate_segment_body(uid)
+        })
+    }
+
+    fn deactivate_segment_body(&mut self, uid: SegUid) -> Result<(), LegacyError> {
         let astx = self.ast.find(uid).ok_or(LegacyError::NotActive)?;
         if self.ast.get(astx).expect("found").inferiors > 0 {
             return Err(LegacyError::NotActive);
@@ -84,7 +99,12 @@ impl Supervisor {
         }
         // Disconnect every address space.
         for (pid, segno) in aste.connections {
-            if self.processes.get(pid.0 as usize).and_then(|p| p.as_ref()).is_some() {
+            if self
+                .processes
+                .get(pid.0 as usize)
+                .and_then(|p| p.as_ref())
+                .is_some()
+            {
                 self.set_sdw(pid, segno, Sdw::default());
             }
         }
@@ -216,7 +236,10 @@ impl Supervisor {
         // Update the AST and then — reading the branch table, the data
         // base the naming layers own — directly rewrite the directory
         // entry with the new pack and TOC index.
-        let new_home = DiskHome { pack: target, toc: new_toc };
+        let new_home = DiskHome {
+            pack: target,
+            toc: new_toc,
+        };
         self.ast.get_mut(astx).expect("live astx").home = new_home;
         match aste.dir_home {
             Some((parent_astx, slot)) => {
@@ -235,6 +258,10 @@ impl Supervisor {
     ///
     /// [`LegacyError::NotActive`] if the segment is not active.
     pub fn truncate_segment(&mut self, uid: SegUid) -> Result<(), LegacyError> {
+        self.scoped(Subsystem::SegmentControl, |s| s.truncate_segment_body(uid))
+    }
+
+    fn truncate_segment_body(&mut self, uid: SegUid) -> Result<(), LegacyError> {
         let astx = self.ast.find(uid).ok_or(LegacyError::NotActive)?;
         // Drop resident frames without write-back.
         for (frame, pageno) in self.frames.frames_of(astx) {
@@ -320,7 +347,8 @@ mod tests {
         // the next growth forces relocation to pack 1.
         let mut wrote = 0;
         for p in 0.. {
-            sup.sup_write(astx, p * mx_hw::PAGE_WORDS as u32, Word::new(p as u64 + 1)).unwrap();
+            sup.sup_write(astx, p * mx_hw::PAGE_WORDS as u32, Word::new(p as u64 + 1))
+                .unwrap();
             wrote = p;
             if sup.stats.relocations > 0 {
                 break;
@@ -328,7 +356,11 @@ mod tests {
             assert!(p < 30, "relocation never triggered");
         }
         let home = sup.ast.get(astx).unwrap().home;
-        assert_ne!(home.pack, mx_hw::PackId(0), "segment moved off the full pack");
+        assert_ne!(
+            home.pack,
+            mx_hw::PackId(0),
+            "segment moved off the full pack"
+        );
         // Every page still readable from the new pack.
         sup.flush_segment(astx).unwrap();
         for p in 0..=wrote {
@@ -350,7 +382,8 @@ mod tests {
         let (mut sup, _dir, seg) = sup_with_tree();
         let astx = sup.activate(seg).unwrap();
         for p in 0..3 {
-            sup.sup_write(astx, p * mx_hw::PAGE_WORDS as u32, Word::new(9)).unwrap();
+            sup.sup_write(astx, p * mx_hw::PAGE_WORDS as u32, Word::new(9))
+                .unwrap();
         }
         let root_astx = sup.ast.find(sup.root()).unwrap();
         let used_before = sup.ast.get(root_astx).unwrap().quota.unwrap().used;

@@ -15,6 +15,7 @@ use crate::ast::{ActiveSegmentTable, Aste, FrameTable, QuotaCell, PT_WORDS};
 use crate::types::{DiskHome, LegacyError, ProcessId, SegUid, UserId};
 use mx_aim::{FlowTracker, Label, ReferenceMonitor};
 use mx_hw::cpu::{AccessMode, DescBase, Ptw, Sdw};
+use mx_hw::meter::{CounterSet, Subsystem};
 use mx_hw::{
     AbsAddr, Fault, FrameNo, HwFeatures, Language, Machine, MachineConfig, VirtAddr, Word,
     PAGE_WORDS,
@@ -79,6 +80,25 @@ pub struct Stats {
     pub relocations: u64,
     /// Pages materialized (frame + record assigned).
     pub materializations: u64,
+}
+
+impl Stats {
+    /// Renders every counter for the trace report, in declaration order.
+    pub fn counters(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        set.set("page_faults", self.page_faults);
+        set.set("segment_faults", self.segment_faults);
+        set.set("retranslations", self.retranslations);
+        set.set("retranslations_resolved", self.retranslations_resolved);
+        set.set("lock_contentions", self.lock_contentions);
+        set.set("quota_walk_levels", self.quota_walk_levels);
+        set.set("quota_walks", self.quota_walks);
+        set.set("evictions", self.evictions);
+        set.set("zero_reversions", self.zero_reversions);
+        set.set("relocations", self.relocations);
+        set.set("materializations", self.materializations);
+        set
+    }
 }
 
 /// The branch table: the naming layers' record of where every file-system
@@ -223,7 +243,10 @@ impl Supervisor {
             branch_table: HashMap::new(),
             next_uid: 1,
             root_uid: SegUid(0),
-            root_home: DiskHome { pack: mx_hw::PackId(0), toc: mx_hw::TocIndex(0) },
+            root_home: DiskHome {
+                pack: mx_hw::PackId(0),
+                toc: mx_hw::TocIndex(0),
+            },
             lock: GlobalLock::default(),
             ready: VecDeque::new(),
             current: None,
@@ -261,7 +284,10 @@ impl Supervisor {
             is_dir: true,
             parent: None,
             inferiors: 0,
-            quota: Some(QuotaCell { limit: root_quota, used: 0 }),
+            quota: Some(QuotaCell {
+                limit: root_quota,
+                used: 0,
+            }),
             dir_home: None,
             connections: Vec::new(),
             label: Label::BOTTOM,
@@ -269,7 +295,14 @@ impl Supervisor {
         let astx = self.ast.activate(aste).expect("empty AST");
         self.root_uid = uid;
         self.root_home = DiskHome { pack, toc };
-        self.branch_table.insert(uid, Branch { parent: None, slot: 0, is_dir: true });
+        self.branch_table.insert(
+            uid,
+            Branch {
+                parent: None,
+                slot: 0,
+                is_dir: true,
+            },
+        );
         // Touch the header word so the directory has a first page.
         self.sup_write(astx, 0, Word::ZERO).expect("root header");
     }
@@ -393,7 +426,10 @@ impl Supervisor {
     /// Points processor 0 at a process's address space.
     pub(crate) fn load_dbr(&mut self, pid: ProcessId) -> Result<(), LegacyError> {
         let frame = self.process(pid)?.dseg_frame;
-        self.machine.cpus[0].dbr_user = Some(DescBase { base: frame.base(), len: MAX_SEGNO });
+        self.machine.cpus[0].dbr_user = Some(DescBase {
+            base: frame.base(),
+            len: MAX_SEGNO,
+        });
         Ok(())
     }
 
@@ -405,7 +441,12 @@ impl Supervisor {
     ///
     /// [`LegacyError::NoAccess`] on protection violations; paging errors
     /// otherwise.
-    pub fn user_read(&mut self, pid: ProcessId, segno: u32, wordno: u32) -> Result<Word, LegacyError> {
+    pub fn user_read(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+    ) -> Result<Word, LegacyError> {
         self.user_access(pid, segno, wordno, AccessMode::Read, None)
             .map(|w| w.expect("read returns a word"))
     }
@@ -423,7 +464,8 @@ impl Supervisor {
         wordno: u32,
         value: Word,
     ) -> Result<(), LegacyError> {
-        self.user_access(pid, segno, wordno, AccessMode::Write, Some(value)).map(|_| ())
+        self.user_access(pid, segno, wordno, AccessMode::Write, Some(value))
+            .map(|_| ())
     }
 
     fn user_access(
@@ -454,16 +496,34 @@ impl Supervisor {
         Err(LegacyError::UnhandledFault(Fault::BadDescriptor { va }))
     }
 
+    /// Attributes the cycles charged inside `f` to `subsystem`.
+    ///
+    /// Every supervisor entry point wraps its body with this so the
+    /// clock's meter can report where the old design spends its time.
+    /// Scopes nest across internal calls (directory control paging via
+    /// page control, login creating a process), with each inner scope
+    /// claiming its own cycles.
+    pub(crate) fn scoped<T>(&mut self, subsystem: Subsystem, f: impl FnOnce(&mut Self) -> T) -> T {
+        let guard = self.machine.clock.enter(subsystem);
+        let result = f(self);
+        self.machine.clock.exit(guard);
+        result
+    }
+
     /// The supervisor fault dispatcher.
     pub(crate) fn handle_fault(&mut self, pid: ProcessId, fault: Fault) -> Result<(), LegacyError> {
         match fault {
             Fault::MissingSegment { va } => {
                 self.stats.segment_faults += 1;
-                self.segment_fault(pid, va.segno)
+                self.scoped(Subsystem::SegmentControl, |s| {
+                    s.segment_fault(pid, va.segno)
+                })
             }
             Fault::MissingPage { va, descriptor, .. } => {
                 self.stats.page_faults += 1;
-                self.page_fault(pid, va, descriptor)
+                self.scoped(Subsystem::PageControl, |s| {
+                    s.page_fault(pid, va, descriptor)
+                })
             }
             Fault::AccessViolation { .. } => Err(LegacyError::NoAccess),
             Fault::BoundsViolation { .. } => Err(LegacyError::SegmentTooBig),
@@ -473,14 +533,22 @@ impl Supervisor {
 
     /// Reads the SDW for (process, segno) from the process's dseg.
     pub(crate) fn sdw(&self, pid: ProcessId, segno: u32) -> Sdw {
-        let frame = self.processes[pid.0 as usize].as_ref().expect("live process").dseg_frame;
+        let frame = self.processes[pid.0 as usize]
+            .as_ref()
+            .expect("live process")
+            .dseg_frame;
         Sdw::decode(self.machine.mem.read(frame.base().add(u64::from(segno))))
     }
 
     /// Writes the SDW for (process, segno).
     pub(crate) fn set_sdw(&mut self, pid: ProcessId, segno: u32, sdw: Sdw) {
-        let frame = self.processes[pid.0 as usize].as_ref().expect("live process").dseg_frame;
-        self.machine.mem.write(frame.base().add(u64::from(segno)), sdw.encode());
+        let frame = self.processes[pid.0 as usize]
+            .as_ref()
+            .expect("live process")
+            .dseg_frame;
+        self.machine
+            .mem
+            .write(frame.base().add(u64::from(segno)), sdw.encode());
     }
 
     /// Charges `n` abstract instructions of supervisor code written in
@@ -531,6 +599,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "fewer than 8 pageable frames")]
     fn boot_rejects_cramped_configurations() {
-        let _ = Supervisor::boot(SupervisorConfig { frames: 20, ..Default::default() });
+        let _ = Supervisor::boot(SupervisorConfig {
+            frames: 20,
+            ..Default::default()
+        });
     }
 }

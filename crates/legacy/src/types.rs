@@ -42,7 +42,10 @@ impl Acl {
     /// An ACL granting one user full access.
     pub fn owner(user: UserId) -> Self {
         let mut acl = Self::new();
-        acl.grant(user, &[AccessRight::Read, AccessRight::Write, AccessRight::Execute]);
+        acl.grant(
+            user,
+            &[AccessRight::Read, AccessRight::Write, AccessRight::Execute],
+        );
         acl
     }
 
@@ -50,8 +53,8 @@ impl Acl {
     pub fn grant(&mut self, user: UserId, rights: &[AccessRight]) {
         let idx = rights_index_set(rights);
         if let Some(term) = self.terms.iter_mut().find(|(u, _)| *u == user) {
-            for i in 0..3 {
-                term.1[i] |= idx[i];
+            for (have, add) in term.1.iter_mut().zip(idx) {
+                *have |= add;
             }
         } else {
             self.terms.push((user, idx));
@@ -266,7 +269,13 @@ mod tests {
     fn errors_display() {
         assert_eq!(format!("{}", LegacyError::NoAccess), "no access");
         assert_eq!(
-            format!("{}", LegacyError::QuotaExceeded { limit: 10, used: 10 }),
+            format!(
+                "{}",
+                LegacyError::QuotaExceeded {
+                    limit: 10,
+                    used: 10
+                }
+            ),
             "quota exceeded (10/10 pages)"
         );
     }

@@ -10,7 +10,7 @@
 //! ever learns the other's identity.
 
 use crate::threaded::{EventCount, Sequencer};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A bounded multi-producer multi-consumer channel synchronized purely
 /// by eventcounts and sequencers.
@@ -69,10 +69,11 @@ impl<T> EcChannel<T> {
         // Wait until the slot this ticket owns has been drained: the
         // consumer `ticket - capacity` must have finished.
         if ticket >= self.slots.len() as u64 {
-            self.out_count.await_value(ticket - self.slots.len() as u64 + 1);
+            self.out_count
+                .await_value(ticket - self.slots.len() as u64 + 1);
         }
         let slot = &self.slots[(ticket as usize) % self.slots.len()];
-        *slot.lock() = Some(value);
+        *slot.lock().expect("slot lock poisoned") = Some(value);
         // Reed-Kanodia ordering step: advances happen in ticket order,
         // so `in_count = k` certifies slots 0..k are all filled.
         self.in_count.await_value(ticket);
@@ -84,7 +85,11 @@ impl<T> EcChannel<T> {
         let ticket = self.out_seq.ticket();
         self.in_count.await_value(ticket + 1);
         let slot = &self.slots[(ticket as usize) % self.slots.len()];
-        let value = slot.lock().take().expect("producer filled this slot");
+        let value = slot
+            .lock()
+            .expect("slot lock poisoned")
+            .take()
+            .expect("producer filled this slot");
         // Ordering step, as on the producer side.
         self.out_count.await_value(ticket);
         self.out_count.advance();
@@ -120,7 +125,11 @@ impl EcBarrier {
     /// Panics if `parties` is zero.
     pub fn new(parties: u64) -> Self {
         assert!(parties > 0);
-        Self { parties, arrivals: Sequencer::new(), released: EventCount::new() }
+        Self {
+            parties,
+            arrivals: Sequencer::new(),
+            released: EventCount::new(),
+        }
     }
 
     /// Arrives at the barrier; returns once all parties of this round
@@ -175,7 +184,11 @@ mod tests {
             got.push(ch.recv());
         }
         producer.join().unwrap();
-        assert_eq!(got, (0..50).collect::<Vec<_>>(), "order preserved through a 2-slot ring");
+        assert_eq!(
+            got,
+            (0..50).collect::<Vec<_>>(),
+            "order preserved through a 2-slot ring"
+        );
     }
 
     #[test]
@@ -203,7 +216,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let expect: u64 = (0..4).map(|p| (0..100).map(|i| p * 1000 + i).sum::<u64>()).sum();
+        let expect: u64 = (0..4)
+            .map(|p| (0..100).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
         assert_eq!(total.load(Ordering::SeqCst), expect);
     }
 

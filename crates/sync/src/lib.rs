@@ -8,7 +8,7 @@
 //!
 //! * [`sim`] — a deterministic, single-threaded form used inside the
 //!   machine simulator by the virtual-processor manager;
-//! * [`threaded`] — a real multi-thread form built on `parking_lot`,
+//! * [`threaded`] — a real multi-thread form built on `std::sync`,
 //!   demonstrating that the protocol stands alone as a library;
 //! * [`queue`] — the *real-memory message queue* Reed placed between the
 //!   lower-level and higher-level processor multiplexers, through which

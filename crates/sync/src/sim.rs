@@ -190,7 +190,11 @@ mod tests {
         assert!(!t.await_value(ec, 1, WaiterId(1)));
         assert!(!t.await_value(ec, 2, WaiterId(2)));
         let woke = t.advance(ec);
-        assert_eq!(woke, vec![WaiterId(1), WaiterId(3)], "threshold 1 in id order");
+        assert_eq!(
+            woke,
+            vec![WaiterId(1), WaiterId(3)],
+            "threshold 1 in id order"
+        );
         assert_eq!(t.waiter_count(ec), 1);
         let woke = t.advance(ec);
         assert_eq!(woke, vec![WaiterId(2)]);
@@ -223,7 +227,10 @@ mod tests {
         let a = t.create();
         let b = t.create();
         t.await_value(a, 1, WaiterId(0));
-        assert!(t.advance(b).is_empty(), "advancing b must not wake a's waiter");
+        assert!(
+            t.advance(b).is_empty(),
+            "advancing b must not wake a's waiter"
+        );
         assert_eq!(t.advance(a), vec![WaiterId(0)]);
     }
 }

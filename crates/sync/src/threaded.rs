@@ -6,8 +6,8 @@
 //! inherent: `advance` notifies *all* waiters whose thresholds are met
 //! without knowing who they are, and each re-checks its own condition.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// A monotone event counter usable from many threads.
@@ -43,13 +43,13 @@ impl EventCount {
     /// the property that makes eventcounts safe to read without mutual
     /// exclusion in the original design.
     pub fn read(&self) -> u64 {
-        *self.value.lock()
+        *self.value.lock().expect("eventcount lock poisoned")
     }
 
     /// Increments the count and wakes every thread whose awaited
     /// threshold is now met. Returns the new value.
     pub fn advance(&self) -> u64 {
-        let mut v = self.value.lock();
+        let mut v = self.value.lock().expect("eventcount lock poisoned");
         *v += 1;
         let now = *v;
         drop(v);
@@ -60,9 +60,9 @@ impl EventCount {
     /// Blocks until the count reaches `threshold`. Returns the value
     /// observed when the wait completed (>= `threshold`).
     pub fn await_value(&self, threshold: u64) -> u64 {
-        let mut v = self.value.lock();
+        let mut v = self.value.lock().expect("eventcount lock poisoned");
         while *v < threshold {
-            self.cond.wait(&mut v);
+            v = self.cond.wait(v).expect("eventcount lock poisoned");
         }
         *v
     }
@@ -72,9 +72,18 @@ impl EventCount {
     /// Returns `Some(value)` on success, `None` on timeout.
     pub fn await_value_timeout(&self, threshold: u64, timeout: Duration) -> Option<u64> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut v = self.value.lock();
+        let mut v = self.value.lock().expect("eventcount lock poisoned");
         while *v < threshold {
-            if self.cond.wait_until(&mut v, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, result) = self
+                .cond
+                .wait_timeout(v, deadline - now)
+                .expect("eventcount lock poisoned");
+            v = guard;
+            if result.timed_out() {
                 return if *v >= threshold { Some(*v) } else { None };
             }
         }
@@ -126,7 +135,11 @@ pub struct EventcountMutex<T> {
 impl<T> EventcountMutex<T> {
     /// Wraps `data` in a ticket-ordered critical region.
     pub fn new(data: T) -> Self {
-        Self { seq: Sequencer::new(), done: EventCount::new(), data: Mutex::new(data) }
+        Self {
+            seq: Sequencer::new(),
+            done: EventCount::new(),
+            data: Mutex::new(data),
+        }
     }
 
     /// Runs `f` inside the critical region, in strict ticket order.
@@ -134,7 +147,7 @@ impl<T> EventcountMutex<T> {
         let my_turn = self.seq.ticket();
         self.done.await_value(my_turn);
         let result = {
-            let mut guard = self.data.lock();
+            let mut guard = self.data.lock().expect("data lock poisoned");
             f(&mut guard)
         };
         self.done.advance();
@@ -186,7 +199,10 @@ mod tests {
         let ec = EventCount::new();
         assert_eq!(ec.await_value_timeout(1, Duration::from_millis(20)), None);
         ec.advance();
-        assert_eq!(ec.await_value_timeout(1, Duration::from_millis(20)), Some(1));
+        assert_eq!(
+            ec.await_value_timeout(1, Duration::from_millis(20)),
+            Some(1)
+        );
     }
 
     #[test]
@@ -199,7 +215,10 @@ mod tests {
                 (0..100).map(|_| seq.ticket()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let expect: Vec<u64> = (0..800).collect();
         assert_eq!(all, expect);

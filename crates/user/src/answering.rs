@@ -58,7 +58,11 @@ pub struct AnsweringService {
 impl AnsweringService {
     /// A service with the default three-strikes policy.
     pub fn new() -> Self {
-        Self { records: HashMap::new(), sessions: Vec::new(), max_attempts: 3 }
+        Self {
+            records: HashMap::new(),
+            sessions: Vec::new(),
+            max_attempts: 3,
+        }
     }
 
     /// Registers an account: user-domain record plus the kernel residue
@@ -100,7 +104,11 @@ impl AnsweringService {
         match kernel.login_residue(name, password_hash(password), label) {
             Ok(pid) => {
                 record.failed_attempts = 0;
-                self.sessions.push(Session { name: name.to_string(), pid, label });
+                self.sessions.push(Session {
+                    name: name.to_string(),
+                    pid,
+                    label,
+                });
                 Ok(pid)
             }
             Err(e) => {
@@ -179,7 +187,9 @@ mod tests {
         let mut k = boot();
         let mut svc = AnsweringService::new();
         svc.register(&mut k, "saltzer", UserId(1), "cactus", Label::BOTTOM);
-        let pid = svc.login(&mut k, "saltzer", "cactus", Label::BOTTOM).unwrap();
+        let pid = svc
+            .login(&mut k, "saltzer", "cactus", Label::BOTTOM)
+            .unwrap();
         assert_eq!(svc.active_sessions(), 1);
         k.schedule();
         let charge = svc.logout(&mut k, pid).unwrap();
@@ -198,7 +208,8 @@ mod tests {
         svc.register(&mut k, "clark", UserId(2), "arpa", Label::BOTTOM);
         for _ in 0..3 {
             assert_eq!(
-                svc.login(&mut k, "clark", "wrong", Label::BOTTOM).unwrap_err(),
+                svc.login(&mut k, "clark", "wrong", Label::BOTTOM)
+                    .unwrap_err(),
                 KernelError::BadCredentials
             );
         }
@@ -206,10 +217,15 @@ mod tests {
         // policy, before the gate is ever crossed.
         let gates = k.machine.clock.gate_crossings();
         assert_eq!(
-            svc.login(&mut k, "clark", "arpa", Label::BOTTOM).unwrap_err(),
+            svc.login(&mut k, "clark", "arpa", Label::BOTTOM)
+                .unwrap_err(),
             KernelError::BadCredentials
         );
-        assert_eq!(k.machine.clock.gate_crossings(), gates, "no gate crossing for lockout");
+        assert_eq!(
+            k.machine.clock.gate_crossings(),
+            gates,
+            "no gate crossing for lockout"
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub struct UserLinker {
 impl UserLinker {
     /// A linker for one process.
     pub fn new(pid: ProcessId) -> Self {
-        Self { pid, snapped: HashMap::new(), faults: 0 }
+        Self {
+            pid,
+            snapped: HashMap::new(),
+            faults: 0,
+        }
     }
 
     /// Resolves `symbol` in the object segment at `path`, snapping the
@@ -131,7 +135,8 @@ impl UserLinker {
             if unpack_name(&name_words) == symbol {
                 let offset = kernel.read_word(self.pid, segno, base + 8)?.raw() as u32;
                 let link = SnappedLink { segno, offset };
-                self.snapped.insert((path.to_string(), symbol.to_string()), link);
+                self.snapped
+                    .insert((path.to_string(), symbol.to_string()), link);
                 return Ok(link);
             }
         }
@@ -162,8 +167,15 @@ mod tests {
 
     fn setup_lib(k: &mut Kernel, pid: ProcessId) -> NameSpace {
         let root = k.root_token();
-        k.create_entry(pid, root, "libmath", Acl::owner(UserId(1)), Label::BOTTOM, false)
-            .unwrap();
+        k.create_entry(
+            pid,
+            root,
+            "libmath",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
         let mut ns = NameSpace::new(k, pid);
         let segno = ns.initiate(k, ">libmath").unwrap();
         publish_library(k, pid, segno, &[("sin", 100), ("cos", 200), ("sqrt", 300)]).unwrap();
@@ -191,7 +203,11 @@ mod tests {
         let gates_before = k.machine.clock.gate_crossings();
         let l = linker.link(&mut k, &mut ns, ">libmath", "sin").unwrap();
         assert_eq!(l.offset, 100);
-        assert_eq!(k.machine.clock.gate_crossings(), gates_before, "no gate at all once snapped");
+        assert_eq!(
+            k.machine.clock.gate_crossings(),
+            gates_before,
+            "no gate at all once snapped"
+        );
         assert_eq!(linker.faults, 1);
     }
 

@@ -105,8 +105,8 @@ impl NameSpace {
 mod tests {
     use super::*;
     use mx_aim::Label;
-    use mx_kernel::{Acl, KernelConfig, UserId};
     use mx_hw::Word;
+    use mx_kernel::{Acl, KernelConfig, UserId};
 
     fn boot() -> (Kernel, ProcessId, ProcessId) {
         let mut k = Kernel::boot(KernelConfig {
@@ -129,10 +129,15 @@ mod tests {
     fn build_tree(k: &mut Kernel, alice: ProcessId) {
         let root = k.root_token();
         let mut alice_only = Acl::owner(UserId(1));
-        let a = k.create_entry(alice, root, "a", alice_only.clone(), Label::BOTTOM, true).unwrap();
-        let b = k.create_entry(alice, a, "b", alice_only.clone(), Label::BOTTOM, true).unwrap();
+        let a = k
+            .create_entry(alice, root, "a", alice_only.clone(), Label::BOTTOM, true)
+            .unwrap();
+        let b = k
+            .create_entry(alice, a, "b", alice_only.clone(), Label::BOTTOM, true)
+            .unwrap();
         alice_only.grant(UserId(2), &[mx_kernel::AccessRight::Read]);
-        k.create_entry(alice, b, "leaf", alice_only, Label::BOTTOM, false).unwrap();
+        k.create_entry(alice, b, "leaf", alice_only, Label::BOTTOM, false)
+            .unwrap();
     }
 
     #[test]
@@ -159,7 +164,15 @@ mod tests {
         let root = k.root_token();
         let a = k.dir_search(alice, root, "a").unwrap();
         let b = k.dir_search(alice, a, "b").unwrap();
-        k.create_entry(alice, b, "leaf2", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+        k.create_entry(
+            alice,
+            b,
+            "leaf2",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
         ns.resolve(&mut k, ">a>b>leaf2").unwrap();
         assert_eq!(ns.searches, 4, "one extra search for the last component");
     }
@@ -196,6 +209,9 @@ mod tests {
         let phantom = ns.resolve(&mut k, ">a>no>such>path").unwrap();
         assert_eq!(k.initiate(bob, phantom).unwrap_err(), KernelError::NoAccess);
         // In the *readable* root, a missing first component is honest.
-        assert_eq!(ns.resolve(&mut k, ">nothing").unwrap_err(), KernelError::NoEntry);
+        assert_eq!(
+            ns.resolve(&mut k, ">nothing").unwrap_err(),
+            KernelError::NoEntry
+        );
     }
 }

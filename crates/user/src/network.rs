@@ -33,7 +33,12 @@ impl ArpanetTerminal {
         pid: ProcessId,
     ) -> Result<Self, KernelError> {
         kernel.demux_claim(pid, stream, channel)?;
-        Ok(Self { stream, channel, pid, buffer: Vec::new() })
+        Ok(Self {
+            stream,
+            channel,
+            pid,
+            buffer: Vec::new(),
+        })
     }
 
     /// The ARPANET framing spec the kernel is given at attach time.
@@ -80,7 +85,11 @@ impl FrontEndTerminal {
         pid: ProcessId,
     ) -> Result<Self, KernelError> {
         kernel.demux_claim(pid, stream, channel)?;
-        Ok(Self { stream, channel, pid })
+        Ok(Self {
+            stream,
+            channel,
+            pid,
+        })
     }
 
     /// The front-end framing spec.
@@ -132,7 +141,11 @@ impl ThirdNetTerminal {
         pid: ProcessId,
     ) -> Result<Self, KernelError> {
         kernel.demux_claim(pid, stream, channel)?;
-        Ok(Self { stream, channel, pid })
+        Ok(Self {
+            stream,
+            channel,
+            pid,
+        })
     }
 
     /// Reads and reverses each datagram (a stand-in for "this network's
@@ -174,9 +187,11 @@ mod tests {
         let (mut k, pid) = boot();
         let stream = k.demux_attach(ArpanetTerminal::framing());
         let mut term = ArpanetTerminal::open(&mut k, stream, 7, pid).unwrap();
-        k.demux_receive(stream, &[0, 0, 7, b'h', b'e', b'l']).unwrap();
+        k.demux_receive(stream, &[0, 0, 7, b'h', b'e', b'l'])
+            .unwrap();
         assert_eq!(term.read_lines(&mut k).unwrap(), Vec::<String>::new());
-        k.demux_receive(stream, &[0, 0, 7, b'l', b'o', b'\r', b'x']).unwrap();
+        k.demux_receive(stream, &[0, 0, 7, b'l', b'o', b'\r', b'x'])
+            .unwrap();
         assert_eq!(term.read_lines(&mut k).unwrap(), vec!["hello".to_string()]);
     }
 
@@ -186,14 +201,19 @@ mod tests {
         let arpa = k.demux_attach(ArpanetTerminal::framing());
         let fe = k.demux_attach(FrontEndTerminal::framing());
         let third = k.demux_attach(ThirdNetTerminal::framing());
-        assert_eq!(k.demux.stream_count(), 3, "three specs, zero new kernel handlers");
+        assert_eq!(
+            k.demux.stream_count(),
+            3,
+            "three specs, zero new kernel handlers"
+        );
 
         let mut t_fe = FrontEndTerminal::open(&mut k, fe, 3, pid).unwrap();
         k.demux_receive(fe, &[3, 2, b'o', b'k']).unwrap();
         assert_eq!(t_fe.read(&mut k).unwrap(), b"ok");
 
         let mut t3 = ThirdNetTerminal::open(&mut k, third, 0x0102, pid).unwrap();
-        k.demux_receive(third, &[1, 2, 3, b'a', b'b', b'c']).unwrap();
+        k.demux_receive(third, &[1, 2, 3, b'a', b'b', b'c'])
+            .unwrap();
         assert_eq!(t3.read_quirky(&mut k).unwrap(), b"cba");
 
         let _ = arpa;
@@ -206,8 +226,9 @@ mod tests {
         let _term = ArpanetTerminal::open(&mut k, stream, 9, pid).unwrap();
         k.demux_receive(stream, &[0, 0, 9, b'!']).unwrap();
         let events = k.upm.drain_events();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, mx_kernel::user_process::KernelEvent::ChannelInput { channel: 9, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            mx_kernel::user_process::KernelEvent::ChannelInput { channel: 9, .. }
+        )));
     }
 }

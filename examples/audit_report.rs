@@ -27,12 +27,20 @@ fn audit(name: &str, g: &ModuleGraph) {
             }
         }
         Err(loops) => {
-            println!("verdict: {} DEPENDENCY LOOP(S) — module-at-a-time auditing fails.", loops.len());
+            println!(
+                "verdict: {} DEPENDENCY LOOP(S) — module-at-a-time auditing fails.",
+                loops.len()
+            );
             for comp in &loops {
                 let names: Vec<&str> = comp.iter().map(|m| g.name(*m)).collect();
                 println!("  these must be believed *together*: {}", names.join(", "));
                 for e in g.loop_edges(comp).iter().take(6) {
-                    println!("    because {} -> {} [{}]", g.name(e.from), g.name(e.to), e.kind.label());
+                    println!(
+                        "    because {} -> {} [{}]",
+                        g.name(e.from),
+                        g.name(e.to),
+                        e.kind.label()
+                    );
                 }
             }
         }
@@ -43,8 +51,14 @@ fn audit(name: &str, g: &ModuleGraph) {
 }
 
 fn main() {
-    audit("the 1974 supervisor (Figure 3)", &multics::legacy::actual_structure());
-    audit("Kernel/Multics (Figure 4)", &multics::kernel::kernel_structure());
+    audit(
+        "the 1974 supervisor (Figure 3)",
+        &multics::legacy::actual_structure(),
+    );
+    audit(
+        "Kernel/Multics (Figure 4)",
+        &multics::kernel::kernel_structure(),
+    );
 
     println!("== what the auditor must read ==");
     let catalogue = start_of_project();

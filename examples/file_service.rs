@@ -37,9 +37,20 @@ impl FileServer {
     fn new(kernel: &mut Kernel, pid: ProcessId) -> Self {
         let root = kernel.root_token();
         kernel
-            .create_entry(pid, root, "served", Acl::owner(UserId(1)), Label::BOTTOM, true)
+            .create_entry(
+                pid,
+                root,
+                "served",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                true,
+            )
             .expect("server directory");
-        Self { pid, ns: NameSpace::new(kernel, pid), served: 0 }
+        Self {
+            pid,
+            ns: NameSpace::new(kernel, pid),
+            served: 0,
+        }
     }
 
     fn ensure_file(&mut self, kernel: &mut Kernel, name: u8) -> Result<u32, KernelError> {
@@ -95,7 +106,9 @@ impl FileServer {
 fn main() {
     let mut kernel = Kernel::boot(KernelConfig::default());
     kernel.register_account("server", UserId(1), 1, Label::BOTTOM);
-    let pid = kernel.login_residue("server", 1, Label::BOTTOM).expect("server login");
+    let pid = kernel
+        .login_residue("server", 1, Label::BOTTOM)
+        .expect("server login");
 
     // One demultiplexer, three networks: the kernel grows by three
     // framing specs, not three handlers.
@@ -126,8 +139,7 @@ fn main() {
         vec![3, 3, b'R', 1, 5], // Cross-network read of net-1's file.
     ];
     // Third net: 2-byte channel, length, payload.
-    let third_frames: Vec<Vec<u8>> =
-        vec![vec![1, 2, 3, b'R', 9, 0], vec![1, 2, 4, b'W', 9, 0, 7]];
+    let third_frames: Vec<Vec<u8>> = vec![vec![1, 2, 3, b'R', 9, 0], vec![1, 2, 4, b'W', 9, 0, 7]];
 
     for f in &arpa_frames {
         kernel.demux_receive(arpa, f).unwrap();
@@ -140,10 +152,14 @@ fn main() {
     }
 
     // The server drains each channel and serves the requests.
-    for (label, stream, channel) in
-        [("arpanet", arpa, 7u16), ("front-end", fe, 3), ("third-net", third, 0x0102)]
-    {
-        let bytes = kernel.demux_read(pid, stream, channel).expect("read channel");
+    for (label, stream, channel) in [
+        ("arpanet", arpa, 7u16),
+        ("front-end", fe, 3),
+        ("third-net", third, 0x0102),
+    ] {
+        let bytes = kernel
+            .demux_read(pid, stream, channel)
+            .expect("read channel");
         // Requests were concatenated by the demux; re-split by opcode
         // arity (W=4 bytes, R=3).
         let mut rest = &bytes[..];

@@ -16,22 +16,42 @@ fn main() {
     println!("Kernel/Multics booted:");
     println!("  {} fixed virtual processors", kernel.vpm.count());
     println!("  {} pageable frames", kernel.pfm.pageable());
-    println!("  {} user gates: {:?}\n", Kernel::USER_GATES.len(), Kernel::USER_GATES);
+    println!(
+        "  {} user gates: {:?}\n",
+        Kernel::USER_GATES.len(),
+        Kernel::USER_GATES
+    );
 
     // The answering service (user domain) registers an account and logs
     // in through the kernel residue gate.
     let mut answering = AnsweringService::new();
     answering.register(&mut kernel, "grace", UserId(1), "hopper", Label::BOTTOM);
-    let pid = answering.login(&mut kernel, "grace", "hopper", Label::BOTTOM).expect("login");
+    let pid = answering
+        .login(&mut kernel, "grace", "hopper", Label::BOTTOM)
+        .expect("login");
     println!("logged in as 'grace' -> process {pid:?}");
 
     // Build a small tree with the user-domain name space manager.
     let root = kernel.root_token();
     let home = kernel
-        .create_entry(pid, root, "home", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .create_entry(
+            pid,
+            root,
+            "home",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
         .expect("mkdir >home");
     kernel
-        .create_entry(pid, home, "notes", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            home,
+            "notes",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .expect("create >home>notes");
     let mut ns = NameSpace::new(&mut kernel, pid);
     let segno = ns.initiate(&mut kernel, ">home>notes").expect("initiate");
@@ -56,7 +76,12 @@ fn main() {
     let handle = kernel.segm.get(uid).unwrap().handle;
     kernel
         .pfm
-        .flush(&mut kernel.machine, &mut kernel.drm, &mut kernel.qcm, handle)
+        .flush(
+            &mut kernel.machine,
+            &mut kernel.drm,
+            &mut kernel.qcm,
+            handle,
+        )
         .expect("flush");
     for i in 0..3u32 {
         let w = kernel.read_word(pid, segno, i * 1024).expect("read");
@@ -79,5 +104,8 @@ fn main() {
         "kernel counters: {} segment faults, {} page faults, {} quota exceptions",
         kernel.stats.segment_faults, kernel.stats.page_faults, kernel.stats.quota_faults
     );
-    println!("machine clock: {} simulated cycles", kernel.machine.clock.now());
+    println!(
+        "machine clock: {} simulated cycles",
+        kernel.machine.clock.now()
+    );
 }

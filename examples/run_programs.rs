@@ -28,12 +28,12 @@ fn program(prog_seg: u32, data_seg: u32) -> Vec<Word> {
     const N: u32 = 3000;
     assemble(&[
         // fill loop @0
-        Instr::imm(Op::Ldx, 0),              // 0: X = 0
-        Instr::imm(Op::Ldi, 1),              // 1: A = 1     (loop @1)
-        Instr::mem(Op::Stax, data_seg, 0),   // 2: data[X] = 1
-        Instr::imm(Op::Inx, 1),              // 3: X += 1
-        Instr::imm(Op::Cpx, N),              // 4
-        Instr::mem(Op::Jne, prog_seg, 1),    // 5: loop
+        Instr::imm(Op::Ldx, 0),            // 0: X = 0
+        Instr::imm(Op::Ldi, 1),            // 1: A = 1     (loop @1)
+        Instr::mem(Op::Stax, data_seg, 0), // 2: data[X] = 1
+        Instr::imm(Op::Inx, 1),            // 3: X += 1
+        Instr::imm(Op::Cpx, N),            // 4
+        Instr::mem(Op::Jne, prog_seg, 1),  // 5: loop
         // sum loop
         Instr::imm(Op::Ldi, 0),              // 6: A = 0
         Instr::mem(Op::Sta, data_seg, 4000), // 7: sum = 0 (word 4000, page 3)
@@ -53,8 +53,10 @@ fn main() {
     // ------------------------------------------------ old supervisor --
     let mut sup = Supervisor::boot(SupervisorConfig::default());
     let lpid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "prog", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "data", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "prog", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
+    sup.create_segment_in(sup.root(), "data", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
     let prog_seg = sup.initiate(lpid, "prog").unwrap();
     let data_seg = sup.initiate(lpid, "data").unwrap();
     for (i, w) in program(prog_seg, data_seg).iter().enumerate() {
@@ -77,10 +79,26 @@ fn main() {
     k.register_account("runner", UserId(1), 1, Label::BOTTOM);
     let pid = k.login_residue("runner", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
-    let prog_tok =
-        k.create_entry(pid, root, "prog", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
-    let data_tok =
-        k.create_entry(pid, root, "data", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    let prog_tok = k
+        .create_entry(
+            pid,
+            root,
+            "prog",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
+    let data_tok = k
+        .create_entry(
+            pid,
+            root,
+            "data",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
     let kprog = k.initiate(pid, prog_tok).unwrap();
     let kdata = k.initiate(pid, data_tok).unwrap();
     for (i, w) in program(kprog, kdata).iter().enumerate() {

@@ -24,13 +24,27 @@ fn main() {
 
     answering.register(&mut kernel, "clerk", UserId(1), "pw1", unclass);
     answering.register(&mut kernel, "analyst", UserId(2), "pw2", secret);
-    answering.register(&mut kernel, "cryptographer", UserId(3), "pw3", secret_crypto);
+    answering.register(
+        &mut kernel,
+        "cryptographer",
+        UserId(3),
+        "pw3",
+        secret_crypto,
+    );
 
     // Everyone logs in at (up to) their clearance.
-    let clerk = answering.login(&mut kernel, "clerk", "pw1", unclass).unwrap();
-    let analyst = answering.login(&mut kernel, "analyst", "pw2", secret).unwrap();
-    let crypt = answering.login(&mut kernel, "cryptographer", "pw3", secret_crypto).unwrap();
-    println!("three sessions live: clerk {unclass}, analyst {secret}, cryptographer {secret_crypto}");
+    let clerk = answering
+        .login(&mut kernel, "clerk", "pw1", unclass)
+        .unwrap();
+    let analyst = answering
+        .login(&mut kernel, "analyst", "pw2", secret)
+        .unwrap();
+    let crypt = answering
+        .login(&mut kernel, "cryptographer", "pw3", secret_crypto)
+        .unwrap();
+    println!(
+        "three sessions live: clerk {unclass}, analyst {secret}, cryptographer {secret_crypto}"
+    );
 
     // The clerk publishes an unclassified bulletin everyone may read.
     let root = kernel.root_token();
@@ -42,7 +56,9 @@ fn main() {
         .create_entry(clerk, root, "bulletin", world_read, unclass, false)
         .unwrap();
     let b_clerk = kernel.initiate(clerk, bulletin).unwrap();
-    kernel.write_word(clerk, b_clerk, 0, Word::new(0o52_52_52)).unwrap();
+    kernel
+        .write_word(clerk, b_clerk, 0, Word::new(0o52_52_52))
+        .unwrap();
 
     // Reading up the lattice is fine (simple security grants): the
     // analyst reads the unclassified bulletin.
@@ -61,19 +77,36 @@ fn main() {
     // the label wins: the clerk sees the uniform refusal.
     let mut acl = Acl::owner(UserId(2));
     acl.grant(UserId(1), &[AccessRight::Read]);
-    let report = kernel.create_entry(analyst, root, "report", acl, secret, false).unwrap();
+    let report = kernel
+        .create_entry(analyst, root, "report", acl, secret, false)
+        .unwrap();
     let r_analyst = kernel.initiate(analyst, report).unwrap();
-    kernel.write_word(analyst, r_analyst, 0, Word::new(0o777)).unwrap();
-    assert_eq!(kernel.initiate(clerk, report).unwrap_err(), KernelError::NoAccess);
+    kernel
+        .write_word(analyst, r_analyst, 0, Word::new(0o777))
+        .unwrap();
+    assert_eq!(
+        kernel.initiate(clerk, report).unwrap_err(),
+        KernelError::NoAccess
+    );
     println!("clerk read-up of the secret report: refused (uniform 'no access')");
 
     // Compartments are incomparable even at the same level: the analyst
     // and the cryptographer cannot read each other's material.
     assert!(secret.incomparable(secret_crypto) || secret_crypto.dominates(secret));
     let cipher = kernel
-        .create_entry(crypt, root, "cipher", Acl::owner(UserId(3)), secret_crypto, false)
+        .create_entry(
+            crypt,
+            root,
+            "cipher",
+            Acl::owner(UserId(3)),
+            secret_crypto,
+            false,
+        )
         .unwrap();
-    assert_eq!(kernel.initiate(analyst, cipher).unwrap_err(), KernelError::NoAccess);
+    assert_eq!(
+        kernel.initiate(analyst, cipher).unwrap_err(),
+        KernelError::NoAccess
+    );
     println!("analyst touch of compartment-0 material: refused");
 
     // The decision function is pure and auditable.
@@ -82,23 +115,40 @@ fn main() {
         (secret, unclass, AccessKind::Read, "secret reads unclass"),
         (unclass, secret, AccessKind::Read, "unclass reads secret"),
         (unclass, secret, AccessKind::Write, "unclass writes secret"),
-        (secret, secret_crypto, AccessKind::Read, "secret reads secret{0}"),
+        (
+            secret,
+            secret_crypto,
+            AccessKind::Read,
+            "secret reads secret{0}",
+        ),
     ] {
-        println!("  {label:<26} -> {:?}", ReferenceMonitor::decide(s, o, kind));
+        println!(
+            "  {label:<26} -> {:?}",
+            ReferenceMonitor::decide(s, o, kind)
+        );
     }
 
     // The confinement caveat the paper closes with: reading a hole in a
     // sparse low file updates low accounting state on behalf of a high
     // subject.
     let sparse = kernel
-        .create_entry(clerk, root, "sparse", {
-            let mut a = Acl::owner(UserId(1));
-            a.grant(UserId(2), &[AccessRight::Read]);
-            a
-        }, unclass, false)
+        .create_entry(
+            clerk,
+            root,
+            "sparse",
+            {
+                let mut a = Acl::owner(UserId(1));
+                a.grant(UserId(2), &[AccessRight::Read]);
+                a
+            },
+            unclass,
+            false,
+        )
         .unwrap();
     let s_clerk = kernel.initiate(clerk, sparse).unwrap();
-    kernel.write_word(clerk, s_clerk, 9 * 1024, Word::new(5)).unwrap();
+    kernel
+        .write_word(clerk, s_clerk, 9 * 1024, Word::new(5))
+        .unwrap();
     let before = kernel.flows.violation_count();
     let s_analyst = kernel.initiate(analyst, sparse).unwrap();
     kernel.read_word(analyst, s_analyst, 3 * 1024).unwrap(); // A hole.
@@ -109,7 +159,11 @@ fn main() {
         kernel.flows.violation_count()
     );
 
-    for (who, pid) in [("clerk", clerk), ("analyst", analyst), ("cryptographer", crypt)] {
+    for (who, pid) in [
+        ("clerk", clerk),
+        ("analyst", analyst),
+        ("cryptographer", crypt),
+    ] {
         let units = answering.logout(&mut kernel, pid).unwrap();
         println!("{who} logged out ({units} charge units)");
     }

@@ -2,7 +2,7 @@
 
 use multics::aim::{CompartmentSet, Label, Level};
 use multics::hw::Word;
-use multics::kernel::{Acl, AccessRight, Kernel, KernelConfig, KernelError, UserId};
+use multics::kernel::{AccessRight, Acl, Kernel, KernelConfig, KernelError, UserId};
 use multics::user::{publish_library, AnsweringService, NameSpace, UserLinker};
 
 fn boot() -> Kernel {
@@ -25,26 +25,44 @@ fn a_full_timesharing_session() {
     svc.register(&mut k, "clark", UserId(2), "arpa", Label::BOTTOM);
 
     // Two users log in.
-    let saltzer = svc.login(&mut k, "saltzer", "cactus", Label::BOTTOM).unwrap();
+    let saltzer = svc
+        .login(&mut k, "saltzer", "cactus", Label::BOTTOM)
+        .unwrap();
     let clark = svc.login(&mut k, "clark", "arpa", Label::BOTTOM).unwrap();
 
     // Saltzer builds a project tree and a shared library.
     let root = k.root_token();
     let proj = k
-        .create_entry(saltzer, root, "project", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .create_entry(
+            saltzer,
+            root,
+            "project",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
         .unwrap();
     let mut shared = Acl::owner(UserId(1));
     shared.grant(UserId(2), &[AccessRight::Read, AccessRight::Execute]);
-    k.create_entry(saltzer, proj, "libshared", shared, Label::BOTTOM, false).unwrap();
+    k.create_entry(saltzer, proj, "libshared", shared, Label::BOTTOM, false)
+        .unwrap();
     let mut ns_s = NameSpace::new(&mut k, saltzer);
     let lib_segno = ns_s.initiate(&mut k, ">project>libshared").unwrap();
-    publish_library(&mut k, saltzer, lib_segno, &[("compute", 64), ("report", 128)]).unwrap();
+    publish_library(
+        &mut k,
+        saltzer,
+        lib_segno,
+        &[("compute", 64), ("report", 128)],
+    )
+    .unwrap();
 
     // Clark links against it from his own process, through directories
     // he cannot read.
     let mut ns_c = NameSpace::new(&mut k, clark);
     let mut linker = UserLinker::new(clark);
-    let link = linker.link(&mut k, &mut ns_c, ">project>libshared", "compute").unwrap();
+    let link = linker
+        .link(&mut k, &mut ns_c, ">project>libshared", "compute")
+        .unwrap();
     assert_eq!(link.offset, 64);
 
     // Both processes get scheduled on the fixed virtual processors.
@@ -67,14 +85,28 @@ fn quota_directory_lifecycle_with_the_childless_rule() {
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
     let dir = k
-        .create_entry(pid, root, "limited", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .create_entry(
+            pid,
+            root,
+            "limited",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
         .unwrap();
 
     // Designation works while childless.
     k.set_quota(pid, dir, 3).unwrap();
     // The inverse is refused once a child exists.
     let seg = k
-        .create_entry(pid, dir, "data", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            dir,
+            "data",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .unwrap();
     assert_eq!(
         k.clear_quota(pid, dir).unwrap_err(),
@@ -82,9 +114,17 @@ fn quota_directory_lifecycle_with_the_childless_rule() {
     );
     // And re-designation of a populated directory would be refused too.
     let dir2 = k
-        .create_entry(pid, root, "other", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .create_entry(
+            pid,
+            root,
+            "other",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
         .unwrap();
-    k.create_entry(pid, dir2, "x", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    k.create_entry(pid, dir2, "x", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .unwrap();
     assert_eq!(
         k.set_quota(pid, dir2, 10).unwrap_err(),
         KernelError::QuotaDesignation("directory has children")
@@ -96,7 +136,10 @@ fn quota_directory_lifecycle_with_the_childless_rule() {
     k.write_word(pid, segno, 1024, Word::new(2)).unwrap();
     k.write_word(pid, segno, 2048, Word::new(3)).unwrap();
     let err = k.write_word(pid, segno, 3072, Word::new(4)).unwrap_err();
-    assert!(matches!(err, KernelError::QuotaExceeded { limit: 3, used: 3 }));
+    assert!(matches!(
+        err,
+        KernelError::QuotaExceeded { limit: 3, used: 3 }
+    ));
 
     // Deleting the child frees the charge; then the designation can go.
     k.delete_entry(pid, dir, "data").unwrap();
@@ -116,7 +159,9 @@ fn aim_compartments_isolate_even_at_equal_levels() {
     // A crypto-compartment file that the ACL would happily share.
     let mut acl = Acl::owner(UserId(1));
     acl.grant(UserId(2), &[AccessRight::Read]);
-    let tok = k.create_entry(pc, root, "cipher", acl, crypto, false).unwrap();
+    let tok = k
+        .create_entry(pc, root, "cipher", acl, crypto, false)
+        .unwrap();
     assert!(k.initiate(pc, tok).is_ok());
     assert_eq!(
         k.initiate(pn, tok).unwrap_err(),
@@ -140,17 +185,33 @@ fn memory_pressure_never_loses_data() {
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
     let tok = k
-        .create_entry(pid, root, "big", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            root,
+            "big",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     let pages = 60u32;
     for p in 0..pages {
-        k.write_word(pid, segno, p * 1024 + (p % 7), Word::new(u64::from(p) * 3 + 1)).unwrap();
+        k.write_word(
+            pid,
+            segno,
+            p * 1024 + (p % 7),
+            Word::new(u64::from(p) * 3 + 1),
+        )
+        .unwrap();
         if p % 8 == 7 {
             k.run_purifier(8).unwrap();
         }
     }
-    assert!(k.pfm.stats.evictions > 0, "the pool really was under pressure");
+    assert!(
+        k.pfm.stats.evictions > 0,
+        "the pool really was under pressure"
+    );
     for p in 0..pages {
         assert_eq!(
             k.read_word(pid, segno, p * 1024 + (p % 7)).unwrap(),
@@ -167,12 +228,22 @@ fn terminate_disconnects_and_renders_segno_unusable() {
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
     let tok = k
-        .create_entry(pid, root, "tmp", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            root,
+            "tmp",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     k.write_word(pid, segno, 0, Word::new(9)).unwrap();
     k.terminate(pid, segno).unwrap();
-    assert_eq!(k.read_word(pid, segno, 0).unwrap_err(), KernelError::NoAccess);
+    assert_eq!(
+        k.read_word(pid, segno, 0).unwrap_err(),
+        KernelError::NoAccess
+    );
     // Re-initiation works and finds the data.
     let segno2 = k.initiate(pid, tok).unwrap();
     assert_eq!(k.read_word(pid, segno2, 0).unwrap(), Word::new(9));
@@ -184,9 +255,15 @@ fn deactivation_needs_no_hierarchy_order_in_the_new_design() {
     k.register_account("u", UserId(1), 1, Label::BOTTOM);
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
-    let d1 = k.create_entry(pid, root, "d1", Acl::owner(UserId(1)), Label::BOTTOM, true).unwrap();
-    let d2 = k.create_entry(pid, d1, "d2", Acl::owner(UserId(1)), Label::BOTTOM, true).unwrap();
-    let f = k.create_entry(pid, d2, "f", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    let d1 = k
+        .create_entry(pid, root, "d1", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .unwrap();
+    let d2 = k
+        .create_entry(pid, d1, "d2", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .unwrap();
+    let f = k
+        .create_entry(pid, d2, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .unwrap();
     let segno = k.initiate(pid, f).unwrap();
     k.write_word(pid, segno, 0, Word::new(5)).unwrap();
     // Deactivate the *middle* directory while its inferior's segment is
@@ -212,11 +289,17 @@ fn every_mandatory_decision_lands_in_the_audit_log() {
     let root = k.root_token();
     let mut acl = Acl::owner(UserId(2));
     acl.grant(UserId(1), &[AccessRight::Read]);
-    let tok = k.create_entry(high, root, "classified", acl, secret, false).unwrap();
+    let tok = k
+        .create_entry(high, root, "classified", acl, secret, false)
+        .unwrap();
     let grants_before = k.monitor.audit().grants();
     let denials_before = k.monitor.audit().denials();
     assert!(k.initiate(high, tok).is_ok(), "owner at level");
-    assert_eq!(k.initiate(low, tok).unwrap_err(), KernelError::NoAccess, "read up denied");
+    assert_eq!(
+        k.initiate(low, tok).unwrap_err(),
+        KernelError::NoAccess,
+        "read up denied"
+    );
     assert!(
         k.monitor.audit().grants() > grants_before,
         "the grant was recorded for the auditor"
@@ -234,17 +317,29 @@ fn the_event_queue_reaches_user_level_scheduling() {
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
     let tok = k
-        .create_entry(pid, root, "faulty", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            root,
+            "faulty",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     k.write_word(pid, segno, 0, Word::new(1)).unwrap();
     // Flush, then fault the page back in: the service posts an event.
     let uid = k.uid_of_token(tok).unwrap();
     let handle = k.segm.get(uid).unwrap().handle;
-    k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+    k.pfm
+        .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+        .unwrap();
     let ec_before = k.vpm.read_eventcount(k.upm.queue_event);
     k.read_word(pid, segno, 0).unwrap();
-    assert!(k.vpm.read_eventcount(k.upm.queue_event) > ec_before, "the queue eventcount advanced");
+    assert!(
+        k.vpm.read_eventcount(k.upm.queue_event) > ec_before,
+        "the queue eventcount advanced"
+    );
     // The scheduler drains it on its next pass.
     k.schedule();
 }

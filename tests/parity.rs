@@ -20,7 +20,9 @@ struct Pair {
 
 fn boot_pair() -> Pair {
     let mut sup = Supervisor::boot(SupervisorConfig::default());
-    let lpid = sup.create_process(multics::legacy::UserId(1), Label::BOTTOM).unwrap();
+    let lpid = sup
+        .create_process(multics::legacy::UserId(1), Label::BOTTOM)
+        .unwrap();
     let mut k = Kernel::boot(KernelConfig::default());
     k.register_account("u", multics::kernel::UserId(1), 1, Label::BOTTOM);
     let kpid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
@@ -80,7 +82,10 @@ impl Pair {
         if path.is_empty() {
             return self.sup.root();
         }
-        self.sup.resolve(self.lpid, path, multics::legacy::AccessRight::Read).unwrap().0
+        self.sup
+            .resolve(self.lpid, path, multics::legacy::AccessRight::Read)
+            .unwrap()
+            .0
     }
 
     fn kernel_resolve(&mut self, path: &str) -> multics::kernel::ObjToken {
@@ -91,12 +96,16 @@ impl Pair {
     /// Writes then reads a word through each system's user path.
     fn rw_both(&mut self, path: &str, wordno: u32, value: u64) -> (Word, Word) {
         let segno = self.sup.initiate(self.lpid, path).unwrap();
-        self.sup.user_write(self.lpid, segno, wordno, Word::new(value)).unwrap();
+        self.sup
+            .user_write(self.lpid, segno, wordno, Word::new(value))
+            .unwrap();
         let lw = self.sup.user_read(self.lpid, segno, wordno).unwrap();
 
         let tok = self.kernel_resolve(path);
         let ksegno = self.k.initiate(self.kpid, tok).unwrap();
-        self.k.write_word(self.kpid, ksegno, wordno, Word::new(value)).unwrap();
+        self.k
+            .write_word(self.kpid, ksegno, wordno, Word::new(value))
+            .unwrap();
         let kw = self.k.read_word(self.kpid, ksegno, wordno).unwrap();
         (lw, kw)
     }
@@ -131,22 +140,38 @@ fn sparse_files_charge_the_same_record_counts() {
     // once the dust settles (zero pages revert on flush).
     let lsegno = p.sup.initiate(p.lpid, "sparse").unwrap();
     p.sup.user_write(p.lpid, lsegno, 0, Word::new(1)).unwrap();
-    p.sup.user_write(p.lpid, lsegno, 9 * 1024, Word::new(2)).unwrap();
-    let luid = p.sup.resolve(p.lpid, "sparse", multics::legacy::AccessRight::Read).unwrap().0;
+    p.sup
+        .user_write(p.lpid, lsegno, 9 * 1024, Word::new(2))
+        .unwrap();
+    let luid = p
+        .sup
+        .resolve(p.lpid, "sparse", multics::legacy::AccessRight::Read)
+        .unwrap()
+        .0;
     let lastx = p.sup.ast.find(luid).unwrap();
     p.sup.flush_segment(lastx).unwrap();
     let lrecords = {
         let home = p.sup.ast.get(lastx).unwrap().home;
-        p.sup.machine.disks.pack(home.pack).unwrap().entry(home.toc).unwrap().records_used()
+        p.sup
+            .machine
+            .disks
+            .pack(home.pack)
+            .unwrap()
+            .entry(home.toc)
+            .unwrap()
+            .records_used()
     };
 
     let tok = p.kernel_resolve(">sparse");
     let ksegno = p.k.initiate(p.kpid, tok).unwrap();
     p.k.write_word(p.kpid, ksegno, 0, Word::new(1)).unwrap();
-    p.k.write_word(p.kpid, ksegno, 9 * 1024, Word::new(2)).unwrap();
+    p.k.write_word(p.kpid, ksegno, 9 * 1024, Word::new(2))
+        .unwrap();
     let uid = p.k.uid_of_token(tok).unwrap();
     let handle = p.k.segm.get(uid).unwrap().handle;
-    p.k.pfm.flush(&mut p.k.machine, &mut p.k.drm, &mut p.k.qcm, handle).unwrap();
+    p.k.pfm
+        .flush(&mut p.k.machine, &mut p.k.drm, &mut p.k.qcm, handle)
+        .unwrap();
     let (_, krecords) = p.k.segment_meta(p.kpid, ksegno).unwrap();
 
     assert_eq!(lrecords, 2, "old system: 10 logical pages, 2 stored");
@@ -158,13 +183,22 @@ fn forbidden_and_missing_names_answer_identically_on_both() {
     let mut p = boot_pair();
     p.mkdir(">vault");
     // A second user with no rights anywhere.
-    let intruder_l = p.sup.create_process(multics::legacy::UserId(9), Label::BOTTOM).unwrap();
+    let intruder_l = p
+        .sup
+        .create_process(multics::legacy::UserId(9), Label::BOTTOM)
+        .unwrap();
     p.k.register_account("intruder", multics::kernel::UserId(9), 9, Label::BOTTOM);
     let intruder_k = p.k.login_residue("intruder", 9, Label::BOTTOM).unwrap();
 
     // Old system: resolve answers NoAccess for both cases.
-    let e1 = p.sup.resolve(intruder_l, "vault", multics::legacy::AccessRight::Read).unwrap_err();
-    let e2 = p.sup.resolve(intruder_l, "ghost-dir", multics::legacy::AccessRight::Read).unwrap_err();
+    let e1 = p
+        .sup
+        .resolve(intruder_l, "vault", multics::legacy::AccessRight::Read)
+        .unwrap_err();
+    let e2 = p
+        .sup
+        .resolve(intruder_l, "ghost-dir", multics::legacy::AccessRight::Read)
+        .unwrap_err();
     assert_eq!(e1, LegacyError::NoAccess);
     assert_eq!(e1, e2);
 
@@ -193,16 +227,26 @@ fn quota_limits_enforce_identically_where_semantics_overlap() {
 
     let lsegno = p.sup.initiate(p.lpid, "q>fill").unwrap();
     p.sup.user_write(p.lpid, lsegno, 0, Word::new(1)).unwrap();
-    p.sup.user_write(p.lpid, lsegno, 1024, Word::new(2)).unwrap();
-    let le = p.sup.user_write(p.lpid, lsegno, 2048, Word::new(3)).unwrap_err();
+    p.sup
+        .user_write(p.lpid, lsegno, 1024, Word::new(2))
+        .unwrap();
+    let le = p
+        .sup
+        .user_write(p.lpid, lsegno, 2048, Word::new(3))
+        .unwrap_err();
     assert!(matches!(le, LegacyError::QuotaExceeded { limit: 2, .. }));
 
     let ftok = p.kernel_resolve(">q>fill");
     let ksegno = p.k.initiate(p.kpid, ftok).unwrap();
     p.k.write_word(p.kpid, ksegno, 0, Word::new(1)).unwrap();
     p.k.write_word(p.kpid, ksegno, 1024, Word::new(2)).unwrap();
-    let ke = p.k.write_word(p.kpid, ksegno, 2048, Word::new(3)).unwrap_err();
-    assert!(matches!(ke, KernelError::QuotaExceeded { limit: 2, used: 2 }));
+    let ke =
+        p.k.write_word(p.kpid, ksegno, 2048, Word::new(3))
+            .unwrap_err();
+    assert!(matches!(
+        ke,
+        KernelError::QuotaExceeded { limit: 2, used: 2 }
+    ));
 }
 
 #[test]
@@ -213,7 +257,10 @@ fn the_semantics_change_quota_designation_differs_deliberately() {
     let mut p = boot_pair();
     p.mkdir(">busy");
     p.mkseg(">busy>child");
-    assert!(p.sup.set_quota_directory(p.lpid, "busy", 50).is_ok(), "old: dynamic designation");
+    assert!(
+        p.sup.set_quota_directory(p.lpid, "busy", 50).is_ok(),
+        "old: dynamic designation"
+    );
     let tok = p.kernel_resolve(">busy");
     assert_eq!(
         p.k.set_quota(p.kpid, tok, 50).unwrap_err(),

@@ -22,7 +22,9 @@ fn boot() -> (Kernel, multics::kernel::ProcessId) {
 
 fn make_seg(k: &mut Kernel, pid: multics::kernel::ProcessId, name: &str, acl: Acl) -> u32 {
     let root = k.root_token();
-    let tok = k.create_entry(pid, root, name, acl, Label::BOTTOM, false).unwrap();
+    let tok = k
+        .create_entry(pid, root, name, acl, Label::BOTTOM, false)
+        .unwrap();
     k.initiate(pid, tok).unwrap()
 }
 
@@ -50,7 +52,10 @@ fn a_program_grows_its_data_segment_through_quota_exceptions() {
     let run = k.run_program(pid, prog, 0, 100).unwrap();
     assert_eq!(run.outcome, ProgramOutcome::Halted);
     assert_eq!(run.regs.a, Word::new(42));
-    assert!(k.stats.quota_faults > q_before, "the store raised a quota exception");
+    assert!(
+        k.stats.quota_faults > q_before,
+        "the store raised a quota exception"
+    );
 }
 
 #[test]
@@ -62,7 +67,9 @@ fn a_program_cannot_write_a_read_only_segment() {
     let root = k.root_token();
     let mut acl = Acl::owner(UserId(2));
     acl.grant(UserId(1), &[multics::kernel::AccessRight::Read]);
-    let tok = k.create_entry(victim, root, "readonly", acl, Label::BOTTOM, false).unwrap();
+    let tok = k
+        .create_entry(victim, root, "readonly", acl, Label::BOTTOM, false)
+        .unwrap();
     let vseg = k.initiate(victim, tok).unwrap();
     k.write_word(victim, vseg, 0, Word::new(7)).unwrap();
 
@@ -101,18 +108,21 @@ fn programs_survive_relocation_of_their_own_data_mid_run() {
     // Fill 16 pages (the boot pack holds 10 records): the program's own
     // stores force a relocation while it runs.
     let code = assemble(&[
-        Instr::imm(Op::Ldx, 0),             // 0
-        Instr::bare(Op::Txa),               // 1: A = X     (loop head)
-        Instr::mem(Op::Stax, data, 0),      // 2: data[X] = X (X is a multiple of 1024)
-        Instr::imm(Op::Inx, 1024),          // 3
-        Instr::imm(Op::Cpx, 16 * 1024),     // 4
-        Instr::mem(Op::Jne, prog, 1),       // 5
-        Instr::bare(Op::Hlt),               // 6
+        Instr::imm(Op::Ldx, 0),         // 0
+        Instr::bare(Op::Txa),           // 1: A = X     (loop head)
+        Instr::mem(Op::Stax, data, 0),  // 2: data[X] = X (X is a multiple of 1024)
+        Instr::imm(Op::Inx, 1024),      // 3
+        Instr::imm(Op::Cpx, 16 * 1024), // 4
+        Instr::mem(Op::Jne, prog, 1),   // 5
+        Instr::bare(Op::Hlt),           // 6
     ]);
     load(&mut k, pid, prog, &code);
     let run = k.run_program(pid, prog, 0, 10_000).unwrap();
     assert_eq!(run.outcome, ProgramOutcome::Halted);
-    assert!(k.segm.stats.relocations >= 1, "the data segment moved mid-run");
+    assert!(
+        k.segm.stats.relocations >= 1,
+        "the data segment moved mid-run"
+    );
     for p in 0..16u32 {
         assert_eq!(
             k.read_word(pid, data, p * 1024).unwrap(),
@@ -181,8 +191,10 @@ fn both_systems_run_the_same_binary_to_the_same_answer() {
 
     let mut sup = Supervisor::boot(SupervisorConfig::default());
     let lpid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "prog", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "data", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "prog", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
+    sup.create_segment_in(sup.root(), "data", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
     let lprog = sup.initiate(lpid, "prog").unwrap();
     let ldata = sup.initiate(lpid, "data").unwrap();
     for (i, w) in shift(lprog, ldata).iter().enumerate() {

@@ -22,22 +22,37 @@ use multics::legacy::{Acl as LAcl, Supervisor, SupervisorConfig, UserId as LUser
 fn legacy_retranslation_detects_a_raced_service() {
     let mut sup = Supervisor::boot(SupervisorConfig::default());
     let pid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "hot", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "hot", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
     let segno = sup.initiate(pid, "hot").unwrap();
     sup.user_write(pid, segno, 0, Word::new(9)).unwrap();
     // Page out.
-    let uid = sup.resolve(pid, "hot", multics::legacy::AccessRight::Read).unwrap().0;
+    let uid = sup
+        .resolve(pid, "hot", multics::legacy::AccessRight::Read)
+        .unwrap()
+        .0;
     let astx = sup.ast.find(uid).unwrap();
     sup.flush_segment(astx).unwrap();
 
     // CPU 0 takes the missing-page fault (the reference traps)...
     let va = VirtAddr::new(segno, 0);
     let fault = {
-        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut sup.machine;
+        let multics::hw::Machine {
+            mem,
+            clock,
+            cpus,
+            cost,
+            ..
+        } = &mut sup.machine;
         let cost = *cost;
         cpus[0].read(mem, clock, &cost, va).unwrap_err()
     };
-    let Fault::MissingPage { descriptor, locked_by_hw, .. } = fault else {
+    let Fault::MissingPage {
+        descriptor,
+        locked_by_hw,
+        ..
+    } = fault
+    else {
         panic!("expected a missing page, got {fault}");
     };
     assert!(!locked_by_hw, "1974 hardware has no lock bit");
@@ -65,12 +80,23 @@ fn kernel_lock_bit_closes_the_window() {
     k.register_account("u", UserId(1), 1, Label::BOTTOM);
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
-    let tok = k.create_entry(pid, root, "hot", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    let tok = k
+        .create_entry(
+            pid,
+            root,
+            "hot",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     k.write_word(pid, segno, 0, Word::new(9)).unwrap();
     let uid = k.uid_of_token(tok).unwrap();
     let handle = k.segm.get(uid).unwrap().handle;
-    k.pfm.flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle).unwrap();
+    k.pfm
+        .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+        .unwrap();
 
     // Both processors share the process's address space for the test.
     let frame = k.upm.dseg_frame(pid).unwrap();
@@ -84,21 +110,41 @@ fn kernel_lock_bit_closes_the_window() {
 
     // CPU 0 faults; the hardware sets the lock bit atomically.
     let fault = {
-        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let multics::hw::Machine {
+            mem,
+            clock,
+            cpus,
+            cost,
+            ..
+        } = &mut k.machine;
         let cost = *cost;
         cpus[0].read(mem, clock, &cost, va).unwrap_err()
     };
-    let Fault::MissingPage { descriptor, locked_by_hw, .. } = fault else {
+    let Fault::MissingPage {
+        descriptor,
+        locked_by_hw,
+        ..
+    } = fault
+    else {
         panic!("expected a missing page, got {fault}");
     };
-    assert!(locked_by_hw, "the proposed hardware locked the descriptor in the fault");
+    assert!(
+        locked_by_hw,
+        "the proposed hardware locked the descriptor in the fault"
+    );
     assert!(Ptw::decode(k.machine.mem.read(descriptor)).locked);
 
     // CPU 1 touches the same page inside the window: no duplicate fault,
     // no retranslation — a locked-descriptor exception, and the locked
     // descriptor's address lands in the per-processor register.
     let fault2 = {
-        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let multics::hw::Machine {
+            mem,
+            clock,
+            cpus,
+            cost,
+            ..
+        } = &mut k.machine;
         let cost = *cost;
         cpus[1].read(mem, clock, &cost, va).unwrap_err()
     };
@@ -112,14 +158,27 @@ fn kernel_lock_bit_closes_the_window() {
     k.pfm
         .service_missing(&mut k.machine, &mut k.drm, &mut k.qcm, &mut k.vpm, h, p)
         .unwrap();
-    assert!(!Ptw::decode(k.machine.mem.read(descriptor)).locked, "unlocked after service");
-    assert_eq!(k.vpm.read_eventcount(k.pfm.page_event), ec_before + 1, "waiters notified");
+    assert!(
+        !Ptw::decode(k.machine.mem.read(descriptor)).locked,
+        "unlocked after service"
+    );
+    assert_eq!(
+        k.vpm.read_eventcount(k.pfm.page_event),
+        ec_before + 1,
+        "waiters notified"
+    );
 
     // Both processors' re-references now succeed — CPU 1 without ever
     // having entered the page-service path.
     for cpuno in [0u32, 1] {
         let got = {
-            let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+            let multics::hw::Machine {
+                mem,
+                clock,
+                cpus,
+                cost,
+                ..
+            } = &mut k.machine;
             let cost = *cost;
             cpus[cpuno as usize].read(mem, clock, &cost, va).unwrap()
         };
@@ -139,7 +198,10 @@ fn wakeup_waiting_switch_prevents_a_lost_notification() {
     k.machine.cpus[0].wakeup_waiting = true;
     // ...so the wait primitive consumes the switch and does not park.
     assert!(k.machine.cpus[0].take_wakeup_waiting());
-    assert!(!k.machine.cpus[0].take_wakeup_waiting(), "the switch is take-once");
+    assert!(
+        !k.machine.cpus[0].take_wakeup_waiting(),
+        "the switch is take-once"
+    );
 }
 
 #[test]
@@ -156,23 +218,43 @@ fn dual_dbr_isolates_system_translation_from_user_spaces() {
     // Write a word into the kernel communication segment (system segno 0)
     // through CPU 0 while process A's space is loaded.
     let fa = k.upm.dseg_frame(pa).unwrap();
-    k.machine.cpus[0].dbr_user =
-        Some(multics::hw::cpu::DescBase { base: fa.base(), len: 1024 });
+    k.machine.cpus[0].dbr_user = Some(multics::hw::cpu::DescBase {
+        base: fa.base(),
+        len: 1024,
+    });
     let sys_va = VirtAddr::new(0, 7);
     {
-        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let multics::hw::Machine {
+            mem,
+            clock,
+            cpus,
+            cost,
+            ..
+        } = &mut k.machine;
         let cost = *cost;
-        cpus[0].write(mem, clock, &cost, sys_va, Word::new(0o31415)).unwrap();
+        cpus[0]
+            .write(mem, clock, &cost, sys_va, Word::new(0o31415))
+            .unwrap();
     }
     // Switch to process B's space: the system word is still there at the
     // same system segment number.
     let fb = k.upm.dseg_frame(pb).unwrap();
-    k.machine.cpus[0].dbr_user =
-        Some(multics::hw::cpu::DescBase { base: fb.base(), len: 1024 });
+    k.machine.cpus[0].dbr_user = Some(multics::hw::cpu::DescBase {
+        base: fb.base(),
+        len: 1024,
+    });
     let got = {
-        let multics::hw::Machine { mem, clock, cpus, cost, .. } = &mut k.machine;
+        let multics::hw::Machine {
+            mem,
+            clock,
+            cpus,
+            cost,
+            ..
+        } = &mut k.machine;
         let cost = *cost;
-        cpus[0].translate(mem, clock, &cost, sys_va, AccessMode::Read).map(|abs| mem.read(abs))
+        cpus[0]
+            .translate(mem, clock, &cost, sys_va, AccessMode::Read)
+            .map(|abs| mem.read(abs))
     };
     assert_eq!(got.unwrap(), Word::new(0o31415));
 }

@@ -5,10 +5,9 @@
 //! signal upward, get its directory entry rewritten, and lose nothing.
 
 use multics::aim::Label;
+use multics::hw::SplitMix64;
 use multics::hw::Word;
 use multics::kernel::{Acl, Kernel, KernelConfig, KernelError, UserId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn boot_tight() -> (Kernel, multics::kernel::ProcessId) {
     let mut k = Kernel::boot(KernelConfig {
@@ -34,19 +33,36 @@ fn growth_across_full_packs_is_transparent() {
     let (mut k, pid) = boot_tight();
     let root = k.root_token();
     let tok = k
-        .create_entry(pid, root, "grower", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .create_entry(
+            pid,
+            root,
+            "grower",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
         .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     // 30 pages cannot fit on the 10-record boot pack: relocation must
     // happen, invisibly.
     for p in 0..30u32 {
-        k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 7)).unwrap();
+        k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 7))
+            .unwrap();
     }
-    assert!(k.segm.stats.relocations >= 1, "the pack filled and the segment moved");
-    assert_eq!(k.segm.stats.upward_signals, k.stats.trampolines, "every signal consumed");
+    assert!(
+        k.segm.stats.relocations >= 1,
+        "the pack filled and the segment moved"
+    );
+    assert_eq!(
+        k.segm.stats.upward_signals, k.stats.trampolines,
+        "every signal consumed"
+    );
     assert_eq!(k.segm.stats.upward_signals, k.dirm.stats.moves_recorded);
     for p in 0..30u32 {
-        assert_eq!(k.read_word(pid, segno, p * 1024).unwrap(), Word::new(u64::from(p) + 7));
+        assert_eq!(
+            k.read_word(pid, segno, p * 1024).unwrap(),
+            Word::new(u64::from(p) + 7)
+        );
     }
     // The directory entry and the KST agree about the new home.
     let uid = k.uid_of_token(tok).unwrap();
@@ -58,20 +74,27 @@ fn growth_across_full_packs_is_transparent() {
 fn several_segments_compete_for_packs() {
     let (mut k, pid) = boot_tight();
     let root = k.root_token();
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::new(99);
     let mut tokens = Vec::new();
     let mut segnos = Vec::new();
     for i in 0..4 {
         let tok = k
-            .create_entry(pid, root, &format!("seg{i}"), Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .create_entry(
+                pid,
+                root,
+                &format!("seg{i}"),
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
             .unwrap();
         segnos.push(k.initiate(pid, tok).unwrap());
         tokens.push(tok);
     }
     let mut model = std::collections::HashMap::new();
     for step in 0..120u64 {
-        let s = rng.gen_range(0..4usize);
-        let page = rng.gen_range(0..20u32);
+        let s = rng.range_usize(0, 4);
+        let page = rng.range_u32(0, 20);
         let value = step + 1;
         match k.write_word(pid, segnos[s], page * 1024, Word::new(value)) {
             Ok(()) => {
@@ -88,7 +111,10 @@ fn several_segments_compete_for_packs() {
             "segment {s} page {page}"
         );
     }
-    assert!(k.segm.stats.relocations >= 1, "competition forced at least one move");
+    assert!(
+        k.segm.stats.relocations >= 1,
+        "competition forced at least one move"
+    );
 }
 
 #[test]
@@ -99,12 +125,26 @@ fn directory_growth_can_itself_move_the_directory() {
     let (mut k, pid) = boot_tight();
     let root = k.root_token();
     let dir = k
-        .create_entry(pid, root, "crowded", Acl::owner(UserId(1)), Label::BOTTOM, true)
+        .create_entry(
+            pid,
+            root,
+            "crowded",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
         .unwrap();
     let n = 80u32; // 80 entries ≈ 1600 words: the directory crosses a page.
     for i in 0..n {
-        k.create_entry(pid, dir, &format!("e{i}"), Acl::owner(UserId(1)), Label::BOTTOM, false)
-            .unwrap();
+        k.create_entry(
+            pid,
+            dir,
+            &format!("e{i}"),
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            false,
+        )
+        .unwrap();
     }
     let names = k.list_dir(pid, dir).unwrap();
     assert_eq!(names.len(), n as usize);
@@ -128,9 +168,20 @@ fn quota_failures_during_storms_roll_back_cleanly() {
     k.register_account("u", UserId(1), 1, Label::BOTTOM);
     let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
     let root = k.root_token();
-    let dir = k.create_entry(pid, root, "capped", Acl::owner(UserId(1)), Label::BOTTOM, true).unwrap();
+    let dir = k
+        .create_entry(
+            pid,
+            root,
+            "capped",
+            Acl::owner(UserId(1)),
+            Label::BOTTOM,
+            true,
+        )
+        .unwrap();
     k.set_quota(pid, dir, 4).unwrap();
-    let tok = k.create_entry(pid, dir, "s", Acl::owner(UserId(1)), Label::BOTTOM, false).unwrap();
+    let tok = k
+        .create_entry(pid, dir, "s", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .unwrap();
     let segno = k.initiate(pid, tok).unwrap();
     let mut ok = 0;
     let mut refused = 0;
@@ -144,7 +195,11 @@ fn quota_failures_during_storms_roll_back_cleanly() {
     assert_eq!(ok, 4);
     assert_eq!(refused, 6);
     let quid = k.uid_of_token(dir).unwrap();
-    assert_eq!(k.qcm.cell_state(quid), Some((4, 4)), "failed charges rolled back exactly");
+    assert_eq!(
+        k.qcm.cell_state(quid),
+        Some((4, 4)),
+        "failed charges rolled back exactly"
+    );
     // Earlier pages still intact after the refusals.
     for p in 0..4u32 {
         assert_eq!(k.read_word(pid, segno, p * 1024).unwrap(), Word::new(1));
@@ -164,13 +219,18 @@ fn legacy_relocation_agrees_on_data_preservation() {
     // A big spare pack, as in the kernel test.
     sup.machine.disks.attach(64, 32);
     let pid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
-    sup.create_segment_in(sup.root(), "grower", LAcl::owner(LUserId(1)), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "grower", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
     let segno = sup.initiate(pid, "grower").unwrap();
     for p in 0..30u32 {
-        sup.user_write(pid, segno, p * 1024, Word::new(u64::from(p) + 7)).unwrap();
+        sup.user_write(pid, segno, p * 1024, Word::new(u64::from(p) + 7))
+            .unwrap();
     }
     assert!(sup.stats.relocations >= 1);
     for p in 0..30u32 {
-        assert_eq!(sup.user_read(pid, segno, p * 1024).unwrap(), Word::new(u64::from(p) + 7));
+        assert_eq!(
+            sup.user_read(pid, segno, p * 1024).unwrap(),
+            Word::new(u64::from(p) + 7)
+        );
     }
 }
