@@ -1,0 +1,18 @@
+//! A3 — wall-clock: the descriptor-walk associative memory on and off.
+
+use mx_bench::a3_associative_memory;
+use mx_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_tlb");
+    g.sample_size(10);
+    for refs in [400usize, 1200] {
+        g.bench_with_input(BenchmarkId::from_parameter(refs), &refs, |b, &r| {
+            b.iter(|| std::hint::black_box(a3_associative_memory(80, 40, r, 10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

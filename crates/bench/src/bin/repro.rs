@@ -10,9 +10,9 @@
 //! ```
 
 use mx_bench::{
-    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory,
-    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement, s3_relocation,
-    TreeSpec,
+    a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
+    p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,
+    s2_confinement, s3_relocation, TreeSpec,
 };
 use mx_census::multics::{standard_transforms, start_of_project, PLI_EQUIVALENT_SHRINK_PERMILLE};
 use mx_census::plan::render_plan;
@@ -23,7 +23,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "a1", "a2",
+    "s2", "s3", "a1", "a2", "a3",
 ];
 
 fn main() {
@@ -271,8 +271,18 @@ fn main() {
     }
     if want("a2") {
         header("A2", "Ablation — the purifier's idle-priority execution");
-        println!("{}", a2_purifier_idle(36, 40, 1200, 10));
+        println!("{}", a2_purifier_idle(36, 40, 1500, 10));
         println!();
+    }
+    if want("a3") {
+        header("A3", "Ablation — the descriptor-walk associative memory");
+        for c in a3_associative_memory(80, 40, 1200, 10) {
+            println!("{c}");
+        }
+        println!(
+            "  the driver asserts hits + misses == lookups and that every charged\n  \
+             cycle is attributed to a subsystem; a violation aborts the run\n"
+        );
     }
     if want("s1") {
         header("S1", "Semantics — mythical identifiers");

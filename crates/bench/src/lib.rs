@@ -14,8 +14,8 @@ pub mod trace;
 pub mod workload;
 
 pub use experiments::{
-    a1_namespace_cache, a2_purifier_idle, p1_linker, p2_namespace, p3_answering, p4_memory,
-    p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers, s2_confinement, s3_relocation,
-    Comparison, MemoryRow, QuotaRow, SchedulerRow,
+    a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
+    p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,
+    s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow, SchedulerRow,
 };
 pub use workload::{RefString, TreeSpec};

@@ -614,9 +614,9 @@ impl Kernel {
             let entry = k.ksm.unbind(pid, segno)?;
             // Cut this process's SDW.
             if let Ok(frame) = k.upm.dseg_frame(pid) {
-                k.machine
-                    .mem
-                    .write(frame.base().add(u64::from(segno)), Sdw::default().encode());
+                let sdw_addr = frame.base().add(u64::from(segno));
+                k.machine.mem.write(sdw_addr, Sdw::default().encode());
+                k.machine.tlb_invalidate_sdw(sdw_addr);
             }
             let _ = entry;
             Ok(())
@@ -907,6 +907,7 @@ impl Kernel {
         let frame = self.upm.dseg_frame(pid)?;
         let sdw_addr = frame.base().add(u64::from(segno));
         self.machine.mem.write(sdw_addr, sdw.encode());
+        self.machine.tlb_invalidate_sdw(sdw_addr);
         self.segm.register_connection(entry.uid, sdw_addr)?;
         Ok(())
     }

@@ -194,6 +194,9 @@ impl PageFrameManager {
                 .mem
                 .write(self.ptw_addr(handle, pageno), ptw.encode());
         }
+        // The slot may be a reused one: translations cached from its
+        // previous tenant must not survive into the new binding.
+        machine.tlb_invalidate_ptw_range(self.ptw_addr(handle, 0), u64::from(PT_WORDS));
         Ok(handle)
     }
 
@@ -255,9 +258,11 @@ impl PageFrameManager {
     }
 
     fn set_ptw(&self, machine: &mut Machine, handle: PtHandle, pageno: u32, ptw: Ptw) {
-        machine
-            .mem
-            .write(self.ptw_addr(handle, pageno), ptw.encode());
+        let addr = self.ptw_addr(handle, pageno);
+        machine.mem.write(addr, ptw.encode());
+        // Every kernel descriptor mutation funnels through here: flush
+        // the associative memories for the rewritten word ("setfaults").
+        machine.tlb_invalidate_ptw(addr);
     }
 
     /// Maps a faulting descriptor address back to (handle, pageno) using
@@ -608,6 +613,9 @@ impl PageFrameManager {
                 .mem
                 .write(self.ptw_addr(handle, pageno), ptw.encode());
         }
+        // The whole table was re-armed: flush any translation cached
+        // from it (full-pack relocation keeps the table address).
+        machine.tlb_invalidate_ptw_range(self.ptw_addr(handle, 0), u64::from(PT_WORDS));
         Ok(())
     }
 }

@@ -157,6 +157,7 @@ impl SegmentManager {
         pfm.unbind(machine, drm, qcm, seg.handle)?;
         for sdw_addr in &seg.connected_sdws {
             machine.mem.write(*sdw_addr, Sdw::default().encode());
+            machine.tlb_invalidate_sdw(*sdw_addr);
         }
         qcm.unload(machine, drm, seg.cell)?;
         self.stats.deactivations += 1;

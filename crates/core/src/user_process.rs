@@ -130,6 +130,9 @@ impl UserProcessManager {
             .ok_or(KernelError::TableFull("process"))? as u32;
         let dseg_frame = FrameNo(self.dseg_base + slot);
         machine.mem.zero_frame(dseg_frame);
+        // A reused slot's old translations must not survive into the new
+        // process's descriptor segment.
+        machine.tlb_invalidate_sdw_range(dseg_frame.base(), mx_hw::PAGE_WORDS as u64);
         self.procs[slot as usize] = Some(UserProc {
             user,
             label,

@@ -46,6 +46,9 @@ pub struct CostModel {
     pub core_access: u64,
     /// One descriptor word fetched during address translation.
     pub descriptor_fetch: u64,
+    /// One hardware write-back of a page descriptor (used/modified or
+    /// lock-bit maintenance during translation).
+    pub ptw_update: u64,
     /// Fixed overhead of taking any fault (state save, dispatch).
     pub fault_overhead: u64,
     /// Fixed overhead of a kernel gate crossing (ring change).
@@ -69,6 +72,7 @@ impl Default for CostModel {
         Self {
             core_access: 1,
             descriptor_fetch: 1,
+            ptw_update: 1,
             fault_overhead: 50,
             gate_crossing: 30,
             process_switch: 120,
@@ -108,6 +112,7 @@ pub struct Clock {
     cycles: u64,
     core_accesses: u64,
     descriptor_fetches: u64,
+    ptw_updates: u64,
     faults: u64,
     gate_crossings: u64,
     process_switches: u64,
@@ -185,6 +190,13 @@ impl Clock {
         self.add(cost.descriptor_fetch);
     }
 
+    /// Charges one hardware page-descriptor write-back (reference-bit or
+    /// lock-bit maintenance during translation).
+    pub fn charge_ptw_update(&mut self, cost: &CostModel) {
+        self.ptw_updates += 1;
+        self.add(cost.ptw_update);
+    }
+
     /// Charges the fixed overhead of a fault.
     pub fn charge_fault(&mut self, cost: &CostModel) {
         self.faults += 1;
@@ -244,6 +256,16 @@ impl Clock {
         self.instructions
     }
 
+    /// Page-descriptor write-backs charged so far.
+    pub fn ptw_updates(&self) -> u64 {
+        self.ptw_updates
+    }
+
+    /// Descriptor fetches charged so far.
+    pub fn descriptor_fetches(&self) -> u64 {
+        self.descriptor_fetches
+    }
+
     /// A snapshot of all tallies, for before/after deltas in experiments.
     pub fn snapshot(&self) -> ClockSnapshot {
         ClockSnapshot {
@@ -253,6 +275,7 @@ impl Clock {
             gate_crossings: self.gate_crossings,
             process_switches: self.process_switches,
             instructions: self.instructions,
+            ptw_updates: self.ptw_updates,
         }
     }
 }
@@ -272,6 +295,8 @@ pub struct ClockSnapshot {
     pub process_switches: u64,
     /// Abstract instructions executed.
     pub instructions: u64,
+    /// Page-descriptor write-backs.
+    pub ptw_updates: u64,
 }
 
 impl ClockSnapshot {
@@ -288,6 +313,7 @@ impl ClockSnapshot {
             gate_crossings: later.gate_crossings - self.gate_crossings,
             process_switches: later.process_switches - self.process_switches,
             instructions: later.instructions - self.instructions,
+            ptw_updates: later.ptw_updates - self.ptw_updates,
         }
     }
 }

@@ -17,6 +17,7 @@
 use crate::clock::{Clock, CostModel};
 use crate::fault::Fault;
 use crate::mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
+use crate::tlb::{Tlb, TlbEntry};
 use crate::word::Word;
 use crate::VirtAddr;
 
@@ -54,6 +55,11 @@ pub struct HwFeatures {
     /// preventing lost notifications between a locked-descriptor
     /// exception and the wait primitive.
     pub wakeup_waiting: bool,
+    /// SDW/PTW associative memory: hardware the 6180 already had, which
+    /// hides the two descriptor fetches of the walk behind a translation
+    /// cache (see [`crate::tlb`]). On in both feature sets; switchable
+    /// only so its contribution can be ablated.
+    pub associative_memory: bool,
 }
 
 impl HwFeatures {
@@ -63,6 +69,7 @@ impl HwFeatures {
         descriptor_lock: false,
         quota_trap: false,
         wakeup_waiting: false,
+        associative_memory: true,
     };
 
     /// All of the paper's proposed additions enabled.
@@ -71,6 +78,7 @@ impl HwFeatures {
         descriptor_lock: true,
         quota_trap: true,
         wakeup_waiting: true,
+        associative_memory: true,
     };
 }
 
@@ -268,8 +276,12 @@ pub struct Processor {
     /// notification is not lost.
     pub wakeup_waiting: bool,
     /// Absolute address of the page descriptor whose lock bit caused the
-    /// most recent locked-descriptor exception.
+    /// most recent locked-descriptor exception. Cleared by the next
+    /// translation this processor completes.
     pub locked_descriptor_reg: Option<AbsAddr>,
+    /// The SDW/PTW associative memory (consulted only when
+    /// `features.associative_memory` is on).
+    pub tlb: Tlb,
 }
 
 impl Processor {
@@ -283,6 +295,7 @@ impl Processor {
             system_segno_limit: 0,
             wakeup_waiting: false,
             locked_descriptor_reg: None,
+            tlb: Tlb::new(),
         }
     }
 
@@ -324,6 +337,34 @@ impl Processor {
         let Some(dbr) = self.select_dbr(va.segno) else {
             return fault(clock, Fault::BadDescriptor { va });
         };
+
+        // Associative-memory probe: a hit answers without touching the
+        // descriptor tables, so neither descriptor fetch is charged.
+        if self.features.associative_memory {
+            if let Some(entry) = self.tlb.lookup(dbr.base, va.segno, va.pageno()) {
+                let abs = entry.frame.base().add(u64::from(va.offset_in_page()));
+                if entry.permits(mode) && mem.contains(abs) {
+                    if mode == AccessMode::Write && !entry.modified {
+                        // The walk would have set the modified bit in the
+                        // PTW; do the same write-back so the core image
+                        // stays byte-identical with the cache off.
+                        entry.modified = true;
+                        let ptw_addr = entry.ptw_addr;
+                        let mut ptw = Ptw::decode(mem.read(ptw_addr));
+                        ptw.used = true;
+                        ptw.modified = true;
+                        mem.write(ptw_addr, ptw.encode());
+                        clock.charge_ptw_update(cost);
+                    }
+                    self.locked_descriptor_reg = None;
+                    return Ok(abs);
+                }
+                // Cached access bits refuse the mode: fall through to the
+                // full walk, which re-checks everything against the live
+                // descriptors and raises the correct fault.
+            }
+        }
+
         if va.segno >= dbr.len {
             return fault(clock, Fault::MissingSegment { va });
         }
@@ -373,6 +414,7 @@ impl Processor {
             let locked_by_hw = if self.features.descriptor_lock {
                 ptw.locked = true;
                 mem.write(ptw_addr, ptw.encode());
+                clock.charge_ptw_update(cost);
                 true
             } else {
                 false
@@ -393,6 +435,7 @@ impl Processor {
             ptw.used = true;
             ptw.modified |= dirty;
             mem.write(ptw_addr, ptw.encode());
+            clock.charge_ptw_update(cost);
         }
 
         let frame_base = ptw.frame.base();
@@ -400,6 +443,23 @@ impl Processor {
         if !mem.contains(abs) {
             return fault(clock, Fault::BadDescriptor { va });
         }
+        if self.features.associative_memory {
+            self.tlb.fill(TlbEntry {
+                asid: dbr.base,
+                segno: va.segno,
+                pageno,
+                sdw_addr,
+                ptw_addr,
+                frame: ptw.frame,
+                read: sdw.read,
+                write: sdw.write,
+                execute: sdw.execute,
+                modified: ptw.modified,
+                lru: 0,
+            });
+        }
+        // A completed translation clears the locked-descriptor register.
+        self.locked_descriptor_reg = None;
         Ok(abs)
     }
 
@@ -745,6 +805,130 @@ mod tests {
         cpu.wakeup_waiting = true;
         assert!(cpu.take_wakeup_waiting());
         assert!(!cpu.take_wakeup_waiting());
+    }
+
+    #[test]
+    fn locked_descriptor_reg_clears_on_next_successful_translation() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 2, true);
+        // Lock page 0's descriptor by hand.
+        let ptw_addr = FrameNo(1).base();
+        let mut ptw = Ptw::decode(mem.read(ptw_addr));
+        ptw.locked = true;
+        mem.write(ptw_addr, ptw.encode());
+
+        let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
+        cpu.dbr_user = Some(dbr);
+        let err = cpu
+            .read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap_err();
+        assert!(matches!(err, Fault::LockedDescriptor { .. }));
+        assert_eq!(cpu.locked_descriptor_reg, Some(ptw_addr));
+
+        // A successful translation (page 1) must clear the register:
+        // the stale address otherwise survives across process switches.
+        cpu.read(
+            &mut mem,
+            &mut clock,
+            &cost,
+            VirtAddr::new(0, PAGE_WORDS as u32),
+        )
+        .unwrap();
+        assert_eq!(cpu.locked_descriptor_reg, None);
+    }
+
+    #[test]
+    fn tlb_hit_skips_descriptor_fetches() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 1, true);
+        let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
+        cpu.dbr_user = Some(dbr);
+        let va = VirtAddr::new(0, 3);
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        let after_walk = clock.descriptor_fetches();
+        assert_eq!(after_walk, 2, "cold reference pays the full walk");
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        assert_eq!(
+            clock.descriptor_fetches(),
+            after_walk,
+            "warm reference pays no descriptor fetch"
+        );
+        assert_eq!(cpu.tlb.stats().hits, 1);
+    }
+
+    #[test]
+    fn tlb_off_walks_every_time() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 1, true);
+        let mut cpu = Processor::new(
+            ProcessorId(0),
+            HwFeatures {
+                associative_memory: false,
+                ..HwFeatures::KERNEL_PROPOSED
+            },
+        );
+        cpu.dbr_user = Some(dbr);
+        let va = VirtAddr::new(0, 3);
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        assert_eq!(clock.descriptor_fetches(), 4);
+        assert_eq!(cpu.tlb.stats().lookups, 0);
+    }
+
+    #[test]
+    fn tlb_write_hit_sets_modified_bit_in_core() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 1, true);
+        let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
+        cpu.dbr_user = Some(dbr);
+        let va = VirtAddr::new(0, 3);
+        // Fill via a read: PTW has used but not modified.
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        assert!(!Ptw::decode(mem.read(FrameNo(1).base())).modified);
+        // Write hit must write the modified bit back, charged as a
+        // descriptor update.
+        let before = clock.ptw_updates();
+        cpu.write(&mut mem, &mut clock, &cost, va, Word::new(4))
+            .unwrap();
+        let ptw = Ptw::decode(mem.read(FrameNo(1).base()));
+        assert!(ptw.used && ptw.modified);
+        assert_eq!(clock.ptw_updates(), before + 1);
+        // A second write is already cached as modified: no extra update.
+        cpu.write(&mut mem, &mut clock, &cost, va, Word::new(5))
+            .unwrap();
+        assert_eq!(clock.ptw_updates(), before + 1);
+    }
+
+    #[test]
+    fn reference_bit_write_back_charges_the_clock() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 1, true);
+        let mut cpu = Processor::new(ProcessorId(0), HwFeatures::BASE_1974);
+        cpu.dbr_user = Some(dbr);
+        let before = clock.now();
+        cpu.read(&mut mem, &mut clock, &cost, VirtAddr::new(0, 0))
+            .unwrap();
+        // Two descriptor fetches + one used-bit write-back + the access.
+        assert_eq!(
+            clock.now() - before,
+            2 * cost.descriptor_fetch + cost.ptw_update + cost.core_access
+        );
+        assert_eq!(clock.ptw_updates(), 1);
+    }
+
+    #[test]
+    fn tlb_permission_mismatch_falls_through_to_the_walk_fault() {
+        let (mut mem, mut clock, cost) = setup();
+        let dbr = build_space(&mut mem, 1, true);
+        let mut cpu = Processor::new(ProcessorId(0), HwFeatures::KERNEL_PROPOSED);
+        cpu.dbr_user = Some(dbr);
+        let va = VirtAddr::new(0, 0);
+        cpu.read(&mut mem, &mut clock, &cost, va).unwrap();
+        // Execute is not permitted: the cached entry must not grant it.
+        let err = cpu
+            .translate(&mut mem, &mut clock, &cost, va, AccessMode::Execute)
+            .unwrap_err();
+        assert!(matches!(err, Fault::AccessViolation { .. }));
     }
 
     #[test]

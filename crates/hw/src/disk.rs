@@ -262,7 +262,9 @@ impl DiskPack {
     ///
     /// # Errors
     ///
-    /// [`DiskError::NoSuchEntry`] if the entry does not exist.
+    /// [`DiskError::NoSuchEntry`] if the entry does not exist, or
+    /// [`DiskError::BadRecord`] if a (corrupt) file map names a record
+    /// that is not allocated — the entry is gone either way.
     pub fn delete_entry(&mut self, index: TocIndex) -> Result<(), DiskError> {
         let entry = self
             .toc
@@ -272,11 +274,19 @@ impl DiskPack {
                 pack: self.id,
                 index,
             })?;
+        let mut bad = None;
         for rec in entry.file_map.into_iter().flatten() {
-            // The file map only names records this pack allocated.
-            self.free_record(rec).expect("file map named a free record");
+            // The file map should only name records this pack allocated;
+            // report a corrupt map as a typed error instead of panicking,
+            // still freeing whatever else the map names.
+            if let Err(e) = self.free_record(rec) {
+                bad = Some(e);
+            }
         }
-        Ok(())
+        match bad {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Iterates over the occupied TOC entries.

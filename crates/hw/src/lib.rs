@@ -21,6 +21,11 @@
 //! * a wakeup-waiting switch and a locked-descriptor address register per
 //!   processor (`wakeup_waiting`).
 //!
+//! One feature models hardware the 6180 already *had*: the SDW/PTW
+//! associative memories that hid the descriptor walk's cost
+//! (`associative_memory`, see [`tlb`]). It is on in both feature sets and
+//! exists as a switch only so experiments can ablate it.
+//!
 //! Nothing in this crate knows about kernels, processes, or files; it only
 //! stores words, walks descriptors, raises faults, and charges cycles.
 
@@ -33,6 +38,7 @@ pub mod machine;
 pub mod mem;
 pub mod meter;
 pub mod rng;
+pub mod tlb;
 pub mod word;
 
 pub use clock::{Clock, CostModel, Language};
@@ -44,6 +50,7 @@ pub use machine::{Machine, MachineConfig};
 pub use mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
 pub use meter::{CounterSet, MeterGuard, MeterSnapshot, Subsystem, TraceEvent, TraceEventKind};
 pub use rng::SplitMix64;
+pub use tlb::{Tlb, TlbEntry, TlbStats};
 pub use word::{Word, WORD_MASK};
 
 /// A virtual address: segment number plus word offset within the segment.

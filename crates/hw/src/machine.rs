@@ -9,7 +9,8 @@ use crate::clock::{Clock, CostModel};
 use crate::cpu::{HwFeatures, Processor, ProcessorId};
 use crate::disk::{DiskError, DiskSystem, PackId, RecordNo};
 use crate::fault::Fault;
-use crate::mem::{FrameNo, MainMemory, PAGE_WORDS};
+use crate::mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
+use crate::tlb::TlbStats;
 use crate::word::Word;
 use crate::VirtAddr;
 
@@ -106,26 +107,83 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates any translation [`Fault`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cpu` does not name a real processor.
+    /// Propagates any translation [`Fault`]; a processor id that names no
+    /// real processor reports [`Fault::BadDescriptor`] rather than
+    /// panicking.
     pub fn read(&mut self, cpu: ProcessorId, va: VirtAddr) -> Result<Word, Fault> {
-        self.cpus[cpu.0 as usize].read(&mut self.mem, &mut self.clock, &self.cost, va)
+        let Some(p) = self.cpus.get_mut(cpu.0 as usize) else {
+            return Err(Fault::BadDescriptor { va });
+        };
+        p.read(&mut self.mem, &mut self.clock, &self.cost, va)
     }
 
     /// Writes one word through processor `cpu`'s address translation.
     ///
     /// # Errors
     ///
-    /// Propagates any translation [`Fault`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cpu` does not name a real processor.
+    /// Propagates any translation [`Fault`]; a processor id that names no
+    /// real processor reports [`Fault::BadDescriptor`] rather than
+    /// panicking.
     pub fn write(&mut self, cpu: ProcessorId, va: VirtAddr, value: Word) -> Result<(), Fault> {
-        self.cpus[cpu.0 as usize].write(&mut self.mem, &mut self.clock, &self.cost, va, value)
+        let Some(p) = self.cpus.get_mut(cpu.0 as usize) else {
+            return Err(Fault::BadDescriptor { va });
+        };
+        p.write(&mut self.mem, &mut self.clock, &self.cost, va, value)
+    }
+
+    // ----- associative-memory invalidation broadcasts ---------------------
+    //
+    // The 6180's "clear associative memory" connects to every processor;
+    // supervisor software invokes these whenever it rewrites a descriptor
+    // word, addressed by the descriptor's core address (the "setfaults"
+    // discipline). All are cheap no-ops when the feature is off.
+
+    /// Flushes every processor's cached translations made from the PTW at
+    /// `addr`.
+    pub fn tlb_invalidate_ptw(&mut self, addr: AbsAddr) {
+        for cpu in &mut self.cpus {
+            cpu.tlb.invalidate_ptw(addr);
+        }
+    }
+
+    /// Flushes every processor's cached translations made from the SDW at
+    /// `addr`.
+    pub fn tlb_invalidate_sdw(&mut self, addr: AbsAddr) {
+        for cpu in &mut self.cpus {
+            cpu.tlb.invalidate_sdw(addr);
+        }
+    }
+
+    /// Flushes cached translations for a whole page table
+    /// (`[base, base + len)`) on every processor — the flush a reused
+    /// page-table slot requires.
+    pub fn tlb_invalidate_ptw_range(&mut self, base: AbsAddr, len: u64) {
+        for cpu in &mut self.cpus {
+            cpu.tlb.invalidate_ptw_range(base, len);
+        }
+    }
+
+    /// Flushes cached translations made from SDWs in `[base, base + len)`
+    /// on every processor — required when a whole descriptor segment is
+    /// rebuilt or its frame reused.
+    pub fn tlb_invalidate_sdw_range(&mut self, base: AbsAddr, len: u64) {
+        for cpu in &mut self.cpus {
+            cpu.tlb.invalidate_sdw_range(base, len);
+        }
+    }
+
+    /// Clears every processor's associative memory outright.
+    pub fn tlb_clear(&mut self) {
+        for cpu in &mut self.cpus {
+            cpu.tlb.clear();
+        }
+    }
+
+    /// Aggregated associative-memory tallies across all processors.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.cpus
+            .iter()
+            .fold(TlbStats::default(), |acc, cpu| acc.merge(&cpu.tlb.stats()))
     }
 
     /// Transfers a disk record into a core frame, charging the clock.
@@ -218,6 +276,59 @@ mod tests {
         m.write(ProcessorId(0), va, Word::new(3)).unwrap();
         assert_eq!(m.read(ProcessorId(0), va).unwrap(), Word::new(3));
         assert!(m.clock.now() > 0);
+    }
+
+    #[test]
+    fn bad_processor_id_is_a_fault_not_a_panic() {
+        let mut m = Machine::base_1974();
+        let va = VirtAddr::new(0, 0);
+        assert!(matches!(
+            m.read(ProcessorId(99), va),
+            Err(Fault::BadDescriptor { .. })
+        ));
+        assert!(matches!(
+            m.write(ProcessorId(99), va, Word::new(1)),
+            Err(Fault::BadDescriptor { .. })
+        ));
+    }
+
+    #[test]
+    fn tlb_invalidation_broadcasts_to_every_processor() {
+        let mut m = Machine::kernel_proposed();
+        let pt = FrameNo(1).base();
+        m.mem.write(
+            pt,
+            Ptw {
+                frame: FrameNo(2),
+                present: true,
+                ..Ptw::default()
+            }
+            .encode(),
+        );
+        let sdw = Sdw {
+            page_table: pt,
+            bound_pages: 1,
+            read: true,
+            write: true,
+            execute: false,
+            present: true,
+            software: false,
+        };
+        m.mem.write(AbsAddr(0), sdw.encode());
+        for cpu in &mut m.cpus {
+            cpu.dbr_user = Some(DescBase {
+                base: AbsAddr(0),
+                len: 1,
+            });
+            cpu.system_segno_limit = 0;
+        }
+        let va = VirtAddr::new(0, 3);
+        m.read(ProcessorId(0), va).unwrap();
+        m.read(ProcessorId(1), va).unwrap();
+        assert_eq!(m.tlb_stats().fills, 2);
+        m.tlb_invalidate_ptw(pt);
+        assert_eq!(m.tlb_stats().invalidations, 2, "both processors flushed");
+        assert!(m.cpus.iter().all(|c| c.tlb.resident() == 0));
     }
 
     #[test]

@@ -227,7 +227,10 @@ impl Meter {
     /// open inside it.
     pub(crate) fn exit(&mut self, guard: MeterGuard, at: u64) {
         while self.stack.len() > guard.depth {
-            let subsystem = self.stack.pop().expect("stack deeper than guard depth");
+            // The loop condition guarantees a non-empty stack.
+            let Some(subsystem) = self.stack.pop() else {
+                break;
+            };
             self.record(TraceEvent {
                 at,
                 kind: TraceEventKind::Exit,

@@ -1,0 +1,353 @@
+//! The associative memory: a translation cache for the descriptor walk.
+//!
+//! The real Honeywell 6180 hid the cost of the two-level descriptor walk
+//! behind small SDW/PTW *associative memories*; without them every
+//! reference would pay two extra core cycles for the descriptor fetches.
+//! This module models that hardware as a set-associative cache keyed by
+//! process identity (the descriptor-segment base in force), segment
+//! number, and page number, holding the resolved core frame plus the
+//! access bits needed to re-check a hit.
+//!
+//! Only *successful* translations are cached, so a resident entry by
+//! construction describes a present, unlocked, non-quota-trapped page;
+//! any supervisor mutation that could change that — eviction, descriptor
+//! cut, lock- or quota-trap-bit set, page-table-slot reuse — must flush
+//! the affected entries (Multics' "setfaults" discipline). The
+//! invalidation entry points here are addressed by the *descriptor's*
+//! core address, which is what supervisor software knows when it rewrites
+//! a table word.
+//!
+//! A hit costs zero descriptor fetches. To keep caching invisible to
+//! software (byte-identical core images with the feature on or off), a
+//! write hit whose entry has not yet observed the modified bit performs
+//! the same read-modify-write of the PTW that the walk would have done,
+//! charged as a [`crate::clock::CostModel::ptw_update`].
+
+use crate::cpu::AccessMode;
+use crate::mem::{AbsAddr, FrameNo};
+use crate::meter::CounterSet;
+
+/// Number of sets in the associative memory.
+pub const TLB_SETS: usize = 64;
+/// Associativity (entries per set).
+pub const TLB_WAYS: usize = 4;
+
+/// One resident translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Address-space identity: the descriptor-segment base the
+    /// translation was made under.
+    pub asid: AbsAddr,
+    /// Segment number within that address space.
+    pub segno: u32,
+    /// Page number within the segment.
+    pub pageno: u32,
+    /// Core address of the SDW the walk read.
+    pub sdw_addr: AbsAddr,
+    /// Core address of the PTW the walk read.
+    pub ptw_addr: AbsAddr,
+    /// Resolved core frame.
+    pub frame: FrameNo,
+    /// SDW read permission at fill time.
+    pub read: bool,
+    /// SDW write permission at fill time.
+    pub write: bool,
+    /// SDW execute permission at fill time.
+    pub execute: bool,
+    /// Whether the cached PTW has the modified bit set; a write hit with
+    /// this clear must still set the bit in core.
+    pub modified: bool,
+    /// LRU stamp (monotone fill/touch tick); [`Tlb::fill`] overwrites it.
+    pub(crate) lru: u64,
+}
+
+impl TlbEntry {
+    /// True if the cached access bits permit `mode`.
+    pub fn permits(&self, mode: AccessMode) -> bool {
+        match mode {
+            AccessMode::Read => self.read,
+            AccessMode::Write => self.write,
+            AccessMode::Execute => self.execute,
+        }
+    }
+}
+
+/// Hit/miss/flush tallies, for the meter and the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups attempted (hits + misses).
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the descriptor walk.
+    pub misses: u64,
+    /// Entries installed after a successful walk.
+    pub fills: u64,
+    /// Entries removed by selective invalidation or a full clear.
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Component-wise sum (for aggregating across processors).
+    pub fn merge(&self, other: &TlbStats) -> TlbStats {
+        TlbStats {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            fills: self.fills + other.fills,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+
+    /// The tallies as a named counter set (threaded into trace reports).
+    pub fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.set("tlb_lookups", self.lookups);
+        c.set("tlb_hits", self.hits);
+        c.set("tlb_misses", self.misses);
+        c.set("tlb_fills", self.fills);
+        c.set("tlb_invalidations", self.invalidations);
+        c
+    }
+}
+
+/// A per-processor set-associative translation cache.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<[Option<TlbEntry>; TLB_WAYS]>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tlb {
+    /// An empty associative memory.
+    pub fn new() -> Self {
+        Self {
+            sets: vec![[None; TLB_WAYS]; TLB_SETS],
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Deterministic set index for a translation key.
+    fn set_index(asid: AbsAddr, segno: u32, pageno: u32) -> usize {
+        // A small multiplicative mix; only determinism and spread matter.
+        let h = asid
+            .0
+            .wrapping_mul(0o777_777)
+            .wrapping_add(u64::from(segno).wrapping_mul(131))
+            .wrapping_add(u64::from(pageno).wrapping_mul(31));
+        (h % TLB_SETS as u64) as usize
+    }
+
+    /// Looks up a translation, updating the LRU stamp and the hit/miss
+    /// tallies. Returns a mutable reference so a write hit can record
+    /// the modified bit.
+    pub fn lookup(&mut self, asid: AbsAddr, segno: u32, pageno: u32) -> Option<&mut TlbEntry> {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[Self::set_index(asid, segno, pageno)];
+        let hit = set
+            .iter_mut()
+            .flatten()
+            .find(|e| e.asid == asid && e.segno == segno && e.pageno == pageno);
+        match hit {
+            Some(entry) => {
+                self.stats.hits += 1;
+                entry.lru = tick;
+                Some(entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a translation after a successful walk, replacing the
+    /// least recently used way of its set (or an existing entry for the
+    /// same key).
+    pub fn fill(&mut self, mut entry: TlbEntry) {
+        self.tick += 1;
+        entry.lru = self.tick;
+        self.stats.fills += 1;
+        let set = &mut self.sets[Self::set_index(entry.asid, entry.segno, entry.pageno)];
+        // Replace an existing mapping for the key, then an empty way,
+        // then the LRU way.
+        if let Some(slot) = set.iter_mut().find(|s| {
+            s.is_some_and(|e| {
+                e.asid == entry.asid && e.segno == entry.segno && e.pageno == entry.pageno
+            })
+        }) {
+            *slot = Some(entry);
+            return;
+        }
+        if let Some(slot) = set.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(entry);
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|s| s.map_or(0, |e| e.lru))
+            .expect("TLB_WAYS > 0");
+        *victim = Some(entry);
+    }
+
+    /// Drops every entry cached from the PTW at `addr`.
+    pub fn invalidate_ptw(&mut self, addr: AbsAddr) {
+        self.retain(|e| e.ptw_addr != addr);
+    }
+
+    /// Drops every entry cached from the SDW at `addr`.
+    pub fn invalidate_sdw(&mut self, addr: AbsAddr) {
+        self.retain(|e| e.sdw_addr != addr);
+    }
+
+    /// Drops every entry whose PTW lies in `[base, base + len)` — the
+    /// page-table-slot-reuse flush.
+    pub fn invalidate_ptw_range(&mut self, base: AbsAddr, len: u64) {
+        self.retain(|e| e.ptw_addr.0 < base.0 || e.ptw_addr.0 >= base.0 + len);
+    }
+
+    /// Drops every entry whose SDW lies in `[base, base + len)` — the
+    /// flush a rebuilt or reused descriptor segment requires.
+    pub fn invalidate_sdw_range(&mut self, base: AbsAddr, len: u64) {
+        self.retain(|e| e.sdw_addr.0 < base.0 || e.sdw_addr.0 >= base.0 + len);
+    }
+
+    /// Drops everything (the 6180's "clear associative memory").
+    pub fn clear(&mut self) {
+        self.retain(|_| false);
+    }
+
+    fn retain(&mut self, keep: impl Fn(&TlbEntry) -> bool) {
+        let mut dropped = 0u64;
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if slot.as_ref().is_some_and(|e| !keep(e)) {
+                    *slot = None;
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats.invalidations += dropped;
+    }
+
+    /// The tallies so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of resident entries (for tests).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().flatten().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(asid: u64, segno: u32, pageno: u32) -> TlbEntry {
+        TlbEntry {
+            asid: AbsAddr(asid),
+            segno,
+            pageno,
+            sdw_addr: AbsAddr(asid + u64::from(segno)),
+            ptw_addr: AbsAddr(1000 + u64::from(segno) * 256 + u64::from(pageno)),
+            frame: FrameNo(7),
+            read: true,
+            write: true,
+            execute: false,
+            modified: false,
+            lru: 0,
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = Tlb::new();
+        assert!(tlb.lookup(AbsAddr(5), 1, 2).is_none());
+        tlb.fill(entry(5, 1, 2));
+        let hit = tlb.lookup(AbsAddr(5), 1, 2).expect("hit");
+        assert_eq!(hit.frame, FrameNo(7));
+        let s = tlb.stats();
+        assert_eq!((s.lookups, s.hits, s.misses, s.fills), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_asids_do_not_collide() {
+        let mut tlb = Tlb::new();
+        tlb.fill(entry(5, 1, 2));
+        assert!(tlb.lookup(AbsAddr(6), 1, 2).is_none());
+        assert!(tlb.lookup(AbsAddr(5), 1, 2).is_some());
+    }
+
+    #[test]
+    fn invalidate_by_ptw_sdw_and_range() {
+        let mut tlb = Tlb::new();
+        tlb.fill(entry(5, 1, 2));
+        tlb.fill(entry(5, 1, 3));
+        tlb.fill(entry(5, 2, 0));
+        tlb.invalidate_ptw(entry(5, 1, 2).ptw_addr);
+        assert!(tlb.lookup(AbsAddr(5), 1, 2).is_none());
+        assert!(tlb.lookup(AbsAddr(5), 1, 3).is_some());
+        tlb.invalidate_sdw(entry(5, 2, 0).sdw_addr);
+        assert!(tlb.lookup(AbsAddr(5), 2, 0).is_none());
+        // Range flush covering segment 1's whole page table.
+        tlb.invalidate_ptw_range(AbsAddr(1000 + 256), 256);
+        assert!(tlb.lookup(AbsAddr(5), 1, 3).is_none());
+        assert_eq!(tlb.resident(), 0);
+        assert_eq!(tlb.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut tlb = Tlb::new();
+        for p in 0..100 {
+            tlb.fill(entry(5, 1, p));
+        }
+        assert!(tlb.resident() > 0);
+        tlb.clear();
+        assert_eq!(tlb.resident(), 0);
+    }
+
+    #[test]
+    fn lru_way_is_replaced_within_a_full_set() {
+        let mut tlb = Tlb::new();
+        // Same (asid, segno) with panos spaced exactly TLB_SETS apart
+        // land in the same set.
+        let step = TLB_SETS as u32;
+        let pages: Vec<u32> = (0..=TLB_WAYS as u32).map(|i| i * step).collect();
+        for &p in pages.iter().take(TLB_WAYS) {
+            tlb.fill(entry(5, 1, p));
+        }
+        // Touch page 0 so it is the most recently used.
+        assert!(tlb.lookup(AbsAddr(5), 1, 0).is_some());
+        // One more fill in the same set evicts the LRU way (step).
+        tlb.fill(entry(5, 1, pages[TLB_WAYS]));
+        assert!(tlb.lookup(AbsAddr(5), 1, 0).is_some(), "MRU survived");
+        assert!(tlb.lookup(AbsAddr(5), 1, step).is_none(), "LRU evicted");
+    }
+
+    #[test]
+    fn counters_round_trip_through_counter_set() {
+        let mut tlb = Tlb::new();
+        tlb.fill(entry(5, 1, 2));
+        tlb.lookup(AbsAddr(5), 1, 2);
+        let c = tlb.stats().counters();
+        assert_eq!(c.get("tlb_hits"), Some(1));
+        assert_eq!(c.get("tlb_fills"), Some(1));
+        assert_eq!(
+            c.get("tlb_lookups").unwrap(),
+            c.get("tlb_hits").unwrap() + c.get("tlb_misses").unwrap()
+        );
+    }
+}

@@ -43,8 +43,11 @@ impl Supervisor {
             .ok_or(LegacyError::NoSuchProcess)?;
         let pid = ProcessId(slot);
         let dseg_frame = self.dseg_frame_for_slot(slot);
-        // Zero the descriptor segment: every SDW faulted.
+        // Zero the descriptor segment: every SDW faulted. A reused slot's
+        // old translations must not survive into the new process.
         self.machine.mem.zero_frame(dseg_frame);
+        self.machine
+            .tlb_invalidate_sdw_range(dseg_frame.base(), mx_hw::PAGE_WORDS as u64);
         let process = Process {
             id: pid,
             user,

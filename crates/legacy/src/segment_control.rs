@@ -69,7 +69,16 @@ impl Supervisor {
             connections: Vec::new(),
             label: entry.label,
         };
-        self.ast.activate(aste).ok_or(LegacyError::AstFull)
+        let astx = self.ast.activate(aste).ok_or(LegacyError::AstFull)?;
+        // The claimed page-table slot may be a reused one; translations
+        // cached from its previous tenant must not survive into the new
+        // segment's table.
+        if let Some(aste) = self.ast.get(astx) {
+            let pt_base = self.ast.pt_addr(aste.pt_slot);
+            self.machine
+                .tlb_invalidate_ptw_range(pt_base, u64::from(crate::ast::PT_WORDS));
+        }
+        Ok(astx)
     }
 
     /// Deactivates a segment: flushes its pages, persists its quota cell

@@ -361,10 +361,13 @@ impl Supervisor {
         Ptw::decode(self.machine.mem.read(self.ptw_addr(astx, pageno)))
     }
 
-    /// Encodes and writes a PTW.
+    /// Encodes and writes a PTW — the choke point every descriptor
+    /// mutation in this supervisor goes through, so the associative
+    /// memories are flushed here ("setfaults").
     pub(crate) fn set_ptw(&mut self, astx: usize, pageno: u32, ptw: Ptw) {
         let addr = self.ptw_addr(astx, pageno);
         self.machine.mem.write(addr, ptw.encode());
+        self.machine.tlb_invalidate_ptw(addr);
     }
 
     // ----- supervisor access to segment contents ------------------------
@@ -540,15 +543,16 @@ impl Supervisor {
         Sdw::decode(self.machine.mem.read(frame.base().add(u64::from(segno))))
     }
 
-    /// Writes the SDW for (process, segno).
+    /// Writes the SDW for (process, segno), flushing the associative
+    /// memories for the rewritten descriptor.
     pub(crate) fn set_sdw(&mut self, pid: ProcessId, segno: u32, sdw: Sdw) {
         let frame = self.processes[pid.0 as usize]
             .as_ref()
             .expect("live process")
             .dseg_frame;
-        self.machine
-            .mem
-            .write(frame.base().add(u64::from(segno)), sdw.encode());
+        let addr = frame.base().add(u64::from(segno));
+        self.machine.mem.write(addr, sdw.encode());
+        self.machine.tlb_invalidate_sdw(addr);
     }
 
     /// Charges `n` abstract instructions of supervisor code written in
