@@ -7,12 +7,13 @@
 //! repro --only f2,t1          # selected experiments (ids per DESIGN.md)
 //! repro --list                # list experiment ids
 //! repro --trace report.json   # also write per-subsystem cycle attribution
+//! repro --only r1 --stride 16 # subsample the crash matrix (CI smoke)
 //! ```
 
 use mx_bench::{
     a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
-    p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,
-    s2_confinement, s3_relocation, TreeSpec,
+    p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, r1_crash_recovery,
+    s1_mythical_identifiers, s2_confinement, s3_relocation, TreeSpec,
 };
 use mx_census::multics::{standard_transforms, start_of_project, PLI_EQUIVALENT_SHRINK_PERMILLE};
 use mx_census::plan::render_plan;
@@ -23,7 +24,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "a1", "a2", "a3",
+    "s2", "s3", "r1", "a1", "a2", "a3",
 ];
 
 fn main() {
@@ -35,6 +36,7 @@ fn main() {
         return;
     }
     let mut dot = false;
+    let mut stride: u64 = 1;
     let mut trace_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -52,6 +54,16 @@ fn main() {
                     Some(path) => trace_path = Some(path.clone()),
                     None => {
                         eprintln!("--trace requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--stride" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => stride = n,
+                    _ => {
+                        eprintln!("--stride requires a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -295,6 +307,17 @@ fn main() {
     if want("s3") {
         header("S3", "Semantics — full packs and the upward signal");
         println!("{}", s3_relocation());
+    }
+    if want("r1") {
+        header("R1", "Robustness — crash matrix, salvager-driven recovery");
+        if stride > 1 {
+            println!("  (crash matrix subsampled: every {stride}th write ordinal)\n");
+        }
+        println!("{}", r1_crash_recovery(stride));
+        println!(
+            "  paper: the salvager turns operational failures into repairable\n  \
+             inconsistencies; every enumerated crash point above recovered\n"
+        );
     }
 
     if let Some(path) = trace_path {

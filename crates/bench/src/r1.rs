@@ -1,0 +1,641 @@
+//! R1 — deterministic crash matrix with salvager-driven recovery.
+//!
+//! The robustness claim under test: the salvager recovers the storage
+//! hierarchy from *operational* failures — power gone mid-write, a torn
+//! or dropped sector, a pack briefly offline — without fsck-style human
+//! help. The harness makes that claim mechanical:
+//!
+//! 1. run a fixed workload (directory + quota-cell building, file
+//!    writes, segment growth that forces a whole-segment relocation)
+//!    once with an empty [`FaultPlan`] to learn the write ordinals;
+//! 2. for every write ordinal `n` (optionally strided), rerun the
+//!    workload on a fresh system with power failing on write `n` — the
+//!    payload torn at a deterministic word boundary or dropped outright;
+//! 3. boot a *fresh* system from the surviving disk image, run the
+//!    salvager with repair on, and assert: a second pass is clean
+//!    (salvage converges and is idempotent), every record on every pack
+//!    is referenced by exactly one file map (no storage leaked, no
+//!    double claims), and every object that reached the disk before the
+//!    crash survives with intact contents.
+//!
+//! "Reached the disk" is the durability bar: an operation counts as
+//! complete once `sync_to_disk` has flushed it. Changes still in core
+//! when power fails are legitimately lost — the salvager's job is a
+//! consistent hierarchy, not a redo log.
+//!
+//! The same matrix runs against the 1974 supervisor and the new kernel,
+//! so the experiment reports recovery outcome and recovery cost in
+//! cycles for both designs. Everything is keyed off the machine's own
+//! transfer ordinals and a [`SplitMix64`] stream seeded per crash
+//! point, so a given stride replays exactly.
+
+use mx_aim::Label;
+use mx_hw::{CrashWrite, DiskError, FaultPlan, SplitMix64, Word, PAGE_WORDS};
+use mx_kernel::{Kernel, KernelConfig, KernelError};
+use mx_legacy::{
+    AccessRight, Acl as LAcl, LegacyError, Supervisor, SupervisorConfig, UserId as LUserId,
+};
+
+use crate::experiments::Comparison;
+
+/// Seed for the per-crash-point mode draws.
+const SEED: u64 = 0x5231_C4A5_11E7_0001;
+/// Phase-1 files created under the quota directory.
+const FILES: u32 = 2;
+/// Pages written per phase-1 file.
+const PAGES: u32 = 2;
+/// Pages written to the growing segment (enough to overflow its home
+/// pack and force a relocation).
+const GROW_PAGES: u32 = 12;
+/// Quota placed on the phase-1 directory.
+const QUOTA_LIMIT: u32 = 16;
+/// Geometry of the roomy pack attached for the relocation to land on.
+const BIG_PACK: (u32, u32) = (64, 32);
+
+const PW: u32 = PAGE_WORDS as u32;
+
+/// The value written at word `slot` of page `p` of phase-1 file `i`.
+fn val(i: u32, p: u32, slot: u32) -> Word {
+    Word::new(u64::from(0o4000 + i * 256 + p * 16 + slot))
+}
+
+/// The deterministic crash mode for write ordinal `n`: dropped, or torn
+/// at a word boundary strictly inside the record.
+fn crash_mode(n: u64) -> CrashWrite {
+    let mut rng = SplitMix64::new(SEED ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if rng.chance(1, 2) {
+        CrashWrite::Dropped
+    } else {
+        CrashWrite::Torn {
+            words: rng.range_usize(1, PAGE_WORDS),
+        }
+    }
+}
+
+/// Per-design crash-matrix tallies.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixSummary {
+    /// Disk writes in the fault-free run (the crash-point universe).
+    pub total_writes: u64,
+    /// Crash points actually run (every `stride`-th ordinal).
+    pub tested: u32,
+    /// Crash points where the first salvage pass found damage.
+    pub damage_found: u32,
+    /// Repairs performed across the matrix.
+    pub repairs: u64,
+    /// Crash points late enough that phase-1 durability was verified.
+    pub durable_verified: u32,
+    /// Mean cycles from recovery bootload through the clean check.
+    pub avg_recovery_cycles: u64,
+    /// Worst-case recovery cycles over the matrix.
+    pub max_recovery_cycles: u64,
+}
+
+// ------------------------------------------------------------- kernel --
+
+fn kernel_config() -> KernelConfig {
+    KernelConfig {
+        packs: 2,
+        records_per_pack: 8,
+        toc_slots_per_pack: 16,
+        root_quota: 64,
+        ..KernelConfig::default()
+    }
+}
+
+struct KRig {
+    k: Kernel,
+    pid: mx_kernel::ProcessId,
+}
+
+/// Boots the kernel rig and installs `plan` so that write ordinals
+/// count workload transfers only (bootload writes are excluded).
+fn kernel_rig(plan: FaultPlan) -> KRig {
+    let mut k = Kernel::boot(kernel_config());
+    k.machine.disks.attach(BIG_PACK.0, BIG_PACK.1);
+    k.register_account("r1", mx_kernel::UserId(1), 1, Label::BOTTOM);
+    let pid = k.login_residue("r1", 1, Label::BOTTOM).expect("login");
+    k.machine.faults.install(plan);
+    KRig { k, pid }
+}
+
+/// The shared workload, kernel side. Records the write ordinal at which
+/// the phase-1 sync completed into `sync1_at`.
+fn kernel_workload(r: &mut KRig, sync1_at: &mut Option<u64>) -> Result<(), KernelError> {
+    let acl = mx_kernel::Acl::owner(mx_kernel::UserId(1));
+    let root = r.k.root_token();
+    let d =
+        r.k.create_entry(r.pid, root, "d", acl.clone(), Label::BOTTOM, true)?;
+    r.k.set_quota(r.pid, d, QUOTA_LIMIT)?;
+    for i in 0..FILES {
+        let f = r.k.create_entry(
+            r.pid,
+            d,
+            &format!("f{i}"),
+            acl.clone(),
+            Label::BOTTOM,
+            false,
+        )?;
+        let segno = r.k.initiate(r.pid, f)?;
+        for p in 0..PAGES {
+            r.k.write_word(r.pid, segno, p * PW, val(i, p, 0))?;
+            r.k.write_word(r.pid, segno, p * PW + PW - 1, val(i, p, 1))?;
+        }
+    }
+    r.k.sync_to_disk()?;
+    *sync1_at = Some(r.k.machine.faults.writes);
+    let g =
+        r.k.create_entry(r.pid, root, "grow", acl, Label::BOTTOM, false)?;
+    let segno = r.k.initiate(r.pid, g)?;
+    for p in 0..GROW_PAGES {
+        r.k.write_word(r.pid, segno, p * PW, Word::new(u64::from(p) + 1))?;
+    }
+    r.k.sync_to_disk()
+}
+
+/// Checks phase-1 contents on a recovered kernel via the ordinary gates.
+fn kernel_verify_phase1(rk: &mut Kernel) {
+    rk.register_account("check", mx_kernel::UserId(1), 1, Label::BOTTOM);
+    let pid = rk.login_residue("check", 1, Label::BOTTOM).expect("login");
+    let root = rk.root_token();
+    let d = rk.dir_search(pid, root, "d").expect("synced dir survives");
+    for i in 0..FILES {
+        let f = rk
+            .dir_search(pid, d, &format!("f{i}"))
+            .expect("synced file survives");
+        let segno = rk.initiate(pid, f).expect("initiate survivor");
+        for p in 0..PAGES {
+            assert_eq!(
+                rk.read_word(pid, segno, p * PW).expect("read survivor"),
+                val(i, p, 0),
+                "file f{i} page {p} lost its first word"
+            );
+            assert_eq!(
+                rk.read_word(pid, segno, p * PW + PW - 1)
+                    .expect("read survivor"),
+                val(i, p, 1),
+                "file f{i} page {p} lost its last word"
+            );
+        }
+    }
+}
+
+/// Asserts that after salvage every allocated record on every pack is
+/// referenced by exactly one file map — nothing leaked, nothing
+/// double-claimed (claims (c) and (d)).
+fn assert_storage_conserved(disks: &mx_hw::DiskSystem, design: &str, n: u64) {
+    for pack in disks.packs() {
+        let allocated = pack.allocated_record_nos().len();
+        let referenced: usize = pack
+            .entries()
+            .map(|(_, e)| e.file_map.iter().flatten().count())
+            .sum();
+        assert_eq!(
+            allocated, referenced,
+            "{design} crash point {n}: {allocated} records allocated but \
+             {referenced} referenced after salvage"
+        );
+    }
+}
+
+/// Runs the kernel half of the crash matrix.
+fn kernel_matrix(stride: u64) -> MatrixSummary {
+    // Dry run: learn the write-ordinal universe and sanity-check that
+    // the workload really exercises relocation.
+    let mut rig = kernel_rig(FaultPlan::new());
+    let mut sync1 = None;
+    kernel_workload(&mut rig, &mut sync1).expect("fault-free run");
+    let total = rig.k.machine.faults.writes;
+    let sync1 = sync1.expect("phase-1 checkpoint");
+    assert!(
+        rig.k.segm.stats.relocations > 0,
+        "workload must force a relocation (got none in {total} writes)"
+    );
+
+    let mut tested = 0;
+    let mut damage_found = 0;
+    let mut repairs = 0u64;
+    let mut durable_verified = 0;
+    let mut cycles_sum = 0u64;
+    let mut cycles_max = 0u64;
+    let mut last = None;
+    for n in (1..=total).step_by(stride.max(1) as usize) {
+        let mut rig = kernel_rig(FaultPlan::new().crash_after_writes(n, crash_mode(n)));
+        let mut s1 = None;
+        let err = kernel_workload(&mut rig, &mut s1)
+            .expect_err("the crash plan must fire before the workload ends");
+        assert!(
+            matches!(err, KernelError::Disk(_)),
+            "kernel crash point {n}: power failure must surface typed, got {err:?}"
+        );
+        let image = rig.k.machine.disks.clone();
+        let mut rk = Kernel::boot_from_image(kernel_config(), image).expect("recovery bootload");
+        let repaired = rk.salvage(true).expect("salvage with repair");
+        let check = rk.salvage(false).expect("salvage check pass");
+        assert!(
+            check.clean(),
+            "kernel crash point {n}: second salvage pass still sees {:?}",
+            check.problems
+        );
+        assert_storage_conserved(&rk.machine.disks, "kernel", n);
+        let cycles = rk.machine.clock.now();
+        if s1.is_some_and(|c| n > c) {
+            kernel_verify_phase1(&mut rk);
+            durable_verified += 1;
+        }
+        tested += 1;
+        if !repaired.problems.is_empty() {
+            damage_found += 1;
+        }
+        repairs += repaired.repairs.len() as u64;
+        cycles_sum += cycles;
+        cycles_max = cycles_max.max(cycles);
+        last = Some(rk);
+    }
+    let _ = sync1;
+    if let Some(rk) = last {
+        crate::trace::publish("r1.kernel", &rk.machine.clock, rk.stats.counters());
+    }
+    MatrixSummary {
+        total_writes: total,
+        tested,
+        damage_found,
+        repairs,
+        durable_verified,
+        avg_recovery_cycles: cycles_sum / u64::from(tested.max(1)),
+        max_recovery_cycles: cycles_max,
+    }
+}
+
+// ------------------------------------------------------------- legacy --
+
+fn legacy_config() -> SupervisorConfig {
+    SupervisorConfig {
+        packs: 2,
+        records_per_pack: 8,
+        toc_slots_per_pack: 16,
+        root_quota_pages: 64,
+        ..SupervisorConfig::default()
+    }
+}
+
+struct LRig {
+    sup: Supervisor,
+    pid: mx_legacy::ProcessId,
+}
+
+fn legacy_rig(plan: FaultPlan) -> LRig {
+    let mut sup = Supervisor::boot(legacy_config());
+    sup.machine.disks.attach(BIG_PACK.0, BIG_PACK.1);
+    let pid = sup
+        .create_process(LUserId(1), Label::BOTTOM)
+        .expect("process");
+    sup.machine.faults.install(plan);
+    LRig { sup, pid }
+}
+
+/// The shared workload, old-supervisor side.
+fn legacy_workload(r: &mut LRig, sync1_at: &mut Option<u64>) -> Result<(), LegacyError> {
+    let acl = LAcl::owner(LUserId(1));
+    let root = r.sup.root();
+    let d = r
+        .sup
+        .create_directory_in(root, "d", acl.clone(), Label::BOTTOM)?;
+    r.sup.set_quota_directory(r.pid, ">d", QUOTA_LIMIT)?;
+    for i in 0..FILES {
+        let f = r
+            .sup
+            .create_segment_in(d, &format!("f{i}"), acl.clone(), Label::BOTTOM)?;
+        let astx = r.sup.activate(f)?;
+        for p in 0..PAGES {
+            r.sup.sup_write(astx, p * PW, val(i, p, 0))?;
+            r.sup.sup_write(astx, p * PW + PW - 1, val(i, p, 1))?;
+        }
+    }
+    r.sup.sync_to_disk()?;
+    *sync1_at = Some(r.sup.machine.faults.writes);
+    let g = r.sup.create_segment_in(root, "grow", acl, Label::BOTTOM)?;
+    let astx = r.sup.activate(g)?;
+    for p in 0..GROW_PAGES {
+        r.sup.sup_write(astx, p * PW, Word::new(u64::from(p) + 1))?;
+    }
+    r.sup.sync_to_disk()
+}
+
+/// Checks phase-1 contents on a recovered supervisor.
+fn legacy_verify_phase1(rs: &mut Supervisor) {
+    let pid = rs
+        .create_process(LUserId(1), Label::BOTTOM)
+        .expect("post-recovery process");
+    for i in 0..FILES {
+        let (uid, _entry) = rs
+            .resolve(pid, &format!(">d>f{i}"), AccessRight::Read)
+            .expect("synced file survives");
+        let astx = rs.activate(uid).expect("activate survivor");
+        for p in 0..PAGES {
+            assert_eq!(
+                rs.sup_read(astx, p * PW).expect("read survivor"),
+                val(i, p, 0),
+                "file f{i} page {p} lost its first word"
+            );
+            assert_eq!(
+                rs.sup_read(astx, p * PW + PW - 1).expect("read survivor"),
+                val(i, p, 1),
+                "file f{i} page {p} lost its last word"
+            );
+        }
+    }
+}
+
+/// Runs the old-supervisor half of the crash matrix.
+fn legacy_matrix(stride: u64) -> MatrixSummary {
+    let mut rig = legacy_rig(FaultPlan::new());
+    let mut sync1 = None;
+    legacy_workload(&mut rig, &mut sync1).expect("fault-free run");
+    let total = rig.sup.machine.faults.writes;
+    let _sync1 = sync1.expect("phase-1 checkpoint");
+    assert!(
+        rig.sup.stats.relocations > 0,
+        "workload must force a relocation (got none in {total} writes)"
+    );
+
+    let mut tested = 0;
+    let mut damage_found = 0;
+    let mut repairs = 0u64;
+    let mut durable_verified = 0;
+    let mut cycles_sum = 0u64;
+    let mut cycles_max = 0u64;
+    let mut last = None;
+    for n in (1..=total).step_by(stride.max(1) as usize) {
+        let mut rig = legacy_rig(FaultPlan::new().crash_after_writes(n, crash_mode(n)));
+        let mut s1 = None;
+        let err = legacy_workload(&mut rig, &mut s1)
+            .expect_err("the crash plan must fire before the workload ends");
+        assert!(
+            matches!(err, LegacyError::Disk(_)),
+            "legacy crash point {n}: power failure must surface typed, got {err:?}"
+        );
+        let image = rig.sup.machine.disks.clone();
+        let mut rs =
+            Supervisor::boot_from_image(legacy_config(), image).expect("recovery bootload");
+        let repaired = rs.salvage(true).expect("salvage with repair");
+        let check = rs.salvage(false).expect("salvage check pass");
+        assert!(
+            check.clean(),
+            "legacy crash point {n}: second salvage pass still sees {:?}",
+            check.problems
+        );
+        assert_storage_conserved(&rs.machine.disks, "legacy", n);
+        let cycles = rs.machine.clock.now();
+        if s1.is_some_and(|c| n > c) {
+            legacy_verify_phase1(&mut rs);
+            durable_verified += 1;
+        }
+        tested += 1;
+        if !repaired.problems.is_empty() {
+            damage_found += 1;
+        }
+        repairs += repaired.repairs.len() as u64;
+        cycles_sum += cycles;
+        cycles_max = cycles_max.max(cycles);
+        last = Some(rs);
+    }
+    if let Some(rs) = last {
+        crate::trace::publish("r1.legacy", &rs.machine.clock, rs.stats.counters());
+    }
+    MatrixSummary {
+        total_writes: total,
+        tested,
+        damage_found,
+        repairs,
+        durable_verified,
+        avg_recovery_cycles: cycles_sum / u64::from(tested.max(1)),
+        max_recovery_cycles: cycles_max,
+    }
+}
+
+// ------------------------------------------------- graceful degradation --
+
+/// Exercises the non-crash fault modes on both designs: a transient
+/// read absorbed by the retry budget, budget exhaustion surfacing as a
+/// typed error, and a pack going offline and coming back. Panics if any
+/// path misbehaves; returns one note line per design.
+fn degradation_notes() -> Vec<String> {
+    let mut notes = Vec::new();
+
+    // Kernel side.
+    let mut r = kernel_rig(FaultPlan::new());
+    let acl = mx_kernel::Acl::owner(mx_kernel::UserId(1));
+    let root = r.k.root_token();
+    let t =
+        r.k.create_entry(r.pid, root, "t", acl, Label::BOTTOM, false)
+            .expect("probe file");
+    let segno = r.k.initiate(r.pid, t).expect("initiate probe");
+    r.k.write_word(r.pid, segno, 0, Word::new(0o7777))
+        .expect("probe write");
+    r.k.sync_to_disk().expect("probe sync");
+    let uid = r.k.uid_of_token(t).expect("probe uid");
+    let home = r.k.dirm.home_of(uid).expect("probe home");
+    let rec =
+        r.k.machine
+            .disks
+            .pack(home.pack)
+            .expect("probe pack")
+            .entry(home.toc)
+            .expect("probe toc")
+            .file_map[0]
+            .expect("probe record");
+    r.k.machine
+        .faults
+        .install(FaultPlan::new().transient_read(home.pack, rec, 1));
+    assert_eq!(
+        r.k.read_word(r.pid, segno, 0).expect("absorbed read"),
+        Word::new(0o7777)
+    );
+    assert!(r.k.pfm.stats.transient_retries >= 1, "retry not counted");
+    r.k.sync_to_disk().expect("re-sync");
+    let mut plan = FaultPlan::new();
+    for kth in 1..=u64::from(mx_kernel::page_frame::READ_RETRY_BUDGET) + 1 {
+        plan = plan.transient_read(home.pack, rec, kth);
+    }
+    r.k.machine.faults.install(plan);
+    let err =
+        r.k.read_word(r.pid, segno, 0)
+            .expect_err("budget exhausted");
+    assert!(
+        matches!(err, KernelError::Disk(DiskError::TransientRead { .. })),
+        "exhaustion must be typed, got {err:?}"
+    );
+    r.k.machine.faults.clear();
+    r.k.sync_to_disk().expect("re-sync");
+    r.k.machine.faults.set_offline(home.pack, true);
+    let err = r.k.read_word(r.pid, segno, 0).expect_err("pack offline");
+    assert!(
+        matches!(err, KernelError::Disk(DiskError::PackOffline { .. })),
+        "offline must be typed, got {err:?}"
+    );
+    r.k.machine.faults.set_offline(home.pack, false);
+    assert_eq!(
+        r.k.read_word(r.pid, segno, 0).expect("pack back online"),
+        Word::new(0o7777)
+    );
+    notes.push(format!(
+        "kernel: transient read absorbed ({} retries), retry exhaustion \
+         and offline pack surface typed, pack return resumes service",
+        r.k.pfm.stats.transient_retries
+    ));
+
+    // Old-supervisor side.
+    let mut r = legacy_rig(FaultPlan::new());
+    let acl = LAcl::owner(LUserId(1));
+    let root = r.sup.root();
+    let t = r
+        .sup
+        .create_segment_in(root, "t", acl, Label::BOTTOM)
+        .expect("probe file");
+    let astx = r.sup.activate(t).expect("activate probe");
+    r.sup
+        .sup_write(astx, 0, Word::new(0o7777))
+        .expect("probe write");
+    r.sup.sync_to_disk().expect("probe sync");
+    let (_uid, e) = r
+        .sup
+        .resolve(r.pid, ">t", AccessRight::Read)
+        .expect("probe entry");
+    let rec = r
+        .sup
+        .machine
+        .disks
+        .pack(e.pack)
+        .expect("probe pack")
+        .entry(e.toc)
+        .expect("probe toc")
+        .file_map[0]
+        .expect("probe record");
+    r.sup
+        .machine
+        .faults
+        .install(FaultPlan::new().transient_read(e.pack, rec, 1));
+    let astx = r.sup.activate(t).expect("re-activate");
+    assert_eq!(
+        r.sup.sup_read(astx, 0).expect("absorbed read"),
+        Word::new(0o7777)
+    );
+    assert!(r.sup.stats.disk_retries >= 1, "retry not counted");
+    r.sup.sync_to_disk().expect("re-sync");
+    let mut plan = FaultPlan::new();
+    for kth in 1..=u64::from(mx_legacy::page_control::READ_RETRY_BUDGET) + 1 {
+        plan = plan.transient_read(e.pack, rec, kth);
+    }
+    r.sup.machine.faults.install(plan);
+    let astx = r.sup.activate(t).expect("re-activate");
+    let err = r.sup.sup_read(astx, 0).expect_err("budget exhausted");
+    assert!(
+        matches!(err, LegacyError::Disk(DiskError::TransientRead { .. })),
+        "exhaustion must be typed, got {err:?}"
+    );
+    r.sup.machine.faults.clear();
+    r.sup.sync_to_disk().expect("re-sync");
+    r.sup.machine.faults.set_offline(e.pack, true);
+    // The old supervisor stores directory representations in segments,
+    // so even re-activation pages against the offline pack — and must
+    // degrade to a typed error rather than a panic.
+    let err = r.sup.activate(t).expect_err("pack offline");
+    assert!(
+        matches!(err, LegacyError::Disk(DiskError::PackOffline { .. })),
+        "offline must be typed, got {err:?}"
+    );
+    r.sup.machine.faults.set_offline(e.pack, false);
+    let astx = r.sup.activate(t).expect("re-activate");
+    assert_eq!(
+        r.sup.sup_read(astx, 0).expect("pack back online"),
+        Word::new(0o7777)
+    );
+    notes.push(format!(
+        "legacy: transient read absorbed ({} retries), retry exhaustion \
+         and offline pack surface typed, pack return resumes service",
+        r.sup.stats.disk_retries
+    ));
+    notes
+}
+
+// ---------------------------------------------------------- experiment --
+
+/// R1 — the crash matrix, both designs, every `stride`-th write of the
+/// workload taken as a crash point. Panics (failing the experiment) if
+/// any crash point fails to recover to a clean, conserved hierarchy
+/// with durable contents intact.
+pub fn r1_crash_recovery(stride: u64) -> Comparison {
+    let kernel = kernel_matrix(stride);
+    let legacy = legacy_matrix(stride);
+    let mut notes = vec![
+        format!(
+            "legacy: {}/{} crash points run, damage at {}, {} repairs, \
+             durable contents verified at {} points, worst recovery {} cycles",
+            legacy.tested,
+            legacy.total_writes,
+            legacy.damage_found,
+            legacy.repairs,
+            legacy.durable_verified,
+            legacy.max_recovery_cycles
+        ),
+        format!(
+            "kernel: {}/{} crash points run, damage at {}, {} repairs, \
+             durable contents verified at {} points, worst recovery {} cycles",
+            kernel.tested,
+            kernel.total_writes,
+            kernel.damage_found,
+            kernel.repairs,
+            kernel.durable_verified,
+            kernel.max_recovery_cycles
+        ),
+        "every point recovered: salvage converged (second pass clean), \
+         records conserved, synced objects intact"
+            .to_string(),
+    ];
+    notes.extend(degradation_notes());
+    Comparison {
+        name: "R1  crash matrix: salvager-driven recovery",
+        unit: "cycles/recovery (mean)",
+        legacy: legacy.avg_recovery_cycles,
+        kernel: kernel.avg_recovery_cycles,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite: salvage-with-repair is idempotent from every crash
+    /// state — the matrix asserts the second pass is clean at each
+    /// point. Subsampled here to keep the test quick; `repro --only r1`
+    /// runs the full matrix.
+    #[test]
+    fn subsampled_crash_matrix_recovers_both_designs() {
+        let k = kernel_matrix(7);
+        assert!(k.tested > 0);
+        assert!(k.durable_verified > 0, "late crash points must be tested");
+        let l = legacy_matrix(7);
+        assert!(l.tested > 0);
+        assert!(l.durable_verified > 0, "late crash points must be tested");
+    }
+
+    /// Same seed, same matrix: the experiment is replayable.
+    #[test]
+    fn crash_matrix_is_deterministic() {
+        let a = kernel_matrix(11);
+        let b = kernel_matrix(11);
+        assert_eq!(a.total_writes, b.total_writes);
+        assert_eq!(a.damage_found, b.damage_found);
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.avg_recovery_cycles, b.avg_recovery_cycles);
+        assert_eq!(a.max_recovery_cycles, b.max_recovery_cycles);
+    }
+
+    /// The non-crash fault modes behave on both designs.
+    #[test]
+    fn degradation_paths_hold() {
+        assert_eq!(degradation_notes().len(), 2);
+    }
+}

@@ -244,6 +244,128 @@ impl DirectoryManager {
         Ok(dm)
     }
 
+    /// Rebuilds the manager from a surviving disk image — the recovery
+    /// bootload path. `root_home` names the root directory's TOC entry
+    /// (found by scanning pack 0 for uid 1). The branch cache is rebuilt
+    /// by walking the directory segments themselves; entries whose TOC
+    /// home is missing or mismatched are left uncatalogued for the
+    /// salvager to report and repair.
+    ///
+    /// # Errors
+    ///
+    /// Disk or table errors reading the hierarchy.
+    pub fn recover(
+        ctx: &mut FsCtx<'_>,
+        seed: u64,
+        root_home: DiskHome,
+    ) -> Result<Self, KernelError> {
+        let root = SegUid(1);
+        let mut dm = Self {
+            branch: HashMap::new(),
+            real_tokens: HashMap::new(),
+            token_of: HashMap::new(),
+            secret: mix(seed ^ 0x006d_756c_7469_6373),
+            root,
+            next_uid: 2,
+            stats: DirStats::default(),
+        };
+        dm.branch.insert(
+            root,
+            BranchInfo {
+                parent: None,
+                slot: 0,
+                is_dir: true,
+                children: 0,
+                own_cell: root,
+                child_cell: root,
+                quota_dir: true,
+                home: root_home,
+                label: Label::BOTTOM,
+            },
+        );
+        // The root's quota cell record rode out the crash in its TOC
+        // entry; adopt it without disturbing the persisted counts.
+        ctx.qcm.adopt_cell(ctx.machine, ctx.drm, root, root_home)?;
+        ctx.segm.activate(
+            ctx.machine,
+            ctx.drm,
+            ctx.qcm,
+            ctx.pfm,
+            root,
+            root_home,
+            root,
+            true,
+            Label::BOTTOM,
+        )?;
+        let mut max_uid = root.0;
+        let mut stack = vec![root];
+        while let Some(dir) = stack.pop() {
+            let parent_cell = dm.branch.get(&dir).expect("walked dir").child_cell;
+            dm.ensure_active(ctx, dir)?;
+            let count = dm.entry_count(ctx, dir)?;
+            for slot in 0..count {
+                let Some(e) = dm.read_entry(ctx, dir, slot)? else {
+                    continue;
+                };
+                max_uid = max_uid.max(e.uid.0);
+                // Catalogue only entries whose home survived; the
+                // salvager flags the rest as dangling.
+                let toc_uid = ctx
+                    .machine
+                    .disks
+                    .pack(e.home.pack)
+                    .ok()
+                    .and_then(|p| p.entry(e.home.toc).ok())
+                    .map(|t| t.uid);
+                if toc_uid != Some(e.uid.0) {
+                    continue;
+                }
+                if dm.branch.contains_key(&e.uid) {
+                    // A duplicate claim (torn directory page); keep the
+                    // first, leave this one for the salvager.
+                    continue;
+                }
+                let mut quota_dir = e.quota_dir;
+                if quota_dir {
+                    // Re-adopt the persisted cell; if the record is gone
+                    // the designation did not survive the crash.
+                    if ctx
+                        .qcm
+                        .adopt_cell(ctx.machine, ctx.drm, e.uid, e.home)
+                        .is_err()
+                    {
+                        quota_dir = false;
+                    }
+                }
+                // Derive the controlling cell from the walk, not from the
+                // entry's cached `own_cell` word: a torn directory page
+                // can leave a valid uid next to a stale cell pointer, and
+                // the nearest-superior rule is exactly what this top-down
+                // walk reconstructs.
+                dm.branch.insert(
+                    e.uid,
+                    BranchInfo {
+                        parent: Some(dir),
+                        slot,
+                        is_dir: e.is_dir,
+                        children: 0,
+                        own_cell: parent_cell,
+                        child_cell: if quota_dir { e.uid } else { parent_cell },
+                        quota_dir,
+                        home: e.home,
+                        label: e.label,
+                    },
+                );
+                dm.branch.get_mut(&dir).expect("walked dir").children += 1;
+                if e.is_dir {
+                    stack.push(e.uid);
+                }
+            }
+        }
+        dm.next_uid = max_uid + 1;
+        Ok(dm)
+    }
+
     /// The root directory's uid.
     pub fn root(&self) -> SegUid {
         self.root
@@ -803,6 +925,50 @@ impl DirectoryManager {
                 e.quota_dir = false;
                 e.quota_limit = 0;
                 self.write_entry(ctx, parent, slot, &e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Kernel-internal lookup (no access check): the uid behind `name`
+    /// in `dir`, if any. Recovery bootload uses it to refind well-known
+    /// directories.
+    pub(crate) fn lookup_in(
+        &self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        name: &str,
+    ) -> Result<Option<SegUid>, KernelError> {
+        Ok(self.scan(ctx, dir, name)?.map(|(_, e)| e.uid))
+    }
+
+    /// The (real) token for a known uid — recovery bootload only.
+    pub(crate) fn token_for(&mut self, uid: SegUid) -> ObjToken {
+        self.real_token(uid)
+    }
+
+    /// Salvager repair: clears entry `slot` of `dir` (the in-use flag
+    /// goes to zero) and evicts `uid` from the branch cache if that
+    /// entry was its catalogue record.
+    pub(crate) fn salvage_clear_entry(
+        &mut self,
+        ctx: &mut FsCtx<'_>,
+        dir: SegUid,
+        slot: u32,
+        uid: SegUid,
+    ) -> Result<(), KernelError> {
+        self.seg_write(ctx, dir, Self::entry_base(slot) + 1, Word::ZERO)?;
+        let cached_here = self
+            .branch
+            .get(&uid)
+            .is_some_and(|b| b.parent == Some(dir) && b.slot == slot);
+        if cached_here {
+            self.branch.remove(&uid);
+            if let Some(t) = self.token_of.remove(&uid) {
+                self.real_tokens.remove(&t);
+            }
+            if let Some(p) = self.branch.get_mut(&dir) {
+                p.children = p.children.saturating_sub(1);
             }
         }
         Ok(())

@@ -11,7 +11,7 @@
 //! module (the directory manager) with the saved machine state.
 
 use crate::types::{DiskHome, SegUid};
-use mx_hw::Fault;
+use mx_hw::{DiskError, Fault};
 
 /// An upward signal: a condition discovered low in the dependency
 /// structure that a higher-level module must finish handling.
@@ -78,6 +78,10 @@ pub enum KernelError {
     Upward(Signal),
     /// A hardware fault no handler claimed.
     UnhandledFault(Fault),
+    /// A disk operation failed past the kernel's retry budget (transient
+    /// read exhausted), or unrecoverably (pack offline, power failed) —
+    /// the typed upward surface of a hardware fault, never a panic.
+    Disk(DiskError),
 }
 
 impl core::fmt::Display for KernelError {
@@ -102,6 +106,7 @@ impl core::fmt::Display for KernelError {
             KernelError::NoSuchChannel => write!(f, "no such stream or channel"),
             KernelError::Upward(s) => write!(f, "unconsumed upward signal {s:?}"),
             KernelError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
+            KernelError::Disk(e) => write!(f, "disk failure: {e}"),
         }
     }
 }

@@ -214,13 +214,18 @@ impl Kernel {
         "demux_read",
     ];
 
-    /// Bootloads Kernel/Multics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration leaves fewer than eight pageable
-    /// frames.
-    pub fn boot(config: KernelConfig) -> Self {
+    /// Everything below the file system: the machine, core segments,
+    /// virtual processors, the cell table, and the page-frame manager —
+    /// shared by the cold bootload and the recovery bootload.
+    fn assemble(
+        config: &KernelConfig,
+    ) -> (
+        Machine,
+        CoreSegmentManager,
+        VirtualProcessorManager,
+        QuotaCellManager,
+        PageFrameManager,
+    ) {
         let mut machine = Machine::new(MachineConfig {
             frames: config.frames,
             cpus: 2,
@@ -291,7 +296,18 @@ impl Kernel {
             "configuration leaves fewer than 8 pageable frames"
         );
         pfm.set_pageable_region(wired_end, config.frames as u32);
+        (machine, csm, vpm, qcm, pfm)
+    }
 
+    /// Bootloads Kernel/Multics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves fewer than eight pageable
+    /// frames.
+    pub fn boot(config: KernelConfig) -> Self {
+        let (mut machine, csm, mut vpm, mut qcm, mut pfm) = Self::assemble(&config);
+        let dseg_base = csm.end_frame();
         let mut drm = DiskRecordManager::new();
         let mut segm = SegmentManager::new();
         let mut flows = FlowTracker::new();
@@ -357,6 +373,164 @@ impl Kernel {
     /// Bootloads with the default configuration.
     pub fn boot_default() -> Self {
         Self::boot(KernelConfig::default())
+    }
+
+    /// Bootloads Kernel/Multics from a surviving disk image — the crash
+    /// recovery path. No root directory is created; the hierarchy is
+    /// rebuilt by walking the image's own directory segments (the root
+    /// is the pack-0 TOC entry recording uid 1). Entries the crash tore
+    /// are left for [`Kernel::salvage`] to report and repair.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoEntry`] if pack 0 records no root directory;
+    /// storage errors walking the image.
+    pub fn boot_from_image(
+        config: KernelConfig,
+        image: mx_hw::DiskSystem,
+    ) -> Result<Self, KernelError> {
+        let (mut machine, csm, mut vpm, mut qcm, mut pfm) = Self::assemble(&config);
+        machine.disks = image;
+        let dseg_base = csm.end_frame();
+        let root_home = machine
+            .disks
+            .pack(mx_hw::PackId(0))
+            .ok()
+            .and_then(|p| {
+                p.entries()
+                    .find(|(_, e)| e.uid == 1)
+                    .map(|(toc, _)| crate::types::DiskHome {
+                        pack: mx_hw::PackId(0),
+                        toc,
+                    })
+            })
+            .ok_or(KernelError::NoEntry)?;
+        let mut drm = DiskRecordManager::new();
+        let mut segm = SegmentManager::new();
+        let mut flows = FlowTracker::new();
+        let mut monitor = ReferenceMonitor::new();
+        let dirm = {
+            let mut fs = FsCtx {
+                machine: &mut machine,
+                drm: &mut drm,
+                qcm: &mut qcm,
+                pfm: &mut pfm,
+                vpm: &mut vpm,
+                segm: &mut segm,
+                flows: &mut flows,
+                monitor: &mut monitor,
+            };
+            DirectoryManager::recover(&mut fs, config.seed, root_home)?
+        };
+        let upm = UserProcessManager::new(
+            &mut vpm,
+            dseg_base,
+            config.max_processes,
+            config.event_queue,
+        );
+        let mut kernel = Self {
+            machine,
+            csm,
+            vpm,
+            drm,
+            qcm,
+            pfm,
+            segm,
+            ksm: KnownSegmentManager::new(),
+            dirm,
+            upm,
+            demux: DemuxManager::new(),
+            monitor,
+            flows,
+            stats: KernelStats::default(),
+            accounts: HashMap::new(),
+            processes_dir: ObjToken(0),
+            state_counter: 0,
+        };
+        // Refind the well-known `>processes` directory (recreate it if
+        // the crash predated it).
+        let root_uid = kernel.dirm.root();
+        let existing = kernel.with_retries(|k| {
+            let Kernel {
+                machine,
+                drm,
+                qcm,
+                pfm,
+                vpm,
+                segm,
+                flows,
+                monitor,
+                dirm,
+                ..
+            } = k;
+            let mut fs = FsCtx {
+                machine,
+                drm,
+                qcm,
+                pfm,
+                vpm,
+                segm,
+                flows,
+                monitor,
+            };
+            dirm.lookup_in(&mut fs, root_uid, "processes")
+        })?;
+        if let Some(puid) = existing {
+            // Surviving state segments hold names `proc-N`; resume the
+            // counter past them so new processes never collide.
+            let entries = kernel.with_retries(|k| {
+                let Kernel {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                    dirm,
+                    ..
+                } = k;
+                let mut fs = FsCtx {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                };
+                dirm.salvage_entries(&mut fs, puid)
+            })?;
+            for (_, name, ..) in entries {
+                if let Some(n) = name
+                    .strip_prefix("proc-")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    kernel.state_counter = kernel.state_counter.max(n);
+                }
+            }
+        }
+        kernel.processes_dir = match existing {
+            Some(uid) => kernel.dirm.token_for(uid),
+            None => {
+                let root = kernel.dirm.root_token();
+                kernel.with_retries(|k| {
+                    k.dirm.create(
+                        &mut ctx!(k),
+                        UserId(0),
+                        Label::BOTTOM,
+                        root,
+                        "processes",
+                        Acl::owner(UserId(0)),
+                        Label::BOTTOM,
+                        true,
+                    )
+                })?
+            }
+        };
+        Ok(kernel)
     }
 
     /// The root directory token (the starting point user name-space
@@ -979,6 +1153,24 @@ impl Kernel {
         })
     }
 
+    /// Deactivates every active segment, flushing all dirty pages and
+    /// persisting every quota cell to its TOC entry — the clean-shutdown
+    /// sweep. After it returns, the disk image alone reconstructs the
+    /// system (see [`Kernel::boot_from_image`]).
+    ///
+    /// # Errors
+    ///
+    /// Disk errors from the write-back path.
+    pub fn sync_to_disk(&mut self) -> Result<(), KernelError> {
+        self.scoped(Subsystem::SegmentControl, |k| {
+            for uid in k.segm.active_uids() {
+                k.segm
+                    .deactivate(&mut k.machine, &mut k.drm, &mut k.qcm, &mut k.pfm, uid)?;
+            }
+            Ok(())
+        })
+    }
+
     /// Runs up to `steps` units of the page-purifier daemon (the
     /// low-priority write-behind). Returns how many units did work.
     ///
@@ -1284,6 +1476,54 @@ mod tests {
             k.write_word(bob, bob_segno, 0, Word::new(9)).unwrap_err(),
             KernelError::NoAccess
         );
+    }
+
+    #[test]
+    fn recovery_bootload_rebuilds_the_hierarchy_from_disk() {
+        let config = KernelConfig {
+            frames: 128,
+            records_per_pack: 256,
+            toc_slots_per_pack: 64,
+            pt_slots: 24,
+            max_processes: 6,
+            root_quota: 200,
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::boot(config.clone());
+        let pid = login(&mut k, "writer", UserId(1));
+        let root = k.root_token();
+        let dir = k
+            .create_entry(pid, root, "d", Acl::owner(UserId(1)), Label::BOTTOM, true)
+            .unwrap();
+        let f = k
+            .create_entry(pid, dir, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let segno = k.initiate(pid, f).unwrap();
+        for p in 0..3u32 {
+            k.write_word(pid, segno, p * 1024, Word::new(u64::from(p) + 0o100))
+                .unwrap();
+        }
+        k.sync_to_disk().unwrap();
+        let image = k.machine.disks.clone();
+
+        let mut k2 = Kernel::boot_from_image(config, image).unwrap();
+        let report = k2.salvage(false).unwrap();
+        assert!(
+            report.clean(),
+            "clean shutdown recovers clean: {:?}",
+            report.problems
+        );
+        let pid2 = login(&mut k2, "reader", UserId(1));
+        let root2 = k2.root_token();
+        let d2 = k2.dir_search(pid2, root2, "d").unwrap();
+        let f2 = k2.dir_search(pid2, d2, "f").unwrap();
+        let segno2 = k2.initiate(pid2, f2).unwrap();
+        for p in 0..3u32 {
+            assert_eq!(
+                k2.read_word(pid2, segno2, p * 1024).unwrap(),
+                Word::new(u64::from(p) + 0o100)
+            );
+        }
     }
 
     #[test]

@@ -39,12 +39,39 @@ use crate::quota_cell::QuotaCellManager;
 use crate::types::{DiskHome, SegUid};
 use crate::vproc::VirtualProcessorManager;
 use mx_hw::cpu::Ptw;
-use mx_hw::{AbsAddr, FrameNo, Machine, PAGE_WORDS};
+use mx_hw::{AbsAddr, DiskError, FrameNo, Machine, PackId, RecordNo, PAGE_WORDS};
 use mx_sync::sim::EcId;
 use std::collections::VecDeque;
 
 /// Page-table words per paged object — the maximum segment size in pages.
 pub const PT_WORDS: u32 = 256;
+
+/// Transient-read retries before the failure surfaces as a typed error.
+pub const READ_RETRY_BUDGET: u32 = 3;
+
+/// Reads a record into a frame, retrying transient errors up to the
+/// budget; exhaustion (and every hard fault) surfaces as
+/// [`KernelError::Disk`] — never a panic. Returns the retries used.
+pub(crate) fn read_into_frame_with_retry(
+    machine: &mut Machine,
+    pack: PackId,
+    record: RecordNo,
+    frame: FrameNo,
+) -> Result<u32, KernelError> {
+    let mut retries = 0;
+    loop {
+        match machine.disk_read_into_frame(pack, record, frame) {
+            Ok(()) => return Ok(retries),
+            Err(e @ DiskError::TransientRead { .. }) => {
+                retries += 1;
+                if retries >= READ_RETRY_BUDGET {
+                    return Err(KernelError::Disk(e));
+                }
+            }
+            Err(e) => return Err(KernelError::Disk(e)),
+        }
+    }
+}
 
 /// A handle to a paged object (a bound page-table slot).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,6 +105,8 @@ pub struct PageStats {
     pub purifier_writes: u64,
     /// Eventcount notifications issued after services.
     pub notifications: u64,
+    /// Transient read errors absorbed by the retry path.
+    pub transient_retries: u64,
 }
 
 /// The page-frame object manager.
@@ -310,9 +339,24 @@ impl PageFrameManager {
             .record_of(machine, home, pageno)?
             .expect("missing-page fault on a page with no record: quota-trap bit lost");
         let frame = self.claim_frame(machine, drm, qcm, handle.0, pageno)?;
-        machine
-            .disk_read_into_frame(home.pack, record, frame)
-            .expect("file map names a live record");
+        match read_into_frame_with_retry(machine, home.pack, record, frame) {
+            Ok(retries) => self.stats.transient_retries += u64::from(retries),
+            Err(e) => {
+                // Release the claimed frame so an exhausted or offline
+                // read leaves no leak, and clear the lock bit the
+                // hardware set at fault time — a descriptor left locked
+                // would turn every later reference into an endless
+                // LockedDescriptor wait. Waiters are notified so they
+                // re-fault and observe the error themselves.
+                self.frames[frame.0 as usize] = FrameUse::Free;
+                let mut unlocked = ptw;
+                unlocked.locked = false;
+                self.set_ptw(machine, handle, pageno, unlocked);
+                self.stats.notifications += 1;
+                vpm.advance(self.page_event);
+                return Err(e);
+            }
+        }
         self.set_ptw(
             machine,
             handle,
@@ -496,7 +540,7 @@ impl PageFrameManager {
                     .expect("nonzero resident page has a record");
                 machine
                     .disk_write_from_frame(binding.home.pack, record, frame)
-                    .expect("record writable");
+                    .map_err(KernelError::Disk)?;
             }
             self.set_ptw(machine, handle, pageno, Ptw::default());
         }
@@ -560,7 +604,7 @@ impl PageFrameManager {
                 .expect("dirty page has a record");
             machine
                 .disk_write_from_frame(binding.home.pack, record, frame)
-                .expect("record writable");
+                .map_err(KernelError::Disk)?;
             ptw.modified = false;
             self.set_ptw(machine, handle, pageno, ptw);
             self.stats.purifier_writes += 1;
@@ -785,6 +829,106 @@ mod tests {
             .unwrap()
         {}
         assert_eq!(r.pfm.pending_purifier_work(), 0);
+    }
+
+    #[test]
+    fn transient_reads_are_absorbed_by_the_retry_budget() {
+        use mx_hw::FaultPlan;
+        let mut r = rig(64, 64);
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0)
+            .unwrap();
+        let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
+        r.machine.mem.write(ptw.frame.base(), Word::new(0o55));
+        r.pfm
+            .flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
+        let rec = r.drm.record_of(&r.machine, r.home, 0).unwrap().unwrap();
+        // The first two channel reads of the record fail; the third
+        // succeeds within the budget.
+        r.machine.install_fault_plan(
+            FaultPlan::new()
+                .transient_read(PackId(0), rec, 1)
+                .transient_read(PackId(0), rec, 2),
+        );
+        let (h, p) = (r.handle, 0);
+        r.pfm
+            .service_missing(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.vpm, h, p)
+            .unwrap();
+        assert_eq!(r.pfm.stats.transient_retries, 2);
+        let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
+        assert_eq!(r.machine.mem.read(ptw.frame.base()), Word::new(0o55));
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_typed_error_without_leaking_the_frame() {
+        use mx_hw::{DiskError, FaultPlan};
+        let mut r = rig(64, 64);
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0)
+            .unwrap();
+        let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
+        r.machine.mem.write(ptw.frame.base(), Word::new(0o55));
+        r.pfm
+            .flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
+        let rec = r.drm.record_of(&r.machine, r.home, 0).unwrap().unwrap();
+        let mut plan = FaultPlan::new();
+        for k in 1..=u64::from(READ_RETRY_BUDGET) {
+            plan = plan.transient_read(PackId(0), rec, k);
+        }
+        r.machine.install_fault_plan(plan);
+        let free_before = r
+            .pfm
+            .frames
+            .iter()
+            .filter(|f| **f == FrameUse::Free)
+            .count();
+        let (h, p) = (r.handle, 0);
+        let err = r
+            .pfm
+            .service_missing(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.vpm, h, p)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::Disk(DiskError::TransientRead { .. })
+        ));
+        let free_after = r
+            .pfm
+            .frames
+            .iter()
+            .filter(|f| **f == FrameUse::Free)
+            .count();
+        assert_eq!(free_before, free_after, "claimed frame released");
+        // The fault was transient: once the plan's ordinals pass, the
+        // same reference succeeds.
+        r.pfm
+            .service_missing(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.vpm, h, p)
+            .unwrap();
+    }
+
+    #[test]
+    fn offline_pack_surfaces_typed_error() {
+        use mx_hw::DiskError;
+        let mut r = rig(64, 64);
+        r.pfm
+            .add_page(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle, 0)
+            .unwrap();
+        let ptw = r.pfm.ptw(&r.machine, r.handle, 0);
+        r.machine.mem.write(ptw.frame.base(), Word::new(0o55));
+        r.pfm
+            .flush(&mut r.machine, &mut r.drm, &mut r.qcm, r.handle)
+            .unwrap();
+        r.machine.faults.set_offline(PackId(0), true);
+        let (h, p) = (r.handle, 0);
+        let err = r
+            .pfm
+            .service_missing(&mut r.machine, &mut r.drm, &mut r.qcm, &mut r.vpm, h, p)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::Disk(DiskError::PackOffline { .. })
+        ));
     }
 
     #[test]

@@ -128,6 +128,38 @@ impl QuotaCellManager {
         Ok(())
     }
 
+    /// Registers an existing on-disk cell without touching its persisted
+    /// counts — the recovery bootload path: after a crash the cell
+    /// directory is rebuilt by walking the surviving disk image, and the
+    /// used count found on disk must be preserved for the salvager to
+    /// audit. Idempotent for an already-registered uid.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::TableFull`] when the cell table is exhausted;
+    /// [`KernelError::QuotaDesignation`] if the TOC entry at `home`
+    /// carries no cell record.
+    pub fn adopt_cell(
+        &mut self,
+        machine: &Machine,
+        drm: &DiskRecordManager,
+        uid: SegUid,
+        home: DiskHome,
+    ) -> Result<(), KernelError> {
+        if self.cell_dir.contains_key(&uid) {
+            return Ok(());
+        }
+        if self.next_slot >= self.max_cells {
+            return Err(KernelError::TableFull("quota cell"));
+        }
+        drm.read_quota_cell(machine, home)?
+            .ok_or(KernelError::QuotaDesignation("cell missing from TOC"))?;
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.cell_dir.insert(uid, CellDirEntry { home, slot });
+        Ok(())
+    }
+
     /// Destroys a cell that is no longer referenced and carries no
     /// charge.
     ///
@@ -303,6 +335,35 @@ impl QuotaCellManager {
         Ok(())
     }
 
+    /// Forces a cell's used count to `used`, in core (when resident) and
+    /// in the persistent TOC copy — the salvager's drift repair, which
+    /// must work whether or not any segment bound to the cell is active.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::QuotaDesignation`] if the cell does not exist.
+    pub fn salvage_set_used(
+        &mut self,
+        machine: &mut Machine,
+        drm: &mut DiskRecordManager,
+        uid: SegUid,
+        used: u32,
+    ) -> Result<(), KernelError> {
+        let entry = *self
+            .cell_dir
+            .get(&uid)
+            .ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        if let Some(cell) = self.loaded.get_mut(&uid) {
+            cell.used = used;
+        }
+        self.sync_core_table(machine, uid);
+        let mut rec = drm
+            .read_quota_cell(machine, entry.home)?
+            .ok_or(KernelError::QuotaDesignation("cell missing from TOC"))?;
+        rec.used_pages = used;
+        drm.write_quota_cell(machine, entry.home, Some(rec))
+    }
+
     /// Current (limit, used) of a loaded cell.
     pub fn cell_state(&self, uid: SegUid) -> Option<(u32, u32)> {
         self.loaded.get(&uid).map(|c| (c.limit, c.used))
@@ -449,6 +510,26 @@ mod tests {
         qcm.destroy_cell(&mut m, &mut drm, uid).unwrap();
         assert!(!qcm.exists(uid));
         assert_eq!(drm.read_quota_cell(&m, home).unwrap(), None);
+    }
+
+    #[test]
+    fn adopt_preserves_the_persisted_used_count() {
+        let (mut m, _csm, mut drm, mut qcm, home) = setup();
+        let uid = SegUid(6);
+        let mut flows = FlowTracker::new();
+        qcm.create_cell(&mut m, &mut drm, uid, home, 10, Label::BOTTOM)
+            .unwrap();
+        qcm.load(&mut m, &drm, uid, Label::BOTTOM).unwrap();
+        qcm.charge(&mut m, uid, 3, Label::BOTTOM, &mut flows)
+            .unwrap();
+        qcm.unload(&mut m, &mut drm, uid).unwrap();
+        // A recovery bootload sees only the disk image.
+        let mut fresh = QuotaCellManager::new(&mut CoreSegmentManager::new(0, 4)).unwrap();
+        fresh.adopt_cell(&m, &drm, uid, home).unwrap();
+        assert!(fresh.exists(uid));
+        fresh.adopt_cell(&m, &drm, uid, home).unwrap(); // idempotent
+        fresh.load(&mut m, &drm, uid, Label::BOTTOM).unwrap();
+        assert_eq!(fresh.cell_state(uid), Some((10, 3)), "used count kept");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!    (or is the root's);
 //! 3. every quota cell's `used` equals the records actually mapped by
 //!    the objects statically bound to it;
-//! 4. no file map names a record outside its pack.
+//! 4. no file map names a record outside its pack;
+//! 5. every allocated record is referenced by some file map (a crash
+//!    between allocation and the file-map commit leaks the record).
 
 use crate::directory::{DirectoryManager, FsCtx};
 use crate::error::KernelError;
@@ -46,6 +48,16 @@ pub enum Problem {
         /// The uid the entry claims.
         uid: SegUid,
     },
+    /// Two live directory entries claim the same TOC entry — invariant
+    /// 2's other half (a torn directory page can duplicate a branch).
+    DoublyClaimedToc {
+        /// The directory holding the *second* (duplicate) claim.
+        dir: SegUid,
+        /// The duplicate entry's name.
+        name: String,
+        /// The home claimed twice.
+        home: DiskHome,
+    },
     /// A quota cell whose used count disagrees with the mapped records
     /// of its bound objects.
     CellDrift {
@@ -62,6 +74,14 @@ pub enum Problem {
         home: DiskHome,
         /// The page with the bad pointer.
         pageno: u32,
+    },
+    /// An allocated record no file map references — storage leaked by a
+    /// crash between record allocation and the file-map commit.
+    LeakedRecord {
+        /// The pack holding the record.
+        pack: mx_hw::PackId,
+        /// The leaked record.
+        record: mx_hw::RecordNo,
     },
 }
 
@@ -88,10 +108,10 @@ impl SalvageReport {
 impl Kernel {
     /// Runs the salvager over the whole hierarchy.
     ///
-    /// With `repair` set, cell drift is corrected to the disk's truth
-    /// and orphan TOC entries are deleted; dangling directory entries
-    /// are reported only (removing a name is a policy decision the
-    /// operator makes).
+    /// With `repair` set, cell drift is corrected to the disk's truth,
+    /// orphan TOC entries are deleted, and dangling or doubly-claimed
+    /// directory entries are cleared — everything needed for a second
+    /// pass to come back clean from any crash state.
     ///
     /// # Errors
     ///
@@ -107,16 +127,27 @@ impl Kernel {
         let mut report = SalvageReport::default();
 
         // Walk the hierarchy from the root, collecting every catalogued
-        // object: uid -> (home, own_cell).
+        // object: uid -> (home, own_cell), and counting who claims each
+        // TOC entry along the way.
         let root = self.dirm.root();
         let mut catalogued: HashMap<SegUid, (DiskHome, SegUid)> = HashMap::new();
+        let mut claimed: HashSet<(u32, u32)> = HashSet::new();
+        // The cell governing each directory's children, derived from the
+        // walk (nearest superior quota directory) rather than from the
+        // entries' cached `own_cell` words, which a torn page can leave
+        // stale. Designation truth is the cell directory, which is
+        // TOC-backed and survives crashes.
+        let mut governs: HashMap<SegUid, SegUid> = HashMap::new();
+        governs.insert(root, root);
         // The root itself.
-        if let Some((home, cell, _, _)) = self.dirm.activation_info(root) {
-            catalogued.insert(root, (home, cell));
+        if let Some((home, _, _, _)) = self.dirm.activation_info(root) {
+            catalogued.insert(root, (home, root));
+            claimed.insert((home.pack.0, home.toc.0));
         }
         let mut stack = vec![root];
-        let mut dangling = Vec::new();
+        let mut bad_entries = Vec::new(); // (dir, slot, uid, problem)
         while let Some(dir) = stack.pop() {
+            let gcell = *governs.get(&dir).expect("walked dir");
             let entries = {
                 let Kernel {
                     machine,
@@ -142,7 +173,7 @@ impl Kernel {
                 };
                 dirm.salvage_entries(&mut fs, dir)?
             };
-            for (name, uid, home, own_cell, is_dir) in entries {
+            for (slot, name, uid, home, _own_cell, is_dir) in entries {
                 report.objects_checked += 1;
                 // Invariant 1: home must exist and agree on the uid.
                 let toc_uid = self
@@ -153,16 +184,64 @@ impl Kernel {
                     .and_then(|p| p.entry(home.toc).ok())
                     .map(|e| e.uid);
                 if toc_uid != Some(uid.0) {
-                    dangling.push(Problem::DanglingEntry { dir, name, uid });
+                    bad_entries.push((dir, slot, uid, Problem::DanglingEntry { dir, name, uid }));
                     continue;
                 }
-                catalogued.insert(uid, (home, own_cell));
+                // Invariant 2 (first half): no TOC entry is claimed by
+                // more than one directory entry. The first claim wins;
+                // later ones are duplicates.
+                if !claimed.insert((home.pack.0, home.toc.0)) {
+                    bad_entries.push((
+                        dir,
+                        slot,
+                        uid,
+                        Problem::DoublyClaimedToc { dir, name, home },
+                    ));
+                    continue;
+                }
+                catalogued.insert(uid, (home, gcell));
                 if is_dir {
+                    governs.insert(uid, if self.qcm.exists(uid) { uid } else { gcell });
                     stack.push(uid);
                 }
             }
         }
-        report.problems.extend(dangling);
+        if repair {
+            for (dir, slot, uid, problem) in &bad_entries {
+                let Kernel {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                    dirm,
+                    ..
+                } = self;
+                let mut fs = FsCtx {
+                    machine,
+                    drm,
+                    qcm,
+                    pfm,
+                    vpm,
+                    segm,
+                    flows,
+                    monitor,
+                };
+                dirm.salvage_clear_entry(&mut fs, *dir, *slot, *uid)?;
+                report.repairs.push(match problem {
+                    Problem::DoublyClaimedToc { .. } => {
+                        format!("cleared duplicate claim on uid {} in dir {}", uid.0, dir.0)
+                    }
+                    _ => format!("cleared dangling entry for uid {} in dir {}", uid.0, dir.0),
+                });
+            }
+        }
+        report
+            .problems
+            .extend(bad_entries.into_iter().map(|(_, _, _, p)| p));
 
         // Invariant 4 + per-cell actual usage from the disk's view.
         let mut actual_by_cell: BTreeMap<SegUid, u32> = BTreeMap::new();
@@ -189,15 +268,11 @@ impl Kernel {
             }
         }
 
-        // Invariant 2: orphan TOC entries.
-        let known_homes: HashSet<(u32, u32)> = catalogued
-            .values()
-            .map(|(h, _)| (h.pack.0, h.toc.0))
-            .collect();
+        // Invariant 2 (second half): orphan TOC entries.
         let mut orphans = Vec::new();
         for pack in self.machine.disks.packs() {
             for (toc, entry) in pack.entries() {
-                if !known_homes.contains(&(pack.id.0, toc.0)) {
+                if !claimed.contains(&(pack.id.0, toc.0)) {
                     orphans.push(Problem::OrphanTocEntry {
                         home: DiskHome { pack: pack.id, toc },
                         uid: SegUid(entry.uid),
@@ -221,6 +296,37 @@ impl Kernel {
             }
         }
         report.problems.extend(orphans);
+
+        // Invariant 5: every allocated record is referenced by some file
+        // map. Runs after the orphan sweep so reclaimed entries' records
+        // are already back in the free pool.
+        let mut leaked = Vec::new();
+        for pack in self.machine.disks.packs() {
+            let mut referenced: HashSet<u32> = HashSet::new();
+            for (_, entry) in pack.entries() {
+                for rec in entry.file_map.iter().flatten() {
+                    referenced.insert(rec.0);
+                }
+            }
+            for rec in pack.allocated_record_nos() {
+                if !referenced.contains(&rec.0) {
+                    leaked.push((pack.id, rec));
+                }
+            }
+        }
+        for (pack, rec) in leaked {
+            report
+                .problems
+                .push(Problem::LeakedRecord { pack, record: rec });
+            if repair {
+                if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                    let _ = p.free_record(rec);
+                }
+                report
+                    .repairs
+                    .push(format!("freed leaked record {} on pack {}", rec.0, pack.0));
+            }
+        }
 
         // Invariant 3: cell drift.
         let cells: Vec<SegUid> = catalogued
@@ -264,42 +370,22 @@ impl Kernel {
         Ok(report)
     }
 
-    fn repair_cell(&mut self, cell: SegUid, recorded: u32, actual: u32) -> Result<(), KernelError> {
-        if recorded > actual {
-            self.qcm
-                .uncharge(&mut self.machine, cell, recorded - actual)?;
-        } else {
-            // Charge without limit enforcement: the pages already exist.
-            // Use repeated uncharge of a negative delta via the direct
-            // route: load-modify through the public API.
-            let mut flows = mx_aim::FlowTracker::new();
-            for _ in 0..(actual - recorded) {
-                // A repair charge that must not fail on the limit: lift
-                // it by force through uncharge(0)+charge pattern; if the
-                // limit blocks it, record the overrun by raising the
-                // recorded count via the persistent copy.
-                if self
-                    .qcm
-                    .charge(
-                        &mut self.machine,
-                        cell,
-                        1,
-                        mx_aim::Label::BOTTOM,
-                        &mut flows,
-                    )
-                    .is_err()
-                {
-                    break;
-                }
-            }
-        }
-        Ok(())
+    fn repair_cell(
+        &mut self,
+        cell: SegUid,
+        _recorded: u32,
+        actual: u32,
+    ) -> Result<(), KernelError> {
+        // Force both copies (core table if resident, TOC always) to the
+        // disk's truth. No limit enforcement: the pages already exist.
+        self.qcm
+            .salvage_set_used(&mut self.machine, &mut self.drm, cell, actual)
     }
 }
 
 /// One live directory entry as the salvager sees it:
-/// `(name, uid, home, own_cell, is_dir)`.
-type SalvageEntry = (String, SegUid, DiskHome, SegUid, bool);
+/// `(slot, name, uid, home, own_cell, is_dir)`.
+type SalvageEntry = (u32, String, SegUid, DiskHome, SegUid, bool);
 
 impl DirectoryManager {
     /// Salvager access: every live entry of `dir`, read from segment
@@ -314,7 +400,7 @@ impl DirectoryManager {
         let mut out = Vec::new();
         for slot in 0..count {
             if let Some(e) = self.read_entry(ctx, dir, slot)? {
-                out.push((e.name, e.uid, e.home, e.own_cell, e.is_dir));
+                out.push((slot, e.name, e.uid, e.home, e.own_cell, e.is_dir));
             }
         }
         Ok(out)
@@ -394,6 +480,36 @@ mod tests {
     }
 
     #[test]
+    fn leaked_records_are_found_and_freed() {
+        let (mut k, _pid) = boot();
+        // Inject: a record allocated but referenced by no file map, as a
+        // crash between allocation and the file-map commit leaves it.
+        let pack = mx_hw::PackId(1);
+        let leaked = k
+            .machine
+            .disks
+            .pack_mut(pack)
+            .unwrap()
+            .allocate_record()
+            .unwrap();
+        let free_before = k.machine.disks.pack(pack).unwrap().free_records();
+        let report = k.salvage(false).unwrap();
+        assert!(report
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::LeakedRecord { record, .. } if *record == leaked)));
+        let report = k.salvage(true).unwrap();
+        assert!(report.repairs.iter().any(|r| r.contains("leaked record")));
+        assert_eq!(
+            k.machine.disks.pack(pack).unwrap().free_records(),
+            free_before + 1,
+            "record returned to the free pool"
+        );
+        let report = k.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
+    }
+
+    #[test]
     fn cell_drift_is_detected_and_repaired() {
         let (mut k, pid) = boot();
         let root = k.root_token();
@@ -423,6 +539,91 @@ mod tests {
             "problems after repair: {:?}",
             report.problems
         );
+    }
+
+    /// Pokes a raw word of the root directory segment — fault injection
+    /// for catalogue damage.
+    fn poke_root_dir(k: &mut Kernel, wordno: u32, value: u64) {
+        k.segm
+            .write_word(
+                &mut k.machine,
+                &mut k.drm,
+                &mut k.qcm,
+                &mut k.pfm,
+                &mut k.vpm,
+                &mut k.flows,
+                SegUid(1),
+                wordno,
+                Word::new(value),
+                Label::BOTTOM,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn doubly_claimed_toc_entries_are_found_and_cleared() {
+        let (mut k, pid) = boot();
+        let root = k.root_token();
+        let f1 = k
+            .create_entry(pid, root, "f1", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let _f2 = k
+            .create_entry(pid, root, "f2", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let u1 = k.uid_of_token(f1).unwrap();
+        let h1 = k.dirm.home_of(u1).unwrap();
+        // Root slots: 0 = "processes", 1 = "f1", 2 = "f2". Duplicate
+        // f1's claim into f2's entry, as a torn directory page would.
+        let base2 = 1 + 2 * crate::directory::ENTRY_WORDS;
+        poke_root_dir(&mut k, base2, u1.0);
+        poke_root_dir(&mut k, base2 + 2, u64::from(h1.pack.0));
+        poke_root_dir(&mut k, base2 + 3, u64::from(h1.toc.0));
+        let report = k.salvage(false).unwrap();
+        assert!(
+            report
+                .problems
+                .iter()
+                .any(|p| matches!(p, Problem::DoublyClaimedToc { name, .. } if name == "f2")),
+            "problems: {:?}",
+            report.problems
+        );
+        // Repair clears the duplicate (and reclaims f2's orphaned TOC
+        // entry); a second pass is clean.
+        let report = k.salvage(true).unwrap();
+        assert!(report.repairs.iter().any(|r| r.contains("duplicate claim")));
+        let report = k.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
+        // The surviving claim still works.
+        let segno = k.initiate(pid, f1).unwrap();
+        k.write_word(pid, segno, 0, Word::new(3)).unwrap();
+    }
+
+    #[test]
+    fn dangling_entry_repair_converges() {
+        let (mut k, pid) = boot();
+        let root = k.root_token();
+        let f = k
+            .create_entry(
+                pid,
+                root,
+                "victim",
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                false,
+            )
+            .unwrap();
+        let uid = k.uid_of_token(f).unwrap();
+        let home = k.dirm.home_of(uid).unwrap();
+        k.machine
+            .disks
+            .pack_mut(home.pack)
+            .unwrap()
+            .delete_entry(home.toc)
+            .unwrap();
+        let report = k.salvage(true).unwrap();
+        assert!(report.repairs.iter().any(|r| r.contains("dangling entry")));
+        let report = k.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
     }
 
     #[test]

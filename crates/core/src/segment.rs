@@ -164,6 +164,14 @@ impl SegmentManager {
         Ok(())
     }
 
+    /// The uids of every active segment, sorted (so shutdown sweeps are
+    /// deterministic).
+    pub fn active_uids(&self) -> Vec<SegUid> {
+        let mut uids: Vec<SegUid> = self.active.keys().copied().collect();
+        uids.sort();
+        uids
+    }
+
     /// Registers a connected SDW's core address so deactivation can cut
     /// it (called from the gatekeeper when it connects an address
     /// space).
@@ -272,21 +280,28 @@ impl SegmentManager {
                 drm.set_record(machine, new_home, pageno, None)?;
                 continue;
             };
-            let buf = drm
-                .pack(machine, old.pack)?
-                .read_record(old_rec)
-                .map_err(|_| KernelError::NotActive)?
-                .clone();
-            let cost = machine.cost;
-            machine.clock.charge_disk_transfer(&cost);
-            machine.clock.charge_disk_transfer(&cost);
+            // The copy goes through the fault-checked channel: transient
+            // read errors are retried within the budget, hard faults
+            // surface as typed errors.
+            let buf = {
+                let mut retries = 0;
+                loop {
+                    match machine.disk_read_record(old.pack, old_rec) {
+                        Ok(b) => break b,
+                        Err(e @ mx_hw::DiskError::TransientRead { .. }) => {
+                            retries += 1;
+                            if retries >= crate::page_frame::READ_RETRY_BUDGET {
+                                return Err(KernelError::Disk(e));
+                            }
+                        }
+                        Err(e) => return Err(KernelError::Disk(e)),
+                    }
+                }
+            };
             let new_rec = drm.allocate(machine, target)?;
             machine
-                .disks
-                .pack_mut(target)
-                .map_err(|_| KernelError::NotActive)?
-                .write_record(new_rec, &buf)
-                .map_err(|_| KernelError::NotActive)?;
+                .disk_write_record(target, new_rec, &buf)
+                .map_err(KernelError::Disk)?;
             drm.set_record(machine, new_home, pageno, Some(new_rec))?;
         }
         // Move the on-disk quota cell, if this segment is a quota

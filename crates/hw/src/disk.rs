@@ -41,6 +41,14 @@ pub enum DiskError {
     BadRecord { pack: PackId, record: RecordNo },
     /// The named pack does not exist.
     NoSuchPack { pack: PackId },
+    /// A read of the record failed transiently; the same read retried
+    /// may succeed (injected by the fault plan).
+    TransientRead { pack: PackId, record: RecordNo },
+    /// The pack is offline; segments on other packs remain usable.
+    PackOffline { pack: PackId },
+    /// Power has failed: the machine is halted and no disk operation can
+    /// proceed. Only the disk image survives for the next bootload.
+    PowerFail,
 }
 
 impl core::fmt::Display for DiskError {
@@ -55,6 +63,15 @@ impl core::fmt::Display for DiskError {
                 write!(f, "pack {} record {} not allocated", pack.0, record.0)
             }
             DiskError::NoSuchPack { pack } => write!(f, "no pack {}", pack.0),
+            DiskError::TransientRead { pack, record } => {
+                write!(
+                    f,
+                    "transient read error on pack {} record {}",
+                    pack.0, record.0
+                )
+            }
+            DiskError::PackOffline { pack } => write!(f, "pack {} is offline", pack.0),
+            DiskError::PowerFail => write!(f, "power failed; machine halted"),
         }
     }
 }
@@ -287,6 +304,16 @@ impl DiskPack {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Record numbers currently allocated — the salvager's leak sweep
+    /// compares these against the records the file maps reference.
+    pub fn allocated_record_nos(&self) -> Vec<RecordNo> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| RecordNo(i as u32)))
+            .collect()
     }
 
     /// Iterates over the occupied TOC entries.

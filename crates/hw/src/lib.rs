@@ -33,6 +33,7 @@ pub mod clock;
 pub mod cpu;
 pub mod disk;
 pub mod fault;
+pub mod faultinj;
 pub mod interp;
 pub mod machine;
 pub mod mem;
@@ -43,8 +44,9 @@ pub mod word;
 
 pub use clock::{Clock, CostModel, Language};
 pub use cpu::{AccessMode, HwFeatures, Processor, ProcessorId};
-pub use disk::{DiskPack, DiskSystem, PackId, RecordNo, TocEntry, TocIndex};
+pub use disk::{DiskError, DiskPack, DiskSystem, PackId, RecordNo, TocEntry, TocIndex};
 pub use fault::Fault;
+pub use faultinj::{CrashWrite, DiskFaults, FaultPlan, HwFault};
 pub use interp::{InterpError, StepOutcome};
 pub use machine::{Machine, MachineConfig};
 pub use mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};

@@ -9,6 +9,7 @@ use crate::clock::{Clock, CostModel};
 use crate::cpu::{HwFeatures, Processor, ProcessorId};
 use crate::disk::{DiskError, DiskSystem, PackId, RecordNo};
 use crate::fault::Fault;
+use crate::faultinj::{DiskFaults, FaultPlan, HwFault, WriteFate};
 use crate::mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
 use crate::tlb::TlbStats;
 use crate::word::Word;
@@ -70,6 +71,8 @@ pub struct Machine {
     pub cpus: Vec<Processor>,
     /// Attached disk packs.
     pub disks: DiskSystem,
+    /// Fault-injection state on the disk channel (empty plan by default).
+    pub faults: DiskFaults,
     /// Hardware feature set the machine was built with.
     pub features: HwFeatures,
 }
@@ -89,8 +92,25 @@ impl Machine {
                 .map(|i| Processor::new(ProcessorId(i), config.features))
                 .collect(),
             disks,
+            faults: DiskFaults::default(),
             features: config.features,
         }
+    }
+
+    /// Installs a deterministic fault plan on the disk channel, resetting
+    /// the transfer ordinals the plan is keyed off.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults.install(plan);
+    }
+
+    /// Removes any fault plan, halt condition, and offline marks.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults.clear();
+    }
+
+    /// The machine-level fault that halted the machine, if any.
+    pub fn hw_fault(&self) -> Option<HwFault> {
+        self.faults.halted()
     }
 
     /// A default machine with the 1974 hardware base.
@@ -190,16 +210,17 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates [`DiskError`] for a bad pack or record.
+    /// Propagates [`DiskError`] for a bad pack or record, or an injected
+    /// fault ([`DiskError::TransientRead`], [`DiskError::PackOffline`],
+    /// [`DiskError::PowerFail`]) per the installed plan.
     pub fn disk_read_into_frame(
         &mut self,
         pack: PackId,
         record: RecordNo,
         frame: FrameNo,
     ) -> Result<(), DiskError> {
-        let data = self.disks.pack(pack)?.read_record(record)?.clone();
+        let data = self.disk_read_record(pack, record)?;
         self.mem.write_frame(frame, &data);
-        self.clock.charge_disk_transfer(&self.cost);
         Ok(())
     }
 
@@ -207,7 +228,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates [`DiskError`] for a bad pack or record.
+    /// Propagates [`DiskError`] for a bad pack or record, or an injected
+    /// fault per the installed plan; [`DiskError::PowerFail`] means the
+    /// machine halted on this write (torn or dropped per the plan).
     pub fn disk_write_from_frame(
         &mut self,
         pack: PackId,
@@ -216,9 +239,73 @@ impl Machine {
     ) -> Result<(), DiskError> {
         let mut buf = [Word::ZERO; PAGE_WORDS];
         buf.copy_from_slice(&self.mem.read_frame(frame)[..]);
-        self.disks.pack_mut(pack)?.write_record(record, &buf)?;
+        self.disk_write_record(pack, record, &buf)
+    }
+
+    /// Reads a whole record through the fault-checked channel, charging
+    /// the clock (also on a transient failure — the transfer was
+    /// attempted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskError`], including injected faults.
+    pub fn disk_read_record(
+        &mut self,
+        pack: PackId,
+        record: RecordNo,
+    ) -> Result<crate::disk::RecordBuf, DiskError> {
+        if let Err(e) = self.faults.note_read(pack, record) {
+            if matches!(e, DiskError::TransientRead { .. }) {
+                self.clock.charge_disk_transfer(&self.cost);
+            }
+            return Err(e);
+        }
+        let data = self.disks.pack(pack)?.read_record(record)?.clone();
         self.clock.charge_disk_transfer(&self.cost);
-        Ok(())
+        Ok(data)
+    }
+
+    /// Writes a whole record through the fault-checked channel, charging
+    /// the clock. On the plan's crash write, the payload is torn at a
+    /// word boundary (or dropped), the machine halts, and every later
+    /// disk operation reports [`DiskError::PowerFail`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskError`], including injected faults.
+    pub fn disk_write_record(
+        &mut self,
+        pack: PackId,
+        record: RecordNo,
+        data: &[Word; PAGE_WORDS],
+    ) -> Result<(), DiskError> {
+        match self.faults.note_write(pack)? {
+            WriteFate::Commit => {
+                self.disks.pack_mut(pack)?.write_record(record, data)?;
+                self.clock.charge_disk_transfer(&self.cost);
+                Ok(())
+            }
+            WriteFate::Crash(mode) => {
+                let words = match mode {
+                    crate::faultinj::CrashWrite::Dropped => 0,
+                    crate::faultinj::CrashWrite::Torn { words } => words.min(PAGE_WORDS),
+                };
+                if words > 0 {
+                    // A tear at a word boundary: the prefix is new data,
+                    // the rest keeps whatever the record held.
+                    if let Ok(pk) = self.disks.pack_mut(pack) {
+                        if let Ok(old) = pk.read_record(record) {
+                            let mut torn = old.clone();
+                            torn[..words].copy_from_slice(&data[..words]);
+                            let _ = pk.write_record(record, &torn);
+                            self.clock.charge_disk_transfer(&self.cost);
+                        }
+                    }
+                }
+                self.faults.halt();
+                Err(DiskError::PowerFail)
+            }
+        }
     }
 
     /// Number of real processors.
@@ -329,6 +416,71 @@ mod tests {
         m.tlb_invalidate_ptw(pt);
         assert_eq!(m.tlb_stats().invalidations, 2, "both processors flushed");
         assert!(m.cpus.iter().all(|c| c.tlb.resident() == 0));
+    }
+
+    #[test]
+    fn crash_write_tears_at_a_word_boundary_and_halts() {
+        use crate::faultinj::{CrashWrite, FaultPlan, HwFault};
+        let mut m = Machine::base_1974();
+        let pack = PackId(0);
+        let rec = m.disks.pack_mut(pack).unwrap().allocate_record().unwrap();
+        // Seed the record with old data.
+        let old = [Word::new(0o111); PAGE_WORDS];
+        m.disks
+            .pack_mut(pack)
+            .unwrap()
+            .write_record(rec, &old)
+            .unwrap();
+        m.install_fault_plan(FaultPlan::new().crash_after_writes(1, CrashWrite::Torn { words: 4 }));
+        let new = [Word::new(0o222); PAGE_WORDS];
+        assert_eq!(
+            m.disk_write_record(pack, rec, &new),
+            Err(DiskError::PowerFail)
+        );
+        assert_eq!(m.hw_fault(), Some(HwFault::PowerFail { at_write: 1 }));
+        // Subsequent operations fail while halted; the image is frozen.
+        assert_eq!(
+            m.disk_read_into_frame(pack, rec, FrameNo(5)),
+            Err(DiskError::PowerFail)
+        );
+        let surviving = m.disks.pack(pack).unwrap().read_record(rec).unwrap();
+        assert_eq!(surviving[3], Word::new(0o222), "prefix reached the platter");
+        assert_eq!(surviving[4], Word::new(0o111), "suffix kept old contents");
+        // A dropped crash write leaves the record untouched.
+        let mut m2 = Machine::base_1974();
+        let rec2 = m2.disks.pack_mut(pack).unwrap().allocate_record().unwrap();
+        m2.disks
+            .pack_mut(pack)
+            .unwrap()
+            .write_record(rec2, &old)
+            .unwrap();
+        m2.install_fault_plan(FaultPlan::new().crash_after_writes(1, CrashWrite::Dropped));
+        assert_eq!(
+            m2.disk_write_record(pack, rec2, &new),
+            Err(DiskError::PowerFail)
+        );
+        assert_eq!(
+            m2.disks.pack(pack).unwrap().read_record(rec2).unwrap()[0],
+            Word::new(0o111)
+        );
+    }
+
+    #[test]
+    fn transient_read_fails_once_then_recovers() {
+        use crate::faultinj::FaultPlan;
+        let mut m = Machine::base_1974();
+        let pack = PackId(0);
+        let rec = m.disks.pack_mut(pack).unwrap().allocate_record().unwrap();
+        m.mem.write(FrameNo(5).base(), Word::new(0o42));
+        m.disk_write_from_frame(pack, rec, FrameNo(5)).unwrap();
+        m.install_fault_plan(FaultPlan::new().transient_read(pack, rec, 1));
+        assert_eq!(
+            m.disk_read_into_frame(pack, rec, FrameNo(6)),
+            Err(DiskError::TransientRead { pack, record: rec })
+        );
+        m.disk_read_into_frame(pack, rec, FrameNo(6)).unwrap();
+        assert_eq!(m.mem.read(FrameNo(6).base()), Word::new(0o42));
+        assert!(m.hw_fault().is_none());
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn pack_name(name: &str) -> [Word; 8] {
     words
 }
 
-fn unpack_name(words: &[Word; 8]) -> String {
+pub(crate) fn unpack_name(words: &[Word; 8]) -> String {
     let mut out = String::new();
     for w in words {
         for c in 0..4 {
@@ -283,7 +283,7 @@ impl Supervisor {
             .machine
             .disks
             .pack_mut(parent_pack)
-            .expect("pack")
+            .map_err(LegacyError::Disk)?
             .create_entry(uid.0)
         {
             Ok(t) => (parent_pack, t),
@@ -297,7 +297,7 @@ impl Supervisor {
                     .machine
                     .disks
                     .pack_mut(alt)
-                    .expect("alt pack")
+                    .map_err(LegacyError::Disk)?
                     .create_entry(uid.0)
                     .map_err(|_| LegacyError::AllPacksFull)?;
                 (alt, t)
@@ -698,9 +698,9 @@ impl Supervisor {
         self.machine
             .disks
             .pack_mut(e.pack)
-            .expect("entry pack")
+            .map_err(LegacyError::Disk)?
             .delete_entry(e.toc)
-            .expect("entry exists");
+            .map_err(LegacyError::Disk)?;
         // Clear the in-use flag.
         self.sup_write(parent_astx, Self::entry_base(branch.slot) + 1, Word::ZERO)?;
         Ok(())

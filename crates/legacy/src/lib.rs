@@ -38,11 +38,13 @@ pub mod linker;
 pub mod network;
 pub mod page_control;
 pub mod process_control;
+pub mod recovery;
 pub mod registry;
 pub mod segment_control;
 pub mod supervisor;
 pub mod types;
 
+pub use recovery::LegacySalvageReport;
 pub use registry::{actual_structure, superficial_structure};
 pub use supervisor::{Supervisor, SupervisorConfig};
 pub use types::{AccessRight, Acl, LegacyError, ProcessId, SegUid, UserId};

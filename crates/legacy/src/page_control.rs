@@ -33,7 +33,11 @@ use crate::types::{LegacyError, ProcessId};
 use mx_aim::Label;
 use mx_hw::cpu::{Ptw, Sdw};
 use mx_hw::meter::Subsystem;
-use mx_hw::{AbsAddr, FrameNo, Language, VirtAddr};
+use mx_hw::{AbsAddr, DiskError, FrameNo, Language, PackId, RecordNo, VirtAddr};
+
+/// Transient-read retries before the supervisor gives up on a record —
+/// the same budget the kernel's page-frame manager uses.
+pub const READ_RETRY_BUDGET: u32 = 3;
 
 /// Cost constants (abstract instructions) for the PL/I paths of page
 /// control; the old page control was largely assembly, so the *resident*
@@ -152,17 +156,24 @@ impl Supervisor {
 
         // What does the file map say about this page?
         let record = {
-            let pack = self.machine.disks.pack(home.pack).expect("home pack");
-            let entry = pack.entry(home.toc).expect("home toc entry");
+            let pack = self
+                .machine
+                .disks
+                .pack(home.pack)
+                .map_err(LegacyError::Disk)?;
+            let entry = pack.entry(home.toc).map_err(LegacyError::Disk)?;
             entry.file_map.get(pageno as usize).copied().flatten()
         };
 
         if let Some(record) = record {
-            // Ordinary page-in from its disk record.
+            // Ordinary page-in from its disk record, with the bounded
+            // transient-read retry; on exhaustion the claimed frame is
+            // released and the typed error surfaces.
             let frame = self.claim_frame(astx, pageno)?;
-            self.machine
-                .disk_read_into_frame(home.pack, record, frame)
-                .expect("file map names a live record");
+            if let Err(e) = self.read_into_frame_with_retry(home.pack, record, frame) {
+                self.frames.release(frame);
+                return Err(e);
+            }
             self.install_ptw(astx, pageno, frame);
             return Ok(());
         }
@@ -181,14 +192,13 @@ impl Supervisor {
         let frame = match self.claim_frame(astx, pageno) {
             Ok(f) => f,
             Err(e) => {
-                let aste = self.ast.get(astx).expect("live astx");
+                let aste = self.ast.get(astx).ok_or(LegacyError::NotActive)?;
                 let pack = aste.home.pack;
-                self.machine
-                    .disks
-                    .pack_mut(pack)
-                    .expect("home pack")
-                    .free_record(record)
-                    .expect("just allocated");
+                // Best effort on this unwind path: a record the free
+                // cannot reach is the salvager's to reclaim.
+                if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                    let _ = p.free_record(record);
+                }
                 self.quota_uncharge(astx, 1);
                 return Err(e);
             }
@@ -197,19 +207,46 @@ impl Supervisor {
         self.stats.materializations += 1;
 
         // Commit the new page to the file map (growing it if needed).
-        let aste = self.ast.get_mut(astx).expect("live astx");
+        let aste = self.ast.get_mut(astx).ok_or(LegacyError::NotActive)?;
         let home = aste.home;
         if pageno >= len {
             aste.len_pages = pageno + 1;
         }
-        let pack = self.machine.disks.pack_mut(home.pack).expect("home pack");
-        let entry = pack.entry_mut(home.toc).expect("home toc entry");
+        let pack = self
+            .machine
+            .disks
+            .pack_mut(home.pack)
+            .map_err(LegacyError::Disk)?;
+        let entry = pack.entry_mut(home.toc).map_err(LegacyError::Disk)?;
         if entry.file_map.len() <= pageno as usize {
             entry.file_map.resize(pageno as usize + 1, None);
         }
         entry.file_map[pageno as usize] = Some(record);
         self.install_ptw(astx, pageno, frame);
         Ok(())
+    }
+
+    /// Reads a disk record into a core frame, absorbing transient read
+    /// errors up to [`READ_RETRY_BUDGET`]; anything worse surfaces as
+    /// [`LegacyError::Disk`].
+    pub(crate) fn read_into_frame_with_retry(
+        &mut self,
+        pack: PackId,
+        record: RecordNo,
+        frame: FrameNo,
+    ) -> Result<(), LegacyError> {
+        let mut retries = 0;
+        loop {
+            match self.machine.disk_read_into_frame(pack, record, frame) {
+                Ok(()) => return Ok(()),
+                Err(e @ DiskError::TransientRead { .. }) if retries < READ_RETRY_BUDGET => {
+                    retries += 1;
+                    self.stats.disk_retries += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(LegacyError::Disk(e)),
+            }
+        }
     }
 
     fn install_ptw(&mut self, astx: usize, pageno: u32, frame: FrameNo) {
@@ -229,23 +266,22 @@ impl Supervisor {
     /// invokes segment control to relocate the segment and retries on its
     /// new home — the upward call of the full-pack loop.
     fn allocate_record_for(&mut self, astx: usize) -> Result<mx_hw::RecordNo, LegacyError> {
-        let home = self.ast.get(astx).expect("live astx").home;
-        match self
+        let home = self.ast.get(astx).ok_or(LegacyError::NotActive)?.home;
+        let pack = self
             .machine
             .disks
             .pack_mut(home.pack)
-            .expect("home pack")
-            .allocate_record()
-        {
+            .map_err(LegacyError::Disk)?;
+        match pack.allocate_record() {
             Ok(r) => Ok(r),
             Err(_) => {
                 // Full disk pack: page control invokes segment control.
                 self.relocate_segment(astx)?;
-                let new_home = self.ast.get(astx).expect("live astx").home;
+                let new_home = self.ast.get(astx).ok_or(LegacyError::NotActive)?.home;
                 self.machine
                     .disks
                     .pack_mut(new_home.pack)
-                    .expect("new pack")
+                    .map_err(LegacyError::Disk)?
                     .allocate_record()
                     .map_err(|_| LegacyError::AllPacksFull)
             }
@@ -300,27 +336,37 @@ impl Supervisor {
         // "This algorithm must be given (otherwise unnecessary) access to
         // the data in every page of every file stored by the system."
         self.charge(EVICT_SCAN_INSTR, Language::Assembly);
-        let home = self.ast.get(astx).expect("live astx").home;
+        let home = self.ast.get(astx).ok_or(LegacyError::NotActive)?.home;
         let record = {
-            let pack = self.machine.disks.pack(home.pack).expect("home pack");
-            pack.entry(home.toc).expect("toc entry").file_map[pageno as usize]
+            let pack = self
+                .machine
+                .disks
+                .pack(home.pack)
+                .map_err(LegacyError::Disk)?;
+            pack.entry(home.toc).map_err(LegacyError::Disk)?.file_map[pageno as usize]
         };
         let modified = self.ptw(astx, pageno).modified;
         if self.machine.mem.frame_is_zero(frame) {
             // Revert to the zero-page flag; free the record and drop the
             // charge.
             if let Some(record) = record {
-                let pack = self.machine.disks.pack_mut(home.pack).expect("home pack");
-                pack.entry_mut(home.toc).expect("toc entry").file_map[pageno as usize] = None;
-                pack.free_record(record).expect("mapped record");
+                let pack = self
+                    .machine
+                    .disks
+                    .pack_mut(home.pack)
+                    .map_err(LegacyError::Disk)?;
+                pack.entry_mut(home.toc)
+                    .map_err(LegacyError::Disk)?
+                    .file_map[pageno as usize] = None;
+                let _ = pack.free_record(record);
                 self.quota_uncharge(astx, 1);
             }
             self.stats.zero_reversions += 1;
         } else if modified {
-            let record = record.expect("nonzero page must have a record");
+            let record = record.ok_or(LegacyError::NotActive)?;
             self.machine
                 .disk_write_from_frame(home.pack, record, frame)
-                .expect("record writable");
+                .map_err(LegacyError::Disk)?;
         }
         self.set_ptw(astx, pageno, Ptw::default());
         self.frames.release(frame);

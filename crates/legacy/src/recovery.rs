@@ -1,0 +1,687 @@
+//! Crash recovery for the old supervisor: re-bootload from a surviving
+//! disk image, plus the legacy salvager.
+//!
+//! The 1974 supervisor kept no redundancy beyond the disk structures
+//! themselves, so recovery is a raw walk of those structures: find the
+//! root's TOC entry, rebuild the branch table from the on-disk
+//! hierarchy, recompute the root quota cell (which is never persisted —
+//! the root never deactivates), and then let [`Supervisor::salvage`]
+//! cross-check the same invariants the new design's salvager checks:
+//!
+//! 1. every directory entry names a live TOC entry with a matching uid;
+//! 2. every TOC entry is claimed by exactly one directory entry (or is
+//!    the root's);
+//! 3. every quota cell's used count equals the records mapped by the
+//!    objects charged to it;
+//! 4. every allocated record is referenced by some file map.
+//!
+//! The salvager works on the disk image directly (flushing core first),
+//! because after a crash the AST is empty and the directory segments
+//! may themselves be damaged in ways the paging path cannot tolerate.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::ast::{Aste, QuotaCell};
+use crate::directory_control::{unpack_name, ENTRY_WORDS};
+use crate::supervisor::{Branch, Supervisor, SupervisorConfig};
+use crate::types::{DiskHome, LegacyError, SegUid};
+use mx_aim::Label;
+use mx_hw::meter::Subsystem;
+use mx_hw::{Language, PackId, RecordNo, TocIndex, Word, PAGE_WORDS};
+
+/// PL/I instructions charged per word the raw walk touches — the old
+/// salvager interpreted the disk structures in software.
+const RAW_WALK_INSTR: u64 = 10;
+
+/// The legacy salvager's findings (and actions, when repairing).
+#[derive(Debug, Clone, Default)]
+pub struct LegacySalvageReport {
+    /// Objects examined.
+    pub objects_checked: u32,
+    /// Quota cells examined.
+    pub cells_checked: u32,
+    /// Everything found wrong, as human-readable descriptions.
+    pub problems: Vec<String>,
+    /// Repairs performed.
+    pub repairs: Vec<String>,
+}
+
+impl LegacySalvageReport {
+    /// True if the file system was fully consistent.
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// A directory entry as the raw disk walk decodes it.
+struct RawEntry {
+    uid: SegUid,
+    is_dir: bool,
+    quota_dir: bool,
+    home: DiskHome,
+    name: String,
+    quota_used: u32,
+}
+
+impl Supervisor {
+    /// Flushes every active segment's pages to disk and persists every
+    /// quota cell, deactivating everything but the root — the clean-
+    /// shutdown point after which the disk image alone describes the
+    /// system.
+    ///
+    /// Deactivation proceeds leaves-first in uid order, so the disk
+    /// write sequence is deterministic for a given hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors from the flushes.
+    pub fn sync_to_disk(&mut self) -> Result<(), LegacyError> {
+        loop {
+            let mut leaves: Vec<SegUid> = self
+                .ast
+                .iter()
+                .filter(|(_, a)| a.inferiors == 0 && a.uid != self.root_uid)
+                .map(|(_, a)| a.uid)
+                .collect();
+            if leaves.is_empty() {
+                break;
+            }
+            leaves.sort();
+            for uid in leaves {
+                self.deactivate_segment(uid)?;
+            }
+        }
+        let root_astx = self.ast.find(self.root_uid).ok_or(LegacyError::NotActive)?;
+        self.flush_segment(root_astx)
+    }
+
+    /// Re-bootloads the supervisor from a surviving disk image, as after
+    /// a crash: finds the root's TOC entry (the bootload gives the root
+    /// uid 1 on pack 0), rebuilds the branch table by walking the
+    /// on-disk hierarchy, and recomputes the root quota cell.
+    ///
+    /// Entries damaged by the crash — dangling, or claiming a TOC entry
+    /// twice — are skipped here; clearing them is the salvager's job.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoAccess`] if the image holds no root;
+    /// disk errors reading the image.
+    pub fn boot_from_image(
+        config: SupervisorConfig,
+        image: mx_hw::DiskSystem,
+    ) -> Result<Self, LegacyError> {
+        let mut sup = Self::assemble(&config);
+        sup.machine.disks = image;
+        let root_toc = sup
+            .machine
+            .disks
+            .pack(PackId(0))
+            .map_err(LegacyError::Disk)?
+            .entries()
+            .find(|(_, e)| e.uid == 1)
+            .map(|(i, _)| i)
+            .ok_or(LegacyError::NoAccess)?;
+        let root_home = DiskHome {
+            pack: PackId(0),
+            toc: root_toc,
+        };
+        let len_pages = sup
+            .machine
+            .disks
+            .pack(PackId(0))
+            .map_err(LegacyError::Disk)?
+            .entry(root_toc)
+            .map_err(LegacyError::Disk)?
+            .len_pages();
+        let root_uid = SegUid(1);
+        let aste = Aste {
+            uid: root_uid,
+            home: root_home,
+            pt_slot: 0,
+            len_pages,
+            is_dir: true,
+            parent: None,
+            inferiors: 0,
+            quota: Some(QuotaCell {
+                limit: config.root_quota_pages,
+                used: 0,
+            }),
+            dir_home: None,
+            connections: Vec::new(),
+            label: Label::BOTTOM,
+        };
+        sup.ast.activate(aste).ok_or(LegacyError::AstFull)?;
+        sup.root_uid = root_uid;
+        sup.root_home = root_home;
+        sup.branch_table.insert(
+            root_uid,
+            Branch {
+                parent: None,
+                slot: 0,
+                is_dir: true,
+            },
+        );
+
+        // Rebuild the branch table from the on-disk hierarchy.
+        let mut max_uid = 1u64;
+        let mut queue = VecDeque::from([(root_uid, root_home)]);
+        while let Some((dir, home)) = queue.pop_front() {
+            let count = sup.raw_seg_read(home, 0).raw() as u32;
+            for slot in 0..count {
+                let Some(e) = sup.raw_entry(home, slot) else {
+                    continue;
+                };
+                let live = sup
+                    .machine
+                    .disks
+                    .pack(e.home.pack)
+                    .ok()
+                    .and_then(|p| p.entry(e.home.toc).ok())
+                    .map(|t| t.uid == e.uid.0)
+                    .unwrap_or(false);
+                if !live || sup.branch_table.contains_key(&e.uid) {
+                    continue;
+                }
+                sup.branch_table.insert(
+                    e.uid,
+                    Branch {
+                        parent: Some(dir),
+                        slot,
+                        is_dir: e.is_dir,
+                    },
+                );
+                max_uid = max_uid.max(e.uid.0);
+                if e.is_dir {
+                    queue.push_back((e.uid, e.home));
+                }
+            }
+        }
+        sup.next_uid = max_uid + 1;
+
+        // The root cell's used count is never persisted; recompute it
+        // from what the image actually stores.
+        let usage = sup.raw_cell_usage();
+        let root_astx = sup.ast.find(root_uid).ok_or(LegacyError::NotActive)?;
+        if let Some(cell) = sup.ast.get_mut(root_astx).and_then(|a| a.quota.as_mut()) {
+            cell.used = usage.get(&root_uid).copied().unwrap_or(0);
+        }
+        Ok(sup)
+    }
+
+    /// Runs the legacy salvager over the disk image.
+    ///
+    /// Core is flushed first so the image is current; the walk then
+    /// operates on raw records. With `repair` set, dangling and
+    /// doubly-claimed entries are cleared, orphan TOC entries and leaked
+    /// records are reclaimed, and drifted quota cells are reset — enough
+    /// for a second pass to come back clean from any crash state.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors from the initial flush or the repairs.
+    pub fn salvage(&mut self, repair: bool) -> Result<LegacySalvageReport, LegacyError> {
+        let guard = self.machine.clock.enter(Subsystem::Salvager);
+        let result = self.salvage_walk(repair);
+        self.machine.clock.exit(guard);
+        result
+    }
+
+    fn salvage_walk(&mut self, repair: bool) -> Result<LegacySalvageReport, LegacyError> {
+        let mut report = LegacySalvageReport::default();
+        // Flush core so the disk image is the whole truth.
+        let mut active: Vec<usize> = self.ast.iter().map(|(i, _)| i).collect();
+        active.sort_unstable();
+        for astx in active {
+            self.flush_segment(astx)?;
+        }
+
+        // Walk the hierarchy raw, checking invariants 1 and 2 and
+        // collecting each object's governing quota cell along the way.
+        let root_uid = self.root_uid;
+        let root_home = self.root_home;
+        let mut claimed: HashSet<(u32, u32)> = HashSet::new();
+        claimed.insert((root_home.pack.0, root_home.toc.0));
+        let mut quota_dirs: Vec<(SegUid, DiskHome, u32)> = Vec::new(); // (uid, parent dir home, slot)
+        let mut queue = VecDeque::from([(root_uid, root_home)]);
+        let mut bad: Vec<(DiskHome, u32, String)> = Vec::new(); // (dir home, slot, problem)
+        while let Some((_dir, home)) = queue.pop_front() {
+            let count = self.raw_seg_read(home, 0).raw() as u32;
+            for slot in 0..count {
+                let Some(e) = self.raw_entry(home, slot) else {
+                    continue;
+                };
+                report.objects_checked += 1;
+                // Invariant 1: the home must exist and agree on the uid.
+                let toc_uid = self
+                    .machine
+                    .disks
+                    .pack(e.home.pack)
+                    .ok()
+                    .and_then(|p| p.entry(e.home.toc).ok())
+                    .map(|t| t.uid);
+                if toc_uid != Some(e.uid.0) {
+                    bad.push((
+                        home,
+                        slot,
+                        format!("dangling entry '{}' (uid {})", e.name, e.uid.0),
+                    ));
+                    continue;
+                }
+                // Invariant 2, first half: one claim per TOC entry.
+                if !claimed.insert((e.home.pack.0, e.home.toc.0)) {
+                    bad.push((
+                        home,
+                        slot,
+                        format!("duplicate claim '{}' on uid {}", e.name, e.uid.0),
+                    ));
+                    continue;
+                }
+                if e.quota_dir {
+                    quota_dirs.push((e.uid, home, slot));
+                }
+                if e.is_dir {
+                    queue.push_back((e.uid, e.home));
+                }
+            }
+        }
+        for (dir_home, slot, what) in &bad {
+            report.problems.push(what.clone());
+            if repair {
+                // Clear the in-use flag; drop any branch the recovery
+                // walk may have catalogued from this entry.
+                let base = 1 + slot * ENTRY_WORDS;
+                let uid = SegUid(self.raw_seg_read(*dir_home, base).raw());
+                self.raw_seg_write(*dir_home, base + 1, Word::ZERO)?;
+                if self
+                    .branch_table
+                    .get(&uid)
+                    .is_some_and(|b| b.slot == *slot && b.parent.is_some())
+                {
+                    self.branch_table.remove(&uid);
+                }
+                report.repairs.push(format!("cleared {what}"));
+            }
+        }
+
+        // Invariant 2, second half: orphan TOC entries.
+        let mut orphans: Vec<(PackId, TocIndex, u64)> = Vec::new();
+        for pack in self.machine.disks.packs() {
+            for (toc, entry) in pack.entries() {
+                if !claimed.contains(&(pack.id.0, toc.0)) {
+                    orphans.push((pack.id, toc, entry.uid));
+                }
+            }
+        }
+        for (pack, toc, uid) in orphans {
+            report
+                .problems
+                .push(format!("orphan TOC entry {}:{} (uid {uid})", pack.0, toc.0));
+            if repair {
+                if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                    let _ = p.delete_entry(toc);
+                }
+                report
+                    .repairs
+                    .push(format!("reclaimed orphan TOC entry {}:{}", pack.0, toc.0));
+            }
+        }
+
+        // Invariant 4: every allocated record is referenced by some file
+        // map (after the orphan sweep returned reclaimed records).
+        let mut leaked: Vec<(PackId, RecordNo)> = Vec::new();
+        for pack in self.machine.disks.packs() {
+            let mut referenced: HashSet<u32> = HashSet::new();
+            for (_, entry) in pack.entries() {
+                for rec in entry.file_map.iter().flatten() {
+                    referenced.insert(rec.0);
+                }
+            }
+            for rec in pack.allocated_record_nos() {
+                if !referenced.contains(&rec.0) {
+                    leaked.push((pack.id, rec));
+                }
+            }
+        }
+        for (pack, rec) in leaked {
+            report
+                .problems
+                .push(format!("leaked record {} on pack {}", rec.0, pack.0));
+            if repair {
+                if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                    let _ = p.free_record(rec);
+                }
+                report
+                    .repairs
+                    .push(format!("freed leaked record {} on pack {}", rec.0, pack.0));
+            }
+        }
+
+        // Invariant 3: cell drift. The root cell lives in the AST; other
+        // cells live in their directory's entry (or the AST if active).
+        let actual = self.raw_cell_usage();
+        report.cells_checked += 1;
+        let root_astx = self.ast.find(root_uid).ok_or(LegacyError::NotActive)?;
+        let recorded = self
+            .ast
+            .get(root_astx)
+            .and_then(|a| a.quota.map(|q| q.used))
+            .unwrap_or(0);
+        let want = actual.get(&root_uid).copied().unwrap_or(0);
+        if recorded != want {
+            report.problems.push(format!(
+                "root cell drift: recorded {recorded}, actual {want}"
+            ));
+            if repair {
+                if let Some(cell) = self.ast.get_mut(root_astx).and_then(|a| a.quota.as_mut()) {
+                    cell.used = want;
+                }
+                report
+                    .repairs
+                    .push(format!("reset root cell used {recorded} -> {want}"));
+            }
+        }
+        for (uid, dir_home, slot) in quota_dirs {
+            report.cells_checked += 1;
+            let want = actual.get(&uid).copied().unwrap_or(0);
+            let recorded = match self.ast.find(uid) {
+                Some(astx) => self
+                    .ast
+                    .get(astx)
+                    .and_then(|a| a.quota.map(|q| q.used))
+                    .unwrap_or(0),
+                None => self
+                    .raw_seg_read(dir_home, 1 + slot * ENTRY_WORDS + 15)
+                    .raw() as u32,
+            };
+            if recorded != want {
+                report.problems.push(format!(
+                    "cell {} drift: recorded {recorded}, actual {want}",
+                    uid.0
+                ));
+                if repair {
+                    if let Some(cell) = self
+                        .ast
+                        .find(uid)
+                        .and_then(|astx| self.ast.get_mut(astx))
+                        .and_then(|a| a.quota.as_mut())
+                    {
+                        cell.used = want;
+                    }
+                    self.raw_seg_write(
+                        dir_home,
+                        1 + slot * ENTRY_WORDS + 15,
+                        Word::new(u64::from(want)),
+                    )?;
+                    report
+                        .repairs
+                        .push(format!("reset cell {} used {recorded} -> {want}", uid.0));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    // ----- raw disk-image access -----------------------------------------
+
+    /// Reads one word of a segment straight from its disk records (zero
+    /// pages and unreadable structures read as zero).
+    ///
+    /// The walk is unbuffered — every word costs a full record transfer,
+    /// which is exactly how expensive the old salvager's raw disk pass
+    /// was — and the transfer is charged to the clock so recovery time
+    /// is measurable.
+    fn raw_seg_read(&mut self, home: DiskHome, wordno: u32) -> Word {
+        let page = wordno as usize / PAGE_WORDS;
+        let off = wordno as usize % PAGE_WORDS;
+        self.charge(RAW_WALK_INSTR, Language::Pli);
+        let record = self
+            .machine
+            .disks
+            .pack(home.pack)
+            .ok()
+            .and_then(|p| p.entry(home.toc).ok())
+            .and_then(|e| e.file_map.get(page).copied().flatten());
+        record
+            .and_then(|r| self.machine.disk_read_record(home.pack, r).ok())
+            .map(|buf| buf[off])
+            .unwrap_or(Word::ZERO)
+    }
+
+    /// Writes one word of a segment straight into its disk records,
+    /// materializing the page if the word lands on a zero page.
+    fn raw_seg_write(
+        &mut self,
+        home: DiskHome,
+        wordno: u32,
+        value: Word,
+    ) -> Result<(), LegacyError> {
+        let page = wordno as usize / PAGE_WORDS;
+        let off = wordno as usize % PAGE_WORDS;
+        self.charge(RAW_WALK_INSTR, Language::Pli);
+        let record = {
+            let pack = self
+                .machine
+                .disks
+                .pack_mut(home.pack)
+                .map_err(LegacyError::Disk)?;
+            let record = pack
+                .entry(home.toc)
+                .map_err(LegacyError::Disk)?
+                .file_map
+                .get(page)
+                .copied()
+                .flatten();
+            match record {
+                Some(r) => r,
+                None => {
+                    let r = pack
+                        .allocate_record()
+                        .map_err(|_| LegacyError::AllPacksFull)?;
+                    let entry = pack.entry_mut(home.toc).map_err(LegacyError::Disk)?;
+                    if entry.file_map.len() <= page {
+                        entry.file_map.resize(page + 1, None);
+                    }
+                    entry.file_map[page] = Some(r);
+                    r
+                }
+            }
+        };
+        let mut buf = self
+            .machine
+            .disk_read_record(home.pack, record)
+            .map_err(LegacyError::Disk)?;
+        buf[off] = value;
+        self.machine
+            .disk_write_record(home.pack, record, buf.as_ref())
+            .map_err(LegacyError::Disk)?;
+        Ok(())
+    }
+
+    /// Decodes entry `slot` of the directory stored at `home`, raw.
+    /// `None` if the in-use flag is clear.
+    fn raw_entry(&mut self, home: DiskHome, slot: u32) -> Option<RawEntry> {
+        let base = 1 + slot * ENTRY_WORDS;
+        let flags = self.raw_seg_read(home, base + 1).raw();
+        if flags & 1 == 0 {
+            return None;
+        }
+        let mut name_words = [Word::ZERO; 8];
+        for (i, w) in name_words.iter_mut().enumerate() {
+            *w = self.raw_seg_read(home, base + 4 + i as u32);
+        }
+        Some(RawEntry {
+            uid: SegUid(self.raw_seg_read(home, base).raw()),
+            is_dir: flags & 2 != 0,
+            quota_dir: flags & 4 != 0,
+            home: DiskHome {
+                pack: PackId(self.raw_seg_read(home, base + 2).raw() as u32),
+                toc: TocIndex(self.raw_seg_read(home, base + 3).raw() as u32),
+            },
+            name: unpack_name(&name_words),
+            quota_used: self.raw_seg_read(home, base + 15).raw() as u32,
+        })
+    }
+
+    /// Computes, from the disk image alone, the pages actually charged
+    /// to each quota cell: an object charges the nearest superior quota
+    /// directory; a quota directory's own pages charge its superior's
+    /// cell; the root charges itself.
+    fn raw_cell_usage(&mut self) -> HashMap<SegUid, u32> {
+        let mut usage: HashMap<SegUid, u32> = HashMap::new();
+        fn records_of(disks: &mx_hw::DiskSystem, home: DiskHome) -> u32 {
+            disks
+                .pack(home.pack)
+                .ok()
+                .and_then(|p| p.entry(home.toc).ok())
+                .map(|e| e.records_used())
+                .unwrap_or(0)
+        }
+        usage.insert(
+            self.root_uid,
+            records_of(&self.machine.disks, self.root_home),
+        );
+        let mut claimed: HashSet<(u32, u32)> = HashSet::new();
+        claimed.insert((self.root_home.pack.0, self.root_home.toc.0));
+        // (directory home, cell its children charge to)
+        let mut queue = VecDeque::from([(self.root_home, self.root_uid)]);
+        while let Some((home, cell)) = queue.pop_front() {
+            let count = self.raw_seg_read(home, 0).raw() as u32;
+            for slot in 0..count {
+                let Some(e) = self.raw_entry(home, slot) else {
+                    continue;
+                };
+                let live = self
+                    .machine
+                    .disks
+                    .pack(e.home.pack)
+                    .ok()
+                    .and_then(|p| p.entry(e.home.toc).ok())
+                    .map(|t| t.uid == e.uid.0)
+                    .unwrap_or(false);
+                if !live || !claimed.insert((e.home.pack.0, e.home.toc.0)) {
+                    continue;
+                }
+                let _ = e.quota_used;
+                *usage.entry(cell).or_default() += records_of(&self.machine.disks, e.home);
+                if e.is_dir {
+                    let child_cell = if e.quota_dir {
+                        usage.entry(e.uid).or_default();
+                        e.uid
+                    } else {
+                        cell
+                    };
+                    queue.push_back((e.home, child_cell));
+                }
+            }
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Acl, UserId};
+    use mx_hw::PAGE_WORDS;
+
+    fn config() -> SupervisorConfig {
+        SupervisorConfig {
+            frames: 128,
+            packs: 2,
+            records_per_pack: 256,
+            toc_slots_per_pack: 64,
+            ast_slots: 24,
+            max_processes: 4,
+            root_quota_pages: 200,
+        }
+    }
+
+    #[test]
+    fn recovery_bootload_rebuilds_the_hierarchy() {
+        let mut sup = Supervisor::boot(config());
+        let user = UserId(1);
+        let dir = sup
+            .create_directory_in(sup.root(), "d", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let seg = sup
+            .create_segment_in(dir, "f", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let astx = sup.activate(seg).unwrap();
+        for p in 0..3u32 {
+            sup.sup_write(astx, p * PAGE_WORDS as u32, Word::new(u64::from(p) + 10))
+                .unwrap();
+        }
+        sup.sync_to_disk().unwrap();
+        let image = sup.machine.disks.clone();
+
+        let mut back = Supervisor::boot_from_image(config(), image).unwrap();
+        let report = back.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
+        // The hierarchy came back: the file is reachable and readable.
+        let astx = back.activate(seg).unwrap();
+        for p in 0..3u32 {
+            assert_eq!(
+                back.sup_read(astx, p * PAGE_WORDS as u32).unwrap(),
+                Word::new(u64::from(p) + 10)
+            );
+        }
+        // The root cell was recomputed, and uids do not collide.
+        let root_astx = back.ast.find(back.root()).unwrap();
+        assert!(back.ast.get(root_astx).unwrap().quota.unwrap().used > 0);
+        let fresh = back
+            .create_segment_in(back.root(), "new", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        assert!(fresh.0 > seg.0, "recovered next_uid continues the sequence");
+    }
+
+    #[test]
+    fn salvage_reclaims_orphans_and_leaks() {
+        let mut sup = Supervisor::boot(config());
+        sup.sync_to_disk().unwrap();
+        // An orphan TOC entry with a record, and a bare leaked record.
+        {
+            let pack = sup.machine.disks.pack_mut(PackId(1)).unwrap();
+            let toc = pack.create_entry(0xBEEF).unwrap();
+            let rec = pack.allocate_record().unwrap();
+            pack.entry_mut(toc).unwrap().file_map.push(Some(rec));
+            pack.allocate_record().unwrap();
+        }
+        let free_before = sup.machine.disks.pack(PackId(1)).unwrap().free_records();
+        let report = sup.salvage(true).unwrap();
+        assert!(report.problems.iter().any(|p| p.contains("orphan")));
+        assert!(report.problems.iter().any(|p| p.contains("leaked")));
+        assert_eq!(
+            sup.machine.disks.pack(PackId(1)).unwrap().free_records(),
+            free_before + 2,
+            "both records reclaimed"
+        );
+        let report = sup.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
+    }
+
+    #[test]
+    fn salvage_clears_dangling_entries_and_converges() {
+        let mut sup = Supervisor::boot(config());
+        let user = UserId(1);
+        let seg = sup
+            .create_segment_in(sup.root(), "victim", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        sup.sync_to_disk().unwrap();
+        // Delete the TOC entry out from under the catalogue.
+        let branch = sup.branch_table[&seg];
+        let root_astx = sup.ast.find(sup.root()).unwrap();
+        let e = sup.read_entry(root_astx, branch.slot).unwrap();
+        sup.machine
+            .disks
+            .pack_mut(e.pack)
+            .unwrap()
+            .delete_entry(e.toc)
+            .unwrap();
+        let report = sup.salvage(true).unwrap();
+        assert!(report.problems.iter().any(|p| p.contains("dangling")));
+        assert!(!report.repairs.is_empty());
+        let report = sup.salvage(false).unwrap();
+        assert!(report.clean(), "problems: {:?}", report.problems);
+    }
+}

@@ -49,7 +49,11 @@ impl Supervisor {
             toc: entry.toc,
         };
         let len_pages = {
-            let pack = self.machine.disks.pack(home.pack).expect("entry pack");
+            let pack = self
+                .machine
+                .disks
+                .pack(home.pack)
+                .map_err(LegacyError::Disk)?;
             pack.entry(home.toc).map(|e| e.len_pages()).unwrap_or(0)
         };
         let quota = entry.quota_dir.then_some(QuotaCell {
@@ -183,17 +187,23 @@ impl Supervisor {
             .emptiest_pack(old.pack)
             .ok_or(LegacyError::AllPacksFull)?;
 
-        // Copy the file map record by record.
+        // Copy the file map record by record, through the fault-checked
+        // channel: transient read errors are retried within the budget,
+        // hard faults (pack offline, power failure) surface typed.
         let (old_map, quota_cell) = {
-            let pack = self.machine.disks.pack(old.pack).expect("old pack");
-            let entry = pack.entry(old.toc).expect("old toc entry");
+            let pack = self
+                .machine
+                .disks
+                .pack(old.pack)
+                .map_err(LegacyError::Disk)?;
+            let entry = pack.entry(old.toc).map_err(LegacyError::Disk)?;
             (entry.file_map.clone(), entry.quota_cell)
         };
         let new_toc = self
             .machine
             .disks
             .pack_mut(target)
-            .expect("target pack")
+            .map_err(LegacyError::Disk)?
             .create_entry(aste.uid.0)
             .map_err(|_| LegacyError::AllPacksFull)?;
         let mut new_map = Vec::with_capacity(old_map.len());
@@ -201,46 +211,52 @@ impl Supervisor {
             match rec {
                 None => new_map.push(None),
                 Some(r) => {
-                    let buf = self
-                        .machine
-                        .disks
-                        .pack(old.pack)
-                        .expect("old pack")
-                        .read_record(*r)
-                        .expect("mapped record")
-                        .clone();
-                    let cost = self.machine.cost;
-                    self.machine.clock.charge_disk_transfer(&cost);
-                    self.machine.clock.charge_disk_transfer(&cost);
+                    let buf = {
+                        let mut retries = 0;
+                        loop {
+                            match self.machine.disk_read_record(old.pack, *r) {
+                                Ok(b) => break b,
+                                Err(e @ mx_hw::DiskError::TransientRead { .. }) => {
+                                    retries += 1;
+                                    self.stats.disk_retries += 1;
+                                    if retries >= crate::page_control::READ_RETRY_BUDGET {
+                                        return Err(LegacyError::Disk(e));
+                                    }
+                                }
+                                Err(e) => return Err(LegacyError::Disk(e)),
+                            }
+                        }
+                    };
                     let new_rec = self
                         .machine
                         .disks
                         .pack_mut(target)
-                        .expect("target pack")
+                        .map_err(LegacyError::Disk)?
                         .allocate_record()
                         .map_err(|_| LegacyError::AllPacksFull)?;
                     self.machine
-                        .disks
-                        .pack_mut(target)
-                        .expect("target pack")
-                        .write_record(new_rec, &buf)
-                        .expect("fresh record");
+                        .disk_write_record(target, new_rec, &buf)
+                        .map_err(LegacyError::Disk)?;
                     new_map.push(Some(new_rec));
                 }
             }
         }
         {
-            let pack = self.machine.disks.pack_mut(target).expect("target pack");
-            let entry = pack.entry_mut(new_toc).expect("fresh entry");
+            let pack = self
+                .machine
+                .disks
+                .pack_mut(target)
+                .map_err(LegacyError::Disk)?;
+            let entry = pack.entry_mut(new_toc).map_err(LegacyError::Disk)?;
             entry.file_map = new_map;
             entry.quota_cell = quota_cell;
         }
         self.machine
             .disks
             .pack_mut(old.pack)
-            .expect("old pack")
+            .map_err(LegacyError::Disk)?
             .delete_entry(old.toc)
-            .expect("old entry");
+            .map_err(LegacyError::Disk)?;
 
         // Update the AST and then — reading the branch table, the data
         // base the naming layers own — directly rewrite the directory
@@ -277,13 +293,17 @@ impl Supervisor {
             self.set_ptw(astx, pageno, Default::default());
             self.frames.release(frame);
         }
-        let home = self.ast.get(astx).expect("live").home;
+        let home = self.ast.get(astx).ok_or(LegacyError::NotActive)?.home;
         let released = {
-            let pack = self.machine.disks.pack_mut(home.pack).expect("pack");
-            let entry = pack.entry_mut(home.toc).expect("toc");
+            let pack = self
+                .machine
+                .disks
+                .pack_mut(home.pack)
+                .map_err(LegacyError::Disk)?;
+            let entry = pack.entry_mut(home.toc).map_err(LegacyError::Disk)?;
             let recs: Vec<_> = entry.file_map.drain(..).flatten().collect();
             for r in &recs {
-                pack.free_record(*r).expect("mapped record");
+                let _ = pack.free_record(*r);
             }
             recs.len() as u32
         };

@@ -80,6 +80,8 @@ pub struct Stats {
     pub relocations: u64,
     /// Pages materialized (frame + record assigned).
     pub materializations: u64,
+    /// Transient disk-read errors absorbed by the retry budget.
+    pub disk_retries: u64,
 }
 
 impl Stats {
@@ -97,6 +99,7 @@ impl Stats {
         set.set("zero_reversions", self.zero_reversions);
         set.set("relocations", self.relocations);
         set.set("materializations", self.materializations);
+        set.set("disk_retries", self.disk_retries);
         set
     }
 }
@@ -210,6 +213,16 @@ impl Supervisor {
     /// Panics if the configuration does not leave at least eight
     /// pageable frames.
     pub fn boot(config: SupervisorConfig) -> Self {
+        let mut sup = Self::assemble(&config);
+        sup.create_root(config.root_quota_pages);
+        sup
+    }
+
+    /// Builds the supervisor structures without touching the disks —
+    /// shared by [`Supervisor::boot`] (which then creates the root) and
+    /// [`Supervisor::boot_from_image`] (which recovers it from a
+    /// surviving disk image instead).
+    pub(crate) fn assemble(config: &SupervisorConfig) -> Self {
         let machine = Machine::new(MachineConfig {
             frames: config.frames,
             cpus: 2,
@@ -232,7 +245,7 @@ impl Supervisor {
         let frames = FrameTable::new(config.frames, wired, "supervisor tables");
         let ast = ActiveSegmentTable::new(config.ast_slots, FrameNo(1).base());
 
-        let mut sup = Self {
+        Self {
             machine,
             frames,
             ast,
@@ -256,9 +269,7 @@ impl Supervisor {
             networks: Vec::new(),
             max_processes: config.max_processes,
             dseg_frame_base,
-        };
-        sup.create_root(config.root_quota_pages);
-        sup
+        }
     }
 
     /// Bootloads with the default configuration.

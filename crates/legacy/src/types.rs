@@ -1,6 +1,6 @@
 //! Common identifiers, access control, and the supervisor error type.
 
-use mx_hw::{Fault, PackId, TocIndex};
+use mx_hw::{DiskError, Fault, PackId, TocIndex};
 
 /// A segment's system-wide unique identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -182,6 +182,10 @@ pub enum LegacyError {
     NoSuchChannel,
     /// An operation needed the segment active but activation failed.
     NotActive,
+    /// A disk operation failed past the supervisor's retry budget
+    /// (transient read exhausted), or unrecoverably (pack offline, power
+    /// failed) — surfaced typed, never a panic.
+    Disk(DiskError),
 }
 
 impl core::fmt::Display for LegacyError {
@@ -207,6 +211,7 @@ impl core::fmt::Display for LegacyError {
             LegacyError::UndefinedSymbol => write!(f, "undefined symbol"),
             LegacyError::NoSuchChannel => write!(f, "no such channel"),
             LegacyError::NotActive => write!(f, "segment not active"),
+            LegacyError::Disk(e) => write!(f, "disk failure: {e}"),
         }
     }
 }
