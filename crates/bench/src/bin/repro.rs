@@ -24,7 +24,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "r1", "a1", "a2", "a3",
+    "s2", "s3", "r1", "a1", "a2", "a3", "x1",
 ];
 
 fn main() {
@@ -317,6 +317,16 @@ fn main() {
         println!(
             "  paper: the salvager turns operational failures into repairable\n  \
              inconsistencies; every enumerated crash point above recovered\n"
+        );
+    }
+
+    if want("x1") {
+        header("X1", "Exploration — schedules of the two-level scheduler");
+        println!("{}", mx_bench::x1_schedule_exploration());
+        println!(
+            "  every schedule passed meter conservation, record conservation,\n  \
+             wakeup exactness, ticket total-order, and old/new user-visible parity;\n  \
+             any violation replays from its printed seed/schedule string alone\n"
         );
     }
 

@@ -13,6 +13,7 @@ pub mod harness;
 pub mod r1;
 pub mod trace;
 pub mod workload;
+pub mod x1;
 
 pub use experiments::{
     a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
@@ -21,3 +22,4 @@ pub use experiments::{
 };
 pub use r1::r1_crash_recovery;
 pub use workload::{RefString, TreeSpec};
+pub use x1::x1_schedule_exploration;

@@ -1193,6 +1193,16 @@ impl Kernel {
         })
     }
 
+    /// Installs a schedule policy on the virtual-processor manager's two
+    /// choice points (dispatch order and wakeup-drain order).
+    ///
+    /// The default [`mx_sync::FifoPolicy`] reproduces the historical
+    /// order byte-for-byte; the `mx-explore` harness installs seeded or
+    /// enumerating policies here to explore alternative interleavings.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn mx_sync::SchedulePolicy>) {
+        self.vpm.set_policy(policy);
+    }
+
     // ---- eventcount gates -----------------------------------------------------
 
     /// Creates a user-visible eventcount.

@@ -16,6 +16,7 @@
 use crate::core_segment::{CoreSegId, CoreSegmentManager};
 use crate::error::KernelError;
 use mx_hw::{Clock, MainMemory, Word};
+use mx_sync::policy::{ChoicePoint, FifoPolicy, SchedulePolicy};
 use mx_sync::sim::{EcId, EventTable, WaiterId};
 use std::collections::VecDeque;
 
@@ -63,6 +64,10 @@ pub struct VirtualProcessorManager {
     state_seg: CoreSegId,
     run_queue: VecDeque<VpId>,
     running: Option<VpId>,
+    /// Decides the manager's two choice points: which runnable VP the
+    /// dispatcher picks, and the order `advance` drains met waiters.
+    /// [`FifoPolicy`] by default — the historical hard-coded order.
+    policy: Box<dyn SchedulePolicy>,
     /// VP switches performed (experiment counter).
     pub switches: u64,
 }
@@ -90,8 +95,18 @@ impl VirtualProcessorManager {
             state_seg,
             run_queue: (0..count).map(VpId).collect(),
             running: None,
+            policy: Box::new(FifoPolicy),
             switches: 0,
         })
+    }
+
+    /// Installs a schedule policy for the manager's choice points.
+    ///
+    /// The default [`FifoPolicy`] reproduces the historical dispatch and
+    /// wakeup-drain order byte-for-byte; exploration harnesses install
+    /// seeded or enumerating policies here.
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = policy;
     }
 
     /// Permanently binds a VP to a kernel module.
@@ -163,19 +178,49 @@ impl VirtualProcessorManager {
     /// The notify primitive: advances the eventcount and makes every VP
     /// whose threshold is now met runnable. The caller learns only how
     /// many woke — not who they are beyond the opaque scheduling effect.
+    ///
+    /// A VP parked at several thresholds (or on several eventcounts)
+    /// becomes runnable exactly once: wakeups past the first find it
+    /// already `Ready` and must not enqueue it again, or the dispatcher
+    /// would run it once per registration.
     pub fn advance(&mut self, ec: EcId) -> usize {
-        let woken = self.events.advance(ec);
+        let woken = self.events.advance_with(ec, &mut *self.policy);
         let n = woken.len();
         for w in woken {
-            let vp = VpId(w.0);
+            self.make_runnable(VpId(w.0));
+        }
+        n
+    }
+
+    fn make_runnable(&mut self, vp: VpId) {
+        if self.vps[vp.0 as usize].state == VpState::Waiting {
             self.vps[vp.0 as usize].state = VpState::Ready;
             self.run_queue.push_back(vp);
+        }
+    }
+
+    /// A deliberately broken notify that releases every met waiter from
+    /// the eventcount but forgets to make the last one runnable — the
+    /// classic lost wakeup. Exists only so the `mx-explore` oracles can
+    /// prove they catch and replay the violation; never call it from
+    /// kernel code.
+    #[doc(hidden)]
+    pub fn advance_lossy_for_test(&mut self, ec: EcId) -> usize {
+        let mut woken = self.events.advance_with(ec, &mut *self.policy);
+        woken.pop(); // the bug: this waiter is now stranded forever
+        let n = woken.len();
+        for w in woken {
+            self.make_runnable(VpId(w.0));
         }
         n
     }
 
     /// Dispatches the next runnable VP, exchanging core-resident state
     /// (cheap — no paging possible) and charging [`VP_SWITCH_CYCLES`].
+    ///
+    /// Which runnable VP runs is the manager's other choice point: the
+    /// installed policy picks from the queue (FIFO round-robin under the
+    /// default policy).
     pub fn dispatch(
         &mut self,
         csm: &CoreSegmentManager,
@@ -187,7 +232,16 @@ impl VirtualProcessorManager {
                 self.run_queue.push_back(prev);
             }
         }
-        let next = self.run_queue.pop_front()?;
+        let next = if self.run_queue.len() > 1 {
+            let ids: Vec<u32> = self.run_queue.iter().map(|v| v.0).collect();
+            let idx = self
+                .policy
+                .choose(ChoicePoint::Dispatch, &ids)
+                .min(self.run_queue.len() - 1);
+            self.run_queue.remove(idx)?
+        } else {
+            self.run_queue.pop_front()?
+        };
         // Exchange the state words in the core segment: always resident.
         let base = u64::from(next.0) * VP_STATE_WORDS;
         let tick = csm.read(mem, self.state_seg, base).raw();
@@ -206,6 +260,41 @@ impl VirtualProcessorManager {
     /// Number of runnable VPs.
     pub fn runnable(&self) -> usize {
         self.run_queue.len() + usize::from(self.running.is_some())
+    }
+
+    /// Lost-wakeup oracle: waiters whose threshold is already met but
+    /// who are still parked. Always empty for a correct table — every
+    /// `advance` must reach every eligible waiter.
+    pub fn lost_wakeups(&self) -> Vec<(EcId, WaiterId, u64)> {
+        self.events.eligible_parked()
+    }
+
+    /// Stranded-VP oracle: VPs in the `Waiting` state that are not
+    /// registered on any eventcount. Such a VP can never be woken again;
+    /// a correct manager never produces one.
+    pub fn stranded(&self) -> Vec<VpId> {
+        (0..self.vps.len() as u32)
+            .map(VpId)
+            .filter(|vp| {
+                self.vps[vp.0 as usize].state == VpState::Waiting
+                    && !self.events.is_registered(WaiterId(vp.0))
+            })
+            .collect()
+    }
+
+    /// Scheduling state of a VP (oracle/diagnostic accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign VP id.
+    pub fn state(&self, vp: VpId) -> VpState {
+        self.vps[vp.0 as usize].state
+    }
+
+    /// How many times `vp` currently appears in the run queue — the
+    /// duplicate-dispatch oracle. At most 1 for a correct manager.
+    pub fn queued_count(&self, vp: VpId) -> usize {
+        self.run_queue.iter().filter(|v| **v == vp).count()
     }
 }
 
@@ -286,6 +375,75 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(vpm.dispatch(&csm, &mut mem, &mut clk), Some(VpId(1)));
         }
+    }
+
+    #[test]
+    fn double_registration_is_enqueued_exactly_once() {
+        // A VP parked on two eventcounts (an OR-wait) must become
+        // runnable exactly once when both advances arrive. Before the
+        // wakeup guard, `advance` enqueued it once per registration and
+        // the dispatcher ran it twice — the duplicate-dispatch bug the
+        // schedule explorer's adversarial schedules flush out.
+        let (csm, mut mem, mut clk, mut vpm) = setup(2);
+        let a = vpm.create_eventcount();
+        let b = vpm.create_eventcount();
+        vpm.await_value(VpId(1), a, 1);
+        vpm.await_value(VpId(1), b, 1);
+        assert_eq!(vpm.advance(a), 1);
+        assert_eq!(vpm.advance(b), 1, "released from b's table too");
+        assert_eq!(vpm.queued_count(VpId(1)), 1, "but enqueued only once");
+        assert_eq!(vpm.dispatch(&csm, &mut mem, &mut clk), Some(VpId(0)));
+        assert_eq!(vpm.dispatch(&csm, &mut mem, &mut clk), Some(VpId(1)));
+        assert_eq!(vpm.dispatch(&csm, &mut mem, &mut clk), Some(VpId(0)));
+    }
+
+    #[test]
+    fn two_thresholds_on_one_eventcount_wake_once() {
+        let (_csm, _mem, _clk, mut vpm) = setup(2);
+        let ec = vpm.create_eventcount();
+        vpm.await_value(VpId(1), ec, 1);
+        vpm.await_value(VpId(1), ec, 2);
+        vpm.advance(ec);
+        vpm.advance(ec);
+        assert_eq!(vpm.queued_count(VpId(1)), 1);
+        assert!(vpm.lost_wakeups().is_empty());
+        assert!(vpm.stranded().is_empty());
+    }
+
+    #[test]
+    fn policy_reorders_dispatch_without_changing_cost() {
+        #[derive(Debug)]
+        struct Last;
+        impl SchedulePolicy for Last {
+            fn choose(&mut self, _: ChoicePoint, c: &[u32]) -> usize {
+                c.len() - 1
+            }
+        }
+        let (csm, mut mem, mut clk, mut vpm) = setup(3);
+        vpm.set_policy(Box::new(Last));
+        let order: Vec<u32> = (0..3)
+            .map(|_| vpm.dispatch(&csm, &mut mem, &mut clk).unwrap().0)
+            .collect();
+        // The previous VP is requeued at the back before the choice, so
+        // a pick-last policy keeps re-electing it: a starvation schedule
+        // FIFO round-robin can never produce.
+        assert_eq!(order, vec![2, 2, 2], "the policy owns the order");
+        assert_eq!(clk.now(), 3 * VP_SWITCH_CYCLES, "but never the cost");
+    }
+
+    #[test]
+    fn lossy_advance_strands_a_waiter_and_the_oracle_sees_it() {
+        let (_csm, _mem, _clk, mut vpm) = setup(3);
+        let ec = vpm.create_eventcount();
+        vpm.await_value(VpId(1), ec, 1);
+        vpm.await_value(VpId(2), ec, 1);
+        vpm.advance_lossy_for_test(ec);
+        assert!(vpm.lost_wakeups().is_empty(), "drained from the table...");
+        assert_eq!(
+            vpm.stranded().len(),
+            1,
+            "...but one VP is waiting with no registration: lost forever"
+        );
     }
 
     #[test]

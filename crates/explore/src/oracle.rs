@@ -1,0 +1,143 @@
+//! Machine-checkable invariants evaluated after every explored schedule.
+//!
+//! Each check returns human-readable violation messages (empty = pass).
+//! The invariants are exactly the ones the paper's design argument
+//! leans on, so a single surviving violation under *any* schedule is a
+//! real bug, not exploration noise:
+//!
+//! * **meter conservation** — every cycle the clock advanced is
+//!   attributed to some subsystem (`Meter::attributed_total`);
+//! * **per-pack record conservation** — each pack's allocated record
+//!   count equals the records reachable from its table-of-contents file
+//!   maps (no leaked and no doubly-owned records);
+//! * **wakeup exactness** — no eligible waiter is still parked
+//!   (`advance` reached everyone), and no VP waits unregistered (a
+//!   wakeup that can never arrive);
+//! * **dispatch uniqueness** — no VP sits in the run queue twice;
+//! * **ticket total-order** — a sequencer's tickets, collected in issue
+//!   order, are exactly `0..n` with no duplicate and no gap;
+//! * **TLB tally closure** — `hits + misses == lookups`.
+
+use mx_hw::{Clock, DiskSystem, TlbStats};
+use mx_kernel::vproc::VirtualProcessorManager;
+use mx_kernel::Kernel;
+use mx_legacy::Supervisor;
+
+/// Meter conservation on any clock.
+pub fn check_meter(clock: &Clock) -> Vec<String> {
+    let attributed = clock.meter().attributed_total();
+    let now = clock.now();
+    if attributed == now {
+        Vec::new()
+    } else {
+        vec![format!(
+            "meter conservation: {attributed} cycles attributed but clock at {now}"
+        )]
+    }
+}
+
+/// Per-pack record conservation on any disk system.
+pub fn check_storage(disks: &DiskSystem) -> Vec<String> {
+    let mut out = Vec::new();
+    for pack in disks.packs() {
+        let allocated = pack.allocated_record_nos().len();
+        let mapped: usize = pack
+            .entries()
+            .map(|(_, e)| e.file_map.iter().flatten().count())
+            .sum();
+        if allocated != mapped {
+            out.push(format!(
+                "record conservation: pack has {allocated} allocated records but {mapped} mapped from its TOC"
+            ));
+        }
+    }
+    out
+}
+
+/// Wakeup exactness and dispatch uniqueness on a VP manager.
+pub fn check_vpm(vpm: &VirtualProcessorManager) -> Vec<String> {
+    let mut out = Vec::new();
+    for (ec, waiter, threshold) in vpm.lost_wakeups() {
+        out.push(format!(
+            "lost wakeup: waiter {waiter:?} still parked on {ec:?} below met threshold {threshold}"
+        ));
+    }
+    for vp in vpm.stranded() {
+        out.push(format!(
+            "stranded VP: {vp:?} is Waiting but registered on no eventcount"
+        ));
+    }
+    for vp in (0..vpm.count() as u32).map(mx_kernel::vproc::VpId) {
+        let n = vpm.queued_count(vp);
+        if n > 1 {
+            out.push(format!("duplicate dispatch: {vp:?} queued {n} times"));
+        }
+    }
+    out
+}
+
+/// Ticket total-order: tickets collected in issue order must be `0..n`.
+pub fn check_tickets(tickets: &[u64]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, &t) in tickets.iter().enumerate() {
+        if t != i as u64 {
+            out.push(format!(
+                "ticket order: position {i} holds ticket {t} (duplicate or gap)"
+            ));
+        }
+    }
+    out
+}
+
+/// TLB tally closure.
+pub fn check_tlb(tlb: &TlbStats) -> Vec<String> {
+    if tlb.hits + tlb.misses == tlb.lookups {
+        Vec::new()
+    } else {
+        vec![format!(
+            "tlb closure: {} hits + {} misses != {} lookups",
+            tlb.hits, tlb.misses, tlb.lookups
+        )]
+    }
+}
+
+/// The full kernel-side oracle battery.
+pub fn check_kernel(k: &Kernel) -> Vec<String> {
+    let mut out = check_meter(&k.machine.clock);
+    out.extend(check_storage(&k.machine.disks));
+    out.extend(check_vpm(&k.vpm));
+    out.extend(check_tlb(&k.machine.tlb_stats()));
+    out
+}
+
+/// The legacy-side oracle battery (the old design has no VP manager;
+/// its scheduler is a plain ready queue).
+pub fn check_legacy(sup: &Supervisor) -> Vec<String> {
+    let mut out = check_meter(&sup.machine.clock);
+    out.extend(check_storage(&sup.machine.disks));
+    out.extend(check_tlb(&sup.machine.tlb_stats()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_oracle_accepts_dense_and_rejects_gaps() {
+        assert!(check_tickets(&[0, 1, 2, 3]).is_empty());
+        assert_eq!(check_tickets(&[0, 2, 1]).len(), 2, "gap then duplicate");
+    }
+
+    #[test]
+    fn meter_and_storage_hold_on_a_fresh_kernel() {
+        let k = Kernel::boot_default();
+        assert!(check_kernel(&k).is_empty(), "{:?}", check_kernel(&k));
+    }
+
+    #[test]
+    fn meter_and_storage_hold_on_a_fresh_supervisor() {
+        let sup = Supervisor::boot_default();
+        assert!(check_legacy(&sup).is_empty(), "{:?}", check_legacy(&sup));
+    }
+}

@@ -1,0 +1,293 @@
+//! The exploration policies and the choice recorder.
+//!
+//! Every policy implements [`mx_sync::SchedulePolicy`] and is a pure
+//! function of its seed (or forced choice list), so a run is replayable
+//! from the seed/schedule string alone. The [`Recorder`] wraps any
+//! policy and writes each decision into a shared trace; the resulting
+//! [`schedule_string`] *is* the schedule — feeding it back through a
+//! [`ReplayPolicy`] reproduces the run exactly.
+
+use mx_hw::SplitMix64;
+use mx_sync::policy::{ChoicePoint, SchedulePolicy};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One recorded decision at a choice point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// `true` for a wakeup-drain point, `false` for a dispatch point.
+    pub wakeup: bool,
+    /// How many candidates were on offer (always ≥ 2: singleton sets
+    /// are not choice points).
+    pub arity: usize,
+    /// The index the policy picked.
+    pub chosen: usize,
+}
+
+/// A shared handle onto a run's recorded trace.
+pub type TraceHandle = Rc<RefCell<Vec<Choice>>>;
+
+/// Renders a trace as the canonical schedule string, e.g. `d1/3.w0/2`:
+/// kind, chosen index, `/`, arity — joined with `.`. The empty trace
+/// renders as `-` (a run that never hit a branching choice point).
+pub fn schedule_string(trace: &[Choice]) -> String {
+    if trace.is_empty() {
+        return "-".to_string();
+    }
+    trace
+        .iter()
+        .map(|c| {
+            format!(
+                "{}{}/{}",
+                if c.wakeup { 'w' } else { 'd' },
+                c.chosen,
+                c.arity
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Parses a schedule string back into the forced choice list. Arity
+/// and kind markers are carried for readability but only the chosen
+/// indices drive a replay. Returns `None` on a malformed string.
+pub fn parse_schedule(s: &str) -> Option<Vec<usize>> {
+    if s == "-" || s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.')
+        .map(|tok| {
+            let rest = tok.strip_prefix(['d', 'w'])?;
+            let (chosen, _arity) = rest.split_once('/')?;
+            chosen.parse().ok()
+        })
+        .collect()
+}
+
+/// Parses a schedule string back into full [`Choice`]s (kind, chosen,
+/// arity). Returns `None` on a malformed string.
+pub fn parse_trace(s: &str) -> Option<Vec<Choice>> {
+    if s == "-" || s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.')
+        .map(|tok| {
+            let wakeup = match tok.as_bytes().first()? {
+                b'd' => false,
+                b'w' => true,
+                _ => return None,
+            };
+            let (chosen, arity) = tok[1..].split_once('/')?;
+            Some(Choice {
+                wakeup,
+                arity: arity.parse().ok()?,
+                chosen: chosen.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Wraps a policy and records every decision into a shared trace.
+#[derive(Debug)]
+pub struct Recorder {
+    inner: Box<dyn SchedulePolicy>,
+    trace: TraceHandle,
+}
+
+impl Recorder {
+    /// Wraps `inner`; the returned handle reads the trace after the
+    /// wrapped policy has been moved into the scheduler.
+    pub fn new(inner: Box<dyn SchedulePolicy>) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Rc::new(RefCell::new(Vec::new()));
+        (
+            Self {
+                inner,
+                trace: Rc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl SchedulePolicy for Recorder {
+    fn choose(&mut self, point: ChoicePoint, candidates: &[u32]) -> usize {
+        let chosen = self
+            .inner
+            .choose(point, candidates)
+            .min(candidates.len() - 1);
+        self.trace.borrow_mut().push(Choice {
+            wakeup: matches!(point, ChoicePoint::Wakeup(_)),
+            arity: candidates.len(),
+            chosen,
+        });
+        chosen
+    }
+}
+
+/// Uniform seeded-random choices: every candidate equally likely.
+#[derive(Debug)]
+pub struct SeededRandomPolicy {
+    rng: SplitMix64,
+}
+
+impl SeededRandomPolicy {
+    /// A policy drawing from `SplitMix64::new(seed)`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl SchedulePolicy for SeededRandomPolicy {
+    fn choose(&mut self, _point: ChoicePoint, candidates: &[u32]) -> usize {
+        self.rng.range_usize(0, candidates.len())
+    }
+}
+
+/// PCT-style priority fuzzing (after Burckhardt et al.'s probabilistic
+/// concurrency testing): every scheduling entity gets a random fixed
+/// priority on first sight, the highest-priority candidate always wins,
+/// and occasional seeded priority-change points reshuffle one entity —
+/// which concentrates exploration on few-preemption schedules instead
+/// of spreading it uniformly.
+#[derive(Debug)]
+pub struct PctPolicy {
+    rng: SplitMix64,
+    priorities: HashMap<u32, u64>,
+    /// A priority-change point fires with probability 1/`change_den`.
+    change_den: u64,
+}
+
+impl PctPolicy {
+    /// A PCT policy over `SplitMix64::new(seed)` with change points at
+    /// 1-in-8 choice points.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+            priorities: HashMap::new(),
+            change_den: 8,
+        }
+    }
+}
+
+impl SchedulePolicy for PctPolicy {
+    fn choose(&mut self, _point: ChoicePoint, candidates: &[u32]) -> usize {
+        for &c in candidates {
+            let p = self.rng.next_u64();
+            self.priorities.entry(c).or_insert(p);
+        }
+        if self.rng.chance(1, self.change_den) {
+            let victim = candidates[self.rng.range_usize(0, candidates.len())];
+            let p = self.rng.next_u64();
+            self.priorities.insert(victim, p);
+        }
+        candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| self.priorities[*c])
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Replays a forced choice list, then falls back to FIFO (choice 0).
+///
+/// This is both the replay mechanism (feed a full recorded schedule
+/// back in) and the DFS mechanism (feed a prefix in; the tail runs
+/// FIFO and the recorder reports where the tree can still branch).
+#[derive(Debug)]
+pub struct ReplayPolicy {
+    forced: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplayPolicy {
+    /// A policy forcing `choices` in order.
+    pub fn new(choices: Vec<usize>) -> Self {
+        Self {
+            forced: choices,
+            pos: 0,
+        }
+    }
+}
+
+impl SchedulePolicy for ReplayPolicy {
+    fn choose(&mut self, _point: ChoicePoint, candidates: &[u32]) -> usize {
+        let c = self.forced.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        c.min(candidates.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_strings_round_trip() {
+        let trace = vec![
+            Choice {
+                wakeup: false,
+                arity: 3,
+                chosen: 1,
+            },
+            Choice {
+                wakeup: true,
+                arity: 2,
+                chosen: 0,
+            },
+        ];
+        let s = schedule_string(&trace);
+        assert_eq!(s, "d1/3.w0/2");
+        assert_eq!(parse_schedule(&s), Some(vec![1, 0]));
+        assert_eq!(parse_schedule("-"), Some(vec![]));
+        assert_eq!(parse_schedule("bogus"), None);
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let mut a = SeededRandomPolicy::new(7);
+        let mut b = SeededRandomPolicy::new(7);
+        let cands = [3u32, 5, 9, 11];
+        for _ in 0..50 {
+            assert_eq!(
+                a.choose(ChoicePoint::Dispatch, &cands),
+                b.choose(ChoicePoint::Dispatch, &cands)
+            );
+        }
+    }
+
+    #[test]
+    fn pct_policy_is_seed_deterministic_and_in_range() {
+        let mut a = PctPolicy::new(11);
+        let mut b = PctPolicy::new(11);
+        let cands = [2u32, 4, 8];
+        for _ in 0..100 {
+            let x = a.choose(ChoicePoint::Dispatch, &cands);
+            assert_eq!(x, b.choose(ChoicePoint::Dispatch, &cands));
+            assert!(x < cands.len());
+        }
+    }
+
+    #[test]
+    fn replay_forces_then_falls_back_to_fifo() {
+        let mut p = ReplayPolicy::new(vec![2, 1]);
+        let cands = [0u32, 1, 2];
+        assert_eq!(p.choose(ChoicePoint::Dispatch, &cands), 2);
+        assert_eq!(p.choose(ChoicePoint::Dispatch, &cands), 1);
+        assert_eq!(p.choose(ChoicePoint::Dispatch, &cands), 0, "FIFO tail");
+    }
+
+    #[test]
+    fn recorder_captures_every_branching_decision() {
+        let (mut rec, trace) = Recorder::new(Box::new(ReplayPolicy::new(vec![1])));
+        rec.choose(ChoicePoint::Dispatch, &[0, 1]);
+        rec.choose(ChoicePoint::Wakeup(mx_sync::EcId(4)), &[5, 6, 7]);
+        let t = trace.borrow();
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].wakeup, t[0].arity, t[0].chosen), (false, 2, 1));
+        assert_eq!((t[1].wakeup, t[1].arity, t[1].chosen), (true, 3, 0));
+    }
+}

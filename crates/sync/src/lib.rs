@@ -25,11 +25,13 @@
 //! information flow: `advance` carries one bit, upward only.
 
 pub mod channel;
+pub mod policy;
 pub mod queue;
 pub mod sim;
 pub mod threaded;
 
 pub use channel::{EcBarrier, EcChannel};
+pub use policy::{ChoicePoint, FifoPolicy, SchedulePolicy};
 pub use queue::{MessageQueue, QueueError};
 pub use sim::{EcId, EventTable, WaiterId};
 pub use threaded::{EventCount, Sequencer};

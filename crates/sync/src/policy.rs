@@ -1,0 +1,72 @@
+//! Pluggable schedule policies for the simulator's choice points.
+//!
+//! The deterministic simulator makes exactly two kinds of scheduling
+//! decision, and before this module both were hard-coded:
+//!
+//! * which runnable virtual processor the dispatcher picks next
+//!   (historically: the run-queue front — FIFO round-robin), and
+//! * the order in which an `advance` drains the waiters whose thresholds
+//!   it met (historically: `(threshold, id)` order).
+//!
+//! [`SchedulePolicy`] turns both into consultable choice points so a
+//! schedule-exploration harness (`mx-explore`) can substitute seeded
+//! random, priority-fuzzing, or exhaustive-enumeration policies. The
+//! default [`FifoPolicy`] always picks candidate 0, which reproduces the
+//! historical order byte-for-byte — every pinned figure in
+//! EXPERIMENTS.md is generated under it.
+//!
+//! A decision is only a *choice point* when more than one candidate
+//! exists; callers do not consult the policy for singleton sets, so a
+//! recorded schedule contains only the positions where the interleaving
+//! could actually branch.
+
+/// Where in the simulator a scheduling choice is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoicePoint {
+    /// Choosing the next virtual processor from the run queue. The
+    /// candidates are VP indices in current queue order (front first).
+    Dispatch,
+    /// Choosing which eligible waiter an `advance` of the given
+    /// eventcount releases next. The candidates are waiter ids in
+    /// `(threshold, id)` order.
+    Wakeup(crate::sim::EcId),
+}
+
+/// A source of scheduling decisions.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the arguments — the exploration harness relies on a policy
+/// replaying identically from the same seed or choice string.
+pub trait SchedulePolicy: std::fmt::Debug {
+    /// Picks one of `candidates` (never empty; all ids distinct) and
+    /// returns its index. Returning an out-of-range index is a policy
+    /// bug; callers clamp it to the last candidate rather than panic.
+    fn choose(&mut self, point: ChoicePoint, candidates: &[u32]) -> usize;
+}
+
+/// The historical hard-coded order: always the first candidate.
+///
+/// Under this policy the dispatcher is FIFO round-robin and wakeups
+/// drain in `(threshold, id)` order — exactly the behavior that existed
+/// before the choice points were extracted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoPolicy;
+
+impl SchedulePolicy for FifoPolicy {
+    fn choose(&mut self, _point: ChoicePoint, _candidates: &[u32]) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::EcId;
+
+    #[test]
+    fn fifo_always_picks_the_front() {
+        let mut p = FifoPolicy;
+        assert_eq!(p.choose(ChoicePoint::Dispatch, &[4, 2, 9]), 0);
+        assert_eq!(p.choose(ChoicePoint::Wakeup(EcId(3)), &[7, 1]), 0);
+    }
+}

@@ -12,6 +12,7 @@
 //! tokens the scheduler registered, so the discoverer of an event learns
 //! nothing about who was awaiting it.
 
+use crate::policy::{ChoicePoint, FifoPolicy, SchedulePolicy};
 use std::collections::BTreeMap;
 
 /// Names an eventcount (or sequencer) within an [`EventTable`].
@@ -137,16 +138,67 @@ impl EventTable {
     ///
     /// Panics if `ec` was not created by this table.
     pub fn advance(&mut self, ec: EcId) -> Vec<WaiterId> {
+        self.advance_with(ec, &mut FifoPolicy)
+    }
+
+    /// [`EventTable::advance`] with the wakeup-drain order decided by a
+    /// [`SchedulePolicy`].
+    ///
+    /// Every eligible waiter is released — the Reed–Kanodia guarantee is
+    /// not negotiable — but the *order* in which they are handed back is
+    /// a genuine scheduling freedom, and this is its choice point. The
+    /// policy is consulted once per remaining eligible waiter (skipping
+    /// singleton sets); [`crate::policy::FifoPolicy`] reproduces the
+    /// plain `advance` order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ec` was not created by this table.
+    pub fn advance_with(&mut self, ec: EcId, policy: &mut dyn SchedulePolicy) -> Vec<WaiterId> {
         let state = &mut self.counts[ec.0 as usize];
         state.value += 1;
         let now = state.value;
-        let ready: Vec<_> = state
+        let mut eligible: Vec<WaiterId> = state
             .waiters
             .range(..=(now, WaiterId(u32::MAX)))
             .map(|((_, w), ())| *w)
             .collect();
         state.waiters.retain(|(t, _), ()| *t > now);
+        let mut ready = Vec::with_capacity(eligible.len());
+        while eligible.len() > 1 {
+            let ids: Vec<u32> = eligible.iter().map(|w| w.0).collect();
+            let idx = policy
+                .choose(ChoicePoint::Wakeup(ec), &ids)
+                .min(eligible.len() - 1);
+            ready.push(eligible.remove(idx));
+        }
+        ready.extend(eligible);
         ready
+    }
+
+    /// Waiters whose threshold is *already* met but who are still
+    /// parked — the lost-wakeup oracle. A correct table is empty here at
+    /// all times: `advance` releases every eligible waiter atomically,
+    /// and `await_value` refuses to park a satisfied one (the
+    /// wakeup-waiting switch).
+    pub fn eligible_parked(&self) -> Vec<(EcId, WaiterId, u64)> {
+        let mut lost = Vec::new();
+        for (i, state) in self.counts.iter().enumerate() {
+            for ((threshold, w), ()) in state.waiters.range(..=(state.value, WaiterId(u32::MAX))) {
+                lost.push((EcId(i as u32), *w, *threshold));
+            }
+        }
+        lost
+    }
+
+    /// Whether `waiter` is parked on any eventcount in the table.
+    ///
+    /// A scheduler entity that is blocked but registered nowhere can
+    /// never be woken — the stranded-waiter oracle uses this.
+    pub fn is_registered(&self, waiter: WaiterId) -> bool {
+        self.counts
+            .iter()
+            .any(|s| s.waiters.keys().any(|(_, w)| *w == waiter))
     }
 
     /// Number of waiters currently parked on an eventcount.
@@ -219,6 +271,73 @@ mod tests {
         let s = t.create_sequencer();
         let tickets: Vec<_> = (0..5).map(|_| t.ticket(s)).collect();
         assert_eq!(tickets, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn advance_with_fifo_matches_plain_advance() {
+        let mut a = EventTable::new();
+        let mut b = EventTable::new();
+        for t in [&mut a, &mut b] {
+            let ec = t.create();
+            t.await_value(ec, 1, WaiterId(3));
+            t.await_value(ec, 1, WaiterId(1));
+            t.await_value(ec, 2, WaiterId(2));
+        }
+        assert_eq!(
+            a.advance(EcId(0)),
+            b.advance_with(EcId(0), &mut crate::policy::FifoPolicy)
+        );
+    }
+
+    #[test]
+    fn advance_with_policy_reorders_but_releases_everyone() {
+        #[derive(Debug)]
+        struct Last;
+        impl crate::policy::SchedulePolicy for Last {
+            fn choose(&mut self, _: crate::policy::ChoicePoint, c: &[u32]) -> usize {
+                c.len() - 1
+            }
+        }
+        let mut t = EventTable::new();
+        let ec = t.create();
+        t.await_value(ec, 1, WaiterId(0));
+        t.await_value(ec, 1, WaiterId(1));
+        t.await_value(ec, 1, WaiterId(2));
+        let woke = t.advance_with(ec, &mut Last);
+        assert_eq!(woke, vec![WaiterId(2), WaiterId(1), WaiterId(0)]);
+        assert_eq!(t.waiter_count(ec), 0, "order changed, exactness did not");
+    }
+
+    #[test]
+    fn out_of_range_policy_choice_is_clamped() {
+        #[derive(Debug)]
+        struct Wild;
+        impl crate::policy::SchedulePolicy for Wild {
+            fn choose(&mut self, _: crate::policy::ChoicePoint, _: &[u32]) -> usize {
+                usize::MAX
+            }
+        }
+        let mut t = EventTable::new();
+        let ec = t.create();
+        t.await_value(ec, 1, WaiterId(0));
+        t.await_value(ec, 1, WaiterId(1));
+        assert_eq!(t.advance_with(ec, &mut Wild).len(), 2);
+    }
+
+    #[test]
+    fn eligible_parked_flags_only_lost_wakeups() {
+        let mut t = EventTable::new();
+        let ec = t.create();
+        t.await_value(ec, 2, WaiterId(5));
+        assert!(t.eligible_parked().is_empty(), "threshold not met yet");
+        assert!(t.is_registered(WaiterId(5)));
+        assert!(!t.is_registered(WaiterId(6)));
+        t.advance(ec);
+        t.advance(ec);
+        assert!(
+            t.eligible_parked().is_empty(),
+            "a correct advance leaves no eligible waiter behind"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`census`] — the kernel-size census engine and the 1973/1977
 //!   catalogue;
 //! * [`bench_harness`] — workload generators and the experiment drivers behind
-//!   `repro` and `cargo bench`.
+//!   `repro` and `cargo bench`;
+//! * [`explore`] — the deterministic schedule-exploration harness
+//!   (pluggable dispatch/wakeup policies, oracle-checked scenarios,
+//!   replay-from-seed).
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ pub use mx_aim as aim;
 pub use mx_bench as bench_harness;
 pub use mx_census as census;
 pub use mx_deps as deps;
+pub use mx_explore as explore;
 pub use mx_hw as hw;
 pub use mx_kernel as kernel;
 pub use mx_legacy as legacy;

@@ -1,0 +1,233 @@
+//! Fault-injection edge cases at the boundaries of the recovery story.
+//!
+//! R1 sweeps crash points; these tests pin the two edges it skirts:
+//! a transient read that fails on the *last* retry of
+//! `READ_RETRY_BUDGET` (one short of the budget is absorbed; exactly
+//! the budget surfaces as a typed error, never a panic), and a pack
+//! dropping offline in the middle of a salvage walk. Both designs.
+
+use multics::aim::Label;
+use multics::hw::{DiskError, FaultPlan, PackId, Word};
+use multics::kernel::{Acl, Kernel, KernelConfig, KernelError, UserId};
+use multics::legacy::{
+    AccessRight, Acl as LAcl, LegacyError, Supervisor, SupervisorConfig, UserId as LUserId,
+};
+
+const BUDGET: u64 = multics::kernel::page_frame::READ_RETRY_BUDGET as u64;
+
+/// Boots a kernel with one file whose page 0 is flushed to disk;
+/// returns the kernel, pid, segno, and the page's (pack, record).
+fn kernel_with_cold_page() -> (
+    Kernel,
+    multics::kernel::ProcessId,
+    u32,
+    PackId,
+    multics::hw::RecordNo,
+) {
+    let mut k = Kernel::boot(KernelConfig::default());
+    k.register_account("u", UserId(1), 1, Label::BOTTOM);
+    let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
+    let root = k.root_token();
+    let tok = k
+        .create_entry(pid, root, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+        .unwrap();
+    let segno = k.initiate(pid, tok).unwrap();
+    k.write_word(pid, segno, 0, Word::new(0o1234)).unwrap();
+    let uid = k.uid_of_token(tok).unwrap();
+    let handle = k.segm.get(uid).unwrap().handle;
+    k.pfm
+        .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+        .unwrap();
+    let home = k.dirm.home_of(uid).unwrap();
+    let rec = k.drm.record_of(&k.machine, home, 0).unwrap().unwrap();
+    (k, pid, segno, home.pack, rec)
+}
+
+#[test]
+fn kernel_failures_up_to_the_penultimate_retry_are_absorbed() {
+    let (mut k, pid, segno, pack, rec) = kernel_with_cold_page();
+    // BUDGET - 1 consecutive transient failures: the final attempt of
+    // the budget succeeds, so the caller never sees an error.
+    let mut plan = FaultPlan::new();
+    for kth in 1..BUDGET {
+        plan = plan.transient_read(pack, rec, kth);
+    }
+    k.machine.install_fault_plan(plan);
+    let before = k.pfm.stats.transient_retries;
+    assert_eq!(k.read_word(pid, segno, 0).unwrap(), Word::new(0o1234));
+    assert_eq!(
+        k.pfm.stats.transient_retries,
+        before + BUDGET - 1,
+        "every absorbed failure is accounted"
+    );
+}
+
+#[test]
+fn kernel_failure_on_the_last_retry_exhausts_the_budget_as_typed_error() {
+    let (mut k, pid, segno, pack, rec) = kernel_with_cold_page();
+    // Exactly BUDGET consecutive failures: the last permitted attempt
+    // fails too, and the exhaustion is a typed error — not a panic, not
+    // a hang, not a corrupted frame.
+    let mut plan = FaultPlan::new();
+    for kth in 1..=BUDGET {
+        plan = plan.transient_read(pack, rec, kth);
+    }
+    k.machine.install_fault_plan(plan);
+    let err = k.read_word(pid, segno, 0).unwrap_err();
+    assert!(
+        matches!(err, KernelError::Disk(DiskError::TransientRead { .. })),
+        "expected typed transient-read exhaustion, got {err:?}"
+    );
+    // The fault really was transient: with the plan's ordinals spent the
+    // same reference succeeds and the data is intact.
+    assert_eq!(k.read_word(pid, segno, 0).unwrap(), Word::new(0o1234));
+    // And the file system took no damage on the way through.
+    let report = k.salvage(false).unwrap();
+    assert!(report.clean(), "problems: {:?}", report.problems);
+}
+
+#[test]
+fn legacy_budget_has_the_same_last_retry_edge() {
+    assert_eq!(
+        multics::legacy::page_control::READ_RETRY_BUDGET,
+        multics::kernel::page_frame::READ_RETRY_BUDGET,
+        "both designs retry the same number of times"
+    );
+    let mut sup = Supervisor::boot(SupervisorConfig::default());
+    let pid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "f", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
+    let segno = sup.initiate(pid, "f").unwrap();
+    sup.user_write(pid, segno, 0, Word::new(0o4321)).unwrap();
+    let uid = sup.resolve(pid, "f", AccessRight::Read).unwrap().0;
+    let astx = sup.ast.find(uid).unwrap();
+    sup.flush_segment(astx).unwrap();
+    let home = sup.ast.get(astx).unwrap().home;
+    let rec = sup
+        .machine
+        .disks
+        .pack(home.pack)
+        .unwrap()
+        .entry(home.toc)
+        .unwrap()
+        .file_map[0]
+        .unwrap();
+
+    // The full budget of failures: the retry loop absorbs them all and
+    // the attempt after the last retry succeeds.
+    let mut plan = FaultPlan::new();
+    for kth in 1..=BUDGET {
+        plan = plan.transient_read(home.pack, rec, kth);
+    }
+    sup.machine.install_fault_plan(plan);
+    assert_eq!(sup.user_read(pid, segno, 0).unwrap(), Word::new(0o4321));
+
+    // Page it back out and fail one past the budget: typed error. (The
+    // 1974 loop counts *retries after the first attempt*, so it absorbs
+    // BUDGET transient failures and errors on failure BUDGET + 1; the
+    // kernel loop counts attempts and errors on failure BUDGET. The R1
+    // crash matrix sweeps both boundaries; these tests pin each design's
+    // own edge.)
+    sup.flush_segment(astx).unwrap();
+    let mut plan = FaultPlan::new();
+    for kth in 1..=BUDGET + 1 {
+        plan = plan.transient_read(home.pack, rec, kth);
+    }
+    sup.machine.install_fault_plan(plan);
+    let err = sup.user_read(pid, segno, 0).unwrap_err();
+    assert!(
+        matches!(err, LegacyError::Disk(DiskError::TransientRead { .. })),
+        "expected typed transient-read exhaustion, got {err:?}"
+    );
+    // Recovery after the transient clears.
+    assert_eq!(sup.user_read(pid, segno, 0).unwrap(), Word::new(0o4321));
+}
+
+#[test]
+fn kernel_pack_offline_mid_salvage_is_a_typed_error() {
+    // A small table of contents on pack 0 forces later directories to
+    // spill onto pack 1, so the salvage walk crosses pack boundaries.
+    let mut k = Kernel::boot(KernelConfig {
+        toc_slots_per_pack: 12,
+        records_per_pack: 128,
+        root_quota: 256,
+        ..KernelConfig::default()
+    });
+    k.register_account("u", UserId(1), 1, Label::BOTTOM);
+    let pid = k.login_residue("u", 1, Label::BOTTOM).unwrap();
+    let root = k.root_token();
+    let mut victim_pack = None;
+    let mut dir_uids = Vec::new();
+    for i in 0..8 {
+        let d = k
+            .create_entry(
+                pid,
+                root,
+                &format!("d{i}"),
+                Acl::owner(UserId(1)),
+                Label::BOTTOM,
+                true,
+            )
+            .unwrap();
+        let f = k
+            .create_entry(pid, d, "f", Acl::owner(UserId(1)), Label::BOTTOM, false)
+            .unwrap();
+        let segno = k.initiate(pid, f).unwrap();
+        k.write_word(pid, segno, 0, Word::new(7)).unwrap();
+        let uid = k.uid_of_token(d).unwrap();
+        dir_uids.push(uid);
+        let home = k.dirm.home_of(uid).unwrap();
+        if home.pack != PackId(0) {
+            victim_pack = Some(home.pack);
+            break;
+        }
+    }
+    let victim = victim_pack.expect("some directory landed off pack 0");
+    k.sync_to_disk().unwrap();
+    // Push every directory's pages out of core so the walk must read the
+    // platters, then drop the victim pack offline. The walk succeeds on
+    // the online pack's reads and hits the offline one mid-walk.
+    for uid in dir_uids {
+        if let Some(seg) = k.segm.get(uid) {
+            let handle = seg.handle;
+            k.pfm
+                .flush(&mut k.machine, &mut k.drm, &mut k.qcm, handle)
+                .unwrap();
+        }
+    }
+    k.machine.faults.set_offline(victim, true);
+    let err = k.salvage(false).unwrap_err();
+    assert!(
+        matches!(err, KernelError::Disk(DiskError::PackOffline { pack }) if pack == victim),
+        "expected typed pack-offline from the salvage walk, got {err:?}"
+    );
+    // The pack comes back: the salvager completes and finds the file
+    // system it abandoned mid-walk fully consistent.
+    k.machine.faults.set_offline(victim, false);
+    let report = k.salvage(false).unwrap();
+    assert!(report.clean(), "problems: {:?}", report.problems);
+}
+
+#[test]
+fn legacy_pack_offline_surfaces_typed_error_and_recovers() {
+    let mut sup = Supervisor::boot(SupervisorConfig::default());
+    let pid = sup.create_process(LUserId(1), Label::BOTTOM).unwrap();
+    sup.create_segment_in(sup.root(), "g", LAcl::owner(LUserId(1)), Label::BOTTOM)
+        .unwrap();
+    let segno = sup.initiate(pid, "g").unwrap();
+    sup.user_write(pid, segno, 0, Word::new(0o77)).unwrap();
+    let uid = sup.resolve(pid, "g", AccessRight::Read).unwrap().0;
+    let astx = sup.ast.find(uid).unwrap();
+    sup.flush_segment(astx).unwrap();
+    let home = sup.ast.get(astx).unwrap().home;
+    sup.machine.faults.set_offline(home.pack, true);
+    let err = sup.user_read(pid, segno, 0).unwrap_err();
+    assert!(
+        matches!(err, LegacyError::Disk(DiskError::PackOffline { pack }) if pack == home.pack),
+        "expected typed pack-offline, got {err:?}"
+    );
+    sup.machine.faults.set_offline(home.pack, false);
+    assert_eq!(sup.user_read(pid, segno, 0).unwrap(), Word::new(0o77));
+    let report = sup.salvage(false).unwrap();
+    assert!(report.clean(), "problems: {:?}", report.problems);
+}

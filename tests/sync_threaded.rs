@@ -1,0 +1,192 @@
+//! Hammering the threaded Reed–Kanodia substrate with real threads.
+//!
+//! The simulator form of the eventcount protocol is explored exhaustively
+//! by `mx-explore`; these tests drive the library form
+//! (`mx_sync::threaded`) equally hard with genuine OS concurrency:
+//! ticket total-order at scale, no lost wakeup under racing
+//! `advance`/`await_value`, and bounded-timeout liveness.
+
+use multics::sync::threaded::EventcountMutex;
+use multics::sync::{EventCount, Sequencer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A generous bound for waits that must complete: long enough for any
+/// CI machine, short enough that a lost wakeup fails fast instead of
+/// hanging the suite.
+const LIVENESS: Duration = Duration::from_secs(10);
+
+#[test]
+fn tickets_are_a_total_order_at_scale() {
+    let seq = Arc::new(Sequencer::new());
+    let threads = 16;
+    let per_thread = 2_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let seq = Arc::clone(&seq);
+            thread::spawn(move || (0..per_thread).map(|_| seq.ticket()).collect::<Vec<u64>>())
+        })
+        .collect();
+    let batches: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Within each thread the tickets are strictly increasing (a thread
+    // never sees time go backwards)...
+    for batch in &batches {
+        assert!(batch.windows(2).all(|w| w[0] < w[1]));
+    }
+    // ...and globally they are exactly 0..n: no duplicate, no gap.
+    let mut all: Vec<u64> = batches.into_iter().flatten().collect();
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..threads as u64 * per_thread).collect();
+    assert_eq!(all, expect);
+}
+
+#[test]
+fn no_lost_wakeup_under_racing_advance_and_await() {
+    // Waiters pile onto thresholds while producers advance concurrently:
+    // the protocol guarantees every waiter whose threshold is eventually
+    // reached gets out. A single lost wakeup strands a thread and the
+    // bounded await below reports it as a failure, not a hang.
+    let ec = Arc::new(EventCount::new());
+    let producers = 4;
+    let advances_each = 500u64;
+    let total = producers as u64 * advances_each;
+    let waiters = 32;
+
+    let waiter_handles: Vec<_> = (0..waiters)
+        .map(|i| {
+            let ec = Arc::clone(&ec);
+            // Thresholds spread over the whole range, including the
+            // final value (the hardest: only the very last advance may
+            // satisfy it).
+            let threshold = (i as u64 * total) / waiters as u64 + 1;
+            thread::spawn(move || ec.await_value_timeout(threshold, LIVENESS))
+        })
+        .collect();
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|_| {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || {
+                for _ in 0..advances_each {
+                    ec.advance();
+                }
+            })
+        })
+        .collect();
+    for h in producer_handles {
+        h.join().unwrap();
+    }
+    for (i, h) in waiter_handles.into_iter().enumerate() {
+        let got = h.join().unwrap();
+        assert!(
+            got.is_some_and(|v| v >= 1),
+            "waiter {i} timed out: a wakeup was lost"
+        );
+    }
+    assert_eq!(ec.read(), total, "advances are never lost either");
+}
+
+#[test]
+fn await_observes_a_value_at_least_its_threshold() {
+    // Monotonicity end-to-end: whatever a woken waiter reads is >= its
+    // threshold, and a reader can only under-estimate.
+    let ec = Arc::new(EventCount::new());
+    let handles: Vec<_> = (1..=8u64)
+        .map(|threshold| {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || (threshold, ec.await_value(threshold)))
+        })
+        .collect();
+    let producer = {
+        let ec = Arc::clone(&ec);
+        thread::spawn(move || {
+            for _ in 0..8 {
+                ec.advance();
+            }
+        })
+    };
+    producer.join().unwrap();
+    for h in handles {
+        let (threshold, observed) = h.join().unwrap();
+        assert!(observed >= threshold);
+        assert!(observed <= 8);
+    }
+}
+
+#[test]
+fn bounded_timeout_is_live_in_both_directions() {
+    let ec = Arc::new(EventCount::new());
+    // Direction 1: no advance ever arrives — the wait must return None
+    // instead of blocking forever.
+    assert_eq!(ec.await_value_timeout(1, Duration::from_millis(50)), None);
+    // Direction 2: the advance arrives late but within the bound — the
+    // wait must return Some even though it already slept once.
+    let waiter = {
+        let ec = Arc::clone(&ec);
+        thread::spawn(move || ec.await_value_timeout(1, LIVENESS))
+    };
+    thread::sleep(Duration::from_millis(20));
+    ec.advance();
+    assert_eq!(waiter.join().unwrap(), Some(1));
+}
+
+#[test]
+fn eventcount_mutex_is_fair_and_exact_under_contention() {
+    // The Reed–Kanodia mutual-exclusion pattern (ticket + await):
+    // many threads increment; the count is exact and entry follows
+    // strict ticket order.
+    let m = Arc::new(EventcountMutex::new(0u64));
+    let entries = Arc::new(AtomicU64::new(0));
+    let threads = 8;
+    let per_thread = 500u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            let entries = Arc::clone(&entries);
+            thread::spawn(move || {
+                for _ in 0..per_thread {
+                    m.with(|v| {
+                        // Entry order is the ticket order: the shared
+                        // counter ticks once per critical region with no
+                        // tearing possible.
+                        *v += 1;
+                        entries.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = threads as u64 * per_thread;
+    assert_eq!(m.with(|v| *v), total);
+    assert_eq!(entries.load(Ordering::SeqCst), total);
+}
+
+#[test]
+fn producer_needs_no_waiter_identities_at_scale() {
+    // Broadcast is receiver-blind: a swarm of anonymous waiters, one
+    // producer holding no handles to any of them.
+    let ec = Arc::new(EventCount::new());
+    let waiters: Vec<_> = (0..24)
+        .map(|_| {
+            let ec = Arc::clone(&ec);
+            thread::spawn(move || ec.await_value_timeout(30, LIVENESS))
+        })
+        .collect();
+    let producer = {
+        let ec = Arc::clone(&ec);
+        thread::spawn(move || {
+            for _ in 0..30 {
+                ec.advance();
+                std::hint::spin_loop();
+            }
+        })
+    };
+    producer.join().unwrap();
+    for h in waiters {
+        assert_eq!(h.join().unwrap(), Some(30));
+    }
+}
