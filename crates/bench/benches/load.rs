@@ -1,0 +1,18 @@
+//! L1 — wall-clock: the multi-user load harness at two scale points.
+
+use mx_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_load::{run_both, LoadSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l1_load");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("both_designs", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(run_both(&LoadSpec::new(n, 1977))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

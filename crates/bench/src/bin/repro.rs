@@ -24,7 +24,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "r1", "a1", "a2", "a3", "x1",
+    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1",
 ];
 
 fn main() {
@@ -37,6 +37,7 @@ fn main() {
     }
     let mut dot = false;
     let mut stride: u64 = 1;
+    let mut l1_max: usize = 1024;
     let mut trace_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -64,6 +65,16 @@ fn main() {
                     Some(n) if n > 0 => stride = n,
                     _ => {
                         eprintln!("--stride requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--l1-max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => l1_max = n,
+                    _ => {
+                        eprintln!("--l1-max requires a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -327,6 +338,18 @@ fn main() {
             "  every schedule passed meter conservation, record conservation,\n  \
              wakeup exactness, ticket total-order, and old/new user-visible parity;\n  \
              any violation replays from its printed seed/schedule string alone\n"
+        );
+    }
+
+    if want("l1") {
+        header("L1", "Load — multi-user throughput/latency scaling");
+        if l1_max < 1024 {
+            println!("  (sweep capped at {l1_max} users)\n");
+        }
+        println!("{}", mx_bench::l1_load_scaling(l1_max));
+        println!(
+            "  every scale point passed meter conservation, record conservation,\n  \
+             and old/new user-visible parity; with 2 CPUs both retire user work\n"
         );
     }
 

@@ -1,0 +1,172 @@
+//! L1 — multi-user throughput/latency scaling under the load harness.
+//!
+//! Drives the same seeded session population — login storm through the
+//! answering service, dynamic links, name-space resolution, file
+//! create/grow, page-fault-heavy shared reads, logout — through both
+//! designs at N = 1, 4, 16, 64, 256, 1024 concurrent users, multiplexed
+//! across every simulated CPU. Reports throughput (sessions and
+//! operations per million simulated cycles), per-operation latency
+//! percentiles from a deterministic histogram, VP-level queueing delay,
+//! and the per-subsystem meter breakdown. At *every* scale point the
+//! experiment asserts meter conservation, record conservation, and
+//! old/new user-visible parity — it aborts on any violation, so a
+//! printed table is itself the measurement.
+
+use mx_hw::meter::CounterSet;
+use mx_hw::Clock;
+use mx_load::{run_both, LoadRun};
+
+/// The sweep, smallest to largest. `max_sessions` truncates it (the CI
+/// smoke runs with a 64-user cap).
+const SCALE: [usize; 6] = [1, 4, 16, 64, 256, 1024];
+/// One seed for the whole sweep: each point is a prefix-independent
+/// population derived from (seed, session index).
+const SEED: u64 = 1977;
+
+fn row(out: &mut String, n: usize, r: &LoadRun) {
+    let (wait, samples) = r.queue_delay;
+    let qd = if samples == 0 {
+        0.0
+    } else {
+        wait as f64 / samples as f64
+    };
+    out.push_str(&format!(
+        "  {:>5} {:<7} {:>7} {:>9.3} {:>9.1} {:>9.3} {:>6} {:>6} {:>7} {:>7.2} {:>6} {:>5}  {}\n",
+        n,
+        r.design,
+        r.ops,
+        r.cycles as f64 / 1e6,
+        r.ops_per_mcycle(),
+        r.sessions_per_mcycle(),
+        r.hist.percentile(50),
+        r.hist.percentile(95),
+        r.hist.percentile(99),
+        qd,
+        r.queued_peak,
+        r.event_queue_hwm,
+        r.per_cpu_ops
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    ));
+}
+
+/// Runs the L1 sweep up to `max_sessions` users and renders the report.
+///
+/// # Panics
+///
+/// Panics on any oracle violation or user-visible parity break at any
+/// scale point, and — with at least 4 users on a multi-CPU machine —
+/// if any CPU retired zero user operations.
+pub fn l1_load_scaling(max_sessions: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:>5} {:<7} {:>7} {:>9} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7} {:>6} {:>5}  {}\n",
+        "users",
+        "design",
+        "ops",
+        "Mcycles",
+        "ops/Mcy",
+        "sess/Mcy",
+        "p50",
+        "p95",
+        "p99",
+        "qdelay",
+        "queued",
+        "eqhwm",
+        "ops-per-cpu",
+    ));
+
+    let mut last: Option<(usize, LoadRun, LoadRun)> = None;
+    for &n in SCALE.iter().filter(|&&n| n <= max_sessions) {
+        let (k, l) = run_both(&mx_load::LoadSpec::new(n, SEED));
+        let problems = LoadRun::check_pair(&k, &l);
+        assert!(problems.is_empty(), "L1 N={n}: {problems:?}");
+        if n >= 4 {
+            for r in [&k, &l] {
+                assert!(
+                    r.per_cpu_ops.iter().all(|&c| c > 0),
+                    "L1 N={n}: a CPU retired no user work in {}: {:?}",
+                    r.design,
+                    r.per_cpu_ops
+                );
+            }
+        }
+        row(&mut out, n, &k);
+        row(&mut out, n, &l);
+        last = Some((n, k, l));
+    }
+    out.push_str(
+        "  (latencies in simulated cycles; percentiles are power-of-two bucket\n  \
+         bounds; qdelay = mean VP-switch intervals spent runnable-but-queued;\n  \
+         eqhwm = real-memory event-queue high watermark — both kernel-only)\n",
+    );
+
+    let (n, k, l) = last.expect("at least one scale point");
+    out.push_str(&format!(
+        "\n  per-subsystem cycle attribution at N={n}, new kernel:\n{}",
+        k.meter.render_text()
+    ));
+    out.push_str(&format!(
+        "  per-subsystem cycle attribution at N={n}, 1974 supervisor:\n{}",
+        l.meter.render_text()
+    ));
+    out.push_str(&format!(
+        "\n  scale points swept             : {}\n",
+        SCALE.iter().filter(|&&s| s <= max_sessions).count()
+    ));
+    out.push_str(&format!(
+        "  parity labels compared         : {}\n",
+        k.parity.len()
+    ));
+    out.push_str("  oracle violations              : 0\n");
+
+    let mut counters = CounterSet::new();
+    counters.set("max_sessions", n as u64);
+    counters.set("kernel_ops", k.ops);
+    counters.set("kernel_cycles", k.cycles);
+    counters.set("legacy_ops", l.ops);
+    counters.set("legacy_cycles", l.cycles);
+    counters.set(
+        "kernel_cpu0_ops",
+        k.per_cpu_ops.first().copied().unwrap_or(0),
+    );
+    counters.set(
+        "kernel_cpu1_ops",
+        k.per_cpu_ops.get(1).copied().unwrap_or(0),
+    );
+    counters.set(
+        "legacy_cpu0_ops",
+        l.per_cpu_ops.first().copied().unwrap_or(0),
+    );
+    counters.set(
+        "legacy_cpu1_ops",
+        l.per_cpu_ops.get(1).copied().unwrap_or(0),
+    );
+    counters.set("queued_peak", k.queued_peak as u64);
+    crate::trace::publish("l1.load", &Clock::new(), counters);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_runs_clean_at_smoke_scale() {
+        let report = l1_load_scaling(16);
+        assert!(report.contains("oracle violations              : 0"));
+        // Three scale points, two designs each, plus the header.
+        let rows = report
+            .lines()
+            .filter(|l| l.contains(" kernel ") || l.contains(" legacy "))
+            .count();
+        assert_eq!(rows, 6);
+        // Both CPUs appear in every per-cpu column (shape "a/b").
+        assert!(report.lines().any(|l| l.contains(" kernel ")
+            && l.trim_end().ends_with(|c: char| c.is_ascii_digit())
+            && l.contains('/')));
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod l1;
 pub mod r1;
 pub mod trace;
 pub mod workload;
@@ -20,6 +21,7 @@ pub use experiments::{
     p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,
     s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow, SchedulerRow,
 };
+pub use l1::l1_load_scaling;
 pub use r1::r1_crash_recovery;
 pub use workload::{RefString, TreeSpec};
 pub use x1::x1_schedule_exploration;

@@ -956,6 +956,22 @@ impl Kernel {
             .map(|_| ())
     }
 
+    /// The real processor a process's memory references translate
+    /// through. A process bound to the *k*-th user VP runs on CPU
+    /// `k mod cpus`; an unbound process defaults to `pid mod cpus`. A
+    /// lone process always binds the first user VP, so single-session
+    /// workloads never leave CPU 0 — but a loaded system spreads its
+    /// processes across every configured processor.
+    pub fn cpu_for(&self, pid: ProcessId) -> ProcessorId {
+        let n = self.machine.cpu_count() as u32;
+        if let Some(vp) = self.upm.vp_of(pid) {
+            if let Some(ix) = self.vpm.user_vps().iter().position(|v| *v == vp) {
+                return ProcessorId(ix as u32 % n);
+            }
+        }
+        ProcessorId(pid.0 % n)
+    }
+
     fn user_access(
         &mut self,
         pid: ProcessId,
@@ -965,19 +981,23 @@ impl Kernel {
         value: Word,
     ) -> Result<Option<Word>, KernelError> {
         let frame = self.upm.dseg_frame(pid)?;
-        self.machine.cpus[0].dbr_user = Some(DescBase {
+        let cpu = self.cpu_for(pid);
+        self.machine.cpus[cpu.0 as usize].dbr_user = Some(DescBase {
             base: frame.base(),
             len: MAX_SEGNO,
         });
         let va = VirtAddr::new(segno, wordno);
         for _ in 0..12 {
             let attempt = if write {
-                self.machine.write(ProcessorId(0), va, value).map(|()| None)
+                self.machine.write(cpu, va, value).map(|()| None)
             } else {
-                self.machine.read(ProcessorId(0), va).map(Some)
+                self.machine.read(cpu, va).map(Some)
             };
             match attempt {
-                Ok(w) => return Ok(w),
+                Ok(w) => {
+                    self.machine.cpus[cpu.0 as usize].retire_op();
+                    return Ok(w);
+                }
                 Err(fault) => match self.dispatch_fault(pid, fault) {
                     Ok(()) => {}
                     Err(KernelError::Upward(sig)) => self.consume_signal(sig)?,
@@ -1025,7 +1045,11 @@ impl Kernel {
                 // simulation, so the wait never blocks — but the cheap
                 // VP switch is charged).
                 k.stats.locked_waits += 1;
-                let woken = k.machine.cpus[0].take_wakeup_waiting();
+                // The switch consulted is the *faulting process's own*
+                // processor — a wakeup posted for another CPU's process
+                // must never be consumed here.
+                let cpu = k.cpu_for(pid);
+                let woken = k.machine.cpus[cpu.0 as usize].take_wakeup_waiting();
                 if !woken {
                     k.machine.clock.charge(VP_SWITCH_CYCLES);
                 }
@@ -1298,10 +1322,12 @@ impl Kernel {
     ) -> Result<ProgramRun, KernelError> {
         use mx_hw::interp::{step, Registers, StepOutcome};
         let frame = self.upm.dseg_frame(pid)?;
-        self.machine.cpus[0].dbr_user = Some(DescBase {
+        let cpu = self.cpu_for(pid);
+        self.machine.cpus[cpu.0 as usize].dbr_user = Some(DescBase {
             base: frame.base(),
             len: MAX_SEGNO,
         });
+        self.machine.cpus[cpu.0 as usize].retire_op();
         let mut regs = Registers::at(VirtAddr::new(segno, start));
         let mut steps = 0;
         while steps < max_steps {
@@ -1310,7 +1336,7 @@ impl Kernel {
                 let Machine {
                     mem, clock, cpus, ..
                 } = &mut self.machine;
-                step(&mut cpus[0], mem, clock, &cost, &mut regs)
+                step(&mut cpus[cpu.0 as usize], mem, clock, &cost, &mut regs)
             };
             match r {
                 Ok(StepOutcome::Ran) => steps += 1,
@@ -1548,6 +1574,70 @@ mod tests {
         }
         assert!(seen.contains(&a) && seen.contains(&b));
         assert!(k.vpm.switches >= 6, "every pass made a cheap VP switch");
+    }
+
+    #[test]
+    fn processes_spread_across_both_real_processors() {
+        let mut k = boot_small();
+        let a = login(&mut k, "a", UserId(1));
+        let b = login(&mut k, "b", UserId(2));
+        // Before any dispatch, the home defaults to pid order.
+        assert_eq!(k.cpu_for(a), ProcessorId(0));
+        // Bind both: a takes the first user VP (CPU 0), b the second
+        // (CPU 1 of the two-processor machine).
+        k.schedule();
+        k.schedule();
+        assert_eq!(k.cpu_for(a), ProcessorId(0));
+        assert_eq!(k.cpu_for(b), ProcessorId(1));
+        // Memory references land on each process's own processor.
+        let root = k.root_token();
+        for (pid, user, name) in [(a, UserId(1), "fa"), (b, UserId(2), "fb")] {
+            let tok = k
+                .create_entry(pid, root, name, Acl::owner(user), Label::BOTTOM, false)
+                .unwrap();
+            let segno = k.initiate(pid, tok).unwrap();
+            k.write_word(pid, segno, 0, Word::new(7)).unwrap();
+        }
+        let ops = k.machine.ops_retired();
+        assert!(
+            ops[0] > 0 && ops[1] > 0,
+            "both processors retire user work: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_for_cpu1_is_never_consumed_by_cpu0() {
+        let mut k = boot_small();
+        let a = login(&mut k, "a", UserId(1));
+        let b = login(&mut k, "b", UserId(2));
+        k.schedule();
+        k.schedule();
+        assert_eq!(k.cpu_for(b), ProcessorId(1), "b is homed on CPU 1");
+        // A notification for b arrives between its locked-descriptor
+        // exception and the wait primitive: post it on b's processor.
+        assert!(k.machine.post_wakeup(k.cpu_for(b)));
+        let fault = Fault::LockedDescriptor {
+            va: VirtAddr::new(1, 0),
+            descriptor: mx_hw::AbsAddr(0),
+        };
+        // a (CPU 0) hits its own locked descriptor: it must charge the
+        // VP switch and leave b's wakeup alone.
+        let before = k.machine.clock.now();
+        k.dispatch_fault(a, fault).unwrap();
+        assert_eq!(
+            k.machine.clock.now() - before,
+            VP_SWITCH_CYCLES,
+            "a was not woken by b's notification"
+        );
+        assert!(
+            k.machine.cpus[1].wakeup_waiting,
+            "the wakeup destined for CPU 1 survived CPU 0's wait"
+        );
+        // b's own wait consumes it without blocking (no switch charge).
+        let before = k.machine.clock.now();
+        k.dispatch_fault(b, fault).unwrap();
+        assert_eq!(k.machine.clock.now(), before, "wakeup-waiting: no block");
+        assert!(!k.machine.cpus[1].wakeup_waiting, "consumed exactly once");
     }
 
     #[test]

@@ -231,6 +231,16 @@ impl UserProcessManager {
         self.procs.iter().filter(|p| p.is_some()).count()
     }
 
+    /// The user VP a process is currently bound to, if any — the handle
+    /// the kernel uses to home a process's memory references on a real
+    /// processor.
+    pub fn vp_of(&self, pid: ProcessId) -> Option<VpId> {
+        self.bound
+            .iter()
+            .find(|(_, p)| **p == pid)
+            .map(|(vp, _)| *vp)
+    }
+
     fn get(&self, pid: ProcessId) -> Result<&UserProc, KernelError> {
         self.procs
             .get(pid.0 as usize)
@@ -272,6 +282,12 @@ impl UserProcessManager {
     /// Events dropped because the fixed queue was full.
     pub fn dropped_events(&self) -> u64 {
         self.queue.rejected()
+    }
+
+    /// Deepest the real-memory event queue ever got — how close the
+    /// inter-level buffer came to filling under load.
+    pub fn queue_high_watermark(&self) -> usize {
+        self.queue.high_watermark()
     }
 
     // ---- the level-2 scheduler ---------------------------------------------

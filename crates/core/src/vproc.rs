@@ -70,6 +70,14 @@ pub struct VirtualProcessorManager {
     policy: Box<dyn SchedulePolicy>,
     /// VP switches performed (experiment counter).
     pub switches: u64,
+    /// When each VP joined the run queue, stamped in VP switches — the
+    /// queueing-delay probe (accounting only; never charged).
+    enqueue_stamp: Vec<u64>,
+    /// Total run-queue wait accumulated at dispatch, in VP-switch
+    /// intervals.
+    queue_wait_switches: u64,
+    /// Dispatches the wait total averages over.
+    queue_waits: u64,
 }
 
 impl VirtualProcessorManager {
@@ -97,6 +105,9 @@ impl VirtualProcessorManager {
             running: None,
             policy: Box::new(FifoPolicy),
             switches: 0,
+            enqueue_stamp: vec![0; count as usize],
+            queue_wait_switches: 0,
+            queue_waits: 0,
         })
     }
 
@@ -195,6 +206,7 @@ impl VirtualProcessorManager {
     fn make_runnable(&mut self, vp: VpId) {
         if self.vps[vp.0 as usize].state == VpState::Waiting {
             self.vps[vp.0 as usize].state = VpState::Ready;
+            self.enqueue_stamp[vp.0 as usize] = self.switches;
             self.run_queue.push_back(vp);
         }
     }
@@ -229,6 +241,7 @@ impl VirtualProcessorManager {
     ) -> Option<VpId> {
         if let Some(prev) = self.running.take() {
             if self.vps[prev.0 as usize].state == VpState::Ready {
+                self.enqueue_stamp[prev.0 as usize] = self.switches;
                 self.run_queue.push_back(prev);
             }
         }
@@ -242,6 +255,8 @@ impl VirtualProcessorManager {
         } else {
             self.run_queue.pop_front()?
         };
+        self.queue_wait_switches += self.switches - self.enqueue_stamp[next.0 as usize];
+        self.queue_waits += 1;
         // Exchange the state words in the core segment: always resident.
         let base = u64::from(next.0) * VP_STATE_WORDS;
         let tick = csm.read(mem, self.state_seg, base).raw();
@@ -295,6 +310,14 @@ impl VirtualProcessorManager {
     /// duplicate-dispatch oracle. At most 1 for a correct manager.
     pub fn queued_count(&self, vp: VpId) -> usize {
         self.run_queue.iter().filter(|v| **v == vp).count()
+    }
+
+    /// Run-queue wait accumulated at dispatch: total VP-switch intervals
+    /// VPs spent runnable-but-queued, and the dispatches that total
+    /// averages over. Accounting only — nothing here is charged to the
+    /// clock.
+    pub fn queue_delay(&self) -> (u64, u64) {
+        (self.queue_wait_switches, self.queue_waits)
     }
 }
 
@@ -365,6 +388,32 @@ mod tests {
             "only the cheap switch charge"
         );
         assert_eq!(vpm.switches, 6);
+    }
+
+    #[test]
+    fn queue_delay_accumulates_only_while_queued() {
+        let (csm, mut mem, mut clk, mut vpm) = setup(2);
+        // Initial population was stamped at switch 0. First dispatch
+        // happens at switch 0 too: zero wait. The second VP has then
+        // waited one switch interval.
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        let (wait, samples) = vpm.queue_delay();
+        assert_eq!(samples, 2);
+        assert_eq!(wait, 1, "VP 1 sat out exactly one switch");
+        // A lone runnable VP re-dispatched back-to-back never waits.
+        let ec = vpm.create_eventcount();
+        vpm.await_value(VpId(0), ec, 1);
+        let before = vpm.queue_delay().0;
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        assert_eq!(
+            vpm.queue_delay().0,
+            before,
+            "sole runnable VP accrues no queueing delay"
+        );
+        // Accounting only: the clock still sees nothing but switches.
+        assert_eq!(clk.now(), 4 * VP_SWITCH_CYCLES);
     }
 
     #[test]

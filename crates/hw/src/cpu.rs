@@ -282,6 +282,9 @@ pub struct Processor {
     /// The SDW/PTW associative memory (consulted only when
     /// `features.associative_memory` is on).
     pub tlb: Tlb,
+    /// User operations this processor retired (load-harness counter:
+    /// user-level reads, writes and program runs served on this CPU).
+    pub ops_retired: u64,
 }
 
 impl Processor {
@@ -296,6 +299,7 @@ impl Processor {
             wakeup_waiting: false,
             locked_descriptor_reg: None,
             tlb: Tlb::new(),
+            ops_retired: 0,
         }
     }
 
@@ -506,6 +510,11 @@ impl Processor {
     /// should not block.
     pub fn take_wakeup_waiting(&mut self) -> bool {
         std::mem::take(&mut self.wakeup_waiting)
+    }
+
+    /// Counts one completed user operation against this processor.
+    pub fn retire_op(&mut self) {
+        self.ops_retired += 1;
     }
 }
 

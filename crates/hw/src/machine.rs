@@ -312,6 +312,26 @@ impl Machine {
     pub fn cpu_count(&self) -> usize {
         self.cpus.len()
     }
+
+    /// Posts a wakeup to `cpu`'s wakeup-waiting switch: a notification
+    /// arriving between a locked-descriptor exception and the wait
+    /// primitive must land on the *faulting processor*, not processor 0.
+    /// Returns false if `cpu` names no real processor.
+    pub fn post_wakeup(&mut self, cpu: ProcessorId) -> bool {
+        match self.cpus.get_mut(cpu.0 as usize) {
+            Some(p) => {
+                p.wakeup_waiting = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-processor retired user-operation tallies, indexed by
+    /// [`ProcessorId`].
+    pub fn ops_retired(&self) -> Vec<u64> {
+        self.cpus.iter().map(|c| c.ops_retired).collect()
+    }
 }
 
 #[cfg(test)]

@@ -160,6 +160,72 @@ mod tests {
     }
 
     #[test]
+    fn login_storm_beyond_slots_is_a_typed_refusal_never_a_panic() {
+        let mut sup = Supervisor::boot(crate::supervisor::SupervisorConfig {
+            max_processes: 3,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            sup.register_user(&format!("u{i}"), UserId(10 + i), "pw", Label::BOTTOM);
+        }
+        let mut live = Vec::new();
+        let mut refused = 0;
+        for i in 0..5 {
+            match sup.login(&format!("u{i}"), "pw", Label::BOTTOM) {
+                Ok(pid) => live.push(pid),
+                Err(LegacyError::NoSuchProcess) => refused += 1,
+                Err(e) => panic!("unexpected refusal {e:?}"),
+            }
+        }
+        assert_eq!(live.len(), 3, "every slot filled");
+        assert_eq!(refused, 2, "the old design refuses the overflow");
+        // A freed slot serves the next attempt: the caller's retry loop
+        // is the old design's only admission policy.
+        sup.logout("u0", live[0]).unwrap();
+        assert!(sup.login("u3", "pw", Label::BOTTOM).is_ok());
+    }
+
+    #[test]
+    fn double_logout_is_a_typed_error() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("once", UserId(6), "pw", Label::BOTTOM);
+        let pid = sup.login("once", "pw", Label::BOTTOM).unwrap();
+        sup.logout("once", pid).unwrap();
+        assert_eq!(
+            sup.logout("once", pid).unwrap_err(),
+            LegacyError::NoSuchProcess
+        );
+        assert_eq!(sup.users.get("once").unwrap().sessions, 1, "billed once");
+    }
+
+    #[test]
+    fn logout_of_never_logged_in_user_is_a_typed_error() {
+        let mut sup = Supervisor::boot_default();
+        sup.register_user("ghost", UserId(7), "pw", Label::BOTTOM);
+        assert_eq!(
+            sup.logout("ghost", ProcessId(2)).unwrap_err(),
+            LegacyError::NoSuchProcess
+        );
+    }
+
+    #[test]
+    fn abandoned_session_slot_is_reused_after_reap() {
+        let mut sup = Supervisor::boot(crate::supervisor::SupervisorConfig {
+            max_processes: 2,
+            ..Default::default()
+        });
+        sup.register_user("a", UserId(1), "pw", Label::BOTTOM);
+        sup.register_user("b", UserId(2), "pw", Label::BOTTOM);
+        sup.register_user("c", UserId(3), "pw", Label::BOTTOM);
+        let _a = sup.login("a", "pw", Label::BOTTOM).unwrap();
+        let b = sup.login("b", "pw", Label::BOTTOM).unwrap();
+        // b abandons the terminal; the operator reaps the session.
+        sup.logout("b", b).unwrap();
+        let c = sup.login("c", "pw", Label::BOTTOM).unwrap();
+        assert_eq!(c, b, "the abandoned slot is recycled");
+    }
+
+    #[test]
     fn login_at_or_below_clearance_allowed() {
         let mut sup = Supervisor::boot_default();
         sup.register_user("high", UserId(4), "pw", secret());

@@ -185,7 +185,8 @@ impl Supervisor {
         max_steps: u64,
     ) -> Result<(u64, mx_hw::interp::Registers), LegacyError> {
         use mx_hw::interp::{step, Registers, StepOutcome};
-        self.load_dbr(pid)?;
+        let cpu = self.load_dbr(pid)?;
+        self.machine.cpus[cpu.0 as usize].retire_op();
         let mut regs = Registers::at(mx_hw::VirtAddr::new(segno, start));
         let mut steps = 0;
         while steps < max_steps {
@@ -194,7 +195,7 @@ impl Supervisor {
                 let mx_hw::Machine {
                     mem, clock, cpus, ..
                 } = &mut self.machine;
-                step(&mut cpus[0], mem, clock, &cost, &mut regs)
+                step(&mut cpus[cpu.0 as usize], mem, clock, &cost, &mut regs)
             };
             match r {
                 Ok(StepOutcome::Ran) => steps += 1,

@@ -437,14 +437,23 @@ impl Supervisor {
 
     // ----- user access path ---------------------------------------------
 
-    /// Points processor 0 at a process's address space.
-    pub(crate) fn load_dbr(&mut self, pid: ProcessId) -> Result<(), LegacyError> {
+    /// The real processor serving a process (the old supervisor has no
+    /// VP layer, so the home is a simple `pid mod cpus`; a single-user
+    /// workload stays on processor 0 exactly as before).
+    pub(crate) fn cpu_for(&self, pid: ProcessId) -> mx_hw::ProcessorId {
+        mx_hw::ProcessorId(pid.0 % self.machine.cpu_count() as u32)
+    }
+
+    /// Points the process's serving processor at its address space and
+    /// returns that processor's id.
+    pub(crate) fn load_dbr(&mut self, pid: ProcessId) -> Result<mx_hw::ProcessorId, LegacyError> {
         let frame = self.process(pid)?.dseg_frame;
-        self.machine.cpus[0].dbr_user = Some(DescBase {
+        let cpu = self.cpu_for(pid);
+        self.machine.cpus[cpu.0 as usize].dbr_user = Some(DescBase {
             base: frame.base(),
             len: MAX_SEGNO,
         });
-        Ok(())
+        Ok(cpu)
     }
 
     /// Reads one word as a process, servicing faults like the real
@@ -490,7 +499,7 @@ impl Supervisor {
         mode: AccessMode,
         value: Option<Word>,
     ) -> Result<Option<Word>, LegacyError> {
-        self.load_dbr(pid)?;
+        let cpu = self.load_dbr(pid)?;
         let va = VirtAddr::new(segno, wordno);
         // A real reference retries after each serviced fault; bound the
         // retries so a supervisor bug cannot hang the simulation.
@@ -498,12 +507,15 @@ impl Supervisor {
             let attempt = match mode {
                 AccessMode::Write => self
                     .machine
-                    .write(mx_hw::ProcessorId(0), va, value.expect("write value"))
+                    .write(cpu, va, value.expect("write value"))
                     .map(|()| None),
-                _ => self.machine.read(mx_hw::ProcessorId(0), va).map(Some),
+                _ => self.machine.read(cpu, va).map(Some),
             };
             match attempt {
-                Ok(w) => return Ok(w),
+                Ok(w) => {
+                    self.machine.cpus[cpu.0 as usize].retire_op();
+                    return Ok(w);
+                }
                 Err(fault) => self.handle_fault(pid, fault)?,
             }
         }

@@ -1,0 +1,99 @@
+//! A deterministic power-of-two latency histogram.
+//!
+//! Per-operation latencies are simulated-cycle deltas, so exact values
+//! are already deterministic; the histogram exists to report stable
+//! percentiles without storing every sample. Bucket `b` holds deltas
+//! whose bit length is `b` (bucket 0 holds only 0), so a reported
+//! percentile is the inclusive upper bound `2^b - 1` of the bucket the
+//! requested rank lands in.
+
+/// Fixed-bucket histogram of cycle deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    samples: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            samples: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, delta: u64) {
+        let bucket = (u64::BITS - delta.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)] += 1;
+        self.samples += 1;
+    }
+
+    /// Samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The inclusive upper bound of the bucket holding the `pct`-th
+    /// percentile sample (`pct` in 1..=100). Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        // Rank of the requested sample, 1-based, rounding up.
+        let rank = (self.samples * pct).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (b, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_length_ranges() {
+        let mut h = Histogram::new();
+        for d in [0, 1, 2, 3, 4, 7, 8] {
+            h.record(d);
+        }
+        assert_eq!(h.samples(), 7);
+        // 0 | 1 | 2,3 | 4..7 | 8..15
+        assert_eq!(h.percentile(1), 0);
+        assert_eq!(h.percentile(100), 15);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_counts() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, bound 15
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, bound 1023
+        }
+        assert_eq!(h.percentile(50), 15);
+        assert_eq!(h.percentile(90), 15);
+        assert_eq!(h.percentile(95), 1023);
+        assert_eq!(h.percentile(99), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(Histogram::new().percentile(99), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! mx-load: a deterministic multi-user load harness.
+//!
+//! The paper's kernel argument is structural, but its credibility is
+//! empirical: the restructured system must carry a realistic multi-user
+//! load — login storms, dynamic linking, name-space traffic, file
+//! growth into quota and pack limits, page-fault-heavy sharing — and
+//! produce the same user-visible outcomes as the 1974 supervisor while
+//! the meters account for every cycle. This crate scripts that load as
+//! a pure function of a seed ([`script`]), drives the identical logical
+//! stream through both designs ([`run`]), and reports throughput and
+//! latency percentiles from a deterministic histogram ([`hist`]).
+//!
+//! Everything here is seed-pure: same spec, same bytes, every run.
+
+pub mod hist;
+pub mod run;
+pub mod script;
+
+pub use hist::Histogram;
+pub use run::{run_both, run_kernel_load, run_legacy_load, LoadRun, LoadSpec};
+pub use script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};

@@ -1,0 +1,999 @@
+//! The load engine: one session stream, two designs, one report shape.
+//!
+//! The engine owns every scheduling-free decision — which session acts
+//! next (round robin over the live set), when the scripted scheduler
+//! pass happens (every fourth operation), when a finished session's
+//! slot is re-offered to the admission queue — and delegates the
+//! design-specific work to a [`Driver`]. Both drivers therefore execute
+//! the byte-identical logical stream, which is what makes the
+//! user-visible parity assertion meaningful.
+
+use crate::hist::Histogram;
+use crate::script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};
+use mx_aim::Label;
+use mx_explore::oracle;
+use mx_hw::meter::MeterSnapshot;
+use mx_hw::{Word, PAGE_WORDS};
+use mx_kernel::{Acl, Kernel, KernelConfig, KernelError, ObjToken, ProcessId, UserId};
+use mx_legacy::{
+    AccessRight, Acl as LAcl, LegacyError, ProcessId as LProcessId, Supervisor, SupervisorConfig,
+    UserId as LUserId,
+};
+use mx_sync::SchedulePolicy;
+use mx_user::{publish_library, Admission, AnsweringService, NameSpace, UserLinker};
+
+/// What to run: how many sessions, from which seed, on what storage.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Concurrent users scripted (admission caps how many are live).
+    pub sessions: usize,
+    /// Seed every script expands from.
+    pub seed: u64,
+    /// Small packs and tight quotas, so grows hit past-quota and
+    /// full-pack outcomes; the default sizes storage to the population
+    /// and measures scheduling and paging instead.
+    pub tight_storage: bool,
+}
+
+impl LoadSpec {
+    /// An ample-storage spec (the L1 scaling sweep shape).
+    pub fn new(sessions: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            seed,
+            tight_storage: false,
+        }
+    }
+
+    /// A tight-storage spec (the differential-fuzz shape).
+    pub fn tight(sessions: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            seed,
+            tight_storage: true,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        if self.tight_storage {
+            2
+        } else {
+            8
+        }
+    }
+
+    fn shard_quota(&self) -> u32 {
+        if self.tight_storage {
+            3
+        } else {
+            // Roomy enough that abandoned sessions' surviving files never
+            // starve a shard across the whole population.
+            (self.sessions as u32).max(10)
+        }
+    }
+
+    fn kernel_config(&self) -> KernelConfig {
+        if self.tight_storage {
+            KernelConfig {
+                frames: 96,
+                packs: 2,
+                records_per_pack: 12,
+                toc_slots_per_pack: 24,
+                max_processes: 4,
+                root_quota: 96,
+                ..KernelConfig::default()
+            }
+        } else {
+            let n = self.sessions as u32;
+            KernelConfig {
+                records_per_pack: (3 * n).max(1024),
+                toc_slots_per_pack: (2 * n).max(256),
+                root_quota: (2 * n + 256).max(1500),
+                ..KernelConfig::default()
+            }
+        }
+    }
+
+    fn supervisor_config(&self) -> SupervisorConfig {
+        if self.tight_storage {
+            SupervisorConfig {
+                frames: 96,
+                packs: 2,
+                records_per_pack: 12,
+                toc_slots_per_pack: 24,
+                ast_slots: 64,
+                max_processes: 4,
+                root_quota_pages: 96,
+            }
+        } else {
+            let n = self.sessions as u32;
+            SupervisorConfig {
+                records_per_pack: (3 * n).max(1024),
+                toc_slots_per_pack: (2 * n).max(256),
+                root_quota_pages: (2 * n + 256).max(1500),
+                ..SupervisorConfig::default()
+            }
+        }
+    }
+}
+
+/// Everything one design's run of a [`LoadSpec`] produced.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// `"kernel"` or `"legacy"`.
+    pub design: &'static str,
+    /// Simulated cycles spent in the load phase (setup excluded).
+    pub cycles: u64,
+    /// Cycles the shared setup (world build, registration) took.
+    pub setup_cycles: u64,
+    /// Operations completed (the histogram's sample population).
+    pub ops: u64,
+    /// Sessions driven to completion (always the full population —
+    /// queued logins are admitted as slots free up, never dropped).
+    pub sessions: usize,
+    /// Sessions that were abandoned and reaped rather than logged out.
+    pub abandoned: usize,
+    /// Deepest the admission queue got during the login storm.
+    pub queued_peak: usize,
+    /// The user-visible outcome labels, in execution order. Identical
+    /// across designs for the same spec, or the harness has found a bug.
+    pub parity: Vec<String>,
+    /// Per-operation service-time histogram (cycles).
+    pub hist: Histogram,
+    /// User operations retired per real processor during the load phase.
+    pub per_cpu_ops: Vec<u64>,
+    /// Kernel only: total VP-switch intervals spent runnable-but-queued,
+    /// and the dispatches that averages over. `(0, 0)` for legacy.
+    pub queue_delay: (u64, u64),
+    /// Kernel only: peak depth of the real-memory event queue.
+    pub event_queue_hwm: usize,
+    /// Per-subsystem cycle attribution over the load phase.
+    pub meter: MeterSnapshot,
+    /// Oracle battery results (meter conservation, per-pack record
+    /// conservation, wakeup exactness, TLB closure). Empty = clean.
+    pub violations: Vec<String>,
+}
+
+impl LoadRun {
+    /// Operations retired per million simulated cycles.
+    pub fn ops_per_mcycle(&self) -> f64 {
+        self.ops as f64 * 1e6 / self.cycles.max(1) as f64
+    }
+
+    /// Sessions completed per million simulated cycles.
+    pub fn sessions_per_mcycle(&self) -> f64 {
+        self.sessions as f64 * 1e6 / self.cycles.max(1) as f64
+    }
+
+    /// The cross-design check: both runs' oracle batteries plus
+    /// position-by-position user-visible parity. Empty = the designs
+    /// agree and both conserved everything.
+    pub fn check_pair(kernel: &LoadRun, legacy: &LoadRun) -> Vec<String> {
+        let mut out = Vec::new();
+        out.extend(kernel.violations.iter().map(|v| format!("kernel: {v}")));
+        out.extend(legacy.violations.iter().map(|v| format!("legacy: {v}")));
+        if kernel.parity.len() != legacy.parity.len() {
+            out.push(format!(
+                "parity: kernel emitted {} labels, legacy {}",
+                kernel.parity.len(),
+                legacy.parity.len()
+            ));
+        }
+        for (i, (k, l)) in kernel.parity.iter().zip(legacy.parity.iter()).enumerate() {
+            if k != l {
+                out.push(format!(
+                    "parity: label {i} differs — kernel '{k}', legacy '{l}'"
+                ));
+                break;
+            }
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------- the engine --
+
+/// A script op made concrete by the engine (page picks reduced against
+/// the session's actual growth; paths left symbolic for the driver).
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Link(usize),
+    Resolve(ResolveTarget),
+    Grow { page: u32, val: u64 },
+    ReadOwn { page: u32 },
+    ReadShared { page: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ResolveTarget {
+    Lib,
+    Shared,
+    Shard(usize),
+}
+
+/// The design-specific half of the harness.
+trait Driver {
+    fn now(&self) -> u64;
+    fn queued(&self) -> usize;
+    /// Login attempt for session `idx`: true = admitted, false = parked
+    /// in the admission queue (slot exhaustion is never an error).
+    fn request(&mut self, idx: usize) -> bool;
+    /// Admits parked logins while slots last; returns their indices.
+    fn admit(&mut self) -> Vec<usize>;
+    fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String;
+    /// Ends the session: deletes its file (unless abandoned) and logs
+    /// out (reaps, for abandoned sessions). Returns the parity label.
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String;
+    fn schedule(&mut self);
+    /// The periodic housekeeping sweep (both designs: deactivate every
+    /// active segment, flushing dirty pages and quota cells). Neither
+    /// activation table reclaims on demand — the old AST surfaces
+    /// `AstFull`, the new page-table pool `TableFull` — so a long-lived
+    /// system runs this sweep the way real installations ran theirs.
+    fn housekeep(&mut self);
+}
+
+struct Live {
+    idx: usize,
+    op_ix: usize,
+    grown: u32,
+}
+
+struct EngineOut {
+    parity: Vec<String>,
+    hist: Histogram,
+    ops: u64,
+    queued_peak: usize,
+    abandoned: usize,
+}
+
+fn drive<D: Driver>(d: &mut D, scripts: &[SessionScript]) -> EngineOut {
+    let mut parity = Vec::new();
+    let mut hist = Histogram::new();
+    let mut ops = 0u64;
+    let mut queued_peak = 0usize;
+    let mut abandoned = 0usize;
+    let mut finished = 0usize;
+    let mut live: Vec<Live> = Vec::new();
+
+    // The login storm: every user arrives before anyone acts.
+    for idx in 0..scripts.len() {
+        if d.request(idx) {
+            live.push(Live {
+                idx,
+                op_ix: 0,
+                grown: 0,
+            });
+        }
+        queued_peak = queued_peak.max(d.queued());
+    }
+
+    while !live.is_empty() {
+        let mut i = 0;
+        while i < live.len() {
+            let (idx, op_ix, grown) = {
+                let s = &live[i];
+                (s.idx, s.op_ix, s.grown)
+            };
+            let script = &scripts[idx];
+            if op_ix < script.ops.len() {
+                let action = match script.ops[op_ix] {
+                    SessionOp::Link(s) => Some(Action::Link(s)),
+                    SessionOp::Resolve(t) => Some(Action::Resolve(match t {
+                        0 => ResolveTarget::Lib,
+                        1 => ResolveTarget::Shared,
+                        _ => ResolveTarget::Shard(script.shard),
+                    })),
+                    SessionOp::Grow(val) => Some(Action::Grow { page: grown, val }),
+                    SessionOp::ReadBack(r) if grown > 0 => {
+                        Some(Action::ReadOwn { page: r % grown })
+                    }
+                    SessionOp::ReadBack(_) => None, // nothing grown yet: skip
+                    SessionOp::ReadShared(p) => Some(Action::ReadShared { page: p }),
+                };
+                if let Some(action) = action {
+                    let before = d.now();
+                    let label = d.exec(idx, script.shard, &action);
+                    hist.record(d.now() - before);
+                    if matches!(action, Action::Grow { .. }) && label == "w:ok" {
+                        live[i].grown += 1;
+                    }
+                    parity.push(label);
+                    ops += 1;
+                    if ops.is_multiple_of(4) {
+                        d.schedule();
+                    }
+                }
+                live[i].op_ix += 1;
+                i += 1;
+            } else {
+                let before = d.now();
+                let label = d.finish(idx, script.shard, script.abandon);
+                hist.record(d.now() - before);
+                parity.push(label);
+                ops += 1;
+                if script.abandon {
+                    abandoned += 1;
+                }
+                live.remove(i);
+                finished += 1;
+                if finished.is_multiple_of(12) {
+                    d.housekeep();
+                }
+                // The freed slot goes to the head of the admission queue.
+                for idx in d.admit() {
+                    live.push(Live {
+                        idx,
+                        op_ix: 0,
+                        grown: 0,
+                    });
+                }
+            }
+        }
+    }
+    EngineOut {
+        parity,
+        hist,
+        ops,
+        queued_peak,
+        abandoned,
+    }
+}
+
+// ----------------------------------------------------- shared fixtures --
+
+fn account_name(idx: usize) -> String {
+    format!("u{idx}")
+}
+
+fn account_index(name: &str) -> usize {
+    name.strip_prefix('u')
+        .and_then(|s| s.parse().ok())
+        .expect("load account names are u<idx>")
+}
+
+fn symbol(i: usize) -> String {
+    format!("sym{i:02}")
+}
+
+fn definitions() -> Vec<(String, u32)> {
+    (0..LIB_SYMBOLS)
+        .map(|i| (symbol(i), 64 + 8 * i as u32))
+        .collect()
+}
+
+fn shared_word(page: u32) -> u64 {
+    0x5EED + u64::from(page)
+}
+
+fn file_name(idx: usize) -> String {
+    format!("f{idx}")
+}
+
+// ------------------------------------------------------- kernel driver --
+
+fn klabel(e: &KernelError) -> &'static str {
+    match e {
+        KernelError::QuotaExceeded { .. } => "quota",
+        KernelError::AllPacksFull => "full",
+        _ => "err",
+    }
+}
+
+struct KSession {
+    pid: ProcessId,
+    ns: NameSpace,
+    linker: UserLinker,
+    own: Option<(u32, ObjToken)>,
+    shared_segno: Option<u32>,
+}
+
+struct KernelDriver {
+    k: Kernel,
+    svc: AnsweringService,
+    sessions: Vec<Option<KSession>>,
+    shard_toks: Vec<ObjToken>,
+}
+
+impl KernelDriver {
+    fn open(&mut self, idx: usize, pid: ProcessId) {
+        let ns = NameSpace::new(&mut self.k, pid);
+        self.sessions[idx] = Some(KSession {
+            pid,
+            ns,
+            linker: UserLinker::new(pid),
+            own: None,
+            shared_segno: None,
+        });
+    }
+}
+
+impl Driver for KernelDriver {
+    fn now(&self) -> u64 {
+        self.k.machine.clock.now()
+    }
+
+    fn queued(&self) -> usize {
+        self.svc.queued_logins()
+    }
+
+    fn request(&mut self, idx: usize) -> bool {
+        match self
+            .svc
+            .login_or_queue(&mut self.k, &account_name(idx), "pw", Label::BOTTOM)
+            .expect("load accounts always authenticate")
+        {
+            Admission::Admitted(pid) => {
+                self.open(idx, pid);
+                true
+            }
+            Admission::Queued(_) => false,
+        }
+    }
+
+    fn admit(&mut self) -> Vec<usize> {
+        let admitted = self.svc.admit_waiting(&mut self.k);
+        admitted
+            .into_iter()
+            .map(|(name, pid)| {
+                let idx = account_index(&name);
+                self.open(idx, pid);
+                idx
+            })
+            .collect()
+    }
+
+    fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let shard_tok = self.shard_toks[shard];
+        let s = self.sessions[idx].as_mut().expect("live session");
+        let k = &mut self.k;
+        match *action {
+            Action::Link(sym) => match s.linker.link(k, &mut s.ns, ">lib", &symbol(sym)) {
+                Ok(l) => format!("l:{}", l.offset),
+                Err(e) => format!("l:{}", klabel(&e)),
+            },
+            Action::Resolve(target) => {
+                let path = match target {
+                    ResolveTarget::Lib => ">lib".to_string(),
+                    ResolveTarget::Shared => ">shared".to_string(),
+                    ResolveTarget::Shard(j) => format!(">s{j}"),
+                };
+                match s.ns.resolve(k, &path) {
+                    Ok(_) => "n:ok".to_string(),
+                    Err(e) => format!("n:{}", klabel(&e)),
+                }
+            }
+            Action::Grow { page, val } => {
+                if s.own.is_none() {
+                    let created = k
+                        .create_entry(
+                            s.pid,
+                            shard_tok,
+                            &file_name(idx),
+                            Acl::owner(UserId(1)),
+                            Label::BOTTOM,
+                            false,
+                        )
+                        .and_then(|tok| k.initiate(s.pid, tok).map(|segno| (segno, tok)));
+                    match created {
+                        Ok(pair) => s.own = Some(pair),
+                        Err(e) => return format!("w:{}", klabel(&e)),
+                    }
+                }
+                let (segno, _) = s.own.expect("just created");
+                match k.write_word(s.pid, segno, page * PAGE_WORDS as u32, Word::new(val)) {
+                    Ok(()) => "w:ok".to_string(),
+                    Err(e) => format!("w:{}", klabel(&e)),
+                }
+            }
+            Action::ReadOwn { page } => {
+                let (segno, _) = s.own.expect("grown implies created");
+                match k.read_word(s.pid, segno, page * PAGE_WORDS as u32) {
+                    Ok(w) => format!("r:{}", w.raw()),
+                    Err(e) => format!("r:{}", klabel(&e)),
+                }
+            }
+            Action::ReadShared { page } => {
+                if s.shared_segno.is_none() {
+                    match s.ns.initiate(k, ">shared") {
+                        Ok(segno) => s.shared_segno = Some(segno),
+                        Err(e) => return format!("r:{}", klabel(&e)),
+                    }
+                }
+                let segno = s.shared_segno.expect("just initiated");
+                match k.read_word(s.pid, segno, page * PAGE_WORDS as u32) {
+                    Ok(w) => format!("r:{}", w.raw()),
+                    Err(e) => format!("r:{}", klabel(&e)),
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let s = self.sessions[idx].take().expect("live session");
+        let mut label = if abandon { "reap" } else { "out" }.to_string();
+        if !abandon {
+            if let Some((_, _tok)) = s.own {
+                if self
+                    .k
+                    .delete_entry(s.pid, self.shard_toks[shard], &file_name(idx))
+                    .is_err()
+                {
+                    label = "out:err".to_string();
+                }
+            }
+        }
+        // Abandoned sessions are reaped by the service — same logout
+        // residue, nobody at the terminal.
+        if self.svc.logout(&mut self.k, s.pid).is_err() {
+            label = format!("{label}:err");
+        }
+        label
+    }
+
+    fn schedule(&mut self) {
+        self.k.schedule();
+    }
+
+    fn housekeep(&mut self) {
+        self.k.sync_to_disk().expect("kernel housekeeping sweep");
+    }
+}
+
+// ------------------------------------------------------- legacy driver --
+
+fn llabel(e: &LegacyError) -> &'static str {
+    match e {
+        LegacyError::QuotaExceeded { .. } => "quota",
+        LegacyError::AllPacksFull => "full",
+        _ => "err",
+    }
+}
+
+struct LSession {
+    pid: LProcessId,
+    own_segno: Option<u32>,
+    shared_segno: Option<u32>,
+}
+
+struct LegacyDriver {
+    sup: Supervisor,
+    sessions: Vec<Option<LSession>>,
+    pending: std::collections::VecDeque<usize>,
+}
+
+impl Driver for LegacyDriver {
+    fn now(&self) -> u64 {
+        self.sup.machine.clock.now()
+    }
+
+    fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn request(&mut self, idx: usize) -> bool {
+        match self.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
+            Ok(pid) => {
+                self.sessions[idx] = Some(LSession {
+                    pid,
+                    own_segno: None,
+                    shared_segno: None,
+                });
+                true
+            }
+            // The old answering service refuses when the process table
+            // is full; the caller's retry queue is the admission policy.
+            Err(LegacyError::NoSuchProcess) => {
+                self.pending.push_back(idx);
+                false
+            }
+            Err(e) => panic!("legacy login refused a load account: {e:?}"),
+        }
+    }
+
+    fn admit(&mut self) -> Vec<usize> {
+        let mut admitted = Vec::new();
+        while let Some(&idx) = self.pending.front() {
+            match self.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
+                Ok(pid) => {
+                    self.pending.pop_front();
+                    self.sessions[idx] = Some(LSession {
+                        pid,
+                        own_segno: None,
+                        shared_segno: None,
+                    });
+                    admitted.push(idx);
+                }
+                Err(LegacyError::NoSuchProcess) => break,
+                Err(e) => panic!("legacy re-login refused: {e:?}"),
+            }
+        }
+        admitted
+    }
+
+    fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let s = self.sessions[idx].as_mut().expect("live session");
+        let sup = &mut self.sup;
+        match *action {
+            Action::Link(sym) => match sup.link(s.pid, "lib", &symbol(sym)) {
+                Ok(l) => format!("l:{}", l.offset),
+                Err(e) => format!("l:{}", llabel(&e)),
+            },
+            Action::Resolve(target) => {
+                let path = match target {
+                    ResolveTarget::Lib => "lib".to_string(),
+                    ResolveTarget::Shared => "shared".to_string(),
+                    ResolveTarget::Shard(j) => format!("s{j}"),
+                };
+                match sup.resolve(s.pid, &path, AccessRight::Read) {
+                    Ok(_) => "n:ok".to_string(),
+                    Err(e) => format!("n:{}", llabel(&e)),
+                }
+            }
+            Action::Grow { page, val } => {
+                if s.own_segno.is_none() {
+                    let shard_uid =
+                        match sup.resolve(s.pid, &format!("s{shard}"), AccessRight::Read) {
+                            Ok((uid, _)) => uid,
+                            Err(e) => return format!("w:{}", llabel(&e)),
+                        };
+                    let created = sup
+                        .create_segment_in(
+                            shard_uid,
+                            &file_name(idx),
+                            LAcl::owner(LUserId(1)),
+                            Label::BOTTOM,
+                        )
+                        .and_then(|_| sup.initiate(s.pid, &format!("s{shard}>{}", file_name(idx))));
+                    match created {
+                        Ok(segno) => s.own_segno = Some(segno),
+                        Err(e) => return format!("w:{}", llabel(&e)),
+                    }
+                }
+                let segno = s.own_segno.expect("just created");
+                match sup.user_write(s.pid, segno, page * PAGE_WORDS as u32, Word::new(val)) {
+                    Ok(()) => "w:ok".to_string(),
+                    Err(e) => format!("w:{}", llabel(&e)),
+                }
+            }
+            Action::ReadOwn { page } => {
+                let segno = s.own_segno.expect("grown implies created");
+                match sup.user_read(s.pid, segno, page * PAGE_WORDS as u32) {
+                    Ok(w) => format!("r:{}", w.raw()),
+                    Err(e) => format!("r:{}", llabel(&e)),
+                }
+            }
+            Action::ReadShared { page } => {
+                if s.shared_segno.is_none() {
+                    match sup.initiate(s.pid, "shared") {
+                        Ok(segno) => s.shared_segno = Some(segno),
+                        Err(e) => return format!("r:{}", llabel(&e)),
+                    }
+                }
+                let segno = s.shared_segno.expect("just initiated");
+                match sup.user_read(s.pid, segno, page * PAGE_WORDS as u32) {
+                    Ok(w) => format!("r:{}", w.raw()),
+                    Err(e) => format!("r:{}", llabel(&e)),
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let s = self.sessions[idx].take().expect("live session");
+        let mut label = if abandon { "reap" } else { "out" }.to_string();
+        if !abandon && s.own_segno.is_some() {
+            let path = format!("s{shard}>{}", file_name(idx));
+            if self.sup.delete(s.pid, &path).is_err() {
+                label = "out:err".to_string();
+            }
+        }
+        if self.sup.logout(&account_name(idx), s.pid).is_err() {
+            label = format!("{label}:err");
+        }
+        label
+    }
+
+    fn schedule(&mut self) {
+        self.sup.dispatch();
+    }
+
+    fn housekeep(&mut self) {
+        self.sup.sync_to_disk().expect("legacy housekeeping sweep");
+    }
+}
+
+// ------------------------------------------------------------ run fns --
+
+/// Runs the spec on the new kernel design. An optional schedule policy
+/// is installed *after* setup, exactly as the schedule explorer does, so
+/// every policy explores from the same initial state.
+pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>) -> LoadRun {
+    let scripts: Vec<SessionScript> = (0..spec.sessions)
+        .map(|i| session_script(spec.seed, i, spec.shards()))
+        .collect();
+    let mut k = Kernel::boot(spec.kernel_config());
+    if spec.tight_storage {
+        // A modest overflow pack: relocation has a target, but a heavy
+        // seed can still fill everything — the full-pack outcome.
+        k.machine.disks.attach(48, 24);
+    }
+    let mut svc = AnsweringService::new();
+    svc.register(&mut k, "drv", UserId(1), "pw", Label::BOTTOM);
+    let drv = svc
+        .login(&mut k, "drv", "pw", Label::BOTTOM)
+        .expect("driver login");
+    let root = k.root_token();
+    let acl = Acl::owner(UserId(1));
+
+    // The shared library, with its definitions published.
+    let lib_tok = k
+        .create_entry(drv, root, "lib", acl.clone(), Label::BOTTOM, false)
+        .expect("lib");
+    let lib_segno = k.initiate(drv, lib_tok).expect("lib initiate");
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    publish_library(&mut k, drv, lib_segno, &def_refs).expect("publish");
+
+    // The shared read-mostly segment.
+    let shared_tok = k
+        .create_entry(drv, root, "shared", acl.clone(), Label::BOTTOM, false)
+        .expect("shared");
+    let shared_segno = k.initiate(drv, shared_tok).expect("shared initiate");
+    for page in 0..SHARED_PAGES {
+        k.write_word(
+            drv,
+            shared_segno,
+            page * PAGE_WORDS as u32,
+            Word::new(shared_word(page)),
+        )
+        .expect("shared page");
+    }
+
+    // Quota-capped shard directories for the sessions' own files.
+    let mut shard_toks = Vec::new();
+    for j in 0..spec.shards() {
+        let tok = k
+            .create_entry(
+                drv,
+                root,
+                &format!("s{j}"),
+                acl.clone(),
+                Label::BOTTOM,
+                true,
+            )
+            .expect("shard dir");
+        k.set_quota(drv, tok, spec.shard_quota()).expect("quota");
+        shard_toks.push(tok);
+    }
+
+    for idx in 0..spec.sessions {
+        svc.register(&mut k, &account_name(idx), UserId(1), "pw", Label::BOTTOM);
+    }
+
+    let setup_cycles = k.machine.clock.now();
+    let ops_base = k.machine.ops_retired();
+    let meter_base = k.machine.clock.meter_snapshot();
+    if let Some(p) = policy {
+        k.set_schedule_policy(p);
+    }
+
+    let mut driver = KernelDriver {
+        k,
+        svc,
+        sessions: (0..spec.sessions).map(|_| None).collect(),
+        shard_toks,
+    };
+    let out = drive(&mut driver, &scripts);
+    let k = driver.k;
+
+    let per_cpu_ops: Vec<u64> = k
+        .machine
+        .ops_retired()
+        .iter()
+        .zip(ops_base.iter())
+        .map(|(now, base)| now - base)
+        .collect();
+    LoadRun {
+        design: "kernel",
+        cycles: k.machine.clock.now() - setup_cycles,
+        setup_cycles,
+        ops: out.ops,
+        sessions: spec.sessions,
+        abandoned: out.abandoned,
+        queued_peak: out.queued_peak,
+        parity: out.parity,
+        hist: out.hist,
+        per_cpu_ops,
+        queue_delay: k.vpm.queue_delay(),
+        event_queue_hwm: k.upm.queue_high_watermark(),
+        meter: meter_base.delta(&k.machine.clock.meter_snapshot()),
+        violations: oracle::check_kernel(&k),
+    }
+}
+
+/// Runs the spec on the 1974 supervisor. Its scheduler has no policy
+/// hooks: one inherent schedule per spec.
+pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
+    let scripts: Vec<SessionScript> = (0..spec.sessions)
+        .map(|i| session_script(spec.seed, i, spec.shards()))
+        .collect();
+    let mut sup = Supervisor::boot(spec.supervisor_config());
+    if spec.tight_storage {
+        sup.machine.disks.attach(48, 24);
+    }
+    sup.register_user("drv", LUserId(1), "pw", Label::BOTTOM);
+    let drv = sup.login("drv", "pw", Label::BOTTOM).expect("driver login");
+    let root = sup.root();
+    let acl = LAcl::owner(LUserId(1));
+
+    let lib_uid = sup
+        .create_segment_in(root, "lib", acl.clone(), Label::BOTTOM)
+        .expect("lib");
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    sup.publish_definitions(lib_uid, &def_refs);
+    let lib_segno = sup.initiate(drv, "lib").expect("lib initiate");
+    // The kernel's published library occupies a page; allocate the
+    // matching record here so both designs start with identical storage.
+    sup.user_write(drv, lib_segno, 0, Word::new(def_refs.len() as u64))
+        .expect("lib page");
+
+    sup.create_segment_in(root, "shared", acl.clone(), Label::BOTTOM)
+        .expect("shared");
+    let shared_segno = sup.initiate(drv, "shared").expect("shared initiate");
+    for page in 0..SHARED_PAGES {
+        sup.user_write(
+            drv,
+            shared_segno,
+            page * PAGE_WORDS as u32,
+            Word::new(shared_word(page)),
+        )
+        .expect("shared page");
+    }
+
+    for j in 0..spec.shards() {
+        sup.create_directory_in(root, &format!("s{j}"), acl.clone(), Label::BOTTOM)
+            .expect("shard dir");
+        sup.set_quota_directory(drv, &format!("s{j}"), spec.shard_quota())
+            .expect("quota");
+    }
+
+    for idx in 0..spec.sessions {
+        sup.register_user(&account_name(idx), LUserId(1), "pw", Label::BOTTOM);
+    }
+
+    let setup_cycles = sup.machine.clock.now();
+    let ops_base = sup.machine.ops_retired();
+    let meter_base = sup.machine.clock.meter_snapshot();
+
+    let mut driver = LegacyDriver {
+        sup,
+        sessions: (0..spec.sessions).map(|_| None).collect(),
+        pending: std::collections::VecDeque::new(),
+    };
+    let out = drive(&mut driver, &scripts);
+    let sup = driver.sup;
+
+    let per_cpu_ops: Vec<u64> = sup
+        .machine
+        .ops_retired()
+        .iter()
+        .zip(ops_base.iter())
+        .map(|(now, base)| now - base)
+        .collect();
+    LoadRun {
+        design: "legacy",
+        cycles: sup.machine.clock.now() - setup_cycles,
+        setup_cycles,
+        ops: out.ops,
+        sessions: spec.sessions,
+        abandoned: out.abandoned,
+        queued_peak: out.queued_peak,
+        parity: out.parity,
+        hist: out.hist,
+        per_cpu_ops,
+        queue_delay: (0, 0),
+        event_queue_hwm: 0,
+        meter: meter_base.delta(&sup.machine.clock.meter_snapshot()),
+        violations: oracle::check_legacy(&sup),
+    }
+}
+
+/// Runs the spec through both designs under their baseline schedules.
+pub fn run_both(spec: &LoadSpec) -> (LoadRun, LoadRun) {
+    (run_kernel_load(spec, None), run_legacy_load(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = LoadSpec::new(6, 42);
+        let a = run_kernel_load(&spec, None);
+        let b = run_kernel_load(&spec, None);
+        assert_eq!(a.parity, b.parity);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.hist, b.hist);
+        assert_eq!(a.per_cpu_ops, b.per_cpu_ops);
+        let la = run_legacy_load(&spec);
+        let lb = run_legacy_load(&spec);
+        assert_eq!(la.parity, lb.parity);
+        assert_eq!(la.cycles, lb.cycles);
+    }
+
+    #[test]
+    fn small_population_reaches_user_visible_parity() {
+        let spec = LoadSpec::new(8, 7);
+        let (k, l) = run_both(&spec);
+        let problems = LoadRun::check_pair(&k, &l);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(k.sessions, 8);
+        assert!(k.ops > 8, "sessions executed scripted work");
+    }
+
+    #[test]
+    fn tight_storage_surfaces_quota_and_parity_holds() {
+        // Across a few seeds, tight storage must provoke at least one
+        // past-quota write somewhere, and parity must survive it.
+        let mut saw_quota = false;
+        for seed in 0..4 {
+            let spec = LoadSpec::tight(6, seed);
+            let (k, l) = run_both(&spec);
+            let problems = LoadRun::check_pair(&k, &l);
+            assert!(problems.is_empty(), "seed {seed}: {problems:?}");
+            saw_quota |= k.parity.iter().any(|p| p == "w:quota");
+        }
+        assert!(saw_quota, "tight quotas never bit");
+    }
+
+    #[test]
+    fn login_storm_queues_and_everyone_eventually_runs() {
+        // Tight config has max_processes 4; the driver holds one slot,
+        // so 8 users cannot all be live at once.
+        let spec = LoadSpec::tight(8, 3);
+        let (k, l) = run_both(&spec);
+        assert!(k.queued_peak > 0, "storm exceeded the slots");
+        assert_eq!(k.queued_peak, l.queued_peak, "same admission pressure");
+        let problems = LoadRun::check_pair(&k, &l);
+        assert!(problems.is_empty(), "{problems:?}");
+        // Everyone ran to completion: one terminal label per session.
+        let ends = k
+            .parity
+            .iter()
+            .filter(|p| p.as_str() == "out" || p.as_str() == "reap")
+            .count();
+        assert_eq!(ends, 8);
+    }
+
+    #[test]
+    fn both_cpus_retire_user_work() {
+        let spec = LoadSpec::new(8, 11);
+        let (k, l) = run_both(&spec);
+        assert_eq!(k.per_cpu_ops.len(), 2);
+        assert!(
+            k.per_cpu_ops.iter().all(|&c| c > 0),
+            "kernel left a CPU idle: {:?}",
+            k.per_cpu_ops
+        );
+        assert!(
+            l.per_cpu_ops.iter().all(|&c| c > 0),
+            "legacy left a CPU idle: {:?}",
+            l.per_cpu_ops
+        );
+    }
+
+    #[test]
+    fn queue_delay_and_meters_are_populated() {
+        let spec = LoadSpec::new(8, 5);
+        let k = run_kernel_load(&spec, None);
+        let (wait, samples) = k.queue_delay;
+        assert!(samples > 0, "dispatches happened");
+        let _ = wait; // may be zero under light load; just well-defined
+        assert!(k.meter.total() > 0, "load phase attributed cycles");
+        assert!(k.hist.samples() == k.ops);
+        assert!(k.ops_per_mcycle() > 0.0);
+    }
+}

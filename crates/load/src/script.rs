@@ -1,0 +1,90 @@
+//! Session scripts: pure functions of the seed.
+//!
+//! A script is expanded from `(seed, session index)` before anything
+//! executes, so the kernel and the 1974 supervisor are handed the
+//! identical logical session stream — the precondition for asserting
+//! user-visible parity between the designs at every load level.
+
+use mx_hw::SplitMix64;
+
+/// Pages pre-written into the shared segment every session may read.
+pub const SHARED_PAGES: u32 = 6;
+/// Symbols published in the shared library segment.
+pub const LIB_SYMBOLS: usize = 12;
+
+/// One scripted operation inside a session (between login and logout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Snap a link to library symbol `i` through the dynamic linker.
+    Link(usize),
+    /// Resolve a shared path through the name space (0 = the library,
+    /// 1 = the shared segment, 2 = the session's own shard directory).
+    Resolve(usize),
+    /// Append one page to the session's own file, writing `val` — the
+    /// create/grow path, including past-quota and full-pack outcomes.
+    Grow(u64),
+    /// Read back one of the pages this session already grew (the pick
+    /// is reduced modulo the pages actually grown at run time).
+    ReadBack(u32),
+    /// Read a page of the shared segment — the page-fault-heavy path
+    /// once the working set outgrows core.
+    ReadShared(u32),
+}
+
+/// One user's whole session, login to logout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionScript {
+    /// The scripted operations, in order.
+    pub ops: Vec<SessionOp>,
+    /// Which shard directory the session's own file lives in.
+    pub shard: usize,
+    /// The user walks away without logging out; the answering service
+    /// reaps the session, and the session's file is never deleted.
+    pub abandon: bool,
+}
+
+/// Expands the script for session `idx` of a run seeded with `seed`.
+pub fn session_script(seed: u64, idx: usize, shards: usize) -> SessionScript {
+    let mut rng = SplitMix64::new(seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let nops = 4 + rng.range_usize(0, 9);
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        ops.push(match rng.range_u32(0, 20) {
+            0..=6 => SessionOp::Grow(rng.range_u64(1, 1 << 30)),
+            7..=10 => SessionOp::ReadBack(rng.range_u32(0, 1 << 16)),
+            11..=13 => SessionOp::ReadShared(rng.range_u32(0, SHARED_PAGES)),
+            14..=16 => SessionOp::Link(rng.range_usize(0, LIB_SYMBOLS)),
+            _ => SessionOp::Resolve(rng.range_usize(0, 3)),
+        });
+    }
+    SessionScript {
+        ops,
+        shard: idx % shards,
+        abandon: rng.chance(1, 16),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_pure_functions_of_the_seed() {
+        for idx in 0..64 {
+            assert_eq!(session_script(9, idx, 8), session_script(9, idx, 8));
+        }
+        assert_ne!(session_script(9, 0, 8), session_script(10, 0, 8));
+        assert_ne!(session_script(9, 0, 8), session_script(9, 1, 8));
+    }
+
+    #[test]
+    fn a_population_includes_growth_and_abandonment() {
+        let scripts: Vec<_> = (0..256).map(|i| session_script(1, i, 8)).collect();
+        assert!(scripts
+            .iter()
+            .any(|s| s.ops.iter().any(|o| matches!(o, SessionOp::Grow(_)))));
+        let abandoned = scripts.iter().filter(|s| s.abandon).count();
+        assert!(abandoned > 0, "some users walk away");
+        assert!(abandoned < 64, "most log out properly");
+    }
+}

@@ -54,6 +54,9 @@ pub struct MessageQueue<T> {
     /// Messages dropped because the queue was full (observability for
     /// the failure-injection tests).
     rejected: u64,
+    /// Deepest the queue has ever been (observability for the load
+    /// harness: how close the fixed real-memory buffer came to filling).
+    high_watermark: usize,
 }
 
 impl<T> MessageQueue<T> {
@@ -70,6 +73,7 @@ impl<T> MessageQueue<T> {
             len: 0,
             puts: 0,
             rejected: 0,
+            high_watermark: 0,
         }
     }
 
@@ -104,6 +108,12 @@ impl<T> MessageQueue<T> {
         self.rejected
     }
 
+    /// The deepest the queue has ever been — how close the fixed
+    /// real-memory buffer came to filling under load.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
     /// Enqueues a message without blocking.
     ///
     /// # Errors
@@ -121,6 +131,7 @@ impl<T> MessageQueue<T> {
         self.buf[tail] = Some(msg);
         self.len += 1;
         self.puts += 1;
+        self.high_watermark = self.high_watermark.max(self.len);
         Ok(())
     }
 
@@ -181,6 +192,21 @@ mod tests {
     fn capacity_is_fixed() {
         let q: MessageQueue<u8> = MessageQueue::new(3);
         assert_eq!(q.capacity(), 3);
+    }
+
+    #[test]
+    fn high_watermark_tracks_the_deepest_fill() {
+        let mut q = MessageQueue::new(4);
+        q.put(1).unwrap();
+        q.put(2).unwrap();
+        q.take().unwrap();
+        assert_eq!(q.high_watermark(), 2, "peak, not current depth");
+        q.put(3).unwrap();
+        q.put(4).unwrap();
+        q.put(5).unwrap();
+        assert_eq!(q.high_watermark(), 4);
+        while q.take().is_ok() {}
+        assert_eq!(q.high_watermark(), 4, "draining never lowers the peak");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use mx_aim::Label;
 use mx_kernel::{Kernel, KernelError, ProcessId, UserId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Deterministic FNV-1a password hashing, done in user space so the
 /// cleartext never crosses the gate.
@@ -46,11 +46,31 @@ pub struct AccountRecord {
     pub failed_attempts: u32,
 }
 
+/// Outcome of a batched login attempt under load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A process slot was free; the session is live.
+    Admitted(ProcessId),
+    /// Every process slot was taken; the request parked at this depth in
+    /// the admission queue. Queueing is pure user-domain policy — the
+    /// kernel only ever said "table full".
+    Queued(usize),
+}
+
+/// A login the service has parked until a process slot frees up.
+#[derive(Debug, Clone)]
+struct PendingLogin {
+    name: String,
+    password: String,
+    label: Label,
+}
+
 /// The user-domain answering service.
 #[derive(Debug, Default)]
 pub struct AnsweringService {
     records: HashMap<String, AccountRecord>,
     sessions: Vec<Session>,
+    pending: VecDeque<PendingLogin>,
     /// Lockout threshold (a policy the kernel never needs to know).
     pub max_attempts: u32,
 }
@@ -61,6 +81,7 @@ impl AnsweringService {
         Self {
             records: HashMap::new(),
             sessions: Vec::new(),
+            pending: VecDeque::new(),
             max_attempts: 3,
         }
     }
@@ -139,6 +160,62 @@ impl AnsweringService {
         record.sessions += 1;
         record.charge_units += charge;
         Ok(charge)
+    }
+
+    /// Login under load: when every process slot is taken the request is
+    /// queued instead of refused, and admitted later by
+    /// [`AnsweringService::admit_waiting`] once a logout frees a slot.
+    /// A login storm therefore never panics and never loses a
+    /// well-formed request.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the refusals [`AnsweringService::login`] gives — bad
+    /// credentials, lockout, clearance violation. Slot exhaustion is not
+    /// an error here; it queues.
+    pub fn login_or_queue(
+        &mut self,
+        kernel: &mut Kernel,
+        name: &str,
+        password: &str,
+        label: Label,
+    ) -> Result<Admission, KernelError> {
+        match self.login(kernel, name, password, label) {
+            Ok(pid) => Ok(Admission::Admitted(pid)),
+            Err(KernelError::TableFull(_)) => {
+                self.pending.push_back(PendingLogin {
+                    name: name.to_string(),
+                    password: password.to_string(),
+                    label,
+                });
+                Ok(Admission::Queued(self.pending.len()))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Admits queued logins in arrival order while process slots last.
+    /// Requests the policy now refuses outright (lockout reached while
+    /// queued, say) are dropped; the head request blocked only by a full
+    /// process table stays at the head.
+    pub fn admit_waiting(&mut self, kernel: &mut Kernel) -> Vec<(String, ProcessId)> {
+        let mut admitted = Vec::new();
+        while let Some(req) = self.pending.pop_front() {
+            match self.login(kernel, &req.name, &req.password, req.label) {
+                Ok(pid) => admitted.push((req.name, pid)),
+                Err(KernelError::TableFull(_)) => {
+                    self.pending.push_front(req);
+                    break;
+                }
+                Err(_) => {}
+            }
+        }
+        admitted
+    }
+
+    /// Logins parked for a process slot.
+    pub fn queued_logins(&self) -> usize {
+        self.pending.len()
     }
 
     /// Live session count.
@@ -241,6 +318,119 @@ mod tests {
         svc.register(&mut k, "high", UserId(4), "pw", secret);
         assert!(svc.login(&mut k, "high", "pw", secret).is_ok());
         assert!(svc.login(&mut k, "high", "pw", Label::BOTTOM).is_ok());
+    }
+
+    #[test]
+    fn login_storm_queues_beyond_process_slots() {
+        let mut k = boot(); // 8 slots, one taken by the kernel's residue? none here
+        let mut svc = AnsweringService::new();
+        for i in 0..12 {
+            svc.register(
+                &mut k,
+                &format!("user{i:02}"),
+                UserId(10 + i),
+                "pw",
+                Label::BOTTOM,
+            );
+        }
+        let mut live = Vec::new();
+        let mut queued = 0;
+        for i in 0..12 {
+            match svc
+                .login_or_queue(&mut k, &format!("user{i:02}"), "pw", Label::BOTTOM)
+                .unwrap()
+            {
+                Admission::Admitted(pid) => live.push(pid),
+                Admission::Queued(_) => queued += 1,
+            }
+        }
+        assert_eq!(live.len(), 8, "every process slot filled");
+        assert_eq!(queued, 4, "overflow queued, not refused, not panicked");
+        assert_eq!(svc.queued_logins(), 4);
+        // Nothing admits while the table is still full.
+        assert!(svc.admit_waiting(&mut k).is_empty());
+        // Two logouts free two slots; exactly the two oldest waiters land.
+        svc.logout(&mut k, live[0]).unwrap();
+        svc.logout(&mut k, live[1]).unwrap();
+        let admitted = svc.admit_waiting(&mut k);
+        let names: Vec<&str> = admitted.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["user08", "user09"], "arrival order preserved");
+        assert_eq!(svc.queued_logins(), 2);
+    }
+
+    #[test]
+    fn bad_credentials_are_refused_not_queued() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "corbato", UserId(5), "ctss", Label::BOTTOM);
+        assert_eq!(
+            svc.login_or_queue(&mut k, "corbato", "wrong", Label::BOTTOM)
+                .unwrap_err(),
+            KernelError::BadCredentials
+        );
+        assert_eq!(svc.queued_logins(), 0, "refusals never park");
+    }
+
+    #[test]
+    fn double_logout_is_a_typed_error() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "once", UserId(6), "pw", Label::BOTTOM);
+        let pid = svc.login(&mut k, "once", "pw", Label::BOTTOM).unwrap();
+        svc.logout(&mut k, pid).unwrap();
+        assert_eq!(
+            svc.logout(&mut k, pid).unwrap_err(),
+            KernelError::NoSuchProcess
+        );
+        let rec = svc.record("once").unwrap();
+        assert_eq!(rec.sessions, 1, "billed exactly once");
+    }
+
+    #[test]
+    fn logout_of_never_logged_in_user_is_a_typed_error() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "ghost", UserId(7), "pw", Label::BOTTOM);
+        assert_eq!(
+            svc.logout(&mut k, ProcessId(3)).unwrap_err(),
+            KernelError::NoSuchProcess
+        );
+    }
+
+    #[test]
+    fn abandoned_session_slot_is_reused_after_reap() {
+        let mut k = boot();
+        let mut svc = AnsweringService::new();
+        for i in 0..9 {
+            svc.register(
+                &mut k,
+                &format!("u{i}"),
+                UserId(20 + i),
+                "pw",
+                Label::BOTTOM,
+            );
+        }
+        // Fill all 8 slots; the 8th user walks away without logging out.
+        let mut pids = Vec::new();
+        for i in 0..8 {
+            pids.push(
+                svc.login(&mut k, &format!("u{i}"), "pw", Label::BOTTOM)
+                    .unwrap(),
+            );
+        }
+        assert!(matches!(
+            svc.login_or_queue(&mut k, "u8", "pw", Label::BOTTOM)
+                .unwrap(),
+            Admission::Queued(_)
+        ));
+        // The service reaps the abandoned session (logout on the user's
+        // behalf); its slot then serves the waiter.
+        let abandoned = pids[7];
+        svc.logout(&mut k, abandoned).unwrap();
+        let admitted = svc.admit_waiting(&mut k);
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].0, "u8");
+        assert_eq!(admitted[0].1, abandoned, "the freed slot is the one reused");
     }
 
     #[test]

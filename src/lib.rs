@@ -21,7 +21,10 @@
 //!   `repro` and `cargo bench`;
 //! * [`explore`] — the deterministic schedule-exploration harness
 //!   (pluggable dispatch/wakeup policies, oracle-checked scenarios,
-//!   replay-from-seed).
+//!   replay-from-seed);
+//! * [`load`] — the deterministic multi-user load harness (seeded
+//!   session scripts driven byte-identically through both designs,
+//!   with latency histograms and admission queueing).
 //!
 //! # Examples
 //!
@@ -56,5 +59,6 @@ pub use mx_explore as explore;
 pub use mx_hw as hw;
 pub use mx_kernel as kernel;
 pub use mx_legacy as legacy;
+pub use mx_load as load;
 pub use mx_sync as sync;
 pub use mx_user as user;

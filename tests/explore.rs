@@ -154,3 +154,47 @@ fn both_designs_agree_on_user_visible_results_for_every_policy() {
         }
     }
 }
+
+/// X1 composed with L1: the smallest load-harness population driven
+/// under the explorer's adversarial schedule policies. The scenario
+/// suites above exercise hand-built protocol surfaces; this one runs
+/// the full session stack — answering service, linker, name space,
+/// file growth, logout — under 64 seeded-random and 64 PCT schedules,
+/// asserting the whole oracle battery and that every schedule produces
+/// the same user-visible outcomes the 1974 supervisor does.
+#[test]
+fn load_harness_holds_under_adversarial_schedules() {
+    use multics::load::{run_legacy_load, LoadRun, LoadSpec};
+
+    const SCHEDULES: u64 = 64;
+    // The explorer's seed-derivation convention (lib.rs policy_seed).
+    fn policy_seed(base: u64, i: u64) -> u64 {
+        base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i)
+    }
+
+    let spec = LoadSpec::new(4, 17); // the smallest L1 point
+    let baseline = run_legacy_load(&spec);
+    assert!(baseline.violations.is_empty(), "{:?}", baseline.violations);
+
+    for i in 0..SCHEDULES {
+        for pct in [false, true] {
+            let policy: Box<dyn multics::sync::SchedulePolicy> = if pct {
+                Box::new(PctPolicy::new(policy_seed(29, i)))
+            } else {
+                Box::new(SeededRandomPolicy::new(policy_seed(13, i)))
+            };
+            let run = multics::load::run_kernel_load(&spec, Some(policy));
+            assert!(
+                run.violations.is_empty(),
+                "schedule {i} (pct={pct}): {:?}",
+                run.violations
+            );
+            let problems = LoadRun::check_pair(&run, &baseline);
+            assert!(
+                problems.is_empty(),
+                "schedule {i} (pct={pct}): {problems:?}"
+            );
+            assert_eq!(run.sessions, 4);
+        }
+    }
+}
