@@ -8,6 +8,8 @@
 //! repro --list                # list experiment ids
 //! repro --trace report.json   # also write per-subsystem cycle attribution
 //! repro --only r1 --stride 16 # subsample the crash matrix (CI smoke)
+//! repro --only l1 --l1-max 64 # cap the load-scaling sweep (CI smoke)
+//! repro --only c1 --c1-max 32 # cap the chaos population (CI smoke)
 //! ```
 
 use mx_bench::{
@@ -24,7 +26,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1",
+    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1", "c1",
 ];
 
 fn main() {
@@ -38,6 +40,7 @@ fn main() {
     let mut dot = false;
     let mut stride: u64 = 1;
     let mut l1_max: usize = 1024;
+    let mut c1_max: usize = 64;
     let mut trace_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -75,6 +78,16 @@ fn main() {
                     Some(n) if n > 0 => l1_max = n,
                     _ => {
                         eprintln!("--l1-max requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--c1-max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => c1_max = n,
+                    _ => {
+                        eprintln!("--c1-max requires a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -350,6 +363,19 @@ fn main() {
         println!(
             "  every scale point passed meter conservation, record conservation,\n  \
              and old/new user-visible parity; with 2 CPUs both retire user work\n"
+        );
+    }
+
+    if want("c1") {
+        header("C1", "Chaos — load x crashes x adversarial schedules");
+        if c1_max < 64 {
+            println!("  (population capped at {c1_max} users)\n");
+        }
+        println!("{}", mx_bench::c1_chaos_composition(c1_max));
+        println!(
+            "  the same logical stream survived three mid-load power failures per\n  \
+             design and schedule: salvage converged, queued logins were re-admitted\n  \
+             in FIFO order, and the old/new label streams stayed identical\n"
         );
     }
 

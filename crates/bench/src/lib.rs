@@ -8,6 +8,7 @@
 //! `benches/` re-measure the same drivers in wall-clock time through the
 //! local [`harness`].
 
+pub mod c1;
 pub mod experiments;
 pub mod harness;
 pub mod l1;
@@ -16,6 +17,7 @@ pub mod trace;
 pub mod workload;
 pub mod x1;
 
+pub use c1::c1_chaos_composition;
 pub use experiments::{
     a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
     p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,

@@ -530,7 +530,24 @@ impl Kernel {
                 })?
             }
         };
+        // The recovery walk itself dispatched VPs and queued events; a
+        // recovered system's load probes must start the new epoch clean
+        // rather than inherit the boot traffic (let alone look like the
+        // pre-crash instance's figures to a harness that re-reads them).
+        kernel.reset_load_probes();
         Ok(kernel)
+    }
+
+    /// Restarts the load-observability probes — run-queue delay and the
+    /// real-memory event-queue high watermark — at the current instant.
+    ///
+    /// [`Kernel::boot_from_image`] calls this so post-recovery epochs
+    /// report their own figures; measurement harnesses call it at any
+    /// epoch boundary of their choosing (after salvage, say, whose
+    /// paging traffic is not user load).
+    pub fn reset_load_probes(&mut self) {
+        self.vpm.reset_queue_delay();
+        self.upm.reset_queue_high_watermark();
     }
 
     /// The root directory token (the starting point user name-space

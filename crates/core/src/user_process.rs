@@ -290,6 +290,11 @@ impl UserProcessManager {
         self.queue.high_watermark()
     }
 
+    /// Restarts the event-queue depth observation (epoch boundary).
+    pub fn reset_queue_high_watermark(&mut self) {
+        self.queue.reset_high_watermark();
+    }
+
     // ---- the level-2 scheduler ---------------------------------------------
 
     /// Dispatches the next ready process onto a user virtual processor.

@@ -319,6 +319,23 @@ impl VirtualProcessorManager {
     pub fn queue_delay(&self) -> (u64, u64) {
         (self.queue_wait_switches, self.queue_waits)
     }
+
+    /// Restarts the queue-delay observation at the current moment.
+    ///
+    /// An epoch boundary (a recovery boot, a measurement window) wants
+    /// the delay accumulated *since* the boundary, not since machine
+    /// start. Besides zeroing the accumulators, every enqueue stamp is
+    /// moved up to the current switch count — a VP that has been sitting
+    /// in the run queue across the boundary must not charge its
+    /// pre-boundary wait to the new epoch.
+    pub fn reset_queue_delay(&mut self) {
+        self.queue_wait_switches = 0;
+        self.queue_waits = 0;
+        let now = self.switches;
+        for stamp in &mut self.enqueue_stamp {
+            *stamp = now;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +431,32 @@ mod tests {
         );
         // Accounting only: the clock still sees nothing but switches.
         assert_eq!(clk.now(), 4 * VP_SWITCH_CYCLES);
+    }
+
+    #[test]
+    fn queue_delay_reset_forgives_pre_boundary_waits() {
+        let (csm, mut mem, mut clk, mut vpm) = setup(3);
+        // Accumulate some real waiting.
+        for _ in 0..5 {
+            vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        }
+        let (wait, samples) = vpm.queue_delay();
+        assert!(wait > 0 && samples == 5, "pre-boundary delay accrued");
+        vpm.reset_queue_delay();
+        assert_eq!(vpm.queue_delay(), (0, 0), "epoch starts clean");
+        // The queued VPs were re-stamped at the boundary: the next
+        // dispatch must not charge their pre-boundary queue time.
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        assert_eq!(
+            vpm.queue_delay(),
+            (0, 1),
+            "first post-reset dispatch waited zero switches"
+        );
+        // From here the new epoch accumulates normally.
+        vpm.dispatch(&csm, &mut mem, &mut clk).unwrap();
+        let (wait2, samples2) = vpm.queue_delay();
+        assert_eq!(samples2, 2);
+        assert!(wait2 > 0, "post-boundary waits still count");
     }
 
     #[test]

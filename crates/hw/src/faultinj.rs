@@ -127,6 +127,19 @@ impl DiskFaults {
         *self = Self::default();
     }
 
+    /// Arms a crash `n` writes from *now*, leaving every counter alone.
+    ///
+    /// [`DiskFaults::install`] resets the ordinals, so an absolute plan's
+    /// crash point shifts with however much traffic preceded it. A
+    /// harness that wants "the next write after this point tears" —
+    /// mid-run, after an unknown amount of prior I/O — arms relative to
+    /// the live write counter instead. The committed/crashed boundary is
+    /// then position-independent: the same `n` means the same thing at
+    /// any point in any run.
+    pub fn crash_after_further_writes(&mut self, n: u64, mode: CrashWrite) {
+        self.plan.crash_on_write = Some((self.writes + n, mode));
+    }
+
     /// The halt condition, if power has failed.
     pub fn halted(&self) -> Option<HwFault> {
         self.halted
@@ -280,5 +293,36 @@ mod tests {
         f.note_write(PackId(0)).unwrap();
         f.install(FaultPlan::new());
         assert_eq!(f.writes, 0);
+    }
+
+    #[test]
+    fn relative_arming_is_position_independent() {
+        let mut f = DiskFaults::default();
+        // Arbitrary prior traffic that an absolute plan would have to
+        // know about in advance.
+        for _ in 0..5 {
+            f.note_write(PackId(0)).unwrap();
+        }
+        f.crash_after_further_writes(2, CrashWrite::Torn { words: 3 });
+        assert_eq!(f.writes, 5, "arming leaves the counters alone");
+        assert_eq!(f.note_write(PackId(0)), Ok(WriteFate::Commit));
+        assert_eq!(
+            f.note_write(PackId(0)),
+            Ok(WriteFate::Crash(CrashWrite::Torn { words: 3 }))
+        );
+        f.halt();
+        assert_eq!(f.halted(), Some(HwFault::PowerFail { at_write: 7 }));
+    }
+
+    #[test]
+    fn relative_arming_composes_with_a_fresh_machine() {
+        // n writes from "now" on a fresh channel is the same as the
+        // absolute plan — the relative path is a strict generalization.
+        let mut f = DiskFaults::default();
+        f.crash_after_further_writes(1, CrashWrite::Dropped);
+        assert_eq!(
+            f.note_write(PackId(0)),
+            Ok(WriteFate::Crash(CrashWrite::Dropped))
+        );
     }
 }

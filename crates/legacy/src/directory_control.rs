@@ -684,12 +684,17 @@ impl Supervisor {
             }
             self.ast.deactivate(astx);
         } else {
-            // Not active: charge against nearest active superior cell.
+            // Not active: the object has no AST entry to anchor the
+            // quota walk, so start it at the containing directory
+            // *itself* — which may be the governing quota cell. Passing
+            // the parent to `quota_uncharge` would skip it and uncharge
+            // the next cell up (the cell then reads high forever, until
+            // a spurious quota fault or a salvage).
             let records = self.object_records(uid)?;
             if records > 0 {
                 let branch = self.branch_table[&uid];
                 let parent_astx = self.activate(branch.parent.expect("non-root"))?;
-                self.quota_uncharge(parent_astx, records);
+                self.quota_uncharge_from(parent_astx, records);
             }
         }
         let branch = self.branch_table.remove(&uid).expect("resolved object");
@@ -844,6 +849,52 @@ mod tests {
             sup.ast.get(root_astx).unwrap().quota.unwrap().used,
             root_used_before + 1
         );
+    }
+
+    #[test]
+    fn deleting_inactive_segment_uncharges_its_own_quota_cell() {
+        // Surfaced by the C1 chaos composition: after a recovery
+        // bootload nothing is active, so deleting a surviving file took
+        // `delete`'s inactive path — which anchored the quota walk at
+        // the file's parent and therefore uncharged the cell *above*
+        // the governing quota directory. The quota directory's cell
+        // read high forever and the next growth under it spuriously
+        // faulted on quota.
+        let (mut sup, pid, user) = boot_with_user();
+        sup.create_directory_in(sup.root(), "q", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        sup.set_quota_directory(pid, "q", 3).unwrap();
+        let (q_uid, _) = sup.resolve(pid, "q", AccessRight::Read).unwrap();
+        let seg = sup
+            .create_segment_in(q_uid, "data", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let seg_astx = sup.activate(seg).unwrap();
+        sup.sup_write(seg_astx, 0, Word::new(5)).unwrap();
+        sup.sync_to_disk().unwrap();
+
+        // A fresh boot from the image: the file exists on disk but has
+        // no AST entry, exactly the post-recovery state.
+        let image = sup.machine.disks.clone();
+        let mut rs =
+            Supervisor::boot_from_image(crate::SupervisorConfig::default(), image).unwrap();
+        let pid = rs.create_process(user, Label::BOTTOM).unwrap();
+        let root_astx = rs.ast.find(rs.root()).unwrap();
+        let root_before = rs.ast.get(root_astx).unwrap().quota.unwrap().used;
+        let used = rs
+            .resolve(pid, "q", AccessRight::Read)
+            .unwrap()
+            .1
+            .quota_used;
+        assert_eq!(used, 1, "the data page is charged to q's cell");
+
+        rs.delete(pid, "q>data").unwrap();
+
+        let q_uid = rs.resolve(pid, "q", AccessRight::Read).unwrap().0;
+        let q_astx = rs.ast.find(q_uid).expect("q activated by the delete");
+        let q_used = rs.ast.get(q_astx).unwrap().quota.unwrap().used;
+        assert_eq!(q_used, 0, "q's own cell was uncharged");
+        let root_after = rs.ast.get(root_astx).unwrap().quota.unwrap().used;
+        assert_eq!(root_after, root_before, "the root cell was left alone");
     }
 
     #[test]

@@ -425,9 +425,19 @@ impl Supervisor {
     }
 
     /// Reverses a quota charge (page reverted to zero flag, truncation,
-    /// deletion).
+    /// deletion). `astx` is the charged object; the walk starts at its
+    /// superior, mirroring [`Self::quota_charge`].
     pub(crate) fn quota_uncharge(&mut self, astx: usize, pages: u32) {
         let start = self.ast.get(astx).and_then(|a| a.parent).unwrap_or(astx);
+        self.quota_uncharge_from(start, pages);
+    }
+
+    /// Reverses a quota charge walking up from `start` itself — for
+    /// callers holding the charged object's *containing directory*
+    /// (which may itself be the governing quota directory), not the
+    /// object. Deleting an inactive segment is the one such caller: the
+    /// segment has no AST entry to start from, only its parent does.
+    pub(crate) fn quota_uncharge_from(&mut self, start: usize, pages: u32) {
         let (qdir, levels) = self
             .ast
             .nearest_quota_dir(start)

@@ -1,0 +1,1082 @@
+//! Continuous operation: the load engine segmented by crashes.
+//!
+//! The chaos composition (C1) runs one long logical stream — the same
+//! stream [`crate::run_kernel_load`] executes uninterrupted — but cuts
+//! it into *epochs*: every `ops_per_epoch` completed operations, power
+//! fails mid-`sync_to_disk` with the final transfer torn or dropped, a
+//! fresh system boots from the surviving disk image, the salvager
+//! repairs and re-checks the hierarchy, the answering service re-admits
+//! its surviving population, and the engine resumes the stream exactly
+//! where it stopped. Both designs run the identical crash schedule, so
+//! label-by-label parity remains the cross-design oracle even though
+//! each design's recovery path is entirely its own.
+//!
+//! What recovery owes the population, precisely:
+//!
+//! * **Queued logins survive.** Parked admissions are user-domain
+//!   bookkeeping; the crash costs them nothing but time. They are
+//!   re-admitted in the original FIFO order as slots free up.
+//! * **Live sessions are re-opened at their script positions.** The
+//!   engine's [`EngineState`] — cursor, per-session op index, the
+//!   values each session's file successfully grew by — survives the
+//!   crash (it models the users at their terminals, who remember what
+//!   they were doing). Each survivor logs in again and the harness
+//!   restores the session's own file to its pre-crash logical contents
+//!   before the stream continues.
+//! * **The shared world is reconciled, not rebuilt.** Directories and
+//!   segments that survived on disk are kept; whatever the torn write
+//!   mangled is recreated or rewritten through the ordinary gates. The
+//!   library's definitions and the shared segment's pages are rewritten
+//!   unconditionally — cheap, idempotent, and independent of which
+//!   epoch the crash hit.
+//!
+//! Every epoch boundary runs the oracle battery (meter conservation,
+//! per-pack record conservation, wakeup exactness, salvage idempotence)
+//! and every violation carries a replayable `seed=… plan=… schedule=…`
+//! string. [`C1SelfCheck`] deliberately breaks the recovery obligations
+//! so a harness test can prove the oracles catch a cheat.
+
+use crate::hist::Histogram;
+use crate::run::{
+    account_name, definitions, drive_until, file_name, setup_kernel, setup_legacy, shared_word,
+    storm, EngineState, KSession, KernelDriver, KernelWorldCtx, LSession, LegacyDriver,
+    LegacyWorldCtx, LoadSpec,
+};
+use crate::script::{SessionScript, SHARED_PAGES};
+use mx_aim::Label;
+use mx_explore::{oracle, PctPolicy, SeededRandomPolicy};
+use mx_hw::{CrashWrite, SplitMix64, Word, PAGE_WORDS};
+use mx_kernel::{Acl, Kernel, UserId};
+use mx_legacy::{AccessRight, Acl as LAcl, Supervisor, UserId as LUserId};
+use mx_sync::SchedulePolicy;
+use mx_user::{publish_library, AnsweringService, NameSpace, UserLinker};
+
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+const PW: u32 = PAGE_WORDS as u32;
+
+/// Which schedule drives the kernel between crashes. The old supervisor
+/// has no policy hooks; its one inherent schedule is the parity
+/// baseline every kernel policy is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum C1Policy {
+    /// The kernel's default dispatch order (the pinned-figure baseline).
+    Fifo,
+    /// Uniformly random choice points from the given seed.
+    Random(u64),
+    /// Probabilistic concurrency testing from the given seed.
+    Pct(u64),
+}
+
+impl C1Policy {
+    /// The `schedule=` component of a repro string.
+    pub fn descriptor(&self) -> String {
+        match *self {
+            C1Policy::Fifo => "fifo".to_string(),
+            C1Policy::Random(s) => format!("random:{s:#x}"),
+            C1Policy::Pct(s) => format!("pct:{s:#x}"),
+        }
+    }
+
+    /// A fresh policy instance for the given epoch. Each epoch gets its
+    /// own deterministic stream so a replay of (seed, plan, schedule)
+    /// reproduces every epoch's choices exactly, independent of how
+    /// many choice points earlier epochs consumed.
+    fn make(&self, epoch: u64) -> Option<Box<dyn SchedulePolicy>> {
+        let mixed = |s: u64| s ^ (epoch + 1).wrapping_mul(MIX);
+        match *self {
+            C1Policy::Fifo => None,
+            C1Policy::Random(s) => Some(Box::new(SeededRandomPolicy::new(mixed(s)))),
+            C1Policy::Pct(s) => Some(Box::new(PctPolicy::new(mixed(s)))),
+        }
+    }
+}
+
+/// Deliberate recovery cheats, so the violation paths can be proven
+/// live: a broken run must be *caught*, and the printed repro string
+/// must reproduce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum C1SelfCheck {
+    /// Recover honestly.
+    None,
+    /// Drop the youngest queued login at the first recovery — the
+    /// admission queue "forgets" one user, violating conservation of
+    /// sessions (and, cross-design, label parity).
+    DropQueuedLogin,
+}
+
+/// One chaos-composition run: the population, the stream seed, the
+/// fault-plan seed, how many crashes cut the stream, and the schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct C1Spec {
+    /// Scripted sessions (the `crates/load` population).
+    pub sessions: usize,
+    /// Seed the session scripts expand from.
+    pub seed: u64,
+    /// Seed of the crash-mode stream (torn word counts, drop choices).
+    pub plan_seed: u64,
+    /// Crash/salvage/re-admit boundaries cut into the stream.
+    pub crashes: u32,
+    /// Kernel schedule between crashes.
+    pub policy: C1Policy,
+    /// Recovery honesty (see [`C1SelfCheck`]).
+    pub self_check: C1SelfCheck,
+}
+
+impl C1Spec {
+    /// An honest run.
+    pub fn new(sessions: usize, seed: u64, plan_seed: u64, crashes: u32, policy: C1Policy) -> Self {
+        Self {
+            sessions,
+            seed,
+            plan_seed,
+            crashes,
+            policy,
+            self_check: C1SelfCheck::None,
+        }
+    }
+
+    /// Completed operations per epoch. Two rounds of the population
+    /// keeps every crash inside the live phase: the stream averages
+    /// about ten ops per session, so `crashes` boundaries at multiples
+    /// of `2×sessions` land well before the stream drains.
+    pub fn ops_per_epoch(&self) -> u64 {
+        2 * self.sessions as u64
+    }
+
+    /// The replayable identity of a run on `design`.
+    pub fn repro(&self, design: &str) -> String {
+        format!(
+            "seed={:#x} plan={:#x} schedule={} sessions={} crashes={} design={design}",
+            self.seed,
+            self.plan_seed,
+            self.policy.descriptor(),
+            self.sessions,
+            self.crashes
+        )
+    }
+}
+
+/// The deterministic crash mode for epoch boundary `epoch`.
+fn crash_mode(plan_seed: u64, epoch: u64) -> CrashWrite {
+    let mut rng = SplitMix64::new(plan_seed ^ (epoch + 1).wrapping_mul(MIX));
+    if rng.chance(1, 2) {
+        CrashWrite::Dropped
+    } else {
+        CrashWrite::Torn {
+            words: rng.range_usize(1, PAGE_WORDS),
+        }
+    }
+}
+
+/// One epoch's figures. For the final (uncrashed) segment the salvage
+/// and recovery fields are zero and `crashed` is false.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochReport {
+    /// Cumulative engine ops at the end of the epoch.
+    pub ops: u64,
+    /// Simulated cycles the epoch's load phase took.
+    pub cycles: u64,
+    /// Kernel only: queued-wait total and dispatch samples this epoch
+    /// (the probes reset at every boundary). `(0, 0)` for legacy.
+    pub queue_delay: (u64, u64),
+    /// Kernel only: peak event-queue depth this epoch.
+    pub event_queue_hwm: usize,
+    /// Sessions live at the boundary (the population the crash hits).
+    pub live_at_crash: usize,
+    /// Logins parked at the boundary (what recovery must not lose).
+    pub queued_at_crash: usize,
+    /// Problems the repairing salvage pass found in the crash image.
+    pub salvage_problems: usize,
+    /// Repairs it performed.
+    pub salvage_repairs: usize,
+    /// Cycles from recovery bootload through reconciliation.
+    pub recovery_cycles: u64,
+    /// Whether this epoch ended in a crash (false only for the tail).
+    pub crashed: bool,
+}
+
+/// Everything one design's chaos run produced.
+#[derive(Debug, Clone)]
+pub struct C1Run {
+    /// `"kernel"` or `"legacy"`.
+    pub design: &'static str,
+    /// Schedule descriptor (`fifo`, `random:…`, `pct:…`, or the
+    /// legacy supervisor's `inherent`).
+    pub schedule: String,
+    /// Total engine ops completed.
+    pub ops: u64,
+    /// Sessions abandoned (reaped) rather than logged out.
+    pub abandoned: usize,
+    /// Deepest the admission queue got.
+    pub queued_peak: usize,
+    /// The full user-visible label stream, across every epoch.
+    pub parity: Vec<String>,
+    /// `parity` index at each crash boundary — ops-positioned, so the
+    /// bounds are identical across designs and schedules.
+    pub epoch_bounds: Vec<usize>,
+    /// Per-epoch figures (crashed epochs first, then the tail).
+    pub epochs: Vec<EpochReport>,
+    /// Post-storm admission order (the FIFO fairness record).
+    pub admitted_order: Vec<usize>,
+    /// Per-operation service-time histogram across the whole run.
+    pub hist: Histogram,
+    /// Load-phase cycles summed over epochs.
+    pub load_cycles: u64,
+    /// Recovery cycles summed over crashes.
+    pub recovery_cycles: u64,
+    /// Everything the oracles caught. Empty = clean. Every line embeds
+    /// the replayable `seed=… plan=… schedule=…` string.
+    pub violations: Vec<String>,
+}
+
+impl C1Run {
+    /// The run's complete deterministic transcript. Two runs of the
+    /// same `(seed, plan, schedule)` triple must produce byte-identical
+    /// transcripts; the report treats any difference as a violation.
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "design={} schedule={} ops={} abandoned={} queued_peak={} \
+             load_cycles={} recovery_cycles={}",
+            self.design,
+            self.schedule,
+            self.ops,
+            self.abandoned,
+            self.queued_peak,
+            self.load_cycles,
+            self.recovery_cycles
+        );
+        let _ = writeln!(s, "admitted={:?}", self.admitted_order);
+        let _ = writeln!(s, "bounds={:?}", self.epoch_bounds);
+        for (i, e) in self.epochs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "epoch {i}: ops={} cycles={} qd={:?} hwm={} live={} queued={} \
+                 crashed={} problems={} repairs={} recovery={}",
+                e.ops,
+                e.cycles,
+                e.queue_delay,
+                e.event_queue_hwm,
+                e.live_at_crash,
+                e.queued_at_crash,
+                e.crashed,
+                e.salvage_problems,
+                e.salvage_repairs,
+                e.recovery_cycles
+            );
+        }
+        let _ = writeln!(
+            s,
+            "hist: samples={} p50={} p99={}",
+            self.hist.samples(),
+            self.hist.percentile(50),
+            self.hist.percentile(99)
+        );
+        let _ = writeln!(s, "parity={}", self.parity.join(","));
+        for v in &self.violations {
+            let _ = writeln!(s, "violation: {v}");
+        }
+        s
+    }
+
+    /// Terminal labels in the stream — must equal the scripted
+    /// population, or recovery lost someone.
+    fn terminals(&self) -> usize {
+        self.parity
+            .iter()
+            .filter(|l| {
+                l.as_str() == "out"
+                    || l.as_str() == "reap"
+                    || l.starts_with("out:")
+                    || l.starts_with("reap:")
+            })
+            .count()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    design: &'static str,
+    schedule: String,
+    spec: &C1Spec,
+    st: EngineState,
+    epochs: Vec<EpochReport>,
+    epoch_bounds: Vec<usize>,
+    load_cycles: u64,
+    recovery_cycles: u64,
+    mut violations: Vec<String>,
+    stranded: usize,
+) -> C1Run {
+    let repro = spec.repro(design);
+    let mut run = C1Run {
+        design,
+        schedule,
+        ops: st.ops,
+        abandoned: st.abandoned,
+        queued_peak: st.queued_peak,
+        parity: st.parity,
+        epoch_bounds,
+        epochs,
+        admitted_order: st.admitted_order,
+        hist: st.hist,
+        load_cycles,
+        recovery_cycles,
+        violations: Vec::new(),
+    };
+    if stranded > 0 {
+        violations.push(format!(
+            "{design} final: {stranded} logins stranded in the admission queue [{repro}]"
+        ));
+    }
+    let ends = run.terminals();
+    if ends != spec.sessions {
+        violations.push(format!(
+            "{design} final: {ends} sessions reached a terminal label but {} were scripted \
+             — recovery lost sessions [{repro}]",
+            spec.sessions
+        ));
+    }
+    run.violations = violations;
+    run
+}
+
+// ------------------------------------------------------------- kernel --
+
+/// What [`kernel_reconcile`] rebuilds: the session table, the shard
+/// directory tokens, and the driver context.
+type KernelWorld = (
+    Vec<Option<KSession>>,
+    Vec<mx_kernel::ObjToken>,
+    KernelWorldCtx,
+);
+
+/// Rebuilds the kernel-side user world after a recovery bootload:
+/// re-registers the (in-core, therefore lost) accounts, re-opens the
+/// driver session, reconciles the shared fixtures against whatever
+/// survived on disk, wipes the population's own files, and re-opens
+/// every surviving session at its pre-crash logical state.
+fn kernel_reconcile(
+    k: &mut Kernel,
+    svc: &mut AnsweringService,
+    load: &LoadSpec,
+    scripts: &[SessionScript],
+    st: &EngineState,
+    old_sessions: &[Option<KSession>],
+) -> Result<KernelWorld, String> {
+    svc.register(k, "drv", UserId(1), "pw", Label::BOTTOM);
+    for idx in 0..load.sessions {
+        svc.register(k, &account_name(idx), UserId(1), "pw", Label::BOTTOM);
+    }
+    let drv = svc
+        .login(k, "drv", "pw", Label::BOTTOM)
+        .map_err(|e| format!("driver re-login: {e:?}"))?;
+    let root = k.root_token();
+    let acl = Acl::owner(UserId(1));
+
+    // Library: keep the surviving segment if there is one, recreate it
+    // if the crash cost us the entry, and re-publish the definitions
+    // either way (cheap, idempotent, and repairs a torn page).
+    let lib_tok = match k.dir_search(drv, root, "lib") {
+        Ok(tok) => tok,
+        Err(_) => k
+            .create_entry(drv, root, "lib", acl.clone(), Label::BOTTOM, false)
+            .map_err(|e| format!("lib recreate: {e:?}"))?,
+    };
+    let lib_segno = k
+        .initiate(drv, lib_tok)
+        .map_err(|e| format!("lib initiate: {e:?}"))?;
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    publish_library(k, drv, lib_segno, &def_refs).map_err(|e| format!("lib publish: {e:?}"))?;
+
+    // Shared segment: find-or-create, then rewrite every page.
+    let shared_tok = match k.dir_search(drv, root, "shared") {
+        Ok(tok) => tok,
+        Err(_) => k
+            .create_entry(drv, root, "shared", acl.clone(), Label::BOTTOM, false)
+            .map_err(|e| format!("shared recreate: {e:?}"))?,
+    };
+    let shared_segno = k
+        .initiate(drv, shared_tok)
+        .map_err(|e| format!("shared initiate: {e:?}"))?;
+    for page in 0..SHARED_PAGES {
+        k.write_word(drv, shared_segno, page * PW, Word::new(shared_word(page)))
+            .map_err(|e| format!("shared page {page}: {e:?}"))?;
+    }
+
+    // Shard directories: keep survivors (their salvaged quota cells are
+    // the disk truth — neither design's set-quota call is idempotent),
+    // recreate and re-cap only what vanished.
+    let mut shard_toks = Vec::new();
+    for j in 0..load.shard_count() {
+        let tok = match k.dir_search(drv, root, &format!("s{j}")) {
+            Ok(tok) => tok,
+            Err(_) => {
+                let tok = k
+                    .create_entry(
+                        drv,
+                        root,
+                        &format!("s{j}"),
+                        acl.clone(),
+                        Label::BOTTOM,
+                        true,
+                    )
+                    .map_err(|e| format!("shard s{j} recreate: {e:?}"))?;
+                k.set_quota(drv, tok, load.shard_quota_pages())
+                    .map_err(|e| format!("shard s{j} quota: {e:?}"))?;
+                tok
+            }
+        };
+        shard_toks.push(tok);
+    }
+
+    // Wipe the population's own files. A survivor's file is about to be
+    // replayed to its exact pre-crash contents under the session's new
+    // process; finished sessions already deleted theirs; abandoned
+    // leftovers are reclaimed (recovery's one permitted tidy-up — both
+    // designs do it identically, so parity is unaffected).
+    for idx in 0..load.sessions {
+        let _ = k.delete_entry(drv, shard_toks[scripts[idx].shard], &file_name(idx));
+    }
+
+    // Re-open every surviving session at its script position.
+    let mut sessions: Vec<Option<KSession>> = (0..load.sessions).map(|_| None).collect();
+    for lv in &st.live {
+        let idx = lv.idx;
+        let pid = svc
+            .login(k, &account_name(idx), "pw", Label::BOTTOM)
+            .map_err(|e| format!("survivor u{idx} re-login: {e:?}"))?;
+        let ns = NameSpace::new(k, pid);
+        let mut s = KSession {
+            pid,
+            ns,
+            linker: UserLinker::new(pid),
+            own: None,
+            shared_segno: None,
+        };
+        // `own` distinguishes create-succeeded (file exists logically,
+        // even with zero pages grown) from never-created — a difference
+        // invisible in the label stream but load-bearing for replay.
+        let had_own = old_sessions[idx].as_ref().is_some_and(|o| o.own.is_some());
+        if had_own {
+            let tok = k
+                .create_entry(
+                    pid,
+                    shard_toks[scripts[idx].shard],
+                    &file_name(idx),
+                    acl.clone(),
+                    Label::BOTTOM,
+                    false,
+                )
+                .map_err(|e| format!("survivor u{idx} file recreate: {e:?}"))?;
+            let segno = k
+                .initiate(pid, tok)
+                .map_err(|e| format!("survivor u{idx} file initiate: {e:?}"))?;
+            for (page, &val) in lv.grown_vals.iter().enumerate() {
+                k.write_word(pid, segno, page as u32 * PW, Word::new(val))
+                    .map_err(|e| format!("survivor u{idx} replay page {page}: {e:?}"))?;
+            }
+            s.own = Some((segno, tok));
+        }
+        sessions[idx] = Some(s);
+    }
+    Ok((sessions, shard_toks, KernelWorldCtx { drv, shared_segno }))
+}
+
+/// Runs the chaos composition on the new kernel.
+pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
+    let load = LoadSpec::continuous(spec.sessions, spec.seed);
+    let scripts = load.scripts();
+    let schedule = spec.policy.descriptor();
+    let repro = spec.repro("kernel");
+    let mut violations: Vec<String> = Vec::new();
+
+    let (mut d, mut ctx) = setup_kernel(&load);
+    // The durability point: everything the world build created is on
+    // disk before the first crash can happen.
+    d.k.sync_to_disk().expect("setup sync");
+    d.k.reset_load_probes();
+    if let Some(p) = spec.policy.make(0) {
+        d.k.set_schedule_policy(p);
+    }
+
+    let mut st = EngineState::new();
+    storm(&mut d, &scripts, &mut st);
+
+    let mut epochs: Vec<EpochReport> = Vec::new();
+    let mut epoch_bounds: Vec<usize> = Vec::new();
+    let mut load_cycles = 0u64;
+    let mut recovery_total = 0u64;
+    let mut epoch_base = d.k.machine.clock.now();
+    let mut drained = false;
+
+    for e in 0..u64::from(spec.crashes) {
+        drained = drive_until(
+            &mut d,
+            &scripts,
+            &mut st,
+            Some((e + 1) * spec.ops_per_epoch()),
+        );
+        for v in oracle::check_kernel(&d.k) {
+            violations.push(format!("kernel epoch {e}: {v} [{repro}]"));
+        }
+        let now = d.k.machine.clock.now();
+        load_cycles += now - epoch_base;
+        let mut report = EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queue_delay: d.k.vpm.queue_delay(),
+            event_queue_hwm: d.k.upm.queue_high_watermark(),
+            live_at_crash: st.live.len(),
+            queued_at_crash: d.svc.queued_logins(),
+            salvage_problems: 0,
+            salvage_repairs: 0,
+            recovery_cycles: 0,
+            crashed: false,
+        };
+        if drained {
+            epochs.push(report);
+            break;
+        }
+        epoch_bounds.push(st.parity.len());
+
+        // ---- the crash: beacon, arm, power fails mid-sync ----
+        if let Err(err) =
+            d.k.write_word(ctx.drv, ctx.shared_segno, 1, Word::new(0xBEAC_0000 + e))
+        {
+            violations.push(format!("kernel epoch {e}: beacon write: {err:?} [{repro}]"));
+        }
+        d.k.machine
+            .faults
+            .crash_after_further_writes(1, crash_mode(spec.plan_seed, e));
+        let sync = d.k.sync_to_disk();
+        if sync.is_ok() || d.k.machine.faults.halted().is_none() {
+            violations.push(format!(
+                "kernel epoch {e}: crash plan failed to fire during sync [{repro}]"
+            ));
+            epochs.push(report);
+            return assemble(
+                "kernel",
+                schedule,
+                spec,
+                st,
+                epochs,
+                epoch_bounds,
+                load_cycles,
+                recovery_total,
+                violations,
+                0,
+            );
+        }
+        let image = d.k.machine.disks.clone();
+        let KernelDriver {
+            mut svc,
+            sessions: old_sessions,
+            ..
+        } = d;
+        let pending_before = svc.pending_names();
+        svc.crash_recover();
+
+        // ---- recovery: bootload, salvage twice, reconcile ----
+        let mut rk = match Kernel::boot_from_image(load.kernel_config(), image) {
+            Ok(rk) => rk,
+            Err(err) => {
+                violations.push(format!(
+                    "kernel epoch {e}: recovery bootload failed: {err:?} [{repro}]"
+                ));
+                epochs.push(report);
+                return assemble(
+                    "kernel",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        };
+        match (rk.salvage(true), rk.salvage(false)) {
+            (Ok(repaired), Ok(check)) => {
+                report.salvage_problems = repaired.problems.len();
+                report.salvage_repairs = repaired.repairs.len();
+                if !check.clean() {
+                    violations.push(format!(
+                        "kernel epoch {e}: salvage not idempotent — second pass sees {:?} [{repro}]",
+                        check.problems
+                    ));
+                }
+            }
+            (r, c) => violations.push(format!(
+                "kernel epoch {e}: salvage errored: {r:?} / {c:?} [{repro}]"
+            )),
+        }
+        for v in oracle::check_kernel(&rk) {
+            violations.push(format!("kernel epoch {e} post-salvage: {v} [{repro}]"));
+        }
+        match kernel_reconcile(&mut rk, &mut svc, &load, &scripts, &st, &old_sessions) {
+            Ok((sessions, shard_toks, nctx)) => {
+                if svc.pending_names() != pending_before {
+                    violations.push(format!(
+                        "kernel epoch {e}: admission queue changed across recovery — \
+                         {pending_before:?} became {:?} [{repro}]",
+                        svc.pending_names()
+                    ));
+                }
+                ctx = nctx;
+                d = KernelDriver {
+                    k: rk,
+                    svc,
+                    sessions,
+                    shard_toks,
+                };
+            }
+            Err(msg) => {
+                violations.push(format!("kernel epoch {e}: reconcile: {msg} [{repro}]"));
+                epochs.push(report);
+                return assemble(
+                    "kernel",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        }
+        if e == 0 && spec.self_check == C1SelfCheck::DropQueuedLogin {
+            d.svc.drop_last_pending_for_test();
+        }
+        report.recovery_cycles = d.k.machine.clock.now();
+        recovery_total += report.recovery_cycles;
+        report.crashed = true;
+        epochs.push(report);
+
+        if let Some(p) = spec.policy.make(e + 1) {
+            d.k.set_schedule_policy(p);
+        }
+        // Recovery and reconciliation traffic must not leak into the
+        // next epoch's figures.
+        d.k.reset_load_probes();
+        epoch_base = d.k.machine.clock.now();
+    }
+
+    if !drained {
+        drive_until(&mut d, &scripts, &mut st, None);
+        for v in oracle::check_kernel(&d.k) {
+            violations.push(format!("kernel final: {v} [{repro}]"));
+        }
+        let now = d.k.machine.clock.now();
+        load_cycles += now - epoch_base;
+        epochs.push(EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queue_delay: d.k.vpm.queue_delay(),
+            event_queue_hwm: d.k.upm.queue_high_watermark(),
+            live_at_crash: 0,
+            queued_at_crash: d.svc.queued_logins(),
+            salvage_problems: 0,
+            salvage_repairs: 0,
+            recovery_cycles: 0,
+            crashed: false,
+        });
+    }
+    let stranded = d.svc.queued_logins();
+    assemble(
+        "kernel",
+        schedule,
+        spec,
+        st,
+        epochs,
+        epoch_bounds,
+        load_cycles,
+        recovery_total,
+        violations,
+        stranded,
+    )
+}
+
+// ------------------------------------------------------------- legacy --
+
+/// The legacy mirror of [`kernel_reconcile`]: same logical steps,
+/// through the 1974 supervisor's interfaces.
+fn legacy_reconcile(
+    sup: &mut Supervisor,
+    load: &LoadSpec,
+    scripts: &[SessionScript],
+    st: &EngineState,
+    old_sessions: &[Option<LSession>],
+) -> Result<(Vec<Option<LSession>>, LegacyWorldCtx), String> {
+    sup.register_user("drv", LUserId(1), "pw", Label::BOTTOM);
+    for idx in 0..load.sessions {
+        sup.register_user(&account_name(idx), LUserId(1), "pw", Label::BOTTOM);
+    }
+    let drv = sup
+        .login("drv", "pw", Label::BOTTOM)
+        .map_err(|e| format!("driver re-login: {e:?}"))?;
+    let root = sup.root();
+    let acl = LAcl::owner(LUserId(1));
+
+    let lib_uid = match sup.resolve(drv, "lib", AccessRight::Read) {
+        Ok((uid, _)) => uid,
+        Err(_) => sup
+            .create_segment_in(root, "lib", acl.clone(), Label::BOTTOM)
+            .map_err(|e| format!("lib recreate: {e:?}"))?,
+    };
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    // The definition table is in-core on the old design: every recovery
+    // must re-publish or links dangle.
+    sup.publish_definitions(lib_uid, &def_refs);
+    let lib_segno = sup
+        .initiate(drv, "lib")
+        .map_err(|e| format!("lib initiate: {e:?}"))?;
+    sup.user_write(drv, lib_segno, 0, Word::new(def_refs.len() as u64))
+        .map_err(|e| format!("lib page: {e:?}"))?;
+
+    if sup.resolve(drv, "shared", AccessRight::Read).is_err() {
+        sup.create_segment_in(root, "shared", acl.clone(), Label::BOTTOM)
+            .map_err(|e| format!("shared recreate: {e:?}"))?;
+    }
+    let shared_segno = sup
+        .initiate(drv, "shared")
+        .map_err(|e| format!("shared initiate: {e:?}"))?;
+    for page in 0..SHARED_PAGES {
+        sup.user_write(drv, shared_segno, page * PW, Word::new(shared_word(page)))
+            .map_err(|e| format!("shared page {page}: {e:?}"))?;
+    }
+
+    for j in 0..load.shard_count() {
+        if sup
+            .resolve(drv, &format!("s{j}"), AccessRight::Read)
+            .is_err()
+        {
+            sup.create_directory_in(root, &format!("s{j}"), acl.clone(), Label::BOTTOM)
+                .map_err(|e| format!("shard s{j} recreate: {e:?}"))?;
+            sup.set_quota_directory(drv, &format!("s{j}"), load.shard_quota_pages())
+                .map_err(|e| format!("shard s{j} quota: {e:?}"))?;
+        }
+    }
+
+    for (idx, script) in scripts.iter().enumerate() {
+        let _ = sup.delete(drv, &format!("s{}>{}", script.shard, file_name(idx)));
+    }
+
+    let mut sessions: Vec<Option<LSession>> = (0..load.sessions).map(|_| None).collect();
+    for lv in &st.live {
+        let idx = lv.idx;
+        let pid = sup
+            .login(&account_name(idx), "pw", Label::BOTTOM)
+            .map_err(|e| format!("survivor u{idx} re-login: {e:?}"))?;
+        let mut s = LSession {
+            pid,
+            own_segno: None,
+            shared_segno: None,
+        };
+        let had_own = old_sessions[idx]
+            .as_ref()
+            .is_some_and(|o| o.own_segno.is_some());
+        if had_own {
+            let shard = scripts[idx].shard;
+            let (shard_uid, _) = sup
+                .resolve(pid, &format!("s{shard}"), AccessRight::Read)
+                .map_err(|e| format!("survivor u{idx} shard resolve: {e:?}"))?;
+            sup.create_segment_in(shard_uid, &file_name(idx), acl.clone(), Label::BOTTOM)
+                .map_err(|e| format!("survivor u{idx} file recreate: {e:?}"))?;
+            let segno = sup
+                .initiate(pid, &format!("s{shard}>{}", file_name(idx)))
+                .map_err(|e| format!("survivor u{idx} file initiate: {e:?}"))?;
+            for (page, &val) in lv.grown_vals.iter().enumerate() {
+                sup.user_write(pid, segno, page as u32 * PW, Word::new(val))
+                    .map_err(|e| format!("survivor u{idx} replay page {page}: {e:?}"))?;
+            }
+            s.own_segno = Some(segno);
+        }
+        sessions[idx] = Some(s);
+    }
+    Ok((sessions, LegacyWorldCtx { drv, shared_segno }))
+}
+
+/// Runs the chaos composition on the 1974 supervisor. Its one inherent
+/// schedule is the baseline every kernel policy run is compared to.
+pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
+    let load = LoadSpec::continuous(spec.sessions, spec.seed);
+    let scripts = load.scripts();
+    let schedule = "inherent".to_string();
+    let repro = spec.repro("legacy");
+    let mut violations: Vec<String> = Vec::new();
+
+    let (mut d, mut ctx) = setup_legacy(&load);
+    d.sup.sync_to_disk().expect("setup sync");
+
+    let mut st = EngineState::new();
+    storm(&mut d, &scripts, &mut st);
+
+    let mut epochs: Vec<EpochReport> = Vec::new();
+    let mut epoch_bounds: Vec<usize> = Vec::new();
+    let mut load_cycles = 0u64;
+    let mut recovery_total = 0u64;
+    let mut epoch_base = d.sup.machine.clock.now();
+    let mut drained = false;
+
+    for e in 0..u64::from(spec.crashes) {
+        drained = drive_until(
+            &mut d,
+            &scripts,
+            &mut st,
+            Some((e + 1) * spec.ops_per_epoch()),
+        );
+        for v in oracle::check_legacy(&d.sup) {
+            violations.push(format!("legacy epoch {e}: {v} [{repro}]"));
+        }
+        let now = d.sup.machine.clock.now();
+        load_cycles += now - epoch_base;
+        let mut report = EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queue_delay: (0, 0),
+            event_queue_hwm: 0,
+            live_at_crash: st.live.len(),
+            queued_at_crash: d.pending.len(),
+            salvage_problems: 0,
+            salvage_repairs: 0,
+            recovery_cycles: 0,
+            crashed: false,
+        };
+        if drained {
+            epochs.push(report);
+            break;
+        }
+        epoch_bounds.push(st.parity.len());
+
+        if let Err(err) = d
+            .sup
+            .user_write(ctx.drv, ctx.shared_segno, 1, Word::new(0xBEAC_0000 + e))
+        {
+            violations.push(format!("legacy epoch {e}: beacon write: {err:?} [{repro}]"));
+        }
+        d.sup
+            .machine
+            .faults
+            .crash_after_further_writes(1, crash_mode(spec.plan_seed, e));
+        let sync = d.sup.sync_to_disk();
+        if sync.is_ok() || d.sup.machine.faults.halted().is_none() {
+            violations.push(format!(
+                "legacy epoch {e}: crash plan failed to fire during sync [{repro}]"
+            ));
+            epochs.push(report);
+            return assemble(
+                "legacy",
+                schedule,
+                spec,
+                st,
+                epochs,
+                epoch_bounds,
+                load_cycles,
+                recovery_total,
+                violations,
+                0,
+            );
+        }
+        let image = d.sup.machine.disks.clone();
+        let LegacyDriver {
+            sessions: old_sessions,
+            mut pending,
+            ..
+        } = d;
+
+        let mut rs = match Supervisor::boot_from_image(load.supervisor_config(), image) {
+            Ok(rs) => rs,
+            Err(err) => {
+                violations.push(format!(
+                    "legacy epoch {e}: recovery bootload failed: {err:?} [{repro}]"
+                ));
+                epochs.push(report);
+                return assemble(
+                    "legacy",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        };
+        match (rs.salvage(true), rs.salvage(false)) {
+            (Ok(repaired), Ok(check)) => {
+                report.salvage_problems = repaired.problems.len();
+                report.salvage_repairs = repaired.repairs.len();
+                if !check.clean() {
+                    violations.push(format!(
+                        "legacy epoch {e}: salvage not idempotent — second pass sees {:?} [{repro}]",
+                        check.problems
+                    ));
+                }
+            }
+            (r, c) => violations.push(format!(
+                "legacy epoch {e}: salvage errored: {r:?} / {c:?} [{repro}]"
+            )),
+        }
+        for v in oracle::check_legacy(&rs) {
+            violations.push(format!("legacy epoch {e} post-salvage: {v} [{repro}]"));
+        }
+        match legacy_reconcile(&mut rs, &load, &scripts, &st, &old_sessions) {
+            Ok((sessions, nctx)) => {
+                ctx = nctx;
+                if e == 0 && spec.self_check == C1SelfCheck::DropQueuedLogin {
+                    pending.pop_back();
+                }
+                d = LegacyDriver {
+                    sup: rs,
+                    sessions,
+                    pending,
+                };
+            }
+            Err(msg) => {
+                violations.push(format!("legacy epoch {e}: reconcile: {msg} [{repro}]"));
+                epochs.push(report);
+                return assemble(
+                    "legacy",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        }
+        report.recovery_cycles = d.sup.machine.clock.now();
+        recovery_total += report.recovery_cycles;
+        report.crashed = true;
+        epochs.push(report);
+        epoch_base = d.sup.machine.clock.now();
+    }
+
+    if !drained {
+        drive_until(&mut d, &scripts, &mut st, None);
+        for v in oracle::check_legacy(&d.sup) {
+            violations.push(format!("legacy final: {v} [{repro}]"));
+        }
+        let now = d.sup.machine.clock.now();
+        load_cycles += now - epoch_base;
+        epochs.push(EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queue_delay: (0, 0),
+            event_queue_hwm: 0,
+            live_at_crash: 0,
+            queued_at_crash: d.pending.len(),
+            salvage_problems: 0,
+            salvage_repairs: 0,
+            recovery_cycles: 0,
+            crashed: false,
+        });
+    }
+    let stranded = d.pending.len();
+    assemble(
+        "legacy",
+        schedule,
+        spec,
+        st,
+        epochs,
+        epoch_bounds,
+        load_cycles,
+        recovery_total,
+        violations,
+        stranded,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: C1Policy) -> C1Spec {
+        C1Spec::new(8, 0xC1, 0xFA11, 2, policy)
+    }
+
+    #[test]
+    fn kernel_chaos_run_is_clean_and_deterministic() {
+        let spec = small(C1Policy::Fifo);
+        let a = run_kernel_c1(&spec);
+        assert_eq!(a.violations, Vec::<String>::new());
+        assert_eq!(
+            a.epochs.iter().filter(|e| e.crashed).count(),
+            2,
+            "both crashes fired"
+        );
+        let b = run_kernel_c1(&spec);
+        assert_eq!(a.transcript(), b.transcript(), "byte-identical rerun");
+    }
+
+    #[test]
+    fn legacy_chaos_run_is_clean_and_deterministic() {
+        let spec = small(C1Policy::Fifo);
+        let a = run_legacy_c1(&spec);
+        assert_eq!(a.violations, Vec::<String>::new());
+        assert_eq!(a.epochs.iter().filter(|e| e.crashed).count(), 2);
+        let b = run_legacy_c1(&spec);
+        assert_eq!(a.transcript(), b.transcript());
+    }
+
+    #[test]
+    fn designs_agree_label_by_label_across_crashes() {
+        let spec = small(C1Policy::Fifo);
+        let k = run_kernel_c1(&spec);
+        let l = run_legacy_c1(&spec);
+        assert_eq!(k.parity, l.parity, "cross-design parity across crashes");
+        assert_eq!(k.epoch_bounds, l.epoch_bounds, "ops-positioned bounds");
+        assert_eq!(k.admitted_order, l.admitted_order, "FIFO fairness");
+    }
+
+    #[test]
+    fn adversarial_schedules_preserve_parity() {
+        let spec = small(C1Policy::Fifo);
+        let l = run_legacy_c1(&spec);
+        for policy in [C1Policy::Random(7), C1Policy::Pct(7)] {
+            let k = run_kernel_c1(&C1Spec { policy, ..spec });
+            assert_eq!(k.violations, Vec::<String>::new(), "{policy:?}");
+            assert_eq!(k.parity, l.parity, "{policy:?} diverged from baseline");
+            assert_eq!(k.admitted_order, l.admitted_order, "{policy:?} fairness");
+        }
+    }
+
+    #[test]
+    fn dropped_queued_login_is_caught_with_replayable_repro() {
+        let mut spec = small(C1Policy::Fifo);
+        spec.self_check = C1SelfCheck::DropQueuedLogin;
+        let broken = run_kernel_c1(&spec);
+        assert!(
+            !broken.violations.is_empty(),
+            "the cheat must be caught by the oracles"
+        );
+        assert!(
+            broken
+                .violations
+                .iter()
+                .any(|v| v.contains("seed=") && v.contains("plan=") && v.contains("schedule=")),
+            "violations must carry the replayable repro string: {:?}",
+            broken.violations
+        );
+        // The printed triple replays to the identical violations.
+        let replay = run_kernel_c1(&spec);
+        assert_eq!(broken.violations, replay.violations);
+    }
+}

@@ -5,7 +5,11 @@
 //! percentiles without storing every sample. Bucket `b` holds deltas
 //! whose bit length is `b` (bucket 0 holds only 0), so a reported
 //! percentile is the inclusive upper bound `2^b - 1` of the bucket the
-//! requested rank lands in.
+//! requested rank lands in. Two edges are pinned by tests: a zero-cycle
+//! sample lands in bucket 0 and reports as 0, and the top bucket — which
+//! absorbs bit-length-64 deltas alongside bit-length-63 ones — reports
+//! `u64::MAX`, since `2^63 - 1` would silently understate any saturated
+//! sample.
 
 /// Fixed-bucket histogram of cycle deltas.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,7 +33,9 @@ impl Histogram {
         }
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. A zero delta (an operation retired
+    /// without the clock moving) is a legal sample and lands in bucket 0;
+    /// deltas of bit length 64 saturate into the top bucket.
     pub fn record(&mut self, delta: u64) {
         let bucket = (u64::BITS - delta.leading_zeros()) as usize;
         self.buckets[bucket.min(63)] += 1;
@@ -39,6 +45,16 @@ impl Histogram {
     /// Samples recorded.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Folds another histogram into this one, bucket by bucket — the
+    /// cross-epoch aggregator: per-epoch histograms merge into the
+    /// whole-run distribution without re-recording a single sample.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.samples += other.samples;
     }
 
     /// The inclusive upper bound of the bucket holding the `pct`-th
@@ -54,7 +70,14 @@ impl Histogram {
         for (b, &count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return match b {
+                    0 => 0,
+                    // The top bucket also holds bit-length-64 deltas
+                    // (record saturates), so its honest inclusive upper
+                    // bound is u64::MAX, not 2^63 - 1.
+                    63 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
             }
         }
         u64::MAX
@@ -95,5 +118,53 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         assert_eq!(Histogram::new().percentile(99), 0);
+    }
+
+    #[test]
+    fn zero_cycle_sample_is_a_legal_bucket_zero_entry() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.samples(), 1);
+        assert_eq!(h.percentile(1), 0);
+        assert_eq!(h.percentile(100), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturates_and_reports_u64_max() {
+        let mut h = Histogram::new();
+        // Bit length 63 and bit length 64 share the top bucket; the
+        // reported bound must cover both, not understate the saturated
+        // sample as 2^63 - 1.
+        h.record(1u64 << 62); // bit length 63
+        h.record(u64::MAX); // bit length 64, saturates
+        assert_eq!(h.percentile(100), u64::MAX);
+        assert_eq!(h.percentile(1), u64::MAX, "both live in bucket 63");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for d in [0, 1, 10, 1000, u64::MAX] {
+            whole.record(d);
+            left.record(d);
+        }
+        for d in [3, 7, 12_345] {
+            whole.record(d);
+            right.record(d);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.samples(), 8);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
     }
 }

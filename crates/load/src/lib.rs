@@ -12,10 +12,12 @@
 //!
 //! Everything here is seed-pure: same spec, same bytes, every run.
 
+pub mod epoch;
 pub mod hist;
 pub mod run;
 pub mod script;
 
+pub use epoch::{run_kernel_c1, run_legacy_c1, C1Policy, C1Run, C1SelfCheck, C1Spec, EpochReport};
 pub use hist::Histogram;
 pub use run::{run_both, run_kernel_load, run_legacy_load, LoadRun, LoadSpec};
 pub use script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};

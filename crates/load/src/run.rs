@@ -33,6 +33,15 @@ pub struct LoadSpec {
     /// full-pack outcomes; the default sizes storage to the population
     /// and measures scheduling and paging instead.
     pub tight_storage: bool,
+    /// With `tight_storage`: keep the tight shard quotas and the small
+    /// process table, but give the packs room. The chaos-composition
+    /// harness (C1) uses this shape: quota outcomes and admission
+    /// pressure stay adversarial, while `AllPacksFull` — whose exact
+    /// onset depends on each design's internal record allocations, which
+    /// recovery legitimately perturbs — stays out of the user-visible
+    /// stream. `>processes` also accumulates one state segment per login
+    /// across recovery epochs, which the roomier root quota absorbs.
+    pub(crate) headroom: bool,
 }
 
 impl LoadSpec {
@@ -42,6 +51,7 @@ impl LoadSpec {
             sessions,
             seed,
             tight_storage: false,
+            headroom: false,
         }
     }
 
@@ -51,6 +61,20 @@ impl LoadSpec {
             sessions,
             seed,
             tight_storage: true,
+            headroom: false,
+        }
+    }
+
+    /// The continuous-operation spec (the C1 chaos-composition shape):
+    /// tight quotas and a small process table under a long-horizon run
+    /// segmented by crashes, with enough pack room that storage survives
+    /// several epochs of recovery traffic.
+    pub fn continuous(sessions: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            seed,
+            tight_storage: true,
+            headroom: true,
         }
     }
 
@@ -72,8 +96,19 @@ impl LoadSpec {
         }
     }
 
-    fn kernel_config(&self) -> KernelConfig {
+    pub(crate) fn kernel_config(&self) -> KernelConfig {
         if self.tight_storage {
+            if self.headroom {
+                return KernelConfig {
+                    frames: 96,
+                    packs: 2,
+                    records_per_pack: 64,
+                    toc_slots_per_pack: 96,
+                    max_processes: 4,
+                    root_quota: 512,
+                    ..KernelConfig::default()
+                };
+            }
             KernelConfig {
                 frames: 96,
                 packs: 2,
@@ -94,8 +129,19 @@ impl LoadSpec {
         }
     }
 
-    fn supervisor_config(&self) -> SupervisorConfig {
+    pub(crate) fn supervisor_config(&self) -> SupervisorConfig {
         if self.tight_storage {
+            if self.headroom {
+                return SupervisorConfig {
+                    frames: 96,
+                    packs: 2,
+                    records_per_pack: 64,
+                    toc_slots_per_pack: 96,
+                    ast_slots: 64,
+                    max_processes: 4,
+                    root_quota_pages: 512,
+                };
+            }
             SupervisorConfig {
                 frames: 96,
                 packs: 2,
@@ -114,6 +160,37 @@ impl LoadSpec {
                 ..SupervisorConfig::default()
             }
         }
+    }
+
+    /// The overflow pack this spec attaches after boot, if any, as
+    /// `(records, toc_slots)`. Recovery re-attaches the same shape.
+    pub(crate) fn overflow_pack(&self) -> Option<(u32, u32)> {
+        if !self.tight_storage {
+            None
+        } else if self.headroom {
+            // Room for several epochs of relocation targets plus the
+            // state segments each recovery's re-logins accrete.
+            Some((128, 96))
+        } else {
+            // A modest overflow pack: relocation has a target, but a
+            // heavy seed can still fill everything — the full-pack
+            // outcome.
+            Some((48, 24))
+        }
+    }
+
+    pub(crate) fn scripts(&self) -> Vec<SessionScript> {
+        (0..self.sessions)
+            .map(|i| session_script(self.seed, i, self.shards()))
+            .collect()
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards()
+    }
+
+    pub(crate) fn shard_quota_pages(&self) -> u32 {
+        self.shard_quota()
     }
 }
 
@@ -196,7 +273,7 @@ impl LoadRun {
 /// A script op made concrete by the engine (page picks reduced against
 /// the session's actual growth; paths left symbolic for the driver).
 #[derive(Debug, Clone, Copy)]
-enum Action {
+pub(crate) enum Action {
     Link(usize),
     Resolve(ResolveTarget),
     Grow { page: u32, val: u64 },
@@ -205,14 +282,14 @@ enum Action {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ResolveTarget {
+pub(crate) enum ResolveTarget {
     Lib,
     Shared,
     Shard(usize),
 }
 
 /// The design-specific half of the harness.
-trait Driver {
+pub(crate) trait Driver {
     fn now(&self) -> u64;
     fn queued(&self) -> usize;
     /// Login attempt for session `idx`: true = admitted, false = parked
@@ -233,116 +310,163 @@ trait Driver {
     fn housekeep(&mut self);
 }
 
-struct Live {
-    idx: usize,
-    op_ix: usize,
-    grown: u32,
+pub(crate) struct Live {
+    pub(crate) idx: usize,
+    pub(crate) op_ix: usize,
+    /// The values the session's own file has successfully grown by, in
+    /// page order. `len()` is the classic grown count; keeping the
+    /// values lets a recovery harness replay the file's exact contents
+    /// when a crash loses the in-flight copy.
+    pub(crate) grown_vals: Vec<u64>,
 }
 
-struct EngineOut {
-    parity: Vec<String>,
-    hist: Histogram,
-    ops: u64,
-    queued_peak: usize,
-    abandoned: usize,
+impl Live {
+    fn fresh(idx: usize) -> Self {
+        Self {
+            idx,
+            op_ix: 0,
+            grown_vals: Vec::new(),
+        }
+    }
 }
 
-fn drive<D: Driver>(d: &mut D, scripts: &[SessionScript]) -> EngineOut {
-    let mut parity = Vec::new();
-    let mut hist = Histogram::new();
-    let mut ops = 0u64;
-    let mut queued_peak = 0usize;
-    let mut abandoned = 0usize;
-    let mut finished = 0usize;
-    let mut live: Vec<Live> = Vec::new();
+/// The engine's whole position in the logical stream. Persisting this
+/// across a crash/recover boundary — while the driver underneath is torn
+/// down and rebuilt — is what lets a segmented run execute the same
+/// logical stream as an uninterrupted one.
+pub(crate) struct EngineState {
+    pub(crate) live: Vec<Live>,
+    pub(crate) cursor: usize,
+    pub(crate) finished: usize,
+    pub(crate) ops: u64,
+    pub(crate) queued_peak: usize,
+    pub(crate) abandoned: usize,
+    pub(crate) parity: Vec<String>,
+    pub(crate) hist: Histogram,
+    /// Session indices in the order the admission queue released them
+    /// (post-storm admissions only) — the fairness record.
+    pub(crate) admitted_order: Vec<usize>,
+}
 
-    // The login storm: every user arrives before anyone acts.
+impl EngineState {
+    pub(crate) fn new() -> Self {
+        Self {
+            live: Vec::new(),
+            cursor: 0,
+            finished: 0,
+            ops: 0,
+            queued_peak: 0,
+            abandoned: 0,
+            parity: Vec::new(),
+            hist: Histogram::new(),
+            admitted_order: Vec::new(),
+        }
+    }
+}
+
+/// The login storm: every user arrives before anyone acts.
+pub(crate) fn storm<D: Driver>(d: &mut D, scripts: &[SessionScript], st: &mut EngineState) {
     for idx in 0..scripts.len() {
         if d.request(idx) {
-            live.push(Live {
-                idx,
-                op_ix: 0,
-                grown: 0,
-            });
+            st.live.push(Live::fresh(idx));
         }
-        queued_peak = queued_peak.max(d.queued());
+        st.queued_peak = st.queued_peak.max(d.queued());
     }
+}
 
-    while !live.is_empty() {
-        let mut i = 0;
-        while i < live.len() {
-            let (idx, op_ix, grown) = {
-                let s = &live[i];
-                (s.idx, s.op_ix, s.grown)
+/// Advances the round-robin engine until the live set drains (returns
+/// `true`) or the global op counter reaches `stop_at` (returns `false`,
+/// leaving the state resumable). The traversal is exactly the classic
+/// one: a cursor sweeps the live vector, wrapping to the front when it
+/// falls off the end, so a paused-and-resumed run visits sessions in the
+/// same order an uninterrupted run does.
+pub(crate) fn drive_until<D: Driver>(
+    d: &mut D,
+    scripts: &[SessionScript],
+    st: &mut EngineState,
+    stop_at: Option<u64>,
+) -> bool {
+    loop {
+        if st.live.is_empty() {
+            return true;
+        }
+        if let Some(stop) = stop_at {
+            if st.ops >= stop {
+                return false;
+            }
+        }
+        if st.cursor >= st.live.len() {
+            st.cursor = 0;
+        }
+        let i = st.cursor;
+        let (idx, op_ix, grown) = {
+            let s = &st.live[i];
+            (s.idx, s.op_ix, s.grown_vals.len() as u32)
+        };
+        let script = &scripts[idx];
+        if op_ix < script.ops.len() {
+            let action = match script.ops[op_ix] {
+                SessionOp::Link(s) => Some(Action::Link(s)),
+                SessionOp::Resolve(t) => Some(Action::Resolve(match t {
+                    0 => ResolveTarget::Lib,
+                    1 => ResolveTarget::Shared,
+                    _ => ResolveTarget::Shard(script.shard),
+                })),
+                SessionOp::Grow(val) => Some(Action::Grow { page: grown, val }),
+                SessionOp::ReadBack(r) if grown > 0 => Some(Action::ReadOwn { page: r % grown }),
+                SessionOp::ReadBack(_) => None, // nothing grown yet: skip
+                SessionOp::ReadShared(p) => Some(Action::ReadShared { page: p }),
             };
-            let script = &scripts[idx];
-            if op_ix < script.ops.len() {
-                let action = match script.ops[op_ix] {
-                    SessionOp::Link(s) => Some(Action::Link(s)),
-                    SessionOp::Resolve(t) => Some(Action::Resolve(match t {
-                        0 => ResolveTarget::Lib,
-                        1 => ResolveTarget::Shared,
-                        _ => ResolveTarget::Shard(script.shard),
-                    })),
-                    SessionOp::Grow(val) => Some(Action::Grow { page: grown, val }),
-                    SessionOp::ReadBack(r) if grown > 0 => {
-                        Some(Action::ReadOwn { page: r % grown })
-                    }
-                    SessionOp::ReadBack(_) => None, // nothing grown yet: skip
-                    SessionOp::ReadShared(p) => Some(Action::ReadShared { page: p }),
-                };
-                if let Some(action) = action {
-                    let before = d.now();
-                    let label = d.exec(idx, script.shard, &action);
-                    hist.record(d.now() - before);
-                    if matches!(action, Action::Grow { .. }) && label == "w:ok" {
-                        live[i].grown += 1;
-                    }
-                    parity.push(label);
-                    ops += 1;
-                    if ops.is_multiple_of(4) {
-                        d.schedule();
-                    }
-                }
-                live[i].op_ix += 1;
-                i += 1;
-            } else {
+            if let Some(action) = action {
                 let before = d.now();
-                let label = d.finish(idx, script.shard, script.abandon);
-                hist.record(d.now() - before);
-                parity.push(label);
-                ops += 1;
-                if script.abandon {
-                    abandoned += 1;
+                let label = d.exec(idx, script.shard, &action);
+                st.hist.record(d.now() - before);
+                if let Action::Grow { val, .. } = action {
+                    if label == "w:ok" {
+                        st.live[i].grown_vals.push(val);
+                    }
                 }
-                live.remove(i);
-                finished += 1;
-                if finished.is_multiple_of(12) {
-                    d.housekeep();
+                st.parity.push(label);
+                st.ops += 1;
+                if st.ops.is_multiple_of(4) {
+                    d.schedule();
                 }
-                // The freed slot goes to the head of the admission queue.
-                for idx in d.admit() {
-                    live.push(Live {
-                        idx,
-                        op_ix: 0,
-                        grown: 0,
-                    });
-                }
+            }
+            st.live[i].op_ix += 1;
+            st.cursor += 1;
+        } else {
+            let before = d.now();
+            let label = d.finish(idx, script.shard, script.abandon);
+            st.hist.record(d.now() - before);
+            st.parity.push(label);
+            st.ops += 1;
+            if script.abandon {
+                st.abandoned += 1;
+            }
+            st.live.remove(i);
+            st.finished += 1;
+            if st.finished.is_multiple_of(12) {
+                d.housekeep();
+            }
+            // The freed slot goes to the head of the admission queue.
+            for idx in d.admit() {
+                st.admitted_order.push(idx);
+                st.live.push(Live::fresh(idx));
             }
         }
     }
-    EngineOut {
-        parity,
-        hist,
-        ops,
-        queued_peak,
-        abandoned,
-    }
+}
+
+fn drive<D: Driver>(d: &mut D, scripts: &[SessionScript]) -> EngineState {
+    let mut st = EngineState::new();
+    storm(d, scripts, &mut st);
+    drive_until(d, scripts, &mut st, None);
+    st
 }
 
 // ----------------------------------------------------- shared fixtures --
 
-fn account_name(idx: usize) -> String {
+pub(crate) fn account_name(idx: usize) -> String {
     format!("u{idx}")
 }
 
@@ -356,23 +480,23 @@ fn symbol(i: usize) -> String {
     format!("sym{i:02}")
 }
 
-fn definitions() -> Vec<(String, u32)> {
+pub(crate) fn definitions() -> Vec<(String, u32)> {
     (0..LIB_SYMBOLS)
         .map(|i| (symbol(i), 64 + 8 * i as u32))
         .collect()
 }
 
-fn shared_word(page: u32) -> u64 {
+pub(crate) fn shared_word(page: u32) -> u64 {
     0x5EED + u64::from(page)
 }
 
-fn file_name(idx: usize) -> String {
+pub(crate) fn file_name(idx: usize) -> String {
     format!("f{idx}")
 }
 
 // ------------------------------------------------------- kernel driver --
 
-fn klabel(e: &KernelError) -> &'static str {
+pub(crate) fn klabel(e: &KernelError) -> &'static str {
     match e {
         KernelError::QuotaExceeded { .. } => "quota",
         KernelError::AllPacksFull => "full",
@@ -380,23 +504,23 @@ fn klabel(e: &KernelError) -> &'static str {
     }
 }
 
-struct KSession {
-    pid: ProcessId,
-    ns: NameSpace,
-    linker: UserLinker,
-    own: Option<(u32, ObjToken)>,
-    shared_segno: Option<u32>,
+pub(crate) struct KSession {
+    pub(crate) pid: ProcessId,
+    pub(crate) ns: NameSpace,
+    pub(crate) linker: UserLinker,
+    pub(crate) own: Option<(u32, ObjToken)>,
+    pub(crate) shared_segno: Option<u32>,
 }
 
-struct KernelDriver {
-    k: Kernel,
-    svc: AnsweringService,
-    sessions: Vec<Option<KSession>>,
-    shard_toks: Vec<ObjToken>,
+pub(crate) struct KernelDriver {
+    pub(crate) k: Kernel,
+    pub(crate) svc: AnsweringService,
+    pub(crate) sessions: Vec<Option<KSession>>,
+    pub(crate) shard_toks: Vec<ObjToken>,
 }
 
 impl KernelDriver {
-    fn open(&mut self, idx: usize, pid: ProcessId) {
+    pub(crate) fn open(&mut self, idx: usize, pid: ProcessId) {
         let ns = NameSpace::new(&mut self.k, pid);
         self.sessions[idx] = Some(KSession {
             pid,
@@ -542,7 +666,7 @@ impl Driver for KernelDriver {
 
 // ------------------------------------------------------- legacy driver --
 
-fn llabel(e: &LegacyError) -> &'static str {
+pub(crate) fn llabel(e: &LegacyError) -> &'static str {
     match e {
         LegacyError::QuotaExceeded { .. } => "quota",
         LegacyError::AllPacksFull => "full",
@@ -550,16 +674,16 @@ fn llabel(e: &LegacyError) -> &'static str {
     }
 }
 
-struct LSession {
-    pid: LProcessId,
-    own_segno: Option<u32>,
-    shared_segno: Option<u32>,
+pub(crate) struct LSession {
+    pub(crate) pid: LProcessId,
+    pub(crate) own_segno: Option<u32>,
+    pub(crate) shared_segno: Option<u32>,
 }
 
-struct LegacyDriver {
-    sup: Supervisor,
-    sessions: Vec<Option<LSession>>,
-    pending: std::collections::VecDeque<usize>,
+pub(crate) struct LegacyDriver {
+    pub(crate) sup: Supervisor,
+    pub(crate) sessions: Vec<Option<LSession>>,
+    pub(crate) pending: std::collections::VecDeque<usize>,
 }
 
 impl Driver for LegacyDriver {
@@ -705,18 +829,27 @@ impl Driver for LegacyDriver {
 
 // ------------------------------------------------------------ run fns --
 
-/// Runs the spec on the new kernel design. An optional schedule policy
-/// is installed *after* setup, exactly as the schedule explorer does, so
-/// every policy explores from the same initial state.
-pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>) -> LoadRun {
-    let scripts: Vec<SessionScript> = (0..spec.sessions)
-        .map(|i| session_script(spec.seed, i, spec.shards()))
-        .collect();
+/// The operator-side handles a harness keeps after world setup: the
+/// driver account's process and its window onto the shared segment.
+/// Plain load runs discard this; the recovery harness uses it to write
+/// its epoch beacon and to reconcile the world after a crash.
+pub(crate) struct KernelWorldCtx {
+    pub(crate) drv: ProcessId,
+    pub(crate) shared_segno: u32,
+}
+
+pub(crate) struct LegacyWorldCtx {
+    pub(crate) drv: LProcessId,
+    pub(crate) shared_segno: u32,
+}
+
+/// Builds the kernel world a load run executes against: overflow pack,
+/// driver account and login, published library, shared segment, quota
+/// shards, and one registered account per scripted session.
+pub(crate) fn setup_kernel(spec: &LoadSpec) -> (KernelDriver, KernelWorldCtx) {
     let mut k = Kernel::boot(spec.kernel_config());
-    if spec.tight_storage {
-        // A modest overflow pack: relocation has a target, but a heavy
-        // seed can still fill everything — the full-pack outcome.
-        k.machine.disks.attach(48, 24);
+    if let Some((records, toc_slots)) = spec.overflow_pack() {
+        k.machine.disks.attach(records, toc_slots);
     }
     let mut svc = AnsweringService::new();
     svc.register(&mut k, "drv", UserId(1), "pw", Label::BOTTOM);
@@ -771,19 +904,31 @@ pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>)
         svc.register(&mut k, &account_name(idx), UserId(1), "pw", Label::BOTTOM);
     }
 
-    let setup_cycles = k.machine.clock.now();
-    let ops_base = k.machine.ops_retired();
-    let meter_base = k.machine.clock.meter_snapshot();
+    (
+        KernelDriver {
+            k,
+            svc,
+            sessions: (0..spec.sessions).map(|_| None).collect(),
+            shard_toks,
+        },
+        KernelWorldCtx { drv, shared_segno },
+    )
+}
+
+/// Runs the spec on the new kernel design. An optional schedule policy
+/// is installed *after* setup, exactly as the schedule explorer does, so
+/// every policy explores from the same initial state.
+pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>) -> LoadRun {
+    let scripts = spec.scripts();
+    let (mut driver, _ctx) = setup_kernel(spec);
+
+    let setup_cycles = driver.k.machine.clock.now();
+    let ops_base = driver.k.machine.ops_retired();
+    let meter_base = driver.k.machine.clock.meter_snapshot();
     if let Some(p) = policy {
-        k.set_schedule_policy(p);
+        driver.k.set_schedule_policy(p);
     }
 
-    let mut driver = KernelDriver {
-        k,
-        svc,
-        sessions: (0..spec.sessions).map(|_| None).collect(),
-        shard_toks,
-    };
     let out = drive(&mut driver, &scripts);
     let k = driver.k;
 
@@ -812,15 +957,13 @@ pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>)
     }
 }
 
-/// Runs the spec on the 1974 supervisor. Its scheduler has no policy
-/// hooks: one inherent schedule per spec.
-pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
-    let scripts: Vec<SessionScript> = (0..spec.sessions)
-        .map(|i| session_script(spec.seed, i, spec.shards()))
-        .collect();
+/// Builds the legacy world a load run executes against — the same
+/// sequence of logical steps as [`setup_kernel`], through the old
+/// supervisor's interfaces.
+pub(crate) fn setup_legacy(spec: &LoadSpec) -> (LegacyDriver, LegacyWorldCtx) {
     let mut sup = Supervisor::boot(spec.supervisor_config());
-    if spec.tight_storage {
-        sup.machine.disks.attach(48, 24);
+    if let Some((records, toc_slots)) = spec.overflow_pack() {
+        sup.machine.disks.attach(records, toc_slots);
     }
     sup.register_user("drv", LUserId(1), "pw", Label::BOTTOM);
     let drv = sup.login("drv", "pw", Label::BOTTOM).expect("driver login");
@@ -863,15 +1006,26 @@ pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
         sup.register_user(&account_name(idx), LUserId(1), "pw", Label::BOTTOM);
     }
 
-    let setup_cycles = sup.machine.clock.now();
-    let ops_base = sup.machine.ops_retired();
-    let meter_base = sup.machine.clock.meter_snapshot();
+    (
+        LegacyDriver {
+            sup,
+            sessions: (0..spec.sessions).map(|_| None).collect(),
+            pending: std::collections::VecDeque::new(),
+        },
+        LegacyWorldCtx { drv, shared_segno },
+    )
+}
 
-    let mut driver = LegacyDriver {
-        sup,
-        sessions: (0..spec.sessions).map(|_| None).collect(),
-        pending: std::collections::VecDeque::new(),
-    };
+/// Runs the spec on the 1974 supervisor. Its scheduler has no policy
+/// hooks: one inherent schedule per spec.
+pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
+    let scripts = spec.scripts();
+    let (mut driver, _ctx) = setup_legacy(spec);
+
+    let setup_cycles = driver.sup.machine.clock.now();
+    let ops_base = driver.sup.machine.ops_retired();
+    let meter_base = driver.sup.machine.clock.meter_snapshot();
+
     let out = drive(&mut driver, &scripts);
     let sup = driver.sup;
 

@@ -114,6 +114,17 @@ impl<T> MessageQueue<T> {
         self.high_watermark
     }
 
+    /// Restarts the high-watermark observation from the current depth.
+    ///
+    /// An epoch boundary (a recovery boot, say) wants "how deep did the
+    /// queue get *this* epoch", not the all-time maximum — without a
+    /// reset every post-crash epoch inherits the pre-crash peak. Only
+    /// the watermark restarts: `puts` pairs with an eventcount and
+    /// `rejected` is a lifetime loss count, so both stay cumulative.
+    pub fn reset_high_watermark(&mut self) {
+        self.high_watermark = self.len;
+    }
+
     /// Enqueues a message without blocking.
     ///
     /// # Errors
@@ -213,5 +224,21 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_rejected() {
         let _ = MessageQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn watermark_reset_restarts_from_current_depth() {
+        let mut q = MessageQueue::new(4);
+        q.put(1).unwrap();
+        q.put(2).unwrap();
+        q.put(3).unwrap();
+        q.take().unwrap();
+        q.take().unwrap();
+        assert_eq!(q.high_watermark(), 3, "pre-epoch peak");
+        q.reset_high_watermark();
+        assert_eq!(q.high_watermark(), 1, "restarts at the live depth");
+        q.put(4).unwrap();
+        assert_eq!(q.high_watermark(), 2, "tracks only the new epoch");
+        assert_eq!(q.puts(), 4, "lifetime put count is untouched");
     }
 }

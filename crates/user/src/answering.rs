@@ -213,6 +213,36 @@ impl AnsweringService {
         admitted
     }
 
+    /// Crash recovery for the service's own state: every live session's
+    /// process died with core, so the session list is cleared — but the
+    /// billing records and the *admission queue survive intact*. Parked
+    /// logins are pure user-domain bookkeeping (name, password, label);
+    /// the crash owes them nothing but their place in line, and
+    /// [`AnsweringService::admit_waiting`] against the recovered kernel
+    /// admits them in the original FIFO order. Returns the names of the
+    /// sessions the crash killed, in login order.
+    pub fn crash_recover(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.sessions)
+            .into_iter()
+            .map(|s| s.name)
+            .collect()
+    }
+
+    /// Names of the parked logins, head (oldest) first — the order
+    /// [`AnsweringService::admit_waiting`] will admit them in.
+    pub fn pending_names(&self) -> Vec<String> {
+        self.pending.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Discards the *youngest* parked login, violating the service's
+    /// keep-every-queued-login recovery obligation on purpose. Exists so
+    /// recovery harnesses can prove their oracles catch a service that
+    /// loses admissions across a crash; never called by real paths.
+    #[doc(hidden)]
+    pub fn drop_last_pending_for_test(&mut self) {
+        self.pending.pop_back();
+    }
+
     /// Logins parked for a process slot.
     pub fn queued_logins(&self) -> usize {
         self.pending.len()
@@ -431,6 +461,67 @@ mod tests {
         assert_eq!(admitted.len(), 1);
         assert_eq!(admitted[0].0, "u8");
         assert_eq!(admitted[0].1, abandoned, "the freed slot is the one reused");
+    }
+
+    #[test]
+    fn crash_recovery_preserves_admission_order_and_billing() {
+        let mut k = boot(); // 8 process slots
+        let mut svc = AnsweringService::new();
+        for i in 0..12 {
+            svc.register(
+                &mut k,
+                &format!("user{i:02}"),
+                UserId(10 + i),
+                "pw",
+                Label::BOTTOM,
+            );
+        }
+        // One completed session before the storm, so a billing record
+        // exists to survive the crash.
+        let early = svc.login(&mut k, "user00", "pw", Label::BOTTOM).unwrap();
+        let charge = svc.logout(&mut k, early).unwrap();
+        // Fill every slot and park the overflow.
+        for i in 0..12 {
+            svc.login_or_queue(&mut k, &format!("user{i:02}"), "pw", Label::BOTTOM)
+                .unwrap();
+        }
+        assert_eq!(svc.active_sessions(), 8);
+        let queued_before = svc.pending_names();
+        assert_eq!(queued_before, vec!["user08", "user09", "user10", "user11"]);
+
+        // Power fails: core (and every process) is gone. The service is
+        // user-domain state and rides it out.
+        let killed = svc.crash_recover();
+        assert_eq!(killed.len(), 8, "every live session died with core");
+        assert_eq!(svc.active_sessions(), 0);
+        assert_eq!(
+            svc.pending_names(),
+            queued_before,
+            "the admission queue survives the crash untouched"
+        );
+        let rec = svc.record("user00").unwrap();
+        assert_eq!((rec.sessions, rec.charge_units), (1, charge));
+
+        // Against a recovered kernel (fresh process table here), the
+        // parked logins admit in their original FIFO order.
+        let mut k2 = boot();
+        for i in 0..12 {
+            svc.register(
+                &mut k2,
+                &format!("user{i:02}"),
+                UserId(10 + i),
+                "pw",
+                Label::BOTTOM,
+            );
+        }
+        let admitted = svc.admit_waiting(&mut k2);
+        let names: Vec<&str> = admitted.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["user08", "user09", "user10", "user11"],
+            "original arrival order, across the crash boundary"
+        );
+        assert_eq!(svc.queued_logins(), 0);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Chaos composition (C1) at the integration level: the long load
+//! stream cut by mid-sync power failures must come back — on both
+//! designs, label for label — after every crash/salvage/re-admit
+//! boundary. These run the same harness `repro --only c1` uses, at a
+//! population small enough for the test suite but large enough to keep
+//! the admission queue deep across every crash.
+//!
+//! The N=64 repro run surfaced a real recovery bug these sizes also
+//! cover: deleting a file that survived a crash (and so has no AST
+//! entry on the old supervisor) uncharged the quota cell *above* its
+//! governing quota directory, leaving the directory's own cell reading
+//! high until growth under it spuriously faulted on quota. The
+//! cross-design parity assertions here pin the fix.
+
+use mx_load::{run_kernel_c1, run_legacy_c1, C1Policy, C1SelfCheck, C1Spec};
+
+const SEED: u64 = 0x0C1_1977;
+const PLAN: u64 = 0xFA17_0C1A;
+
+fn spec(sessions: usize, policy: C1Policy) -> C1Spec {
+    C1Spec::new(sessions, SEED, PLAN, 3, policy)
+}
+
+#[test]
+fn both_designs_survive_three_crashes_with_full_parity() {
+    let k = run_kernel_c1(&spec(24, C1Policy::Fifo));
+    let l = run_legacy_c1(&spec(24, C1Policy::Fifo));
+    assert_eq!(k.violations, Vec::<String>::new());
+    assert_eq!(l.violations, Vec::<String>::new());
+    assert_eq!(k.epochs.iter().filter(|e| e.crashed).count(), 3);
+    assert_eq!(l.epochs.iter().filter(|e| e.crashed).count(), 3);
+    assert_eq!(k.parity, l.parity, "label-by-label across all crashes");
+    assert_eq!(k.epoch_bounds, l.epoch_bounds);
+}
+
+#[test]
+fn admission_order_is_fifo_across_every_crash_boundary() {
+    // Every crash hits with a deep queue; recovery must re-admit the
+    // parked population in the exact order it arrived. The admitted
+    // order is complete (everyone beyond the initial slots queued) and
+    // strictly increasing (the scripts storm in index order).
+    let k = run_kernel_c1(&spec(24, C1Policy::Fifo));
+    let l = run_legacy_c1(&spec(24, C1Policy::Fifo));
+    assert!(
+        k.epochs
+            .iter()
+            .filter(|e| e.crashed)
+            .all(|e| e.queued_at_crash > 0),
+        "every crash must land on a non-empty admission queue: {:?}",
+        k.epochs
+            .iter()
+            .map(|e| e.queued_at_crash)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(k.admitted_order, l.admitted_order);
+    assert!(
+        k.admitted_order.windows(2).all(|w| w[0] < w[1]),
+        "admissions out of arrival order: {:?}",
+        k.admitted_order
+    );
+}
+
+#[test]
+fn adversarial_schedules_change_nothing_user_visible() {
+    let base = run_kernel_c1(&spec(16, C1Policy::Fifo));
+    for policy in [C1Policy::Random(0x5C4E_D011), C1Policy::Pct(0x5C4E_D011)] {
+        let k = run_kernel_c1(&spec(16, policy));
+        assert_eq!(k.violations, Vec::<String>::new(), "{policy:?}");
+        assert_eq!(k.parity, base.parity, "{policy:?} changed the stream");
+        assert_eq!(k.admitted_order, base.admitted_order, "{policy:?} fairness");
+    }
+}
+
+#[test]
+fn reruns_are_byte_identical_and_cheats_are_caught() {
+    let honest = spec(16, C1Policy::Fifo);
+    let a = run_kernel_c1(&honest);
+    let b = run_kernel_c1(&honest);
+    assert_eq!(a.transcript(), b.transcript());
+
+    let mut cheat = honest;
+    cheat.self_check = C1SelfCheck::DropQueuedLogin;
+    let broken = run_kernel_c1(&cheat);
+    assert!(
+        !broken.violations.is_empty(),
+        "the dropped login went unnoticed"
+    );
+    for v in &broken.violations {
+        assert!(
+            v.contains("seed=") && v.contains("plan=") && v.contains("schedule="),
+            "violation lacks a replayable repro string: {v}"
+        );
+    }
+    assert_eq!(
+        broken.violations,
+        run_kernel_c1(&cheat).violations,
+        "the repro triple must replay to the identical violations"
+    );
+}
