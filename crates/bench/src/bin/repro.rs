@@ -10,6 +10,7 @@
 //! repro --only r1 --stride 16 # subsample the crash matrix (CI smoke)
 //! repro --only l1 --l1-max 64 # cap the load-scaling sweep (CI smoke)
 //! repro --only c1 --c1-max 32 # cap the chaos population (CI smoke)
+//! repro --only m1 --shards 4 --m1-max 4096 # sharded load (CI smoke)
 //! ```
 
 use mx_bench::{
@@ -26,7 +27,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1", "c1",
+    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1", "c1", "m1",
 ];
 
 fn main() {
@@ -41,6 +42,8 @@ fn main() {
     let mut stride: u64 = 1;
     let mut l1_max: usize = 1024;
     let mut c1_max: usize = 64;
+    let mut m1_max: usize = 100_000;
+    let mut shards: usize = 4;
     let mut trace_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
@@ -92,6 +95,26 @@ fn main() {
                     }
                 }
             }
+            "--m1-max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => m1_max = n,
+                    _ => {
+                        eprintln!("--m1-max requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => shards = n,
+                    _ => {
+                        eprintln!("--shards requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--dot" => dot = true,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -99,6 +122,18 @@ fn main() {
             }
         }
         i += 1;
+    }
+    // A typo in --only must not green a CI smoke job by running nothing.
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|s| !ALL.contains(&s.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for id in &unknown {
+            eprintln!("unknown experiment id: {id}");
+        }
+        eprintln!("valid ids: {}", ALL.join(", "));
+        std::process::exit(2);
     }
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
@@ -376,6 +411,18 @@ fn main() {
             "  the same logical stream survived three mid-load power failures per\n  \
              design and schedule: salvage converged, queued logins were re-admitted\n  \
              in FIFO order, and the old/new label streams stayed identical\n"
+        );
+    }
+
+    if want("m1") {
+        header("M1", "Scale — sharded parallel load, wall-clock ops/sec");
+        if m1_max < 100_000 {
+            println!("  (sweep capped at {m1_max} users)\n");
+        }
+        println!("{}", mx_bench::m1_parallel_load(m1_max, shards));
+        println!(
+            "  every point passed the oracle battery per shard and post-merge, and\n  \
+             the largest point's merged stream is byte-identical at K=1 and K={shards}\n"
         );
     }
 

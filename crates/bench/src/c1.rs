@@ -161,8 +161,8 @@ fn row(out: &mut String, r: &C1Run) {
         crashed,
         r.load_cycles as f64 / 1e6,
         r.recovery_cycles as f64 / 1e6,
-        r.hist.percentile(50),
-        r.hist.percentile(99),
+        r.hist.percentile(50).expect("C1 rows always retire ops"),
+        r.hist.percentile(99).expect("C1 rows always retire ops"),
         r.queued_peak,
         problems,
         repairs,

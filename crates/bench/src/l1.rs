@@ -38,9 +38,9 @@ fn row(out: &mut String, n: usize, r: &LoadRun) {
         r.cycles as f64 / 1e6,
         r.ops_per_mcycle(),
         r.sessions_per_mcycle(),
-        r.hist.percentile(50),
-        r.hist.percentile(95),
-        r.hist.percentile(99),
+        r.hist.percentile(50).expect("L1 rows always retire ops"),
+        r.hist.percentile(95).expect("L1 rows always retire ops"),
+        r.hist.percentile(99).expect("L1 rows always retire ops"),
         qd,
         r.queued_peak,
         r.event_queue_hwm,

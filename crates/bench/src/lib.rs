@@ -12,6 +12,7 @@ pub mod c1;
 pub mod experiments;
 pub mod harness;
 pub mod l1;
+pub mod m1;
 pub mod r1;
 pub mod trace;
 pub mod workload;
@@ -24,6 +25,7 @@ pub use experiments::{
     s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow, SchedulerRow,
 };
 pub use l1::l1_load_scaling;
+pub use m1::m1_parallel_load;
 pub use r1::r1_crash_recovery;
 pub use workload::{RefString, TreeSpec};
 pub use x1::x1_schedule_exploration;

@@ -14,7 +14,7 @@
 //! in permanently resident core, so that system modules using those
 //! numbers cannot depend on the machinery supporting user address spaces.
 
-use crate::clock::{Clock, CostModel};
+use crate::clock::{Clock, CostModel, RefCharges};
 use crate::fault::Fault;
 use crate::mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
 use crate::tlb::{Tlb, TlbEntry};
@@ -333,13 +333,41 @@ impl Processor {
         va: VirtAddr,
         mode: AccessMode,
     ) -> Result<AbsAddr, Fault> {
-        let fault = |clock: &mut Clock, f: Fault| {
+        let mut pending = RefCharges::default();
+        let abs = self.translate_batched(mem, clock, cost, va, mode, &mut pending)?;
+        clock.charge_reference(cost, pending);
+        Ok(abs)
+    }
+
+    /// The translation walk itself, accumulating descriptor-fetch and
+    /// PTW-write-back charges into `pending` instead of charging the
+    /// clock per step. This is the simulator's hottest loop; none of the
+    /// accumulated charges records a trace event and no caller observes
+    /// the clock mid-reference, so deferring them is attribution-exact.
+    ///
+    /// Flush discipline: every fault return flushes `pending` *before*
+    /// charging the fault, so the fault event's timestamp sees the
+    /// translation work already on the clock — byte-identical to the
+    /// unbatched charge sequence. A successful return leaves `pending`
+    /// unflushed so [`Processor::read`]/[`Processor::write`] can fold
+    /// the core access into the same single meter attribution.
+    fn translate_batched(
+        &mut self,
+        mem: &mut MainMemory,
+        clock: &mut Clock,
+        cost: &CostModel,
+        va: VirtAddr,
+        mode: AccessMode,
+        pending: &mut RefCharges,
+    ) -> Result<AbsAddr, Fault> {
+        let fault = |clock: &mut Clock, pending: &mut RefCharges, f: Fault| {
+            clock.charge_reference(cost, std::mem::take(pending));
             clock.charge_fault(cost);
             Err(f)
         };
 
         let Some(dbr) = self.select_dbr(va.segno) else {
-            return fault(clock, Fault::BadDescriptor { va });
+            return fault(clock, pending, Fault::BadDescriptor { va });
         };
 
         // Associative-memory probe: a hit answers without touching the
@@ -358,7 +386,7 @@ impl Processor {
                         ptw.used = true;
                         ptw.modified = true;
                         mem.write(ptw_addr, ptw.encode());
-                        clock.charge_ptw_update(cost);
+                        pending.ptw_updates += 1;
                     }
                     self.locked_descriptor_reg = None;
                     return Ok(abs);
@@ -370,35 +398,36 @@ impl Processor {
         }
 
         if va.segno >= dbr.len {
-            return fault(clock, Fault::MissingSegment { va });
+            return fault(clock, pending, Fault::MissingSegment { va });
         }
         let sdw_addr = dbr.base.add(va.segno as u64);
         if !mem.contains(sdw_addr) {
-            return fault(clock, Fault::BadDescriptor { va });
+            return fault(clock, pending, Fault::BadDescriptor { va });
         }
-        clock.charge_descriptor_fetch(cost);
+        pending.descriptor_fetches += 1;
         let sdw = Sdw::decode(mem.read(sdw_addr));
         if !sdw.present {
-            return fault(clock, Fault::MissingSegment { va });
+            return fault(clock, pending, Fault::MissingSegment { va });
         }
         if !sdw.permits(mode) {
-            return fault(clock, Fault::AccessViolation { va });
+            return fault(clock, pending, Fault::AccessViolation { va });
         }
         let pageno = va.pageno();
         if pageno >= sdw.bound_pages {
-            return fault(clock, Fault::BoundsViolation { va });
+            return fault(clock, pending, Fault::BoundsViolation { va });
         }
         let ptw_addr = sdw.page_table.add(pageno as u64);
         if !mem.contains(ptw_addr) {
-            return fault(clock, Fault::BadDescriptor { va });
+            return fault(clock, pending, Fault::BadDescriptor { va });
         }
-        clock.charge_descriptor_fetch(cost);
+        pending.descriptor_fetches += 1;
         let mut ptw = Ptw::decode(mem.read(ptw_addr));
 
         if self.features.descriptor_lock && ptw.locked {
             self.locked_descriptor_reg = Some(ptw_addr);
             return fault(
                 clock,
+                pending,
                 Fault::LockedDescriptor {
                     va,
                     descriptor: ptw_addr,
@@ -409,6 +438,7 @@ impl Processor {
             if self.features.quota_trap && ptw.quota_trap {
                 return fault(
                     clock,
+                    pending,
                     Fault::QuotaTrap {
                         va,
                         descriptor: ptw_addr,
@@ -418,13 +448,14 @@ impl Processor {
             let locked_by_hw = if self.features.descriptor_lock {
                 ptw.locked = true;
                 mem.write(ptw_addr, ptw.encode());
-                clock.charge_ptw_update(cost);
+                pending.ptw_updates += 1;
                 true
             } else {
                 false
             };
             return fault(
                 clock,
+                pending,
                 Fault::MissingPage {
                     va,
                     descriptor: ptw_addr,
@@ -439,13 +470,13 @@ impl Processor {
             ptw.used = true;
             ptw.modified |= dirty;
             mem.write(ptw_addr, ptw.encode());
-            clock.charge_ptw_update(cost);
+            pending.ptw_updates += 1;
         }
 
         let frame_base = ptw.frame.base();
         let abs = frame_base.add(va.offset_in_page() as u64);
         if !mem.contains(abs) {
-            return fault(clock, Fault::BadDescriptor { va });
+            return fault(clock, pending, Fault::BadDescriptor { va });
         }
         if self.features.associative_memory {
             self.tlb.fill(TlbEntry {
@@ -479,8 +510,10 @@ impl Processor {
         cost: &CostModel,
         va: VirtAddr,
     ) -> Result<Word, Fault> {
-        let abs = self.translate(mem, clock, cost, va, AccessMode::Read)?;
-        clock.charge_core_access(cost);
+        let mut pending = RefCharges::default();
+        let abs = self.translate_batched(mem, clock, cost, va, AccessMode::Read, &mut pending)?;
+        pending.core_accesses += 1;
+        clock.charge_reference(cost, pending);
         Ok(mem.read(abs))
     }
 
@@ -497,8 +530,10 @@ impl Processor {
         va: VirtAddr,
         value: Word,
     ) -> Result<(), Fault> {
-        let abs = self.translate(mem, clock, cost, va, AccessMode::Write)?;
-        clock.charge_core_access(cost);
+        let mut pending = RefCharges::default();
+        let abs = self.translate_batched(mem, clock, cost, va, AccessMode::Write, &mut pending)?;
+        pending.core_accesses += 1;
+        clock.charge_reference(cost, pending);
         mem.write(abs, value);
         Ok(())
     }

@@ -42,7 +42,7 @@ pub mod rng;
 pub mod tlb;
 pub mod word;
 
-pub use clock::{Clock, CostModel, Language};
+pub use clock::{Clock, CostModel, Language, RefCharges};
 pub use cpu::{AccessMode, HwFeatures, Processor, ProcessorId};
 pub use disk::{DiskError, DiskPack, DiskSystem, PackId, RecordNo, TocEntry, TocIndex};
 pub use fault::Fault;

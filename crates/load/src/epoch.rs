@@ -271,8 +271,10 @@ impl C1Run {
             s,
             "hist: samples={} p50={} p99={}",
             self.hist.samples(),
-            self.hist.percentile(50),
-            self.hist.percentile(99)
+            // A run whose every epoch crashed before retiring an op has
+            // an empty histogram; the transcript renders that as 0.
+            self.hist.percentile(50).unwrap_or(0),
+            self.hist.percentile(99).unwrap_or(0)
         );
         let _ = writeln!(s, "parity={}", self.parity.join(","));
         for v in &self.violations {

@@ -7,14 +7,50 @@
 //! percentile is the inclusive upper bound `2^b - 1` of the bucket the
 //! requested rank lands in. Two edges are pinned by tests: a zero-cycle
 //! sample lands in bucket 0 and reports as 0, and the top bucket — which
-//! absorbs bit-length-64 deltas alongside bit-length-63 ones — reports
-//! `u64::MAX`, since `2^63 - 1` would silently understate any saturated
-//! sample.
+//! absorbs every delta too wide for the grid — reports `u64::MAX`, since
+//! `2^b - 1` would silently understate a saturated sample.
+//!
+//! Misuse is representable, so it is typed: asking a percentile of an
+//! empty histogram, asking for percentile 0 or 101, or merging two
+//! histograms built on different bucket grids all return
+//! [`HistogramError`] instead of fabricating a number or panicking.
+
+use std::fmt;
+
+/// Typed misuse of a [`Histogram`]: there is no honest number to return,
+/// so the caller must decide what "no data" means for its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramError {
+    /// A percentile was requested of a histogram with zero samples.
+    Empty,
+    /// The requested percentile is outside 1..=100.
+    BadPercentile { pct: u64 },
+    /// `merge` was asked to fold together histograms with different
+    /// bucket grids; bucket `b` means a different range in each, so the
+    /// sum would be garbage.
+    BucketMismatch { left: usize, right: usize },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::Empty => write!(f, "percentile of an empty histogram"),
+            HistogramError::BadPercentile { pct } => {
+                write!(f, "percentile {pct} outside 1..=100")
+            }
+            HistogramError::BucketMismatch { left, right } => {
+                write!(f, "merge of mismatched bucket grids ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
 
 /// Fixed-bucket histogram of cycle deltas.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: Vec<u64>,
     samples: u64,
 }
 
@@ -25,20 +61,33 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty histogram on the full 64-bucket bit-length grid.
     pub fn new() -> Self {
+        Self::with_buckets(64)
+    }
+
+    /// An empty histogram with `buckets` bit-length buckets (minimum 2:
+    /// one for zero, one to saturate into). A coarser grid trades
+    /// resolution for footprint; two grids only merge if they match.
+    pub fn with_buckets(buckets: usize) -> Self {
         Self {
-            buckets: [0; 64],
+            buckets: vec![0; buckets.max(2)],
             samples: 0,
         }
     }
 
+    /// Number of buckets in this histogram's grid.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Records one latency sample. A zero delta (an operation retired
     /// without the clock moving) is a legal sample and lands in bucket 0;
-    /// deltas of bit length 64 saturate into the top bucket.
+    /// deltas too wide for the grid saturate into the top bucket.
     pub fn record(&mut self, delta: u64) {
         let bucket = (u64::BITS - delta.leading_zeros()) as usize;
-        self.buckets[bucket.min(63)] += 1;
+        let top = self.buckets.len() - 1;
+        self.buckets[bucket.min(top)] += 1;
         self.samples += 1;
     }
 
@@ -48,39 +97,53 @@ impl Histogram {
     }
 
     /// Folds another histogram into this one, bucket by bucket — the
-    /// cross-epoch aggregator: per-epoch histograms merge into the
-    /// whole-run distribution without re-recording a single sample.
-    pub fn merge(&mut self, other: &Histogram) {
+    /// cross-epoch and cross-shard aggregator: per-epoch and per-shard
+    /// histograms merge into the whole-run distribution without
+    /// re-recording a single sample. Grids must match exactly; bucket
+    /// `b` covers a different range on different grids.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramError> {
+        if self.buckets.len() != other.buckets.len() {
+            return Err(HistogramError::BucketMismatch {
+                left: self.buckets.len(),
+                right: other.buckets.len(),
+            });
+        }
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
         self.samples += other.samples;
+        Ok(())
     }
 
     /// The inclusive upper bound of the bucket holding the `pct`-th
-    /// percentile sample (`pct` in 1..=100). Returns 0 for an empty
-    /// histogram.
-    pub fn percentile(&self, pct: u64) -> u64 {
+    /// percentile sample (`pct` in 1..=100). An empty histogram has no
+    /// percentiles and an out-of-range `pct` names no rank; both are
+    /// typed errors, not zeros.
+    pub fn percentile(&self, pct: u64) -> Result<u64, HistogramError> {
+        if !(1..=100).contains(&pct) {
+            return Err(HistogramError::BadPercentile { pct });
+        }
         if self.samples == 0 {
-            return 0;
+            return Err(HistogramError::Empty);
         }
         // Rank of the requested sample, 1-based, rounding up.
         let rank = (self.samples * pct).div_ceil(100).max(1);
+        let top = self.buckets.len() - 1;
         let mut seen = 0;
         for (b, &count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return match b {
+                return Ok(match b {
                     0 => 0,
-                    // The top bucket also holds bit-length-64 deltas
-                    // (record saturates), so its honest inclusive upper
-                    // bound is u64::MAX, not 2^63 - 1.
-                    63 => u64::MAX,
+                    // The top bucket also holds every delta too wide for
+                    // the grid (record saturates), so its honest
+                    // inclusive upper bound is u64::MAX, not 2^b - 1.
+                    b if b == top => u64::MAX,
                     _ => (1u64 << b) - 1,
-                };
+                });
             }
         }
-        u64::MAX
+        Ok(u64::MAX)
     }
 }
 
@@ -96,8 +159,8 @@ mod tests {
         }
         assert_eq!(h.samples(), 7);
         // 0 | 1 | 2,3 | 4..7 | 8..15
-        assert_eq!(h.percentile(1), 0);
-        assert_eq!(h.percentile(100), 15);
+        assert_eq!(h.percentile(1), Ok(0));
+        assert_eq!(h.percentile(100), Ok(15));
     }
 
     #[test]
@@ -109,15 +172,29 @@ mod tests {
         for _ in 0..10 {
             h.record(1000); // bucket 10, bound 1023
         }
-        assert_eq!(h.percentile(50), 15);
-        assert_eq!(h.percentile(90), 15);
-        assert_eq!(h.percentile(95), 1023);
-        assert_eq!(h.percentile(99), 1023);
+        assert_eq!(h.percentile(50), Ok(15));
+        assert_eq!(h.percentile(90), Ok(15));
+        assert_eq!(h.percentile(95), Ok(1023));
+        assert_eq!(h.percentile(99), Ok(1023));
     }
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        assert_eq!(Histogram::new().percentile(99), 0);
+    fn empty_histogram_is_a_typed_error() {
+        assert_eq!(Histogram::new().percentile(99), Err(HistogramError::Empty));
+    }
+
+    #[test]
+    fn out_of_range_percentile_is_a_typed_error() {
+        let mut h = Histogram::new();
+        h.record(1);
+        assert_eq!(
+            h.percentile(0),
+            Err(HistogramError::BadPercentile { pct: 0 })
+        );
+        assert_eq!(
+            h.percentile(101),
+            Err(HistogramError::BadPercentile { pct: 101 })
+        );
     }
 
     #[test]
@@ -125,8 +202,8 @@ mod tests {
         let mut h = Histogram::new();
         h.record(0);
         assert_eq!(h.samples(), 1);
-        assert_eq!(h.percentile(1), 0);
-        assert_eq!(h.percentile(100), 0);
+        assert_eq!(h.percentile(1), Ok(0));
+        assert_eq!(h.percentile(100), Ok(0));
     }
 
     #[test]
@@ -137,8 +214,16 @@ mod tests {
         // sample as 2^63 - 1.
         h.record(1u64 << 62); // bit length 63
         h.record(u64::MAX); // bit length 64, saturates
-        assert_eq!(h.percentile(100), u64::MAX);
-        assert_eq!(h.percentile(1), u64::MAX, "both live in bucket 63");
+        assert_eq!(h.percentile(100), Ok(u64::MAX));
+        assert_eq!(h.percentile(1), Ok(u64::MAX), "both live in bucket 63");
+    }
+
+    #[test]
+    fn coarse_grid_saturates_early_and_reports_u64_max() {
+        let mut h = Histogram::with_buckets(4);
+        h.record(100); // bit length 7, saturates into bucket 3
+        assert_eq!(h.bucket_count(), 4);
+        assert_eq!(h.percentile(100), Ok(u64::MAX));
     }
 
     #[test]
@@ -154,7 +239,7 @@ mod tests {
             whole.record(d);
             right.record(d);
         }
-        left.merge(&right);
+        left.merge(&right).expect("matching grids");
         assert_eq!(left, whole);
         assert_eq!(left.samples(), 8);
     }
@@ -164,7 +249,19 @@ mod tests {
         let mut h = Histogram::new();
         h.record(42);
         let before = h.clone();
-        h.merge(&Histogram::new());
+        h.merge(&Histogram::new()).expect("matching grids");
         assert_eq!(h, before);
+    }
+
+    #[test]
+    fn merging_mismatched_grids_is_a_typed_error() {
+        let mut wide = Histogram::new();
+        let narrow = Histogram::with_buckets(8);
+        assert_eq!(
+            wide.merge(&narrow),
+            Err(HistogramError::BucketMismatch { left: 64, right: 8 })
+        );
+        // The failed merge must not have folded anything in.
+        assert_eq!(wide.samples(), 0);
     }
 }

@@ -16,8 +16,10 @@ pub mod epoch;
 pub mod hist;
 pub mod run;
 pub mod script;
+pub mod shard;
 
 pub use epoch::{run_kernel_c1, run_legacy_c1, C1Policy, C1Run, C1SelfCheck, C1Spec, EpochReport};
-pub use hist::Histogram;
+pub use hist::{Histogram, HistogramError};
 pub use run::{run_both, run_kernel_load, run_legacy_load, LoadRun, LoadSpec};
 pub use script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};
+pub use shard::{run_sharded, shard_of, DesignMerge, ShardRun, ShardSpec, ShardedRun};

@@ -229,6 +229,11 @@ pub struct LoadRun {
     /// Oracle battery results (meter conservation, per-pack record
     /// conservation, wakeup exactness, TLB closure). Empty = clean.
     pub violations: Vec<String>,
+    /// Per-session latency samples in execution order, indexed by the
+    /// session index the run was given. The sharded engine uses these to
+    /// prove worker-count invariance sample-for-sample, not just in the
+    /// bucketed histogram.
+    pub user_samples: Vec<Vec<u64>>,
 }
 
 impl LoadRun {
@@ -346,6 +351,8 @@ pub(crate) struct EngineState {
     /// Session indices in the order the admission queue released them
     /// (post-storm admissions only) — the fairness record.
     pub(crate) admitted_order: Vec<usize>,
+    /// Latency samples per session index, grown lazily as sessions act.
+    pub(crate) user_samples: Vec<Vec<u64>>,
 }
 
 impl EngineState {
@@ -360,7 +367,17 @@ impl EngineState {
             parity: Vec::new(),
             hist: Histogram::new(),
             admitted_order: Vec::new(),
+            user_samples: Vec::new(),
         }
+    }
+
+    /// Records one latency sample for session `idx` (and the histogram).
+    fn sample(&mut self, idx: usize, delta: u64) {
+        self.hist.record(delta);
+        if self.user_samples.len() <= idx {
+            self.user_samples.resize_with(idx + 1, Vec::new);
+        }
+        self.user_samples[idx].push(delta);
     }
 }
 
@@ -420,7 +437,8 @@ pub(crate) fn drive_until<D: Driver>(
             if let Some(action) = action {
                 let before = d.now();
                 let label = d.exec(idx, script.shard, &action);
-                st.hist.record(d.now() - before);
+                let delta = d.now() - before;
+                st.sample(idx, delta);
                 if let Action::Grow { val, .. } = action {
                     if label == "w:ok" {
                         st.live[i].grown_vals.push(val);
@@ -437,7 +455,8 @@ pub(crate) fn drive_until<D: Driver>(
         } else {
             let before = d.now();
             let label = d.finish(idx, script.shard, script.abandon);
-            st.hist.record(d.now() - before);
+            let delta = d.now() - before;
+            st.sample(idx, delta);
             st.parity.push(label);
             st.ops += 1;
             if script.abandon {
@@ -919,7 +938,19 @@ pub(crate) fn setup_kernel(spec: &LoadSpec) -> (KernelDriver, KernelWorldCtx) {
 /// is installed *after* setup, exactly as the schedule explorer does, so
 /// every policy explores from the same initial state.
 pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>) -> LoadRun {
-    let scripts = spec.scripts();
+    run_kernel_load_scripts(spec, &spec.scripts(), policy)
+}
+
+/// [`run_kernel_load`] with the scripts supplied by the caller: the
+/// sharded engine partitions one global population and hands each shard
+/// machine the scripts of its members (local indices, global scripts),
+/// which is what keeps the merged stream independent of worker count.
+pub(crate) fn run_kernel_load_scripts(
+    spec: &LoadSpec,
+    scripts: &[SessionScript],
+    policy: Option<Box<dyn SchedulePolicy>>,
+) -> LoadRun {
+    assert_eq!(scripts.len(), spec.sessions, "one script per session");
     let (mut driver, _ctx) = setup_kernel(spec);
 
     let setup_cycles = driver.k.machine.clock.now();
@@ -929,7 +960,7 @@ pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>)
         driver.k.set_schedule_policy(p);
     }
 
-    let out = drive(&mut driver, &scripts);
+    let out = drive(&mut driver, scripts);
     let k = driver.k;
 
     let per_cpu_ops: Vec<u64> = k
@@ -954,6 +985,11 @@ pub fn run_kernel_load(spec: &LoadSpec, policy: Option<Box<dyn SchedulePolicy>>)
         event_queue_hwm: k.upm.queue_high_watermark(),
         meter: meter_base.delta(&k.machine.clock.meter_snapshot()),
         violations: oracle::check_kernel(&k),
+        user_samples: {
+            let mut us = out.user_samples;
+            us.resize_with(spec.sessions, Vec::new);
+            us
+        },
     }
 }
 
@@ -1019,14 +1055,20 @@ pub(crate) fn setup_legacy(spec: &LoadSpec) -> (LegacyDriver, LegacyWorldCtx) {
 /// Runs the spec on the 1974 supervisor. Its scheduler has no policy
 /// hooks: one inherent schedule per spec.
 pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
-    let scripts = spec.scripts();
+    run_legacy_load_scripts(spec, &spec.scripts())
+}
+
+/// [`run_legacy_load`] with caller-supplied scripts; see
+/// [`run_kernel_load_scripts`].
+pub(crate) fn run_legacy_load_scripts(spec: &LoadSpec, scripts: &[SessionScript]) -> LoadRun {
+    assert_eq!(scripts.len(), spec.sessions, "one script per session");
     let (mut driver, _ctx) = setup_legacy(spec);
 
     let setup_cycles = driver.sup.machine.clock.now();
     let ops_base = driver.sup.machine.ops_retired();
     let meter_base = driver.sup.machine.clock.meter_snapshot();
 
-    let out = drive(&mut driver, &scripts);
+    let out = drive(&mut driver, scripts);
     let sup = driver.sup;
 
     let per_cpu_ops: Vec<u64> = sup
@@ -1051,6 +1093,11 @@ pub fn run_legacy_load(spec: &LoadSpec) -> LoadRun {
         event_queue_hwm: 0,
         meter: meter_base.delta(&sup.machine.clock.meter_snapshot()),
         violations: oracle::check_legacy(&sup),
+        user_samples: {
+            let mut us = out.user_samples;
+            us.resize_with(spec.sessions, Vec::new);
+            us
+        },
     }
 }
 

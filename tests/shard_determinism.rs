@@ -1,0 +1,83 @@
+//! Shard determinism: the sharded load engine's merged result is a pure
+//! function of (seed, N, granule) — the OS worker count never leaks in.
+//!
+//! The partition itself is a pure hash of seed and session index, and
+//! each shard runs on its own machine pair, so every latency sample
+//! depends only on the shard's fixed co-population. These tests pin the
+//! consequence: the merged labels, histograms, cycles, and per-user
+//! sample vectors are identical whether one thread drives the shards or
+//! eight race over them.
+
+use mx_load::shard::{run_sharded, ShardSpec};
+
+#[test]
+fn merged_stream_is_invariant_across_worker_counts() {
+    let spec = ShardSpec {
+        sessions: 96,
+        seed: 1977,
+        shard_users: 24,
+    };
+    let base = run_sharded(&spec, 1);
+    assert!(base.violations.is_empty(), "{:?}", base.violations);
+    assert!(
+        base.n_shards >= 4,
+        "the invariance check needs real contention over multiple shards"
+    );
+    for workers in [2, 4, 8] {
+        let run = run_sharded(&spec, workers);
+        assert!(
+            run.violations.is_empty(),
+            "K={workers}: {:?}",
+            run.violations
+        );
+        // Identical merged labels …
+        assert_eq!(
+            run.kernel.parity, base.kernel.parity,
+            "K={workers} kernel labels"
+        );
+        assert_eq!(
+            run.legacy.parity, base.legacy.parity,
+            "K={workers} legacy labels"
+        );
+        // … identical per-user latency samples …
+        assert_eq!(
+            run.kernel.user_samples, base.kernel.user_samples,
+            "K={workers} kernel samples"
+        );
+        assert_eq!(
+            run.legacy.user_samples, base.legacy.user_samples,
+            "K={workers} legacy samples"
+        );
+        // … and identical everything else (cycles, histograms, counts).
+        assert_eq!(run.kernel, base.kernel, "K={workers} kernel merge");
+        assert_eq!(run.legacy, base.legacy, "K={workers} legacy merge");
+    }
+}
+
+#[test]
+fn threaded_stress_four_shards_of_256_users() {
+    // Four ~256-user shard machines raced by four OS threads: the
+    // sharded engine's full oracle battery (per-shard conservation and
+    // parity, post-merge partition coverage and sample conservation)
+    // must hold under real concurrency.
+    let spec = ShardSpec {
+        sessions: 1024,
+        seed: 1977,
+        shard_users: 256,
+    };
+    let run = run_sharded(&spec, 4);
+    assert!(run.violations.is_empty(), "{:?}", run.violations);
+    assert_eq!(run.n_shards, 4);
+    assert_eq!(run.kernel.sessions, 1024);
+    assert_eq!(run.legacy.sessions, 1024);
+    assert_eq!(
+        run.kernel.parity.len(),
+        run.legacy.parity.len(),
+        "both designs retired the same stream"
+    );
+    assert_eq!(run.kernel.hist.samples(), run.kernel.ops);
+    // Every global session index surfaced exactly once in the merge.
+    let mut indices: Vec<usize> = run.kernel.user_samples.iter().map(|(g, _)| *g).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..1024).collect::<Vec<_>>());
+}
