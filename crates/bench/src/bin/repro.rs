@@ -11,7 +11,11 @@
 //! repro --only l1 --l1-max 64 # cap the load-scaling sweep (CI smoke)
 //! repro --only c1 --c1-max 32 # cap the chaos population (CI smoke)
 //! repro --only m1 --shards 4 --m1-max 4096 # sharded load (CI smoke)
+//! repro --only s1 --s1-max 16 # cap the online-salvage population (CI smoke)
 //! ```
+//!
+//! The id `s1` runs both S1 experiments: the mythical-identifier
+//! semantics check and the online-salvage robustness composition.
 
 use mx_bench::{
     a1_namespace_cache, a2_purifier_idle, a3_associative_memory, p1_linker, p2_namespace,
@@ -42,6 +46,7 @@ fn main() {
     let mut stride: u64 = 1;
     let mut l1_max: usize = 1024;
     let mut c1_max: usize = 64;
+    let mut s1_max: usize = 64;
     let mut m1_max: usize = 100_000;
     let mut shards: usize = 4;
     let mut trace_path: Option<String> = None;
@@ -91,6 +96,16 @@ fn main() {
                     Some(n) if n > 0 => c1_max = n,
                     _ => {
                         eprintln!("--c1-max requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--s1-max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => s1_max = n,
+                    _ => {
+                        eprintln!("--s1-max requires a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -423,6 +438,23 @@ fn main() {
         println!(
             "  every point passed the oracle battery per shard and post-merge, and\n  \
              the largest point's merged stream is byte-identical at K=1 and K={shards}\n"
+        );
+    }
+
+    if want("s1") {
+        header(
+            "S1",
+            "Robustness — online salvage under re-admitted traffic",
+        );
+        if s1_max < 64 {
+            println!("  (population capped at {s1_max} users)\n");
+        }
+        println!("{}", mx_bench::s1_online_salvage(s1_max));
+        println!(
+            "  the same crash plan as C1, but the population is re-admitted while\n  \
+             the salvager still holds most of the hierarchy: every directory release\n  \
+             passed the oracle battery, blocked references retried within budget,\n  \
+             and the user-visible stream is identical to stop-the-world recovery\n"
         );
     }
 

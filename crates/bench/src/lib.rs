@@ -14,6 +14,7 @@ pub mod harness;
 pub mod l1;
 pub mod m1;
 pub mod r1;
+pub mod s1;
 pub mod trace;
 pub mod workload;
 pub mod x1;
@@ -27,5 +28,6 @@ pub use experiments::{
 pub use l1::l1_load_scaling;
 pub use m1::m1_parallel_load;
 pub use r1::r1_crash_recovery;
+pub use s1::s1_online_salvage;
 pub use workload::{RefString, TreeSpec};
 pub use x1::x1_schedule_exploration;

@@ -82,6 +82,13 @@ pub enum KernelError {
     /// read exhausted), or unrecoverably (pack offline, power failed) —
     /// the typed upward surface of a hardware fault, never a panic.
     Disk(DiskError),
+    /// The referenced directory is quarantined by the online salvager
+    /// (not yet proven clean after a crash). Transient: retry after the
+    /// salvager releases the directory.
+    SalvageBusy,
+    /// The salvager itself hit an internal inconsistency it cannot
+    /// express as a repairable [`crate::salvager::Problem`].
+    Salvage(&'static str),
 }
 
 impl core::fmt::Display for KernelError {
@@ -107,6 +114,8 @@ impl core::fmt::Display for KernelError {
             KernelError::Upward(s) => write!(f, "unconsumed upward signal {s:?}"),
             KernelError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
             KernelError::Disk(e) => write!(f, "disk failure: {e}"),
+            KernelError::SalvageBusy => write!(f, "directory quarantined by online salvage"),
+            KernelError::Salvage(why) => write!(f, "salvage error: {why}"),
         }
     }
 }
@@ -123,6 +132,14 @@ mod tests {
         assert_eq!(
             format!("{}", KernelError::QuotaExceeded { limit: 4, used: 4 }),
             "quota exceeded (4/4 pages)"
+        );
+        assert_eq!(
+            format!("{}", KernelError::SalvageBusy),
+            "directory quarantined by online salvage"
+        );
+        assert_eq!(
+            format!("{}", KernelError::Salvage("frontier empty")),
+            "salvage error: frontier empty"
         );
         assert!(format!(
             "{}",

@@ -170,6 +170,10 @@ pub struct Kernel {
     accounts: HashMap<String, Account>,
     processes_dir: ObjToken,
     state_counter: u64,
+    /// In-progress incremental salvage, if any (see
+    /// [`Kernel::begin_online_salvage`]). While set, gates into
+    /// unreleased directories surface [`KernelError::SalvageBusy`].
+    pub(crate) online: Option<crate::salvager::OnlineSalvage>,
 }
 
 macro_rules! ctx {
@@ -350,6 +354,7 @@ impl Kernel {
             accounts: HashMap::new(),
             processes_dir: ObjToken(0),
             state_counter: 0,
+            online: None,
         };
         let root = kernel.dirm.root_token();
         let processes_dir = kernel
@@ -446,6 +451,7 @@ impl Kernel {
             accounts: HashMap::new(),
             processes_dir: ObjToken(0),
             state_counter: 0,
+            online: None,
         };
         // Refind the well-known `>processes` directory (recreate it if
         // the crash predated it).
@@ -602,6 +608,7 @@ impl Kernel {
                         match k.dirm.record_move(&mut ctx!(k), uid, new_home) {
                             Ok(()) => {
                                 k.ksm.refresh_home(uid, new_home);
+                                k.salvage_note_relocated(new_home);
                                 return Ok(());
                             }
                             Err(KernelError::Upward(inner)) => k.consume_signal(inner)?,
@@ -697,6 +704,11 @@ impl Kernel {
     /// Table exhaustion from below.
     pub fn create_process(&mut self, user: UserId, label: Label) -> Result<ProcessId, KernelError> {
         self.scoped(Subsystem::ProcessControl, |k| {
+            // The state segment lives under `>processes`; a quarantined
+            // processes directory must fail typed *before* any process
+            // state is built.
+            let processes_dir = k.processes_dir;
+            k.salvage_barrier(processes_dir)?;
             crate::charge_pli(&mut k.machine, 240);
             let pid = k.upm.create(&mut k.machine, user, label)?;
             k.ksm.create_kst(pid);
@@ -715,7 +727,11 @@ impl Kernel {
                     false,
                 )
             })?;
-            let uid = k.dirm.resolve_token(token).expect("fresh token");
+            let uid = k
+                .dirm
+                .resolve_token(token)
+                .ok_or(KernelError::Salvage("fresh token did not resolve"))?;
+            k.salvage_note_created(uid, false);
             k.upm.set_state_seg(pid, uid)?;
             Ok(pid)
         })
@@ -747,6 +763,7 @@ impl Kernel {
         name: &str,
     ) -> Result<ObjToken, KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let label = k.upm.label_of(pid)?;
@@ -762,6 +779,10 @@ impl Kernel {
     /// tokens.
     pub fn initiate(&mut self, pid: ProcessId, token: ObjToken) -> Result<u32, KernelError> {
         self.charge_gate();
+        // Only bars tokens naming a quarantined *directory*: plain
+        // segments serve as soon as their parent (the only path to a
+        // token for them) is released.
+        self.salvage_barrier(token)?;
         self.scoped(Subsystem::SegmentControl, |k| {
             let user = k.upm.user_of(pid)?;
             let label = k.upm.label_of(pid)?;
@@ -830,14 +851,19 @@ impl Kernel {
         is_dir: bool,
     ) -> Result<ObjToken, KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let plabel = k.upm.label_of(pid)?;
-            k.with_retries(|k| {
+            let token = k.with_retries(|k| {
                 let acl = acl.clone();
                 k.dirm
                     .create(&mut ctx!(k), user, plabel, dir, name, acl, label, is_dir)
-            })
+            })?;
+            if let Some(uid) = k.dirm.resolve_token(token) {
+                k.salvage_note_created(uid, is_dir);
+            }
+            Ok(token)
         })
     }
 
@@ -853,6 +879,7 @@ impl Kernel {
         name: &str,
     ) -> Result<(), KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let plabel = k.upm.label_of(pid)?;
@@ -868,6 +895,7 @@ impl Kernel {
                     monitor,
                     dirm,
                     ksm,
+                    online,
                     ..
                 } = k;
                 let mut fs = FsCtx {
@@ -880,6 +908,23 @@ impl Kernel {
                     flows,
                     monitor,
                 };
+                // Structural modification of a quarantined subtree is
+                // barred: deleting a not-yet-salvaged child directory
+                // through its (released) parent would pull the frontier
+                // out from under the salvager.
+                if let Some(o) = online.as_ref() {
+                    if let Some(duid) = dirm.resolve_token(dir) {
+                        if let Some(cuid) = dirm.lookup_in(&mut fs, duid, name)? {
+                            let child_is_dir = dirm
+                                .activation_info(cuid)
+                                .map(|(_, _, d, _)| d)
+                                .unwrap_or(false);
+                            if child_is_dir && !o.released.contains(&cuid) {
+                                return Err(KernelError::SalvageBusy);
+                            }
+                        }
+                    }
+                }
                 dirm.delete(&mut fs, ksm, user, plabel, dir, name)
             })
         })
@@ -892,6 +937,7 @@ impl Kernel {
     /// [`KernelError::NoAccess`] for unreadable directories.
     pub fn list_dir(&mut self, pid: ProcessId, dir: ObjToken) -> Result<Vec<String>, KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let label = k.upm.label_of(pid)?;
@@ -911,6 +957,7 @@ impl Kernel {
         limit: u32,
     ) -> Result<(), KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let plabel = k.upm.label_of(pid)?;
@@ -928,6 +975,7 @@ impl Kernel {
     /// Per [`DirectoryManager::clear_quota_directory`].
     pub fn clear_quota(&mut self, pid: ProcessId, dir: ObjToken) -> Result<(), KernelError> {
         self.charge_gate();
+        self.salvage_barrier(dir)?;
         self.scoped(Subsystem::DirectoryControl, |k| {
             let user = k.upm.user_of(pid)?;
             let plabel = k.upm.label_of(pid)?;

@@ -61,6 +61,7 @@ pub mod vproc;
 pub use error::{KernelError, Signal};
 pub use kernel::{Kernel, KernelConfig, KernelStats, ProgramOutcome, ProgramRun};
 pub use registry::kernel_structure;
+pub use salvager::{OnlineCheat, OnlineProgress, Problem, SalvageReport};
 pub use types::*;
 
 /// Charges `n` abstract instructions of kernel code to the machine's

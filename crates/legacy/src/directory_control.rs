@@ -268,6 +268,7 @@ impl Supervisor {
         is_dir: bool,
     ) -> Result<SegUid, LegacyError> {
         self.charge(CREATE_INSTR, Language::Pli);
+        self.salvage_barrier_uid(parent)?;
         let parent_astx = self.activate(parent)?;
         if !self.ast.get(parent_astx).expect("active parent").is_dir {
             return Err(LegacyError::NotADirectory);
@@ -338,6 +339,14 @@ impl Supervisor {
                 is_dir,
             },
         );
+        self.salvage_note_created(
+            uid,
+            DiskHome {
+                pack: toc.0,
+                toc: toc.1,
+            },
+            is_dir,
+        );
         Ok(uid)
     }
 
@@ -375,6 +384,7 @@ impl Supervisor {
             let p = self.process(pid)?;
             (p.user, p.label)
         };
+        self.salvage_barrier_uid(self.root_uid)?;
         let mut dir_astx = self.activate(self.root_uid)?;
         let mut components = path.split('>').filter(|c| !c.is_empty()).peekable();
         if components.peek().is_none() {
@@ -398,12 +408,16 @@ impl Supervisor {
                 if !ReferenceMonitor::decide(plabel, entry.label, kind).granted() {
                     return Err(LegacyError::NoAccess);
                 }
+                if entry.is_dir {
+                    self.salvage_barrier_uid(entry.uid)?;
+                }
                 return Ok((entry.uid, entry));
             }
             if !entry.is_dir {
                 // Not a directory mid-path: still just "no access".
                 return Err(LegacyError::NoAccess);
             }
+            self.salvage_barrier_uid(entry.uid)?;
             dir_astx = self.activate(entry.uid)?;
         }
     }
@@ -581,6 +595,9 @@ impl Supervisor {
     /// reads directory entries (with real paging) — the cost the new
     /// design's childless-only rule avoids.
     pub(crate) fn subtree_usage(&mut self, root: SegUid) -> Result<u32, LegacyError> {
+        // The sweep activates directories as it descends, which the
+        // online salvager cannot tolerate on quarantined ones.
+        self.salvage_barrier_uid(root)?;
         // The subtree root's own directory pages stay charged to the
         // superior cell ("the nearest *superior* quota directory"), so
         // only strictly inferior objects are counted.

@@ -44,7 +44,7 @@ pub mod segment_control;
 pub mod supervisor;
 pub mod types;
 
-pub use recovery::LegacySalvageReport;
+pub use recovery::{LegacyOnlineCheat, LegacyOnlineProgress, LegacySalvageReport};
 pub use registry::{actual_structure, superficial_structure};
 pub use supervisor::{Supervisor, SupervisorConfig};
 pub use types::{AccessRight, Acl, LegacyError, ProcessId, SegUid, UserId};

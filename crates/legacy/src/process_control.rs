@@ -42,6 +42,15 @@ impl Supervisor {
             .find(|s| self.processes[*s as usize].is_none())
             .ok_or(LegacyError::NoSuchProcess)?;
         let pid = ProcessId(slot);
+        // The swappable state segment, in the hierarchy like any other.
+        // All fallible hierarchy work happens BEFORE the slot is taken:
+        // a failure here (quota, space, a salvage quarantine) must not
+        // leak a table entry, or retrying the login drains the table.
+        let proc_dir = self.ensure_processes_dir()?;
+        let state_name = format!("proc-{}", self.next_uid);
+        let state_uid = self.create_segment_in(proc_dir, &state_name, Acl::owner(user), label)?;
+        let astx = self.activate(state_uid)?;
+        self.sup_write(astx, 0, Word::new(u64::from(slot) + 1))?;
         let dseg_frame = self.dseg_frame_for_slot(slot);
         // Zero the descriptor segment: every SDW faulted. A reused slot's
         // old translations must not survive into the new process.
@@ -55,22 +64,16 @@ impl Supervisor {
             dseg_frame,
             kst: vec![None; MAX_SEGNO as usize],
             state: ProcState::Ready,
-            state_uid: None,
+            state_uid: Some(state_uid),
             cpu_charge: 0,
         };
         self.processes[slot as usize] = Some(process);
-        // The swappable state segment, in the hierarchy like any other.
-        let proc_dir = self.ensure_processes_dir()?;
-        let state_name = format!("proc-{}", self.next_uid);
-        let state_uid = self.create_segment_in(proc_dir, &state_name, Acl::owner(user), label)?;
-        let astx = self.activate(state_uid)?;
-        self.sup_write(astx, 0, Word::new(u64::from(slot) + 1))?;
-        self.process_mut(pid)?.state_uid = Some(state_uid);
         self.ready.push_back(pid);
         Ok(pid)
     }
 
     fn ensure_processes_dir(&mut self) -> Result<SegUid, LegacyError> {
+        self.salvage_barrier_uid(self.root_uid)?;
         let root_astx = self.activate(self.root_uid)?;
         if let Some((_, e)) = self.lookup(root_astx, "processes")? {
             return Ok(e.uid);

@@ -63,6 +63,79 @@ struct RawEntry {
     quota_used: u32,
 }
 
+/// A deliberately broken online salvager, for the self-check harness:
+/// proves the per-release recheck actually catches a salvager that
+/// releases a directory without finishing its repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegacyOnlineCheat {
+    /// Skip quota-cell repair but release the directory anyway.
+    ReleaseBeforeCellRepair,
+}
+
+/// What one [`Supervisor::online_salvage_step`] accomplished.
+#[derive(Debug, Clone)]
+pub enum LegacyOnlineProgress {
+    /// A directory was claimed, repaired, recheck-verified and released.
+    Released {
+        /// The directory now open to service.
+        dir: SegUid,
+        /// False if the post-repair recheck still found problems — a
+        /// salvager bug (or a planted [`LegacyOnlineCheat`]); never
+        /// expected in honest runs.
+        recheck_clean: bool,
+        /// Problems recorded while claiming this directory.
+        problems_found: u32,
+        /// Repairs recorded while claiming this directory.
+        repairs_made: u32,
+    },
+    /// A whole-pack finalize sweep ran after the frontier drained.
+    Finalized {
+        /// The pack swept.
+        pack: PackId,
+        /// False for the orphan sweep, true for the leak sweep.
+        leaks: bool,
+    },
+    /// The salvage completed; the quarantine is fully lifted.
+    Done {
+        /// Everything found and repaired across the whole run.
+        report: LegacySalvageReport,
+    },
+    /// No salvage is running.
+    Idle,
+}
+
+/// One deferred whole-pack step after the directory frontier drains.
+#[derive(Debug, Clone, Copy)]
+enum LegacyFinalizeStep {
+    Orphans(PackId),
+    Leaks(PackId),
+}
+
+/// The state of an in-progress online salvage (see
+/// [`Supervisor::begin_online_salvage`]).
+#[derive(Debug)]
+pub(crate) struct LegacyOnlineSalvage {
+    /// Directories proven clean and open to service.
+    pub(crate) released: HashSet<SegUid>,
+    /// Directories discovered but not yet claimed, with the homes their
+    /// parents' entries recorded. The home is stable: a quarantined
+    /// directory cannot be activated, so it cannot relocate.
+    frontier: VecDeque<(SegUid, DiskHome)>,
+    /// TOC entries claimed by a walked directory entry (or noted as
+    /// service-created); the finalize orphan sweep keeps exactly these.
+    claimed: HashSet<(u32, u32)>,
+    /// Per quota cell, the frozen-truth used count established when the
+    /// cell was checked at its parent's claim (or the root's own claim);
+    /// the owning directory's recheck re-verifies the recorded value
+    /// against it before release.
+    cell_expect: HashMap<SegUid, u32>,
+    finalize: VecDeque<LegacyFinalizeStep>,
+    finalize_built: bool,
+    report: LegacySalvageReport,
+    cheat: Option<LegacyOnlineCheat>,
+    dirs_released: u32,
+}
+
 impl Supervisor {
     /// Flushes every active segment's pages to disk and persists every
     /// quota cell, deactivating everything but the root — the clean-
@@ -422,6 +495,498 @@ impl Supervisor {
         Ok(report)
     }
 
+    // ----- online salvage -------------------------------------------------
+
+    /// Starts an online salvage: the whole recovered hierarchy is
+    /// quarantined — every reference to an unreleased directory answers
+    /// [`LegacyError::SalvageBusy`] — and each call to
+    /// [`Supervisor::online_salvage_step`] claims, repairs, rechecks and
+    /// releases one directory, so service resumes behind the repair
+    /// frontier instead of waiting for a stop-the-world pass.
+    pub fn begin_online_salvage(&mut self) {
+        self.begin_online_salvage_with_cheat(None);
+    }
+
+    /// [`Supervisor::begin_online_salvage`] with a planted defect, for
+    /// the self-check harness only.
+    #[doc(hidden)]
+    pub fn begin_online_salvage_with_cheat(&mut self, cheat: Option<LegacyOnlineCheat>) {
+        let mut claimed = HashSet::new();
+        claimed.insert((self.root_home.pack.0, self.root_home.toc.0));
+        self.online = Some(LegacyOnlineSalvage {
+            released: HashSet::new(),
+            frontier: VecDeque::from([(self.root_uid, self.root_home)]),
+            claimed,
+            cell_expect: HashMap::new(),
+            finalize: VecDeque::new(),
+            finalize_built: false,
+            report: LegacySalvageReport::default(),
+            cheat,
+            dirs_released: 0,
+        });
+    }
+
+    /// True while an online salvage is in progress.
+    pub fn online_salvage_active(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Directories released so far by the running online salvage.
+    pub fn online_salvage_dirs_released(&self) -> u32 {
+        self.online.as_ref().map(|o| o.dirs_released).unwrap_or(0)
+    }
+
+    /// Performs one unit of online salvage work: releases the next
+    /// frontier directory, or runs one whole-pack finalize sweep, or
+    /// completes the salvage and lifts the quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Disk errors from the walk or the repairs;
+    /// [`LegacyError::Salvage`] on internal inconsistencies.
+    pub fn online_salvage_step(&mut self) -> Result<LegacyOnlineProgress, LegacyError> {
+        let Some(mut st) = self.online.take() else {
+            return Ok(LegacyOnlineProgress::Idle);
+        };
+        let guard = self.machine.clock.enter(Subsystem::Salvager);
+        let result = self.online_step_inner(&mut st);
+        self.machine.clock.exit(guard);
+        match &result {
+            Ok(LegacyOnlineProgress::Done { .. }) => {}
+            _ => self.online = Some(st),
+        }
+        result
+    }
+
+    fn online_step_inner(
+        &mut self,
+        st: &mut LegacyOnlineSalvage,
+    ) -> Result<LegacyOnlineProgress, LegacyError> {
+        if let Some((dir, home)) = st.frontier.pop_front() {
+            return self.online_claim_dir(st, dir, home);
+        }
+        if !st.finalize_built {
+            st.finalize_built = true;
+            let packs: Vec<PackId> = self.machine.disks.packs().map(|p| p.id).collect();
+            for p in &packs {
+                st.finalize.push_back(LegacyFinalizeStep::Orphans(*p));
+            }
+            for p in &packs {
+                st.finalize.push_back(LegacyFinalizeStep::Leaks(*p));
+            }
+        }
+        match st.finalize.pop_front() {
+            Some(LegacyFinalizeStep::Orphans(pack)) => {
+                self.online_orphan_sweep(st, pack);
+                Ok(LegacyOnlineProgress::Finalized { pack, leaks: false })
+            }
+            Some(LegacyFinalizeStep::Leaks(pack)) => {
+                self.online_leak_sweep(st, pack);
+                Ok(LegacyOnlineProgress::Finalized { pack, leaks: true })
+            }
+            None => Ok(LegacyOnlineProgress::Done {
+                report: std::mem::take(&mut st.report),
+            }),
+        }
+    }
+
+    fn online_claim_dir(
+        &mut self,
+        st: &mut LegacyOnlineSalvage,
+        dir: SegUid,
+        home: DiskHome,
+    ) -> Result<LegacyOnlineProgress, LegacyError> {
+        let problems_before = st.report.problems.len();
+        let repairs_before = st.report.repairs.len();
+        // An active quarantined directory (only the root in practice)
+        // may hold dirty pages; flush so the raw reads see the truth.
+        if let Some(astx) = self.ast.find(dir) {
+            self.flush_segment(astx)?;
+        }
+        let count = self.raw_seg_read(home, 0).raw() as u32;
+        let mut bad: Vec<(u32, String)> = Vec::new();
+        // (child uid, slot, recorded used, child home)
+        let mut quota_children: Vec<(SegUid, u32, u32, DiskHome)> = Vec::new();
+        for slot in 0..count {
+            let Some(e) = self.raw_entry(home, slot) else {
+                continue;
+            };
+            st.report.objects_checked += 1;
+            let toc_uid = self
+                .machine
+                .disks
+                .pack(e.home.pack)
+                .ok()
+                .and_then(|p| p.entry(e.home.toc).ok())
+                .map(|t| t.uid);
+            if toc_uid != Some(e.uid.0) {
+                bad.push((
+                    slot,
+                    format!("dangling entry '{}' (uid {})", e.name, e.uid.0),
+                ));
+                continue;
+            }
+            if !st.claimed.insert((e.home.pack.0, e.home.toc.0)) {
+                bad.push((
+                    slot,
+                    format!("duplicate claim '{}' on uid {}", e.name, e.uid.0),
+                ));
+                continue;
+            }
+            if e.quota_dir {
+                quota_children.push((e.uid, slot, e.quota_used, e.home));
+            }
+            if e.is_dir {
+                st.frontier.push_back((e.uid, e.home));
+            }
+        }
+        for (slot, what) in &bad {
+            st.report.problems.push(what.clone());
+            let base = 1 + slot * ENTRY_WORDS;
+            let uid = SegUid(self.raw_seg_read(home, base).raw());
+            self.online_dir_write(dir, home, base + 1, Word::ZERO)?;
+            if self
+                .branch_table
+                .get(&uid)
+                .is_some_and(|b| b.slot == *slot && b.parent == Some(dir))
+            {
+                self.branch_table.remove(&uid);
+            }
+            st.report.repairs.push(format!("cleared {what}"));
+        }
+        for (quid, slot, recorded, child_home) in quota_children {
+            st.report.cells_checked += 1;
+            // The child's subtree is frozen (quarantined until its own
+            // claim), so its true usage is computable now, while the
+            // cell word in this directory is still the salvager's.
+            let actual = self.online_cell_actual(child_home, &st.claimed);
+            st.cell_expect.insert(quid, actual);
+            if recorded != actual && st.cheat != Some(LegacyOnlineCheat::ReleaseBeforeCellRepair) {
+                st.report.problems.push(format!(
+                    "cell {} drift: recorded {recorded}, actual {actual}",
+                    quid.0
+                ));
+                self.online_dir_write(
+                    dir,
+                    home,
+                    1 + slot * ENTRY_WORDS + 15,
+                    Word::new(u64::from(actual)),
+                )?;
+                st.report
+                    .repairs
+                    .push(format!("reset cell {} used {recorded} -> {actual}", quid.0));
+            }
+        }
+        if dir == self.root_uid {
+            st.report.cells_checked += 1;
+            // The whole tree is still frozen at the root's claim (it is
+            // the first), so the root cell's truth is computable here.
+            let usage = self.raw_cell_usage();
+            let want = usage.get(&self.root_uid).copied().unwrap_or(0);
+            st.cell_expect.insert(dir, want);
+            let root_astx = self.ast.find(dir).ok_or(LegacyError::NotActive)?;
+            let recorded = self
+                .ast
+                .get(root_astx)
+                .and_then(|a| a.quota.map(|q| q.used))
+                .unwrap_or(0);
+            if recorded != want && st.cheat != Some(LegacyOnlineCheat::ReleaseBeforeCellRepair) {
+                st.report.problems.push(format!(
+                    "root cell drift: recorded {recorded}, actual {want}"
+                ));
+                if let Some(cell) = self.ast.get_mut(root_astx).and_then(|a| a.quota.as_mut()) {
+                    cell.used = want;
+                }
+                st.report
+                    .repairs
+                    .push(format!("reset root cell used {recorded} -> {want}"));
+            }
+        }
+        // Repairs to an active directory went through the paging path;
+        // flush again so the raw recheck reads current data.
+        if let Some(astx) = self.ast.find(dir) {
+            self.flush_segment(astx)?;
+        }
+        let recheck_clean = self.online_recheck(st, dir, home)?;
+        st.released.insert(dir);
+        st.dirs_released += 1;
+        Ok(LegacyOnlineProgress::Released {
+            dir,
+            recheck_clean,
+            problems_found: (st.report.problems.len() - problems_before) as u32,
+            repairs_made: (st.report.repairs.len() - repairs_before) as u32,
+        })
+    }
+
+    /// Honest recheck before release: re-reads the directory raw and
+    /// re-verifies invariants 1 and 2 locally, and — if this directory
+    /// owns a quota cell — that the recorded used count equals the
+    /// frozen truth captured when the cell was checked.
+    fn online_recheck(
+        &mut self,
+        st: &mut LegacyOnlineSalvage,
+        dir: SegUid,
+        home: DiskHome,
+    ) -> Result<bool, LegacyError> {
+        let mut clean = true;
+        let count = self.raw_seg_read(home, 0).raw() as u32;
+        let mut local: HashSet<(u32, u32)> = HashSet::new();
+        for slot in 0..count {
+            let Some(e) = self.raw_entry(home, slot) else {
+                continue;
+            };
+            let toc_uid = self
+                .machine
+                .disks
+                .pack(e.home.pack)
+                .ok()
+                .and_then(|p| p.entry(e.home.toc).ok())
+                .map(|t| t.uid);
+            if toc_uid != Some(e.uid.0) {
+                clean = false;
+                st.report
+                    .problems
+                    .push(format!("dangling entry '{}' (uid {})", e.name, e.uid.0));
+                continue;
+            }
+            if !local.insert((e.home.pack.0, e.home.toc.0)) {
+                clean = false;
+                st.report
+                    .problems
+                    .push(format!("duplicate claim '{}' on uid {}", e.name, e.uid.0));
+            }
+        }
+        if let Some(expect) = st.cell_expect.get(&dir).copied() {
+            let recorded = if dir == self.root_uid {
+                let root_astx = self.ast.find(dir).ok_or(LegacyError::NotActive)?;
+                self.ast
+                    .get(root_astx)
+                    .and_then(|a| a.quota.map(|q| q.used))
+                    .unwrap_or(0)
+            } else {
+                let branch = self
+                    .branch_table
+                    .get(&dir)
+                    .copied()
+                    .ok_or(LegacyError::Salvage("claimed directory lost its branch"))?;
+                let parent = branch
+                    .parent
+                    .ok_or(LegacyError::Salvage("non-root directory without a parent"))?;
+                match self.ast.find(parent) {
+                    Some(pastx) => self.read_entry(pastx, branch.slot)?.quota_used,
+                    None => {
+                        let phome = self.online_home_of(parent)?;
+                        self.raw_seg_read(phome, 1 + branch.slot * ENTRY_WORDS + 15)
+                            .raw() as u32
+                    }
+                }
+            };
+            if recorded != expect {
+                clean = false;
+                st.report.problems.push(format!(
+                    "cell {} drift: recorded {recorded}, actual {expect}",
+                    dir.0
+                ));
+            }
+        }
+        Ok(clean)
+    }
+
+    /// Writes one word of a claimed directory: through the paging path
+    /// if the directory is active (keeping core coherent), raw if not.
+    fn online_dir_write(
+        &mut self,
+        dir: SegUid,
+        home: DiskHome,
+        wordno: u32,
+        value: Word,
+    ) -> Result<(), LegacyError> {
+        match self.ast.find(dir) {
+            Some(astx) => self.sup_write(astx, wordno, value),
+            None => self.raw_seg_write(home, wordno, value),
+        }
+    }
+
+    /// The disk home of an object, found without activating anything:
+    /// the root's home is pinned; anyone else's lives in the parent's
+    /// entry (read buffered if the parent is active, raw otherwise).
+    fn online_home_of(&mut self, uid: SegUid) -> Result<DiskHome, LegacyError> {
+        if uid == self.root_uid {
+            return Ok(self.root_home);
+        }
+        let branch = self
+            .branch_table
+            .get(&uid)
+            .copied()
+            .ok_or(LegacyError::Salvage("object has no branch"))?;
+        let parent = branch
+            .parent
+            .ok_or(LegacyError::Salvage("non-root object without a parent"))?;
+        match self.ast.find(parent) {
+            Some(pastx) => {
+                let e = self.read_entry(pastx, branch.slot)?;
+                Ok(DiskHome {
+                    pack: e.pack,
+                    toc: e.toc,
+                })
+            }
+            None => {
+                let phome = self.online_home_of(parent)?;
+                let base = 1 + branch.slot * ENTRY_WORDS;
+                Ok(DiskHome {
+                    pack: PackId(self.raw_seg_read(phome, base + 2).raw() as u32),
+                    toc: TocIndex(self.raw_seg_read(phome, base + 3).raw() as u32),
+                })
+            }
+        }
+    }
+
+    /// Frozen-subtree usage of the cell owned by the quota directory at
+    /// `qdir_home`: the records of everything below it, pruning at
+    /// deeper quota directories (whose subtrees charge their own cells)
+    /// but counting those directories' own pages here — the same
+    /// nearest-superior attribution as [`Supervisor::raw_cell_usage`].
+    /// Entries whose TOC home is already claimed elsewhere are excluded,
+    /// matching the claim winner the walk keeps.
+    fn online_cell_actual(&mut self, qdir_home: DiskHome, claimed: &HashSet<(u32, u32)>) -> u32 {
+        fn records_of(disks: &mx_hw::DiskSystem, home: DiskHome) -> u32 {
+            disks
+                .pack(home.pack)
+                .ok()
+                .and_then(|p| p.entry(home.toc).ok())
+                .map(|e| e.records_used())
+                .unwrap_or(0)
+        }
+        let mut seen = claimed.clone();
+        let mut used = 0u32;
+        let mut queue = VecDeque::from([qdir_home]);
+        while let Some(home) = queue.pop_front() {
+            let count = self.raw_seg_read(home, 0).raw() as u32;
+            for slot in 0..count {
+                let Some(e) = self.raw_entry(home, slot) else {
+                    continue;
+                };
+                let live = self
+                    .machine
+                    .disks
+                    .pack(e.home.pack)
+                    .ok()
+                    .and_then(|p| p.entry(e.home.toc).ok())
+                    .map(|t| t.uid == e.uid.0)
+                    .unwrap_or(false);
+                if !live || !seen.insert((e.home.pack.0, e.home.toc.0)) {
+                    continue;
+                }
+                used += records_of(&self.machine.disks, e.home);
+                if e.is_dir && !e.quota_dir {
+                    queue.push_back(e.home);
+                }
+            }
+        }
+        used
+    }
+
+    /// Finalize: reclaims TOC entries on `pack` that no claimed
+    /// directory entry references. Service-created objects were noted
+    /// into the claim set at birth, so only crash debris qualifies; an
+    /// active segment's home is additionally never touched.
+    fn online_orphan_sweep(&mut self, st: &mut LegacyOnlineSalvage, pack: PackId) {
+        let mut orphans: Vec<(TocIndex, u64)> = Vec::new();
+        if let Ok(p) = self.machine.disks.pack(pack) {
+            for (toc, entry) in p.entries() {
+                if !st.claimed.contains(&(pack.0, toc.0)) {
+                    orphans.push((toc, entry.uid));
+                }
+            }
+        }
+        for (toc, uid) in orphans {
+            let active = self
+                .ast
+                .iter()
+                .any(|(_, a)| a.home.pack == pack && a.home.toc == toc);
+            if active {
+                continue;
+            }
+            st.report
+                .problems
+                .push(format!("orphan TOC entry {}:{} (uid {uid})", pack.0, toc.0));
+            if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                let _ = p.delete_entry(toc);
+            }
+            st.report
+                .repairs
+                .push(format!("reclaimed orphan TOC entry {}:{}", pack.0, toc.0));
+        }
+    }
+
+    /// Finalize: frees allocated records on `pack` no file map
+    /// references (run after the orphan sweep returned its records).
+    fn online_leak_sweep(&mut self, st: &mut LegacyOnlineSalvage, pack: PackId) {
+        let mut leaked: Vec<RecordNo> = Vec::new();
+        if let Ok(p) = self.machine.disks.pack(pack) {
+            let mut referenced: HashSet<u32> = HashSet::new();
+            for (_, entry) in p.entries() {
+                for rec in entry.file_map.iter().flatten() {
+                    referenced.insert(rec.0);
+                }
+            }
+            for rec in p.allocated_record_nos() {
+                if !referenced.contains(&rec.0) {
+                    leaked.push(rec);
+                }
+            }
+        }
+        for rec in leaked {
+            st.report
+                .problems
+                .push(format!("leaked record {} on pack {}", rec.0, pack.0));
+            if let Ok(p) = self.machine.disks.pack_mut(pack) {
+                let _ = p.free_record(rec);
+            }
+            st.report
+                .repairs
+                .push(format!("freed leaked record {} on pack {}", rec.0, pack.0));
+        }
+    }
+
+    /// The quarantine barrier: while an online salvage runs, any
+    /// reference to a directory the salvager has not yet released
+    /// answers [`LegacyError::SalvageBusy`]. Files pass — they are
+    /// reachable only through directories that already passed.
+    pub(crate) fn salvage_barrier_uid(&self, uid: SegUid) -> Result<(), LegacyError> {
+        if let Some(o) = &self.online {
+            let is_dir = self
+                .branch_table
+                .get(&uid)
+                .map(|b| b.is_dir)
+                .unwrap_or(false);
+            if is_dir && !o.released.contains(&uid) {
+                return Err(LegacyError::SalvageBusy);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tells a running salvage about a service-created object so the
+    /// finalize sweeps keep it: its TOC entry joins the claim set, and
+    /// a new directory is born released (it cannot be crash debris).
+    pub(crate) fn salvage_note_created(&mut self, uid: SegUid, home: DiskHome, is_dir: bool) {
+        if let Some(o) = &mut self.online {
+            o.claimed.insert((home.pack.0, home.toc.0));
+            if is_dir {
+                o.released.insert(uid);
+            }
+        }
+    }
+
+    /// Tells a running salvage that a segment relocated to a new TOC
+    /// entry, so the orphan sweep keeps the new home.
+    pub(crate) fn salvage_note_relocated(&mut self, new_home: DiskHome) {
+        if let Some(o) = &mut self.online {
+            o.claimed.insert((new_home.pack.0, new_home.toc.0));
+        }
+    }
+
     // ----- raw disk-image access -----------------------------------------
 
     /// Reads one word of a segment straight from its disk records (zero
@@ -633,6 +1198,146 @@ mod tests {
             .create_segment_in(back.root(), "new", Acl::owner(user), Label::BOTTOM)
             .unwrap();
         assert!(fresh.0 > seg.0, "recovered next_uid continues the sequence");
+    }
+
+    #[test]
+    fn online_salvage_releases_incrementally_and_serves_behind_barrier() {
+        let mut sup = Supervisor::boot(config());
+        let user = UserId(1);
+        let dir = sup
+            .create_directory_in(sup.root(), "d", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let seg = sup
+            .create_segment_in(dir, "f", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        let astx = sup.activate(seg).unwrap();
+        sup.sup_write(astx, 0, Word::new(7)).unwrap();
+        sup.sync_to_disk().unwrap();
+        let image = sup.machine.disks.clone();
+
+        let mut back = Supervisor::boot_from_image(config(), image).unwrap();
+        back.begin_online_salvage();
+        assert!(back.online_salvage_active());
+        // A process needs a state segment under ">processes", so even
+        // process creation is barred until the root is released.
+        assert_eq!(
+            back.create_process(user, Label::BOTTOM),
+            Err(LegacyError::SalvageBusy)
+        );
+
+        // First step releases the root: service resumes there while
+        // ">d" is still quarantined (as final target and as a path
+        // component both).
+        match back.online_salvage_step().unwrap() {
+            LegacyOnlineProgress::Released {
+                dir, recheck_clean, ..
+            } => {
+                assert_eq!(dir, back.root());
+                assert!(recheck_clean);
+            }
+            other => panic!("expected root release, got {other:?}"),
+        }
+        let pid = back
+            .create_process(user, Label::BOTTOM)
+            .expect("released root admits processes mid-salvage");
+        assert_eq!(
+            back.resolve(pid, ">d", crate::types::AccessRight::Read),
+            Err(LegacyError::SalvageBusy)
+        );
+        assert_eq!(
+            back.resolve(pid, ">d>f", crate::types::AccessRight::Read),
+            Err(LegacyError::SalvageBusy)
+        );
+        let fresh = back
+            .create_segment_in(back.root(), "fresh", Acl::owner(user), Label::BOTTOM)
+            .expect("released root serves creates mid-salvage");
+
+        // Second step releases "d"; the file behind it becomes
+        // reachable with its contents intact.
+        match back.online_salvage_step().unwrap() {
+            LegacyOnlineProgress::Released { recheck_clean, .. } => assert!(recheck_clean),
+            other => panic!("expected release of 'd', got {other:?}"),
+        }
+        let (got, _) = back
+            .resolve(pid, ">d>f", crate::types::AccessRight::Read)
+            .unwrap();
+        assert_eq!(got, seg);
+        let astx = back.activate(seg).unwrap();
+        assert_eq!(back.sup_read(astx, 0).unwrap(), Word::new(7));
+
+        // Drain: finalize sweeps must keep the service-created segment.
+        let report = loop {
+            match back.online_salvage_step().unwrap() {
+                LegacyOnlineProgress::Done { report } => break report,
+                LegacyOnlineProgress::Idle => panic!("salvage went idle before Done"),
+                _ => {}
+            }
+        };
+        assert!(report.clean(), "problems: {:?}", report.problems);
+        assert!(!back.online_salvage_active());
+        assert_eq!(back.online_salvage_dirs_released(), 0);
+        back.activate(fresh)
+            .expect("fresh segment survived finalize");
+        let check = back.salvage(false).unwrap();
+        assert!(check.clean(), "problems: {:?}", check.problems);
+    }
+
+    #[test]
+    fn online_cheat_release_before_cell_repair_fails_recheck() {
+        let mut sup = Supervisor::boot(config());
+        let user = UserId(1);
+        let dir = sup
+            .create_directory_in(sup.root(), "d", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        sup.create_segment_in(dir, "f", Acl::owner(user), Label::BOTTOM)
+            .unwrap();
+        sup.sync_to_disk().unwrap();
+        let image = sup.machine.disks.clone();
+
+        // Honest salvager: repairs the drifted root cell and the
+        // recheck passes.
+        let mut honest = Supervisor::boot_from_image(config(), image.clone()).unwrap();
+        let root_astx = honest.ast.find(honest.root()).unwrap();
+        honest
+            .ast
+            .get_mut(root_astx)
+            .unwrap()
+            .quota
+            .as_mut()
+            .unwrap()
+            .used += 3;
+        honest.begin_online_salvage();
+        match honest.online_salvage_step().unwrap() {
+            LegacyOnlineProgress::Released {
+                recheck_clean,
+                repairs_made,
+                ..
+            } => {
+                assert!(recheck_clean, "honest repair must satisfy the recheck");
+                assert!(repairs_made > 0, "the drift must have been repaired");
+            }
+            other => panic!("expected root release, got {other:?}"),
+        }
+
+        // Cheating salvager: skips the repair; the per-release recheck
+        // catches it at the root's own release.
+        let mut cheat = Supervisor::boot_from_image(config(), image).unwrap();
+        let root_astx = cheat.ast.find(cheat.root()).unwrap();
+        cheat
+            .ast
+            .get_mut(root_astx)
+            .unwrap()
+            .quota
+            .as_mut()
+            .unwrap()
+            .used += 3;
+        cheat.begin_online_salvage_with_cheat(Some(LegacyOnlineCheat::ReleaseBeforeCellRepair));
+        match cheat.online_salvage_step().unwrap() {
+            LegacyOnlineProgress::Released { recheck_clean, .. } => {
+                assert!(!recheck_clean, "the recheck must catch the planted cheat");
+            }
+            other => panic!("expected root release, got {other:?}"),
+        }
     }
 
     #[test]

@@ -265,6 +265,7 @@ impl Supervisor {
             pack: target,
             toc: new_toc,
         };
+        self.salvage_note_relocated(new_home);
         self.ast.get_mut(astx).expect("live astx").home = new_home;
         match aste.dir_home {
             Some((parent_astx, slot)) => {

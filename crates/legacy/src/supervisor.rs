@@ -198,6 +198,9 @@ pub struct Supervisor {
     pub(crate) users: HashMap<String, crate::answering::UserAccount>,
     /// In-kernel network handlers, one per attached network.
     pub(crate) networks: Vec<crate::network::NetworkHandler>,
+    /// In-progress online salvage, if one is running (see
+    /// [`Supervisor::begin_online_salvage`]).
+    pub(crate) online: Option<crate::recovery::LegacyOnlineSalvage>,
     max_processes: u32,
     dseg_frame_base: u32,
 }
@@ -267,6 +270,7 @@ impl Supervisor {
             linkage: HashMap::new(),
             users: HashMap::new(),
             networks: Vec::new(),
+            online: None,
             max_processes: config.max_processes,
             dseg_frame_base,
         }

@@ -186,6 +186,13 @@ pub enum LegacyError {
     /// (transient read exhausted), or unrecoverably (pack offline, power
     /// failed) — surfaced typed, never a panic.
     Disk(DiskError),
+    /// The referenced directory is quarantined by the online salvager
+    /// (not yet proven clean after a crash). Transient: retry after the
+    /// salvager releases the directory.
+    SalvageBusy,
+    /// The salvager itself hit an internal inconsistency it cannot
+    /// repair in place.
+    Salvage(&'static str),
 }
 
 impl core::fmt::Display for LegacyError {
@@ -212,6 +219,8 @@ impl core::fmt::Display for LegacyError {
             LegacyError::NoSuchChannel => write!(f, "no such channel"),
             LegacyError::NotActive => write!(f, "segment not active"),
             LegacyError::Disk(e) => write!(f, "disk failure: {e}"),
+            LegacyError::SalvageBusy => write!(f, "directory quarantined by online salvage"),
+            LegacyError::Salvage(why) => write!(f, "salvage error: {why}"),
         }
     }
 }

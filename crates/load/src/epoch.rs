@@ -36,18 +36,21 @@
 //! string. [`C1SelfCheck`] deliberately breaks the recovery obligations
 //! so a harness test can prove the oracles catch a cheat.
 
-use crate::hist::Histogram;
+use crate::hist::{Histogram, HistogramError};
 use crate::run::{
-    account_name, definitions, drive_until, file_name, setup_kernel, setup_legacy, shared_word,
-    storm, EngineState, KSession, KernelDriver, KernelWorldCtx, LSession, LegacyDriver,
-    LegacyWorldCtx, LoadSpec,
+    account_name, definitions, drive_until, file_name, kernel_salvage_step_checked,
+    legacy_salvage_step_checked, setup_kernel, setup_legacy, shared_word, storm, EngineState,
+    KSession, KernelDeferred, KernelDriver, KernelWorldCtx, LSession, LegacyDeferred, LegacyDriver,
+    LegacyWorldCtx, LoadSpec, SalvageProbe, SALVAGE_RETRY_BUDGET,
 };
 use crate::script::{SessionScript, SHARED_PAGES};
 use mx_aim::Label;
 use mx_explore::{oracle, PctPolicy, SeededRandomPolicy};
 use mx_hw::{CrashWrite, SplitMix64, Word, PAGE_WORDS};
-use mx_kernel::{Acl, Kernel, UserId};
-use mx_legacy::{AccessRight, Acl as LAcl, Supervisor, UserId as LUserId};
+use mx_kernel::{Acl, Kernel, KernelError, OnlineCheat, UserId};
+use mx_legacy::{
+    AccessRight, Acl as LAcl, LegacyError, LegacyOnlineCheat, Supervisor, UserId as LUserId,
+};
 use mx_sync::SchedulePolicy;
 use mx_user::{publish_library, AnsweringService, NameSpace, UserLinker};
 
@@ -271,10 +274,8 @@ impl C1Run {
             s,
             "hist: samples={} p50={} p99={}",
             self.hist.samples(),
-            // A run whose every epoch crashed before retiring an op has
-            // an empty histogram; the transcript renders that as 0.
-            self.hist.percentile(50).unwrap_or(0),
-            self.hist.percentile(99).unwrap_or(0)
+            render_pct(&self.hist, 50),
+            render_pct(&self.hist, 99)
         );
         let _ = writeln!(s, "parity={}", self.parity.join(","));
         for v in &self.violations {
@@ -295,6 +296,18 @@ impl C1Run {
                     || l.starts_with("reap:")
             })
             .count()
+    }
+}
+
+/// Renders a percentile with its typed failure states instead of
+/// collapsing them to `0`: a run whose every epoch crashed before
+/// retiring an op has an *empty* histogram, which is a different fact
+/// from a measured zero-cycle percentile.
+fn render_pct(hist: &Histogram, pct: u64) -> String {
+    match hist.percentile(pct) {
+        Ok(v) => v.to_string(),
+        Err(HistogramError::Empty) => "empty".to_string(),
+        Err(e) => format!("error:{e}"),
     }
 }
 
@@ -636,6 +649,8 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
                     svc,
                     sessions,
                     shard_toks,
+                    salvage: SalvageProbe::default(),
+                    deferred: Vec::new(),
                 };
             }
             Err(msg) => {
@@ -945,6 +960,8 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
                     sup: rs,
                     sessions,
                     pending,
+                    salvage: SalvageProbe::default(),
+                    deferred: Vec::new(),
                 };
             }
             Err(msg) => {
@@ -993,6 +1010,1101 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
     }
     let stranded = d.pending.len();
     assemble(
+        "legacy",
+        schedule,
+        spec,
+        st,
+        epochs,
+        epoch_bounds,
+        load_cycles,
+        recovery_total,
+        violations,
+        stranded,
+    )
+}
+
+// ----------------------------------------------------- online salvage --
+
+/// Deliberate online-salvage cheats, mirroring [`C1SelfCheck`]: the
+/// per-release oracle battery must catch a salvager that hands a
+/// directory back to traffic before it is actually clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum S1SelfCheck {
+    /// Salvage honestly.
+    None,
+    /// At the first crash, tear the root quota cell behind the system's
+    /// back and run a salvager that releases each directory *before*
+    /// repairing its cell — the per-release recheck must fail at the
+    /// root's own release.
+    ReleaseBeforeCellRepair,
+}
+
+/// One online-salvage run: the C1 chaos composition, but recovery hands
+/// the machine back to the population after reconciling only the
+/// released prefix of the hierarchy; the salvager claims the rest one
+/// directory at a time while the stream runs.
+#[derive(Debug, Clone, Copy)]
+pub struct S1Spec {
+    /// Scripted sessions (the `crates/load` population).
+    pub sessions: usize,
+    /// Seed the session scripts expand from.
+    pub seed: u64,
+    /// Seed of the crash-mode stream (torn word counts, drop choices).
+    pub plan_seed: u64,
+    /// Crash/online-salvage/re-admit boundaries cut into the stream.
+    pub crashes: u32,
+    /// Kernel schedule between crashes.
+    pub policy: C1Policy,
+    /// Salvager honesty (see [`S1SelfCheck`]).
+    pub self_check: S1SelfCheck,
+}
+
+impl S1Spec {
+    /// An honest run.
+    pub fn new(sessions: usize, seed: u64, plan_seed: u64, crashes: u32, policy: C1Policy) -> Self {
+        Self {
+            sessions,
+            seed,
+            plan_seed,
+            crashes,
+            policy,
+            self_check: S1SelfCheck::None,
+        }
+    }
+
+    /// Completed operations per epoch (see [`C1Spec::ops_per_epoch`]).
+    pub fn ops_per_epoch(&self) -> u64 {
+        2 * self.sessions as u64
+    }
+
+    /// The replayable identity of a run on `design`.
+    pub fn repro(&self, design: &str) -> String {
+        format!(
+            "seed={:#x} plan={:#x} schedule={} sessions={} crashes={} design={design} mode=online",
+            self.seed,
+            self.plan_seed,
+            self.policy.descriptor(),
+            self.sessions,
+            self.crashes
+        )
+    }
+}
+
+/// One online-salvage epoch's figures. The salvage fields describe the
+/// crash at the *end* of this epoch; they accumulate while the next
+/// segment's traffic runs concurrently with the repair and are patched
+/// in once the salvage drains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct S1EpochReport {
+    /// Cumulative engine ops at the end of the epoch.
+    pub ops: u64,
+    /// Simulated cycles the epoch's load phase took.
+    pub cycles: u64,
+    /// Sessions live at the boundary (the population the crash hits).
+    pub live_at_crash: usize,
+    /// Logins parked at the boundary (what recovery must not lose).
+    pub queued_at_crash: usize,
+    /// Whether this epoch ended in a crash (false only for the tail).
+    pub crashed: bool,
+    /// Problems the online salvager found in the crash image.
+    pub salvage_problems: usize,
+    /// Repairs it performed.
+    pub salvage_repairs: usize,
+    /// Directories claimed, repaired, and released one at a time.
+    pub dirs_released: u32,
+    /// Engine ops completed while the salvager was still running — the
+    /// overlap a stop-the-world salvage forbids by construction.
+    pub overlap_ops: u64,
+    /// Cycles from `begin_online_salvage` to the salvager's `Done`.
+    pub salvage_window: u64,
+    /// Ops that hit a `SalvageBusy` barrier at least once.
+    pub blocked_ops: u64,
+    /// Total barrier retries (each retry steps the salvager once).
+    pub retries: u64,
+    /// Cycles spent blocked behind barriers, summed over blocked ops.
+    pub blocked_cycles: u64,
+    /// Cycles from salvage begin to the first op completed after the
+    /// stream resumed.
+    pub first_op_cycles: u64,
+    /// Cycles from recovery bootload to the stream resuming — the
+    /// number to compare against C1's stop-the-world `recovery_cycles`,
+    /// which additionally contains two full salvage passes.
+    pub recovery_cycles: u64,
+}
+
+/// Everything one design's online-salvage run produced.
+#[derive(Debug, Clone)]
+pub struct S1Run {
+    /// `"kernel"` or `"legacy"`.
+    pub design: &'static str,
+    /// Schedule descriptor (`fifo`, `random:…`, `pct:…`, `inherent`).
+    pub schedule: String,
+    /// Total engine ops completed.
+    pub ops: u64,
+    /// Sessions abandoned (reaped) rather than logged out.
+    pub abandoned: usize,
+    /// Deepest the admission queue got.
+    pub queued_peak: usize,
+    /// The full user-visible label stream, across every epoch.
+    pub parity: Vec<String>,
+    /// `parity` index at each crash boundary.
+    pub epoch_bounds: Vec<usize>,
+    /// Per-epoch figures (crashed epochs first, then the tail).
+    pub epochs: Vec<S1EpochReport>,
+    /// Post-storm admission order (the FIFO fairness record).
+    pub admitted_order: Vec<usize>,
+    /// Per-operation service-time histogram across the whole run —
+    /// barrier stalls are *inside* the blocked ops' samples.
+    pub hist: Histogram,
+    /// Load-phase cycles summed over epochs.
+    pub load_cycles: u64,
+    /// Bootload-to-stream-resume cycles summed over crashes.
+    pub recovery_cycles: u64,
+    /// Everything the oracles caught. Empty = clean.
+    pub violations: Vec<String>,
+}
+
+impl S1Run {
+    /// The run's complete deterministic transcript (see
+    /// [`C1Run::transcript`]).
+    pub fn transcript(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "design={} schedule={} mode=online ops={} abandoned={} queued_peak={} \
+             load_cycles={} recovery_cycles={}",
+            self.design,
+            self.schedule,
+            self.ops,
+            self.abandoned,
+            self.queued_peak,
+            self.load_cycles,
+            self.recovery_cycles
+        );
+        let _ = writeln!(s, "admitted={:?}", self.admitted_order);
+        let _ = writeln!(s, "bounds={:?}", self.epoch_bounds);
+        for (i, e) in self.epochs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "epoch {i}: ops={} cycles={} live={} queued={} crashed={} problems={} \
+                 repairs={} released={} overlap_ops={} window={} blocked={} retries={} \
+                 blocked_cycles={} first_op={} recovery={}",
+                e.ops,
+                e.cycles,
+                e.live_at_crash,
+                e.queued_at_crash,
+                e.crashed,
+                e.salvage_problems,
+                e.salvage_repairs,
+                e.dirs_released,
+                e.overlap_ops,
+                e.salvage_window,
+                e.blocked_ops,
+                e.retries,
+                e.blocked_cycles,
+                e.first_op_cycles,
+                e.recovery_cycles
+            );
+        }
+        let _ = writeln!(
+            s,
+            "hist: samples={} p50={} p99={}",
+            self.hist.samples(),
+            render_pct(&self.hist, 50),
+            render_pct(&self.hist, 99)
+        );
+        let _ = writeln!(s, "parity={}", self.parity.join(","));
+        for v in &self.violations {
+            let _ = writeln!(s, "violation: {v}");
+        }
+        s
+    }
+
+    /// Terminal labels in the stream (see [`C1Run::terminals`]).
+    fn terminals(&self) -> usize {
+        self.parity
+            .iter()
+            .filter(|l| {
+                l.as_str() == "out"
+                    || l.as_str() == "reap"
+                    || l.starts_with("out:")
+                    || l.starts_with("reap:")
+            })
+            .count()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn s1_assemble(
+    design: &'static str,
+    schedule: String,
+    spec: &S1Spec,
+    st: EngineState,
+    epochs: Vec<S1EpochReport>,
+    epoch_bounds: Vec<usize>,
+    load_cycles: u64,
+    recovery_cycles: u64,
+    mut violations: Vec<String>,
+    stranded: usize,
+) -> S1Run {
+    let repro = spec.repro(design);
+    let mut run = S1Run {
+        design,
+        schedule,
+        ops: st.ops,
+        abandoned: st.abandoned,
+        queued_peak: st.queued_peak,
+        parity: st.parity,
+        epoch_bounds,
+        epochs,
+        admitted_order: st.admitted_order,
+        hist: st.hist,
+        load_cycles,
+        recovery_cycles,
+        violations: Vec::new(),
+    };
+    if stranded > 0 {
+        violations.push(format!(
+            "{design} final: {stranded} logins stranded in the admission queue [{repro}]"
+        ));
+    }
+    let ends = run.terminals();
+    if ends != spec.sessions {
+        violations.push(format!(
+            "{design} final: {ends} sessions reached a terminal label but {} were scripted \
+             — recovery lost sessions [{repro}]",
+            spec.sessions
+        ));
+    }
+    run.violations = violations;
+    run
+}
+
+/// Harvests a drained salvage's figures into the report of the epoch
+/// whose crash spawned it, and re-tags the probe's accumulated oracle
+/// violations with that epoch and the replayable repro string.
+fn patch_salvage_figures(
+    report: &mut S1EpochReport,
+    probe: &mut SalvageProbe,
+    violations: &mut Vec<String>,
+    tag: &str,
+    repro: &str,
+) {
+    let Some(begin) = probe.begin_at else { return };
+    report.salvage_problems = probe.problems;
+    report.salvage_repairs = probe.repairs;
+    report.dirs_released = probe.dirs_released;
+    report.overlap_ops = probe.ops_overlapped;
+    report.blocked_ops = probe.blocked_ops;
+    report.retries = probe.retries;
+    report.blocked_cycles = probe.blocked_cycles;
+    match probe.done_at {
+        Some(done) => report.salvage_window = done.saturating_sub(begin),
+        None => violations.push(format!("{tag}: online salvage never completed [{repro}]")),
+    }
+    if let Some(first) = probe.first_op_at {
+        report.first_op_cycles = first.saturating_sub(begin);
+    }
+    for v in probe.violations.drain(..) {
+        violations.push(format!("{tag}: {v} [{repro}]"));
+    }
+}
+
+/// Retries `f` through `SalvageBusy`, stepping the salvager (and its
+/// per-release oracle battery) between attempts. A bounded budget turns
+/// a wedged salvager into a typed reconcile failure instead of a hang.
+fn kernel_gate_retry<T>(
+    k: &mut Kernel,
+    probe: &mut SalvageProbe,
+    what: &str,
+    mut f: impl FnMut(&mut Kernel) -> Result<T, KernelError>,
+) -> Result<T, String> {
+    let mut attempts = 0u32;
+    loop {
+        match f(k) {
+            Ok(v) => return Ok(v),
+            Err(KernelError::SalvageBusy) => {
+                attempts += 1;
+                if attempts > SALVAGE_RETRY_BUDGET {
+                    return Err(format!(
+                        "{what}: salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted"
+                    ));
+                }
+                probe.retries += 1;
+                kernel_salvage_step_checked(k, probe);
+            }
+            Err(e) => return Err(format!("{what}: {e:?}")),
+        }
+    }
+}
+
+/// The legacy mirror of [`kernel_gate_retry`].
+fn legacy_gate_retry<T>(
+    sup: &mut Supervisor,
+    probe: &mut SalvageProbe,
+    what: &str,
+    mut f: impl FnMut(&mut Supervisor) -> Result<T, LegacyError>,
+) -> Result<T, String> {
+    let mut attempts = 0u32;
+    loop {
+        match f(sup) {
+            Ok(v) => return Ok(v),
+            Err(LegacyError::SalvageBusy) => {
+                attempts += 1;
+                if attempts > SALVAGE_RETRY_BUDGET {
+                    return Err(format!(
+                        "{what}: salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted"
+                    ));
+                }
+                probe.retries += 1;
+                legacy_salvage_step_checked(sup, probe);
+            }
+            Err(e) => return Err(format!("{what}: {e:?}")),
+        }
+    }
+}
+
+/// What [`kernel_reconcile_online`] rebuilds: sessions, shard tokens,
+/// driver context, and the per-shard repair work parked until the
+/// salvager releases each shard.
+type KernelOnlineWorld = (
+    Vec<Option<KSession>>,
+    Vec<mx_kernel::ObjToken>,
+    KernelWorldCtx,
+    Vec<KernelDeferred>,
+);
+
+/// The online variant of [`kernel_reconcile`]: the same logical steps,
+/// but run *against a live salvager*. Every gate call retries through
+/// `SalvageBusy` by stepping the salvager (the driver re-login forces
+/// the root and `>processes` out of quarantine — nothing is admitted
+/// against an unreleased root). Crucially the population's file wipes
+/// and the survivors' file replays are NOT performed here: each shard's
+/// share is parked in a [`KernelDeferred`] and applied the moment the
+/// salvager releases (or is proven to have dropped) that shard, so the
+/// stream resumes before the hierarchy is fully repaired.
+fn kernel_reconcile_online(
+    k: &mut Kernel,
+    svc: &mut AnsweringService,
+    load: &LoadSpec,
+    scripts: &[SessionScript],
+    st: &EngineState,
+    old_sessions: &[Option<KSession>],
+    probe: &mut SalvageProbe,
+) -> Result<KernelOnlineWorld, String> {
+    svc.register(k, "drv", UserId(1), "pw", Label::BOTTOM);
+    for idx in 0..load.sessions {
+        svc.register(k, &account_name(idx), UserId(1), "pw", Label::BOTTOM);
+    }
+    let drv = {
+        let mut attempts = 0u32;
+        loop {
+            match svc.login(k, "drv", "pw", Label::BOTTOM) {
+                Ok(pid) => break pid,
+                Err(KernelError::SalvageBusy) => {
+                    attempts += 1;
+                    if attempts > SALVAGE_RETRY_BUDGET {
+                        return Err(format!(
+                            "driver re-login: salvage retry budget ({SALVAGE_RETRY_BUDGET}) \
+                             exhausted"
+                        ));
+                    }
+                    probe.retries += 1;
+                    kernel_salvage_step_checked(k, probe);
+                }
+                Err(e) => return Err(format!("driver re-login: {e:?}")),
+            }
+        }
+    };
+    let root = k.root_token();
+    let acl = Acl::owner(UserId(1));
+
+    // Library and shared segment: find-or-create and rewrite, exactly
+    // as the stop-the-world reconcile does — both live in the root,
+    // which the driver re-login already forced out of quarantine.
+    let lib_tok =
+        match kernel_gate_retry(k, probe, "lib search", |k| k.dir_search(drv, root, "lib")) {
+            Ok(tok) => tok,
+            Err(_) => kernel_gate_retry(k, probe, "lib recreate", |k| {
+                k.create_entry(drv, root, "lib", acl.clone(), Label::BOTTOM, false)
+            })?,
+        };
+    let lib_segno = kernel_gate_retry(k, probe, "lib initiate", |k| k.initiate(drv, lib_tok))?;
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    kernel_gate_retry(k, probe, "lib publish", |k| {
+        publish_library(k, drv, lib_segno, &def_refs)
+    })?;
+
+    let shared_tok = match kernel_gate_retry(k, probe, "shared search", |k| {
+        k.dir_search(drv, root, "shared")
+    }) {
+        Ok(tok) => tok,
+        Err(_) => kernel_gate_retry(k, probe, "shared recreate", |k| {
+            k.create_entry(drv, root, "shared", acl.clone(), Label::BOTTOM, false)
+        })?,
+    };
+    let shared_segno =
+        kernel_gate_retry(k, probe, "shared initiate", |k| k.initiate(drv, shared_tok))?;
+    for page in 0..SHARED_PAGES {
+        kernel_gate_retry(k, probe, &format!("shared page {page}"), |k| {
+            k.write_word(drv, shared_segno, page * PW, Word::new(shared_word(page)))
+        })?;
+    }
+
+    // Shard directories: a surviving shard keeps its token even while
+    // quarantined (the search only walks the released root); only a
+    // shard the crash destroyed is recreated and re-capped now.
+    let mut shard_toks = Vec::new();
+    for j in 0..load.shard_count() {
+        let name = format!("s{j}");
+        let tok = match kernel_gate_retry(k, probe, &format!("shard s{j} search"), |k| {
+            k.dir_search(drv, root, &name)
+        }) {
+            Ok(tok) => tok,
+            Err(_) => {
+                let tok = kernel_gate_retry(k, probe, &format!("shard s{j} recreate"), |k| {
+                    k.create_entry(drv, root, &name, acl.clone(), Label::BOTTOM, true)
+                })?;
+                kernel_gate_retry(k, probe, &format!("shard s{j} quota"), |k| {
+                    k.set_quota(drv, tok, load.shard_quota_pages())
+                })?;
+                tok
+            }
+        };
+        shard_toks.push(tok);
+    }
+
+    // Re-open every surviving session at its script position — but do
+    // NOT touch their files: the shard may still be quarantined. The
+    // wipe of the population's files and the replay of each survivor's
+    // pre-crash contents are parked per shard.
+    let mut sessions: Vec<Option<KSession>> = (0..load.sessions).map(|_| None).collect();
+    for lv in &st.live {
+        let idx = lv.idx;
+        let pid = {
+            let mut attempts = 0u32;
+            loop {
+                match svc.login(k, &account_name(idx), "pw", Label::BOTTOM) {
+                    Ok(pid) => break pid,
+                    Err(KernelError::SalvageBusy) => {
+                        attempts += 1;
+                        if attempts > SALVAGE_RETRY_BUDGET {
+                            return Err(format!(
+                                "survivor u{idx} re-login: salvage retry budget \
+                                 ({SALVAGE_RETRY_BUDGET}) exhausted"
+                            ));
+                        }
+                        probe.retries += 1;
+                        kernel_salvage_step_checked(k, probe);
+                    }
+                    Err(e) => return Err(format!("survivor u{idx} re-login: {e:?}")),
+                }
+            }
+        };
+        let ns = NameSpace::new(k, pid);
+        sessions[idx] = Some(KSession {
+            pid,
+            ns,
+            linker: UserLinker::new(pid),
+            own: None,
+            shared_segno: None,
+        });
+    }
+
+    let had_own = |idx: usize| old_sessions[idx].as_ref().is_some_and(|o| o.own.is_some());
+    let deferred = (0..load.shard_count())
+        .map(|j| KernelDeferred {
+            shard: j,
+            drv,
+            quota: load.shard_quota_pages(),
+            wipe: (0..load.sessions)
+                .filter(|idx| scripts[*idx].shard == j)
+                .collect(),
+            restore: st
+                .live
+                .iter()
+                .filter(|lv| scripts[lv.idx].shard == j && had_own(lv.idx))
+                .map(|lv| (lv.idx, lv.grown_vals.clone()))
+                .collect(),
+        })
+        .collect();
+    Ok((
+        sessions,
+        shard_toks,
+        KernelWorldCtx { drv, shared_segno },
+        deferred,
+    ))
+}
+
+/// The legacy mirror of [`kernel_reconcile_online`].
+type LegacyOnlineWorld = (Vec<Option<LSession>>, LegacyWorldCtx, Vec<LegacyDeferred>);
+
+fn legacy_reconcile_online(
+    sup: &mut Supervisor,
+    load: &LoadSpec,
+    scripts: &[SessionScript],
+    st: &EngineState,
+    old_sessions: &[Option<LSession>],
+    probe: &mut SalvageProbe,
+) -> Result<LegacyOnlineWorld, String> {
+    sup.register_user("drv", LUserId(1), "pw", Label::BOTTOM);
+    for idx in 0..load.sessions {
+        sup.register_user(&account_name(idx), LUserId(1), "pw", Label::BOTTOM);
+    }
+    let drv = legacy_gate_retry(sup, probe, "driver re-login", |s| {
+        s.login("drv", "pw", Label::BOTTOM)
+    })?;
+    let root = sup.root();
+    let acl = LAcl::owner(LUserId(1));
+
+    let lib_uid = match legacy_gate_retry(sup, probe, "lib resolve", |s| {
+        s.resolve(drv, "lib", AccessRight::Read)
+    }) {
+        Ok((uid, _)) => uid,
+        Err(_) => legacy_gate_retry(sup, probe, "lib recreate", |s| {
+            s.create_segment_in(root, "lib", acl.clone(), Label::BOTTOM)
+        })?,
+    };
+    let defs = definitions();
+    let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+    sup.publish_definitions(lib_uid, &def_refs);
+    let lib_segno = legacy_gate_retry(sup, probe, "lib initiate", |s| s.initiate(drv, "lib"))?;
+    legacy_gate_retry(sup, probe, "lib page", |s| {
+        s.user_write(drv, lib_segno, 0, Word::new(def_refs.len() as u64))
+    })?;
+
+    if legacy_gate_retry(sup, probe, "shared resolve", |s| {
+        s.resolve(drv, "shared", AccessRight::Read)
+    })
+    .is_err()
+    {
+        legacy_gate_retry(sup, probe, "shared recreate", |s| {
+            s.create_segment_in(root, "shared", acl.clone(), Label::BOTTOM)
+        })?;
+    }
+    let shared_segno =
+        legacy_gate_retry(sup, probe, "shared initiate", |s| s.initiate(drv, "shared"))?;
+    for page in 0..SHARED_PAGES {
+        legacy_gate_retry(sup, probe, &format!("shared page {page}"), |s| {
+            s.user_write(drv, shared_segno, page * PW, Word::new(shared_word(page)))
+        })?;
+    }
+
+    // Shard probes: the old resolve walks INTO the target, so a
+    // surviving-but-quarantined shard answers `SalvageBusy` — which
+    // proves it exists; only a genuine miss is recreated now.
+    for j in 0..load.shard_count() {
+        let name = format!("s{j}");
+        match sup.resolve(drv, &name, AccessRight::Read) {
+            Ok(_) | Err(LegacyError::SalvageBusy) => {}
+            Err(_) => {
+                legacy_gate_retry(sup, probe, &format!("shard s{j} recreate"), |s| {
+                    s.create_directory_in(root, &name, acl.clone(), Label::BOTTOM)
+                })?;
+                legacy_gate_retry(sup, probe, &format!("shard s{j} quota"), |s| {
+                    s.set_quota_directory(drv, &name, load.shard_quota_pages())
+                })?;
+            }
+        }
+    }
+
+    let mut sessions: Vec<Option<LSession>> = (0..load.sessions).map(|_| None).collect();
+    for lv in &st.live {
+        let idx = lv.idx;
+        let pid = legacy_gate_retry(sup, probe, &format!("survivor u{idx} re-login"), |s| {
+            s.login(&account_name(idx), "pw", Label::BOTTOM)
+        })?;
+        sessions[idx] = Some(LSession {
+            pid,
+            own_segno: None,
+            shared_segno: None,
+        });
+    }
+
+    let had_own = |idx: usize| {
+        old_sessions[idx]
+            .as_ref()
+            .is_some_and(|o| o.own_segno.is_some())
+    };
+    let deferred = (0..load.shard_count())
+        .map(|j| LegacyDeferred {
+            shard: j,
+            drv,
+            quota: load.shard_quota_pages(),
+            wipe: (0..load.sessions)
+                .filter(|idx| scripts[*idx].shard == j)
+                .collect(),
+            restore: st
+                .live
+                .iter()
+                .filter(|lv| scripts[lv.idx].shard == j && had_own(lv.idx))
+                .map(|lv| (lv.idx, lv.grown_vals.clone()))
+                .collect(),
+        })
+        .collect();
+    Ok((sessions, LegacyWorldCtx { drv, shared_segno }, deferred))
+}
+
+/// Runs any salvage still in flight to completion and applies whatever
+/// shard repair work its releases unlocked. Called at epoch boundaries
+/// so the boundary oracle battery (and the next crash) never race an
+/// unfinished repair.
+fn drain_kernel_salvage(d: &mut KernelDriver) {
+    let mut guard = 0u32;
+    while d.k.online_salvage_active() {
+        kernel_salvage_step_checked(&mut d.k, &mut d.salvage);
+        guard += 1;
+        if guard > 10_000 {
+            d.salvage
+                .violations
+                .push("online salvage failed to terminate within 10000 steps".to_string());
+            break;
+        }
+    }
+    d.attempt_deferred();
+}
+
+/// The legacy mirror of [`drain_kernel_salvage`].
+fn drain_legacy_salvage(d: &mut LegacyDriver) {
+    let mut guard = 0u32;
+    while d.sup.online_salvage_active() {
+        legacy_salvage_step_checked(&mut d.sup, &mut d.salvage);
+        guard += 1;
+        if guard > 10_000 {
+            d.salvage
+                .violations
+                .push("online salvage failed to terminate within 10000 steps".to_string());
+            break;
+        }
+    }
+    d.attempt_deferred();
+}
+
+/// Runs the online-salvage composition on the new kernel: C1's crash
+/// schedule, but every recovery re-admits the population immediately
+/// and repairs the hierarchy one directory at a time underneath the
+/// resumed stream.
+pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
+    let load = LoadSpec::continuous(spec.sessions, spec.seed);
+    let scripts = load.scripts();
+    let schedule = spec.policy.descriptor();
+    let repro = spec.repro("kernel");
+    let mut violations: Vec<String> = Vec::new();
+
+    let (mut d, mut ctx) = setup_kernel(&load);
+    d.k.sync_to_disk().expect("setup sync");
+    d.k.reset_load_probes();
+    if let Some(p) = spec.policy.make(0) {
+        d.k.set_schedule_policy(p);
+    }
+
+    let mut st = EngineState::new();
+    storm(&mut d, &scripts, &mut st);
+
+    let mut epochs: Vec<S1EpochReport> = Vec::new();
+    let mut epoch_bounds: Vec<usize> = Vec::new();
+    let mut load_cycles = 0u64;
+    let mut recovery_total = 0u64;
+    let mut epoch_base = d.k.machine.clock.now();
+    let mut drained = false;
+
+    for e in 0..u64::from(spec.crashes) {
+        drained = drive_until(
+            &mut d,
+            &scripts,
+            &mut st,
+            Some((e + 1) * spec.ops_per_epoch()),
+        );
+        drain_kernel_salvage(&mut d);
+        let prev_idx = epochs.len();
+        if let Some(prev) = epochs.last_mut() {
+            let tag = format!("kernel epoch {} online salvage", prev_idx - 1);
+            patch_salvage_figures(prev, &mut d.salvage, &mut violations, &tag, &repro);
+        }
+        for v in oracle::check_kernel(&d.k) {
+            violations.push(format!("kernel epoch {e}: {v} [{repro}]"));
+        }
+        let now = d.k.machine.clock.now();
+        load_cycles += now - epoch_base;
+        let mut report = S1EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            live_at_crash: st.live.len(),
+            queued_at_crash: d.svc.queued_logins(),
+            ..S1EpochReport::default()
+        };
+        if drained {
+            epochs.push(report);
+            break;
+        }
+        epoch_bounds.push(st.parity.len());
+
+        // ---- the crash: beacon, arm, power fails mid-sync ----
+        if let Err(err) =
+            d.k.write_word(ctx.drv, ctx.shared_segno, 1, Word::new(0xBEAC_0000 + e))
+        {
+            violations.push(format!("kernel epoch {e}: beacon write: {err:?} [{repro}]"));
+        }
+        d.k.machine
+            .faults
+            .crash_after_further_writes(1, crash_mode(spec.plan_seed, e));
+        let sync = d.k.sync_to_disk();
+        if sync.is_ok() || d.k.machine.faults.halted().is_none() {
+            violations.push(format!(
+                "kernel epoch {e}: crash plan failed to fire during sync [{repro}]"
+            ));
+            epochs.push(report);
+            return s1_assemble(
+                "kernel",
+                schedule,
+                spec,
+                st,
+                epochs,
+                epoch_bounds,
+                load_cycles,
+                recovery_total,
+                violations,
+                0,
+            );
+        }
+        let image = d.k.machine.disks.clone();
+        let KernelDriver {
+            mut svc,
+            sessions: old_sessions,
+            ..
+        } = d;
+        let pending_before = svc.pending_names();
+        svc.crash_recover();
+
+        // ---- recovery: bootload, quarantine, reconcile, RESUME ----
+        let mut rk = match Kernel::boot_from_image(load.kernel_config(), image) {
+            Ok(rk) => rk,
+            Err(err) => {
+                violations.push(format!(
+                    "kernel epoch {e}: recovery bootload failed: {err:?} [{repro}]"
+                ));
+                epochs.push(report);
+                return s1_assemble(
+                    "kernel",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        };
+        let mut probe = SalvageProbe::default();
+        if e == 0 && spec.self_check == S1SelfCheck::ReleaseBeforeCellRepair {
+            // Tear the root quota cell behind the system's back, then
+            // run the salvager that releases before repairing it.
+            let root_uid = rk.dirm.root();
+            let mut flows = mx_aim::FlowTracker::new();
+            if let Err(err) = rk
+                .qcm
+                .charge(&mut rk.machine, root_uid, 3, Label::BOTTOM, &mut flows)
+            {
+                violations.push(format!(
+                    "kernel epoch {e}: self-check drift injection failed: {err:?} [{repro}]"
+                ));
+            }
+            rk.begin_online_salvage_with_cheat(Some(OnlineCheat::ReleaseBeforeCellRepair));
+        } else {
+            rk.begin_online_salvage();
+        }
+        probe.begin_at = Some(rk.machine.clock.now());
+        match kernel_reconcile_online(
+            &mut rk,
+            &mut svc,
+            &load,
+            &scripts,
+            &st,
+            &old_sessions,
+            &mut probe,
+        ) {
+            Ok((sessions, shard_toks, nctx, deferred)) => {
+                if svc.pending_names() != pending_before {
+                    violations.push(format!(
+                        "kernel epoch {e}: admission queue changed across recovery — \
+                         {pending_before:?} became {:?} [{repro}]",
+                        svc.pending_names()
+                    ));
+                }
+                ctx = nctx;
+                d = KernelDriver {
+                    k: rk,
+                    svc,
+                    sessions,
+                    shard_toks,
+                    salvage: probe,
+                    deferred,
+                };
+                // Apply at once whatever the reconcile's own salvager
+                // stepping already released — a fresh stream op must
+                // never see a released-but-unwiped shard.
+                d.attempt_deferred();
+            }
+            Err(msg) => {
+                violations.push(format!("kernel epoch {e}: reconcile: {msg} [{repro}]"));
+                for v in probe.violations.drain(..) {
+                    violations.push(format!("kernel epoch {e} online salvage: {v} [{repro}]"));
+                }
+                epochs.push(report);
+                return s1_assemble(
+                    "kernel",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        }
+        report.recovery_cycles = d.k.machine.clock.now();
+        recovery_total += report.recovery_cycles;
+        report.crashed = true;
+        epochs.push(report);
+
+        if let Some(p) = spec.policy.make(e + 1) {
+            d.k.set_schedule_policy(p);
+        }
+        d.k.reset_load_probes();
+        epoch_base = d.k.machine.clock.now();
+    }
+
+    if !drained {
+        drive_until(&mut d, &scripts, &mut st, None);
+        drain_kernel_salvage(&mut d);
+        let prev_idx = epochs.len();
+        if let Some(prev) = epochs.last_mut() {
+            let tag = format!("kernel epoch {} online salvage", prev_idx - 1);
+            patch_salvage_figures(prev, &mut d.salvage, &mut violations, &tag, &repro);
+        }
+        for v in oracle::check_kernel(&d.k) {
+            violations.push(format!("kernel final: {v} [{repro}]"));
+        }
+        let now = d.k.machine.clock.now();
+        load_cycles += now - epoch_base;
+        epochs.push(S1EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queued_at_crash: d.svc.queued_logins(),
+            ..S1EpochReport::default()
+        });
+    }
+    let stranded = d.svc.queued_logins();
+    s1_assemble(
+        "kernel",
+        schedule,
+        spec,
+        st,
+        epochs,
+        epoch_bounds,
+        load_cycles,
+        recovery_total,
+        violations,
+        stranded,
+    )
+}
+
+/// Runs the online-salvage composition on the 1974 supervisor.
+pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
+    let load = LoadSpec::continuous(spec.sessions, spec.seed);
+    let scripts = load.scripts();
+    let schedule = "inherent".to_string();
+    let repro = spec.repro("legacy");
+    let mut violations: Vec<String> = Vec::new();
+
+    let (mut d, mut ctx) = setup_legacy(&load);
+    d.sup.sync_to_disk().expect("setup sync");
+
+    let mut st = EngineState::new();
+    storm(&mut d, &scripts, &mut st);
+
+    let mut epochs: Vec<S1EpochReport> = Vec::new();
+    let mut epoch_bounds: Vec<usize> = Vec::new();
+    let mut load_cycles = 0u64;
+    let mut recovery_total = 0u64;
+    let mut epoch_base = d.sup.machine.clock.now();
+    let mut drained = false;
+
+    for e in 0..u64::from(spec.crashes) {
+        drained = drive_until(
+            &mut d,
+            &scripts,
+            &mut st,
+            Some((e + 1) * spec.ops_per_epoch()),
+        );
+        drain_legacy_salvage(&mut d);
+        let prev_idx = epochs.len();
+        if let Some(prev) = epochs.last_mut() {
+            let tag = format!("legacy epoch {} online salvage", prev_idx - 1);
+            patch_salvage_figures(prev, &mut d.salvage, &mut violations, &tag, &repro);
+        }
+        for v in oracle::check_legacy(&d.sup) {
+            violations.push(format!("legacy epoch {e}: {v} [{repro}]"));
+        }
+        let now = d.sup.machine.clock.now();
+        load_cycles += now - epoch_base;
+        let mut report = S1EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            live_at_crash: st.live.len(),
+            queued_at_crash: d.pending.len(),
+            ..S1EpochReport::default()
+        };
+        if drained {
+            epochs.push(report);
+            break;
+        }
+        epoch_bounds.push(st.parity.len());
+
+        if let Err(err) = d
+            .sup
+            .user_write(ctx.drv, ctx.shared_segno, 1, Word::new(0xBEAC_0000 + e))
+        {
+            violations.push(format!("legacy epoch {e}: beacon write: {err:?} [{repro}]"));
+        }
+        d.sup
+            .machine
+            .faults
+            .crash_after_further_writes(1, crash_mode(spec.plan_seed, e));
+        let sync = d.sup.sync_to_disk();
+        if sync.is_ok() || d.sup.machine.faults.halted().is_none() {
+            violations.push(format!(
+                "legacy epoch {e}: crash plan failed to fire during sync [{repro}]"
+            ));
+            epochs.push(report);
+            return s1_assemble(
+                "legacy",
+                schedule,
+                spec,
+                st,
+                epochs,
+                epoch_bounds,
+                load_cycles,
+                recovery_total,
+                violations,
+                0,
+            );
+        }
+        let image = d.sup.machine.disks.clone();
+        let LegacyDriver {
+            sessions: old_sessions,
+            pending,
+            ..
+        } = d;
+
+        let mut rs = match Supervisor::boot_from_image(load.supervisor_config(), image) {
+            Ok(rs) => rs,
+            Err(err) => {
+                violations.push(format!(
+                    "legacy epoch {e}: recovery bootload failed: {err:?} [{repro}]"
+                ));
+                epochs.push(report);
+                return s1_assemble(
+                    "legacy",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        };
+        let mut probe = SalvageProbe::default();
+        if e == 0 && spec.self_check == S1SelfCheck::ReleaseBeforeCellRepair {
+            match rs.ast.find(rs.root()) {
+                Some(astx) => {
+                    if let Some(q) = rs.ast.get_mut(astx).and_then(|a| a.quota.as_mut()) {
+                        q.used += 3;
+                    }
+                }
+                None => violations.push(format!(
+                    "legacy epoch {e}: self-check drift injection found no root AST entry \
+                     [{repro}]"
+                )),
+            }
+            rs.begin_online_salvage_with_cheat(Some(LegacyOnlineCheat::ReleaseBeforeCellRepair));
+        } else {
+            rs.begin_online_salvage();
+        }
+        probe.begin_at = Some(rs.machine.clock.now());
+        match legacy_reconcile_online(&mut rs, &load, &scripts, &st, &old_sessions, &mut probe) {
+            Ok((sessions, nctx, deferred)) => {
+                ctx = nctx;
+                d = LegacyDriver {
+                    sup: rs,
+                    sessions,
+                    pending,
+                    salvage: probe,
+                    deferred,
+                };
+                d.attempt_deferred();
+            }
+            Err(msg) => {
+                violations.push(format!("legacy epoch {e}: reconcile: {msg} [{repro}]"));
+                for v in probe.violations.drain(..) {
+                    violations.push(format!("legacy epoch {e} online salvage: {v} [{repro}]"));
+                }
+                epochs.push(report);
+                return s1_assemble(
+                    "legacy",
+                    schedule,
+                    spec,
+                    st,
+                    epochs,
+                    epoch_bounds,
+                    load_cycles,
+                    recovery_total,
+                    violations,
+                    0,
+                );
+            }
+        }
+        report.recovery_cycles = d.sup.machine.clock.now();
+        recovery_total += report.recovery_cycles;
+        report.crashed = true;
+        epochs.push(report);
+        epoch_base = d.sup.machine.clock.now();
+    }
+
+    if !drained {
+        drive_until(&mut d, &scripts, &mut st, None);
+        drain_legacy_salvage(&mut d);
+        let prev_idx = epochs.len();
+        if let Some(prev) = epochs.last_mut() {
+            let tag = format!("legacy epoch {} online salvage", prev_idx - 1);
+            patch_salvage_figures(prev, &mut d.salvage, &mut violations, &tag, &repro);
+        }
+        for v in oracle::check_legacy(&d.sup) {
+            violations.push(format!("legacy final: {v} [{repro}]"));
+        }
+        let now = d.sup.machine.clock.now();
+        load_cycles += now - epoch_base;
+        epochs.push(S1EpochReport {
+            ops: st.ops,
+            cycles: now - epoch_base,
+            queued_at_crash: d.pending.len(),
+            ..S1EpochReport::default()
+        });
+    }
+    let stranded = d.pending.len();
+    s1_assemble(
         "legacy",
         schedule,
         spec,
@@ -1058,6 +2170,79 @@ mod tests {
             assert_eq!(k.parity, l.parity, "{policy:?} diverged from baseline");
             assert_eq!(k.admitted_order, l.admitted_order, "{policy:?} fairness");
         }
+    }
+
+    fn small_s1(policy: C1Policy) -> S1Spec {
+        S1Spec::new(8, 0xC1, 0xFA11, 2, policy)
+    }
+
+    #[test]
+    fn kernel_online_salvage_serves_during_repair() {
+        let spec = small_s1(C1Policy::Fifo);
+        let a = run_kernel_s1(&spec);
+        assert_eq!(a.violations, Vec::<String>::new());
+        assert_eq!(a.epochs.iter().filter(|e| e.crashed).count(), 2);
+        let released: u32 = a.epochs.iter().map(|e| e.dirs_released).sum();
+        assert!(
+            released > 0,
+            "the salvager released directories one at a time"
+        );
+        let b = run_kernel_s1(&spec);
+        assert_eq!(a.transcript(), b.transcript(), "byte-identical rerun");
+    }
+
+    #[test]
+    fn legacy_online_salvage_serves_during_repair() {
+        let spec = small_s1(C1Policy::Fifo);
+        let a = run_legacy_s1(&spec);
+        assert_eq!(a.violations, Vec::<String>::new());
+        assert_eq!(a.epochs.iter().filter(|e| e.crashed).count(), 2);
+        let b = run_legacy_s1(&spec);
+        assert_eq!(a.transcript(), b.transcript());
+    }
+
+    #[test]
+    fn online_salvage_designs_agree_label_by_label() {
+        let spec = small_s1(C1Policy::Fifo);
+        let k = run_kernel_s1(&spec);
+        let l = run_legacy_s1(&spec);
+        assert_eq!(
+            k.parity, l.parity,
+            "cross-design parity under online salvage"
+        );
+        assert_eq!(k.epoch_bounds, l.epoch_bounds);
+        assert_eq!(k.admitted_order, l.admitted_order, "FIFO fairness");
+    }
+
+    #[test]
+    fn online_salvage_matches_stop_the_world_labels() {
+        // The stream's user-visible outcome must not depend on whether
+        // recovery repaired everything up front or underneath traffic.
+        let c1 = run_kernel_c1(&small(C1Policy::Fifo));
+        let s1 = run_kernel_s1(&small_s1(C1Policy::Fifo));
+        assert_eq!(s1.parity, c1.parity, "online salvage changed an outcome");
+        assert_eq!(s1.admitted_order, c1.admitted_order);
+    }
+
+    #[test]
+    fn release_before_cell_repair_cheat_is_caught() {
+        let mut spec = small_s1(C1Policy::Fifo);
+        spec.self_check = S1SelfCheck::ReleaseBeforeCellRepair;
+        let broken = run_kernel_s1(&spec);
+        assert!(
+            !broken.violations.is_empty(),
+            "the per-release battery must catch the cheat"
+        );
+        assert!(
+            broken
+                .violations
+                .iter()
+                .any(|v| v.contains("seed=") && v.contains("plan=") && v.contains("schedule=")),
+            "violations must carry the replayable repro string: {:?}",
+            broken.violations
+        );
+        let replay = run_kernel_s1(&spec);
+        assert_eq!(broken.violations, replay.violations);
     }
 
     #[test]

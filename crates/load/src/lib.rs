@@ -18,7 +18,10 @@ pub mod run;
 pub mod script;
 pub mod shard;
 
-pub use epoch::{run_kernel_c1, run_legacy_c1, C1Policy, C1Run, C1SelfCheck, C1Spec, EpochReport};
+pub use epoch::{
+    run_kernel_c1, run_kernel_s1, run_legacy_c1, run_legacy_s1, C1Policy, C1Run, C1SelfCheck,
+    C1Spec, EpochReport, S1EpochReport, S1Run, S1SelfCheck, S1Spec,
+};
 pub use hist::{Histogram, HistogramError};
 pub use run::{run_both, run_kernel_load, run_legacy_load, LoadRun, LoadSpec};
 pub use script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};

@@ -14,10 +14,12 @@ use mx_aim::Label;
 use mx_explore::oracle;
 use mx_hw::meter::MeterSnapshot;
 use mx_hw::{Word, PAGE_WORDS};
-use mx_kernel::{Acl, Kernel, KernelConfig, KernelError, ObjToken, ProcessId, UserId};
+use mx_kernel::{
+    Acl, Kernel, KernelConfig, KernelError, ObjToken, OnlineProgress, ProcessId, UserId,
+};
 use mx_legacy::{
-    AccessRight, Acl as LAcl, LegacyError, ProcessId as LProcessId, Supervisor, SupervisorConfig,
-    UserId as LUserId,
+    AccessRight, Acl as LAcl, LegacyError, LegacyOnlineProgress, ProcessId as LProcessId,
+    Supervisor, SupervisorConfig, UserId as LUserId,
 };
 use mx_sync::SchedulePolicy;
 use mx_user::{publish_library, Admission, AnsweringService, NameSpace, UserLinker};
@@ -313,6 +315,11 @@ pub(crate) trait Driver {
     /// `AstFull`, the new page-table pool `TableFull` — so a long-lived
     /// system runs this sweep the way real installations ran theirs.
     fn housekeep(&mut self);
+    /// Post-op hook: with an online salvage in progress the driver
+    /// advances the repair one step and runs the per-release oracle
+    /// battery, so the claim frontier drains concurrently with service.
+    /// In ordinary runs it is a no-op.
+    fn salvage_tick(&mut self) {}
 }
 
 pub(crate) struct Live {
@@ -449,6 +456,7 @@ pub(crate) fn drive_until<D: Driver>(
                 if st.ops.is_multiple_of(4) {
                     d.schedule();
                 }
+                d.salvage_tick();
             }
             st.live[i].op_ix += 1;
             st.cursor += 1;
@@ -467,6 +475,7 @@ pub(crate) fn drive_until<D: Driver>(
             if st.finished.is_multiple_of(12) {
                 d.housekeep();
             }
+            d.salvage_tick();
             // The freed slot goes to the head of the admission queue.
             for idx in d.admit() {
                 st.admitted_order.push(idx);
@@ -513,6 +522,163 @@ pub(crate) fn file_name(idx: usize) -> String {
     format!("f{idx}")
 }
 
+// --------------------------------------------- online-salvage plumbing --
+
+/// Each retry against a `SalvageBusy` barrier gives the salvager one
+/// step, so the budget bounds how much repair work a single blocked
+/// operation can be asked to wait out. The claim frontier is one
+/// directory per step and the finalize tail one sweep per pack; 256
+/// steps covers any world this harness builds many times over, so
+/// exhaustion means the salvager stopped making progress — reported as
+/// a typed violation and a `busy` label, never a hang or a panic.
+pub(crate) const SALVAGE_RETRY_BUDGET: u32 = 256;
+
+/// What the engine observed while serving traffic concurrently with an
+/// online salvage: the overlap window, the blocked-op figures, and
+/// every per-release oracle violation.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageProbe {
+    /// Clock reading when the runner started the online salvage.
+    pub begin_at: Option<u64>,
+    /// Clock reading when the salvager reported `Done`.
+    pub done_at: Option<u64>,
+    /// Clock reading when the first post-recovery op completed.
+    pub first_op_at: Option<u64>,
+    /// Ops completed while the salvage was still in progress.
+    pub ops_overlapped: u64,
+    /// Ops that hit a `SalvageBusy` barrier at least once.
+    pub blocked_ops: u64,
+    /// Barrier retries summed over all blocked ops.
+    pub retries: u64,
+    /// Cycles blocked ops spent from first attempt to completion.
+    pub blocked_cycles: u64,
+    /// Directories released while the engine drove (includes releases
+    /// forced by blocked-op retries during reconciliation).
+    pub dirs_released: u32,
+    /// Problems in the completed salvage's report.
+    pub problems: usize,
+    /// Repairs in the completed salvage's report.
+    pub repairs: usize,
+    /// Per-release battery failures and salvage-path errors.
+    pub violations: Vec<String>,
+}
+
+/// The serving-half storage check run at every directory release: every
+/// record a TOC file map references must be allocated, and no record
+/// may be claimed by two file maps. Leaked records — allocated but
+/// unreferenced — are legal mid-salvage (the leak sweep runs last), so
+/// this is deliberately weaker than the post-salvage full conservation
+/// check.
+pub(crate) fn check_serving_records(disks: &mx_hw::DiskSystem) -> Vec<String> {
+    let mut out = Vec::new();
+    for pack in disks.packs() {
+        let allocated: std::collections::HashSet<u32> =
+            pack.allocated_record_nos().iter().map(|r| r.0).collect();
+        let mut seen = std::collections::HashSet::new();
+        for (toc, entry) in pack.entries() {
+            for rec in entry.file_map.iter().flatten() {
+                if !allocated.contains(&rec.0) {
+                    out.push(format!(
+                        "pack {}: toc {} maps unallocated record {}",
+                        pack.id.0, toc.0, rec.0
+                    ));
+                }
+                if !seen.insert(rec.0) {
+                    out.push(format!(
+                        "pack {}: record {} claimed by two file maps",
+                        pack.id.0, rec.0
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One kernel salvage step with the per-release battery applied:
+/// recheck verdict, meter conservation, serving-half record
+/// conservation at every `Released`, and the full oracle battery at
+/// `Done`. Shared by the driver's tick and the S1 reconciliation (which
+/// steps the salvager before any driver exists).
+pub(crate) fn kernel_salvage_step_checked(k: &mut Kernel, probe: &mut SalvageProbe) {
+    match k.online_salvage_step() {
+        Ok(OnlineProgress::Released {
+            dir, recheck_clean, ..
+        }) => {
+            probe.dirs_released += 1;
+            if !recheck_clean {
+                probe.violations.push(format!(
+                    "released dir uid {} with a failing recheck — \
+                     per-directory salvage not idempotent",
+                    dir.0
+                ));
+            }
+            for v in oracle::check_meter(&k.machine.clock) {
+                probe
+                    .violations
+                    .push(format!("at release of uid {}: {v}", dir.0));
+            }
+            for v in check_serving_records(&k.machine.disks) {
+                probe
+                    .violations
+                    .push(format!("at release of uid {}: {v}", dir.0));
+            }
+        }
+        Ok(OnlineProgress::Done { report }) => {
+            probe.done_at = Some(k.machine.clock.now());
+            probe.problems = report.problems.len();
+            probe.repairs = report.repairs.len();
+            for v in oracle::check_kernel(k) {
+                probe.violations.push(format!("post-salvage: {v}"));
+            }
+        }
+        Ok(OnlineProgress::Finalized { .. }) | Ok(OnlineProgress::Idle) => {}
+        Err(e) => probe
+            .violations
+            .push(format!("online salvage step failed: {e:?}")),
+    }
+}
+
+/// The legacy mirror of [`kernel_salvage_step_checked`].
+pub(crate) fn legacy_salvage_step_checked(sup: &mut Supervisor, probe: &mut SalvageProbe) {
+    match sup.online_salvage_step() {
+        Ok(LegacyOnlineProgress::Released {
+            dir, recheck_clean, ..
+        }) => {
+            probe.dirs_released += 1;
+            if !recheck_clean {
+                probe.violations.push(format!(
+                    "released dir uid {} with a failing recheck — \
+                     per-directory salvage not idempotent",
+                    dir.0
+                ));
+            }
+            for v in oracle::check_meter(&sup.machine.clock) {
+                probe
+                    .violations
+                    .push(format!("at release of uid {}: {v}", dir.0));
+            }
+            for v in check_serving_records(&sup.machine.disks) {
+                probe
+                    .violations
+                    .push(format!("at release of uid {}: {v}", dir.0));
+            }
+        }
+        Ok(LegacyOnlineProgress::Done { report }) => {
+            probe.done_at = Some(sup.machine.clock.now());
+            probe.problems = report.problems.len();
+            probe.repairs = report.repairs.len();
+            for v in oracle::check_legacy(sup) {
+                probe.violations.push(format!("post-salvage: {v}"));
+            }
+        }
+        Ok(LegacyOnlineProgress::Finalized { .. }) | Ok(LegacyOnlineProgress::Idle) => {}
+        Err(e) => probe
+            .violations
+            .push(format!("online salvage step failed: {e:?}")),
+    }
+}
+
 // ------------------------------------------------------- kernel driver --
 
 pub(crate) fn klabel(e: &KernelError) -> &'static str {
@@ -531,11 +697,27 @@ pub(crate) struct KSession {
     pub(crate) shared_segno: Option<u32>,
 }
 
+/// Per-shard recovery work parked behind the online salvager's
+/// quarantine: the wipe of the previous population's files and the
+/// replay of surviving sessions' file contents wait until the shard
+/// directory is released (or, if the crash cost the entry itself, until
+/// it is recreated).
+#[derive(Debug, Clone)]
+pub(crate) struct KernelDeferred {
+    pub(crate) shard: usize,
+    pub(crate) drv: ProcessId,
+    pub(crate) quota: u32,
+    pub(crate) wipe: Vec<usize>,
+    pub(crate) restore: Vec<(usize, Vec<u64>)>,
+}
+
 pub(crate) struct KernelDriver {
     pub(crate) k: Kernel,
     pub(crate) svc: AnsweringService,
     pub(crate) sessions: Vec<Option<KSession>>,
     pub(crate) shard_toks: Vec<ObjToken>,
+    pub(crate) salvage: SalvageProbe,
+    pub(crate) deferred: Vec<KernelDeferred>,
 }
 
 impl KernelDriver {
@@ -549,6 +731,105 @@ impl KernelDriver {
             shared_segno: None,
         });
     }
+
+    /// One salvager step (with the release battery) if a salvage is in
+    /// progress, then whatever deferred shard work became serviceable.
+    fn salvage_advance(&mut self) {
+        if self.k.online_salvage_active() {
+            kernel_salvage_step_checked(&mut self.k, &mut self.salvage);
+        }
+        self.attempt_deferred();
+    }
+
+    /// Runs every deferred per-shard work item whose directory is out
+    /// of quarantine; items still barred stay parked for the next
+    /// release.
+    pub(crate) fn attempt_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            match self.try_deferred(i) {
+                Ok(true) => {
+                    self.deferred.remove(i);
+                }
+                Ok(false) => i += 1,
+                Err(msg) => {
+                    self.salvage.violations.push(msg);
+                    self.deferred.remove(i);
+                }
+            }
+        }
+    }
+
+    /// `Ok(true)` = the shard's wipe and restores ran to completion;
+    /// `Ok(false)` = the shard is still quarantined.
+    fn try_deferred(&mut self, i: usize) -> Result<bool, String> {
+        let (shard, drv, quota) = {
+            let w = &self.deferred[i];
+            (w.shard, w.drv, w.quota)
+        };
+        match self.k.list_dir(drv, self.shard_toks[shard]) {
+            Err(KernelError::SalvageBusy) => return Ok(false),
+            Ok(_) => {}
+            Err(_) => {
+                // The crash (or the salvager clearing a mangled entry)
+                // cost us the shard directory itself: recreate and
+                // re-cap it. A directory created through the gates is
+                // born released, so the work below proceeds.
+                let root = self.k.root_token();
+                let tok = self
+                    .k
+                    .create_entry(
+                        drv,
+                        root,
+                        &format!("s{shard}"),
+                        Acl::owner(UserId(1)),
+                        Label::BOTTOM,
+                        true,
+                    )
+                    .map_err(|e| format!("shard s{shard} recreate: {e:?}"))?;
+                self.k
+                    .set_quota(drv, tok, quota)
+                    .map_err(|e| format!("shard s{shard} quota: {e:?}"))?;
+                self.shard_toks[shard] = tok;
+            }
+        }
+        let tok = self.shard_toks[shard];
+        let work = self.deferred[i].clone();
+        for idx in &work.wipe {
+            let _ = self.k.delete_entry(drv, tok, &file_name(*idx));
+        }
+        for (idx, vals) in &work.restore {
+            // A survivor that finished before its shard was released
+            // never touches its file again; the wipe alone suffices.
+            let Some(pid) = self.sessions[*idx].as_ref().map(|s| s.pid) else {
+                continue;
+            };
+            let ftok = self
+                .k
+                .create_entry(
+                    pid,
+                    tok,
+                    &file_name(*idx),
+                    Acl::owner(UserId(1)),
+                    Label::BOTTOM,
+                    false,
+                )
+                .map_err(|e| format!("survivor u{idx} file recreate: {e:?}"))?;
+            let segno = self
+                .k
+                .initiate(pid, ftok)
+                .map_err(|e| format!("survivor u{idx} file initiate: {e:?}"))?;
+            for (page, &val) in vals.iter().enumerate() {
+                self.k
+                    .write_word(pid, segno, page as u32 * PAGE_WORDS as u32, Word::new(val))
+                    .map_err(|e| format!("survivor u{idx} replay page {page}: {e:?}"))?;
+            }
+            if let Some(s) = self.sessions[*idx].as_mut() {
+                s.own = Some((segno, ftok));
+            }
+        }
+        Ok(true)
+    }
 }
 
 impl Driver for KernelDriver {
@@ -561,16 +842,51 @@ impl Driver for KernelDriver {
     }
 
     fn request(&mut self, idx: usize) -> bool {
-        match self
-            .svc
-            .login_or_queue(&mut self.k, &account_name(idx), "pw", Label::BOTTOM)
-            .expect("load accounts always authenticate")
-        {
-            Admission::Admitted(pid) => {
-                self.open(idx, pid);
-                true
+        let start = self.k.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            match self
+                .svc
+                .login_or_queue(&mut self.k, &account_name(idx), "pw", Label::BOTTOM)
+            {
+                Ok(Admission::Admitted(pid)) => {
+                    if attempts > 0 {
+                        self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                    }
+                    self.open(idx, pid);
+                    return true;
+                }
+                Ok(Admission::Queued(_)) => {
+                    if attempts > 0 {
+                        self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                    }
+                    return false;
+                }
+                Err(KernelError::SalvageBusy) => {
+                    attempts += 1;
+                    if attempts == 1 {
+                        self.salvage.blocked_ops += 1;
+                    }
+                    if attempts > SALVAGE_RETRY_BUDGET {
+                        self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                        self.salvage.violations.push(format!(
+                            "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted \
+                             logging in u{idx}"
+                        ));
+                        return false;
+                    }
+                    self.salvage.retries += 1;
+                    self.salvage_advance();
+                }
+                Err(e) => {
+                    // Load accounts always authenticate; anything else
+                    // is reported through the probe, never a panic.
+                    self.salvage
+                        .violations
+                        .push(format!("login u{idx} refused: {e:?}"));
+                    return false;
+                }
             }
-            Admission::Queued(_) => false,
         }
     }
 
@@ -587,12 +903,93 @@ impl Driver for KernelDriver {
     }
 
     fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let start = self.k.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            if let Some(label) = self.exec_once(idx, shard, action) {
+                if attempts > 0 {
+                    self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                }
+                return label;
+            }
+            attempts += 1;
+            if attempts == 1 {
+                self.salvage.blocked_ops += 1;
+            }
+            if attempts > SALVAGE_RETRY_BUDGET {
+                self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                self.salvage.violations.push(format!(
+                    "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted by \
+                     session {idx} mid-script"
+                ));
+                return "busy".to_string();
+            }
+            self.salvage.retries += 1;
+            self.salvage_advance();
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let start = self.k.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            if let Some(label) = self.finish_once(idx, shard, abandon) {
+                if attempts > 0 {
+                    self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                }
+                return label;
+            }
+            attempts += 1;
+            if attempts == 1 {
+                self.salvage.blocked_ops += 1;
+            }
+            if attempts > SALVAGE_RETRY_BUDGET {
+                self.salvage.blocked_cycles += self.k.machine.clock.now() - start;
+                self.salvage.violations.push(format!(
+                    "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted by \
+                     session {idx} at logout"
+                ));
+                return "busy".to_string();
+            }
+            self.salvage.retries += 1;
+            self.salvage_advance();
+        }
+    }
+
+    fn schedule(&mut self) {
+        self.k.schedule();
+    }
+
+    fn housekeep(&mut self) {
+        self.k.sync_to_disk().expect("kernel housekeeping sweep");
+    }
+
+    fn salvage_tick(&mut self) {
+        if self.salvage.first_op_at.is_none() {
+            self.salvage.first_op_at = Some(self.k.machine.clock.now());
+        }
+        if self.k.online_salvage_active() {
+            self.salvage.ops_overlapped += 1;
+            self.salvage_advance();
+        } else if !self.deferred.is_empty() {
+            self.attempt_deferred();
+        }
+    }
+}
+
+impl KernelDriver {
+    /// One attempt at an action. `None` means a `SalvageBusy` barrier
+    /// was hit: the caller steps the salvager and retries. Every arm is
+    /// retry-idempotent — partial effects (a created file, a cleared
+    /// `own`) are recorded on the session before the barrier can fire.
+    fn exec_once(&mut self, idx: usize, shard: usize, action: &Action) -> Option<String> {
         let shard_tok = self.shard_toks[shard];
         let s = self.sessions[idx].as_mut().expect("live session");
         let k = &mut self.k;
-        match *action {
+        Some(match *action {
             Action::Link(sym) => match s.linker.link(k, &mut s.ns, ">lib", &symbol(sym)) {
                 Ok(l) => format!("l:{}", l.offset),
+                Err(KernelError::SalvageBusy) => return None,
                 Err(e) => format!("l:{}", klabel(&e)),
             },
             Action::Resolve(target) => {
@@ -603,6 +1000,7 @@ impl Driver for KernelDriver {
                 };
                 match s.ns.resolve(k, &path) {
                     Ok(_) => "n:ok".to_string(),
+                    Err(KernelError::SalvageBusy) => return None,
                     Err(e) => format!("n:{}", klabel(&e)),
                 }
             }
@@ -620,7 +1018,8 @@ impl Driver for KernelDriver {
                         .and_then(|tok| k.initiate(s.pid, tok).map(|segno| (segno, tok)));
                     match created {
                         Ok(pair) => s.own = Some(pair),
-                        Err(e) => return format!("w:{}", klabel(&e)),
+                        Err(KernelError::SalvageBusy) => return None,
+                        Err(e) => return Some(format!("w:{}", klabel(&e))),
                     }
                 }
                 let (segno, _) = s.own.expect("just created");
@@ -630,7 +1029,11 @@ impl Driver for KernelDriver {
                 }
             }
             Action::ReadOwn { page } => {
-                let (segno, _) = s.own.expect("grown implies created");
+                // A survivor whose file restoration is still deferred
+                // behind a quarantined shard has grown pages but no
+                // segment yet: the op is blocked until the shard's
+                // release replays the file.
+                let (segno, _) = s.own?;
                 match k.read_word(s.pid, segno, page * PAGE_WORDS as u32) {
                     Ok(w) => format!("r:{}", w.raw()),
                     Err(e) => format!("r:{}", klabel(&e)),
@@ -640,7 +1043,8 @@ impl Driver for KernelDriver {
                 if s.shared_segno.is_none() {
                     match s.ns.initiate(k, ">shared") {
                         Ok(segno) => s.shared_segno = Some(segno),
-                        Err(e) => return format!("r:{}", klabel(&e)),
+                        Err(KernelError::SalvageBusy) => return None,
+                        Err(e) => return Some(format!("r:{}", klabel(&e))),
                     }
                 }
                 let segno = s.shared_segno.expect("just initiated");
@@ -649,37 +1053,41 @@ impl Driver for KernelDriver {
                     Err(e) => format!("r:{}", klabel(&e)),
                 }
             }
-        }
+        })
     }
 
-    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
-        let s = self.sessions[idx].take().expect("live session");
+    /// One attempt at ending a session; `None` = blocked on a barrier.
+    /// The file delete clears `own` on success so a retry that blocks
+    /// later (at logout) never re-deletes.
+    fn finish_once(&mut self, idx: usize, shard: usize, abandon: bool) -> Option<String> {
+        let (pid, own) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.pid, s.own)
+        };
         let mut label = if abandon { "reap" } else { "out" }.to_string();
-        if !abandon {
-            if let Some((_, _tok)) = s.own {
-                if self
-                    .k
-                    .delete_entry(s.pid, self.shard_toks[shard], &file_name(idx))
-                    .is_err()
-                {
-                    label = "out:err".to_string();
+        if !abandon && own.is_some() {
+            match self
+                .k
+                .delete_entry(pid, self.shard_toks[shard], &file_name(idx))
+            {
+                Ok(()) => {
+                    if let Some(s) = self.sessions[idx].as_mut() {
+                        s.own = None;
+                    }
                 }
+                Err(KernelError::SalvageBusy) => return None,
+                Err(_) => label = "out:err".to_string(),
             }
         }
         // Abandoned sessions are reaped by the service — same logout
         // residue, nobody at the terminal.
-        if self.svc.logout(&mut self.k, s.pid).is_err() {
-            label = format!("{label}:err");
+        match self.svc.logout(&mut self.k, pid) {
+            Ok(_) => {}
+            Err(KernelError::SalvageBusy) => return None,
+            Err(_) => label = format!("{label}:err"),
         }
-        label
-    }
-
-    fn schedule(&mut self) {
-        self.k.schedule();
-    }
-
-    fn housekeep(&mut self) {
-        self.k.sync_to_disk().expect("kernel housekeeping sweep");
+        self.sessions[idx] = None;
+        Some(label)
     }
 }
 
@@ -699,10 +1107,101 @@ pub(crate) struct LSession {
     pub(crate) shared_segno: Option<u32>,
 }
 
+/// The legacy mirror of [`KernelDeferred`].
+#[derive(Debug, Clone)]
+pub(crate) struct LegacyDeferred {
+    pub(crate) shard: usize,
+    pub(crate) drv: LProcessId,
+    pub(crate) quota: u32,
+    pub(crate) wipe: Vec<usize>,
+    pub(crate) restore: Vec<(usize, Vec<u64>)>,
+}
+
 pub(crate) struct LegacyDriver {
     pub(crate) sup: Supervisor,
     pub(crate) sessions: Vec<Option<LSession>>,
     pub(crate) pending: std::collections::VecDeque<usize>,
+    pub(crate) salvage: SalvageProbe,
+    pub(crate) deferred: Vec<LegacyDeferred>,
+}
+
+impl LegacyDriver {
+    fn salvage_advance(&mut self) {
+        if self.sup.online_salvage_active() {
+            legacy_salvage_step_checked(&mut self.sup, &mut self.salvage);
+        }
+        self.attempt_deferred();
+    }
+
+    /// See [`KernelDriver::attempt_deferred`].
+    pub(crate) fn attempt_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            match self.try_deferred(i) {
+                Ok(true) => {
+                    self.deferred.remove(i);
+                }
+                Ok(false) => i += 1,
+                Err(msg) => {
+                    self.salvage.violations.push(msg);
+                    self.deferred.remove(i);
+                }
+            }
+        }
+    }
+
+    fn try_deferred(&mut self, i: usize) -> Result<bool, String> {
+        let (shard, drv, quota) = {
+            let w = &self.deferred[i];
+            (w.shard, w.drv, w.quota)
+        };
+        let path = format!("s{shard}");
+        let shard_uid = match self.sup.resolve(drv, &path, AccessRight::Read) {
+            Err(LegacyError::SalvageBusy) => return Ok(false),
+            Ok((uid, _)) => uid,
+            Err(_) => {
+                let root = self.sup.root();
+                let uid = self
+                    .sup
+                    .create_directory_in(root, &path, LAcl::owner(LUserId(1)), Label::BOTTOM)
+                    .map_err(|e| format!("shard s{shard} recreate: {e:?}"))?;
+                self.sup
+                    .set_quota_directory(drv, &path, quota)
+                    .map_err(|e| format!("shard s{shard} quota: {e:?}"))?;
+                uid
+            }
+        };
+        let work = self.deferred[i].clone();
+        for idx in &work.wipe {
+            let _ = self.sup.delete(drv, &format!("{path}>{}", file_name(*idx)));
+        }
+        for (idx, vals) in &work.restore {
+            let Some(pid) = self.sessions[*idx].as_ref().map(|s| s.pid) else {
+                continue;
+            };
+            self.sup
+                .create_segment_in(
+                    shard_uid,
+                    &file_name(*idx),
+                    LAcl::owner(LUserId(1)),
+                    Label::BOTTOM,
+                )
+                .map_err(|e| format!("survivor u{idx} file recreate: {e:?}"))?;
+            let segno = self
+                .sup
+                .initiate(pid, &format!("{path}>{}", file_name(*idx)))
+                .map_err(|e| format!("survivor u{idx} file initiate: {e:?}"))?;
+            for (page, &val) in vals.iter().enumerate() {
+                self.sup
+                    .user_write(pid, segno, page as u32 * PAGE_WORDS as u32, Word::new(val))
+                    .map_err(|e| format!("survivor u{idx} replay page {page}: {e:?}"))?;
+            }
+            if let Some(s) = self.sessions[*idx].as_mut() {
+                s.own_segno = Some(segno);
+            }
+        }
+        Ok(true)
+    }
 }
 
 impl Driver for LegacyDriver {
@@ -715,27 +1214,57 @@ impl Driver for LegacyDriver {
     }
 
     fn request(&mut self, idx: usize) -> bool {
-        match self.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
-            Ok(pid) => {
-                self.sessions[idx] = Some(LSession {
-                    pid,
-                    own_segno: None,
-                    shared_segno: None,
-                });
-                true
+        let start = self.sup.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            match self.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
+                Ok(pid) => {
+                    if attempts > 0 {
+                        self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                    }
+                    self.sessions[idx] = Some(LSession {
+                        pid,
+                        own_segno: None,
+                        shared_segno: None,
+                    });
+                    return true;
+                }
+                // The old answering service refuses when the process
+                // table is full; the caller's retry queue is the
+                // admission policy.
+                Err(LegacyError::NoSuchProcess) => {
+                    self.pending.push_back(idx);
+                    return false;
+                }
+                Err(LegacyError::SalvageBusy) => {
+                    attempts += 1;
+                    if attempts == 1 {
+                        self.salvage.blocked_ops += 1;
+                    }
+                    if attempts > SALVAGE_RETRY_BUDGET {
+                        self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                        self.salvage.violations.push(format!(
+                            "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted \
+                             logging in u{idx}"
+                        ));
+                        return false;
+                    }
+                    self.salvage.retries += 1;
+                    self.salvage_advance();
+                }
+                Err(e) => {
+                    self.salvage
+                        .violations
+                        .push(format!("login u{idx} refused: {e:?}"));
+                    return false;
+                }
             }
-            // The old answering service refuses when the process table
-            // is full; the caller's retry queue is the admission policy.
-            Err(LegacyError::NoSuchProcess) => {
-                self.pending.push_back(idx);
-                false
-            }
-            Err(e) => panic!("legacy login refused a load account: {e:?}"),
         }
     }
 
     fn admit(&mut self) -> Vec<usize> {
         let mut admitted = Vec::new();
+        let mut attempts = 0u32;
         while let Some(&idx) = self.pending.front() {
             match self.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
                 Ok(pid) => {
@@ -748,18 +1277,116 @@ impl Driver for LegacyDriver {
                     admitted.push(idx);
                 }
                 Err(LegacyError::NoSuchProcess) => break,
-                Err(e) => panic!("legacy re-login refused: {e:?}"),
+                Err(LegacyError::SalvageBusy) => {
+                    // A re-login needs a state segment under the (still
+                    // quarantined) `>processes`: step the salvager and
+                    // retry; the login stays at the head of the queue.
+                    attempts += 1;
+                    if attempts > SALVAGE_RETRY_BUDGET {
+                        self.salvage.violations.push(format!(
+                            "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted \
+                             re-admitting u{idx}"
+                        ));
+                        break;
+                    }
+                    self.salvage.retries += 1;
+                    self.salvage_advance();
+                }
+                Err(e) => {
+                    self.pending.pop_front();
+                    self.salvage
+                        .violations
+                        .push(format!("re-login u{idx} refused: {e:?}"));
+                }
             }
         }
         admitted
     }
 
     fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let start = self.sup.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            if let Some(label) = self.exec_once(idx, shard, action) {
+                if attempts > 0 {
+                    self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                }
+                return label;
+            }
+            attempts += 1;
+            if attempts == 1 {
+                self.salvage.blocked_ops += 1;
+            }
+            if attempts > SALVAGE_RETRY_BUDGET {
+                self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                self.salvage.violations.push(format!(
+                    "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted by \
+                     session {idx} mid-script"
+                ));
+                return "busy".to_string();
+            }
+            self.salvage.retries += 1;
+            self.salvage_advance();
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let start = self.sup.machine.clock.now();
+        let mut attempts = 0u32;
+        loop {
+            if let Some(label) = self.finish_once(idx, shard, abandon) {
+                if attempts > 0 {
+                    self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                }
+                return label;
+            }
+            attempts += 1;
+            if attempts == 1 {
+                self.salvage.blocked_ops += 1;
+            }
+            if attempts > SALVAGE_RETRY_BUDGET {
+                self.salvage.blocked_cycles += self.sup.machine.clock.now() - start;
+                self.salvage.violations.push(format!(
+                    "salvage retry budget ({SALVAGE_RETRY_BUDGET}) exhausted by \
+                     session {idx} at logout"
+                ));
+                return "busy".to_string();
+            }
+            self.salvage.retries += 1;
+            self.salvage_advance();
+        }
+    }
+
+    fn schedule(&mut self) {
+        self.sup.dispatch();
+    }
+
+    fn housekeep(&mut self) {
+        self.sup.sync_to_disk().expect("legacy housekeeping sweep");
+    }
+
+    fn salvage_tick(&mut self) {
+        if self.salvage.first_op_at.is_none() {
+            self.salvage.first_op_at = Some(self.sup.machine.clock.now());
+        }
+        if self.sup.online_salvage_active() {
+            self.salvage.ops_overlapped += 1;
+            self.salvage_advance();
+        } else if !self.deferred.is_empty() {
+            self.attempt_deferred();
+        }
+    }
+}
+
+impl LegacyDriver {
+    /// See [`KernelDriver::exec_once`].
+    fn exec_once(&mut self, idx: usize, shard: usize, action: &Action) -> Option<String> {
         let s = self.sessions[idx].as_mut().expect("live session");
         let sup = &mut self.sup;
-        match *action {
+        Some(match *action {
             Action::Link(sym) => match sup.link(s.pid, "lib", &symbol(sym)) {
                 Ok(l) => format!("l:{}", l.offset),
+                Err(LegacyError::SalvageBusy) => return None,
                 Err(e) => format!("l:{}", llabel(&e)),
             },
             Action::Resolve(target) => {
@@ -770,6 +1397,7 @@ impl Driver for LegacyDriver {
                 };
                 match sup.resolve(s.pid, &path, AccessRight::Read) {
                     Ok(_) => "n:ok".to_string(),
+                    Err(LegacyError::SalvageBusy) => return None,
                     Err(e) => format!("n:{}", llabel(&e)),
                 }
             }
@@ -778,7 +1406,8 @@ impl Driver for LegacyDriver {
                     let shard_uid =
                         match sup.resolve(s.pid, &format!("s{shard}"), AccessRight::Read) {
                             Ok((uid, _)) => uid,
-                            Err(e) => return format!("w:{}", llabel(&e)),
+                            Err(LegacyError::SalvageBusy) => return None,
+                            Err(e) => return Some(format!("w:{}", llabel(&e))),
                         };
                     let created = sup
                         .create_segment_in(
@@ -790,7 +1419,8 @@ impl Driver for LegacyDriver {
                         .and_then(|_| sup.initiate(s.pid, &format!("s{shard}>{}", file_name(idx))));
                     match created {
                         Ok(segno) => s.own_segno = Some(segno),
-                        Err(e) => return format!("w:{}", llabel(&e)),
+                        Err(LegacyError::SalvageBusy) => return None,
+                        Err(e) => return Some(format!("w:{}", llabel(&e))),
                     }
                 }
                 let segno = s.own_segno.expect("just created");
@@ -800,7 +1430,9 @@ impl Driver for LegacyDriver {
                 }
             }
             Action::ReadOwn { page } => {
-                let segno = s.own_segno.expect("grown implies created");
+                // Deferred restoration, as in the kernel driver: blocked
+                // until the shard's release replays the file.
+                let segno = s.own_segno?;
                 match sup.user_read(s.pid, segno, page * PAGE_WORDS as u32) {
                     Ok(w) => format!("r:{}", w.raw()),
                     Err(e) => format!("r:{}", llabel(&e)),
@@ -810,7 +1442,8 @@ impl Driver for LegacyDriver {
                 if s.shared_segno.is_none() {
                     match sup.initiate(s.pid, "shared") {
                         Ok(segno) => s.shared_segno = Some(segno),
-                        Err(e) => return format!("r:{}", llabel(&e)),
+                        Err(LegacyError::SalvageBusy) => return None,
+                        Err(e) => return Some(format!("r:{}", llabel(&e))),
                     }
                 }
                 let segno = s.shared_segno.expect("just initiated");
@@ -819,30 +1452,35 @@ impl Driver for LegacyDriver {
                     Err(e) => format!("r:{}", llabel(&e)),
                 }
             }
-        }
+        })
     }
 
-    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
-        let s = self.sessions[idx].take().expect("live session");
+    /// See [`KernelDriver::finish_once`].
+    fn finish_once(&mut self, idx: usize, shard: usize, abandon: bool) -> Option<String> {
+        let (pid, own) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.pid, s.own_segno)
+        };
         let mut label = if abandon { "reap" } else { "out" }.to_string();
-        if !abandon && s.own_segno.is_some() {
+        if !abandon && own.is_some() {
             let path = format!("s{shard}>{}", file_name(idx));
-            if self.sup.delete(s.pid, &path).is_err() {
-                label = "out:err".to_string();
+            match self.sup.delete(pid, &path) {
+                Ok(()) => {
+                    if let Some(s) = self.sessions[idx].as_mut() {
+                        s.own_segno = None;
+                    }
+                }
+                Err(LegacyError::SalvageBusy) => return None,
+                Err(_) => label = "out:err".to_string(),
             }
         }
-        if self.sup.logout(&account_name(idx), s.pid).is_err() {
-            label = format!("{label}:err");
+        match self.sup.logout(&account_name(idx), pid) {
+            Ok(_) => {}
+            Err(LegacyError::SalvageBusy) => return None,
+            Err(_) => label = format!("{label}:err"),
         }
-        label
-    }
-
-    fn schedule(&mut self) {
-        self.sup.dispatch();
-    }
-
-    fn housekeep(&mut self) {
-        self.sup.sync_to_disk().expect("legacy housekeeping sweep");
+        self.sessions[idx] = None;
+        Some(label)
     }
 }
 
@@ -929,6 +1567,8 @@ pub(crate) fn setup_kernel(spec: &LoadSpec) -> (KernelDriver, KernelWorldCtx) {
             svc,
             sessions: (0..spec.sessions).map(|_| None).collect(),
             shard_toks,
+            salvage: SalvageProbe::default(),
+            deferred: Vec::new(),
         },
         KernelWorldCtx { drv, shared_segno },
     )
@@ -1047,6 +1687,8 @@ pub(crate) fn setup_legacy(spec: &LoadSpec) -> (LegacyDriver, LegacyWorldCtx) {
             sup,
             sessions: (0..spec.sessions).map(|_| None).collect(),
             pending: std::collections::VecDeque::new(),
+            salvage: SalvageProbe::default(),
+            deferred: Vec::new(),
         },
         LegacyWorldCtx { drv, shared_segno },
     )
