@@ -31,7 +31,7 @@ use mx_deps::render_ascii;
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "t1", "t2", "t3", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "s1",
-    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1", "c1", "m1",
+    "s2", "s3", "r1", "a1", "a2", "a3", "x1", "l1", "c1", "m1", "g1",
 ];
 
 fn main() {
@@ -455,6 +455,19 @@ fn main() {
              the salvager still holds most of the hierarchy: every directory release\n  \
              passed the oracle battery, blocked references retried within budget,\n  \
              and the user-visible stream is identical to stop-the-world recovery\n"
+        );
+    }
+
+    if want("g1") {
+        header(
+            "G1",
+            "Gate — the runtime dependency lattice, from meter events",
+        );
+        println!("{}", mx_bench::g1_lattice_gate());
+        println!(
+            "  the battery's own meter events prove the kernel design stays inside\n  \
+             its declared lattice (any new edge or loop aborts this run), show the\n  \
+             old supervisor's Figure-3 improper edges live, and rank which to break\n"
         );
     }
 

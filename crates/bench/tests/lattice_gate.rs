@@ -1,0 +1,149 @@
+//! The lattice gate's own regression harness.
+//!
+//! Pins the observed kernel edge set as a golden snapshot (sorted,
+//! count-free — counts vary with battery size, the *set of pairs* is
+//! the design), proves the ledger is deterministic across reruns and
+//! worker counts, checks the legacy improper edges are reported rather
+//! than absorbed, and ratchets the coverage floor: the number of
+//! declared kernel pairs the battery exercises may grow, never shrink.
+
+use mx_bench::g1::{battery, cheat_run, BATTERY_SEED};
+use mx_deps::runtime::check;
+use mx_hw::{EdgeKind, Subsystem};
+use mx_load::{run_sharded, ShardSpec};
+
+/// The complete cross-subsystem edge set the kernel battery observes.
+/// A new line here means the kernel design grew a dependency — that is
+/// a design review, not a test update.
+const KERNEL_GOLDEN_EDGES: &[&str] = &[
+    "answering_service->process_control",
+    "directory_control->page_control",
+    "directory_control->segment_control",
+    "process_control->page_control",
+    "purifier->page_control",
+    "salvager->page_control",
+    "scheduler->page_control",
+    "segment_control->page_control",
+    "user_domain->answering_service",
+    "user_domain->directory_control",
+    "user_domain->gatekeeper",
+    "user_domain->network",
+    "user_domain->page_control",
+    "user_domain->process_control",
+    "user_domain->purifier",
+    "user_domain->salvager",
+    "user_domain->scheduler",
+    "user_domain->segment_control",
+];
+
+/// Declared kernel pairs the battery exercises today. This floor may
+/// only ratchet *up*: raising it requires driving a new declared pair;
+/// lowering it means the battery lost coverage it used to have.
+const KERNEL_COVERAGE_FLOOR: usize = 18;
+
+#[test]
+fn kernel_edge_set_matches_the_golden_snapshot() {
+    let (kernel_edges, _) = battery();
+    let report = check(&mx_kernel::kernel_runtime_lattice(), &kernel_edges);
+    assert_eq!(
+        report.edge_names(),
+        KERNEL_GOLDEN_EDGES,
+        "the kernel's observed dependency set changed"
+    );
+}
+
+#[test]
+fn the_ledger_is_byte_identical_across_reruns() {
+    let (k1, l1) = battery();
+    let (k2, l2) = battery();
+    assert_eq!(k1, k2, "kernel ledger must not vary between reruns");
+    assert_eq!(l1, l2, "legacy ledger must not vary between reruns");
+}
+
+#[test]
+fn the_merged_ledger_is_independent_of_worker_count() {
+    let spec = ShardSpec {
+        sessions: 8,
+        seed: BATTERY_SEED,
+        shard_users: 4,
+    };
+    let one = run_sharded(&spec, 1);
+    let four = run_sharded(&spec, 4);
+    assert_eq!(
+        one.kernel.edges, four.kernel.edges,
+        "kernel edge merge must commute across shard workers"
+    );
+    assert_eq!(
+        one.legacy.edges, four.legacy.edges,
+        "legacy edge merge must commute across shard workers"
+    );
+}
+
+#[test]
+fn legacy_improper_edges_are_reported_not_absorbed() {
+    let (_, legacy_edges) = battery();
+    let report = check(&mx_legacy::legacy_runtime_lattice(), &legacy_edges);
+    assert!(!report.is_clean(), "the old design must trip its own gate");
+    let undeclared: Vec<(Subsystem, Subsystem, EdgeKind)> = report
+        .undeclared
+        .iter()
+        .map(|e| (e.from, e.to, e.kind))
+        .collect();
+    assert!(undeclared.contains(&(
+        Subsystem::PageControl,
+        Subsystem::SegmentControl,
+        EdgeKind::SharedData
+    )));
+    assert!(undeclared.contains(&(
+        Subsystem::PageControl,
+        Subsystem::DirectoryControl,
+        EdgeKind::SharedData
+    )));
+    assert!(
+        report
+            .loops
+            .iter()
+            .any(|l| l.contains(&Subsystem::PageControl) && l.contains(&Subsystem::SegmentControl)),
+        "the observed page/segment tangle must surface as a loop"
+    );
+}
+
+#[test]
+fn kernel_coverage_only_ratchets_up() {
+    let (kernel_edges, _) = battery();
+    let lattice = mx_kernel::kernel_runtime_lattice();
+    let report = check(&lattice, &kernel_edges);
+    let exercised = lattice.pairs().len() - report.unexercised.len();
+    assert!(
+        exercised >= KERNEL_COVERAGE_FLOOR,
+        "battery coverage regressed: {exercised} declared pairs exercised, \
+         floor is {KERNEL_COVERAGE_FLOOR}"
+    );
+    // Keep the floor honest: if coverage grew, raise the constant.
+    assert_eq!(
+        exercised, KERNEL_COVERAGE_FLOOR,
+        "coverage grew past the floor — raise KERNEL_COVERAGE_FLOOR to {exercised}"
+    );
+}
+
+#[test]
+fn the_planted_cheat_is_the_only_violation_in_its_run() {
+    let report = cheat_run(BATTERY_SEED);
+    assert_eq!(report.undeclared.len(), 1);
+    let e = &report.undeclared[0];
+    assert_eq!(
+        (e.from, e.to, e.kind),
+        (
+            Subsystem::PageControl,
+            Subsystem::AnsweringService,
+            EdgeKind::Invoke
+        )
+    );
+    assert!(
+        report
+            .loops
+            .iter()
+            .all(|l| !l.contains(&Subsystem::AnsweringService) || l.len() <= 1),
+        "the plant is a single upward call, not a loop"
+    );
+}

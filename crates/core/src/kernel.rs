@@ -578,6 +578,19 @@ impl Kernel {
         result
     }
 
+    /// A deliberate layering violation for the lattice gate's planted
+    /// self-check: page control invoking the answering service — the
+    /// upward edge the lattice forbids. No real path calls this; it
+    /// exists so G1 can prove the gate catches a cheat it knows about.
+    #[doc(hidden)]
+    pub fn plant_lattice_cheat_for_test(&mut self) {
+        self.scoped(Subsystem::PageControl, |k| {
+            k.scoped(Subsystem::AnsweringService, |k| {
+                k.machine.clock.charge(1);
+            });
+        });
+    }
+
     // ---- the upward-signal trampoline ------------------------------------
 
     /// Runs a kernel operation, consuming any upward signals it raises
@@ -827,6 +840,7 @@ impl Kernel {
             // Cut this process's SDW.
             if let Ok(frame) = k.upm.dseg_frame(pid) {
                 let sdw_addr = frame.base().add(u64::from(segno));
+                k.machine.clock.note_shared_data(Subsystem::SegmentControl);
                 k.machine.mem.write(sdw_addr, Sdw::default().encode());
                 k.machine.tlb_invalidate_sdw(sdw_addr);
             }
@@ -1169,6 +1183,9 @@ impl Kernel {
         };
         let frame = self.upm.dseg_frame(pid)?;
         let sdw_addr = frame.base().add(u64::from(segno));
+        self.machine
+            .clock
+            .note_shared_data(Subsystem::SegmentControl);
         self.machine.mem.write(sdw_addr, sdw.encode());
         self.machine.tlb_invalidate_sdw(sdw_addr);
         self.segm.register_connection(entry.uid, sdw_addr)?;

@@ -60,7 +60,7 @@ pub mod vproc;
 
 pub use error::{KernelError, Signal};
 pub use kernel::{Kernel, KernelConfig, KernelStats, ProgramOutcome, ProgramRun};
-pub use registry::kernel_structure;
+pub use registry::{kernel_runtime_lattice, kernel_structure};
 pub use salvager::{OnlineCheat, OnlineProgress, Problem, SalvageReport};
 pub use types::*;
 

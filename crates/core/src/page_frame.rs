@@ -39,7 +39,7 @@ use crate::quota_cell::QuotaCellManager;
 use crate::types::{DiskHome, SegUid};
 use crate::vproc::VirtualProcessorManager;
 use mx_hw::cpu::Ptw;
-use mx_hw::{AbsAddr, DiskError, FrameNo, Machine, PackId, RecordNo, PAGE_WORDS};
+use mx_hw::{AbsAddr, DiskError, FrameNo, Machine, PackId, RecordNo, Subsystem, PAGE_WORDS};
 use mx_sync::sim::EcId;
 use std::collections::VecDeque;
 
@@ -288,6 +288,9 @@ impl PageFrameManager {
 
     fn set_ptw(&self, machine: &mut Machine, handle: PtHandle, pageno: u32, ptw: Ptw) {
         let addr = self.ptw_addr(handle, pageno);
+        // Witness: page-table slots belong to page control; a rewrite
+        // from any other scope appears in the edge ledger.
+        machine.clock.note_shared_data(Subsystem::PageControl);
         machine.mem.write(addr, ptw.encode());
         // Every kernel descriptor mutation funnels through here: flush
         // the associative memories for the rewritten word ("setfaults").

@@ -24,7 +24,7 @@ use crate::error::KernelError;
 use crate::types::{DiskHome, SegUid};
 use mx_aim::{FlowTracker, Label};
 use mx_hw::disk::QuotaCellRecord;
-use mx_hw::{Machine, Word};
+use mx_hw::{Machine, Subsystem, Word};
 use std::collections::HashMap;
 
 /// Words of core-segment table per cell (uid, limit, used, flags).
@@ -278,6 +278,10 @@ impl QuotaCellManager {
     ) -> Result<(), KernelError> {
         self.charges += 1;
         crate::charge_pli(machine, 18);
+        // Witness: quota cells are page control's data base in the new
+        // design (moved down out of the directories); any scope mutating
+        // one shows up in the edge ledger as a writer->owner edge.
+        machine.clock.note_shared_data(Subsystem::PageControl);
         let cell = self
             .loaded
             .get_mut(&uid)
@@ -316,6 +320,7 @@ impl QuotaCellManager {
         pages: u32,
     ) -> Result<(), KernelError> {
         crate::charge_pli(machine, 12);
+        machine.clock.note_shared_data(Subsystem::PageControl);
         if let Some(cell) = self.loaded.get_mut(&uid) {
             cell.used = cell.used.saturating_sub(pages);
             self.sync_core_table(machine, uid);
@@ -353,6 +358,9 @@ impl QuotaCellManager {
             .cell_dir
             .get(&uid)
             .ok_or(KernelError::QuotaDesignation("no such cell"))?;
+        // Cross-subsystem mutation witness: drift repair rewrites a cell
+        // page control owns, from whichever scope the salvager runs in.
+        machine.clock.note_shared_data(Subsystem::PageControl);
         if let Some(cell) = self.loaded.get_mut(&uid) {
             cell.used = used;
         }

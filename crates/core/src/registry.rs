@@ -6,7 +6,8 @@
 //! bottom proves the declared structure loop-free, which is the paper's
 //! central claim about the new design.
 
-use mx_deps::{DepKind, ModuleGraph};
+use mx_deps::{DepKind, ModuleGraph, RuntimeLattice};
+use mx_hw::Subsystem;
 
 /// The Figure 4 module graph, generated from this crate's structure.
 pub fn kernel_structure() -> ModuleGraph {
@@ -228,6 +229,100 @@ pub fn kernel_structure() -> ModuleGraph {
     g
 }
 
+/// The runtime projection of Figure 4: which meter-subsystem pairs the
+/// kernel design permits the edge ledger to observe.
+///
+/// The meter is coarser than the module graph — several Figure-4
+/// managers execute under one scope label (the quota-cell and
+/// page-frame managers both meter as `page_control`; the known-segment
+/// and segment managers as `segment_control`) — so each declared pair
+/// is the image of one or more Figure-4 edges under that projection.
+/// Two conventions govern the invoke edges:
+///
+/// * **the gatekeeper executes on the caller's stack**: a gate crossing
+///   charges the gatekeeper and then the gated manager from the *user's*
+///   scope, so `user_domain -> gatekeeper` and `user_domain -> <manager>`
+///   are the declared shape of every gate, not `gatekeeper -> <manager>`;
+/// * **initialization and recovery drive the kernel from the bootstrap
+///   stack**, which meters as `user_domain` — the salvager and purifier
+///   are invoked from there, not from inside another manager.
+///
+/// The projection must itself be loop-free (pinned by a test below):
+/// the observed lattice can only be as good as the declared one.
+pub fn kernel_runtime_lattice() -> RuntimeLattice {
+    use Subsystem as S;
+    let mut l = RuntimeLattice::new("kernel/figure-4");
+    l.allow(
+        S::UserDomain,
+        S::Gatekeeper,
+        "every gate crossing charges the gatekeeper on the caller's stack",
+    );
+    for (to, why) in [
+        (S::DirectoryControl, "directory gates"),
+        (
+            S::SegmentControl,
+            "initiate/terminate gates, segment faults",
+        ),
+        (
+            S::PageControl,
+            "missing-page, locked-descriptor and quota faults",
+        ),
+        (S::ProcessControl, "process gates"),
+        (S::Scheduler, "dispatch and eventcount gates"),
+        (S::Purifier, "purifier steps driven from the idle loop"),
+        (S::AnsweringService, "login/logout residue"),
+        (S::Network, "demultiplexer gates"),
+        (S::Salvager, "salvage driven from the recovery bootstrap"),
+    ] {
+        l.allow(S::UserDomain, to, why);
+    }
+    l.allow(
+        S::AnsweringService,
+        S::ProcessControl,
+        "login creates (and logout destroys) the session's process",
+    );
+    // Shared-data pairs: the witness tags at the quota-cell, page-table
+    // and descriptor-word choke points fire from whichever manager holds
+    // the scope. All of them point *down* to the owning manager.
+    l.allow(
+        S::SegmentControl,
+        S::PageControl,
+        "activation/growth writes page tables and charges the bound cell",
+    );
+    l.allow(
+        S::DirectoryControl,
+        S::PageControl,
+        "childless designation creates/destroys quota cells; directory \
+         growth materializes pages",
+    );
+    l.allow(
+        S::DirectoryControl,
+        S::SegmentControl,
+        "deleting an entry deactivates its segment (descriptor cut)",
+    );
+    l.allow(
+        S::ProcessControl,
+        S::PageControl,
+        "process state segments grow pages against the process cell",
+    );
+    l.allow(
+        S::Scheduler,
+        S::PageControl,
+        "lock-bit service at dispatch completes pending page reads",
+    );
+    l.allow(
+        S::Purifier,
+        S::PageControl,
+        "zero reversion rewrites page tables and uncharges cells",
+    );
+    l.allow(
+        S::Salvager,
+        S::PageControl,
+        "quota drift repair rewrites cells through their manager",
+    );
+    l
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +401,27 @@ mod tests {
             0,
             "the new design eliminates direct sharing of writable data"
         );
+    }
+
+    #[test]
+    fn runtime_lattice_is_loop_free() {
+        let g = kernel_runtime_lattice().declared_graph();
+        assert!(
+            g.is_loop_free(),
+            "the declared runtime lattice must itself be a lattice: {:?}",
+            g.loops()
+        );
+    }
+
+    #[test]
+    fn runtime_lattice_keeps_the_gatekeeper_on_the_callers_stack() {
+        let l = kernel_runtime_lattice();
+        use Subsystem as S;
+        assert!(l.contains(S::UserDomain, S::Gatekeeper));
+        // The gatekeeper never calls onward in its own scope: gated
+        // managers are charged from the user's frame.
+        assert!(!l.contains(S::Gatekeeper, S::DirectoryControl));
+        assert!(!l.contains(S::Gatekeeper, S::PageControl));
     }
 
     #[test]

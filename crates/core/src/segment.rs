@@ -24,7 +24,7 @@ use crate::quota_cell::QuotaCellManager;
 use crate::types::{DiskHome, SegUid};
 use mx_aim::{FlowTracker, Label};
 use mx_hw::cpu::Sdw;
-use mx_hw::{AbsAddr, Machine};
+use mx_hw::{AbsAddr, Machine, Subsystem};
 use std::collections::HashMap;
 
 /// One active segment.
@@ -156,6 +156,8 @@ impl SegmentManager {
         crate::charge_pli(machine, 85);
         pfm.unbind(machine, drm, qcm, seg.handle)?;
         for sdw_addr in &seg.connected_sdws {
+            // Witness: descriptor words are segment control's data base.
+            machine.clock.note_shared_data(Subsystem::SegmentControl);
             machine.mem.write(*sdw_addr, Sdw::default().encode());
             machine.tlb_invalidate_sdw(*sdw_addr);
         }

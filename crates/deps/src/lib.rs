@@ -20,10 +20,12 @@
 pub mod advisor;
 pub mod graph;
 pub mod render;
+pub mod runtime;
 
 pub use advisor::{simple_cycles, suggest_breaks, BreakPlan};
 pub use graph::{DepEdge, DepKind, ModuleGraph, ModuleId};
 pub use render::{render_ascii, render_dot};
+pub use runtime::{DeclaredPair, GateReport, RuntimeLattice};
 
 #[cfg(test)]
 mod tests {

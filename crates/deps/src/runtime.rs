@@ -1,0 +1,409 @@
+//! Lifting *observed* meter edges into the dependency analyses.
+//!
+//! `crates/deps` renders the lattice a design *declares*; this module
+//! checks the lattice the running system *obeys*. The hardware meter
+//! (`mx_hw::meter`) records every scope crossing as a caller→callee
+//! invocation edge and every tagged cross-subsystem mutation as a
+//! writer→owner shared-data edge, into a bounded [`EdgeSet`] ledger.
+//! Here that ledger is lifted into a [`ModuleGraph`] — so the existing
+//! SCC/loop/audit machinery applies unchanged — and diffed against a
+//! [`RuntimeLattice`]: the subsystem pairs the design permits.
+//!
+//! Three findings come out of the diff, kept separate because they mean
+//! different things:
+//!
+//! * **undeclared edges** — the running system crossed a boundary the
+//!   design forbids; for the kernel design this fails CI;
+//! * **loops** — mutual dependence among the *observed* edges, the
+//!   paper's disqualifier for module-at-a-time certification;
+//! * **unexercised declared edges** — the battery never drove a crossing
+//!   the design permits; not a violation, but a coverage gap the gate
+//!   reports so it can only ratchet down.
+//!
+//! Intra-subsystem (self) edges are ignored throughout: a module calling
+//! or mutating itself is internal structure, not an inter-module
+//! dependency. The declared pairs are *kind-blind* — a pair admits both
+//! invocation and shared-data crossings — because the observed kinds are
+//! a measurement artifact of where the tags sit, while the pair itself
+//! is what the certification argument audits.
+
+use crate::graph::{DepKind, ModuleGraph};
+use mx_hw::{EdgeKind, EdgeSet, ObservedEdge, Subsystem};
+
+/// One permitted subsystem pair in a [`RuntimeLattice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclaredPair {
+    /// The subsystem allowed to cross.
+    pub from: Subsystem,
+    /// The subsystem it may cross into.
+    pub to: Subsystem,
+    /// Why the design permits this crossing (shown in coverage reports).
+    pub note: String,
+}
+
+/// The runtime projection of a declared dependency lattice: which
+/// ordered subsystem pairs may appear in the observed edge ledger.
+///
+/// This is coarser than the Figure-4 module graph (several paper
+/// modules meter under one [`Subsystem`]) and finer than "anything
+/// goes": it is exactly the granularity the meter can observe, so the
+/// gate never reports a violation the ledger cannot attribute.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeLattice {
+    name: String,
+    pairs: Vec<DeclaredPair>,
+}
+
+impl RuntimeLattice {
+    /// An empty lattice with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares that `from` may cross into `to`.
+    ///
+    /// Self-pairs need not be declared (self edges are never checked);
+    /// duplicate declarations are rejected to keep coverage counts
+    /// meaningful.
+    pub fn allow(&mut self, from: Subsystem, to: Subsystem, note: impl Into<String>) {
+        assert!(
+            !self.contains(from, to),
+            "pair {from} -> {to} declared twice"
+        );
+        self.pairs.push(DeclaredPair {
+            from,
+            to,
+            note: note.into(),
+        });
+    }
+
+    /// True if the ordered pair is declared (self-pairs are always
+    /// admitted).
+    pub fn contains(&self, from: Subsystem, to: Subsystem) -> bool {
+        from == to || self.pairs.iter().any(|p| p.from == from && p.to == to)
+    }
+
+    /// The declared pairs, in declaration order.
+    pub fn pairs(&self) -> &[DeclaredPair] {
+        &self.pairs
+    }
+
+    /// The declared pairs as a [`ModuleGraph`] over all subsystems, so
+    /// the lattice itself can be checked loop-free before any run.
+    pub fn declared_graph(&self) -> ModuleGraph {
+        let mut g = subsystem_graph();
+        for p in &self.pairs {
+            g.depend(
+                crate::graph::ModuleId(p.from.index()),
+                crate::graph::ModuleId(p.to.index()),
+                DepKind::Call,
+                p.note.clone(),
+            );
+        }
+        g
+    }
+}
+
+/// A graph with one module per [`Subsystem`], in `Subsystem::ALL` order,
+/// so `ModuleId(i)` ↔ `Subsystem::ALL[i]`.
+fn subsystem_graph() -> ModuleGraph {
+    let mut g = ModuleGraph::new();
+    for s in Subsystem::ALL {
+        g.add_module(s.name(), "runtime subsystem (meter scope label)");
+    }
+    g
+}
+
+/// Lifts the observed ledger into a [`ModuleGraph`], dropping self
+/// edges. Invocation edges become [`DepKind::Call`], shared-data edges
+/// [`DepKind::SharedData`] — both "improper" kinds, fittingly: an
+/// *observed* crossing is exactly the explicit-call / shared-writable
+/// dependency the paper's classification flags for elimination.
+pub fn observed_graph(edges: &EdgeSet) -> ModuleGraph {
+    let mut g = subsystem_graph();
+    for e in edges.edges() {
+        if e.from == e.to {
+            continue;
+        }
+        let kind = match e.kind {
+            EdgeKind::Invoke => DepKind::Call,
+            EdgeKind::SharedData => DepKind::SharedData,
+        };
+        g.depend(
+            crate::graph::ModuleId(e.from.index()),
+            crate::graph::ModuleId(e.to.index()),
+            kind,
+            format!("observed x{}", e.count),
+        );
+    }
+    g
+}
+
+/// The verdict of diffing one observed ledger against one declared
+/// lattice.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Name of the lattice checked against.
+    pub lattice: String,
+    /// All observed cross-subsystem edges (self edges dropped), in
+    /// ledger order.
+    pub observed: Vec<ObservedEdge>,
+    /// Observed edges whose (from, to) pair the lattice does not
+    /// declare — violations.
+    pub undeclared: Vec<ObservedEdge>,
+    /// Mutual-dependence components among the observed edges, each a
+    /// sorted subsystem list.
+    pub loops: Vec<Vec<Subsystem>>,
+    /// Declared pairs never exercised by the run — coverage gaps.
+    pub unexercised: Vec<DeclaredPair>,
+    /// Per-subsystem audit-set sizes computed from observed
+    /// reachability: how many subsystems must be believed correct to
+    /// certify each one, measured from the run rather than the diagram.
+    pub audit: Vec<(Subsystem, usize)>,
+}
+
+impl GateReport {
+    /// True when the run stayed inside the declared lattice: no
+    /// undeclared edges and no loops. Coverage gaps do not spoil
+    /// cleanliness.
+    pub fn is_clean(&self) -> bool {
+        self.undeclared.is_empty() && self.loops.is_empty()
+    }
+
+    /// Count of observed edges the lattice declares (the complement of
+    /// `undeclared` within `observed`).
+    pub fn exercised(&self) -> usize {
+        self.observed.len() - self.undeclared.len()
+    }
+
+    /// The observed cross edges as sorted, count-free `from->to` lines —
+    /// the stable form pinned by golden-snapshot tests.
+    pub fn edge_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .observed
+            .iter()
+            .map(|e| format!("{}->{}", e.from.name(), e.to.name()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// Diffs an observed ledger against a declared lattice.
+pub fn check(lattice: &RuntimeLattice, edges: &EdgeSet) -> GateReport {
+    let observed: Vec<ObservedEdge> = edges
+        .edges()
+        .into_iter()
+        .filter(|e| e.from != e.to)
+        .collect();
+    let undeclared: Vec<ObservedEdge> = observed
+        .iter()
+        .filter(|e| !lattice.contains(e.from, e.to))
+        .cloned()
+        .collect();
+    let g = observed_graph(edges);
+    let loops: Vec<Vec<Subsystem>> = g
+        .loops()
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|m| Subsystem::ALL[m.0]).collect())
+        .collect();
+    let exercised: std::collections::BTreeSet<(usize, usize)> = observed
+        .iter()
+        .map(|e| (e.from.index(), e.to.index()))
+        .collect();
+    let unexercised: Vec<DeclaredPair> = lattice
+        .pairs()
+        .iter()
+        .filter(|p| !exercised.contains(&(p.from.index(), p.to.index())))
+        .cloned()
+        .collect();
+    let audit: Vec<(Subsystem, usize)> = g
+        .audit_costs()
+        .into_iter()
+        .map(|(m, c)| (Subsystem::ALL[m.0], c))
+        .collect();
+    GateReport {
+        lattice: lattice.name.clone(),
+        observed,
+        undeclared,
+        loops,
+        unexercised,
+        audit,
+    }
+}
+
+/// Renders a gate report for the experiment log: verdict, violations
+/// first, then coverage and the measured audit sets.
+pub fn render_report(r: &GateReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lattice gate [{}]: {} observed cross edges, {} undeclared, {} loops -> {}\n",
+        r.lattice,
+        r.observed.len(),
+        r.undeclared.len(),
+        r.loops.len(),
+        if r.is_clean() { "CLEAN" } else { "VIOLATION" }
+    ));
+    for e in &r.undeclared {
+        out.push_str(&format!(
+            "  undeclared: {} -> {} [{}] x{}\n",
+            e.from.name(),
+            e.to.name(),
+            e.kind.name(),
+            e.count
+        ));
+    }
+    for l in &r.loops {
+        let names: Vec<&str> = l.iter().map(|s| s.name()).collect();
+        out.push_str(&format!("  loop: {}\n", names.join(" <-> ")));
+    }
+    if !r.unexercised.is_empty() {
+        out.push_str(&format!(
+            "  unexercised declared pairs ({}):\n",
+            r.unexercised.len()
+        ));
+        for p in &r.unexercised {
+            out.push_str(&format!(
+                "    {} -> {} ({})\n",
+                p.from.name(),
+                p.to.name(),
+                p.note
+            ));
+        }
+    }
+    out.push_str("  audit sets (observed reachability):\n");
+    for (s, c) in &r.audit {
+        out.push_str(&format!("    {:<18} {}\n", s.name(), c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_lattice() -> RuntimeLattice {
+        let mut l = RuntimeLattice::new("tiny");
+        l.allow(Subsystem::UserDomain, Subsystem::PageControl, "page faults");
+        l.allow(Subsystem::PageControl, Subsystem::Disk, "page reads/writes");
+        l
+    }
+
+    #[test]
+    fn a_run_inside_the_lattice_is_clean() {
+        let l = tiny_lattice();
+        let mut e = EdgeSet::new();
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::PageControl,
+        );
+        e.record(EdgeKind::Invoke, Subsystem::PageControl, Subsystem::Disk);
+        e.record(EdgeKind::Invoke, Subsystem::Disk, Subsystem::Disk); // self: ignored
+        let r = check(&l, &e);
+        assert!(r.is_clean(), "{}", render_report(&r));
+        assert_eq!(r.observed.len(), 2);
+        assert!(r.unexercised.is_empty());
+        assert_eq!(
+            r.edge_names(),
+            vec!["page_control->disk", "user_domain->page_control"]
+        );
+    }
+
+    #[test]
+    fn an_undeclared_edge_is_a_violation_with_attribution() {
+        let l = tiny_lattice();
+        let mut e = EdgeSet::new();
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::PageControl,
+            Subsystem::AnsweringService,
+        );
+        let r = check(&l, &e);
+        assert!(!r.is_clean());
+        assert_eq!(r.undeclared.len(), 1);
+        assert_eq!(r.undeclared[0].from, Subsystem::PageControl);
+        assert_eq!(r.undeclared[0].to, Subsystem::AnsweringService);
+        assert!(render_report(&r).contains("undeclared: page_control -> answering_service"));
+    }
+
+    #[test]
+    fn observed_loops_are_reported_even_if_both_edges_are_declared() {
+        let mut l = tiny_lattice();
+        l.allow(Subsystem::Disk, Subsystem::PageControl, "a declared tangle");
+        let mut e = EdgeSet::new();
+        e.record(EdgeKind::Invoke, Subsystem::PageControl, Subsystem::Disk);
+        e.record(
+            EdgeKind::SharedData,
+            Subsystem::Disk,
+            Subsystem::PageControl,
+        );
+        let r = check(&l, &e);
+        assert!(!r.is_clean(), "loops disqualify even declared pairs");
+        assert_eq!(r.loops.len(), 1);
+        assert_eq!(r.loops[0], vec![Subsystem::PageControl, Subsystem::Disk]);
+    }
+
+    #[test]
+    fn unexercised_pairs_are_coverage_not_violations() {
+        let l = tiny_lattice();
+        let mut e = EdgeSet::new();
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::PageControl,
+        );
+        let r = check(&l, &e);
+        assert!(r.is_clean());
+        assert_eq!(r.unexercised.len(), 1);
+        assert_eq!(r.unexercised[0].to, Subsystem::Disk);
+        assert!(render_report(&r).contains("unexercised declared pairs (1)"));
+    }
+
+    #[test]
+    fn audit_sets_follow_observed_reachability() {
+        let l = tiny_lattice();
+        let mut e = EdgeSet::new();
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::PageControl,
+        );
+        e.record(EdgeKind::Invoke, Subsystem::PageControl, Subsystem::Disk);
+        let r = check(&l, &e);
+        let cost = |s: Subsystem| r.audit.iter().find(|(m, _)| *m == s).unwrap().1;
+        assert_eq!(cost(Subsystem::UserDomain), 2, "reaches page_control, disk");
+        assert_eq!(cost(Subsystem::PageControl), 1);
+        assert_eq!(cost(Subsystem::Disk), 0);
+        assert_eq!(
+            cost(Subsystem::Scheduler),
+            0,
+            "never observed, nothing assumed"
+        );
+    }
+
+    #[test]
+    fn declared_graph_supports_loop_checks() {
+        let l = tiny_lattice();
+        assert!(l.declared_graph().is_loop_free());
+        let mut tangled = tiny_lattice();
+        tangled.allow(Subsystem::Disk, Subsystem::UserDomain, "upward");
+        assert!(!tangled.declared_graph().is_loop_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declarations_are_rejected() {
+        let mut l = tiny_lattice();
+        l.allow(Subsystem::UserDomain, Subsystem::PageControl, "again");
+    }
+}

@@ -12,6 +12,7 @@
 use crate::oracle;
 use crate::policies::{schedule_string, Recorder, TraceHandle};
 use mx_aim::Label;
+use mx_hw::meter::EdgeSet;
 use mx_hw::{SplitMix64, Word, PAGE_WORDS};
 use mx_kernel::vproc::VpId;
 use mx_kernel::{Acl, Kernel, KernelConfig, KernelError, UserId};
@@ -230,6 +231,8 @@ pub struct RunReport {
     pub fingerprint: u64,
     /// Oracle violations (empty = the schedule passed).
     pub violations: Vec<String>,
+    /// Observed inter-subsystem edges over the whole scenario run.
+    pub edges: EdgeSet,
 }
 
 /// FNV-1a over the label list.
@@ -484,7 +487,8 @@ fn run_kernel_ops(kind: ScenarioKind, seed: u64, policy: Box<dyn SchedulePolicy>
             violations.push(format!("spare {vp:?} never woke from the scenario advance"));
         }
     }
-    finish(kind, seed, &trace, outcome, parity, violations)
+    let edges = k.machine.clock.edge_snapshot();
+    finish(kind, seed, &trace, outcome, parity, violations, edges)
 }
 
 /// Runs the legacy counterpart of `kind` at `seed`. The old design has
@@ -571,6 +575,7 @@ pub fn run_legacy(kind: ScenarioKind, seed: u64) -> RunReport {
         parity,
         fingerprint: fp,
         violations,
+        edges: sup.machine.clock.edge_snapshot(),
     }
 }
 
@@ -643,7 +648,8 @@ fn run_handoff(seed: u64, policy: Box<dyn SchedulePolicy>, lossy: bool) -> RunRe
     } else {
         ScenarioKind::Handoff
     };
-    finish(kind, seed, &trace, outcome, Vec::new(), violations)
+    let edges = clock.edge_snapshot();
+    finish(kind, seed, &trace, outcome, Vec::new(), violations, edges)
 }
 
 fn finish(
@@ -653,6 +659,7 @@ fn finish(
     outcome: Vec<String>,
     parity: Vec<String>,
     violations: Vec<String>,
+    edges: EdgeSet,
 ) -> RunReport {
     let schedule = schedule_string(&trace.borrow());
     let fp = fingerprint(&outcome);
@@ -664,6 +671,7 @@ fn finish(
         parity,
         fingerprint: fp,
         violations,
+        edges,
     }
 }
 

@@ -168,6 +168,25 @@ impl Clock {
         &self.meter
     }
 
+    /// Records a shared-writable-data edge in the runtime edge ledger:
+    /// the currently-metered subsystem mutated data `owner` owns. The
+    /// supervisors call this at their cross-subsystem mutation choke
+    /// points (AST/page-table slots, quota cells, descriptor words);
+    /// it charges no cycles and never touches the trace ring.
+    pub fn note_shared_data(&mut self, owner: Subsystem) {
+        self.meter.note_shared_data(owner);
+    }
+
+    /// The always-on caller→callee edge ledger.
+    pub fn edge_set(&self) -> &crate::meter::EdgeSet {
+        self.meter.edge_set()
+    }
+
+    /// An immutable copy of the edge ledger.
+    pub fn edge_snapshot(&self) -> crate::meter::EdgeSet {
+        self.meter.edge_set().clone()
+    }
+
     /// An immutable copy of the attribution ledger.
     pub fn meter_snapshot(&self) -> MeterSnapshot {
         self.meter.snapshot()

@@ -50,7 +50,10 @@ pub use faultinj::{CrashWrite, DiskFaults, FaultPlan, HwFault};
 pub use interp::{InterpError, StepOutcome};
 pub use machine::{Machine, MachineConfig};
 pub use mem::{AbsAddr, FrameNo, MainMemory, PAGE_WORDS};
-pub use meter::{CounterSet, MeterGuard, MeterSnapshot, Subsystem, TraceEvent, TraceEventKind};
+pub use meter::{
+    CounterSet, EdgeKind, EdgeSet, MeterGuard, MeterSnapshot, ObservedEdge, Subsystem, TraceEvent,
+    TraceEventKind,
+};
 pub use rng::SplitMix64;
 pub use tlb::{Tlb, TlbEntry, TlbStats};
 pub use word::{Word, WORD_MASK};

@@ -150,6 +150,172 @@ pub struct TraceEvent {
     pub subsystem: Subsystem,
 }
 
+/// How one subsystem was observed depending on another at run time.
+///
+/// The two improper kinds of the paper's classification, observed rather
+/// than declared: an **invocation** (a metering scope opened while
+/// another subsystem's scope was on top of the stack — the runtime
+/// equivalent of a procedure call across a module boundary) and a
+/// **shared-data write** (a tagged mutation of a data structure another
+/// subsystem owns: AST/page-table slots, quota cells, descriptor words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// `from`'s scope was on top of the stack when `to`'s scope opened.
+    Invoke,
+    /// Code metered to `from` mutated writable data `to` owns.
+    SharedData,
+}
+
+impl EdgeKind {
+    /// Number of edge kinds (size of the edge ledger's third axis).
+    pub const COUNT: usize = 2;
+
+    /// Both kinds, in ledger order.
+    pub const ALL: [EdgeKind; EdgeKind::COUNT] = [EdgeKind::Invoke, EdgeKind::SharedData];
+
+    /// Ledger index of this kind.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in gate reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Invoke => "invoke",
+            EdgeKind::SharedData => "shared-data",
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed caller→callee edge with its occurrence count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObservedEdge {
+    /// The kind of dependency observed.
+    pub kind: EdgeKind,
+    /// The depending subsystem (the caller / the writer).
+    pub from: Subsystem,
+    /// The subsystem depended upon (the callee / the data's owner).
+    pub to: Subsystem,
+    /// How many times the edge fired.
+    pub count: u64,
+}
+
+/// The always-on caller→callee edge ledger: a
+/// `Subsystem × Subsystem × EdgeKind` count matrix.
+///
+/// Unlike the trace ring, the ledger never evicts: it is O(1) memory
+/// regardless of run length (13 × 13 × 2 counters), so the runtime
+/// dependency graph it induces is exact over the whole run, not a
+/// window. Two conservation properties hold by construction and are
+/// pinned by tests:
+///
+/// * every scope entry records exactly one [`EdgeKind::Invoke`] edge,
+///   so the invoke counts always sum to the meter's total scope
+///   entries; and
+/// * [`EdgeSet::merge`] is commutative and element-wise additive, so
+///   per-shard ledgers fold into exactly the ledger one machine would
+///   have produced (sum of per-shard counts == merged count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSet {
+    counts: [[[u64; Subsystem::COUNT]; Subsystem::COUNT]; EdgeKind::COUNT],
+}
+
+impl Default for EdgeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeSet {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self {
+            counts: [[[0; Subsystem::COUNT]; Subsystem::COUNT]; EdgeKind::COUNT],
+        }
+    }
+
+    /// Records one occurrence of `from → to`.
+    pub fn record(&mut self, kind: EdgeKind, from: Subsystem, to: Subsystem) {
+        self.counts[kind.index()][from.index()][to.index()] += 1;
+    }
+
+    /// Occurrences of `from → to` of `kind`.
+    pub fn count(&self, kind: EdgeKind, from: Subsystem, to: Subsystem) -> u64 {
+        self.counts[kind.index()][from.index()][to.index()]
+    }
+
+    /// Total occurrences of `kind` edges.
+    pub fn total_of(&self, kind: EdgeKind) -> u64 {
+        self.counts[kind.index()]
+            .iter()
+            .flat_map(|row| row.iter())
+            .sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        EdgeKind::ALL.iter().all(|&k| self.total_of(k) == 0)
+    }
+
+    /// Every edge with a non-zero count, in (kind, from, to) ledger
+    /// order — a deterministic flattening, byte-stable across runs.
+    pub fn edges(&self) -> Vec<ObservedEdge> {
+        let mut out = Vec::new();
+        for kind in EdgeKind::ALL {
+            for from in Subsystem::ALL {
+                for to in Subsystem::ALL {
+                    let count = self.count(kind, from, to);
+                    if count > 0 {
+                        out.push(ObservedEdge {
+                            kind,
+                            from,
+                            to,
+                            count,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds `other` into `self`, element-wise. Commutative and
+    /// conservation-safe: merged counts are the sums of the parts.
+    pub fn merge(&mut self, other: &EdgeSet) {
+        for k in 0..EdgeKind::COUNT {
+            for f in 0..Subsystem::COUNT {
+                for t in 0..Subsystem::COUNT {
+                    self.counts[k][f][t] += other.counts[k][f][t];
+                }
+            }
+        }
+    }
+
+    /// Element-wise difference `later - self`, isolating an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `later` is not actually later (counts
+    /// are monotone).
+    pub fn delta(&self, later: &EdgeSet) -> EdgeSet {
+        let mut out = EdgeSet::new();
+        for k in 0..EdgeKind::COUNT {
+            for f in 0..Subsystem::COUNT {
+                for t in 0..Subsystem::COUNT {
+                    out.counts[k][f][t] = later.counts[k][f][t] - self.counts[k][f][t];
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Scope token returned by [`Clock::enter`](crate::Clock::enter).
 ///
 /// Holding the guard does not borrow the clock (the supervisor code needs
@@ -177,6 +343,7 @@ pub struct Meter {
     ring_next: usize,
     recorded: u64,
     capacity: usize,
+    edges: EdgeSet,
 }
 
 impl Default for Meter {
@@ -196,6 +363,7 @@ impl Meter {
             ring_next: 0,
             recorded: 0,
             capacity,
+            edges: EdgeSet::new(),
         }
     }
 
@@ -213,6 +381,12 @@ impl Meter {
     /// attributed to `subsystem`.
     pub(crate) fn enter(&mut self, subsystem: Subsystem, at: u64) -> MeterGuard {
         let depth = self.stack.len();
+        // The invocation edge: attributed to the *innermost* open scope
+        // (the subsystem whose code actually made the call), exactly
+        // once per entry — the fault-path unwind in `exit` never
+        // re-records it.
+        self.edges
+            .record(EdgeKind::Invoke, self.current(), subsystem);
         self.stack.push(subsystem);
         self.entries[subsystem.index()] += 1;
         self.record(TraceEvent {
@@ -253,6 +427,22 @@ impl Meter {
         }
     }
 
+    /// Records a shared-writable-data edge: the current scope's
+    /// subsystem mutated data `owner` owns. Call sites are the
+    /// cross-subsystem mutation choke points (AST/page-table slots,
+    /// quota cells, descriptor words); a mutation performed by the
+    /// owner itself records a self-edge, which the runtime lattice
+    /// treats as intra-module and ignores.
+    pub(crate) fn note_shared_data(&mut self, owner: Subsystem) {
+        self.edges
+            .record(EdgeKind::SharedData, self.current(), owner);
+    }
+
+    /// The always-on caller→callee edge ledger.
+    pub fn edge_set(&self) -> &EdgeSet {
+        &self.edges
+    }
+
     /// Retained trace events, oldest first.
     pub fn trace(&self) -> Vec<TraceEvent> {
         let mut out = Vec::with_capacity(self.ring.len());
@@ -276,6 +466,12 @@ impl Meter {
     /// the conservation property the tests pin.
     pub fn attributed_total(&self) -> u64 {
         self.attributed.iter().sum()
+    }
+
+    /// Total scope entries across all subsystems. Always equals the
+    /// edge ledger's invoke total — every entry records one edge.
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
     }
 
     /// An immutable copy of the ledger.
@@ -557,6 +753,193 @@ mod tests {
         let json = d.to_json();
         assert!(json.contains("\"total_cycles\":42"));
         assert!(json.contains("\"purifier\":{\"cycles\":40,\"entries\":1}"));
+    }
+
+    #[test]
+    fn invoke_edges_attribute_to_the_innermost_caller() {
+        let mut clk = Clock::new();
+        // UserDomain → Dir → Seg → Dir: each entry charges the scope on
+        // top of the stack at the instant of the call, not the outermost.
+        let a = clk.enter(Subsystem::DirectoryControl);
+        let b = clk.enter(Subsystem::SegmentControl);
+        let c = clk.enter(Subsystem::DirectoryControl);
+        clk.exit(c);
+        clk.exit(b);
+        clk.exit(a);
+        let e = clk.edge_set();
+        assert_eq!(
+            e.count(
+                EdgeKind::Invoke,
+                Subsystem::UserDomain,
+                Subsystem::DirectoryControl
+            ),
+            1
+        );
+        assert_eq!(
+            e.count(
+                EdgeKind::Invoke,
+                Subsystem::DirectoryControl,
+                Subsystem::SegmentControl
+            ),
+            1
+        );
+        assert_eq!(
+            e.count(
+                EdgeKind::Invoke,
+                Subsystem::SegmentControl,
+                Subsystem::DirectoryControl
+            ),
+            1,
+            "re-entrant Dir scope charges Seg, the innermost caller"
+        );
+        assert_eq!(
+            e.count(
+                EdgeKind::Invoke,
+                Subsystem::DirectoryControl,
+                Subsystem::DirectoryControl
+            ),
+            0,
+            "the outer Dir scope is not the caller of the inner one"
+        );
+    }
+
+    #[test]
+    fn fault_path_unwind_records_each_edge_exactly_once() {
+        let mut clk = Clock::new();
+        // A scope abandoned by an early return (the translate-fault /
+        // SalvageBusy shape) is closed by the enclosing exit's unwind;
+        // the edge was recorded at entry and must not be re-recorded.
+        let outer = clk.enter(Subsystem::PageControl);
+        let _abandoned = clk.enter(Subsystem::Disk);
+        clk.exit(outer); // unwinds Disk too
+        let e = clk.edge_set();
+        assert_eq!(
+            e.count(EdgeKind::Invoke, Subsystem::PageControl, Subsystem::Disk),
+            1
+        );
+        assert_eq!(
+            e.count(
+                EdgeKind::Invoke,
+                Subsystem::UserDomain,
+                Subsystem::PageControl
+            ),
+            1
+        );
+        assert_eq!(e.total_of(EdgeKind::Invoke), 2);
+        assert_eq!(
+            clk.meter().total_entries(),
+            e.total_of(EdgeKind::Invoke),
+            "one invoke edge per scope entry, even across unwinds"
+        );
+    }
+
+    #[test]
+    fn shared_data_edges_record_writer_to_owner() {
+        let mut clk = Clock::new();
+        let g = clk.enter(Subsystem::PageControl);
+        clk.note_shared_data(Subsystem::SegmentControl); // AST walk
+        clk.note_shared_data(Subsystem::SegmentControl);
+        clk.note_shared_data(Subsystem::PageControl); // own data: self-edge
+        clk.exit(g);
+        let e = clk.edge_set();
+        assert_eq!(
+            e.count(
+                EdgeKind::SharedData,
+                Subsystem::PageControl,
+                Subsystem::SegmentControl
+            ),
+            2
+        );
+        assert_eq!(
+            e.count(
+                EdgeKind::SharedData,
+                Subsystem::PageControl,
+                Subsystem::PageControl
+            ),
+            1,
+            "owner mutating its own data is a self-edge (intra-module)"
+        );
+        assert_eq!(e.total_of(EdgeKind::SharedData), 3);
+    }
+
+    #[test]
+    fn edge_merge_is_commutative_and_conservation_safe() {
+        let mut a = EdgeSet::new();
+        let mut b = EdgeSet::new();
+        a.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::Gatekeeper,
+        );
+        a.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::Gatekeeper,
+        );
+        a.record(
+            EdgeKind::SharedData,
+            Subsystem::PageControl,
+            Subsystem::SegmentControl,
+        );
+        b.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::Gatekeeper,
+        );
+        b.record(
+            EdgeKind::Invoke,
+            Subsystem::Scheduler,
+            Subsystem::PageControl,
+        );
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        for kind in EdgeKind::ALL {
+            assert_eq!(
+                ab.total_of(kind),
+                a.total_of(kind) + b.total_of(kind),
+                "sum of per-shard counts == merged count ({kind})"
+            );
+        }
+        assert_eq!(
+            ab.count(
+                EdgeKind::Invoke,
+                Subsystem::UserDomain,
+                Subsystem::Gatekeeper
+            ),
+            3
+        );
+        // Delta inverts merge: (a merged b) - a == b.
+        assert_eq!(a.delta(&ab), b);
+    }
+
+    #[test]
+    fn edge_flattening_is_deterministic_and_sorted() {
+        let mut e = EdgeSet::new();
+        e.record(
+            EdgeKind::SharedData,
+            Subsystem::SegmentControl,
+            Subsystem::DirectoryControl,
+        );
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::UserDomain,
+            Subsystem::PageControl,
+        );
+        e.record(
+            EdgeKind::Invoke,
+            Subsystem::Gatekeeper,
+            Subsystem::Scheduler,
+        );
+        let edges = e.edges();
+        assert_eq!(edges.len(), 3);
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(edges, sorted, "ledger order is (kind, from, to) sorted");
+        assert!(EdgeSet::new().is_empty());
+        assert!(!e.is_empty());
     }
 
     #[test]

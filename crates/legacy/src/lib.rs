@@ -45,6 +45,6 @@ pub mod supervisor;
 pub mod types;
 
 pub use recovery::{LegacyOnlineCheat, LegacyOnlineProgress, LegacySalvageReport};
-pub use registry::{actual_structure, superficial_structure};
+pub use registry::{actual_structure, legacy_runtime_lattice, superficial_structure};
 pub use supervisor::{Supervisor, SupervisorConfig};
 pub use types::{AccessRight, Acl, LegacyError, ProcessId, SegUid, UserId};

@@ -89,6 +89,9 @@ impl Supervisor {
         }
         // Identify the page with its segment by direct reference to the
         // AST (pt pool geometry) — segment control's data base.
+        self.machine
+            .clock
+            .note_shared_data(Subsystem::SegmentControl);
         let (astx, pageno) = self
             .astx_of_ptw(ptw_addr)
             .ok_or(LegacyError::UnhandledFault(mx_hw::Fault::BadDescriptor {
@@ -402,6 +405,11 @@ impl Supervisor {
             Language::Assembly,
         );
         let qlabel = self.ast.get(qdir).expect("quota dir").label;
+        // Mutating a quota cell in the AST: segment control's data base,
+        // written directly from page control — Figure 3's shared-data edge.
+        self.machine
+            .clock
+            .note_shared_data(Subsystem::SegmentControl);
         let cell = self
             .ast
             .get_mut(qdir)
@@ -448,6 +456,9 @@ impl Supervisor {
             QUOTA_WALK_INSTR_PER_LEVEL * (u64::from(levels) + 1),
             Language::Assembly,
         );
+        self.machine
+            .clock
+            .note_shared_data(Subsystem::SegmentControl);
         let cell = self
             .ast
             .get_mut(qdir)

@@ -10,7 +10,8 @@
 //! every one of which corresponds to running code in this crate, noted on
 //! the edge.
 
-use mx_deps::{DepKind, ModuleGraph};
+use mx_deps::{DepKind, ModuleGraph, RuntimeLattice};
+use mx_hw::Subsystem;
 
 /// The six coarse modules of Figures 2 and 3, with the near-linear edge
 /// set of Figure 2.
@@ -172,6 +173,93 @@ pub fn actual_structure() -> ModuleGraph {
     g
 }
 
+/// The runtime lattice the old supervisor *claims* — Figure 2 projected
+/// onto the meter's subsystem labels.
+///
+/// Deliberately, this declares only the proper downward dependencies the
+/// six-module picture admits. The improper edges Figure 3 adds — page
+/// control reaching back up into segment control's AST for the quota
+/// walk, and into the directory entry during full-pack relocation — are
+/// **not** declared, so the lattice gate reports them as undeclared
+/// runtime edges and as loops when the battery exercises those paths.
+/// That asymmetry is the point: the same gate that must pass clean on
+/// the kernel design is expected to indict the old one.
+pub fn legacy_runtime_lattice() -> RuntimeLattice {
+    use Subsystem as S;
+    let mut l = RuntimeLattice::new("legacy/figure-2");
+    for (to, why) in [
+        (S::DirectoryControl, "directory supervisor entries"),
+        (
+            S::SegmentControl,
+            "initiate/terminate entries, segment faults",
+        ),
+        (S::PageControl, "page faults"),
+        (S::ProcessControl, "process creation and destruction"),
+        (S::Scheduler, "block/wakeup and dispatch"),
+        (S::Linker, "dynamic linking faults"),
+        (S::AnsweringService, "login/logout"),
+        (S::Salvager, "crash recovery from the bootstrap stack"),
+    ] {
+        l.allow(S::UserDomain, to, why);
+    }
+    l.allow(
+        S::AnsweringService,
+        S::ProcessControl,
+        "login creates (and logout destroys) the session's process",
+    );
+    l.allow(
+        S::Linker,
+        S::DirectoryControl,
+        "snapping a link searches the hierarchy",
+    );
+    l.allow(
+        S::SegmentControl,
+        S::PageControl,
+        "segments are made of pages: activation builds page tables",
+    );
+    l.allow(
+        S::DirectoryControl,
+        S::PageControl,
+        "directory growth materializes pages and charges quota",
+    );
+    l.allow(
+        S::DirectoryControl,
+        S::SegmentControl,
+        "directory representations are stored in segments",
+    );
+    l.allow(
+        S::ProcessControl,
+        S::PageControl,
+        "process state pages are wired and charged at creation",
+    );
+    l.allow(
+        S::ProcessControl,
+        S::SegmentControl,
+        "states of inactive processes are stored in segments",
+    );
+    l.allow(
+        S::ProcessControl,
+        S::DirectoryControl,
+        "process creation catalogues the state segments",
+    );
+    l.allow(
+        S::Scheduler,
+        S::PageControl,
+        "dispatch touches the loaded process's wired pages",
+    );
+    l.allow(
+        S::Scheduler,
+        S::SegmentControl,
+        "dispatch reconnects the loaded process's segments",
+    );
+    l.allow(
+        S::Salvager,
+        S::PageControl,
+        "quota repair rewrites AST cells after a crash",
+    );
+    l
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +313,22 @@ mod tests {
                 .any(|n| n.contains("rewrites the directory entry")),
             "full-pack case"
         );
+    }
+
+    #[test]
+    fn runtime_lattice_claims_figure_2_not_figure_3() {
+        let l = legacy_runtime_lattice();
+        let g = l.declared_graph();
+        assert!(
+            g.is_loop_free(),
+            "the claimed structure is nearly linear: {:?}",
+            g.loops()
+        );
+        // The Figure-3 back edges are deliberately undeclared so the
+        // gate reports them when the battery drives those paths.
+        use Subsystem as S;
+        assert!(!l.contains(S::PageControl, S::SegmentControl));
+        assert!(!l.contains(S::PageControl, S::DirectoryControl));
     }
 
     #[test]

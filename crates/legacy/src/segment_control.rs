@@ -267,6 +267,9 @@ impl Supervisor {
         };
         self.salvage_note_relocated(new_home);
         self.ast.get_mut(astx).expect("live astx").home = new_home;
+        self.machine
+            .clock
+            .note_shared_data(Subsystem::DirectoryControl);
         match aste.dir_home {
             Some((parent_astx, slot)) => {
                 self.write_entry_home(parent_astx, slot, new_home)?;

@@ -46,6 +46,7 @@ use crate::run::{
 use crate::script::{SessionScript, SHARED_PAGES};
 use mx_aim::Label;
 use mx_explore::{oracle, PctPolicy, SeededRandomPolicy};
+use mx_hw::meter::EdgeSet;
 use mx_hw::{CrashWrite, SplitMix64, Word, PAGE_WORDS};
 use mx_kernel::{Acl, Kernel, KernelError, OnlineCheat, UserId};
 use mx_legacy::{
@@ -230,6 +231,11 @@ pub struct C1Run {
     /// Everything the oracles caught. Empty = clean. Every line embeds
     /// the replayable `seed=… plan=… schedule=…` string.
     pub violations: Vec<String>,
+    /// Observed inter-subsystem edges merged across every epoch's
+    /// machine — load, crash, salvage, and reconcile traffic included.
+    /// Each crash boundary replaces the machine (and its clock), so the
+    /// ledger is folded in before every replacement.
+    pub edges: EdgeSet,
 }
 
 impl C1Run {
@@ -323,6 +329,7 @@ fn assemble(
     recovery_cycles: u64,
     mut violations: Vec<String>,
     stranded: usize,
+    edges: EdgeSet,
 ) -> C1Run {
     let repro = spec.repro(design);
     let mut run = C1Run {
@@ -339,6 +346,7 @@ fn assemble(
         load_cycles,
         recovery_cycles,
         violations: Vec::new(),
+        edges,
     };
     if stranded > 0 {
         violations.push(format!(
@@ -526,6 +534,9 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
     let mut recovery_total = 0u64;
     let mut epoch_base = d.k.machine.clock.now();
     let mut drained = false;
+    // The edge ledger outlives the machine: each crash boundary replaces
+    // the clock, so the ledger is folded in before every replacement.
+    let mut edges = EdgeSet::new();
 
     for e in 0..u64::from(spec.crashes) {
         drained = drive_until(
@@ -572,6 +583,7 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
                 "kernel epoch {e}: crash plan failed to fire during sync [{repro}]"
             ));
             epochs.push(report);
+            edges.merge(d.k.machine.clock.edge_set());
             return assemble(
                 "kernel",
                 schedule,
@@ -583,8 +595,10 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
                 recovery_total,
                 violations,
                 0,
+                edges,
             );
         }
+        edges.merge(d.k.machine.clock.edge_set());
         let image = d.k.machine.disks.clone();
         let KernelDriver {
             mut svc,
@@ -613,6 +627,7 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         };
@@ -667,6 +682,7 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         }
@@ -707,6 +723,7 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
             crashed: false,
         });
     }
+    edges.merge(d.k.machine.clock.edge_set());
     let stranded = d.svc.queued_logins();
     assemble(
         "kernel",
@@ -719,6 +736,7 @@ pub fn run_kernel_c1(spec: &C1Spec) -> C1Run {
         recovery_total,
         violations,
         stranded,
+        edges,
     )
 }
 
@@ -844,6 +862,9 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
     let mut recovery_total = 0u64;
     let mut epoch_base = d.sup.machine.clock.now();
     let mut drained = false;
+    // The edge ledger outlives the machine: each crash boundary replaces
+    // the clock, so the ledger is folded in before every replacement.
+    let mut edges = EdgeSet::new();
 
     for e in 0..u64::from(spec.crashes) {
         drained = drive_until(
@@ -891,6 +912,7 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
                 "legacy epoch {e}: crash plan failed to fire during sync [{repro}]"
             ));
             epochs.push(report);
+            edges.merge(d.sup.machine.clock.edge_set());
             return assemble(
                 "legacy",
                 schedule,
@@ -902,8 +924,10 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
                 recovery_total,
                 violations,
                 0,
+                edges,
             );
         }
+        edges.merge(d.sup.machine.clock.edge_set());
         let image = d.sup.machine.disks.clone();
         let LegacyDriver {
             sessions: old_sessions,
@@ -929,6 +953,7 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         };
@@ -978,6 +1003,7 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         }
@@ -1008,6 +1034,7 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
             crashed: false,
         });
     }
+    edges.merge(d.sup.machine.clock.edge_set());
     let stranded = d.pending.len();
     assemble(
         "legacy",
@@ -1020,6 +1047,7 @@ pub fn run_legacy_c1(spec: &C1Spec) -> C1Run {
         recovery_total,
         violations,
         stranded,
+        edges,
     )
 }
 
@@ -1162,6 +1190,9 @@ pub struct S1Run {
     pub recovery_cycles: u64,
     /// Everything the oracles caught. Empty = clean.
     pub violations: Vec<String>,
+    /// Observed inter-subsystem edges merged across every epoch's
+    /// machine (see [`C1Run::edges`]).
+    pub edges: EdgeSet,
 }
 
 impl S1Run {
@@ -1247,6 +1278,7 @@ fn s1_assemble(
     recovery_cycles: u64,
     mut violations: Vec<String>,
     stranded: usize,
+    edges: EdgeSet,
 ) -> S1Run {
     let repro = spec.repro(design);
     let mut run = S1Run {
@@ -1263,6 +1295,7 @@ fn s1_assemble(
         load_cycles,
         recovery_cycles,
         violations: Vec::new(),
+        edges,
     };
     if stranded > 0 {
         violations.push(format!(
@@ -1709,6 +1742,9 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
     let mut recovery_total = 0u64;
     let mut epoch_base = d.k.machine.clock.now();
     let mut drained = false;
+    // The edge ledger outlives the machine: each crash boundary replaces
+    // the clock, so the ledger is folded in before every replacement.
+    let mut edges = EdgeSet::new();
 
     for e in 0..u64::from(spec.crashes) {
         drained = drive_until(
@@ -1756,6 +1792,7 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
                 "kernel epoch {e}: crash plan failed to fire during sync [{repro}]"
             ));
             epochs.push(report);
+            edges.merge(d.k.machine.clock.edge_set());
             return s1_assemble(
                 "kernel",
                 schedule,
@@ -1767,8 +1804,10 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
                 recovery_total,
                 violations,
                 0,
+                edges,
             );
         }
+        edges.merge(d.k.machine.clock.edge_set());
         let image = d.k.machine.disks.clone();
         let KernelDriver {
             mut svc,
@@ -1797,6 +1836,7 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         };
@@ -1867,6 +1907,7 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         }
@@ -1902,6 +1943,7 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
             ..S1EpochReport::default()
         });
     }
+    edges.merge(d.k.machine.clock.edge_set());
     let stranded = d.svc.queued_logins();
     s1_assemble(
         "kernel",
@@ -1914,6 +1956,7 @@ pub fn run_kernel_s1(spec: &S1Spec) -> S1Run {
         recovery_total,
         violations,
         stranded,
+        edges,
     )
 }
 
@@ -1937,6 +1980,9 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
     let mut recovery_total = 0u64;
     let mut epoch_base = d.sup.machine.clock.now();
     let mut drained = false;
+    // The edge ledger outlives the machine: each crash boundary replaces
+    // the clock, so the ledger is folded in before every replacement.
+    let mut edges = EdgeSet::new();
 
     for e in 0..u64::from(spec.crashes) {
         drained = drive_until(
@@ -1985,6 +2031,7 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
                 "legacy epoch {e}: crash plan failed to fire during sync [{repro}]"
             ));
             epochs.push(report);
+            edges.merge(d.sup.machine.clock.edge_set());
             return s1_assemble(
                 "legacy",
                 schedule,
@@ -1996,8 +2043,10 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
                 recovery_total,
                 violations,
                 0,
+                edges,
             );
         }
+        edges.merge(d.sup.machine.clock.edge_set());
         let image = d.sup.machine.disks.clone();
         let LegacyDriver {
             sessions: old_sessions,
@@ -2023,6 +2072,7 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         };
@@ -2073,6 +2123,7 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
                     recovery_total,
                     violations,
                     0,
+                    edges,
                 );
             }
         }
@@ -2103,6 +2154,7 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
             ..S1EpochReport::default()
         });
     }
+    edges.merge(d.sup.machine.clock.edge_set());
     let stranded = d.pending.len();
     s1_assemble(
         "legacy",
@@ -2115,6 +2167,7 @@ pub fn run_legacy_s1(spec: &S1Spec) -> S1Run {
         recovery_total,
         violations,
         stranded,
+        edges,
     )
 }
 

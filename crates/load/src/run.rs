@@ -12,7 +12,7 @@ use crate::hist::Histogram;
 use crate::script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};
 use mx_aim::Label;
 use mx_explore::oracle;
-use mx_hw::meter::MeterSnapshot;
+use mx_hw::meter::{EdgeSet, MeterSnapshot};
 use mx_hw::{Word, PAGE_WORDS};
 use mx_kernel::{
     Acl, Kernel, KernelConfig, KernelError, ObjToken, OnlineProgress, ProcessId, UserId,
@@ -228,6 +228,9 @@ pub struct LoadRun {
     pub event_queue_hwm: usize,
     /// Per-subsystem cycle attribution over the load phase.
     pub meter: MeterSnapshot,
+    /// Observed inter-subsystem edges (invocations and shared-data
+    /// writes) over the load phase, for the lattice gate.
+    pub edges: EdgeSet,
     /// Oracle battery results (meter conservation, per-pack record
     /// conservation, wakeup exactness, TLB closure). Empty = clean.
     pub violations: Vec<String>,
@@ -1596,6 +1599,7 @@ pub(crate) fn run_kernel_load_scripts(
     let setup_cycles = driver.k.machine.clock.now();
     let ops_base = driver.k.machine.ops_retired();
     let meter_base = driver.k.machine.clock.meter_snapshot();
+    let edge_base = driver.k.machine.clock.edge_snapshot();
     if let Some(p) = policy {
         driver.k.set_schedule_policy(p);
     }
@@ -1624,6 +1628,7 @@ pub(crate) fn run_kernel_load_scripts(
         queue_delay: k.vpm.queue_delay(),
         event_queue_hwm: k.upm.queue_high_watermark(),
         meter: meter_base.delta(&k.machine.clock.meter_snapshot()),
+        edges: edge_base.delta(k.machine.clock.edge_set()),
         violations: oracle::check_kernel(&k),
         user_samples: {
             let mut us = out.user_samples;
@@ -1709,6 +1714,7 @@ pub(crate) fn run_legacy_load_scripts(spec: &LoadSpec, scripts: &[SessionScript]
     let setup_cycles = driver.sup.machine.clock.now();
     let ops_base = driver.sup.machine.ops_retired();
     let meter_base = driver.sup.machine.clock.meter_snapshot();
+    let edge_base = driver.sup.machine.clock.edge_snapshot();
 
     let out = drive(&mut driver, scripts);
     let sup = driver.sup;
@@ -1734,6 +1740,7 @@ pub(crate) fn run_legacy_load_scripts(spec: &LoadSpec, scripts: &[SessionScript]
         queue_delay: (0, 0),
         event_queue_hwm: 0,
         meter: meter_base.delta(&sup.machine.clock.meter_snapshot()),
+        edges: edge_base.delta(sup.machine.clock.edge_set()),
         violations: oracle::check_legacy(&sup),
         user_samples: {
             let mut us = out.user_samples;

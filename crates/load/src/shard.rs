@@ -28,6 +28,7 @@
 use crate::hist::Histogram;
 use crate::run::{run_kernel_load_scripts, run_legacy_load_scripts, LoadRun, LoadSpec};
 use crate::script::{session_script, SessionScript};
+use mx_hw::meter::EdgeSet;
 use mx_hw::rng::SplitMix64;
 use mx_sync::{EventCount, Sequencer};
 use std::sync::Mutex;
@@ -131,6 +132,9 @@ pub struct DesignMerge {
     /// shard order then member order — sample-for-sample identical for
     /// every worker count.
     pub user_samples: Vec<(usize, Vec<u64>)>,
+    /// All shards' observed edge ledgers folded via [`EdgeSet::merge`]
+    /// — commutative, so identical for every worker count.
+    pub edges: EdgeSet,
 }
 
 /// The whole sharded run: per-shard results, per-design merges, the
@@ -204,9 +208,11 @@ fn merge_design(
         parity: Vec::new(),
         hist: Histogram::new(),
         user_samples: Vec::new(),
+        edges: EdgeSet::new(),
     };
     for shard in shards {
         let r = pick(shard);
+        m.edges.merge(&r.edges);
         m.ops += r.ops;
         m.cycles += r.cycles;
         m.sessions += r.sessions;
