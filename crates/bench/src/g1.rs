@@ -37,8 +37,8 @@ use mx_hw::{Clock, EdgeKind, Subsystem};
 use mx_kernel::demux::FramingSpec;
 use mx_kernel::{Kernel, KernelConfig, UserId};
 use mx_load::{
-    run_both, run_kernel_c1, run_kernel_s1, run_legacy_c1, run_legacy_s1, run_sharded, C1Policy,
-    C1Spec, LoadSpec, S1Spec, ShardSpec,
+    run_both, run_kernel_c1, run_kernel_fleet, run_kernel_s1, run_legacy_c1, run_legacy_fleet,
+    run_legacy_s1, run_sharded, C1Policy, C1Spec, FleetSpec, LoadSpec, S1Spec, ShardSpec,
 };
 use mx_sync::FifoPolicy;
 
@@ -169,9 +169,75 @@ pub fn battery() -> (EdgeSet, EdgeSet) {
         }
     }
 
+    fleet_leg(&mut kernel, &mut legacy);
+
     purifier_leg(&mut kernel);
     demux_leg(&mut kernel);
     (kernel, legacy)
+}
+
+/// The F1 leg: a two-machine fleet on each design, the kernel one in
+/// the specialized file-store configuration so the resident service
+/// path (network-scoped dispatch reaching into segment and page
+/// control) and the answering service's admission directives on the
+/// wire contribute their edges. The fleet must itself be clean — a
+/// dirty leg would smuggle noise into the very ledger the gate trusts.
+fn fleet_leg(kernel_edges: &mut EdgeSet, legacy_edges: &mut EdgeSet) {
+    let mut fspec = FleetSpec::new(2, 6, BATTERY_SEED);
+    fspec.specialized_store = true;
+    let fk = run_kernel_fleet(&fspec, None);
+    assert!(
+        fk.violations.is_empty(),
+        "G1 fleet leg (kernel): {:?}",
+        fk.violations
+    );
+    assert!(fk.remote_ops > 0, "G1 fleet leg must cross the wire");
+    kernel_edges.merge(&fk.edges);
+
+    let fl = run_legacy_fleet(&FleetSpec::new(2, 6, BATTERY_SEED), None);
+    assert!(
+        fl.violations.is_empty(),
+        "G1 fleet leg (legacy): {:?}",
+        fl.violations
+    );
+    legacy_edges.merge(&fl.edges);
+
+    store_leg(kernel_edges);
+}
+
+/// The specialized store with its pages gone cold: a scratch kernel
+/// writes a served file, sweeps everything to disk (`sync_to_disk`
+/// deactivates every segment), then reads the file back through the
+/// resident network entry — so the reactivation and the page-in it
+/// takes are attributed to the network scope, deterministically
+/// exercising the declared `network -> segment_control` and
+/// `network -> page_control` pairs (which a warm store never shows:
+/// its daemon just wrote the pages).
+fn store_leg(kernel_edges: &mut EdgeSet) {
+    use mx_hw::{EdgeKind, Subsystem, Word};
+    let mut k = scratch_kernel();
+    k.register_account("store", UserId(1), 7, Label::BOTTOM);
+    let pid = k.login_residue("store", 7, Label::BOTTOM).expect("login");
+    let root = k.root_token();
+    let acl = mx_kernel::Acl::owner(UserId(1));
+    let served = k
+        .create_entry(pid, root, "served", acl, Label::BOTTOM, false)
+        .expect("segment");
+    let sa = k.initiate(pid, served).expect("initiate");
+    k.write_word(pid, sa, 0, Word::new(0xF1EE)).expect("write");
+    k.sync_to_disk().expect("sweep");
+    let before = k.machine.clock.edge_snapshot();
+    let w = k.resident_read_word(pid, sa, 0).expect("resident read");
+    assert_eq!(w, Word::new(0xF1EE), "the cold read must return the bytes");
+    let delta = before.delta(k.machine.clock.edge_set());
+    for to in [Subsystem::SegmentControl, Subsystem::PageControl] {
+        assert!(
+            delta.count(EdgeKind::Invoke, Subsystem::Network, to) > 0,
+            "store leg: the cold resident read must fault through {}",
+            to.name()
+        );
+    }
+    kernel_edges.merge(k.machine.clock.edge_set());
 }
 
 /// Boots a scratch kernel, plants the known layering cheat `1 + seed %

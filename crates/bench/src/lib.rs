@@ -10,6 +10,7 @@
 
 pub mod c1;
 pub mod experiments;
+pub mod f1;
 pub mod g1;
 pub mod harness;
 pub mod l1;
@@ -26,6 +27,7 @@ pub use experiments::{
     p3_answering, p4_memory, p5_scheduler, p7_quota, p8_fault_path, s1_mythical_identifiers,
     s2_confinement, s3_relocation, Comparison, MemoryRow, QuotaRow, SchedulerRow,
 };
+pub use f1::f1_fleet_scaling;
 pub use g1::g1_lattice_gate;
 pub use l1::l1_load_scaling;
 pub use m1::m1_parallel_load;

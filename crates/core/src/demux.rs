@@ -18,6 +18,12 @@ use crate::user_process::{KernelEvent, UserProcessManager};
 use crate::vproc::VirtualProcessorManager;
 use std::collections::HashMap;
 
+/// Largest frame an attached stream accepts. Anything longer than the
+/// kernel's wired buffer is refused with a typed error *before* any
+/// parse looks at it — an oversized frame is a caller bug (or an attack
+/// on the buffer), not line noise to be silently dropped.
+pub const MAX_FRAME: usize = 4096;
+
 /// Identifies an attached multiplexed stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(pub u32);
@@ -52,6 +58,20 @@ impl FramingSpec {
         channel_bytes: 1,
         length_offset: Some(1),
         payload_offset: 2,
+    };
+
+    /// A third network — the terminal concentrator the paper
+    /// hypothesizes ("if a third network were to be connected …").
+    /// Its framing is deliberately quirky: the *length* comes first,
+    /// then a flags byte nothing here interprets, then a two-byte
+    /// channel, then the payload. In this design the quirks cost a few
+    /// words of data; in `mx_legacy::network` they cost a whole new
+    /// kernel handler.
+    pub const THIRD_NET: FramingSpec = FramingSpec {
+        channel_offset: 2,
+        channel_bytes: 2,
+        length_offset: Some(0),
+        payload_offset: 4,
     };
 }
 
@@ -121,7 +141,9 @@ impl DemuxManager {
     ///
     /// # Errors
     ///
-    /// [`KernelError::NoSuchChannel`] for an unknown stream.
+    /// [`KernelError::NoSuchChannel`] for an unknown stream or a stream
+    /// attached without a framing spec;
+    /// [`KernelError::FrameTooBig`] when the frame exceeds [`MAX_FRAME`].
     pub fn receive(
         &mut self,
         upm: &mut UserProcessManager,
@@ -129,11 +151,17 @@ impl DemuxManager {
         stream: StreamId,
         frame: &[u8],
     ) -> Result<(), KernelError> {
+        if frame.len() > MAX_FRAME {
+            return Err(KernelError::FrameTooBig {
+                len: frame.len(),
+                max: MAX_FRAME,
+            });
+        }
         let s = self
             .streams
             .get_mut(stream.0 as usize)
             .ok_or(KernelError::NoSuchChannel)?;
-        let spec = s.spec.expect("attached stream has a spec");
+        let spec = s.spec.ok_or(KernelError::NoSuchChannel)?;
         let parsed = Self::parse(&spec, frame);
         match parsed {
             Some((channel, payload)) => {

@@ -73,6 +73,13 @@ pub enum KernelError {
     BadCredentials,
     /// The demultiplexer has no such stream or channel.
     NoSuchChannel,
+    /// A wire frame exceeds the demultiplexer's buffer bound.
+    FrameTooBig {
+        /// Bytes in the offending frame.
+        len: usize,
+        /// The largest frame the stream accepts.
+        max: usize,
+    },
     /// An upward signal is propagating; only the gatekeeper trampoline
     /// should observe and consume this variant.
     Upward(Signal),
@@ -111,6 +118,9 @@ impl core::fmt::Display for KernelError {
             KernelError::AimViolation => write!(f, "AIM flow violation"),
             KernelError::BadCredentials => write!(f, "bad credentials"),
             KernelError::NoSuchChannel => write!(f, "no such stream or channel"),
+            KernelError::FrameTooBig { len, max } => {
+                write!(f, "frame too big ({len} bytes, max {max})")
+            }
             KernelError::Upward(s) => write!(f, "unconsumed upward signal {s:?}"),
             KernelError::UnhandledFault(fault) => write!(f, "unhandled fault: {fault}"),
             KernelError::Disk(e) => write!(f, "disk failure: {e}"),

@@ -1381,6 +1381,46 @@ impl Kernel {
         })
     }
 
+    /// Reads a channel's buffered input from *inside* the kernel — the
+    /// specialized file-store machine's service path, where the network
+    /// daemon is kernel-resident and no gate crossing is paid. The
+    /// general-purpose configuration uses [`Kernel::demux_read`]
+    /// instead; the cycle difference between the two paths is exactly
+    /// what the T3 estimate prices.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchChannel`].
+    pub fn demux_read_resident(
+        &mut self,
+        stream: StreamId,
+        channel: u16,
+    ) -> Result<Vec<u8>, KernelError> {
+        self.scoped(Subsystem::Network, |k| {
+            k.demux.read_channel(stream, channel)
+        })
+    }
+
+    /// Reads one word on behalf of a remote machine, from the resident
+    /// network service (no gate crossing; faults still serviced through
+    /// the ordinary dispatchers, so segment/page activity is attributed
+    /// to the network subsystem as the invoking scope).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::read_word`].
+    pub fn resident_read_word(
+        &mut self,
+        pid: ProcessId,
+        segno: u32,
+        wordno: u32,
+    ) -> Result<Word, KernelError> {
+        self.scoped(Subsystem::Network, |k| {
+            k.user_access(pid, segno, wordno, false, Word::ZERO)
+                .map(|w| w.expect("read value"))
+        })
+    }
+
     // ---- program execution ------------------------------------------------
 
     /// Runs a user program: repeatedly steps the interpreter on the

@@ -281,6 +281,23 @@ pub fn kernel_runtime_lattice() -> RuntimeLattice {
         S::ProcessControl,
         "login creates (and logout destroys) the session's process",
     );
+    l.allow(
+        S::AnsweringService,
+        S::Network,
+        "fleet admission directives travel the inter-machine wire",
+    );
+    l.allow(
+        S::Network,
+        S::SegmentControl,
+        "resident file-store service faults segments in on behalf of \
+         remote machines",
+    );
+    l.allow(
+        S::Network,
+        S::PageControl,
+        "resident file-store service faults pages in on behalf of \
+         remote machines",
+    );
     // Shared-data pairs: the witness tags at the quota-cell, page-table
     // and descriptor-word choke points fire from whichever manager holds
     // the scope. All of them point *down* to the owning manager.

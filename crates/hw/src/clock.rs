@@ -65,6 +65,12 @@ pub struct CostModel {
     /// permille; the paper reports "somewhat more than a factor of two",
     /// so the default is 2200 (×2.2).
     pub pli_expansion_permille: u64,
+    /// Fixed overhead of moving one frame across the inter-machine
+    /// wire (interrupt, buffer handoff) — charged on each machine a
+    /// frame touches, attributed to the network subsystem.
+    pub wire_frame_overhead: u64,
+    /// Per-byte wire transfer cost, charged with the frame overhead.
+    pub wire_byte_transfer: u64,
 }
 
 impl Default for CostModel {
@@ -80,6 +86,8 @@ impl Default for CostModel {
             disk_word_transfer: 4,
             instruction: 1,
             pli_expansion_permille: 2200,
+            wire_frame_overhead: 400,
+            wire_byte_transfer: 6,
         }
     }
 }
@@ -97,6 +105,11 @@ impl CostModel {
     /// Cycles for transferring one full record (page) to or from disk.
     pub fn record_transfer(&self) -> u64 {
         self.disk_latency + self.disk_word_transfer * crate::mem::PAGE_WORDS as u64
+    }
+
+    /// Cycles for moving one `bytes`-long frame across the wire.
+    pub fn wire_frame(&self, bytes: usize) -> u64 {
+        self.wire_frame_overhead + self.wire_byte_transfer * bytes as u64
     }
 }
 
@@ -118,6 +131,7 @@ pub struct Clock {
     process_switches: u64,
     disk_transfers: u64,
     instructions: u64,
+    wire_frames: u64,
     meter: Meter,
 }
 
@@ -265,6 +279,23 @@ impl Clock {
     pub fn charge_instructions(&mut self, cost: &CostModel, n: u64, lang: Language) {
         self.instructions += n;
         self.add(cost.instructions(n, lang));
+    }
+
+    /// Charges one inter-machine wire frame of `bytes` bytes. The cost
+    /// is attributed to the network subsystem under whatever scope is
+    /// currently open, so the caller's context (user domain for bulk
+    /// data, the answering service for admission routing) shows up as
+    /// the invoking edge in the runtime ledger.
+    pub fn charge_wire_frame(&mut self, cost: &CostModel, bytes: usize) {
+        let guard = self.enter(Subsystem::Network);
+        self.wire_frames += 1;
+        self.add(cost.wire_frame(bytes));
+        self.exit(guard);
+    }
+
+    /// Wire frames charged on this clock so far.
+    pub fn wire_frames(&self) -> u64 {
+        self.wire_frames
     }
 
     /// Number of faults taken so far.

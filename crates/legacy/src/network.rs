@@ -22,6 +22,13 @@ use std::collections::HashMap;
 
 const ARPANET_PARSE_INSTR: u64 = 70;
 const FRONTEND_PARSE_INSTR: u64 = 55;
+const THIRDNET_PARSE_INSTR: u64 = 62;
+
+/// Largest frame a kernel handler accepts. Oversized frames are refused
+/// with a typed error before any handler-specific parse runs — they
+/// would overrun the handler's wired buffer, so they are a caller bug,
+/// not line noise.
+pub const MAX_FRAME: usize = 4096;
 
 /// Which wire protocol a handler speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +39,11 @@ pub enum NetworkKind {
     /// Local front-end processor: 1-byte channel, 1-byte length, then
     /// payload.
     FrontEnd,
+    /// The hypothesized third network — a terminal concentrator with a
+    /// quirky frame: 1-byte length *first*, 1-byte flags (ignored),
+    /// 2-byte big-endian channel, then payload. Exactly the growth the
+    /// paper warns about: "yet a third handler be added" to the kernel.
+    ThirdNet,
 }
 
 /// One in-kernel network handler with its private channel buffers.
@@ -74,18 +86,37 @@ impl Supervisor {
         self.networks.len()
     }
 
+    /// (accepted, dropped-as-malformed) frame counts for one handler.
+    ///
+    /// # Errors
+    ///
+    /// [`LegacyError::NoSuchChannel`] for an unknown network id.
+    pub fn network_frame_counts(&self, net: NetworkId) -> Result<(u64, u64), LegacyError> {
+        self.networks
+            .get(net.0)
+            .map(|h| (h.frames_in, h.frames_bad))
+            .ok_or(LegacyError::NoSuchChannel)
+    }
+
     /// Delivers one raw frame from the wire into the kernel handler,
     /// which parses it with its network-specific logic and appends the
     /// payload to the addressed channel's kernel buffer.
     ///
     /// # Errors
     ///
-    /// [`LegacyError::NoSuchChannel`] for an unknown network id.
+    /// [`LegacyError::NoSuchChannel`] for an unknown network id;
+    /// [`LegacyError::FrameTooBig`] when the frame exceeds [`MAX_FRAME`].
     pub fn network_receive(&mut self, net: NetworkId, frame: &[u8]) -> Result<(), LegacyError> {
         self.scoped(Subsystem::Network, |s| s.network_receive_body(net, frame))
     }
 
     fn network_receive_body(&mut self, net: NetworkId, frame: &[u8]) -> Result<(), LegacyError> {
+        if frame.len() > MAX_FRAME {
+            return Err(LegacyError::FrameTooBig {
+                len: frame.len(),
+                max: MAX_FRAME,
+            });
+        }
         let kind = self
             .networks
             .get(net.0)
@@ -112,8 +143,21 @@ impl Supervisor {
                     Some((channel, frame[2..2 + len].to_vec()))
                 }
             }
+            NetworkKind::ThirdNet => {
+                self.charge(THIRDNET_PARSE_INSTR, Language::Pli);
+                if frame.len() < 4 || frame.len() < 4 + frame[0] as usize {
+                    None
+                } else {
+                    let channel = u16::from_be_bytes([frame[2], frame[3]]);
+                    let len = frame[0] as usize;
+                    Some((channel, frame[4..4 + len].to_vec()))
+                }
+            }
         };
-        let handler = &mut self.networks[net.0];
+        let handler = self
+            .networks
+            .get_mut(net.0)
+            .ok_or(LegacyError::NoSuchChannel)?;
         match parsed {
             Some((channel, payload)) => {
                 handler.frames_in += 1;

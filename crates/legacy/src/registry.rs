@@ -199,6 +199,7 @@ pub fn legacy_runtime_lattice() -> RuntimeLattice {
         (S::Linker, "dynamic linking faults"),
         (S::AnsweringService, "login/logout"),
         (S::Salvager, "crash recovery from the bootstrap stack"),
+        (S::Network, "in-kernel network handler entries"),
     ] {
         l.allow(S::UserDomain, to, why);
     }
@@ -206,6 +207,11 @@ pub fn legacy_runtime_lattice() -> RuntimeLattice {
         S::AnsweringService,
         S::ProcessControl,
         "login creates (and logout destroys) the session's process",
+    );
+    l.allow(
+        S::AnsweringService,
+        S::Network,
+        "fleet admission directives travel the inter-machine wire",
     );
     l.allow(
         S::Linker,

@@ -180,6 +180,13 @@ pub enum LegacyError {
     UndefinedSymbol,
     /// A network handler was given a channel it does not know.
     NoSuchChannel,
+    /// A wire frame exceeds the handler's buffer bound.
+    FrameTooBig {
+        /// Bytes in the offending frame.
+        len: usize,
+        /// The largest frame the handler accepts.
+        max: usize,
+    },
     /// An operation needed the segment active but activation failed.
     NotActive,
     /// A disk operation failed past the supervisor's retry budget
@@ -217,6 +224,9 @@ impl core::fmt::Display for LegacyError {
             LegacyError::SegmentTooBig => write!(f, "segment too big"),
             LegacyError::UndefinedSymbol => write!(f, "undefined symbol"),
             LegacyError::NoSuchChannel => write!(f, "no such channel"),
+            LegacyError::FrameTooBig { len, max } => {
+                write!(f, "frame too big ({len} bytes, max {max})")
+            }
             LegacyError::NotActive => write!(f, "segment not active"),
             LegacyError::Disk(e) => write!(f, "disk failure: {e}"),
             LegacyError::SalvageBusy => write!(f, "directory quarantined by online salvage"),

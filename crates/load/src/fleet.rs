@@ -1,0 +1,2447 @@
+//! F1 — multi-machine Multics: a sharded fleet behind one answering
+//! service.
+//!
+//! The paper's closing argument is that a kernel small enough to audit
+//! is also small enough to *replicate*: several machines, each running
+//! the same kernel (or a specialized subset of it), sharing one user
+//! community through an inter-machine wire. This module builds that
+//! fleet deterministically: M simulated machines, each a full
+//! [`Kernel`]/[`Supervisor`] instance, a single front answering service
+//! that routes every login, and a simulated wire carrying framed
+//! messages between machines through the *existing* network entry
+//! points (`demux_receive` on the kernel, `network_receive` on the old
+//! supervisor).
+//!
+//! Determinism contract: the wire delivers frames link-FIFO, and the
+//! cross-link delivery order is a [`ChoicePoint::Wire`] consulted on the
+//! fleet's schedule policy — so the explorer can permute deliveries and
+//! the parity oracle can prove the user-visible stream independent of
+//! them. Under the default FIFO policy a fleet run is byte-identical
+//! across reruns, and its merged label stream is byte-identical to the
+//! single-machine load engine's for the same population.
+//!
+//! Placement: shard directory `s{j}` lives on machine `j % M`, and the
+//! library, the shared segment, and the migration landing zone live on
+//! machine 0 (the *store*). Sessions are homed by a seed-keyed hash so
+//! remote and local traffic both occur at every machine count. Because
+//! the engine executes one logical stream and every quota cell lives on
+//! exactly one machine, the per-cell charge sequences — and therefore
+//! the user-visible labels — are structurally identical to the
+//! single-machine run.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::hist::Histogram;
+use crate::run::{
+    account_name, definitions, drive_until, file_name, klabel, llabel, shared_word, storm, symbol,
+    Action, Driver, EngineState, LoadRun, LoadSpec, ResolveTarget,
+};
+use crate::script::SHARED_PAGES;
+use mx_aim::Label;
+use mx_explore::oracle;
+use mx_hw::meter::{EdgeSet, MeterSnapshot};
+use mx_hw::{DiskSystem, Language, Subsystem, Word, PAGE_WORDS};
+use mx_kernel::demux::{FramingSpec, StreamId};
+use mx_kernel::{Acl, Kernel, KernelConfig, ObjToken, ProcessId, UserId};
+use mx_legacy::network::{NetworkId, NetworkKind};
+use mx_legacy::{
+    AccessRight, Acl as LAcl, LegacyError, ProcessId as LProcessId, Supervisor, SupervisorConfig,
+    UserId as LUserId,
+};
+use mx_sync::{ChoicePoint, FifoPolicy, SchedulePolicy};
+use mx_user::{publish_library, AnsweringService, NameSpace, UserLinker};
+
+// ------------------------------------------------------ wire protocol --
+
+/// Response channel for requests served by machine `t` is `RESP + t`.
+const CH_RESP_BASE: u16 = 100;
+/// Fleet housekeeping gossip (load figures, ack-carrying).
+const CH_GOSSIP: u8 = 250;
+/// Front answering-service admission directives.
+const CH_DIRECTIVE: u8 = 251;
+
+/// Every third served request, the serving machine gossips its load
+/// figure to the rest of the fleet (and the receivers acknowledge),
+/// which is what keeps more than one wire link busy at once — the
+/// delivery-order choice points the explorer permutes.
+const GOSSIP_EVERY: u64 = 3;
+
+/// PL/I instructions the general store's user-domain command layer
+/// spends decoding one remote request before dispatching it.
+const CMD_DECODE_INSTR: u64 = 40;
+/// Machine instructions the specialized file-store machine's resident
+/// dispatch stub spends on the same decision — no command layer, no
+/// gate, just a jump table inside the network subsystem.
+const RESIDENT_DISPATCH_INSTR: u64 = 8;
+
+const OP_LINK: u8 = 1;
+const OP_RESOLVE_LIB: u8 = 2;
+const OP_RESOLVE_SHARED: u8 = 3;
+const OP_READ_SHARED: u8 = 4;
+const OP_RESOLVE_SHARD: u8 = 5;
+const OP_GROW: u8 = 6;
+const OP_READ_OWN: u8 = 7;
+const OP_DELETE_OWN: u8 = 8;
+const OP_MIG_OPEN: u8 = 9;
+const OP_MIG_WRITE: u8 = 10;
+const OP_MIG_COMMIT: u8 = 11;
+
+const ST_OK: u8 = 0;
+const ST_QUOTA: u8 = 1;
+const ST_FULL: u8 = 2;
+const ST_ERR: u8 = 3;
+
+/// Request payload: op, session index, shard, `a`, then `b` — fixed 14
+/// bytes so a mangled frame is detectable by length alone.
+const REQ_LEN: usize = 14;
+/// Response payload: status byte plus a 64-bit value.
+const RESP_LEN: usize = 9;
+
+fn status_name(st: u8) -> &'static str {
+    match st {
+        ST_QUOTA => "quota",
+        ST_FULL => "full",
+        _ => "err",
+    }
+}
+
+/// Label for an RPC whose reply carries a value (`l:`, `r:`).
+fn value_label(prefix: &str, resp: Option<(u8, u64)>) -> String {
+    match resp {
+        Some((ST_OK, v)) => format!("{prefix}:{v}"),
+        Some((st, _)) => format!("{prefix}:{}", status_name(st)),
+        None => format!("{prefix}:lost"),
+    }
+}
+
+/// Label for an RPC whose reply is just an outcome (`n:`, `w:`).
+fn ok_label(prefix: &str, resp: Option<(u8, u64)>) -> String {
+    match resp {
+        Some((ST_OK, _)) => format!("{prefix}:ok"),
+        Some((st, _)) => format!("{prefix}:{}", status_name(st)),
+        None => format!("{prefix}:lost"),
+    }
+}
+
+/// One remote request, before framing.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    op: u8,
+    idx: usize,
+    shard: usize,
+    a: u32,
+    b: u64,
+}
+
+impl Req {
+    fn new(op: u8, idx: usize, shard: usize) -> Self {
+        Self {
+            op,
+            idx,
+            shard,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn arg(mut self, a: u32) -> Self {
+        self.a = a;
+        self
+    }
+
+    fn val(mut self, b: u64) -> Self {
+        self.b = b;
+        self
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = vec![
+            self.op,
+            self.idx as u8,
+            (self.idx >> 8) as u8,
+            self.shard as u8,
+            self.a as u8,
+            (self.a >> 8) as u8,
+        ];
+        p.extend_from_slice(&self.b.to_le_bytes());
+        p
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        Self {
+            op: bytes[0],
+            idx: usize::from(u16::from_le_bytes([bytes[1], bytes[2]])),
+            shard: usize::from(bytes[3]),
+            a: u32::from(u16::from_le_bytes([bytes[4], bytes[5]])),
+            b: u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+// -------------------------------------------------------------- spec --
+
+/// What fleet to run: machine count, population, and configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Machines in the fleet (≥ 1; 1 degenerates to the single-machine
+    /// engine with the wire idle).
+    pub machines: usize,
+    /// Scripted sessions, shared with [`LoadSpec`].
+    pub sessions: usize,
+    /// Seed every script and every home assignment expands from.
+    pub seed: u64,
+    /// Machine 0 runs the specialized file-store configuration: remote
+    /// requests are dispatched by a short resident stub under the
+    /// network subsystem (no user-domain command layer, no gate on the
+    /// read path) — the paper's T3 leg. Kernel design only.
+    pub specialized_store: bool,
+    /// Home no sessions on machine 0, so the store serves files and
+    /// nothing else (requires `machines >= 2`). Used to measure the
+    /// specialized-vs-general store comparison cleanly.
+    pub dedicated_store: bool,
+    /// Give member machines (1..M) small primary packs so file growth
+    /// forces full-pack relocation, and migrate each relocated session
+    /// file to the store over the wire.
+    pub migratory: bool,
+    /// Self-check: silently discard the Nth delivered data frame
+    /// (1-based). The parity/conservation oracles must catch it.
+    pub drop_frame: Option<u64>,
+}
+
+impl FleetSpec {
+    /// An ample-storage fleet, all flags off.
+    pub fn new(machines: usize, sessions: usize, seed: u64) -> Self {
+        Self {
+            machines,
+            sessions,
+            seed,
+            specialized_store: false,
+            dedicated_store: false,
+            migratory: false,
+            drop_frame: None,
+        }
+    }
+
+    /// The single-machine spec this fleet's label stream must match.
+    pub fn base(&self) -> LoadSpec {
+        LoadSpec::new(self.sessions, self.seed)
+    }
+
+    /// Session homes: seed-keyed, decorrelated from the shard
+    /// assignment (`idx % shards`) so every machine count sees both
+    /// local and remote own-file traffic.
+    fn homes(&self) -> Vec<usize> {
+        (0..self.sessions)
+            .map(|idx| home_of(self.seed, idx, self.machines, self.dedicated_store))
+            .collect()
+    }
+}
+
+/// SplitMix64-style finalizer over (seed, idx): uniform, deterministic,
+/// and uncorrelated with `idx % shards`.
+fn home_of(seed: u64, idx: usize, machines: usize, dedicated: bool) -> usize {
+    if machines == 1 {
+        return 0;
+    }
+    let mut z = seed ^ 0xF1EE_7001_D00D_5EED ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if dedicated {
+        1 + (z % (machines as u64 - 1)) as usize
+    } else {
+        (z % machines as u64) as usize
+    }
+}
+
+// -------------------------------------------------------------- wire --
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Data,
+    Directive,
+    Gossip,
+}
+
+struct WireFrame {
+    kind: FrameKind,
+    bytes: Vec<u8>,
+}
+
+/// The inter-machine wire: one FIFO queue per directed link, delivery
+/// order across links a [`ChoicePoint::Wire`] on the fleet policy.
+struct Wire {
+    machines: usize,
+    links: Vec<VecDeque<WireFrame>>,
+    policy: Box<dyn SchedulePolicy>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    data_deliveries: u64,
+    drop_at: Option<u64>,
+}
+
+impl Wire {
+    fn new(machines: usize, policy: Option<Box<dyn SchedulePolicy>>, drop_at: Option<u64>) -> Self {
+        Self {
+            machines,
+            links: (0..machines * machines).map(|_| VecDeque::new()).collect(),
+            policy: policy.unwrap_or_else(|| Box::new(FifoPolicy)),
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+            data_deliveries: 0,
+            drop_at,
+        }
+    }
+
+    /// Front-end framing: channel byte, length byte, payload.
+    fn frame(channel: u8, payload: &[u8]) -> Vec<u8> {
+        let mut b = Vec::with_capacity(2 + payload.len());
+        b.push(channel);
+        b.push(payload.len() as u8);
+        b.extend_from_slice(payload);
+        b
+    }
+
+    fn send(&mut self, src: usize, dst: usize, kind: FrameKind, bytes: Vec<u8>) {
+        self.sent += 1;
+        self.links[src * self.machines + dst].push_back(WireFrame { kind, bytes });
+    }
+
+    /// Next frame off the wire: link chosen by the policy when more than
+    /// one is busy, head-of-line within a link always. Returns the
+    /// destination machine and the frame, skipping a frame the planted
+    /// drop cheat discards.
+    fn pop(&mut self) -> Option<(usize, WireFrame)> {
+        loop {
+            let ids: Vec<u32> = (0..self.links.len())
+                .filter(|&l| !self.links[l].is_empty())
+                .map(|l| l as u32)
+                .collect();
+            let link = match ids.len() {
+                0 => return None,
+                1 => ids[0] as usize,
+                _ => {
+                    let pick = self.policy.choose(ChoicePoint::Wire, &ids);
+                    ids[pick.min(ids.len() - 1)] as usize
+                }
+            };
+            let frame = self.links[link].pop_front().expect("non-empty link");
+            if frame.kind == FrameKind::Data {
+                self.data_deliveries += 1;
+                if self.drop_at == Some(self.data_deliveries) {
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            self.delivered += 1;
+            return Some((link % self.machines, frame));
+        }
+    }
+}
+
+// ------------------------------------------------------------ results --
+
+/// Everything one design's fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// `"kernel"` or `"legacy"`.
+    pub design: &'static str,
+    /// Fleet size.
+    pub machines: usize,
+    /// Load-phase cycles summed over every machine (the fleet's total
+    /// work).
+    pub cycles: u64,
+    /// The busiest machine's load-phase cycles (the fleet's wall clock).
+    pub wall_cycles: u64,
+    /// Setup cycles summed over every machine.
+    pub setup_cycles: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Sessions driven to completion.
+    pub sessions: usize,
+    /// Sessions reaped rather than logged out.
+    pub abandoned: usize,
+    /// Deepest the front admission queue got during the login storm.
+    pub queued_peak: usize,
+    /// The merged user-visible label stream — must be byte-identical to
+    /// the single-machine run's for the same population.
+    pub parity: Vec<String>,
+    /// Per-operation service-time histogram (fleet cycles).
+    pub hist: Histogram,
+    /// Post-storm admissions in release order (the fairness record).
+    pub admitted_order: Vec<usize>,
+    /// Frames offered to the wire.
+    pub frames_sent: u64,
+    /// Frames the wire delivered.
+    pub frames_delivered: u64,
+    /// Frames the planted cheat discarded (0 in honest runs).
+    pub frames_dropped: u64,
+    /// Operations that crossed the wire at least once.
+    pub remote_ops: u64,
+    /// Session files migrated to the store on full-pack relocation.
+    pub migrations: u64,
+    /// Whole-segment relocations across the fleet.
+    pub relocations: u64,
+    /// Load-phase cycles per machine (machine 0 is the store).
+    pub per_machine_cycles: Vec<u64>,
+    /// The store machine's load-phase cycles (the T3 comparand).
+    pub store_cycles: u64,
+    /// The store machine's per-subsystem attribution over the load
+    /// phase.
+    pub store_meter: MeterSnapshot,
+    /// Observed cross-subsystem edges merged over every machine.
+    pub edges: EdgeSet,
+    /// Per-machine oracle batteries, fleet-wide record conservation,
+    /// and orchestrator-level failures. Empty = clean.
+    pub violations: Vec<String>,
+}
+
+impl FleetRun {
+    /// Operations retired per million fleet cycles.
+    pub fn ops_per_mcycle(&self) -> f64 {
+        self.ops as f64 * 1e6 / self.cycles.max(1) as f64
+    }
+
+    /// The fleet-vs-single-machine check: this run's own violations
+    /// plus label, admission-pressure, and admission-order parity
+    /// against the single-machine baseline. Empty = the fleet is
+    /// user-indistinguishable from one machine.
+    pub fn check_against(&self, single: &LoadRun) -> Vec<String> {
+        let mut out = self.violations.clone();
+        if self.parity.len() != single.parity.len() {
+            out.push(format!(
+                "parity: fleet emitted {} labels, single-machine {}",
+                self.parity.len(),
+                single.parity.len()
+            ));
+        }
+        for (i, (f, s)) in self.parity.iter().zip(single.parity.iter()).enumerate() {
+            if f != s {
+                out.push(format!(
+                    "parity: label {i} differs — fleet '{f}', single-machine '{s}'"
+                ));
+                break;
+            }
+        }
+        if self.queued_peak != single.queued_peak {
+            out.push(format!(
+                "admission: fleet queue peaked at {}, single-machine at {}",
+                self.queued_peak, single.queued_peak
+            ));
+        }
+        if let Some(w) = self.admitted_order.windows(2).find(|w| w[0] >= w[1]) {
+            out.push(format!(
+                "admission: queue released u{} before u{} — not first-come-first-served",
+                w[1], w[0]
+            ));
+        }
+        out
+    }
+}
+
+/// Fleet-wide record conservation: every record allocated anywhere in
+/// the fleet is referenced by exactly one file map somewhere in the
+/// fleet. Per-machine conservation is part of each machine's oracle
+/// battery; the fleet-wide sum is what catches a record lost (or
+/// double-materialized) while a pack's contents moved between machines.
+fn disk_totals(disks: &DiskSystem) -> (u64, u64) {
+    let mut allocated = 0u64;
+    let mut referenced = 0u64;
+    for pack in disks.packs() {
+        allocated += pack.allocated_record_nos().len() as u64;
+        for (_, entry) in pack.entries() {
+            referenced += entry.file_map.iter().flatten().count() as u64;
+        }
+    }
+    (allocated, referenced)
+}
+
+fn fleet_conservation(totals: &[(u64, u64)]) -> Vec<String> {
+    let allocated: u64 = totals.iter().map(|t| t.0).sum();
+    let referenced: u64 = totals.iter().map(|t| t.1).sum();
+    if allocated == referenced {
+        Vec::new()
+    } else {
+        vec![format!(
+            "fleet record conservation: {allocated} records allocated across \
+             the fleet but {referenced} referenced"
+        )]
+    }
+}
+
+// ------------------------------------------------------ kernel fleet --
+
+/// A daemon-held handle to a file served on behalf of a remote session.
+struct RFile {
+    parent: ObjToken,
+    name: String,
+    segno: u32,
+}
+
+struct KMachine {
+    k: Kernel,
+    svc: AnsweringService,
+    drv: ProcessId,
+    ns: NameSpace,
+    linker: UserLinker,
+    stream: StreamId,
+    shard_toks: HashMap<usize, ObjToken>,
+    mig_tok: Option<ObjToken>,
+    shared_segno: Option<u32>,
+    files: HashMap<usize, RFile>,
+    served: u64,
+    reloc_seen: u64,
+    setup_cycles: u64,
+    meter_base: MeterSnapshot,
+    edge_base: EdgeSet,
+}
+
+struct KSessionF {
+    home: usize,
+    pid: ProcessId,
+    ns: NameSpace,
+    linker: UserLinker,
+    own_local: Option<(u32, ObjToken)>,
+    own_created: bool,
+    migrated: bool,
+    shared_segno: Option<u32>,
+    pages: Vec<u64>,
+}
+
+struct KernelFleet {
+    spec: FleetSpec,
+    cap: usize,
+    homes: Vec<usize>,
+    ms: Vec<KMachine>,
+    sessions: Vec<Option<KSessionF>>,
+    wire: Wire,
+    front: VecDeque<usize>,
+    live: usize,
+    last_active: usize,
+    remote_ops: u64,
+    migrations: u64,
+    failures: Vec<String>,
+}
+
+fn kstatus(e: &mx_kernel::KernelError) -> u8 {
+    match klabel(e) {
+        "quota" => ST_QUOTA,
+        "full" => ST_FULL,
+        _ => ST_ERR,
+    }
+}
+
+fn setup_kernel_fleet(
+    spec: &FleetSpec,
+    wire_policy: Option<Box<dyn SchedulePolicy>>,
+) -> KernelFleet {
+    let base = spec.base();
+    let homes = spec.homes();
+    let mut ms = Vec::with_capacity(spec.machines);
+    for m in 0..spec.machines {
+        let mut cfg = base.kernel_config();
+        // Room for the resident driver plus every session the front can
+        // concentrate on one machine — admission pressure lives at the
+        // front, never in a member's process table.
+        cfg.max_processes = 32;
+        if spec.migratory && m != 0 {
+            // Small primary packs: growth fills them, forcing full-pack
+            // relocation and then migration to the store.
+            cfg.records_per_pack = 12;
+            cfg.toc_slots_per_pack = 24;
+        }
+        let mut k = Kernel::boot(cfg);
+        if spec.migratory && m != 0 {
+            // The relocation target pack, roomy enough that the member
+            // never runs entirely out while migrations drain it.
+            k.machine.disks.attach(512, 128);
+        }
+        let mut svc = AnsweringService::new();
+        svc.register(&mut k, "drv", UserId(1), "pw", Label::BOTTOM);
+        let drv = svc
+            .login(&mut k, "drv", "pw", Label::BOTTOM)
+            .expect("driver login");
+        let ns = NameSpace::new(&mut k, drv);
+        let linker = UserLinker::new(drv);
+        let root = k.root_token();
+        let acl = Acl::owner(UserId(1));
+
+        let mut shard_toks = HashMap::new();
+        let mut mig_tok = None;
+        let mut shared_segno = None;
+        if m == 0 {
+            let lib_tok = k
+                .create_entry(drv, root, "lib", acl.clone(), Label::BOTTOM, false)
+                .expect("lib");
+            let lib_segno = k.initiate(drv, lib_tok).expect("lib initiate");
+            let defs = definitions();
+            let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            publish_library(&mut k, drv, lib_segno, &def_refs).expect("publish");
+
+            let shared_tok = k
+                .create_entry(drv, root, "shared", acl.clone(), Label::BOTTOM, false)
+                .expect("shared");
+            let sseg = k.initiate(drv, shared_tok).expect("shared initiate");
+            for page in 0..SHARED_PAGES {
+                k.write_word(
+                    drv,
+                    sseg,
+                    page * PAGE_WORDS as u32,
+                    Word::new(shared_word(page)),
+                )
+                .expect("shared page");
+            }
+            shared_segno = Some(sseg);
+
+            // The migration landing zone, capped roomily: it only ever
+            // holds files full packs pushed off member machines.
+            let mt = k
+                .create_entry(drv, root, "mig", acl.clone(), Label::BOTTOM, true)
+                .expect("mig dir");
+            k.set_quota(drv, mt, 2 * base.sessions as u32 + 64)
+                .expect("mig quota");
+            mig_tok = Some(mt);
+        }
+        for j in 0..base.shard_count() {
+            if j % spec.machines == m {
+                let tok = k
+                    .create_entry(
+                        drv,
+                        root,
+                        &format!("s{j}"),
+                        acl.clone(),
+                        Label::BOTTOM,
+                        true,
+                    )
+                    .expect("shard dir");
+                k.set_quota(drv, tok, base.shard_quota_pages())
+                    .expect("quota");
+                shard_toks.insert(j, tok);
+            }
+        }
+        for (idx, &h) in homes.iter().enumerate() {
+            if h == m {
+                svc.register(&mut k, &account_name(idx), UserId(1), "pw", Label::BOTTOM);
+            }
+        }
+        let stream = k.demux_attach(FramingSpec::FRONT_END);
+
+        let setup_cycles = k.machine.clock.now();
+        let meter_base = k.machine.clock.meter_snapshot();
+        let edge_base = k.machine.clock.edge_snapshot();
+        let reloc_seen = k.segm.stats.relocations;
+        ms.push(KMachine {
+            k,
+            svc,
+            drv,
+            ns,
+            linker,
+            stream,
+            shard_toks,
+            mig_tok,
+            shared_segno,
+            files: HashMap::new(),
+            served: 0,
+            reloc_seen,
+            setup_cycles,
+            meter_base,
+            edge_base,
+        });
+    }
+    KernelFleet {
+        spec: *spec,
+        cap: (KernelConfig::default().max_processes - 1) as usize,
+        homes,
+        ms,
+        sessions: (0..spec.sessions).map(|_| None).collect(),
+        wire: Wire::new(spec.machines, wire_policy, spec.drop_frame),
+        front: VecDeque::new(),
+        live: 0,
+        last_active: 0,
+        remote_ops: 0,
+        migrations: 0,
+        failures: Vec::new(),
+    }
+}
+
+impl KernelFleet {
+    /// Drains the wire: every queued frame is delivered (or dropped by
+    /// the planted cheat), requests are serviced as they land, and any
+    /// frames the servicing itself enqueues are delivered too.
+    fn pump(&mut self) {
+        while let Some((dst, frame)) = self.wire.pop() {
+            self.deliver(dst, frame);
+        }
+    }
+
+    fn deliver(&mut self, dst: usize, frame: WireFrame) {
+        match frame.kind {
+            FrameKind::Directive => {
+                // Admission directives are answering-service traffic on
+                // both ends of the wire.
+                let m = &mut self.ms[dst];
+                let cost = m.k.machine.cost;
+                let g = m.k.machine.clock.enter(Subsystem::AnsweringService);
+                m.k.machine
+                    .clock
+                    .charge_wire_frame(&cost, frame.bytes.len());
+                if let Err(e) = m.k.demux_receive(m.stream, &frame.bytes) {
+                    self.failures
+                        .push(format!("machine {dst}: directive receive: {e:?}"));
+                } else {
+                    // The answering service drains its own channel via
+                    // the resident entry — kernel-internal traffic does
+                    // not cross a user gate.
+                    let _ = m.k.demux_read_resident(m.stream, u16::from(CH_DIRECTIVE));
+                }
+                self.ms[dst].k.machine.clock.exit(g);
+            }
+            FrameKind::Gossip => {
+                let ack = {
+                    let m = &mut self.ms[dst];
+                    let cost = m.k.machine.cost;
+                    m.k.machine
+                        .clock
+                        .charge_wire_frame(&cost, frame.bytes.len());
+                    if let Err(e) = m.k.demux_receive(m.stream, &frame.bytes) {
+                        self.failures
+                            .push(format!("machine {dst}: gossip receive: {e:?}"));
+                    } else {
+                        let _ = m.k.demux_read(m.drv, m.stream, u16::from(CH_GOSSIP));
+                    }
+                    // payload: [ack-wanted, sender]
+                    (frame.bytes.get(2) == Some(&1)).then(|| frame.bytes[3] as usize)
+                };
+                if let Some(src) = ack {
+                    let bytes = Wire::frame(CH_GOSSIP, &[0, dst as u8]);
+                    let m = &mut self.ms[dst];
+                    let cost = m.k.machine.cost;
+                    m.k.machine.clock.charge_wire_frame(&cost, bytes.len());
+                    self.wire.send(dst, src, FrameKind::Gossip, bytes);
+                }
+            }
+            FrameKind::Data => {
+                {
+                    let m = &mut self.ms[dst];
+                    let cost = m.k.machine.cost;
+                    m.k.machine
+                        .clock
+                        .charge_wire_frame(&cost, frame.bytes.len());
+                    if let Err(e) = m.k.demux_receive(m.stream, &frame.bytes) {
+                        self.failures
+                            .push(format!("machine {dst}: frame receive: {e:?}"));
+                        return;
+                    }
+                }
+                let ch = u16::from(frame.bytes[0]);
+                if (ch as usize) < self.spec.machines {
+                    // A request: the channel is the requester's id.
+                    self.service_request(dst, ch);
+                }
+                // Responses stay buffered for the requester's read.
+            }
+        }
+    }
+
+    /// Serves one buffered request on machine `mi`: read it out of the
+    /// kernel (through the gate on a general machine, via the resident
+    /// entry on the specialized store), decode, execute, gossip, reply.
+    fn service_request(&mut self, mi: usize, ch: u16) {
+        let specialized = self.spec.specialized_store && mi == 0;
+        let bytes = {
+            let m = &mut self.ms[mi];
+            let read = if specialized {
+                m.k.demux_read_resident(m.stream, ch)
+            } else {
+                m.k.demux_read(m.drv, m.stream, ch)
+            };
+            match read {
+                Ok(b) => b,
+                Err(e) => {
+                    self.failures
+                        .push(format!("machine {mi}: request read: {e:?}"));
+                    return;
+                }
+            }
+        };
+        if bytes.len() != REQ_LEN {
+            self.failures.push(format!(
+                "machine {mi}: mangled request ({} bytes)",
+                bytes.len()
+            ));
+            return;
+        }
+        {
+            let m = &mut self.ms[mi];
+            let cost = m.k.machine.cost;
+            if specialized {
+                let g = m.k.machine.clock.enter(Subsystem::Network);
+                m.k.machine.clock.charge_instructions(
+                    &cost,
+                    RESIDENT_DISPATCH_INSTR,
+                    Language::Assembly,
+                );
+                m.k.machine.clock.exit(g);
+            } else {
+                m.k.machine
+                    .clock
+                    .charge_instructions(&cost, CMD_DECODE_INSTR, Language::Pli);
+            }
+        }
+        let req = Req::decode(&bytes);
+        let requester = ch as usize;
+
+        let (status, value) = self.execute_op(mi, req);
+
+        // Gossip *before* the response: while the reply is still in
+        // flight, the acknowledgment travels the opposite way — two
+        // busy links, a real delivery choice point.
+        self.ms[mi].served += 1;
+        if self.ms[mi].served.is_multiple_of(GOSSIP_EVERY) {
+            for o in 0..self.spec.machines {
+                if o != mi {
+                    let bytes = Wire::frame(CH_GOSSIP, &[1, mi as u8]);
+                    let m = &mut self.ms[mi];
+                    let cost = m.k.machine.cost;
+                    m.k.machine.clock.charge_wire_frame(&cost, bytes.len());
+                    self.wire.send(mi, o, FrameKind::Gossip, bytes);
+                }
+            }
+        }
+
+        let mut payload = vec![status];
+        payload.extend_from_slice(&value.to_le_bytes());
+        let bytes = Wire::frame((CH_RESP_BASE + mi as u16) as u8, &payload);
+        let m = &mut self.ms[mi];
+        let cost = m.k.machine.cost;
+        m.k.machine.clock.charge_wire_frame(&cost, bytes.len());
+        self.wire.send(mi, requester, FrameKind::Data, bytes);
+    }
+
+    /// One remote operation, executed by machine `mi`'s resident driver.
+    /// For `OP_GROW`, the value is 1 when the file exists afterwards —
+    /// the requester mirrors that into its `own_created`, which is what
+    /// keeps fleet deletion behavior byte-identical to one machine.
+    fn execute_op(&mut self, mi: usize, req: Req) -> (u8, u64) {
+        let Req {
+            op,
+            idx,
+            shard,
+            a,
+            b,
+        } = req;
+        let specialized = self.spec.specialized_store && mi == 0;
+        let m = &mut self.ms[mi];
+        let k = &mut m.k;
+        let acl = Acl::owner(UserId(1));
+        match op {
+            OP_LINK => match m.linker.link(k, &mut m.ns, ">lib", &symbol(a as usize)) {
+                Ok(l) => (ST_OK, u64::from(l.offset)),
+                Err(e) => (kstatus(&e), 0),
+            },
+            OP_RESOLVE_LIB => match m.ns.resolve(k, ">lib") {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (kstatus(&e), 0),
+            },
+            OP_RESOLVE_SHARED => match m.ns.resolve(k, ">shared") {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (kstatus(&e), 0),
+            },
+            OP_RESOLVE_SHARD => match m.ns.resolve(k, &format!(">s{shard}")) {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (kstatus(&e), 0),
+            },
+            OP_READ_SHARED => {
+                let Some(seg) = m.shared_segno else {
+                    return (ST_ERR, 0);
+                };
+                let read = if specialized {
+                    k.resident_read_word(m.drv, seg, a * PAGE_WORDS as u32)
+                } else {
+                    k.read_word(m.drv, seg, a * PAGE_WORDS as u32)
+                };
+                match read {
+                    Ok(w) => (ST_OK, w.raw()),
+                    Err(e) => (kstatus(&e), 0),
+                }
+            }
+            OP_GROW => {
+                if !m.files.contains_key(&idx) {
+                    let Some(&ptok) = m.shard_toks.get(&shard) else {
+                        return (ST_ERR, 0);
+                    };
+                    let created = k
+                        .create_entry(m.drv, ptok, &file_name(idx), acl, Label::BOTTOM, false)
+                        .and_then(|tok| k.initiate(m.drv, tok));
+                    match created {
+                        Ok(segno) => {
+                            m.files.insert(
+                                idx,
+                                RFile {
+                                    parent: ptok,
+                                    name: file_name(idx),
+                                    segno,
+                                },
+                            );
+                        }
+                        Err(e) => return (kstatus(&e), 0),
+                    }
+                }
+                let segno = m.files[&idx].segno;
+                match k.write_word(m.drv, segno, a * PAGE_WORDS as u32, Word::new(b)) {
+                    Ok(()) => (ST_OK, 1),
+                    Err(e) => (kstatus(&e), 1),
+                }
+            }
+            OP_READ_OWN => {
+                let Some(segno) = m.files.get(&idx).map(|f| f.segno) else {
+                    return (ST_ERR, 0);
+                };
+                let read = if specialized {
+                    k.resident_read_word(m.drv, segno, a * PAGE_WORDS as u32)
+                } else {
+                    k.read_word(m.drv, segno, a * PAGE_WORDS as u32)
+                };
+                match read {
+                    Ok(w) => (ST_OK, w.raw()),
+                    Err(e) => (kstatus(&e), 0),
+                }
+            }
+            OP_DELETE_OWN => {
+                let Some(f) = m.files.remove(&idx) else {
+                    return (ST_ERR, 0);
+                };
+                match k.delete_entry(m.drv, f.parent, &f.name) {
+                    Ok(()) => (ST_OK, 0),
+                    Err(e) => (kstatus(&e), 0),
+                }
+            }
+            OP_MIG_OPEN => {
+                if m.files.contains_key(&idx) {
+                    return (ST_OK, 0);
+                }
+                let Some(mt) = m.mig_tok else {
+                    return (ST_ERR, 0);
+                };
+                let created = k
+                    .create_entry(m.drv, mt, &file_name(idx), acl, Label::BOTTOM, false)
+                    .and_then(|tok| k.initiate(m.drv, tok));
+                match created {
+                    Ok(segno) => {
+                        m.files.insert(
+                            idx,
+                            RFile {
+                                parent: mt,
+                                name: file_name(idx),
+                                segno,
+                            },
+                        );
+                        (ST_OK, 0)
+                    }
+                    Err(e) => (kstatus(&e), 0),
+                }
+            }
+            OP_MIG_WRITE => {
+                let Some(segno) = m.files.get(&idx).map(|f| f.segno) else {
+                    return (ST_ERR, 0);
+                };
+                match k.write_word(m.drv, segno, a * PAGE_WORDS as u32, Word::new(b)) {
+                    Ok(()) => (ST_OK, 0),
+                    Err(e) => (kstatus(&e), 0),
+                }
+            }
+            OP_MIG_COMMIT => match k.sync_to_disk() {
+                Ok(()) => (ST_OK, 0),
+                Err(e) => (kstatus(&e), 0),
+            },
+            _ => (ST_ERR, 0),
+        }
+    }
+
+    /// One synchronous RPC: frame the request, put it on the wire,
+    /// drain the wire (which services it at the far end), then read the
+    /// reply back through this machine's demultiplexer. `None` = the
+    /// reply never arrived (a frame was lost).
+    fn rpc(&mut self, src: usize, dst: usize, pid: ProcessId, req: Req) -> Option<(u8, u64)> {
+        let bytes = Wire::frame(src as u8, &req.encode());
+        {
+            let m = &mut self.ms[src];
+            let cost = m.k.machine.cost;
+            m.k.machine.clock.charge_wire_frame(&cost, bytes.len());
+        }
+        self.wire.send(src, dst, FrameKind::Data, bytes);
+        self.remote_ops += 1;
+        self.pump();
+        let m = &mut self.ms[src];
+        match m.k.demux_read(pid, m.stream, CH_RESP_BASE + dst as u16) {
+            Ok(bytes) if bytes.len() == RESP_LEN => Some((
+                bytes[0],
+                u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Remote-or-colocated daemon operation: a session whose file
+    /// migrated to its own home machine skips the wire.
+    fn daemon_call(
+        &mut self,
+        target: usize,
+        home: usize,
+        pid: ProcessId,
+        req: Req,
+    ) -> Option<(u8, u64)> {
+        if target == home {
+            Some(self.execute_op(target, req))
+        } else {
+            self.rpc(home, target, pid, req)
+        }
+    }
+
+    fn admit_one(&mut self, idx: usize) {
+        let home = self.homes[idx];
+        if home != 0 {
+            // The front answering service directs the home machine to
+            // accept the session — one directive frame, charged to the
+            // answering service on both ends of the wire.
+            let bytes = Wire::frame(CH_DIRECTIVE, &[idx as u8, (idx >> 8) as u8]);
+            {
+                let m = &mut self.ms[0];
+                let cost = m.k.machine.cost;
+                let g = m.k.machine.clock.enter(Subsystem::AnsweringService);
+                m.k.machine.clock.charge_wire_frame(&cost, bytes.len());
+                m.k.machine.clock.exit(g);
+            }
+            self.wire.send(0, home, FrameKind::Directive, bytes);
+            self.pump();
+        }
+        let m = &mut self.ms[home];
+        match m
+            .svc
+            .login(&mut m.k, &account_name(idx), "pw", Label::BOTTOM)
+        {
+            Ok(pid) => {
+                let ns = NameSpace::new(&mut m.k, pid);
+                self.sessions[idx] = Some(KSessionF {
+                    home,
+                    pid,
+                    ns,
+                    linker: UserLinker::new(pid),
+                    own_local: None,
+                    own_created: false,
+                    migrated: false,
+                    shared_segno: None,
+                    pages: Vec::new(),
+                });
+                self.live += 1;
+            }
+            Err(e) => self
+                .failures
+                .push(format!("login u{idx} refused at machine {home}: {e:?}")),
+        }
+    }
+
+    /// Full-pack relocation watch: when the grow that just ran bumped
+    /// the owner machine's relocation counter, the touched session file
+    /// is migrated to the store — read back page by page at the source,
+    /// shipped over the wire, then deleted locally.
+    fn maybe_migrate(&mut self, idx: usize, shard: usize, owner: usize) {
+        let reloc = self.ms[owner].k.segm.stats.relocations;
+        if reloc <= self.ms[owner].reloc_seen {
+            return;
+        }
+        self.ms[owner].reloc_seen = reloc;
+        let (home, migrated, own_created, pages_len, pid) = {
+            let Some(s) = self.sessions[idx].as_ref() else {
+                return;
+            };
+            (s.home, s.migrated, s.own_created, s.pages.len(), s.pid)
+        };
+        if migrated || !own_created || pages_len == 0 {
+            return;
+        }
+        let mut vals = Vec::with_capacity(pages_len);
+        for page in 0..pages_len as u32 {
+            let read = if owner == home {
+                let Some((segno, _)) = self.sessions[idx].as_ref().and_then(|s| s.own_local) else {
+                    return;
+                };
+                self.ms[owner]
+                    .k
+                    .read_word(pid, segno, page * PAGE_WORDS as u32)
+            } else {
+                let Some(segno) = self.ms[owner].files.get(&idx).map(|f| f.segno) else {
+                    return;
+                };
+                let drv = self.ms[owner].drv;
+                self.ms[owner]
+                    .k
+                    .read_word(drv, segno, page * PAGE_WORDS as u32)
+            };
+            match read {
+                Ok(w) => vals.push(w.raw()),
+                Err(e) => {
+                    self.failures
+                        .push(format!("migration read u{idx} page {page}: {e:?}"));
+                    return;
+                }
+            }
+        }
+        let drv = self.ms[owner].drv;
+        match self.rpc(owner, 0, drv, Req::new(OP_MIG_OPEN, idx, shard)) {
+            Some((ST_OK, _)) => {}
+            r => {
+                self.failures.push(format!("migration open u{idx}: {r:?}"));
+                return;
+            }
+        }
+        for (page, &val) in vals.iter().enumerate() {
+            match self.rpc(
+                owner,
+                0,
+                drv,
+                Req::new(OP_MIG_WRITE, idx, shard).arg(page as u32).val(val),
+            ) {
+                Some((ST_OK, _)) => {}
+                r => {
+                    self.failures
+                        .push(format!("migration write u{idx} page {page}: {r:?}"));
+                    return;
+                }
+            }
+        }
+        match self.rpc(owner, 0, drv, Req::new(OP_MIG_COMMIT, idx, shard)) {
+            Some((ST_OK, _)) => {}
+            r => {
+                self.failures
+                    .push(format!("migration commit u{idx}: {r:?}"));
+                return;
+            }
+        }
+        // Free the member machine's copy.
+        if owner == home {
+            let own = self.sessions[idx].as_mut().and_then(|s| s.own_local.take());
+            if own.is_some() {
+                let ptok = self.ms[owner].shard_toks[&shard];
+                if let Err(e) = self.ms[owner].k.delete_entry(pid, ptok, &file_name(idx)) {
+                    self.failures
+                        .push(format!("migration source delete u{idx}: {e:?}"));
+                }
+            }
+        } else if let Some(f) = self.ms[owner].files.remove(&idx) {
+            if let Err(e) = self.ms[owner].k.delete_entry(drv, f.parent, &f.name) {
+                self.failures
+                    .push(format!("migration source delete u{idx}: {e:?}"));
+            }
+        }
+        if let Some(s) = self.sessions[idx].as_mut() {
+            s.migrated = true;
+        }
+        self.migrations += 1;
+    }
+}
+
+impl Driver for KernelFleet {
+    fn now(&self) -> u64 {
+        self.ms.iter().map(|m| m.k.machine.clock.now()).sum()
+    }
+
+    fn queued(&self) -> usize {
+        self.front.len()
+    }
+
+    fn request(&mut self, idx: usize) -> bool {
+        if self.live < self.cap {
+            self.admit_one(idx);
+            true
+        } else {
+            self.front.push_back(idx);
+            false
+        }
+    }
+
+    fn admit(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        while self.live < self.cap {
+            let Some(idx) = self.front.pop_front() else {
+                break;
+            };
+            self.admit_one(idx);
+            out.push(idx);
+        }
+        out
+    }
+
+    fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let (home, migrated) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.home, s.migrated)
+        };
+        self.last_active = home;
+        let machines = self.spec.machines;
+        match *action {
+            Action::Link(sym) => {
+                if home == 0 {
+                    let m = &mut self.ms[0];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match s.linker.link(&mut m.k, &mut s.ns, ">lib", &symbol(sym)) {
+                        Ok(l) => format!("l:{}", l.offset),
+                        Err(e) => format!("l:{}", klabel(&e)),
+                    }
+                } else {
+                    let pid = self.sessions[idx].as_ref().expect("live session").pid;
+                    let resp =
+                        self.rpc(home, 0, pid, Req::new(OP_LINK, idx, shard).arg(sym as u32));
+                    value_label("l", resp)
+                }
+            }
+            Action::Resolve(target) => {
+                let (dst, op) = match target {
+                    ResolveTarget::Lib => (0, OP_RESOLVE_LIB),
+                    ResolveTarget::Shared => (0, OP_RESOLVE_SHARED),
+                    ResolveTarget::Shard(j) => (j % machines, OP_RESOLVE_SHARD),
+                };
+                if dst == home {
+                    let path = match target {
+                        ResolveTarget::Lib => ">lib".to_string(),
+                        ResolveTarget::Shared => ">shared".to_string(),
+                        ResolveTarget::Shard(j) => format!(">s{j}"),
+                    };
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match s.ns.resolve(&mut m.k, &path) {
+                        Ok(_) => "n:ok".to_string(),
+                        Err(e) => format!("n:{}", klabel(&e)),
+                    }
+                } else {
+                    let pid = self.sessions[idx].as_ref().expect("live session").pid;
+                    let resp = self.rpc(home, dst, pid, Req::new(op, idx, shard));
+                    ok_label("n", resp)
+                }
+            }
+            Action::Grow { page, val } => {
+                let owner = if migrated { 0 } else { shard % machines };
+                let label = if owner == home && !migrated {
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    let mut out = None;
+                    if s.own_local.is_none() {
+                        match m.shard_toks.get(&shard) {
+                            Some(&ptok) => {
+                                let created =
+                                    m.k.create_entry(
+                                        s.pid,
+                                        ptok,
+                                        &file_name(idx),
+                                        Acl::owner(UserId(1)),
+                                        Label::BOTTOM,
+                                        false,
+                                    )
+                                    .and_then(|tok| {
+                                        m.k.initiate(s.pid, tok).map(|segno| (segno, tok))
+                                    });
+                                match created {
+                                    Ok(pair) => s.own_local = Some(pair),
+                                    Err(e) => out = Some(format!("w:{}", klabel(&e))),
+                                }
+                            }
+                            None => out = Some("w:err".to_string()),
+                        }
+                    }
+                    match out {
+                        Some(label) => label,
+                        None => {
+                            let (segno, _) = s.own_local.expect("just created");
+                            s.own_created = true;
+                            match m.k.write_word(
+                                s.pid,
+                                segno,
+                                page * PAGE_WORDS as u32,
+                                Word::new(val),
+                            ) {
+                                Ok(()) => "w:ok".to_string(),
+                                Err(e) => format!("w:{}", klabel(&e)),
+                            }
+                        }
+                    }
+                } else {
+                    let pid = self.sessions[idx].as_ref().expect("live session").pid;
+                    let resp = self.daemon_call(
+                        owner,
+                        home,
+                        pid,
+                        Req::new(OP_GROW, idx, shard).arg(page).val(val),
+                    );
+                    if let Some((_, exists)) = resp {
+                        if exists == 1 {
+                            self.sessions[idx]
+                                .as_mut()
+                                .expect("live session")
+                                .own_created = true;
+                        }
+                    }
+                    ok_label("w", resp)
+                };
+                if label == "w:ok" {
+                    self.sessions[idx]
+                        .as_mut()
+                        .expect("live session")
+                        .pages
+                        .push(val);
+                }
+                if self.spec.migratory && owner != 0 {
+                    self.maybe_migrate(idx, shard, owner);
+                }
+                label
+            }
+            Action::ReadOwn { page } => {
+                let owner = if migrated { 0 } else { shard % machines };
+                if owner == home && !migrated {
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match s.own_local {
+                        Some((segno, _)) => {
+                            match m.k.read_word(s.pid, segno, page * PAGE_WORDS as u32) {
+                                Ok(w) => format!("r:{}", w.raw()),
+                                Err(e) => format!("r:{}", klabel(&e)),
+                            }
+                        }
+                        None => "r:err".to_string(),
+                    }
+                } else {
+                    let pid = self.sessions[idx].as_ref().expect("live session").pid;
+                    let resp = self.daemon_call(
+                        owner,
+                        home,
+                        pid,
+                        Req::new(OP_READ_OWN, idx, shard).arg(page),
+                    );
+                    value_label("r", resp)
+                }
+            }
+            Action::ReadShared { page } => {
+                if home == 0 {
+                    let m = &mut self.ms[0];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    if s.shared_segno.is_none() {
+                        match s.ns.initiate(&mut m.k, ">shared") {
+                            Ok(segno) => s.shared_segno = Some(segno),
+                            Err(e) => return format!("r:{}", klabel(&e)),
+                        }
+                    }
+                    let segno = s.shared_segno.expect("just initiated");
+                    match m.k.read_word(s.pid, segno, page * PAGE_WORDS as u32) {
+                        Ok(w) => format!("r:{}", w.raw()),
+                        Err(e) => format!("r:{}", klabel(&e)),
+                    }
+                } else {
+                    let pid = self.sessions[idx].as_ref().expect("live session").pid;
+                    let resp =
+                        self.rpc(home, 0, pid, Req::new(OP_READ_SHARED, idx, shard).arg(page));
+                    value_label("r", resp)
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let (home, pid, migrated, own_created, own_local) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.home, s.pid, s.migrated, s.own_created, s.own_local)
+        };
+        self.last_active = home;
+        let mut label = if abandon { "reap" } else { "out" }.to_string();
+        if !abandon && own_created {
+            let owner = if migrated {
+                0
+            } else {
+                shard % self.spec.machines
+            };
+            if owner == home && !migrated {
+                if own_local.is_some() {
+                    let ptok = self.ms[home].shard_toks[&shard];
+                    match self.ms[home].k.delete_entry(pid, ptok, &file_name(idx)) {
+                        Ok(()) => {
+                            if let Some(s) = self.sessions[idx].as_mut() {
+                                s.own_local = None;
+                            }
+                        }
+                        Err(_) => label = "out:err".to_string(),
+                    }
+                }
+            } else {
+                match self.daemon_call(owner, home, pid, Req::new(OP_DELETE_OWN, idx, shard)) {
+                    Some((ST_OK, _)) => {}
+                    Some(_) => label = "out:err".to_string(),
+                    None => label = "out:lost".to_string(),
+                }
+            }
+        }
+        let m = &mut self.ms[home];
+        match m.svc.logout(&mut m.k, pid) {
+            Ok(_) => {}
+            Err(_) => label = format!("{label}:err"),
+        }
+        self.sessions[idx] = None;
+        self.live -= 1;
+        label
+    }
+
+    fn schedule(&mut self) {
+        self.ms[self.last_active].k.schedule();
+    }
+
+    fn housekeep(&mut self) {
+        for mi in 0..self.ms.len() {
+            if let Err(e) = self.ms[mi].k.sync_to_disk() {
+                self.failures
+                    .push(format!("machine {mi}: housekeeping sweep: {e:?}"));
+            }
+        }
+    }
+}
+
+/// Runs the fleet spec on the kernel design. The optional policy
+/// governs only the wire's delivery order ([`ChoicePoint::Wire`]); each
+/// machine's internal schedule stays at the baseline FIFO, exactly as
+/// in the single-machine engine.
+pub fn run_kernel_fleet(
+    spec: &FleetSpec,
+    wire_policy: Option<Box<dyn SchedulePolicy>>,
+) -> FleetRun {
+    assert!(spec.machines >= 1, "a fleet needs at least one machine");
+    assert!(
+        !spec.dedicated_store || spec.machines >= 2,
+        "a dedicated store needs at least one member machine"
+    );
+    let base = spec.base();
+    let scripts = base.scripts();
+    let mut fleet = setup_kernel_fleet(spec, wire_policy);
+    let mut st = EngineState::new();
+    storm(&mut fleet, &scripts, &mut st);
+    drive_until(&mut fleet, &scripts, &mut st, None);
+    fleet.pump();
+
+    let per_machine_cycles: Vec<u64> = fleet
+        .ms
+        .iter()
+        .map(|m| m.k.machine.clock.now() - m.setup_cycles)
+        .collect();
+    let mut edges = EdgeSet::new();
+    let mut violations = Vec::new();
+    let mut totals = Vec::new();
+    let mut relocations = 0;
+    for (i, m) in fleet.ms.iter().enumerate() {
+        edges.merge(&m.edge_base.delta(m.k.machine.clock.edge_set()));
+        for v in oracle::check_kernel(&m.k) {
+            violations.push(format!("machine {i}: {v}"));
+        }
+        totals.push(disk_totals(&m.k.machine.disks));
+        relocations += m.k.segm.stats.relocations;
+    }
+    violations.extend(fleet_conservation(&totals));
+    violations.extend(fleet.failures.iter().cloned());
+    let store = &fleet.ms[0];
+    FleetRun {
+        design: "kernel",
+        machines: spec.machines,
+        cycles: per_machine_cycles.iter().sum(),
+        wall_cycles: per_machine_cycles.iter().copied().max().unwrap_or(0),
+        setup_cycles: fleet.ms.iter().map(|m| m.setup_cycles).sum(),
+        ops: st.ops,
+        sessions: spec.sessions,
+        abandoned: st.abandoned,
+        queued_peak: st.queued_peak,
+        parity: st.parity,
+        hist: st.hist,
+        admitted_order: st.admitted_order,
+        frames_sent: fleet.wire.sent,
+        frames_delivered: fleet.wire.delivered,
+        frames_dropped: fleet.wire.dropped,
+        remote_ops: fleet.remote_ops,
+        migrations: fleet.migrations,
+        relocations,
+        store_cycles: per_machine_cycles[0],
+        store_meter: store
+            .meter_base
+            .delta(&store.k.machine.clock.meter_snapshot()),
+        per_machine_cycles,
+        edges,
+        violations,
+    }
+}
+
+// ------------------------------------------------------ legacy fleet --
+
+/// A daemon-held handle to a file served on behalf of a remote session,
+/// old-supervisor flavor: pathnames, not tokens.
+struct LFile {
+    path: String,
+    segno: u32,
+}
+
+struct LMachine {
+    sup: Supervisor,
+    drv: LProcessId,
+    net: NetworkId,
+    shared_segno: Option<u32>,
+    files: HashMap<usize, LFile>,
+    served: u64,
+    reloc_seen: u64,
+    setup_cycles: u64,
+    meter_base: MeterSnapshot,
+    edge_base: EdgeSet,
+}
+
+struct LSessionF {
+    home: usize,
+    pid: LProcessId,
+    own_segno: Option<u32>,
+    own_created: bool,
+    migrated: bool,
+    shared_segno: Option<u32>,
+    pages: Vec<u64>,
+}
+
+struct LegacyFleet {
+    spec: FleetSpec,
+    cap: usize,
+    homes: Vec<usize>,
+    ms: Vec<LMachine>,
+    sessions: Vec<Option<LSessionF>>,
+    wire: Wire,
+    front: VecDeque<usize>,
+    live: usize,
+    last_active: usize,
+    remote_ops: u64,
+    migrations: u64,
+    failures: Vec<String>,
+}
+
+fn lstatus(e: &LegacyError) -> u8 {
+    match llabel(e) {
+        "quota" => ST_QUOTA,
+        "full" => ST_FULL,
+        _ => ST_ERR,
+    }
+}
+
+fn setup_legacy_fleet(
+    spec: &FleetSpec,
+    wire_policy: Option<Box<dyn SchedulePolicy>>,
+) -> LegacyFleet {
+    let base = spec.base();
+    let homes = spec.homes();
+    let mut ms = Vec::with_capacity(spec.machines);
+    for m in 0..spec.machines {
+        let mut cfg = base.supervisor_config();
+        cfg.max_processes = 32;
+        if spec.migratory && m != 0 {
+            cfg.records_per_pack = 12;
+            cfg.toc_slots_per_pack = 24;
+        }
+        let mut sup = Supervisor::boot(cfg);
+        if spec.migratory && m != 0 {
+            sup.machine.disks.attach(512, 128);
+        }
+        sup.register_user("drv", LUserId(1), "pw", Label::BOTTOM);
+        let drv = sup.login("drv", "pw", Label::BOTTOM).expect("driver login");
+        let root = sup.root();
+        let acl = LAcl::owner(LUserId(1));
+
+        let mut shared_segno = None;
+        if m == 0 {
+            let lib_uid = sup
+                .create_segment_in(root, "lib", acl.clone(), Label::BOTTOM)
+                .expect("lib");
+            let defs = definitions();
+            let def_refs: Vec<(&str, u32)> = defs.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+            sup.publish_definitions(lib_uid, &def_refs);
+            let lib_segno = sup.initiate(drv, "lib").expect("lib initiate");
+            sup.user_write(drv, lib_segno, 0, Word::new(def_refs.len() as u64))
+                .expect("lib page");
+
+            sup.create_segment_in(root, "shared", acl.clone(), Label::BOTTOM)
+                .expect("shared");
+            let sseg = sup.initiate(drv, "shared").expect("shared initiate");
+            for page in 0..SHARED_PAGES {
+                sup.user_write(
+                    drv,
+                    sseg,
+                    page * PAGE_WORDS as u32,
+                    Word::new(shared_word(page)),
+                )
+                .expect("shared page");
+            }
+            shared_segno = Some(sseg);
+
+            sup.create_directory_in(root, "mig", acl.clone(), Label::BOTTOM)
+                .expect("mig dir");
+            sup.set_quota_directory(drv, "mig", 2 * base.sessions as u32 + 64)
+                .expect("mig quota");
+        }
+        for j in 0..base.shard_count() {
+            if j % spec.machines == m {
+                sup.create_directory_in(root, &format!("s{j}"), acl.clone(), Label::BOTTOM)
+                    .expect("shard dir");
+                sup.set_quota_directory(drv, &format!("s{j}"), base.shard_quota_pages())
+                    .expect("quota");
+            }
+        }
+        for (idx, &h) in homes.iter().enumerate() {
+            if h == m {
+                sup.register_user(&account_name(idx), LUserId(1), "pw", Label::BOTTOM);
+            }
+        }
+        let net = sup.attach_network(NetworkKind::FrontEnd);
+
+        let setup_cycles = sup.machine.clock.now();
+        let meter_base = sup.machine.clock.meter_snapshot();
+        let edge_base = sup.machine.clock.edge_snapshot();
+        let reloc_seen = sup.stats.relocations;
+        ms.push(LMachine {
+            sup,
+            drv,
+            net,
+            shared_segno,
+            files: HashMap::new(),
+            served: 0,
+            reloc_seen,
+            setup_cycles,
+            meter_base,
+            edge_base,
+        });
+    }
+    LegacyFleet {
+        spec: *spec,
+        cap: (SupervisorConfig::default().max_processes - 1) as usize,
+        homes,
+        ms,
+        sessions: (0..spec.sessions).map(|_| None).collect(),
+        wire: Wire::new(spec.machines, wire_policy, spec.drop_frame),
+        front: VecDeque::new(),
+        live: 0,
+        last_active: 0,
+        remote_ops: 0,
+        migrations: 0,
+        failures: Vec::new(),
+    }
+}
+
+impl LegacyFleet {
+    /// See [`KernelFleet::pump`].
+    fn pump(&mut self) {
+        while let Some((dst, frame)) = self.wire.pop() {
+            self.deliver(dst, frame);
+        }
+    }
+
+    fn deliver(&mut self, dst: usize, frame: WireFrame) {
+        match frame.kind {
+            FrameKind::Directive => {
+                let m = &mut self.ms[dst];
+                let m_net = m.net;
+                let cost = m.sup.machine.cost;
+                let g = m.sup.machine.clock.enter(Subsystem::AnsweringService);
+                m.sup
+                    .machine
+                    .clock
+                    .charge_wire_frame(&cost, frame.bytes.len());
+                if let Err(e) = m.sup.network_receive(m.net, &frame.bytes) {
+                    self.failures
+                        .push(format!("machine {dst}: directive receive: {e:?}"));
+                }
+                self.ms[dst].sup.machine.clock.exit(g);
+                // The old design has no resident read: even its own
+                // answering service drains the channel through the
+                // ordinary user gate, from the ambient domain.
+                let _ = self.ms[dst]
+                    .sup
+                    .network_read_channel(m_net, u16::from(CH_DIRECTIVE));
+            }
+            FrameKind::Gossip => {
+                let ack = {
+                    let m = &mut self.ms[dst];
+                    let cost = m.sup.machine.cost;
+                    m.sup
+                        .machine
+                        .clock
+                        .charge_wire_frame(&cost, frame.bytes.len());
+                    if let Err(e) = m.sup.network_receive(m.net, &frame.bytes) {
+                        self.failures
+                            .push(format!("machine {dst}: gossip receive: {e:?}"));
+                    } else {
+                        let _ = m.sup.network_read_channel(m.net, u16::from(CH_GOSSIP));
+                    }
+                    (frame.bytes.get(2) == Some(&1)).then(|| frame.bytes[3] as usize)
+                };
+                if let Some(src) = ack {
+                    let bytes = Wire::frame(CH_GOSSIP, &[0, dst as u8]);
+                    let m = &mut self.ms[dst];
+                    let cost = m.sup.machine.cost;
+                    m.sup.machine.clock.charge_wire_frame(&cost, bytes.len());
+                    self.wire.send(dst, src, FrameKind::Gossip, bytes);
+                }
+            }
+            FrameKind::Data => {
+                {
+                    let m = &mut self.ms[dst];
+                    let cost = m.sup.machine.cost;
+                    m.sup
+                        .machine
+                        .clock
+                        .charge_wire_frame(&cost, frame.bytes.len());
+                    if let Err(e) = m.sup.network_receive(m.net, &frame.bytes) {
+                        self.failures
+                            .push(format!("machine {dst}: frame receive: {e:?}"));
+                        return;
+                    }
+                }
+                let ch = u16::from(frame.bytes[0]);
+                if (ch as usize) < self.spec.machines {
+                    self.service_request(dst, ch);
+                }
+            }
+        }
+    }
+
+    /// See [`KernelFleet::service_request`]. The old supervisor has no
+    /// resident file-store path: every remote request goes through the
+    /// gated channel read and the user-domain command layer.
+    fn service_request(&mut self, mi: usize, ch: u16) {
+        let bytes = {
+            let m = &mut self.ms[mi];
+            match m.sup.network_read_channel(m.net, ch) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.failures
+                        .push(format!("machine {mi}: request read: {e:?}"));
+                    return;
+                }
+            }
+        };
+        if bytes.len() != REQ_LEN {
+            self.failures.push(format!(
+                "machine {mi}: mangled request ({} bytes)",
+                bytes.len()
+            ));
+            return;
+        }
+        {
+            let m = &mut self.ms[mi];
+            let cost = m.sup.machine.cost;
+            m.sup
+                .machine
+                .clock
+                .charge_instructions(&cost, CMD_DECODE_INSTR, Language::Pli);
+        }
+        let req = Req::decode(&bytes);
+        let requester = ch as usize;
+
+        let (status, value) = self.execute_op(mi, req);
+
+        self.ms[mi].served += 1;
+        if self.ms[mi].served.is_multiple_of(GOSSIP_EVERY) {
+            for o in 0..self.spec.machines {
+                if o != mi {
+                    let bytes = Wire::frame(CH_GOSSIP, &[1, mi as u8]);
+                    let m = &mut self.ms[mi];
+                    let cost = m.sup.machine.cost;
+                    m.sup.machine.clock.charge_wire_frame(&cost, bytes.len());
+                    self.wire.send(mi, o, FrameKind::Gossip, bytes);
+                }
+            }
+        }
+
+        let mut payload = vec![status];
+        payload.extend_from_slice(&value.to_le_bytes());
+        let bytes = Wire::frame((CH_RESP_BASE + mi as u16) as u8, &payload);
+        let m = &mut self.ms[mi];
+        let cost = m.sup.machine.cost;
+        m.sup.machine.clock.charge_wire_frame(&cost, bytes.len());
+        self.wire.send(mi, requester, FrameKind::Data, bytes);
+    }
+
+    /// See [`KernelFleet::execute_op`].
+    fn execute_op(&mut self, mi: usize, req: Req) -> (u8, u64) {
+        let Req {
+            op,
+            idx,
+            shard,
+            a,
+            b,
+        } = req;
+        let m = &mut self.ms[mi];
+        let sup = &mut m.sup;
+        let acl = LAcl::owner(LUserId(1));
+        match op {
+            OP_LINK => match sup.link(m.drv, "lib", &symbol(a as usize)) {
+                Ok(l) => (ST_OK, u64::from(l.offset)),
+                Err(e) => (lstatus(&e), 0),
+            },
+            OP_RESOLVE_LIB => match sup.resolve(m.drv, "lib", AccessRight::Read) {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (lstatus(&e), 0),
+            },
+            OP_RESOLVE_SHARED => match sup.resolve(m.drv, "shared", AccessRight::Read) {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (lstatus(&e), 0),
+            },
+            OP_RESOLVE_SHARD => match sup.resolve(m.drv, &format!("s{shard}"), AccessRight::Read) {
+                Ok(_) => (ST_OK, 0),
+                Err(e) => (lstatus(&e), 0),
+            },
+            OP_READ_SHARED => {
+                let Some(seg) = m.shared_segno else {
+                    return (ST_ERR, 0);
+                };
+                match sup.user_read(m.drv, seg, a * PAGE_WORDS as u32) {
+                    Ok(w) => (ST_OK, w.raw()),
+                    Err(e) => (lstatus(&e), 0),
+                }
+            }
+            OP_GROW => {
+                if !m.files.contains_key(&idx) {
+                    let shard_uid =
+                        match sup.resolve(m.drv, &format!("s{shard}"), AccessRight::Read) {
+                            Ok((uid, _)) => uid,
+                            Err(e) => return (lstatus(&e), 0),
+                        };
+                    let path = format!("s{shard}>{}", file_name(idx));
+                    let created = sup
+                        .create_segment_in(shard_uid, &file_name(idx), acl, Label::BOTTOM)
+                        .and_then(|_| sup.initiate(m.drv, &path));
+                    match created {
+                        Ok(segno) => {
+                            m.files.insert(idx, LFile { path, segno });
+                        }
+                        Err(e) => return (lstatus(&e), 0),
+                    }
+                }
+                let segno = m.files[&idx].segno;
+                match sup.user_write(m.drv, segno, a * PAGE_WORDS as u32, Word::new(b)) {
+                    Ok(()) => (ST_OK, 1),
+                    Err(e) => (lstatus(&e), 1),
+                }
+            }
+            OP_READ_OWN => {
+                let Some(segno) = m.files.get(&idx).map(|f| f.segno) else {
+                    return (ST_ERR, 0);
+                };
+                match sup.user_read(m.drv, segno, a * PAGE_WORDS as u32) {
+                    Ok(w) => (ST_OK, w.raw()),
+                    Err(e) => (lstatus(&e), 0),
+                }
+            }
+            OP_DELETE_OWN => {
+                let Some(f) = m.files.remove(&idx) else {
+                    return (ST_ERR, 0);
+                };
+                match sup.delete(m.drv, &f.path) {
+                    Ok(()) => (ST_OK, 0),
+                    Err(e) => (lstatus(&e), 0),
+                }
+            }
+            OP_MIG_OPEN => {
+                if m.files.contains_key(&idx) {
+                    return (ST_OK, 0);
+                }
+                let mig_uid = match sup.resolve(m.drv, "mig", AccessRight::Read) {
+                    Ok((uid, _)) => uid,
+                    Err(e) => return (lstatus(&e), 0),
+                };
+                let path = format!("mig>{}", file_name(idx));
+                let created = sup
+                    .create_segment_in(mig_uid, &file_name(idx), acl, Label::BOTTOM)
+                    .and_then(|_| sup.initiate(m.drv, &path));
+                match created {
+                    Ok(segno) => {
+                        m.files.insert(idx, LFile { path, segno });
+                        (ST_OK, 0)
+                    }
+                    Err(e) => (lstatus(&e), 0),
+                }
+            }
+            OP_MIG_WRITE => {
+                let Some(segno) = m.files.get(&idx).map(|f| f.segno) else {
+                    return (ST_ERR, 0);
+                };
+                match sup.user_write(m.drv, segno, a * PAGE_WORDS as u32, Word::new(b)) {
+                    Ok(()) => (ST_OK, 0),
+                    Err(e) => (lstatus(&e), 0),
+                }
+            }
+            OP_MIG_COMMIT => match sup.sync_to_disk() {
+                Ok(()) => (ST_OK, 0),
+                Err(e) => (lstatus(&e), 0),
+            },
+            _ => (ST_ERR, 0),
+        }
+    }
+
+    /// See [`KernelFleet::rpc`].
+    fn rpc(&mut self, src: usize, dst: usize, req: Req) -> Option<(u8, u64)> {
+        let bytes = Wire::frame(src as u8, &req.encode());
+        {
+            let m = &mut self.ms[src];
+            let cost = m.sup.machine.cost;
+            m.sup.machine.clock.charge_wire_frame(&cost, bytes.len());
+        }
+        self.wire.send(src, dst, FrameKind::Data, bytes);
+        self.remote_ops += 1;
+        self.pump();
+        let m = &mut self.ms[src];
+        match m.sup.network_read_channel(m.net, CH_RESP_BASE + dst as u16) {
+            Ok(bytes) if bytes.len() == RESP_LEN => Some((
+                bytes[0],
+                u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")),
+            )),
+            _ => None,
+        }
+    }
+
+    /// See [`KernelFleet::daemon_call`].
+    fn daemon_call(&mut self, target: usize, home: usize, req: Req) -> Option<(u8, u64)> {
+        if target == home {
+            Some(self.execute_op(target, req))
+        } else {
+            self.rpc(home, target, req)
+        }
+    }
+
+    fn admit_one(&mut self, idx: usize) {
+        let home = self.homes[idx];
+        if home != 0 {
+            let bytes = Wire::frame(CH_DIRECTIVE, &[idx as u8, (idx >> 8) as u8]);
+            {
+                let m = &mut self.ms[0];
+                let cost = m.sup.machine.cost;
+                let g = m.sup.machine.clock.enter(Subsystem::AnsweringService);
+                m.sup.machine.clock.charge_wire_frame(&cost, bytes.len());
+                m.sup.machine.clock.exit(g);
+            }
+            self.wire.send(0, home, FrameKind::Directive, bytes);
+            self.pump();
+        }
+        let m = &mut self.ms[home];
+        match m.sup.login(&account_name(idx), "pw", Label::BOTTOM) {
+            Ok(pid) => {
+                self.sessions[idx] = Some(LSessionF {
+                    home,
+                    pid,
+                    own_segno: None,
+                    own_created: false,
+                    migrated: false,
+                    shared_segno: None,
+                    pages: Vec::new(),
+                });
+                self.live += 1;
+            }
+            Err(e) => self
+                .failures
+                .push(format!("login u{idx} refused at machine {home}: {e:?}")),
+        }
+    }
+
+    /// See [`KernelFleet::maybe_migrate`].
+    fn maybe_migrate(&mut self, idx: usize, shard: usize, owner: usize) {
+        let reloc = self.ms[owner].sup.stats.relocations;
+        if reloc <= self.ms[owner].reloc_seen {
+            return;
+        }
+        self.ms[owner].reloc_seen = reloc;
+        let (home, migrated, own_created, pages_len, pid) = {
+            let Some(s) = self.sessions[idx].as_ref() else {
+                return;
+            };
+            (s.home, s.migrated, s.own_created, s.pages.len(), s.pid)
+        };
+        if migrated || !own_created || pages_len == 0 {
+            return;
+        }
+        let mut vals = Vec::with_capacity(pages_len);
+        for page in 0..pages_len as u32 {
+            let read = if owner == home {
+                let Some(segno) = self.sessions[idx].as_ref().and_then(|s| s.own_segno) else {
+                    return;
+                };
+                self.ms[owner]
+                    .sup
+                    .user_read(pid, segno, page * PAGE_WORDS as u32)
+            } else {
+                let Some(segno) = self.ms[owner].files.get(&idx).map(|f| f.segno) else {
+                    return;
+                };
+                let drv = self.ms[owner].drv;
+                self.ms[owner]
+                    .sup
+                    .user_read(drv, segno, page * PAGE_WORDS as u32)
+            };
+            match read {
+                Ok(w) => vals.push(w.raw()),
+                Err(e) => {
+                    self.failures
+                        .push(format!("migration read u{idx} page {page}: {e:?}"));
+                    return;
+                }
+            }
+        }
+        match self.rpc(owner, 0, Req::new(OP_MIG_OPEN, idx, shard)) {
+            Some((ST_OK, _)) => {}
+            r => {
+                self.failures.push(format!("migration open u{idx}: {r:?}"));
+                return;
+            }
+        }
+        for (page, &val) in vals.iter().enumerate() {
+            match self.rpc(
+                owner,
+                0,
+                Req::new(OP_MIG_WRITE, idx, shard).arg(page as u32).val(val),
+            ) {
+                Some((ST_OK, _)) => {}
+                r => {
+                    self.failures
+                        .push(format!("migration write u{idx} page {page}: {r:?}"));
+                    return;
+                }
+            }
+        }
+        match self.rpc(owner, 0, Req::new(OP_MIG_COMMIT, idx, shard)) {
+            Some((ST_OK, _)) => {}
+            r => {
+                self.failures
+                    .push(format!("migration commit u{idx}: {r:?}"));
+                return;
+            }
+        }
+        if owner == home {
+            let own = self.sessions[idx].as_mut().and_then(|s| s.own_segno.take());
+            if own.is_some() {
+                let path = format!("s{shard}>{}", file_name(idx));
+                if let Err(e) = self.ms[owner].sup.delete(pid, &path) {
+                    self.failures
+                        .push(format!("migration source delete u{idx}: {e:?}"));
+                }
+            }
+        } else if let Some(f) = self.ms[owner].files.remove(&idx) {
+            let drv = self.ms[owner].drv;
+            if let Err(e) = self.ms[owner].sup.delete(drv, &f.path) {
+                self.failures
+                    .push(format!("migration source delete u{idx}: {e:?}"));
+            }
+        }
+        if let Some(s) = self.sessions[idx].as_mut() {
+            s.migrated = true;
+        }
+        self.migrations += 1;
+    }
+}
+
+impl Driver for LegacyFleet {
+    fn now(&self) -> u64 {
+        self.ms.iter().map(|m| m.sup.machine.clock.now()).sum()
+    }
+
+    fn queued(&self) -> usize {
+        self.front.len()
+    }
+
+    fn request(&mut self, idx: usize) -> bool {
+        if self.live < self.cap {
+            self.admit_one(idx);
+            true
+        } else {
+            self.front.push_back(idx);
+            false
+        }
+    }
+
+    fn admit(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        while self.live < self.cap {
+            let Some(idx) = self.front.pop_front() else {
+                break;
+            };
+            self.admit_one(idx);
+            out.push(idx);
+        }
+        out
+    }
+
+    fn exec(&mut self, idx: usize, shard: usize, action: &Action) -> String {
+        let (home, migrated) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.home, s.migrated)
+        };
+        self.last_active = home;
+        let machines = self.spec.machines;
+        match *action {
+            Action::Link(sym) => {
+                if home == 0 {
+                    let m = &mut self.ms[0];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match m.sup.link(s.pid, "lib", &symbol(sym)) {
+                        Ok(l) => format!("l:{}", l.offset),
+                        Err(e) => format!("l:{}", llabel(&e)),
+                    }
+                } else {
+                    let resp = self.rpc(home, 0, Req::new(OP_LINK, idx, shard).arg(sym as u32));
+                    value_label("l", resp)
+                }
+            }
+            Action::Resolve(target) => {
+                let (dst, op) = match target {
+                    ResolveTarget::Lib => (0, OP_RESOLVE_LIB),
+                    ResolveTarget::Shared => (0, OP_RESOLVE_SHARED),
+                    ResolveTarget::Shard(j) => (j % machines, OP_RESOLVE_SHARD),
+                };
+                if dst == home {
+                    let path = match target {
+                        ResolveTarget::Lib => "lib".to_string(),
+                        ResolveTarget::Shared => "shared".to_string(),
+                        ResolveTarget::Shard(j) => format!("s{j}"),
+                    };
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match m.sup.resolve(s.pid, &path, AccessRight::Read) {
+                        Ok(_) => "n:ok".to_string(),
+                        Err(e) => format!("n:{}", llabel(&e)),
+                    }
+                } else {
+                    let resp = self.rpc(home, dst, Req::new(op, idx, shard));
+                    ok_label("n", resp)
+                }
+            }
+            Action::Grow { page, val } => {
+                let owner = if migrated { 0 } else { shard % machines };
+                let label = if owner == home && !migrated {
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    let mut out = None;
+                    if s.own_segno.is_none() {
+                        let created = m
+                            .sup
+                            .resolve(s.pid, &format!("s{shard}"), AccessRight::Read)
+                            .and_then(|(shard_uid, _)| {
+                                m.sup.create_segment_in(
+                                    shard_uid,
+                                    &file_name(idx),
+                                    LAcl::owner(LUserId(1)),
+                                    Label::BOTTOM,
+                                )
+                            })
+                            .and_then(|_| {
+                                m.sup
+                                    .initiate(s.pid, &format!("s{shard}>{}", file_name(idx)))
+                            });
+                        match created {
+                            Ok(segno) => s.own_segno = Some(segno),
+                            Err(e) => out = Some(format!("w:{}", llabel(&e))),
+                        }
+                    }
+                    match out {
+                        Some(label) => label,
+                        None => {
+                            let segno = s.own_segno.expect("just created");
+                            s.own_created = true;
+                            match m.sup.user_write(
+                                s.pid,
+                                segno,
+                                page * PAGE_WORDS as u32,
+                                Word::new(val),
+                            ) {
+                                Ok(()) => "w:ok".to_string(),
+                                Err(e) => format!("w:{}", llabel(&e)),
+                            }
+                        }
+                    }
+                } else {
+                    let resp = self.daemon_call(
+                        owner,
+                        home,
+                        Req::new(OP_GROW, idx, shard).arg(page).val(val),
+                    );
+                    if let Some((_, exists)) = resp {
+                        if exists == 1 {
+                            self.sessions[idx]
+                                .as_mut()
+                                .expect("live session")
+                                .own_created = true;
+                        }
+                    }
+                    ok_label("w", resp)
+                };
+                if label == "w:ok" {
+                    self.sessions[idx]
+                        .as_mut()
+                        .expect("live session")
+                        .pages
+                        .push(val);
+                }
+                if self.spec.migratory && owner != 0 {
+                    self.maybe_migrate(idx, shard, owner);
+                }
+                label
+            }
+            Action::ReadOwn { page } => {
+                let owner = if migrated { 0 } else { shard % machines };
+                if owner == home && !migrated {
+                    let m = &mut self.ms[home];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    match s.own_segno {
+                        Some(segno) => {
+                            match m.sup.user_read(s.pid, segno, page * PAGE_WORDS as u32) {
+                                Ok(w) => format!("r:{}", w.raw()),
+                                Err(e) => format!("r:{}", llabel(&e)),
+                            }
+                        }
+                        None => "r:err".to_string(),
+                    }
+                } else {
+                    let resp =
+                        self.daemon_call(owner, home, Req::new(OP_READ_OWN, idx, shard).arg(page));
+                    value_label("r", resp)
+                }
+            }
+            Action::ReadShared { page } => {
+                if home == 0 {
+                    let m = &mut self.ms[0];
+                    let s = self.sessions[idx].as_mut().expect("live session");
+                    if s.shared_segno.is_none() {
+                        match m.sup.initiate(s.pid, "shared") {
+                            Ok(segno) => s.shared_segno = Some(segno),
+                            Err(e) => return format!("r:{}", llabel(&e)),
+                        }
+                    }
+                    let segno = s.shared_segno.expect("just initiated");
+                    match m.sup.user_read(s.pid, segno, page * PAGE_WORDS as u32) {
+                        Ok(w) => format!("r:{}", w.raw()),
+                        Err(e) => format!("r:{}", llabel(&e)),
+                    }
+                } else {
+                    let resp = self.rpc(home, 0, Req::new(OP_READ_SHARED, idx, shard).arg(page));
+                    value_label("r", resp)
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, idx: usize, shard: usize, abandon: bool) -> String {
+        let (home, pid, migrated, own_created, own_segno) = {
+            let s = self.sessions[idx].as_ref().expect("live session");
+            (s.home, s.pid, s.migrated, s.own_created, s.own_segno)
+        };
+        self.last_active = home;
+        let mut label = if abandon { "reap" } else { "out" }.to_string();
+        if !abandon && own_created {
+            let owner = if migrated {
+                0
+            } else {
+                shard % self.spec.machines
+            };
+            if owner == home && !migrated {
+                if own_segno.is_some() {
+                    let path = format!("s{shard}>{}", file_name(idx));
+                    match self.ms[home].sup.delete(pid, &path) {
+                        Ok(()) => {
+                            if let Some(s) = self.sessions[idx].as_mut() {
+                                s.own_segno = None;
+                            }
+                        }
+                        Err(_) => label = "out:err".to_string(),
+                    }
+                }
+            } else {
+                match self.daemon_call(owner, home, Req::new(OP_DELETE_OWN, idx, shard)) {
+                    Some((ST_OK, _)) => {}
+                    Some(_) => label = "out:err".to_string(),
+                    None => label = "out:lost".to_string(),
+                }
+            }
+        }
+        let m = &mut self.ms[home];
+        match m.sup.logout(&account_name(idx), pid) {
+            Ok(_) => {}
+            Err(_) => label = format!("{label}:err"),
+        }
+        self.sessions[idx] = None;
+        self.live -= 1;
+        label
+    }
+
+    fn schedule(&mut self) {
+        self.ms[self.last_active].sup.dispatch();
+    }
+
+    fn housekeep(&mut self) {
+        for mi in 0..self.ms.len() {
+            if let Err(e) = self.ms[mi].sup.sync_to_disk() {
+                self.failures
+                    .push(format!("machine {mi}: housekeeping sweep: {e:?}"));
+            }
+        }
+    }
+}
+
+/// Runs the fleet spec on the 1974 supervisor design. The
+/// `specialized_store` flag is ignored: the old design has no resident
+/// file-store configuration to specialize into — every remote request
+/// pays the gated read and the user-domain command decode.
+pub fn run_legacy_fleet(
+    spec: &FleetSpec,
+    wire_policy: Option<Box<dyn SchedulePolicy>>,
+) -> FleetRun {
+    assert!(spec.machines >= 1, "a fleet needs at least one machine");
+    assert!(
+        !spec.dedicated_store || spec.machines >= 2,
+        "a dedicated store needs at least one member machine"
+    );
+    let base = spec.base();
+    let scripts = base.scripts();
+    let mut fleet = setup_legacy_fleet(spec, wire_policy);
+    let mut st = EngineState::new();
+    storm(&mut fleet, &scripts, &mut st);
+    drive_until(&mut fleet, &scripts, &mut st, None);
+    fleet.pump();
+
+    let per_machine_cycles: Vec<u64> = fleet
+        .ms
+        .iter()
+        .map(|m| m.sup.machine.clock.now() - m.setup_cycles)
+        .collect();
+    let mut edges = EdgeSet::new();
+    let mut violations = Vec::new();
+    let mut totals = Vec::new();
+    let mut relocations = 0;
+    for (i, m) in fleet.ms.iter().enumerate() {
+        edges.merge(&m.edge_base.delta(m.sup.machine.clock.edge_set()));
+        for v in oracle::check_legacy(&m.sup) {
+            violations.push(format!("machine {i}: {v}"));
+        }
+        totals.push(disk_totals(&m.sup.machine.disks));
+        relocations += m.sup.stats.relocations;
+    }
+    violations.extend(fleet_conservation(&totals));
+    violations.extend(fleet.failures.iter().cloned());
+    let store = &fleet.ms[0];
+    FleetRun {
+        design: "legacy",
+        machines: spec.machines,
+        cycles: per_machine_cycles.iter().sum(),
+        wall_cycles: per_machine_cycles.iter().copied().max().unwrap_or(0),
+        setup_cycles: fleet.ms.iter().map(|m| m.setup_cycles).sum(),
+        ops: st.ops,
+        sessions: spec.sessions,
+        abandoned: st.abandoned,
+        queued_peak: st.queued_peak,
+        parity: st.parity,
+        hist: st.hist,
+        admitted_order: st.admitted_order,
+        frames_sent: fleet.wire.sent,
+        frames_delivered: fleet.wire.delivered,
+        frames_dropped: fleet.wire.dropped,
+        remote_ops: fleet.remote_ops,
+        migrations: fleet.migrations,
+        relocations,
+        store_cycles: per_machine_cycles[0],
+        store_meter: store
+            .meter_base
+            .delta(&store.sup.machine.clock.meter_snapshot()),
+        per_machine_cycles,
+        edges,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_kernel_load, run_legacy_load};
+
+    #[test]
+    fn fleet_of_one_is_the_single_machine_run() {
+        let spec = FleetSpec::new(1, 8, 11);
+        let fleet = run_kernel_fleet(&spec, None);
+        let single = run_kernel_load(&spec.base(), None);
+        assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+        assert_eq!(fleet.frames_sent, 0, "one machine never touches the wire");
+        assert_eq!(fleet.remote_ops, 0);
+    }
+
+    #[test]
+    fn kernel_fleet_of_two_matches_single_machine() {
+        let spec = FleetSpec::new(2, 10, 23);
+        let fleet = run_kernel_fleet(&spec, None);
+        let single = run_kernel_load(&spec.base(), None);
+        assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+        assert!(fleet.remote_ops > 0, "homes must split across machines");
+        assert!(fleet.frames_delivered > 0);
+        assert_eq!(fleet.frames_dropped, 0);
+    }
+
+    #[test]
+    fn legacy_fleet_of_two_matches_single_machine() {
+        let spec = FleetSpec::new(2, 10, 23);
+        let fleet = run_legacy_fleet(&spec, None);
+        let single = run_legacy_load(&spec.base());
+        assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+        assert!(fleet.remote_ops > 0);
+    }
+
+    #[test]
+    fn fleet_reruns_are_byte_identical() {
+        let spec = FleetSpec::new(3, 9, 77);
+        let a = run_kernel_fleet(&spec, None);
+        let b = run_kernel_fleet(&spec, None);
+        assert_eq!(a.parity, b.parity);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.per_machine_cycles, b.per_machine_cycles);
+    }
+
+    #[test]
+    fn planted_frame_drop_is_caught() {
+        let mut spec = FleetSpec::new(2, 10, 23);
+        let single = run_kernel_load(&spec.base(), None);
+        spec.drop_frame = Some(3);
+        let cheat = run_kernel_fleet(&spec, None);
+        assert_eq!(cheat.frames_dropped, 1);
+        assert!(
+            !cheat.check_against(&single).is_empty(),
+            "a lost wire frame must surface as a parity or oracle violation"
+        );
+    }
+
+    #[test]
+    fn specialized_store_serves_cheaper_than_general() {
+        let mut spec = FleetSpec::new(2, 12, 31);
+        spec.dedicated_store = true;
+        let general = run_kernel_fleet(&spec, None);
+        spec.specialized_store = true;
+        let special = run_kernel_fleet(&spec, None);
+        let single = run_kernel_load(&spec.base(), None);
+        assert_eq!(general.check_against(&single), Vec::<String>::new());
+        assert_eq!(special.check_against(&single), Vec::<String>::new());
+        assert_eq!(general.parity, special.parity);
+        assert!(
+            special.store_cycles < general.store_cycles,
+            "resident dispatch must undercut the command layer: {} vs {}",
+            special.store_cycles,
+            general.store_cycles
+        );
+    }
+
+    #[test]
+    fn migration_keeps_the_stream_and_the_records() {
+        let mut spec = FleetSpec::new(2, 12, 5);
+        spec.migratory = true;
+        let fleet = run_kernel_fleet(&spec, None);
+        let single = run_kernel_load(&spec.base(), None);
+        assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+        assert!(fleet.relocations > 0, "small packs must force relocation");
+        assert!(fleet.migrations > 0, "relocation must trigger migration");
+    }
+}

@@ -13,6 +13,7 @@
 //! Everything here is seed-pure: same spec, same bytes, every run.
 
 pub mod epoch;
+pub mod fleet;
 pub mod hist;
 pub mod run;
 pub mod script;
@@ -22,6 +23,7 @@ pub use epoch::{
     run_kernel_c1, run_kernel_s1, run_legacy_c1, run_legacy_s1, C1Policy, C1Run, C1SelfCheck,
     C1Spec, EpochReport, S1EpochReport, S1Run, S1SelfCheck, S1Spec,
 };
+pub use fleet::{run_kernel_fleet, run_legacy_fleet, FleetRun, FleetSpec};
 pub use hist::{Histogram, HistogramError};
 pub use run::{run_both, run_kernel_load, run_legacy_load, LoadRun, LoadSpec};
 pub use script::{session_script, SessionOp, SessionScript, LIB_SYMBOLS, SHARED_PAGES};

@@ -507,7 +507,7 @@ fn account_index(name: &str) -> usize {
         .expect("load account names are u<idx>")
 }
 
-fn symbol(i: usize) -> String {
+pub(crate) fn symbol(i: usize) -> String {
     format!("sym{i:02}")
 }
 

@@ -30,6 +30,11 @@ pub enum ChoicePoint {
     /// eventcount releases next. The candidates are waiter ids in
     /// `(threshold, id)` order.
     Wakeup(crate::sim::EcId),
+    /// Choosing which inter-machine wire link delivers its head frame
+    /// next (the fleet orchestrator's delivery point). The candidates
+    /// are link ids (`src * machines + dst`) in ascending order; frames
+    /// within one link stay FIFO, so only cross-link order branches.
+    Wire,
 }
 
 /// A source of scheduling decisions.
@@ -68,5 +73,6 @@ mod tests {
         let mut p = FifoPolicy;
         assert_eq!(p.choose(ChoicePoint::Dispatch, &[4, 2, 9]), 0);
         assert_eq!(p.choose(ChoicePoint::Wakeup(EcId(3)), &[7, 1]), 0);
+        assert_eq!(p.choose(ChoicePoint::Wire, &[3, 5]), 0);
     }
 }

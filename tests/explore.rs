@@ -198,3 +198,49 @@ fn load_harness_holds_under_adversarial_schedules() {
         }
     }
 }
+
+/// X1 composed with F1: the inter-machine wire as a schedule surface.
+///
+/// Delivery order across the fleet's directed links is a
+/// `ChoicePoint::Wire` on the fleet policy, so the explorer's
+/// adversaries apply to it directly. Under seeded-random and PCT
+/// delivery schedules at M=2, every run must pass the whole fleet
+/// battery (per-machine oracles, fleet-wide record conservation, FIFO
+/// admission, single-machine label parity) AND produce the *same*
+/// label stream the FIFO wire does: delivery order is the wire's
+/// business, never the user's.
+#[test]
+fn fleet_wire_holds_under_adversarial_delivery_schedules() {
+    use multics::load::{run_kernel_fleet, run_kernel_load, FleetSpec};
+
+    const SCHEDULES: u64 = 24;
+    fn policy_seed(base: u64, i: u64) -> u64 {
+        base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i)
+    }
+
+    let spec = FleetSpec::new(2, 8, 17);
+    let single = run_kernel_load(&spec.base(), None);
+    let fifo = run_kernel_fleet(&spec, None);
+    assert_eq!(fifo.check_against(&single), Vec::<String>::new());
+    assert!(fifo.frames_delivered > 0, "the wire must carry traffic");
+
+    for i in 0..SCHEDULES {
+        for pct in [false, true] {
+            let policy: Box<dyn multics::sync::SchedulePolicy> = if pct {
+                Box::new(PctPolicy::new(policy_seed(31, i)))
+            } else {
+                Box::new(SeededRandomPolicy::new(policy_seed(19, i)))
+            };
+            let run = run_kernel_fleet(&spec, Some(policy));
+            assert_eq!(
+                run.check_against(&single),
+                Vec::<String>::new(),
+                "wire schedule {i} (pct={pct})"
+            );
+            assert_eq!(
+                run.parity, fifo.parity,
+                "wire schedule {i} (pct={pct}): delivery order leaked into the user stream"
+            );
+        }
+    }
+}

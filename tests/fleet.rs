@@ -1,0 +1,137 @@
+//! Differential fuzz: the fleet as a user-invisible implementation
+//! detail.
+//!
+//! A fleet of M machines behind one answering service must be
+//! *indistinguishable from one machine* for every seed: the merged
+//! label stream byte-identical to the single-machine load run, the
+//! admission queue first-come-first-served at the same peak pressure,
+//! every per-machine oracle battery clean, and every record allocated
+//! anywhere in the fleet referenced by exactly one file map somewhere
+//! in the fleet. This file sweeps 32 seeds across fleets of 1, 2, and
+//! 4 machines on both designs, then pins the specific mechanisms: a
+//! session homed away from its files (every touch remote), and a
+//! member machine whose packs fill so its files migrate to the store
+//! over the wire mid-stream.
+
+use multics::load::{
+    run_kernel_fleet, run_kernel_load, run_legacy_fleet, run_legacy_load, FleetSpec,
+};
+
+/// Seeds per machine count. 32 seeds x 3 fleet sizes x 2 designs keeps
+/// home assignments, remote traffic, and gossip interleavings varied
+/// while staying inside the default `cargo test` budget.
+const SEEDS: u64 = 32;
+const SESSIONS: usize = 6;
+
+#[test]
+fn differential_fuzz_three_fleet_sizes() {
+    let mut remote = 0u64;
+    let mut frames = 0u64;
+    for seed in 0..SEEDS {
+        let base = FleetSpec::new(1, SESSIONS, seed).base();
+        let k_single = run_kernel_load(&base, None);
+        let l_single = run_legacy_load(&base);
+        for machines in [1usize, 2, 4] {
+            let spec = FleetSpec::new(machines, SESSIONS, seed);
+            let k = run_kernel_fleet(&spec, None);
+            assert_eq!(
+                k.check_against(&k_single),
+                Vec::<String>::new(),
+                "kernel fleet M={machines} seed={seed}"
+            );
+            let l = run_legacy_fleet(&spec, None);
+            assert_eq!(
+                l.check_against(&l_single),
+                Vec::<String>::new(),
+                "legacy fleet M={machines} seed={seed}"
+            );
+            assert_eq!(
+                k.parity, l.parity,
+                "cross-design parity M={machines} seed={seed}"
+            );
+            if machines == 1 {
+                assert_eq!(k.frames_sent, 0, "one machine never touches the wire");
+            }
+            remote += k.remote_ops + l.remote_ops;
+            frames += k.frames_delivered;
+            assert_eq!(k.frames_dropped, 0, "honest runs drop nothing");
+        }
+    }
+    assert!(
+        remote > 0 && frames > 0,
+        "the sweep must actually exercise the wire"
+    );
+}
+
+/// The merged fleet stream is byte-identical to the L1 single-machine
+/// stream at a population large enough to queue logins and abandon
+/// sessions, label by label, for every machine count.
+#[test]
+fn merged_labels_match_the_single_machine_stream() {
+    let seed = 1977;
+    let sessions = 20;
+    let single = run_kernel_load(&FleetSpec::new(1, sessions, seed).base(), None);
+    for machines in [2usize, 4] {
+        let fleet = run_kernel_fleet(&FleetSpec::new(machines, sessions, seed), None);
+        assert_eq!(
+            fleet.parity, single.parity,
+            "label stream diverged at M={machines}"
+        );
+        assert!(fleet.remote_ops > 0, "M={machines} must serve remote work");
+    }
+}
+
+/// Remote service is not a separate code path the user can see: a
+/// session whose home holds none of its files gets every link, every
+/// resolve, every grow and read served over the wire, and its labels
+/// still match the local run's.
+#[test]
+fn remote_sessions_match_local_sessions() {
+    let spec = FleetSpec::new(4, 10, 23);
+    let single = run_kernel_load(&spec.base(), None);
+    let fleet = run_kernel_fleet(&spec, None);
+    assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+    assert!(
+        fleet.remote_ops as usize > spec.sessions,
+        "with 4 machines most file traffic crosses the wire: {} remote ops",
+        fleet.remote_ops
+    );
+    let legacy_single = run_legacy_load(&spec.base());
+    let legacy_fleet = run_legacy_fleet(&spec, None);
+    assert_eq!(
+        legacy_fleet.check_against(&legacy_single),
+        Vec::<String>::new()
+    );
+}
+
+/// Pack migration: member machines get packs small enough that file
+/// growth forces full-pack relocation, and each relocated session file
+/// is moved to the store machine over the wire. The stream, the
+/// fleet-wide record count, and the file contents (read back after the
+/// move by the sessions themselves) must all survive.
+#[test]
+fn pack_migration_survives_with_contents_intact() {
+    let mut spec = FleetSpec::new(2, 12, 5);
+    spec.migratory = true;
+    let single = run_kernel_load(&spec.base(), None);
+    let fleet = run_kernel_fleet(&spec, None);
+    assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+    assert!(fleet.relocations > 0, "small packs must force relocation");
+    assert!(fleet.migrations > 0, "relocation must trigger migration");
+    // Post-migration reads are part of the scripts; identical labels
+    // prove the moved bytes read back unchanged. The fleet-wide record
+    // conservation check (inside check_against) proves the source
+    // records were freed, not leaked.
+}
+
+/// The legacy design migrates too — the wire is design-agnostic.
+#[test]
+fn legacy_pack_migration_survives() {
+    let mut spec = FleetSpec::new(2, 12, 5);
+    spec.migratory = true;
+    let single = run_legacy_load(&spec.base());
+    let fleet = run_legacy_fleet(&spec, None);
+    assert_eq!(fleet.check_against(&single), Vec::<String>::new());
+    assert!(fleet.relocations > 0, "small packs must force relocation");
+    assert!(fleet.migrations > 0, "relocation must trigger migration");
+}
